@@ -1,0 +1,216 @@
+//! Cole–Vishkin 3-coloring of oriented rings in `log* n + O(1)` rounds.
+//!
+//! The classical `Δ = 2` algorithm: every vertex knows its *successor* (a
+//! consistent orientation is part of the input, as in the standard statement
+//! of ring coloring). Colors start as IDs; each round a vertex finds the
+//! lowest bit position `i` where its color differs from its successor's and
+//! re-colors to `2i + bit_i(own)`, collapsing `b`-bit colors to
+//! `⌈log b⌉ + 1` bits. Once the palette reaches `{0..5}`, three shift-free
+//! retirement rounds bring it to `{0, 1, 2}`.
+//!
+//! The experiments use this algorithm for the `Δ = 2` row of Theorem 7's
+//! dichotomy (either `O(log* n)` or `Ω(n)` on paths/cycles).
+
+use crate::color::ColoringOutcome;
+use crate::sync::{run_sync, SyncAlgorithm, SyncCtx, SyncStep};
+use local_graphs::{Graph, NodeId, PortId};
+use local_lcl::Labeling;
+use local_model::{IdAssignment, Mode, NodeInit};
+
+/// Number of Cole–Vishkin halving iterations needed from `bits`-bit colors
+/// down to colors `< 6` (values ≤ 5).
+fn cv_iterations(mut bits: u32) -> u32 {
+    let mut it = 0;
+    while bits > 3 {
+        bits = 32 - (bits - 1).leading_zeros() + 1; // ceil(log2 bits) + 1
+        it += 1;
+    }
+    // With 3-bit colors one more iteration lands in {0..5}: i ≤ 2 ⇒ 2i+b ≤ 5.
+    it + 1
+}
+
+/// Per-vertex public state: the current color plus the vertex's successor
+/// port. The port is *local input* (the ring orientation), carried in the
+/// state because [`SyncAlgorithm::update`] deliberately has no vertex
+/// identity.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CvState {
+    color: u64,
+    succ_port: PortId,
+}
+
+/// The Cole–Vishkin algorithm on an oriented ring.
+#[derive(Debug, Clone)]
+pub struct ColeVishkin {
+    succ_port: Vec<PortId>,
+    ids: Vec<u64>,
+    cv_rounds: u32,
+}
+
+impl ColeVishkin {
+    /// Build for a cycle where `succ_port[v]` is the port of `v`'s successor
+    /// (the input orientation), with `ids` the initial distinct colors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vectors' lengths disagree.
+    pub fn new(succ_port: Vec<PortId>, ids: Vec<u64>) -> Self {
+        assert_eq!(succ_port.len(), ids.len(), "one successor port per vertex");
+        let max_id = ids.iter().copied().max().unwrap_or(0);
+        let id_bits = (64 - max_id.leading_zeros()).max(3);
+        ColeVishkin {
+            succ_port,
+            ids,
+            cv_rounds: cv_iterations(id_bits),
+        }
+    }
+
+    /// Number of halving iterations this instance will run.
+    pub fn cv_rounds(&self) -> u32 {
+        self.cv_rounds
+    }
+}
+
+impl SyncAlgorithm for ColeVishkin {
+    type State = CvState;
+    type Output = usize;
+
+    fn init(&self, init: &NodeInit<'_>) -> CvState {
+        assert_eq!(init.degree, 2, "Cole-Vishkin runs on cycles (degree 2)");
+        CvState {
+            color: self.ids[init.node],
+            succ_port: self.succ_port[init.node],
+        }
+    }
+
+    fn update(
+        &self,
+        round: u32,
+        _ctx: &mut SyncCtx<'_>,
+        state: &CvState,
+        neighbors: &[CvState],
+    ) -> SyncStep<CvState, usize> {
+        if round <= self.cv_rounds {
+            // Halving phase.
+            let succ_color = neighbors[state.succ_port].color;
+            let diff = state.color ^ succ_color;
+            debug_assert_ne!(diff, 0, "proper coloring keeps successor distinct");
+            let i = diff.trailing_zeros() as u64;
+            let bit = (state.color >> i) & 1;
+            return SyncStep::Continue(CvState {
+                color: 2 * i + bit,
+                succ_port: state.succ_port,
+            });
+        }
+        // Retirement phase: rounds cv+1, cv+2, cv+3 retire colors 5, 4, 3.
+        // Each retiring class is an independent set (its members hold equal
+        // colors, and the coloring stays proper), so simultaneous recoloring
+        // is safe.
+        let retiring = 5 - u64::from(round - self.cv_rounds - 1);
+        let mut color = state.color;
+        if color == retiring {
+            let used: Vec<u64> = neighbors.iter().map(|s| s.color).collect();
+            color = (0..3)
+                .find(|c| !used.contains(c))
+                .expect("two neighbors, three colors");
+        }
+        let next = CvState {
+            color,
+            succ_port: state.succ_port,
+        };
+        if retiring == 3 {
+            SyncStep::Decide(next, color as usize)
+        } else {
+            SyncStep::Continue(next)
+        }
+    }
+}
+
+/// 3-color the standard cycle `C_n` (as produced by
+/// [`local_graphs::gen::cycle`]) in `log* n + O(1)` rounds, using the natural
+/// orientation `v → v+1` as input and the chosen ID assignment as initial
+/// colors.
+///
+/// # Panics
+///
+/// Panics if `g` is not 2-regular or `n < 3`.
+pub fn cv_color_cycle(g: &Graph, ids: &IdAssignment) -> ColoringOutcome {
+    assert!(g.n() >= 3 && g.is_regular(2), "cv_color_cycle needs a cycle");
+    let n = g.n();
+    let succ_port: Vec<PortId> = (0..n)
+        .map(|v: NodeId| {
+            g.port_to(v, (v + 1) % n)
+                .expect("gen::cycle adjacency: v is adjacent to v+1")
+        })
+        .collect();
+    let algo = ColeVishkin::new(succ_port, ids.assign(g));
+    let budget = algo.cv_rounds() + 10;
+    let out = run_sync(g, Mode::deterministic(), &algo, budget)
+        .expect("Cole-Vishkin halts after its fixed schedule");
+    ColoringOutcome {
+        labels: Labeling::new(out.outputs),
+        palette: 3,
+        rounds: out.rounds,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use local_graphs::gen;
+    use local_lcl::problems::VertexColoring;
+    use local_lcl::LclProblem;
+
+    #[test]
+    fn iterations_shrink_like_log_star() {
+        assert_eq!(cv_iterations(3), 1);
+        assert!(cv_iterations(8) <= 3);
+        assert!(cv_iterations(32) <= 4);
+        assert!(cv_iterations(64) <= 5);
+        // Doubling the bit width adds at most one iteration.
+        assert!(cv_iterations(64) <= cv_iterations(32) + 1);
+    }
+
+    #[test]
+    fn three_colors_various_cycles() {
+        for n in [3usize, 4, 5, 8, 17, 64, 255, 1000] {
+            let g = gen::cycle(n);
+            let out = cv_color_cycle(&g, &IdAssignment::Sequential);
+            assert_eq!(out.palette, 3);
+            VertexColoring::new(3)
+                .validate(&g, &out.labels)
+                .unwrap_or_else(|v| panic!("n={n}: {v}"));
+        }
+    }
+
+    #[test]
+    fn shuffled_ids_also_work() {
+        let g = gen::cycle(100);
+        let out = cv_color_cycle(&g, &IdAssignment::Shuffled { seed: 5 });
+        assert!(VertexColoring::new(3).validate(&g, &out.labels).is_ok());
+    }
+
+    #[test]
+    fn rounds_grow_log_star_in_n() {
+        let small = cv_color_cycle(&gen::cycle(16), &IdAssignment::Sequential).rounds;
+        let large = cv_color_cycle(&gen::cycle(4096), &IdAssignment::Sequential).rounds;
+        assert!(
+            large <= small + 2,
+            "CV rounds must be log*: {small} vs {large}"
+        );
+    }
+
+    #[test]
+    fn wide_random_ids() {
+        let g = gen::cycle(50);
+        let out = cv_color_cycle(&g, &IdAssignment::RandomBits { seed: 1, bits: 32 });
+        assert!(VertexColoring::new(3).validate(&g, &out.labels).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "needs a cycle")]
+    fn rejects_non_cycle() {
+        let g = gen::path(5);
+        let _ = cv_color_cycle(&g, &IdAssignment::Sequential);
+    }
+}

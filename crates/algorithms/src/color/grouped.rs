@@ -1,0 +1,191 @@
+//! Group-restricted coloring phases.
+//!
+//! Several composite algorithms (Barenboim–Elkin layers, shattered
+//! components, residual subgraphs) need Linial coloring and color reduction
+//! *restricted to a subgraph*: only edges whose endpoints carry the same
+//! group tag count. A tag of [`NO_GROUP`] means "not participating".
+
+use crate::color::linial::LinialSchedule;
+use crate::sync::{SyncAlgorithm, SyncCtx, SyncStep};
+use local_model::NodeInit;
+
+/// Group tag meaning "not participating".
+pub const NO_GROUP: u64 = u64::MAX;
+
+/// Public state of the grouped phases: a group tag and a current color.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GroupColorState {
+    /// The vertex's group; edges within a group are the active subgraph.
+    pub group: u64,
+    /// The vertex's current color.
+    pub color: u64,
+}
+
+/// Linial recoloring restricted to same-group edges. Non-participants output
+/// 0 immediately.
+#[derive(Debug, Clone)]
+pub struct GroupLinial {
+    /// The per-round family schedule.
+    pub schedule: LinialSchedule,
+    /// Initial per-vertex colors (locally distinct within each group).
+    pub colors: Vec<u64>,
+    /// Per-vertex group tags ([`NO_GROUP`] = inactive).
+    pub group_of: Vec<u64>,
+}
+
+impl SyncAlgorithm for GroupLinial {
+    type State = GroupColorState;
+    type Output = u64;
+
+    fn init(&self, init: &NodeInit<'_>) -> GroupColorState {
+        GroupColorState {
+            group: self.group_of[init.node],
+            color: self.colors[init.node],
+        }
+    }
+
+    fn update(
+        &self,
+        round: u32,
+        _ctx: &mut SyncCtx<'_>,
+        state: &GroupColorState,
+        neighbors: &[GroupColorState],
+    ) -> SyncStep<GroupColorState, u64> {
+        if state.group == NO_GROUP {
+            return SyncStep::Decide(state.clone(), 0);
+        }
+        let i = (round - 1) as usize;
+        if i >= self.schedule.rounds() as usize {
+            return SyncStep::Decide(state.clone(), state.color);
+        }
+        let relevant: Vec<u64> = neighbors
+            .iter()
+            .filter(|nb| nb.group == state.group)
+            .map(|nb| nb.color)
+            .collect();
+        let next = GroupColorState {
+            group: state.group,
+            color: self.schedule.family(i).recolor(state.color, &relevant),
+        };
+        if i + 1 == self.schedule.rounds() as usize {
+            let c = next.color;
+            SyncStep::Decide(next, c)
+        } else {
+            SyncStep::Continue(next)
+        }
+    }
+}
+
+/// Color-class reduction restricted to same-group edges. Requires each
+/// vertex's same-group degree to be `< to`.
+#[derive(Debug, Clone)]
+pub struct GroupReduce {
+    /// Source palette size.
+    pub from: usize,
+    /// Target palette size.
+    pub to: usize,
+    /// Initial per-vertex colors (proper within each group).
+    pub colors: Vec<usize>,
+    /// Per-vertex group tags ([`NO_GROUP`] = inactive).
+    pub group_of: Vec<u64>,
+}
+
+impl SyncAlgorithm for GroupReduce {
+    type State = GroupColorState;
+    type Output = u64;
+
+    fn init(&self, init: &NodeInit<'_>) -> GroupColorState {
+        GroupColorState {
+            group: self.group_of[init.node],
+            color: self.colors[init.node] as u64,
+        }
+    }
+
+    fn update(
+        &self,
+        round: u32,
+        _ctx: &mut SyncCtx<'_>,
+        state: &GroupColorState,
+        neighbors: &[GroupColorState],
+    ) -> SyncStep<GroupColorState, u64> {
+        if state.group == NO_GROUP {
+            return SyncStep::Decide(state.clone(), 0);
+        }
+        let retiring = (self.from - round as usize) as u64;
+        let mut color = state.color;
+        if color == retiring && color >= self.to as u64 {
+            let used: Vec<u64> = neighbors
+                .iter()
+                .filter(|nb| nb.group == state.group)
+                .map(|nb| nb.color)
+                .collect();
+            color = (0..self.to as u64)
+                .find(|c| !used.contains(c))
+                .expect("same-group degree < target palette guarantees a free color");
+        }
+        let next = GroupColorState {
+            group: state.group,
+            color,
+        };
+        if color < self.to as u64 {
+            SyncStep::Decide(next, color)
+        } else {
+            SyncStep::Continue(next)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sync::run_sync;
+    use local_graphs::gen;
+    use local_model::Mode;
+
+    #[test]
+    fn grouped_linial_only_constrains_within_groups() {
+        // Path 0-1-2-3; groups {0,1} and {2,3}: the 1-2 edge is inter-group,
+        // so colors may clash across it but not within groups.
+        let g = gen::path(4);
+        let group_of = vec![7, 7, 9, 9];
+        let ids = vec![0u64, 1, 2, 3];
+        let schedule = LinialSchedule::new(4, 1);
+        let algo = GroupLinial {
+            schedule,
+            colors: ids,
+            group_of,
+        };
+        let out = run_sync(&g, Mode::deterministic(), &algo, 100).unwrap();
+        assert_ne!(out.outputs[0], out.outputs[1]);
+        assert_ne!(out.outputs[2], out.outputs[3]);
+    }
+
+    #[test]
+    fn inactive_vertices_output_zero_immediately() {
+        let g = gen::path(3);
+        let algo = GroupLinial {
+            schedule: LinialSchedule::new(3, 2),
+            colors: vec![0, 1, 2],
+            group_of: vec![NO_GROUP, 1, 1],
+        };
+        let out = run_sync(&g, Mode::deterministic(), &algo, 100).unwrap();
+        assert_eq!(out.outputs[0], 0);
+        assert_ne!(out.outputs[1], out.outputs[2]);
+    }
+
+    #[test]
+    fn grouped_reduce_respects_groups() {
+        let g = gen::cycle(6);
+        // Two groups: even/odd positions... on a cycle adjacent vertices
+        // alternate groups, so every edge is inter-group: any colors pass.
+        let group_of: Vec<u64> = (0..6).map(|v| (v % 2) as u64).collect();
+        let algo = GroupReduce {
+            from: 6,
+            to: 1,
+            colors: (0..6).collect(),
+            group_of,
+        };
+        let out = run_sync(&g, Mode::deterministic(), &algo, 100).unwrap();
+        assert!(out.outputs.iter().all(|&c| c == 0));
+    }
+}

@@ -1,0 +1,285 @@
+//! Linial's `O(log* n)` coloring algorithm (Theorem 2).
+//!
+//! Starting from the `n^O(1)`-coloring given by unique IDs, apply the
+//! one-round recoloring of Theorem 1 ([`crate::color::PolyFamily`]) until the
+//! palette reaches its fixpoint `β·Δ²`. The number of iterations is
+//! `O(log* n − log* Δ + 1)` because each round the palette drops from `k` to
+//! `O((Δ log_Δ k)²)` — essentially a logarithm.
+
+use crate::color::cover_free::PolyFamily;
+use crate::color::ColoringOutcome;
+use crate::sync::{run_sync_with_params, SyncAlgorithm, SyncCtx, SyncStep};
+use local_graphs::Graph;
+use local_lcl::Labeling;
+use local_model::{GlobalParams, IdAssignment, Mode, NodeInit};
+
+/// The per-round family schedule: families to apply in order, ending at the
+/// fixpoint palette.
+#[derive(Debug, Clone)]
+pub struct LinialSchedule {
+    families: Vec<PolyFamily>,
+    initial_palette: u64,
+    final_palette: u64,
+}
+
+impl LinialSchedule {
+    /// Compute the schedule for a graph whose vertices start with distinct
+    /// colors in `0..initial_palette` and whose maximum degree is `delta`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `initial_palette == 0`.
+    pub fn new(initial_palette: u64, delta: usize) -> Self {
+        assert!(initial_palette > 0, "initial palette must be nonempty");
+        let mut families = Vec::new();
+        let mut k = initial_palette;
+        loop {
+            let fam = PolyFamily::new(k, delta);
+            if !fam.shrinks() {
+                break;
+            }
+            k = fam.palette();
+            families.push(fam);
+        }
+        LinialSchedule {
+            families,
+            initial_palette,
+            final_palette: k,
+        }
+    }
+
+    /// Number of recoloring rounds.
+    pub fn rounds(&self) -> u32 {
+        self.families.len() as u32
+    }
+
+    /// The final palette size (`β·Δ²` for a universal β).
+    pub fn final_palette(&self) -> u64 {
+        self.final_palette
+    }
+
+    /// The initial palette size.
+    pub fn initial_palette(&self) -> u64 {
+        self.initial_palette
+    }
+
+    /// The family applied at round `i` (0-based).
+    pub fn family(&self, i: usize) -> &PolyFamily {
+        &self.families[i]
+    }
+}
+
+/// Where the initial coloring comes from.
+#[derive(Debug, Clone)]
+enum InitialColors {
+    /// DetLOCAL IDs.
+    FromIds,
+    /// An explicit per-vertex color vector (e.g. short IDs on a power graph).
+    Given(Vec<u64>),
+}
+
+/// Linial's algorithm as a [`SyncAlgorithm`]: one [`PolyFamily`] application
+/// per round.
+#[derive(Debug, Clone)]
+pub struct LinialAlgorithm {
+    schedule: LinialSchedule,
+    initial: InitialColors,
+}
+
+impl LinialAlgorithm {
+    /// Start from DetLOCAL IDs, assumed to lie in `0..initial_palette`.
+    pub fn from_ids(schedule: LinialSchedule) -> Self {
+        LinialAlgorithm {
+            schedule,
+            initial: InitialColors::FromIds,
+        }
+    }
+
+    /// Start from explicit per-vertex colors in `0..initial_palette`.
+    pub fn from_colors(schedule: LinialSchedule, colors: Vec<u64>) -> Self {
+        LinialAlgorithm {
+            schedule,
+            initial: InitialColors::Given(colors),
+        }
+    }
+}
+
+impl SyncAlgorithm for LinialAlgorithm {
+    type State = u64;
+    type Output = u64;
+
+    fn init(&self, init: &NodeInit<'_>) -> u64 {
+        let c = match &self.initial {
+            InitialColors::FromIds => init.id.expect("Linial from IDs needs DetLOCAL"),
+            InitialColors::Given(colors) => colors[init.node],
+        };
+        assert!(
+            c < self.schedule.initial_palette,
+            "initial color {c} outside palette {}",
+            self.schedule.initial_palette
+        );
+        c
+    }
+
+    fn update(
+        &self,
+        round: u32,
+        _ctx: &mut SyncCtx<'_>,
+        state: &u64,
+        neighbors: &[u64],
+    ) -> SyncStep<u64, u64> {
+        let i = (round - 1) as usize;
+        if i >= self.schedule.families.len() {
+            return SyncStep::Decide(*state, *state);
+        }
+        let next = self.schedule.family(i).recolor(*state, neighbors);
+        if i + 1 == self.schedule.families.len() {
+            SyncStep::Decide(next, next)
+        } else {
+            SyncStep::Continue(next)
+        }
+    }
+}
+
+/// Run Linial's algorithm in DetLOCAL from the given ID assignment, producing
+/// an `O(Δ²)`-coloring in `O(log* n)` rounds.
+///
+/// # Panics
+///
+/// Panics if the graph has no vertices.
+pub fn linial_color(g: &Graph, ids: &IdAssignment) -> ColoringOutcome {
+    assert!(g.n() > 0, "cannot color the empty graph");
+    let assigned = ids.assign(g);
+    let initial_palette = assigned.iter().copied().max().expect("nonempty") + 1;
+    linial_color_from(g, assigned, initial_palette, g.max_degree())
+}
+
+/// Run Linial's algorithm from an explicit initial coloring (colors must be
+/// *locally* distinct: every vertex's color differs from all its neighbors').
+///
+/// This is the entry point the speedup transform (Theorem 6) uses with short
+/// IDs on a power graph.
+///
+/// # Panics
+///
+/// Panics if the initial colors are not a proper coloring within
+/// `initial_palette` (detected lazily by the recoloring rule), or the graph
+/// is empty.
+pub fn linial_color_from(
+    g: &Graph,
+    colors: Vec<u64>,
+    initial_palette: u64,
+    delta: usize,
+) -> ColoringOutcome {
+    assert!(g.n() > 0, "cannot color the empty graph");
+    let schedule = LinialSchedule::new(initial_palette, delta);
+    let palette = schedule.final_palette();
+    let algo = LinialAlgorithm::from_colors(schedule, colors);
+    let params = GlobalParams::from_graph(g);
+    let out = run_sync_with_params(
+        g,
+        Mode::deterministic(),
+        &algo,
+        (g.n() as u32).max(200),
+        params,
+    )
+    .expect("Linial halts after its fixed schedule");
+    ColoringOutcome {
+        labels: Labeling::new(out.outputs.iter().map(|&c| c as usize).collect()),
+        palette: palette as usize,
+        rounds: out.rounds,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use local_graphs::gen;
+    use local_lcl::problems::VertexColoring;
+    use local_lcl::LclProblem;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn assert_proper(g: &Graph, out: &ColoringOutcome) {
+        let p = VertexColoring::new(out.palette);
+        p.validate(g, &out.labels)
+            .unwrap_or_else(|v| panic!("improper: {v}"));
+    }
+
+    #[test]
+    fn schedule_reaches_quadratic_fixpoint() {
+        let s = LinialSchedule::new(1 << 30, 4);
+        assert!(s.rounds() >= 2, "2^30 colors need several rounds");
+        assert!(s.final_palette() <= 40 * 16);
+        assert_eq!(s.initial_palette(), 1 << 30);
+    }
+
+    #[test]
+    fn schedule_is_empty_at_fixpoint() {
+        let s = LinialSchedule::new(10, 8); // already below the Δ=8 fixpoint
+        assert_eq!(s.rounds(), 0);
+        assert_eq!(s.final_palette(), 10);
+    }
+
+    #[test]
+    fn log_star_growth_of_rounds() {
+        // Rounds grow extremely slowly in the initial palette (log*-like):
+        // going from 2^16 to 2^48 initial colors adds at most 2 rounds.
+        let small = LinialSchedule::new(1 << 16, 3).rounds();
+        let large = LinialSchedule::new(1 << 48, 3).rounds();
+        assert!(large >= small);
+        assert!(
+            large - small <= 2,
+            "log* growth violated: {small} -> {large}"
+        );
+    }
+
+    #[test]
+    fn colors_cycle_properly() {
+        let g = gen::cycle(64);
+        let out = linial_color(&g, &IdAssignment::Sequential);
+        assert_proper(&g, &out);
+        assert!(out.palette <= 40 * 4);
+    }
+
+    #[test]
+    fn colors_random_regular_graph() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let g = gen::random_regular(60, 4, &mut rng).unwrap();
+        let out = linial_color(&g, &IdAssignment::Shuffled { seed: 1 });
+        assert_proper(&g, &out);
+    }
+
+    #[test]
+    fn colors_random_tree() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let g = gen::random_tree_max_degree(200, 5, &mut rng);
+        let out = linial_color(&g, &IdAssignment::Shuffled { seed: 2 });
+        assert_proper(&g, &out);
+        assert!(out.rounds <= 6, "log* 200 plus slack, got {}", out.rounds);
+    }
+
+    #[test]
+    fn wide_id_space() {
+        let g = gen::cycle(16);
+        let out = linial_color(&g, &IdAssignment::RandomBits { seed: 3, bits: 40 });
+        assert_proper(&g, &out);
+    }
+
+    #[test]
+    fn from_colors_entry_point() {
+        let g = gen::path(8);
+        let colors: Vec<u64> = (0..8).map(|v| v * 7 + 3).collect();
+        let out = linial_color_from(&g, colors, 64, 2);
+        assert_proper(&g, &out);
+    }
+
+    #[test]
+    fn rounds_match_schedule() {
+        let g = gen::cycle(256);
+        let schedule = LinialSchedule::new(256, 2);
+        let expected = schedule.rounds().max(1);
+        let out = linial_color(&g, &IdAssignment::Sequential);
+        assert_eq!(out.rounds, expected);
+    }
+}

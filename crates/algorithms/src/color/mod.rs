@@ -1,0 +1,89 @@
+//! Vertex-coloring algorithms.
+//!
+//! * [`cover_free`] — the polynomial set systems behind Linial's one-round
+//!   recoloring (Theorem 1).
+//! * [`linial`] — Linial's `O(log* n)`-round `O(Δ²)`-coloring (Theorem 2).
+//! * [`reduce`] — standard color reduction `k → Δ+1`, one class per round.
+//! * [`cole_vishkin`] — 3-coloring oriented rings in `log* n + O(1)` rounds.
+//! * [`rand_greedy`] — randomized `(Δ+1)`-coloring by trial coloring,
+//!   `O(log n)` rounds w.h.p.
+//! * [`tree_be`] — Barenboim–Elkin `q`-coloring of forests (Theorem 9),
+//!   `O(log_q n)`-layer H-partition plus a Linial-scheduled sweep.
+
+pub mod cole_vishkin;
+pub mod cover_free;
+pub mod edge_distributed;
+pub mod grouped;
+pub mod linial;
+pub mod path_two_color;
+pub mod rand_greedy;
+pub mod reduce;
+pub mod tree_be;
+
+pub use cover_free::PolyFamily;
+pub use edge_distributed::edge_color_distributed;
+pub use linial::{linial_color, LinialSchedule};
+pub use rand_greedy::rand_greedy_color;
+pub use reduce::reduce_colors;
+pub use tree_be::{be_forest_coloring, be_forest_coloring_detailed, BeOutcome};
+
+use local_lcl::Labeling;
+
+/// Sentinel label for vertices a restricted run did not color (inactive
+/// vertices in masked phases).
+pub const UNCOLORED: usize = usize::MAX;
+
+/// The outcome of a coloring pipeline: the final labeling, its palette size,
+/// and the total number of LOCAL rounds consumed.
+#[derive(Debug, Clone)]
+pub struct ColoringOutcome {
+    /// Final vertex colors in `0..palette`.
+    pub labels: Labeling<usize>,
+    /// Palette size of the final coloring.
+    pub palette: usize,
+    /// Total LOCAL rounds across all composed phases.
+    pub rounds: u32,
+}
+
+/// Deterministic pipeline: Linial `O(Δ²)`-coloring followed by reduction to
+/// `palette` colors. Requires `palette > Δ(G)`.
+///
+/// Round complexity: `O(log* n + Δ²)` — the `Δ²` term from one-class-per-round
+/// reduction.
+///
+/// # Panics
+///
+/// Panics if `palette <= Δ(G)` or the graph is empty of vertices.
+///
+/// # Example
+///
+/// ```
+/// use local_graphs::gen;
+/// use local_algorithms::color::linial_then_reduce;
+/// use local_lcl::{LclProblem, problems::VertexColoring};
+///
+/// let g = gen::cycle(32);
+/// let out = linial_then_reduce(&g, 3, 7);
+/// assert!(VertexColoring::new(3).validate(&g, &out.labels).is_ok());
+/// ```
+pub fn linial_then_reduce(
+    g: &local_graphs::Graph,
+    palette: usize,
+    seed: u64,
+) -> ColoringOutcome {
+    assert!(
+        palette > g.max_degree(),
+        "palette {palette} must exceed Δ = {}",
+        g.max_degree()
+    );
+    let base = linial_color(
+        g,
+        &local_model::IdAssignment::Shuffled { seed },
+    );
+    let reduced = reduce_colors(g, &base.labels, base.palette, palette);
+    ColoringOutcome {
+        labels: reduced.labels,
+        palette,
+        rounds: base.rounds + reduced.rounds,
+    }
+}

@@ -1,0 +1,244 @@
+//! Randomized `(Δ+1)`-coloring by trial coloring: `O(log n)` rounds w.h.p.
+//!
+//! The folklore RandLOCAL baseline (Johansson-style): every round, each
+//! uncolored vertex proposes a uniformly random color from its current
+//! available palette (the full palette minus permanently-colored neighbors'
+//! colors) and keeps it if no *competing* neighbor proposed the same color
+//! that round. Each vertex succeeds with probability ≥ 1/4 per round, so the
+//! algorithm finishes in `O(log n)` rounds w.h.p. — the classic pre-shattering
+//! randomized dependence on `n` that the paper's discussion contrasts with
+//! `log* n`-type deterministic bounds.
+
+use crate::color::ColoringOutcome;
+use crate::sync::{run_sync, SyncAlgorithm, SyncCtx, SyncStep};
+use local_graphs::Graph;
+use local_lcl::Labeling;
+use local_model::{Mode, NodeInit};
+use rand::Rng;
+
+/// Per-vertex public state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TrialState {
+    /// Still trying; holds this round's proposal (if any).
+    Trying {
+        /// The color proposed in the round that just ended.
+        proposal: Option<usize>,
+    },
+    /// Permanently colored.
+    Colored(usize),
+}
+
+/// The trial-coloring algorithm with palette `0..palette`.
+#[derive(Debug, Clone)]
+pub struct RandGreedy {
+    palette: usize,
+    /// Restrict participation: inactive vertices output `usize::MAX`
+    /// immediately and are invisible to the rest.
+    active: Option<Vec<bool>>,
+}
+
+/// Output label of an inactive vertex (alias of [`crate::color::UNCOLORED`]).
+pub const INACTIVE: usize = crate::color::UNCOLORED;
+
+impl RandGreedy {
+    /// Color all vertices with `palette` colors.
+    pub fn new(palette: usize) -> Self {
+        RandGreedy {
+            palette,
+            active: None,
+        }
+    }
+
+    /// Color only the vertices with `active[v]`, treating the rest as absent
+    /// (their colors are ignored and they output [`INACTIVE`]).
+    pub fn restricted(palette: usize, active: Vec<bool>) -> Self {
+        RandGreedy {
+            palette,
+            active: Some(active),
+        }
+    }
+
+    fn is_active(&self, v: usize) -> bool {
+        self.active.as_ref().is_none_or(|a| a[v])
+    }
+}
+
+impl SyncAlgorithm for RandGreedy {
+    type State = Option<TrialState>;
+    type Output = usize;
+
+    fn init(&self, init: &NodeInit<'_>) -> Option<TrialState> {
+        if self.is_active(init.node) {
+            Some(TrialState::Trying { proposal: None })
+        } else {
+            None
+        }
+    }
+
+    fn update(
+        &self,
+        _round: u32,
+        ctx: &mut SyncCtx<'_>,
+        state: &Option<TrialState>,
+        neighbors: &[Option<TrialState>],
+    ) -> SyncStep<Option<TrialState>, usize> {
+        let Some(st) = state else {
+            return SyncStep::Decide(None, INACTIVE);
+        };
+        match st {
+            TrialState::Colored(c) => SyncStep::Decide(Some(TrialState::Colored(*c)), *c),
+            TrialState::Trying { proposal } => {
+                // Resolve last round's proposal first (round 1 has none).
+                if let Some(mine) = proposal {
+                    let conflicted = neighbors.iter().flatten().any(|nb| match nb {
+                        TrialState::Trying {
+                            proposal: Some(theirs),
+                        } => theirs == mine,
+                        _ => false,
+                    });
+                    let taken = neighbors.iter().flatten().any(|nb| match nb {
+                        TrialState::Colored(c) => c == mine,
+                        _ => false,
+                    });
+                    if !conflicted && !taken {
+                        return SyncStep::Decide(Some(TrialState::Colored(*mine)), *mine);
+                    }
+                }
+                // Propose anew from the palette minus colored neighbors.
+                let used: std::collections::HashSet<usize> = neighbors
+                    .iter()
+                    .flatten()
+                    .filter_map(|nb| match nb {
+                        TrialState::Colored(c) => Some(*c),
+                        TrialState::Trying { .. } => None,
+                    })
+                    .collect();
+                let available: Vec<usize> =
+                    (0..self.palette).filter(|c| !used.contains(c)).collect();
+                assert!(
+                    !available.is_empty(),
+                    "palette {} exhausted: needs palette > degree",
+                    self.palette
+                );
+                let pick = available[ctx.rng().gen_range(0..available.len() as u64) as usize];
+                SyncStep::Continue(Some(TrialState::Trying {
+                    proposal: Some(pick),
+                }))
+            }
+        }
+    }
+}
+
+/// Randomized `(Δ+1)`-coloring (palette may be any value `> Δ`).
+///
+/// # Errors
+///
+/// Returns the engine's round-limit error if the algorithm failed to finish
+/// within `max_rounds` (probability `1/poly(n)` for
+/// `max_rounds = Ω(log n)`).
+///
+/// # Panics
+///
+/// Panics if `palette <= Δ(G)`.
+pub fn rand_greedy_color(
+    g: &Graph,
+    palette: usize,
+    seed: u64,
+    max_rounds: u32,
+) -> Result<ColoringOutcome, local_model::SimError> {
+    assert!(
+        palette > g.max_degree(),
+        "palette {palette} must exceed Δ = {}",
+        g.max_degree()
+    );
+    let algo = RandGreedy::new(palette);
+    let out = run_sync(g, Mode::randomized(seed), &algo, max_rounds)?;
+    Ok(ColoringOutcome {
+        labels: Labeling::new(out.outputs),
+        palette,
+        rounds: out.rounds,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use local_graphs::gen;
+    use local_lcl::problems::VertexColoring;
+    use local_lcl::LclProblem;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn colors_cycles() {
+        let g = gen::cycle(64);
+        let out = rand_greedy_color(&g, 3, 1, 200).unwrap();
+        assert!(VertexColoring::new(3).validate(&g, &out.labels).is_ok());
+    }
+
+    #[test]
+    fn colors_random_graphs_with_delta_plus_one() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for trial in 0..5 {
+            let g = gen::gnp(80, 0.08, &mut rng);
+            let palette = g.max_degree() + 1;
+            let out = rand_greedy_color(&g, palette, trial, 500).unwrap();
+            assert!(
+                VertexColoring::new(palette).validate(&g, &out.labels).is_ok(),
+                "trial {trial}"
+            );
+        }
+    }
+
+    #[test]
+    fn colors_complete_graph() {
+        let g = gen::complete(12);
+        let out = rand_greedy_color(&g, 12, 3, 2000).unwrap();
+        assert!(VertexColoring::new(12).validate(&g, &out.labels).is_ok());
+    }
+
+    #[test]
+    fn restricted_run_ignores_inactive() {
+        let g = gen::path(6);
+        // Only color the even vertices; they are pairwise non-adjacent so one
+        // color suffices.
+        let active: Vec<bool> = (0..6).map(|v| v % 2 == 0).collect();
+        let algo = RandGreedy::restricted(1, active.clone());
+        let out = run_sync(&g, Mode::randomized(4), &algo, 100).unwrap();
+        #[allow(clippy::needless_range_loop)]
+        for v in 0..6 {
+            if active[v] {
+                assert_eq!(out.outputs[v], 0);
+            } else {
+                assert_eq!(out.outputs[v], INACTIVE);
+            }
+        }
+    }
+
+    #[test]
+    fn rounds_are_logarithmic_not_linear() {
+        let g = gen::cycle(2048);
+        let out = rand_greedy_color(&g, 3, 9, 400).unwrap();
+        assert!(
+            out.rounds <= 60,
+            "O(log n) rounds expected, got {}",
+            out.rounds
+        );
+    }
+
+    #[test]
+    fn reproducible_given_seed() {
+        let g = gen::cycle(32);
+        let a = rand_greedy_color(&g, 3, 7, 200).unwrap();
+        let b = rand_greedy_color(&g, 3, 7, 200).unwrap();
+        assert_eq!(a.labels, b.labels);
+        assert_eq!(a.rounds, b.rounds);
+    }
+
+    #[test]
+    #[should_panic(expected = "must exceed")]
+    fn rejects_small_palette() {
+        let g = gen::complete(4);
+        let _ = rand_greedy_color(&g, 3, 0, 100);
+    }
+}

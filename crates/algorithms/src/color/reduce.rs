@@ -1,0 +1,172 @@
+//! Standard color reduction: trade rounds for palette, one class per round.
+//!
+//! Given a proper `k`-coloring and a target palette of size `t > Δ`, rounds
+//! `1, 2, …` retire color classes `k−1, k−2, …, t` in order: the vertices of
+//! the retiring class simultaneously pick a free color below `t` (they form
+//! an independent set, so no conflicts arise). Total: `k − t` rounds.
+
+use crate::color::ColoringOutcome;
+use crate::sync::{run_sync, SyncAlgorithm, SyncCtx, SyncStep};
+use local_graphs::Graph;
+use local_lcl::Labeling;
+use local_model::{Mode, NodeInit};
+
+/// The reduction as a [`SyncAlgorithm`]. States are current colors.
+#[derive(Debug, Clone)]
+pub struct ColorReduction {
+    from: usize,
+    to: usize,
+    initial: Vec<usize>,
+}
+
+impl ColorReduction {
+    /// Reduce the proper coloring `initial` (palette `0..from`) to palette
+    /// `0..to`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `to == 0` or `to > from`.
+    pub fn new(initial: Vec<usize>, from: usize, to: usize) -> Self {
+        assert!(to > 0, "target palette must be nonempty");
+        assert!(to <= from, "target {to} exceeds source {from}");
+        ColorReduction { from, to, initial }
+    }
+}
+
+impl SyncAlgorithm for ColorReduction {
+    type State = usize;
+    type Output = usize;
+
+    fn init(&self, init: &NodeInit<'_>) -> usize {
+        let c = self.initial[init.node];
+        assert!(c < self.from, "initial color {c} outside palette {}", self.from);
+        c
+    }
+
+    fn update(
+        &self,
+        round: u32,
+        _ctx: &mut SyncCtx<'_>,
+        state: &usize,
+        neighbors: &[usize],
+    ) -> SyncStep<usize, usize> {
+        // Round j retires class from−j.
+        let retiring = self.from - round as usize;
+        let mut next = *state;
+        if *state == retiring && *state >= self.to {
+            let used: std::collections::HashSet<usize> = neighbors.iter().copied().collect();
+            next = (0..self.to)
+                .find(|c| !used.contains(c))
+                .expect("degree < target palette guarantees a free color");
+        }
+        if next < self.to {
+            SyncStep::Decide(next, next)
+        } else {
+            SyncStep::Continue(next)
+        }
+    }
+}
+
+/// Reduce a proper coloring to `target` colors, one class per round.
+///
+/// # Panics
+///
+/// Panics if `target <= Δ(G)` (a free color could be missing), if
+/// `target > from`, or if `labels` is not a proper coloring (free-color
+/// search would fail).
+pub fn reduce_colors(
+    g: &Graph,
+    labels: &Labeling<usize>,
+    from: usize,
+    target: usize,
+) -> ColoringOutcome {
+    assert!(
+        target > g.max_degree(),
+        "target palette {target} must exceed Δ = {}",
+        g.max_degree()
+    );
+    let algo = ColorReduction::new(labels.as_slice().to_vec(), from, target);
+    let out = run_sync(
+        g,
+        Mode::deterministic(),
+        &algo,
+        (from - target) as u32 + 2,
+    )
+    .expect("reduction halts after from-target rounds");
+    ColoringOutcome {
+        labels: Labeling::new(out.outputs),
+        palette: target,
+        rounds: out.rounds,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::color::linial_then_reduce;
+    use local_graphs::gen;
+    use local_lcl::problems::VertexColoring;
+    use local_lcl::LclProblem;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn reduces_sequential_coloring_on_path() {
+        let g = gen::path(10);
+        let initial: Labeling<usize> = (0..10).collect();
+        let out = reduce_colors(&g, &initial, 10, 3);
+        assert_eq!(out.palette, 3);
+        assert!(VertexColoring::new(3).validate(&g, &out.labels).is_ok());
+        assert_eq!(out.rounds, 7); // 10 - 3
+    }
+
+    #[test]
+    fn reduce_to_delta_plus_one_on_complete() {
+        let g = gen::complete(5);
+        let initial: Labeling<usize> = (0..5).map(|v| v * 2).collect();
+        let out = reduce_colors(&g, &initial, 10, 5);
+        assert!(VertexColoring::new(5).validate(&g, &out.labels).is_ok());
+    }
+
+    #[test]
+    fn no_op_when_already_within_target() {
+        let g = gen::cycle(6);
+        let initial: Labeling<usize> = (0..6).map(|v| v % 3).collect();
+        let out = reduce_colors(&g, &initial, 3, 3);
+        assert_eq!(out.labels, initial);
+        assert!(out.rounds <= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "must exceed")]
+    fn rejects_target_at_most_delta() {
+        let g = gen::complete(4); // Δ = 3
+        let initial: Labeling<usize> = (0..4).collect();
+        let _ = reduce_colors(&g, &initial, 4, 3);
+    }
+
+    #[test]
+    fn pipeline_on_random_graphs() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for i in 0..5 {
+            let g = gen::gnp(50, 0.1, &mut rng);
+            let target = g.max_degree() + 1;
+            let out = linial_then_reduce(&g, target, i);
+            assert!(
+                VertexColoring::new(target).validate(&g, &out.labels).is_ok(),
+                "trial {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn pipeline_rounds_scale_with_delta_squared_not_n() {
+        // Δ+1 pipeline on cycles: rounds should be essentially flat in n.
+        let r1 = linial_then_reduce(&gen::cycle(64), 3, 0).rounds;
+        let r2 = linial_then_reduce(&gen::cycle(4096), 3, 0).rounds;
+        assert!(
+            r2 <= r1 + 3,
+            "rounds must grow log*-slowly in n: {r1} vs {r2}"
+        );
+    }
+}

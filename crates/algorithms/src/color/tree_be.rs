@@ -1,0 +1,472 @@
+//! Barenboim–Elkin `q`-coloring of forests (Theorem 9):
+//! `O(q·log_q n + log* n + q²)` rounds, independent of Δ.
+//!
+//! Pipeline (all phases are engine protocols; the orchestrator only threads
+//! outputs of one phase into inputs of the next and sums rounds):
+//!
+//! 1. **H-partition peel** — repeatedly remove vertices with residual degree
+//!    `≤ q−1`; a forest loses a `1 − 2/q` fraction of its vertices per round,
+//!    so `ℓ = O(log_q n)` layers suffice, and each vertex has at most `q−1`
+//!    neighbors in its own or later layers.
+//! 2. **Within-layer Linial** — the union of same-layer edges has maximum
+//!    degree `q−1`; Linial's algorithm colors it with `O(q²)` colors in
+//!    `O(log* n)` rounds.
+//! 3. **Within-layer reduction** — `O(q²) → q` colors, one class per round.
+//! 4. **Scheduled sweep** — vertex with (layer `i`, class `c`) picks a free
+//!    color from the `q`-palette at time `(ℓ−i)·q + c`: all constraining
+//!    neighbors (same or later layers, at most `q−1` of them) act strictly
+//!    earlier, so a free color always exists.
+//!
+//! The paper's Theorems 10 and 11 both use this algorithm as their Phase-2
+//! finisher on shattered components (with palette offsets into the reserved
+//! part of the Δ-palette).
+
+use crate::color::grouped::{GroupLinial, GroupReduce, NO_GROUP};
+use crate::color::linial::LinialSchedule;
+use crate::color::{ColoringOutcome, UNCOLORED};
+use crate::sync::{run_sync, SyncAlgorithm, SyncCtx, SyncStep};
+use local_graphs::Graph;
+use local_lcl::Labeling;
+use local_model::{Mode, NodeInit};
+
+// ---------------------------------------------------------------- phase 1
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct PeelState {
+    active: bool,
+    layer: Option<u32>,
+}
+
+struct PeelAlgo {
+    q: usize,
+    active: Vec<bool>,
+}
+
+impl SyncAlgorithm for PeelAlgo {
+    type State = PeelState;
+    type Output = u32;
+
+    fn init(&self, init: &NodeInit<'_>) -> PeelState {
+        PeelState {
+            active: self.active[init.node],
+            layer: None,
+        }
+    }
+
+    fn update(
+        &self,
+        round: u32,
+        _ctx: &mut SyncCtx<'_>,
+        state: &PeelState,
+        neighbors: &[PeelState],
+    ) -> SyncStep<PeelState, u32> {
+        if !state.active {
+            return SyncStep::Decide(state.clone(), u32::MAX);
+        }
+        debug_assert!(state.layer.is_none(), "decided vertices are not updated");
+        let residual = neighbors
+            .iter()
+            .filter(|nb| nb.active && nb.layer.is_none())
+            .count();
+        if residual < self.q {
+            let next = PeelState {
+                active: true,
+                layer: Some(round),
+            };
+            SyncStep::Decide(next, round)
+        } else {
+            SyncStep::Continue(state.clone())
+        }
+    }
+}
+
+// ---------------------------------------------------------------- phase 4
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct SweepState {
+    active: bool,
+    layer: u32,
+    class: u64,
+    color: Option<usize>,
+}
+
+struct SweepAlgo {
+    q: usize,
+    ell: u32,
+    layer_of: Vec<u32>,
+    class_of: Vec<u64>,
+    active: Vec<bool>,
+}
+
+impl SyncAlgorithm for SweepAlgo {
+    type State = SweepState;
+    type Output = usize;
+
+    fn init(&self, init: &NodeInit<'_>) -> SweepState {
+        SweepState {
+            active: self.active[init.node],
+            layer: self.layer_of[init.node],
+            class: self.class_of[init.node],
+            color: None,
+        }
+    }
+
+    fn update(
+        &self,
+        round: u32,
+        _ctx: &mut SyncCtx<'_>,
+        state: &SweepState,
+        neighbors: &[SweepState],
+    ) -> SyncStep<SweepState, usize> {
+        if !state.active {
+            return SyncStep::Decide(state.clone(), UNCOLORED);
+        }
+        let my_time = u64::from(self.ell - state.layer) * self.q as u64 + state.class + 1;
+        if u64::from(round) != my_time {
+            return SyncStep::Continue(state.clone());
+        }
+        let used: Vec<usize> = neighbors
+            .iter()
+            .filter(|nb| nb.active)
+            .filter_map(|nb| nb.color)
+            .collect();
+        let color = (0..self.q)
+            .find(|c| !used.contains(c))
+            .expect("at most q-1 constraining neighbors act before this vertex");
+        let next = SweepState {
+            color: Some(color),
+            ..state.clone()
+        };
+        SyncStep::Decide(next, color)
+    }
+}
+
+// ------------------------------------------------------------ orchestrator
+
+/// Per-phase round breakdown of a Theorem-9 run.
+///
+/// `peel_rounds` is the H-partition depth `ℓ = Θ(log_q n)` — the *only*
+/// n-dependent term of the paper's bound. `linial_rounds` is `O(log* n)`.
+/// `reduce_rounds` is our implementation's `O(q²)` additive constant
+/// (documented simplification: one color class per round instead of
+/// Barenboim–Elkin's pipelining) and `sweep_rounds ≤ ℓ·q`.
+#[derive(Debug, Clone)]
+pub struct BeOutcome {
+    /// The coloring and total rounds.
+    pub coloring: ColoringOutcome,
+    /// H-partition rounds (`ℓ`).
+    pub peel_rounds: u32,
+    /// Within-layer Linial rounds.
+    pub linial_rounds: u32,
+    /// Within-layer color-reduction rounds.
+    pub reduce_rounds: u32,
+    /// Scheduled-sweep rounds.
+    pub sweep_rounds: u32,
+}
+
+/// `q`-color the active subgraph of a forest with colors
+/// `palette_offset .. palette_offset + q`, in DetLOCAL, using `ids` as the
+/// initial locally-distinct colors (real IDs, or random IDs generated by a
+/// RandLOCAL caller, unique w.h.p.).
+///
+/// Inactive vertices receive [`UNCOLORED`]. The reported `palette` is
+/// `palette_offset + q` so the outcome validates directly against
+/// `VertexColoring::new(palette_offset + q)` once combined with other
+/// phases' colors.
+///
+/// # Panics
+///
+/// Panics if `q < 3`, if the active subgraph contains a cycle, if `ids` has
+/// the wrong length, or if the ids are not distinct among active vertices
+/// within distance 1 (detected by Linial's recolorer).
+pub fn be_forest_coloring(
+    g: &Graph,
+    q: usize,
+    ids: &[u64],
+    active: Option<&[bool]>,
+    palette_offset: usize,
+) -> ColoringOutcome {
+    be_forest_coloring_detailed(g, q, ids, active, palette_offset).coloring
+}
+
+/// [`be_forest_coloring`] with the per-phase round breakdown (used by the
+/// E1 experiment to isolate the `Θ(log_q n)` peel depth from the `O(q²)`
+/// additive constant of the simple reduction).
+///
+/// # Panics
+///
+/// Same conditions as [`be_forest_coloring`].
+pub fn be_forest_coloring_detailed(
+    g: &Graph,
+    q: usize,
+    ids: &[u64],
+    active: Option<&[bool]>,
+    palette_offset: usize,
+) -> BeOutcome {
+    assert!(q >= 3, "Theorem 9 requires q >= 3");
+    assert_eq!(ids.len(), g.n(), "one id per vertex");
+    let active: Vec<bool> = match active {
+        Some(a) => {
+            assert_eq!(a.len(), g.n(), "one active flag per vertex");
+            a.to_vec()
+        }
+        None => vec![true; g.n()],
+    };
+    // The active subgraph must be a forest: check via edge count per
+    // component (cheap union-find).
+    {
+        let mut parent: Vec<usize> = (0..g.n()).collect();
+        fn find(parent: &mut [usize], mut x: usize) -> usize {
+            while parent[x] != x {
+                parent[x] = parent[parent[x]];
+                x = parent[x];
+            }
+            x
+        }
+        for &(u, v) in g.edges() {
+            if active[u] && active[v] {
+                let (ru, rv) = (find(&mut parent, u), find(&mut parent, v));
+                assert!(ru != rv, "active subgraph contains a cycle through ({u},{v})");
+                parent[ru] = rv;
+            }
+        }
+    }
+    let mut total_rounds = 0u32;
+
+    // Phase 1: H-partition.
+    let peel = PeelAlgo {
+        q,
+        active: active.clone(),
+    };
+    let peel_out = run_sync(g, Mode::deterministic(), &peel, g.n() as u32 + 2)
+        .expect("every forest vertex eventually peels");
+    total_rounds += peel_out.rounds;
+    let layer_of: Vec<u32> = peel_out.outputs;
+    let ell = layer_of
+        .iter()
+        .filter(|&&l| l != u32::MAX)
+        .copied()
+        .max()
+        .unwrap_or(0);
+
+    // Phase 2: Linial on same-layer edges (max degree q−1 there).
+    let max_id = g
+        .vertices()
+        .filter(|&v| active[v])
+        .map(|v| ids[v])
+        .max()
+        .unwrap_or(0);
+    let schedule = LinialSchedule::new(max_id + 1, q - 1);
+    let c_colors = schedule.final_palette();
+    let group_of: Vec<u64> = g
+        .vertices()
+        .map(|v| {
+            if active[v] {
+                u64::from(layer_of[v])
+            } else {
+                NO_GROUP
+            }
+        })
+        .collect();
+    let linial = GroupLinial {
+        schedule,
+        colors: ids.to_vec(),
+        group_of: group_of.clone(),
+    };
+    let linial_out = run_sync(g, Mode::deterministic(), &linial, g.n() as u32 + 200)
+        .expect("Linial halts after its schedule");
+    total_rounds += linial_out.rounds;
+
+    // Phase 3: reduce within-layer colors to q.
+    let reduce = GroupReduce {
+        from: c_colors as usize,
+        to: q,
+        colors: linial_out.outputs.iter().map(|&c| c as usize).collect(),
+        group_of: group_of.clone(),
+    };
+    let reduce_out = run_sync(
+        g,
+        Mode::deterministic(),
+        &reduce,
+        c_colors as u32 + 2,
+    )
+    .expect("reduction halts");
+    total_rounds += reduce_out.rounds;
+
+    // Phase 4: scheduled sweep.
+    let sweep = SweepAlgo {
+        q,
+        ell,
+        layer_of: layer_of.iter().map(|&l| if l == u32::MAX { 0 } else { l }).collect(),
+        class_of: reduce_out.outputs,
+        active: active.clone(),
+    };
+    let budget = (u64::from(ell) + 1) * q as u64 + 4;
+    let sweep_out = run_sync(g, Mode::deterministic(), &sweep, budget as u32)
+        .expect("sweep halts after its schedule");
+    total_rounds += sweep_out.rounds;
+
+    let labels: Vec<usize> = sweep_out
+        .outputs
+        .into_iter()
+        .map(|c| {
+            if c == UNCOLORED {
+                UNCOLORED
+            } else {
+                c + palette_offset
+            }
+        })
+        .collect();
+    BeOutcome {
+        coloring: ColoringOutcome {
+            labels: Labeling::new(labels),
+            palette: palette_offset + q,
+            rounds: total_rounds,
+        },
+        peel_rounds: peel_out.rounds,
+        linial_rounds: linial_out.rounds,
+        reduce_rounds: reduce_out.rounds,
+        sweep_rounds: sweep_out.rounds,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use local_graphs::{analysis, gen};
+    use local_lcl::problems::VertexColoring;
+    use local_lcl::LclProblem;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn seq_ids(n: usize) -> Vec<u64> {
+        (0..n as u64).collect()
+    }
+
+    fn assert_proper_active(g: &Graph, labels: &Labeling<usize>, active: &[bool], palette: usize) {
+        for &(u, v) in g.edges() {
+            if active[u] && active[v] {
+                assert_ne!(labels.get(u), labels.get(v), "edge ({u},{v})");
+            }
+        }
+        for v in g.vertices() {
+            if active[v] {
+                assert!(*labels.get(v) < palette, "vertex {v} color in palette");
+            } else {
+                assert_eq!(*labels.get(v), UNCOLORED);
+            }
+        }
+    }
+
+    #[test]
+    fn three_colors_a_path() {
+        let g = gen::path(40);
+        let out = be_forest_coloring(&g, 3, &seq_ids(40), None, 0);
+        assert!(VertexColoring::new(3).validate(&g, &out.labels).is_ok());
+    }
+
+    #[test]
+    fn three_colors_random_trees() {
+        let mut rng = StdRng::seed_from_u64(8);
+        for trial in 0..4 {
+            let g = gen::random_tree(150 + trial * 37, &mut rng);
+            let out = be_forest_coloring(&g, 3, &seq_ids(g.n()), None, 0);
+            assert!(
+                VertexColoring::new(3).validate(&g, &out.labels).is_ok(),
+                "trial {trial}"
+            );
+        }
+    }
+
+    #[test]
+    fn q_colors_high_degree_tree_independent_of_delta() {
+        // A star has Δ = n−1 but q = 3 still works (Theorem 9 is independent
+        // of Δ).
+        let g = gen::star(64);
+        let out = be_forest_coloring(&g, 3, &seq_ids(64), None, 0);
+        assert!(VertexColoring::new(3).validate(&g, &out.labels).is_ok());
+    }
+
+    #[test]
+    fn larger_q_reduces_layer_count() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let g = gen::random_tree_max_degree(3000, 16, &mut rng);
+        let small_q = be_forest_coloring(&g, 3, &seq_ids(g.n()), None, 0);
+        let large_q = be_forest_coloring(&g, 16, &seq_ids(g.n()), None, 0);
+        assert!(VertexColoring::new(3).validate(&g, &small_q.labels).is_ok());
+        assert!(VertexColoring::new(16).validate(&g, &large_q.labels).is_ok());
+    }
+
+    #[test]
+    fn palette_offset_shifts_colors() {
+        let g = gen::path(20);
+        let out = be_forest_coloring(&g, 3, &seq_ids(20), None, 10);
+        assert_eq!(out.palette, 13);
+        for v in g.vertices() {
+            let c = *out.labels.get(v);
+            assert!((10..13).contains(&c), "color {c} in offset window");
+        }
+        assert!(VertexColoring::new(13).validate(&g, &out.labels).is_ok());
+    }
+
+    #[test]
+    fn restricted_to_active_forest_inside_cycle() {
+        // A cycle is not a forest, but removing one vertex leaves a path.
+        let g = gen::cycle(30);
+        let mut active = vec![true; 30];
+        active[0] = false;
+        let out = be_forest_coloring(&g, 3, &seq_ids(30), Some(&active), 0);
+        assert_proper_active(&g, &out.labels, &active, 3);
+    }
+
+    #[test]
+    fn works_on_forest_with_many_components() {
+        let mut rng = StdRng::seed_from_u64(5);
+        // Build a forest: several disjoint random trees.
+        let mut b = local_graphs::GraphBuilder::new(90);
+        let mut offset = 0;
+        for size in [20usize, 30, 40] {
+            let t = gen::random_tree(size, &mut rng);
+            for &(u, v) in t.edges() {
+                b.add_edge(u + offset, v + offset).unwrap();
+            }
+            offset += size;
+        }
+        let g = b.build();
+        assert!(analysis::is_forest(&g));
+        let out = be_forest_coloring(&g, 4, &seq_ids(90), None, 0);
+        assert!(VertexColoring::new(4).validate(&g, &out.labels).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "cycle")]
+    fn rejects_cyclic_active_subgraph() {
+        let g = gen::cycle(10);
+        let _ = be_forest_coloring(&g, 3, &seq_ids(10), None, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "q >= 3")]
+    fn rejects_q_two() {
+        let g = gen::path(4);
+        let _ = be_forest_coloring(&g, 2, &seq_ids(4), None, 0);
+    }
+
+    #[test]
+    fn rounds_scale_logarithmically_in_n() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let small = {
+            let g = gen::random_tree_max_degree(100, 8, &mut rng);
+            be_forest_coloring(&g, 8, &seq_ids(g.n()), None, 0).rounds
+        };
+        let large = {
+            let g = gen::random_tree_max_degree(10_000, 8, &mut rng);
+            be_forest_coloring(&g, 8, &seq_ids(g.n()), None, 0).rounds
+        };
+        // 100x more vertices: rounds grow like log_q n, far less than 100x.
+        assert!(
+            large <= small * 4,
+            "rounds must grow logarithmically: {small} -> {large}"
+        );
+    }
+}

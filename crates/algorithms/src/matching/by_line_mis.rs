@@ -1,0 +1,96 @@
+//! Deterministic maximal matching = MIS of the line graph.
+//!
+//! A maximal independent set of `L(G)` is exactly a maximal matching of `G`.
+//! We run the deterministic color-class MIS on `L(G)`; every `L(G)` round is
+//! simulated by 2 rounds of `G` (each edge is handled by its endpoints, which
+//! are adjacent), so the reported round count is `2×` the line-graph rounds.
+//! Total: `O(Δ² + log* n)` with `Δ(L(G)) ≤ 2Δ(G) − 2`.
+
+use crate::matching::MatchingOutcome;
+use crate::mis::by_color::det_mis;
+use local_graphs::analysis::line_graph;
+use local_graphs::Graph;
+use local_model::IdAssignment;
+
+/// Deterministic maximal matching via line-graph MIS.
+///
+/// `ids` seeds the line-graph coloring; edge `e` uses the ID at index `e`
+/// (edge identifiers are legitimate input: both endpoints know them).
+pub fn det_matching(g: &Graph, ids: &IdAssignment) -> MatchingOutcome {
+    if g.m() == 0 {
+        return MatchingOutcome {
+            matched_edges: Vec::new(),
+            rounds: 0,
+        };
+    }
+    let l = line_graph(g);
+    let mis = det_mis(&l, ids);
+    MatchingOutcome {
+        matched_edges: mis.in_set,
+        rounds: 2 * mis.rounds,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use local_graphs::gen;
+    use local_lcl::problems::MaximalMatching;
+    use local_lcl::LclProblem;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn assert_valid(g: &Graph, matched: &[bool]) {
+        let labels = MaximalMatching::labels_from_edges(g, matched);
+        MaximalMatching::new()
+            .validate(g, &labels)
+            .unwrap_or_else(|v| panic!("invalid matching: {v}"));
+    }
+
+    #[test]
+    fn valid_on_paths_and_cycles() {
+        for n in [2usize, 5, 16, 63] {
+            let g = gen::path(n);
+            let out = det_matching(&g, &IdAssignment::Sequential);
+            assert_valid(&g, &out.matched_edges);
+        }
+        for n in [3usize, 8, 41] {
+            let g = gen::cycle(n);
+            let out = det_matching(&g, &IdAssignment::Sequential);
+            assert_valid(&g, &out.matched_edges);
+        }
+    }
+
+    #[test]
+    fn valid_on_random_graphs() {
+        let mut rng = StdRng::seed_from_u64(30);
+        for trial in 0..4 {
+            let g = gen::gnp(40, 0.12, &mut rng);
+            let out = det_matching(&g, &IdAssignment::Shuffled { seed: trial });
+            assert_valid(&g, &out.matched_edges);
+        }
+    }
+
+    #[test]
+    fn valid_on_trees() {
+        let mut rng = StdRng::seed_from_u64(31);
+        let g = gen::random_tree_max_degree(200, 4, &mut rng);
+        let out = det_matching(&g, &IdAssignment::Sequential);
+        assert_valid(&g, &out.matched_edges);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = local_graphs::GraphBuilder::new(5).build();
+        let out = det_matching(&g, &IdAssignment::Sequential);
+        assert!(out.matched_edges.is_empty());
+        assert_eq!(out.rounds, 0);
+    }
+
+    #[test]
+    fn rounds_do_not_scale_with_n() {
+        let small = det_matching(&gen::cycle(32), &IdAssignment::Sequential).rounds;
+        let large = det_matching(&gen::cycle(1024), &IdAssignment::Sequential).rounds;
+        assert!(large <= small + 6, "{small} vs {large}");
+    }
+}

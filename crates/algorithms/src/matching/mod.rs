@@ -1,0 +1,26 @@
+//! Maximal matching algorithms.
+//!
+//! * [`israeli_itai`] — the randomized proposal algorithm (Israeli–Itai
+//!   style), `O(log n)` rounds w.h.p.
+//! * [`by_line_mis`] — the DetLOCAL baseline: maximal matching = MIS of the
+//!   line graph, solved with the deterministic color-class MIS; each
+//!   line-graph round is simulated by 2 rounds on the original graph.
+//! * [`by_edge_color`] — the faster DetLOCAL route: sweep the classes of a
+//!   distributed `(2Δ−1)`-edge-coloring, one matching per round.
+
+pub mod by_edge_color;
+pub mod by_line_mis;
+pub mod israeli_itai;
+
+pub use by_edge_color::matching_by_edge_color;
+pub use by_line_mis::det_matching;
+pub use israeli_itai::israeli_itai_matching;
+
+/// The outcome of a matching pipeline.
+#[derive(Debug, Clone)]
+pub struct MatchingOutcome {
+    /// Per-edge membership flags.
+    pub matched_edges: Vec<bool>,
+    /// Total LOCAL rounds (already including any simulation overhead).
+    pub rounds: u32,
+}

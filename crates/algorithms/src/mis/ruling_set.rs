@@ -1,0 +1,129 @@
+//! Ruling sets via power-graph simulation.
+//!
+//! A `(2, k+1)`-ruling set — vertices pairwise at distance > k, every vertex
+//! within distance k of the set — is exactly an MIS of the power graph
+//! `G^k`, and a `G^k` round is simulated by `k` rounds of `G` (the same
+//! device Theorems 5/6/8 use for ID shortening). The paper's survey cites
+//! the ruling-set line of work (Bisht–Kothapalli–Pemmaraju,
+//! Kothapalli–Pemmaraju) as part of the shattering-era landscape.
+
+use crate::mis::luby::luby_mis;
+use crate::mis::MisOutcome;
+use local_graphs::{analysis, Graph};
+use local_model::SimError;
+
+/// Compute a `(2, k+1)`-ruling set: an MIS of `G^k`, with the `×k`
+/// simulation overhead included in the reported rounds.
+///
+/// # Errors
+///
+/// Propagates the engine's round-limit error from the underlying Luby run.
+///
+/// # Panics
+///
+/// Panics if `k == 0` (use plain [`luby_mis`] for `k = 1`… `k = 1` is
+/// allowed and equivalent to it).
+pub fn ruling_set(g: &Graph, k: usize, seed: u64, max_rounds: u32) -> Result<MisOutcome, SimError> {
+    assert!(k >= 1, "ruling distance must be at least 1");
+    if k == 1 {
+        return luby_mis(g, seed, max_rounds);
+    }
+    let gk = analysis::power_graph(g, k);
+    let out = luby_mis(&gk, seed, max_rounds)?;
+    Ok(MisOutcome {
+        in_set: out.in_set,
+        rounds: out.rounds * k as u32,
+    })
+}
+
+/// Centralized validator: `in_set` is a `(2, k+1)`-ruling set of `g` —
+/// members pairwise at distance > k, every vertex within distance k of a
+/// member.
+pub fn is_ruling_set(g: &Graph, in_set: &[bool], k: usize) -> bool {
+    assert_eq!(in_set.len(), g.n(), "one flag per vertex");
+    for v in g.vertices() {
+        let dist = analysis::bfs_distances(g, v);
+        if in_set[v] {
+            // No other member within distance k.
+            if g
+                .vertices()
+                .any(|u| u != v && in_set[u] && dist[u] <= k)
+            {
+                return false;
+            }
+        } else {
+            // Some member within distance k (when any vertex is reachable…
+            // isolated non-members must be members themselves, caught here).
+            if !g.vertices().any(|u| in_set[u] && dist[u] <= k) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use local_graphs::gen;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ruling_sets_on_cycles() {
+        for k in [1usize, 2, 3] {
+            let g = gen::cycle(30);
+            let out = ruling_set(&g, k, 1, 10_000).unwrap();
+            assert!(is_ruling_set(&g, &out.in_set, k), "k = {k}");
+        }
+    }
+
+    #[test]
+    fn ruling_sets_on_random_graphs() {
+        let mut rng = StdRng::seed_from_u64(80);
+        for trial in 0..3 {
+            let g = gen::gnp(50, 0.08, &mut rng);
+            let out = ruling_set(&g, 2, trial, 10_000).unwrap();
+            assert!(is_ruling_set(&g, &out.in_set, 2), "trial {trial}");
+        }
+    }
+
+    #[test]
+    fn larger_k_gives_sparser_sets() {
+        let g = gen::cycle(60);
+        let s1 = ruling_set(&g, 1, 5, 10_000).unwrap();
+        let s3 = ruling_set(&g, 3, 5, 10_000).unwrap();
+        let c1 = s1.in_set.iter().filter(|&&b| b).count();
+        let c3 = s3.in_set.iter().filter(|&&b| b).count();
+        assert!(c3 < c1, "distance-3 set {c3} must be sparser than MIS {c1}");
+    }
+
+    #[test]
+    fn rounds_include_simulation_factor() {
+        let g = gen::cycle(64);
+        let out = ruling_set(&g, 3, 2, 10_000).unwrap();
+        assert_eq!(out.rounds % 3, 0, "G^3 rounds are simulated 3-for-1");
+    }
+
+    #[test]
+    fn validator_rejects_bad_sets() {
+        let g = gen::path(5);
+        // Adjacent members violate independence at k = 1.
+        assert!(!is_ruling_set(&g, &[true, true, false, false, true], 1));
+        // Empty set violates domination.
+        assert!(!is_ruling_set(&g, &[false; 5], 1));
+        // {0, 2, 4} is a valid 1-ruling set (an MIS).
+        assert!(is_ruling_set(&g, &[true, false, true, false, true], 1));
+        // {0, 4} is not 1-dominating (vertex 2) but is 2-dominating — and
+        // at k = 2, members 0 and 4 are at distance 4 > 2: valid.
+        assert!(!is_ruling_set(&g, &[true, false, false, false, true], 1));
+        assert!(is_ruling_set(&g, &[true, false, false, false, true], 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn rejects_k_zero() {
+        let g = gen::path(3);
+        let _ = ruling_set(&g, 0, 0, 100);
+    }
+}

@@ -1,0 +1,19 @@
+//! Sinkless orientation: the problem at the root of the paper's lower bounds.
+//!
+//! * [`zero_round`] — the exact analysis of 0-round strategies (Theorem 4's
+//!   base case: any 0-round Δ-sinkless coloring fails on some edge with
+//!   probability ≥ 1/Δ²).
+//! * [`sinkless`] — a randomized repair algorithm with a tunable round
+//!   budget, used by the truncation experiment (E5) to measure how the
+//!   failure probability decays with the number of rounds.
+//! * [`reductions`] — the constructive one-round reductions between
+//!   sinkless coloring and sinkless orientation (Lemmas 1–2 of Brandt et
+//!   al., the currency of the paper's round-elimination argument).
+
+pub mod reductions;
+pub mod sinkless;
+pub mod zero_round;
+
+pub use reductions::{coloring_from_orientation, orientation_from_coloring};
+pub use sinkless::{sinkless_orientation, SinklessOutcome};
+pub use zero_round::{best_zero_round_failure, zero_round_sinkless_coloring};

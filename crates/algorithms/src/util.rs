@@ -1,0 +1,82 @@
+//! Shared numeric helpers for round-complexity bookkeeping.
+
+/// The iterated logarithm `log* n`: how many times `log₂` must be applied to
+/// `n` before the result is ≤ 1.
+///
+/// ```
+/// use local_algorithms::util::log_star;
+/// assert_eq!(log_star(1.0), 0);
+/// assert_eq!(log_star(2.0), 1);
+/// assert_eq!(log_star(4.0), 2);
+/// assert_eq!(log_star(16.0), 3);
+/// assert_eq!(log_star(65536.0), 4);
+/// ```
+pub fn log_star(mut x: f64) -> u32 {
+    let mut k = 0;
+    while x > 1.0 {
+        x = x.log2();
+        k += 1;
+    }
+    k
+}
+
+/// `⌈log₂ x⌉` for integer `x ≥ 1`.
+///
+/// # Panics
+///
+/// Panics if `x == 0`.
+pub fn ceil_log2(x: u64) -> u32 {
+    assert!(x >= 1, "ceil_log2 of 0");
+    if x == 1 {
+        0
+    } else {
+        64 - (x - 1).leading_zeros()
+    }
+}
+
+/// `log_b(x)` for experiment tables.
+pub fn log_base(x: f64, b: f64) -> f64 {
+    x.ln() / b.ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log_star_values() {
+        assert_eq!(log_star(0.5), 0);
+        assert_eq!(log_star(1.0), 0);
+        assert_eq!(log_star(2.0), 1);
+        assert_eq!(log_star(3.0), 2);
+        assert_eq!(log_star(4.0), 2);
+        assert_eq!(log_star(5.0), 3);
+        assert_eq!(log_star(16.0), 3);
+        assert_eq!(log_star(17.0), 4);
+        assert_eq!(log_star(65536.0), 4);
+        assert_eq!(log_star(65537.0), 5);
+    }
+
+    #[test]
+    fn ceil_log2_values() {
+        assert_eq!(ceil_log2(1), 0);
+        assert_eq!(ceil_log2(2), 1);
+        assert_eq!(ceil_log2(3), 2);
+        assert_eq!(ceil_log2(4), 2);
+        assert_eq!(ceil_log2(5), 3);
+        assert_eq!(ceil_log2(1 << 20), 20);
+        assert_eq!(ceil_log2((1 << 20) + 1), 21);
+    }
+
+    #[test]
+    #[should_panic(expected = "ceil_log2 of 0")]
+    fn ceil_log2_zero_panics() {
+        let _ = ceil_log2(0);
+    }
+
+    #[test]
+    fn log_base_values() {
+        assert!((log_base(8.0, 2.0) - 3.0).abs() < 1e-12);
+        assert!((log_base(81.0, 3.0) - 4.0).abs() < 1e-12);
+    }
+}

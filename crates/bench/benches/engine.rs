@@ -1,0 +1,59 @@
+//! Wall-clock benchmarks of the round engine itself: message throughput on
+//! a broadcast-heavy protocol, sequential vs rayon-parallel regimes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use local_graphs::gen;
+use local_model::{Action, Engine, Mode, NodeInit, NodeIo, NodeProgram, Protocol};
+
+/// Floods for a fixed number of rounds, then halts — pure engine overhead.
+struct Flood {
+    horizon: u32,
+    value: u64,
+}
+impl NodeProgram for Flood {
+    type Msg = u64;
+    type Output = u64;
+    fn step(&mut self, round: u32, io: &mut NodeIo<'_, u64>) -> Action<u64> {
+        for (_, &m) in io.received() {
+            self.value = self.value.max(m);
+        }
+        if round >= self.horizon {
+            Action::Halt(self.value)
+        } else {
+            io.broadcast(self.value);
+            Action::Continue
+        }
+    }
+}
+struct FloodProtocol {
+    horizon: u32,
+}
+impl Protocol for FloodProtocol {
+    type Node = Flood;
+    fn create(&self, init: &NodeInit<'_>) -> Flood {
+        Flood {
+            horizon: self.horizon,
+            value: init.id.unwrap_or(0),
+        }
+    }
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_flood_20_rounds");
+    group.sample_size(10);
+    // 1k is below the rayon threshold, 16k above — both regimes measured.
+    for &n in &[1usize << 10, 1 << 14] {
+        let g = gen::cycle(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
+            b.iter(|| {
+                Engine::new(g, Mode::deterministic())
+                    .run(&FloodProtocol { horizon: 20 })
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Wall-clock benchmarks of Linial's algorithm (E8 workload) and the
+//! cover-free recoloring primitive.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use local_algorithms::color::{linial_color, PolyFamily};
+use local_graphs::gen;
+use local_model::IdAssignment;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_linial(c: &mut Criterion) {
+    let mut group = c.benchmark_group("linial");
+    group.sample_size(10);
+    for &n in &[1usize << 10, 1 << 14] {
+        let mut rng = StdRng::seed_from_u64(2);
+        let g = gen::random_tree_max_degree(n, 8, &mut rng);
+        group.bench_with_input(BenchmarkId::new("o_log_star_coloring", n), &g, |b, g| {
+            b.iter(|| linial_color(g, &IdAssignment::Sequential))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("cover_free_recolor");
+    let fam = PolyFamily::new(1 << 40, 16);
+    let neighbors: Vec<u64> = (0..16).map(|i| i * 1_234_567 + 1).collect();
+    group.bench_function("single_recolor_2pow40_delta16", |b| {
+        b.iter(|| fam.recolor(987_654_321, &neighbors))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_linial);
+criterion_main!(benches);

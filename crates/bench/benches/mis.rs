@@ -1,0 +1,31 @@
+//! Wall-clock benchmarks of the E9 MIS workload.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use local_algorithms::mis::ghaffari::GhaffariConfig;
+use local_algorithms::mis::{det_mis, ghaffari_mis, luby_mis};
+use local_graphs::gen;
+use local_model::IdAssignment;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_mis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mis");
+    group.sample_size(10);
+    for &n in &[1usize << 10, 1 << 12] {
+        let mut rng = StdRng::seed_from_u64(3);
+        let g = gen::random_regular(n, 4, &mut rng).unwrap();
+        group.bench_with_input(BenchmarkId::new("luby", n), &g, |b, g| {
+            b.iter(|| luby_mis(g, 5, 10_000).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("det_by_color", n), &g, |b, g| {
+            b.iter(|| det_mis(g, &IdAssignment::Sequential))
+        });
+        group.bench_with_input(BenchmarkId::new("ghaffari_shattering", n), &g, |b, g| {
+            b.iter(|| ghaffari_mis(g, 5, GhaffariConfig::default()).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mis);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Wall-clock benchmarks of the E1 workload: deterministic (Theorem 9) vs
+//! randomized (Theorems 10/11) tree Δ-coloring in the simulator.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use local_algorithms::color::be_forest_coloring;
+use local_algorithms::tree::{theorem10_color, theorem11_color, Theorem10Config};
+use local_graphs::gen;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_tree_coloring(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tree_delta_coloring");
+    group.sample_size(10);
+    for &n in &[1usize << 10, 1 << 12] {
+        let mut rng = StdRng::seed_from_u64(1);
+        let g = gen::random_tree_max_degree(n, 16, &mut rng);
+        let ids: Vec<u64> = (0..n as u64).collect();
+        group.bench_with_input(BenchmarkId::new("theorem9_det", n), &g, |b, g| {
+            b.iter(|| be_forest_coloring(g, 16, &ids, None, 0))
+        });
+        group.bench_with_input(BenchmarkId::new("theorem10_rand", n), &g, |b, g| {
+            b.iter(|| theorem10_color(g, 16, 7, Theorem10Config::default()).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("theorem11_rand", n), &g, |b, g| {
+            b.iter(|| theorem11_color(g, 16, 7).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_tree_coloring);
+criterion_main!(benches);

@@ -1,0 +1,18 @@
+//! E10: the indistinguishability principle, counted.
+
+use local_bench::{banner, full_mode};
+use local_separation::experiments::e10_indistinguishability as e10;
+
+fn main() {
+    banner(
+        "E10",
+        "below half the girth, a Δ-regular graph has ONE radius-t view = the tree's",
+    );
+    let cfg = if full_mode() {
+        e10::Config::full()
+    } else {
+        e10::Config::quick()
+    };
+    let (rows, girth) = e10::run(&cfg);
+    println!("{}", e10::table(&rows, cfg.delta, girth));
+}

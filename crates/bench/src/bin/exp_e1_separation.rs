@@ -1,0 +1,31 @@
+//! E1: the exponential separation — deterministic vs randomized tree
+//! Δ-coloring rounds.
+
+use local_bench::{banner, full_mode};
+use local_separation::experiments::e1_separation as e1;
+
+fn main() {
+    banner(
+        "E1",
+        "tree Δ-coloring: Det Θ(log_Δ n) vs Rand O(log_Δ log n + log* n)",
+    );
+    let cfg = if full_mode() {
+        e1::Config::full()
+    } else {
+        e1::Config::quick()
+    };
+    let out = e1::run(&cfg);
+    println!("{}", e1::table(&out));
+    for (delta, model) in &out.det_fit {
+        println!(
+            "Δ = {delta}: deterministic peel depth ℓ best fit: {}",
+            model.name()
+        );
+    }
+    for (delta, model) in &out.rand_fit {
+        println!(
+            "Δ = {delta}: randomized total rounds best fit:    {}",
+            model.name()
+        );
+    }
+}

@@ -1,0 +1,15 @@
+//! E2: Theorem 10 shattering — bad-component sizes vs the Δ⁴·log n bound.
+
+use local_bench::{banner, full_mode};
+use local_separation::experiments::e2_shattering as e2;
+
+fn main() {
+    banner("E2", "bad components after Phase 1 are O(Δ⁴ log n)");
+    let cfg = if full_mode() {
+        e2::Config::full()
+    } else {
+        e2::Config::quick()
+    };
+    let rows = e2::run(&cfg);
+    println!("{}", e2::table(&rows, cfg.delta));
+}

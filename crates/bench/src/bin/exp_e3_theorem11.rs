@@ -1,0 +1,15 @@
+//! E3: Theorem 11 — per-phase rounds and the shattered set for constant Δ.
+
+use local_bench::{banner, full_mode};
+use local_separation::experiments::e3_theorem11 as e3;
+
+fn main() {
+    banner("E3", "Theorem 11 profile: setup/phase rounds and S components");
+    let cfg = if full_mode() {
+        e3::Config::full()
+    } else {
+        e3::Config::quick()
+    };
+    let rows = e3::run(&cfg);
+    println!("{}", e3::table(&rows, cfg.delta));
+}

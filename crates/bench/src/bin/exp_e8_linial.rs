@@ -1,0 +1,16 @@
+//! E8: Linial's coloring — Theorem 1 shrink and Theorem 2 convergence.
+
+use local_bench::{banner, full_mode};
+use local_separation::experiments::e8_linial as e8;
+
+fn main() {
+    banner("E8", "one-round palette shrink and O(log* n) convergence to β·Δ²");
+    let cfg = if full_mode() {
+        e8::Config::full()
+    } else {
+        e8::Config::quick()
+    };
+    let (shrink, conv) = e8::run(&cfg);
+    println!("{}", e8::shrink_table(&shrink));
+    println!("{}", e8::convergence_table(&conv));
+}

@@ -1,0 +1,17 @@
+//! E9: the MIS landscape — Luby vs deterministic vs shattering.
+
+use local_bench::{banner, full_mode};
+use local_separation::experiments::e9_mis as e9;
+
+fn main() {
+    banner("E9", "MIS: Luby Θ(log n) vs Det O(Δ²+log* n) vs Ghaffari shattering");
+    let cfg = if full_mode() {
+        e9::Config::full()
+    } else {
+        e9::Config::quick()
+    };
+    let out = e9::run(&cfg);
+    println!("{}", e9::table(&out, cfg.delta));
+    println!("Luby best fit: {}", out.luby_fit.name());
+    println!("Det best fit:  {}", out.det_fit.name());
+}

@@ -1,0 +1,26 @@
+//! Shared scaffolding for the experiment binaries.
+//!
+//! Every binary accepts `--full` to run the EXPERIMENTS.md-scale sweep;
+//! without it, a laptop-seconds quick sweep runs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Whether `--full` was passed on the command line.
+pub fn full_mode() -> bool {
+    std::env::args().any(|a| a == "--full")
+}
+
+/// Print the standard experiment banner.
+pub fn banner(id: &str, claim: &str) {
+    println!("=== {id} — {claim} ===");
+    println!(
+        "mode: {}",
+        if full_mode() {
+            "full"
+        } else {
+            "quick (pass --full for the EXPERIMENTS.md sweep)"
+        }
+    );
+    println!();
+}

@@ -1,0 +1,131 @@
+//! E2 — the shattering lemma of Theorem 10's analysis.
+//!
+//! After Phase 1 (ColorBidding + Filtering), the paper proves that w.h.p.
+//! every connected component of *bad* vertices has size ≤ Δ⁴·log n. We run
+//! Phase 1 alone over an `n` sweep on complete (Δ−1)-ary trees — the
+//! all-internal-degrees-equal-Δ family where filtering actually fires —
+//! and record the measured component profile next to the bound.
+
+use crate::report::Table;
+use crate::shatter::shatter_profile;
+use local_algorithms::tree::theorem10::theorem10_phase1;
+use local_algorithms::tree::Theorem10Config;
+use local_graphs::gen;
+use serde::{Deserialize, Serialize};
+
+/// Sweep configuration.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Maximum degree Δ.
+    pub delta: usize,
+    /// Tree sizes.
+    pub ns: Vec<usize>,
+    /// Seeds per point (the max over seeds is reported — shattering is a
+    /// w.h.p. statement).
+    pub seeds: u64,
+}
+
+impl Config {
+    /// A laptop-seconds configuration.
+    pub fn quick() -> Self {
+        Config {
+            delta: 16,
+            ns: vec![1 << 10, 1 << 12, 1 << 14],
+            seeds: 3,
+        }
+    }
+
+    /// The full sweep EXPERIMENTS.md records.
+    pub fn full() -> Self {
+        Config {
+            delta: 16,
+            ns: vec![1 << 10, 1 << 12, 1 << 14, 1 << 16, 1 << 18],
+            seeds: 5,
+        }
+    }
+}
+
+/// One measured point.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Row {
+    /// Tree size.
+    pub n: usize,
+    /// Bad vertices after Phase 1 (max over seeds).
+    pub bad_max: usize,
+    /// Largest bad component (max over seeds).
+    pub largest_component: usize,
+    /// The analysis bound `Δ⁴·log₂ n`.
+    pub bound: f64,
+    /// Whether every seed stayed within the bound.
+    pub within_bound: bool,
+}
+
+/// Run the sweep.
+pub fn run(cfg: &Config) -> Vec<Row> {
+    let mut rows = Vec::new();
+    for &n in &cfg.ns {
+        let mut bad_max = 0usize;
+        let mut largest = 0usize;
+        // The hard family (matching E1): complete (Δ−1)-ary trees, whose
+        // internal vertices all have degree exactly Δ.
+        let g = gen::complete_dary_tree(n, cfg.delta);
+        for seed in 0..cfg.seeds {
+            let (status, _rounds) =
+                theorem10_phase1(&g, cfg.delta, seed, Theorem10Config::default())
+                    .expect("phase 1 has a fixed schedule");
+            let bad: Vec<bool> = status.iter().map(Option::is_none).collect();
+            let profile = shatter_profile(&g, &bad);
+            bad_max = bad_max.max(profile.undecided);
+            largest = largest.max(profile.largest());
+        }
+        let bound = (cfg.delta as f64).powi(4) * (g.n() as f64).log2();
+        rows.push(Row {
+            n: g.n(),
+            bad_max,
+            largest_component: largest,
+            bound,
+            within_bound: (largest as f64) <= bound,
+        });
+    }
+    rows
+}
+
+/// Render the EXPERIMENTS.md table.
+pub fn table(rows: &[Row], delta: usize) -> Table {
+    let mut t = Table::new(
+        format!("E2: Theorem 10 shattering (Δ = {delta}) — bad components vs the Δ⁴·log n bound"),
+        &["n", "bad vertices", "largest comp", "Δ⁴·log₂ n", "within"],
+    );
+    for r in rows {
+        t.push(vec![
+            r.n.to_string(),
+            r.bad_max.to_string(),
+            r.largest_component.to_string(),
+            format!("{:.0}", r.bound),
+            r.within_bound.to_string(),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn components_stay_within_bound() {
+        let cfg = Config {
+            delta: 16,
+            ns: vec![512, 2048],
+            seeds: 2,
+        };
+        let rows = run(&cfg);
+        assert_eq!(rows.len(), 2);
+        for r in &rows {
+            assert!(r.within_bound, "n = {}: {} > {}", r.n, r.largest_component, r.bound);
+            // Empirically components are far below the bound.
+            assert!(r.largest_component <= 100);
+        }
+        assert_eq!(table(&rows, 16).len(), 2);
+    }
+}

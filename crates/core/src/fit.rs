@@ -1,0 +1,207 @@
+//! Classifying measured round complexities.
+//!
+//! The paper's claims are about *growth rates* — `Θ(log_Δ n)` vs
+//! `Θ(log_Δ log n)` vs `Θ(log* n)`. Given measured `(n, rounds)` pairs, we
+//! fit each candidate model `rounds ≈ a·f(n) + b` by least squares and rank
+//! models by residual error, so experiment tables can answer "which growth
+//! law does this series follow?" mechanically.
+
+use serde::{Deserialize, Serialize};
+
+/// The candidate growth models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum GrowthModel {
+    /// `f(n) = 1`.
+    Constant,
+    /// `f(n) = log* n`.
+    LogStar,
+    /// `f(n) = log log n`.
+    LogLog,
+    /// `f(n) = log n`.
+    Log,
+    /// `f(n) = sqrt(n)`.
+    Sqrt,
+    /// `f(n) = n`.
+    Linear,
+}
+
+impl GrowthModel {
+    /// All models, in increasing order of growth.
+    pub const ALL: [GrowthModel; 6] = [
+        GrowthModel::Constant,
+        GrowthModel::LogStar,
+        GrowthModel::LogLog,
+        GrowthModel::Log,
+        GrowthModel::Sqrt,
+        GrowthModel::Linear,
+    ];
+
+    /// Evaluate the model's base function at `n`.
+    pub fn eval(&self, n: f64) -> f64 {
+        match self {
+            GrowthModel::Constant => 1.0,
+            GrowthModel::LogStar => f64::from(local_algorithms::util::log_star(n)),
+            GrowthModel::LogLog => n.max(4.0).ln().ln(),
+            GrowthModel::Log => n.max(2.0).ln(),
+            GrowthModel::Sqrt => n.sqrt(),
+            GrowthModel::Linear => n,
+        }
+    }
+
+    /// Short display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            GrowthModel::Constant => "O(1)",
+            GrowthModel::LogStar => "log* n",
+            GrowthModel::LogLog => "log log n",
+            GrowthModel::Log => "log n",
+            GrowthModel::Sqrt => "sqrt n",
+            GrowthModel::Linear => "n",
+        }
+    }
+}
+
+/// A fitted model with its parameters and error.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct Fit {
+    /// The model.
+    pub model: GrowthModel,
+    /// Scale `a` in `rounds ≈ a·f(n) + b`.
+    pub scale: f64,
+    /// Intercept `b`.
+    pub intercept: f64,
+    /// Root-mean-square error of the fit.
+    pub rmse: f64,
+}
+
+/// Least-squares fit of `rounds ≈ a·f(n) + b` for one model.
+///
+/// # Panics
+///
+/// Panics if fewer than 2 samples are given.
+pub fn fit_model(samples: &[(f64, f64)], model: GrowthModel) -> Fit {
+    assert!(samples.len() >= 2, "need at least two samples to fit");
+    let k = samples.len() as f64;
+    let xs: Vec<f64> = samples.iter().map(|&(n, _)| model.eval(n)).collect();
+    let ys: Vec<f64> = samples.iter().map(|&(_, r)| r).collect();
+    let sx: f64 = xs.iter().sum();
+    let sy: f64 = ys.iter().sum();
+    let sxx: f64 = xs.iter().map(|x| x * x).sum();
+    let sxy: f64 = xs.iter().zip(&ys).map(|(x, y)| x * y).sum();
+    let denom = k * sxx - sx * sx;
+    let (a, b) = if denom.abs() < 1e-12 {
+        (0.0, sy / k) // constant predictor (e.g. the Constant model)
+    } else {
+        let a = (k * sxy - sx * sy) / denom;
+        (a, (sy - a * sx) / k)
+    };
+    let mse: f64 = xs
+        .iter()
+        .zip(&ys)
+        .map(|(x, y)| {
+            let e = y - (a * x + b);
+            e * e
+        })
+        .sum::<f64>()
+        / k;
+    Fit {
+        model,
+        scale: a,
+        intercept: b,
+        rmse: mse.sqrt(),
+    }
+}
+
+/// Fit every model and return them sorted by ascending error.
+///
+/// Models whose fitted scale is negative (the data *shrinks* in the model's
+/// direction) are penalized to the back of the ranking: a growth law with a
+/// negative coefficient is not an explanation.
+pub fn rank_models(samples: &[(f64, f64)]) -> Vec<Fit> {
+    let mut fits: Vec<Fit> = GrowthModel::ALL
+        .iter()
+        .map(|&m| fit_model(samples, m))
+        .collect();
+    fits.sort_by(|x, y| {
+        let px = x.rmse + if x.scale < -1e-9 { 1e9 } else { 0.0 };
+        let py = y.rmse + if y.scale < -1e-9 { 1e9 } else { 0.0 };
+        px.partial_cmp(&py).expect("finite errors")
+    });
+    fits
+}
+
+/// The best-fitting model.
+///
+/// # Panics
+///
+/// Panics if fewer than 2 samples are given.
+pub fn best_model(samples: &[(f64, f64)]) -> Fit {
+    rank_models(samples)[0]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series(f: impl Fn(f64) -> f64) -> Vec<(f64, f64)> {
+        [64.0, 256.0, 1024.0, 4096.0, 16384.0, 65536.0, 262144.0]
+            .iter()
+            .map(|&n| (n, f(n)))
+            .collect()
+    }
+
+    #[test]
+    fn recovers_log() {
+        let s = series(|n| 3.0 * n.ln() + 2.0);
+        let best = best_model(&s);
+        assert_eq!(best.model, GrowthModel::Log);
+        assert!((best.scale - 3.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn recovers_loglog() {
+        let s = series(|n| 5.0 * n.ln().ln() + 1.0);
+        assert_eq!(best_model(&s).model, GrowthModel::LogLog);
+    }
+
+    #[test]
+    fn recovers_linear() {
+        let s = series(|n| 0.5 * n);
+        assert_eq!(best_model(&s).model, GrowthModel::Linear);
+    }
+
+    #[test]
+    fn recovers_constant() {
+        let s = series(|_| 7.0);
+        let best = best_model(&s);
+        assert!(best.rmse < 1e-9);
+        assert!(matches!(
+            best.model,
+            GrowthModel::Constant | GrowthModel::LogStar
+        ));
+    }
+
+    #[test]
+    fn negative_scales_are_penalized() {
+        // Decreasing data should not be "explained" by a growth law.
+        let s = series(|n| 100.0 - n.ln());
+        let best = best_model(&s);
+        assert!(best.scale >= -1e-9 || best.model == GrowthModel::Constant);
+    }
+
+    #[test]
+    fn log_beats_loglog_on_log_data() {
+        let s = series(|n| 2.0 * n.ln());
+        let ranked = rank_models(&s);
+        let pos_log = ranked.iter().position(|f| f.model == GrowthModel::Log);
+        let pos_ll = ranked.iter().position(|f| f.model == GrowthModel::LogLog);
+        assert!(pos_log < pos_ll);
+    }
+
+    #[test]
+    #[should_panic(expected = "two samples")]
+    fn rejects_tiny_input() {
+        let _ = fit_model(&[(1.0, 1.0)], GrowthModel::Log);
+    }
+}

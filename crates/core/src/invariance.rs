@@ -1,0 +1,169 @@
+//! Order invariance (Naor–Stockmeyer).
+//!
+//! The paper's Corollary 1 extends the Naor–Stockmeyer result that `O(1)`-
+//! round (and by the corollary, `2^O(log* n)`-round) RandLOCAL algorithms
+//! derandomize freely. The engine of the original proof is **order
+//! invariance**: by Ramsey's theorem, constant-time algorithms may be
+//! assumed to depend only on the *relative order* of the IDs in a view, not
+//! their values.
+//!
+//! This module provides the executable face of that concept: a randomized
+//! checker that runs a DetLOCAL algorithm under random *order-preserving*
+//! ID remappings and reports whether the outputs ever change. Algorithms
+//! that only compare IDs (greedy-by-ID, priority MIS) pass; algorithms that
+//! read ID *bits* (Linial's recoloring) fail — which is precisely why
+//! Linial-style algorithms beat the `Ω(Δ/log Δ)`-color Ramsey barrier that
+//! order-invariant algorithms face.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A random strictly increasing remapping of the given IDs into a larger
+/// space: equal relative order, fresh values.
+///
+/// # Panics
+///
+/// Panics if `ids` contains duplicates (IDs must be unique) or if the
+/// stretched space `(max gap) × stretch` overflows `u64` (keep
+/// `stretch ≤ 2^16`).
+pub fn order_preserving_remap(ids: &[u64], stretch: u64, seed: u64) -> Vec<u64> {
+    let mut sorted: Vec<(u64, usize)> = ids.iter().copied().zip(0..).collect();
+    sorted.sort_unstable();
+    for w in sorted.windows(2) {
+        assert_ne!(w[0].0, w[1].0, "IDs must be distinct");
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut remapped = vec![0u64; ids.len()];
+    let mut current: u64 = rng.gen_range(0..stretch);
+    for &(_, original_index) in &sorted {
+        remapped[original_index] = current;
+        current = current
+            .checked_add(1 + rng.gen_range(0..stretch))
+            .expect("stretched ID space fits u64");
+    }
+    remapped
+}
+
+/// The verdict of an order-invariance check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OrderInvariance {
+    /// All trials produced identical outputs.
+    Invariant {
+        /// How many remappings were tested.
+        trials: u32,
+    },
+    /// Some remapping changed the output.
+    Sensitive {
+        /// The 0-based trial index that first diverged.
+        diverged_at: u32,
+    },
+}
+
+impl OrderInvariance {
+    /// Whether the algorithm looked order-invariant across all trials.
+    pub fn is_invariant(&self) -> bool {
+        matches!(self, OrderInvariance::Invariant { .. })
+    }
+}
+
+/// Run `algorithm` (any function from an ID vector to per-vertex outputs)
+/// under `trials` random order-preserving remappings of `base_ids` and
+/// compare outputs.
+///
+/// A `Sensitive` verdict is *proof* of order sensitivity; an `Invariant`
+/// verdict is evidence (randomized testing), which is the appropriate
+/// epistemic strength for a checker — Naor–Stockmeyer's theorem is about
+/// the existence of equivalent order-invariant algorithms, not about any
+/// particular implementation.
+pub fn check_order_invariance<L, F>(
+    base_ids: &[u64],
+    algorithm: F,
+    trials: u32,
+    seed: u64,
+) -> OrderInvariance
+where
+    L: PartialEq,
+    F: Fn(&[u64]) -> Vec<L>,
+{
+    let reference = algorithm(base_ids);
+    for t in 0..trials {
+        let remapped = order_preserving_remap(base_ids, 1 << 12, seed ^ u64::from(t) << 8);
+        if algorithm(&remapped) != reference {
+            return OrderInvariance::Sensitive { diverged_at: t };
+        }
+    }
+    OrderInvariance::Invariant { trials }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::speedup::greedy_color_by_ids;
+    use local_algorithms::color::linial::linial_color_from;
+    use local_graphs::gen;
+
+    #[test]
+    fn remap_preserves_order() {
+        let ids = vec![5u64, 1, 9, 3];
+        let remapped = order_preserving_remap(&ids, 100, 7);
+        // Same argsort.
+        let order = |v: &[u64]| {
+            let mut idx: Vec<usize> = (0..v.len()).collect();
+            idx.sort_by_key(|&i| v[i]);
+            idx
+        };
+        assert_eq!(order(&ids), order(&remapped));
+        let distinct: std::collections::HashSet<_> = remapped.iter().collect();
+        assert_eq!(distinct.len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct")]
+    fn remap_rejects_duplicates() {
+        let _ = order_preserving_remap(&[1, 1], 10, 0);
+    }
+
+    #[test]
+    fn greedy_by_id_is_order_invariant() {
+        let g = gen::path(24);
+        let ids: Vec<u64> = (0..24u64).rev().collect();
+        let verdict = check_order_invariance(
+            &ids,
+            |ids| greedy_color_by_ids(&g, ids.to_vec(), 3).labels.into_inner(),
+            8,
+            42,
+        );
+        assert!(verdict.is_invariant(), "{verdict:?}");
+    }
+
+    #[test]
+    fn linial_is_order_sensitive() {
+        // Linial's recoloring reads ID *bits* (polynomial coefficients), so
+        // order-preserving remaps change its output — the structural reason
+        // it evades the Ramsey-type lower bounds on order-invariant
+        // algorithms.
+        let g = gen::cycle(32);
+        let ids: Vec<u64> = (0..32u64).collect();
+        let verdict = check_order_invariance(
+            &ids,
+            |ids| {
+                linial_color_from(&g, ids.to_vec(), 1 << 30, 2)
+                    .labels
+                    .into_inner()
+            },
+            8,
+            43,
+        );
+        assert!(
+            !verdict.is_invariant(),
+            "Linial should depend on ID values, got {verdict:?}"
+        );
+    }
+
+    #[test]
+    fn constant_algorithms_are_trivially_invariant() {
+        let ids: Vec<u64> = (0..10u64).collect();
+        let verdict = check_order_invariance(&ids, |ids| vec![7u8; ids.len()], 4, 1);
+        assert_eq!(verdict, OrderInvariance::Invariant { trials: 4 });
+    }
+}

@@ -1,0 +1,26 @@
+//! The paper's contribution: transforms and experiments connecting RandLOCAL
+//! and DetLOCAL.
+//!
+//! * [`derand`] — Theorem 3, `Det_P(n, Δ) ≤ Rand_P(2^(n²), Δ)`: an
+//!   executable derandomizer over toy instance spaces.
+//! * [`speedup`] — Theorems 6/8: the automatic `f(Δ) + ε·log_Δ n →
+//!   O(log* n)` speedup via ID shortening on power graphs.
+//! * [`shatter`] — the generic graph-shattering combinator and component
+//!   measurement.
+//! * [`invariance`] — the Naor–Stockmeyer order-invariance checker (the
+//!   engine behind the paper's Corollary 1 discussion).
+//! * [`experiments`] — the E1–E9 experiment drivers behind EXPERIMENTS.md.
+//! * [`fit`] — model-function fitting used to classify measured round
+//!   complexities (`log n` vs `log log n` vs `log* n` …).
+//! * [`report`] — aligned text tables for experiment output.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod derand;
+pub mod experiments;
+pub mod fit;
+pub mod invariance;
+pub mod report;
+pub mod shatter;
+pub mod speedup;

@@ -1,0 +1,331 @@
+//! Theorems 6 & 8: the automatic speedup of sub-logarithmic deterministic
+//! algorithms.
+//!
+//! The paper's mechanism: any DetLOCAL algorithm `A` for an LCL whose runtime
+//! is `f(Δ) + ε·ℓ/log Δ` in the ID length `ℓ` can be run with *short* IDs
+//! that are only distinct within distance `k = Θ(f(Δ))` — computed by one
+//! pass of Linial's algorithm on the power graph `G^k` in
+//! `O(k·(log* n − log* Δ + 1))` rounds — while pretending the graph has
+//! `2^(ℓ')` vertices. By the hereditary property the output stays valid, and
+//! the total time collapses to `O((1 + f(Δ))(log* n − log* Δ + 1))`.
+//!
+//! Executable demonstration (experiment E7): the *greedy-by-ID* `(Δ+1)`-
+//! coloring algorithm, whose round complexity is the longest strictly-
+//! decreasing-ID path — `Θ(n)` under adversarial IDs, but `O(Δ^(2k))` after
+//! ID shortening, because short IDs repeat every few hops. The transform
+//! turns a `Θ(n)` algorithm into an `O(log* n + poly Δ)` one without looking
+//! inside it, which is exactly Theorem 6's black-box claim.
+
+use local_algorithms::color::linial::linial_color_from;
+use local_algorithms::color::ColoringOutcome;
+use local_algorithms::sync::{run_sync, SyncAlgorithm, SyncCtx, SyncStep};
+use local_graphs::{analysis, Graph};
+use local_lcl::Labeling;
+use local_model::{IdAssignment, Mode, NodeInit};
+use serde::{Deserialize, Serialize};
+
+/// Short IDs distinct within a prescribed distance, with the LOCAL round
+/// cost of computing them.
+#[derive(Debug, Clone)]
+pub struct ShortIds {
+    /// Per-vertex short IDs.
+    pub ids: Vec<u64>,
+    /// The ID-space size (`β·Δ^(2k)`-ish): short IDs lie in `0..space`.
+    pub space: u64,
+    /// Distance within which the IDs are guaranteed distinct.
+    pub distinct_radius: usize,
+    /// LOCAL rounds consumed: `k ×` (Linial rounds on `G^k`).
+    pub rounds: u32,
+}
+
+/// Compute IDs distinct within distance `k` by running Linial's algorithm on
+/// the power graph `G^k`, each `G^k`-round simulated by `k` rounds of `G`
+/// (the paper's construction in Theorems 5, 6, 8).
+///
+/// # Panics
+///
+/// Panics if `k == 0` or the graph is empty.
+pub fn shorten_ids(g: &Graph, k: usize, ids: &IdAssignment) -> ShortIds {
+    assert!(k >= 1, "distinct radius must be at least 1");
+    assert!(g.n() > 0, "cannot shorten IDs on the empty graph");
+    let gk = analysis::power_graph(g, k);
+    let assigned = ids.assign(g);
+    let initial_palette = assigned.iter().copied().max().expect("nonempty") + 1;
+    let out = linial_color_from(&gk, assigned, initial_palette, gk.max_degree());
+    ShortIds {
+        ids: out.labels.as_slice().iter().map(|&c| c as u64).collect(),
+        space: out.palette as u64,
+        distinct_radius: k,
+        rounds: out.rounds * k as u32,
+    }
+}
+
+/// Verify that `ids` are pairwise distinct within distance `radius`
+/// (centralized check used by tests and experiments).
+pub fn ids_locally_distinct(g: &Graph, ids: &[u64], radius: usize) -> bool {
+    for v in g.vertices() {
+        let dist = analysis::bfs_distances(g, v);
+        for u in g.vertices() {
+            if u != v && dist[u] <= radius && ids[u] == ids[v] {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+// ------------------------------------------------- the demo algorithm
+
+/// Public state of greedy-by-ID coloring.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GreedyState {
+    id: u64,
+    color: Option<usize>,
+}
+
+/// Greedy `(Δ+1)`-coloring in ID order: a vertex colors itself once every
+/// neighbor with a *smaller* ID has (ties never block — IDs are distinct
+/// among neighbors). Runtime = longest strictly-increasing-ID path ending at
+/// each vertex; `Θ(n)` for adversarially ordered IDs on a path.
+#[derive(Debug, Clone)]
+pub struct GreedyByIds {
+    ids: Vec<u64>,
+    palette: usize,
+}
+
+impl GreedyByIds {
+    /// Build with explicit per-vertex IDs (distinct among neighbors) and a
+    /// palette of size `palette > Δ`.
+    pub fn new(ids: Vec<u64>, palette: usize) -> Self {
+        GreedyByIds { ids, palette }
+    }
+}
+
+impl SyncAlgorithm for GreedyByIds {
+    type State = GreedyState;
+    type Output = usize;
+
+    fn init(&self, init: &NodeInit<'_>) -> GreedyState {
+        GreedyState {
+            id: self.ids[init.node],
+            color: None,
+        }
+    }
+
+    fn update(
+        &self,
+        _round: u32,
+        _ctx: &mut SyncCtx<'_>,
+        state: &GreedyState,
+        neighbors: &[GreedyState],
+    ) -> SyncStep<GreedyState, usize> {
+        let blocked = neighbors
+            .iter()
+            .any(|nb| nb.id < state.id && nb.color.is_none());
+        if blocked {
+            return SyncStep::Continue(state.clone());
+        }
+        let used: Vec<usize> = neighbors.iter().filter_map(|nb| nb.color).collect();
+        let c = (0..self.palette)
+            .find(|c| !used.contains(c))
+            .expect("palette > degree guarantees a free color");
+        SyncStep::Decide(
+            GreedyState {
+                id: state.id,
+                color: Some(c),
+            },
+            c,
+        )
+    }
+}
+
+/// Run greedy-by-ID coloring with the given IDs.
+///
+/// # Panics
+///
+/// Panics if `palette <= Δ(G)` or if adjacent vertices share an ID
+/// (deadlock, surfacing as a round-limit panic).
+pub fn greedy_color_by_ids(g: &Graph, ids: Vec<u64>, palette: usize) -> ColoringOutcome {
+    assert!(
+        palette > g.max_degree(),
+        "palette {palette} must exceed Δ = {}",
+        g.max_degree()
+    );
+    let algo = GreedyByIds::new(ids, palette);
+    let out = run_sync(g, Mode::deterministic(), &algo, g.n() as u32 + 8)
+        .expect("greedy-by-id terminates within n rounds when IDs are locally distinct");
+    ColoringOutcome {
+        labels: Labeling::new(out.outputs),
+        palette,
+        rounds: out.rounds,
+    }
+}
+
+/// The before/after record of one Theorem-6 transformation (experiment E7).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SpeedupReport {
+    /// Vertices.
+    pub n: usize,
+    /// Maximum degree.
+    pub delta: usize,
+    /// Rounds of the original algorithm under adversarial full-length IDs.
+    pub slow_rounds: u32,
+    /// Rounds spent shortening IDs (Linial on `G^k`, simulated).
+    pub preprocessing_rounds: u32,
+    /// Rounds of the same algorithm under the short IDs.
+    pub fast_rounds: u32,
+    /// The short-ID space size.
+    pub short_id_space: u64,
+}
+
+impl SpeedupReport {
+    /// Total rounds of the transformed algorithm `A'`.
+    pub fn transformed_total(&self) -> u32 {
+        self.preprocessing_rounds + self.fast_rounds
+    }
+}
+
+/// Run the full Theorem-6 demonstration on `g`: greedy `(Δ+1)`-coloring by
+/// (a) adversarial full-length IDs and (b) distance-2-distinct short IDs,
+/// verifying both colorings.
+///
+/// Distance 2 suffices for greedy-by-ID: its progress argument only compares
+/// IDs across single edges, and the validity of the output only needs
+/// neighbors' IDs distinct; `k = 2` keeps strictly-increasing-ID paths
+/// shorter than the ID-space size.
+///
+/// # Panics
+///
+/// Panics if either run produces an improper coloring (internal bug).
+pub fn theorem6_demo(g: &Graph, adversarial_ids: Vec<u64>) -> SpeedupReport {
+    use local_lcl::problems::VertexColoring;
+    use local_lcl::LclProblem;
+
+    let palette = g.max_degree() + 1;
+    let slow = greedy_color_by_ids(g, adversarial_ids, palette);
+    VertexColoring::new(palette)
+        .validate(g, &slow.labels)
+        .expect("slow run must color properly");
+
+    let short = shorten_ids(g, 2, &IdAssignment::Sequential);
+    debug_assert!(ids_locally_distinct(g, &short.ids, 2));
+    let fast = greedy_color_by_ids(g, short.ids.clone(), palette);
+    VertexColoring::new(palette)
+        .validate(g, &fast.labels)
+        .expect("fast run must color properly");
+
+    SpeedupReport {
+        n: g.n(),
+        delta: g.max_degree(),
+        slow_rounds: slow.rounds,
+        preprocessing_rounds: short.rounds,
+        fast_rounds: fast.rounds,
+        short_id_space: short.space,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use local_graphs::gen;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn short_ids_are_locally_distinct() {
+        let g = gen::cycle(64);
+        for k in [1usize, 2, 3] {
+            let s = shorten_ids(&g, k, &IdAssignment::Sequential);
+            assert!(ids_locally_distinct(&g, &s.ids, k), "k = {k}");
+            assert!(s.ids.iter().all(|&id| id < s.space));
+            assert_eq!(s.distinct_radius, k);
+        }
+    }
+
+    #[test]
+    fn short_id_space_is_bounded_by_delta_and_k_only() {
+        // G² of a cycle has Δ' = 4; the short-ID space is at most Linial's
+        // β·Δ'² fixpoint regardless of n (it can be *smaller* for tiny n,
+        // where the original ID space already sits below the fixpoint).
+        let a = shorten_ids(&gen::cycle(64), 2, &IdAssignment::Sequential).space;
+        let b = shorten_ids(&gen::cycle(2048), 2, &IdAssignment::Sequential).space;
+        let c = shorten_ids(&gen::cycle(65536), 2, &IdAssignment::Sequential).space;
+        let bound = 40 * 4 * 4;
+        assert!(a <= bound && b <= bound && c <= bound);
+        assert_eq!(b, c, "above the fixpoint the space is n-independent");
+    }
+
+    #[test]
+    fn greedy_by_increasing_ids_is_slow_on_paths() {
+        // IDs increasing along the path: vertex i waits for i−1 ⇒ Θ(n).
+        let n = 128;
+        let g = gen::path(n);
+        let out = greedy_color_by_ids(&g, (0..n as u64).collect(), 3);
+        assert!(out.rounds as usize >= n - 1, "got {} rounds", out.rounds);
+    }
+
+    #[test]
+    fn greedy_with_short_ids_is_fast_on_paths() {
+        let n = 1024;
+        let g = gen::path(n);
+        let short = shorten_ids(&g, 2, &IdAssignment::Sequential);
+        let out = greedy_color_by_ids(&g, short.ids, 3);
+        assert!(
+            u64::from(out.rounds) <= short.space + 1,
+            "rounds {} must be bounded by the ID space {}",
+            out.rounds,
+            short.space
+        );
+    }
+
+    #[test]
+    fn demo_shows_exponential_gap() {
+        let n = 512;
+        let g = gen::path(n);
+        let report = theorem6_demo(&g, (0..n as u64).collect());
+        assert!(report.slow_rounds as usize >= n - 1);
+        assert!(
+            report.transformed_total() < report.slow_rounds / 4,
+            "transform must win big: {} vs {}",
+            report.transformed_total(),
+            report.slow_rounds
+        );
+    }
+
+    #[test]
+    fn demo_on_trees() {
+        let mut rng = StdRng::seed_from_u64(90);
+        let g = gen::random_tree_max_degree(300, 4, &mut rng);
+        // Adversarial IDs: BFS order (long increasing chains).
+        let order = {
+            let dist = analysis::bfs_distances(&g, 0);
+            let mut idx: Vec<usize> = (0..g.n()).collect();
+            idx.sort_by_key(|&v| dist[v]);
+            let mut ids = vec![0u64; g.n()];
+            for (rank, v) in idx.into_iter().enumerate() {
+                ids[v] = rank as u64;
+            }
+            ids
+        };
+        let report = theorem6_demo(&g, order);
+        // Random attachment trees are only O(log n) deep, so the "slow" run
+        // is not that slow; the meaningful invariant here is that the
+        // algorithm itself never got slower under short IDs (the dramatic
+        // gap is the path workload, tested above).
+        assert!(report.fast_rounds <= report.slow_rounds + 2);
+    }
+
+    #[test]
+    fn preprocessing_rounds_are_log_star() {
+        let small = shorten_ids(&gen::cycle(64), 2, &IdAssignment::Sequential).rounds;
+        let large = shorten_ids(&gen::cycle(8192), 2, &IdAssignment::Sequential).rounds;
+        assert!(large <= small + 4, "{small} vs {large}");
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct radius")]
+    fn rejects_k_zero() {
+        let g = gen::path(3);
+        let _ = shorten_ids(&g, 0, &IdAssignment::Sequential);
+    }
+}

@@ -1,0 +1,18 @@
+//! Graph generators for every family the experiments sweep over.
+//!
+//! Deterministic families: [`path`], [`cycle`], [`complete`], [`star`],
+//! [`grid`], [`complete_dary_tree`].
+//!
+//! Random families (take an explicit RNG for reproducibility):
+//! [`random_tree`], [`random_tree_max_degree`], [`gnp`], [`random_regular`],
+//! [`random_bipartite_regular`], [`high_girth_regular`].
+
+mod classic;
+mod high_girth;
+mod regular;
+mod trees;
+
+pub use classic::{complete, complete_bipartite, cycle, gnp, grid, path, star};
+pub use high_girth::high_girth_regular;
+pub use regular::{random_bipartite_regular, random_regular};
+pub use trees::{broom, caterpillar, complete_dary_tree, random_tree, random_tree_max_degree};

@@ -1,0 +1,335 @@
+//! The immutable port-numbered graph type.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Index of a vertex, in `0..n`.
+///
+/// Note: this is a *simulator-internal* index. In the `RandLOCAL` model
+/// vertices are anonymous; the simulator uses `NodeId` for bookkeeping but
+/// never exposes it to a randomized node program as an identifier.
+pub type NodeId = usize;
+
+/// Index of an undirected edge, in `0..m`.
+pub type EdgeId = usize;
+
+/// A port number at a vertex, in `0..deg(v)`.
+///
+/// Port numbering is the standard formalization of "each edge supports
+/// communication in both directions" in the LOCAL model: a processor can
+/// distinguish its incident edges (by port) but initially knows nothing about
+/// who is on the other side.
+pub type PortId = usize;
+
+/// One entry of a vertex's adjacency list: the neighbor on a given port.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Neighbor {
+    /// The vertex on the other end of this port's edge.
+    pub node: NodeId,
+    /// The port at `node` whose edge leads back here.
+    pub back_port: PortId,
+    /// The global edge index of this edge.
+    pub edge: EdgeId,
+}
+
+/// An immutable simple undirected graph with port numbering.
+///
+/// Construct one with [`crate::GraphBuilder`] or a generator from
+/// [`crate::gen`]. Self-loops and parallel edges are rejected at build time,
+/// matching the paper's setting (simple graphs).
+///
+/// # Example
+///
+/// ```
+/// use local_graphs::GraphBuilder;
+///
+/// let mut b = GraphBuilder::new(3);
+/// b.add_edge(0, 1)?;
+/// b.add_edge(1, 2)?;
+/// let g = b.build();
+/// assert_eq!(g.degree(1), 2);
+/// assert_eq!(g.neighbors(1).len(), 2);
+/// # Ok::<(), local_graphs::GraphError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Graph {
+    adj: Vec<Vec<Neighbor>>,
+    edges: Vec<(NodeId, NodeId)>,
+    max_degree: usize,
+}
+
+impl Graph {
+    pub(crate) fn from_parts(adj: Vec<Vec<Neighbor>>, edges: Vec<(NodeId, NodeId)>) -> Self {
+        let max_degree = adj.iter().map(Vec::len).max().unwrap_or(0);
+        Graph {
+            adj,
+            edges,
+            max_degree,
+        }
+    }
+
+    /// Number of vertices `n`.
+    pub fn n(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of edges `m`.
+    pub fn m(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Degree of vertex `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v >= n`.
+    pub fn degree(&self, v: NodeId) -> usize {
+        self.adj[v].len()
+    }
+
+    /// Maximum degree Δ of the graph (0 for the empty graph).
+    pub fn max_degree(&self) -> usize {
+        self.max_degree
+    }
+
+    /// The neighbors of `v`, indexed by port: `neighbors(v)[p]` is the
+    /// endpoint of `v`'s port `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v >= n`.
+    pub fn neighbors(&self, v: NodeId) -> &[Neighbor] {
+        &self.adj[v]
+    }
+
+    /// The neighbor of `v` on port `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v >= n` or `p >= deg(v)`.
+    pub fn neighbor(&self, v: NodeId, p: PortId) -> Neighbor {
+        self.adj[v][p]
+    }
+
+    /// Endpoints `(u, v)` with `u < v` of edge `e`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e >= m`.
+    pub fn endpoints(&self, e: EdgeId) -> (NodeId, NodeId) {
+        self.edges[e]
+    }
+
+    /// All edges as `(u, v)` pairs with `u < v`, indexed by [`EdgeId`].
+    pub fn edges(&self) -> &[(NodeId, NodeId)] {
+        &self.edges
+    }
+
+    /// Iterator over vertex indices `0..n`.
+    pub fn vertices(&self) -> std::ops::Range<NodeId> {
+        0..self.n()
+    }
+
+    /// Whether `u` and `v` are adjacent. Runs in `O(min(deg u, deg v))`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u >= n` or `v >= n`.
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        let (a, b) = if self.degree(u) <= self.degree(v) {
+            (u, v)
+        } else {
+            (v, u)
+        };
+        self.adj[a].iter().any(|nb| nb.node == b)
+    }
+
+    /// The port at `u` whose edge leads to `v`, if any.
+    pub fn port_to(&self, u: NodeId, v: NodeId) -> Option<PortId> {
+        self.adj[u].iter().position(|nb| nb.node == v)
+    }
+
+    /// Whether the graph is `d`-regular (every vertex has degree exactly `d`).
+    pub fn is_regular(&self, d: usize) -> bool {
+        self.adj.iter().all(|a| a.len() == d)
+    }
+
+    /// Total degree check: the handshake identity `Σ deg(v) = 2m`.
+    ///
+    /// Always true for graphs built through [`crate::GraphBuilder`]; exposed
+    /// for property tests.
+    pub fn handshake_holds(&self) -> bool {
+        self.adj.iter().map(Vec::len).sum::<usize>() == 2 * self.m()
+    }
+
+    /// The same graph with every vertex's ports independently permuted at
+    /// random — the *adversarial port numbering* device: a correct LOCAL
+    /// algorithm may read port numbers but must stay correct under any
+    /// assignment of them, which robustness tests check by comparing runs
+    /// on `g` and `g.shuffle_ports(seed)`.
+    pub fn shuffle_ports(&self, seed: u64) -> Graph {
+        use rand::seq::SliceRandom;
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        // port_perm[v][old_port] = new_port.
+        let port_perm: Vec<Vec<usize>> = self
+            .adj
+            .iter()
+            .map(|nbs| {
+                let mut p: Vec<usize> = (0..nbs.len()).collect();
+                p.shuffle(&mut rng);
+                p
+            })
+            .collect();
+        let mut adj: Vec<Vec<Neighbor>> = self
+            .adj
+            .iter()
+            .map(|nbs| vec![Neighbor { node: 0, back_port: 0, edge: 0 }; nbs.len()])
+            .collect();
+        for v in 0..self.n() {
+            for (old_p, nb) in self.adj[v].iter().enumerate() {
+                let new_p = port_perm[v][old_p];
+                adj[v][new_p] = Neighbor {
+                    node: nb.node,
+                    back_port: port_perm[nb.node][nb.back_port],
+                    edge: nb.edge,
+                };
+            }
+        }
+        Graph::from_parts(adj, self.edges.clone())
+    }
+}
+
+impl fmt::Display for Graph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Graph(n={}, m={}, Δ={})", self.n(), self.m(), self.max_degree)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::GraphBuilder;
+
+    #[test]
+    fn triangle_basics() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1).unwrap();
+        b.add_edge(1, 2).unwrap();
+        b.add_edge(0, 2).unwrap();
+        let g = b.build();
+        assert_eq!(g.n(), 3);
+        assert_eq!(g.m(), 3);
+        assert_eq!(g.max_degree(), 2);
+        assert!(g.is_regular(2));
+        assert!(g.handshake_holds());
+        for v in g.vertices() {
+            assert_eq!(g.degree(v), 2);
+        }
+    }
+
+    #[test]
+    fn ports_are_consistent() {
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(0, 1).unwrap();
+        b.add_edge(0, 2).unwrap();
+        b.add_edge(0, 3).unwrap();
+        b.add_edge(2, 3).unwrap();
+        let g = b.build();
+        for v in g.vertices() {
+            for (p, nb) in g.neighbors(v).iter().enumerate() {
+                let back = g.neighbor(nb.node, nb.back_port);
+                assert_eq!(back.node, v, "back edge must return to origin");
+                assert_eq!(back.back_port, p, "back port must be the origin port");
+                assert_eq!(back.edge, nb.edge, "edge ids must agree on both sides");
+            }
+        }
+    }
+
+    #[test]
+    fn endpoints_sorted() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(2, 1).unwrap();
+        let g = b.build();
+        assert_eq!(g.endpoints(0), (1, 2));
+        assert!(g.has_edge(1, 2));
+        assert!(g.has_edge(2, 1));
+        assert!(!g.has_edge(0, 1));
+    }
+
+    #[test]
+    fn port_to_finds_ports() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1).unwrap();
+        b.add_edge(0, 2).unwrap();
+        let g = b.build();
+        assert_eq!(g.port_to(0, 1), Some(0));
+        assert_eq!(g.port_to(0, 2), Some(1));
+        assert_eq!(g.port_to(1, 0), Some(0));
+        assert_eq!(g.port_to(1, 2), None);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = GraphBuilder::new(0).build();
+        assert_eq!(g.n(), 0);
+        assert_eq!(g.m(), 0);
+        assert_eq!(g.max_degree(), 0);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let g = GraphBuilder::new(2).build();
+        let s = format!("{g}");
+        assert!(s.contains("n=2"));
+    }
+}
+
+#[cfg(test)]
+mod shuffle_tests {
+    use crate::{gen, GraphBuilder};
+
+    #[test]
+    fn shuffled_ports_stay_consistent() {
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(1);
+        let g = gen::gnp(30, 0.2, &mut rng);
+        let s = g.shuffle_ports(7);
+        assert_eq!(s.n(), g.n());
+        assert_eq!(s.m(), g.m());
+        for v in s.vertices() {
+            assert_eq!(s.degree(v), g.degree(v));
+            for (p, nb) in s.neighbors(v).iter().enumerate() {
+                let back = s.neighbor(nb.node, nb.back_port);
+                assert_eq!(back.node, v, "shuffled back edge returns");
+                assert_eq!(back.back_port, p, "shuffled back port matches");
+                assert_eq!(back.edge, nb.edge);
+            }
+        }
+        // Same edge set.
+        assert_eq!(s.edges(), g.edges());
+    }
+
+    #[test]
+    fn shuffle_actually_permutes_something() {
+        let g = gen::star(20);
+        let s = g.shuffle_ports(3);
+        // The hub's neighbor order should differ with overwhelming probability.
+        let orig: Vec<usize> = g.neighbors(0).iter().map(|nb| nb.node).collect();
+        let perm: Vec<usize> = s.neighbors(0).iter().map(|nb| nb.node).collect();
+        assert_ne!(orig, perm);
+    }
+
+    #[test]
+    fn shuffle_is_seeded() {
+        let g = gen::cycle(12);
+        assert_eq!(g.shuffle_ports(5), g.shuffle_ports(5));
+    }
+
+    #[test]
+    fn empty_and_tiny_graphs() {
+        let g = GraphBuilder::new(0).build();
+        assert_eq!(g.shuffle_ports(1).n(), 0);
+        let g = gen::path(2);
+        let s = g.shuffle_ports(1);
+        assert_eq!(s.m(), 1);
+    }
+}

@@ -1,0 +1,46 @@
+//! Graph substrate for the LOCAL-model laboratory.
+//!
+//! This crate provides everything the simulator and the algorithm crates need
+//! from graphs:
+//!
+//! * [`Graph`] — an immutable simple undirected graph with *port numbering*:
+//!   each vertex sees its incident edges through ports `0..deg(v)`, which is
+//!   exactly the local view a processor has in Linial's LOCAL model.
+//! * [`GraphBuilder`] — incremental construction with validation.
+//! * [`gen`] — generators for every graph family used by the paper's
+//!   experiments: trees (uniform random, degree-capped, complete Δ-ary),
+//!   rings/paths/grids, G(n, p), random Δ-regular graphs, random bipartite
+//!   Δ-regular graphs, and a high-girth local-search construction.
+//! * [`analysis`] — BFS, connected components, diameter, exact girth,
+//!   bipartition detection, and power graphs `G^k`.
+//! * [`edge_coloring`] — proper edge colorings: exact Δ-edge-coloring of
+//!   Δ-regular bipartite graphs (König, via Hopcroft–Karp matching peeling)
+//!   and Misra–Gries (Δ+1)-edge-coloring for general graphs. The paper's
+//!   sinkless-coloring and sinkless-orientation problems take a proper
+//!   Δ-edge-coloring as input.
+//!
+//! # Example
+//!
+//! ```
+//! use local_graphs::gen;
+//! use local_graphs::analysis;
+//!
+//! let g = gen::cycle(8);
+//! assert_eq!(g.n(), 8);
+//! assert_eq!(g.max_degree(), 2);
+//! assert_eq!(analysis::girth(&g), Some(8));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+mod builder;
+pub mod edge_coloring;
+mod error;
+pub mod gen;
+mod graph;
+
+pub use builder::GraphBuilder;
+pub use error::GraphError;
+pub use graph::{EdgeId, Graph, Neighbor, NodeId, PortId};

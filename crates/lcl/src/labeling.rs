@@ -1,0 +1,86 @@
+//! Vertex labelings.
+
+use local_graphs::NodeId;
+use serde::{Deserialize, Serialize};
+
+/// A per-vertex labeling `λ: V → Σ`.
+///
+/// A thin wrapper over `Vec<L>` that documents intent and offers the handful
+/// of operations LCL checking needs.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Labeling<L>(Vec<L>);
+
+impl<L> Labeling<L> {
+    /// Wrap a per-vertex label vector (index = vertex).
+    pub fn new(labels: Vec<L>) -> Self {
+        Labeling(labels)
+    }
+
+    /// The label of `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn get(&self, v: NodeId) -> &L {
+        &self.0[v]
+    }
+
+    /// Number of labeled vertices.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the labeling is empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// The underlying slice.
+    pub fn as_slice(&self) -> &[L] {
+        &self.0
+    }
+
+    /// Iterate over `(vertex, label)`.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, &L)> {
+        self.0.iter().enumerate()
+    }
+
+    /// Consume into the underlying vector.
+    pub fn into_inner(self) -> Vec<L> {
+        self.0
+    }
+}
+
+impl<L> From<Vec<L>> for Labeling<L> {
+    fn from(labels: Vec<L>) -> Self {
+        Labeling::new(labels)
+    }
+}
+
+impl<L> FromIterator<L> for Labeling<L> {
+    fn from_iter<T: IntoIterator<Item = L>>(iter: T) -> Self {
+        Labeling(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_access() {
+        let l: Labeling<u32> = vec![5, 6, 7].into();
+        assert_eq!(l.len(), 3);
+        assert!(!l.is_empty());
+        assert_eq!(*l.get(1), 6);
+        assert_eq!(l.as_slice(), &[5, 6, 7]);
+        assert_eq!(l.iter().count(), 3);
+        assert_eq!(l.into_inner(), vec![5, 6, 7]);
+    }
+
+    #[test]
+    fn from_iterator() {
+        let l: Labeling<usize> = (0..4).collect();
+        assert_eq!(l.as_slice(), &[0, 1, 2, 3]);
+    }
+}

@@ -1,0 +1,33 @@
+//! Locally checkable labeling (LCL) problems.
+//!
+//! Following Naor–Stockmeyer (and Section II of the paper), an LCL problem is
+//! given by a radius `r`, a finite label set `Σ`, and a set `C` of acceptable
+//! labeled radius-`r` neighborhoods: a labeling is a solution iff every
+//! vertex's labeled `r`-ball is acceptable. The class contains essentially
+//! every natural symmetry-breaking problem; this crate implements the ones
+//! the paper works with:
+//!
+//! * [`problems::VertexColoring`] — proper `k`-coloring (`r = 1`).
+//! * [`problems::Mis`] — maximal independent set (`r = 1`).
+//! * [`problems::MaximalMatching`] — maximal matching (`r = 1`).
+//! * [`problems::SinklessOrientation`] — on Δ-regular edge-colored graphs
+//!   (`r = 1`).
+//! * [`problems::SinklessColoring`] — on Δ-regular edge-colored graphs
+//!   (`r = 1`).
+//!
+//! Every problem implements [`LclProblem`], whose `validate` is a
+//! *centralized* checker used to verify algorithm outputs, and exposes its
+//! radius so the distributed verifier ([`verifier::check_distributed`]) can
+//! demonstrate that the problem really is locally checkable: the distributed
+//! verifier inspects only radius-`r` views and accepts iff `validate` does.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod labeling;
+mod problem;
+pub mod problems;
+pub mod verifier;
+
+pub use labeling::Labeling;
+pub use problem::{LclProblem, LocalView, NeighborView, Violation};

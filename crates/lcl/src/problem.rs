@@ -1,0 +1,180 @@
+//! The LCL problem trait and the radius-1 local view.
+
+use crate::labeling::Labeling;
+use local_graphs::{Graph, NodeId, PortId};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Why a labeling fails to solve an LCL problem, anchored at the vertex whose
+/// radius-`r` neighborhood is unacceptable.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Violation {
+    /// The vertex whose `r`-ball is bad.
+    pub vertex: NodeId,
+    /// Human-readable description of the local defect.
+    pub reason: String,
+}
+
+impl Violation {
+    /// Construct a violation at `vertex`.
+    pub fn new(vertex: NodeId, reason: impl Into<String>) -> Self {
+        Violation {
+            vertex,
+            reason: reason.into(),
+        }
+    }
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "violation at vertex {}: {}", self.vertex, self.reason)
+    }
+}
+
+impl std::error::Error for Violation {}
+
+/// What one vertex knows about a neighbor after a single exchange: its label,
+/// its degree, the port it used toward us, and any per-edge input on the
+/// connecting edge.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NeighborView<L> {
+    /// The neighbor's output label.
+    pub label: L,
+    /// The neighbor's degree.
+    pub degree: usize,
+    /// The neighbor's port on the connecting edge.
+    pub back_port: PortId,
+    /// Problem-specific input on the connecting edge (e.g. its color in ψ);
+    /// `0` when the problem has no edge input.
+    pub edge_input: u64,
+}
+
+/// The complete radius-1 knowledge of a vertex: its own label and degree plus
+/// one [`NeighborView`] per port.
+///
+/// This is *exactly* what a 1-round distributed verifier can learn, so a
+/// checker phrased over `LocalView` is locally checkable by construction —
+/// [`crate::verifier::check_distributed`] evaluates the same predicate inside
+/// the round engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LocalView<L> {
+    /// This vertex's output label.
+    pub label: L,
+    /// This vertex's degree.
+    pub degree: usize,
+    /// Per-port neighbor views.
+    pub neighbors: Vec<NeighborView<L>>,
+}
+
+impl<L: Clone> LocalView<L> {
+    /// Build the view of `v` from global data (the centralized path).
+    pub fn from_graph<P>(problem: &P, g: &Graph, labels: &Labeling<L>, v: NodeId) -> Self
+    where
+        P: LclProblem<Label = L> + ?Sized,
+    {
+        let neighbors = g
+            .neighbors(v)
+            .iter()
+            .map(|nb| NeighborView {
+                label: labels.get(nb.node).clone(),
+                degree: g.degree(nb.node),
+                back_port: nb.back_port,
+                edge_input: problem.edge_input(nb.edge),
+            })
+            .collect();
+        LocalView {
+            label: labels.get(v).clone(),
+            degree: g.degree(v),
+            neighbors,
+        }
+    }
+}
+
+/// A locally checkable labeling problem with labels of type `L` and checking
+/// radius 1.
+///
+/// All of the paper's problems (coloring, MIS, maximal matching, sinkless
+/// orientation, sinkless coloring) are radius-1 LCLs; the trait is therefore
+/// phrased over [`LocalView`]. The formal class allows any constant radius —
+/// a radius-`r` problem can be expressed by first pre-aggregating `r−1`
+/// levels of information into the labels, the standard reduction.
+pub trait LclProblem {
+    /// The label type Σ (finite in the formal definition; any `Clone + Eq`
+    /// type here).
+    type Label: Clone + Eq + Send + Sync;
+
+    /// The checking radius `r` (1 for every built-in problem).
+    fn radius(&self) -> usize {
+        1
+    }
+
+    /// Short problem name for reports.
+    fn name(&self) -> String;
+
+    /// Problem-specific input carried by edge `e` (e.g. the color ψ(e) for
+    /// sinkless coloring). Defaults to 0 for problems without edge input.
+    fn edge_input(&self, _e: local_graphs::EdgeId) -> u64 {
+        0
+    }
+
+    /// The acceptance predicate over a radius-1 view.
+    ///
+    /// # Errors
+    ///
+    /// A description of the local defect, if the view is unacceptable.
+    fn check_view(&self, view: &LocalView<Self::Label>) -> Result<(), String>;
+
+    /// Check the radius-1 condition at a single vertex of a concrete graph.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`Violation`] at `v` if its labeled ball is not
+    /// acceptable.
+    fn check_vertex(
+        &self,
+        g: &Graph,
+        labels: &Labeling<Self::Label>,
+        v: NodeId,
+    ) -> Result<(), Violation> {
+        let view = LocalView::from_graph(self, g, labels, v);
+        self.check_view(&view).map_err(|reason| Violation { vertex: v, reason })
+    }
+
+    /// Check the whole labeling by checking every vertex.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`Violation`] found, scanning vertices in order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `labels.len() != g.n()`.
+    fn validate(&self, g: &Graph, labels: &Labeling<Self::Label>) -> Result<(), Violation> {
+        assert_eq!(labels.len(), g.n(), "labeling must cover every vertex");
+        for v in g.vertices() {
+            self.check_vertex(g, labels, v)?;
+        }
+        Ok(())
+    }
+
+    /// All violations (for diagnostics), not just the first.
+    fn violations(&self, g: &Graph, labels: &Labeling<Self::Label>) -> Vec<Violation> {
+        g.vertices()
+            .filter_map(|v| self.check_vertex(g, labels, v).err())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn violation_display() {
+        let v = Violation::new(3, "two neighbors share color 1");
+        assert_eq!(
+            v.to_string(),
+            "violation at vertex 3: two neighbors share color 1"
+        );
+    }
+}

@@ -1,0 +1,128 @@
+//! Proper `k`-coloring as an LCL (`r = 1`, `Σ = {0, …, k−1}`).
+
+use crate::problem::{LclProblem, LocalView};
+
+/// Proper vertex coloring with palette `{0, …, k−1}`: adjacent vertices get
+/// different colors.
+///
+/// # Example
+///
+/// ```
+/// use local_graphs::gen;
+/// use local_lcl::{LclProblem, Labeling};
+/// use local_lcl::problems::VertexColoring;
+///
+/// let g = gen::cycle(4);
+/// let p = VertexColoring::new(2);
+/// let good: Labeling<usize> = vec![0, 1, 0, 1].into();
+/// assert!(p.validate(&g, &good).is_ok());
+/// let bad: Labeling<usize> = vec![0, 0, 1, 1].into();
+/// assert!(p.validate(&g, &bad).is_err());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VertexColoring {
+    k: usize,
+}
+
+impl VertexColoring {
+    /// The `k`-coloring problem.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0, "palette must be nonempty");
+        VertexColoring { k }
+    }
+
+    /// Palette size `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+}
+
+impl LclProblem for VertexColoring {
+    type Label = usize;
+
+    fn name(&self) -> String {
+        format!("{}-coloring", self.k)
+    }
+
+    fn check_view(&self, view: &LocalView<usize>) -> Result<(), String> {
+        let c = view.label;
+        if c >= self.k {
+            return Err(format!("color {c} outside palette of size {}", self.k));
+        }
+        for (p, nb) in view.neighbors.iter().enumerate() {
+            if nb.label == c {
+                return Err(format!("neighbor on port {p} shares color {c}"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Labeling;
+    use local_graphs::gen;
+
+    #[test]
+    fn accepts_proper_coloring() {
+        let g = gen::complete(3);
+        let p = VertexColoring::new(3);
+        let l: Labeling<usize> = vec![0, 1, 2].into();
+        assert!(p.validate(&g, &l).is_ok());
+    }
+
+    #[test]
+    fn rejects_monochromatic_edge() {
+        let g = gen::path(3);
+        let p = VertexColoring::new(3);
+        let l: Labeling<usize> = vec![1, 1, 0].into();
+        let err = p.validate(&g, &l).unwrap_err();
+        assert_eq!(err.vertex, 0);
+        assert!(err.reason.contains("color 1"));
+    }
+
+    #[test]
+    fn rejects_out_of_palette() {
+        let g = gen::path(2);
+        let p = VertexColoring::new(2);
+        let l: Labeling<usize> = vec![0, 5].into();
+        let err = p.validate(&g, &l).unwrap_err();
+        assert_eq!(err.vertex, 1);
+        assert!(err.reason.contains("outside palette"));
+    }
+
+    #[test]
+    fn violations_lists_every_bad_vertex() {
+        let g = gen::path(3);
+        let p = VertexColoring::new(2);
+        let l: Labeling<usize> = vec![0, 0, 0].into();
+        assert_eq!(p.violations(&g, &l).len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonempty")]
+    fn zero_palette_panics() {
+        let _ = VertexColoring::new(0);
+    }
+
+    #[test]
+    fn name_and_radius() {
+        let p = VertexColoring::new(7);
+        assert_eq!(p.name(), "7-coloring");
+        assert_eq!(p.radius(), 1);
+        assert_eq!(p.k(), 7);
+    }
+
+    #[test]
+    fn isolated_vertex_always_acceptable() {
+        let g = local_graphs::GraphBuilder::new(1).build();
+        let p = VertexColoring::new(1);
+        let l: Labeling<usize> = vec![0].into();
+        assert!(p.validate(&g, &l).is_ok());
+    }
+}

@@ -1,0 +1,141 @@
+//! Maximal matching as an LCL (`r = 1`).
+//!
+//! Label alphabet: each vertex declares the *port* of its matched edge (or
+//! that it is unmatched). The radius-1 condition checks consistency (both
+//! endpoints of a matched edge point at each other) and maximality (an
+//! unmatched vertex has no unmatched neighbor).
+
+use crate::labeling::Labeling;
+use crate::problem::{LclProblem, LocalView};
+use local_graphs::{Graph, PortId};
+
+/// Maximal matching with per-vertex port labels.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MaximalMatching;
+
+impl MaximalMatching {
+    /// The maximal matching problem.
+    pub fn new() -> Self {
+        MaximalMatching
+    }
+
+    /// Convert an edge subset into the port labeling this problem checks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `in_matching` has the wrong length or the selected edges do
+    /// not form a matching (two share an endpoint).
+    pub fn labels_from_edges(g: &Graph, in_matching: &[bool]) -> Labeling<Option<PortId>> {
+        assert_eq!(in_matching.len(), g.m(), "per-edge flag vector length");
+        let mut labels: Vec<Option<PortId>> = vec![None; g.n()];
+        for (e, &included) in in_matching.iter().enumerate() {
+            if !included {
+                continue;
+            }
+            let (u, v) = g.endpoints(e);
+            for x in [u, v] {
+                assert!(
+                    labels[x].is_none(),
+                    "edge {e} and another matched edge share vertex {x}"
+                );
+            }
+            labels[u] = g.port_to(u, v);
+            labels[v] = g.port_to(v, u);
+        }
+        Labeling::new(labels)
+    }
+}
+
+impl LclProblem for MaximalMatching {
+    type Label = Option<PortId>;
+
+    fn name(&self) -> String {
+        "maximal matching".to_owned()
+    }
+
+    fn check_view(&self, view: &LocalView<Option<PortId>>) -> Result<(), String> {
+        match view.label {
+            Some(p) => {
+                if p >= view.degree {
+                    return Err(format!("matched port {p} out of range"));
+                }
+                let nb = &view.neighbors[p];
+                if nb.label != Some(nb.back_port) {
+                    return Err(format!("match on port {p} not reciprocated"));
+                }
+                Ok(())
+            }
+            None => {
+                match view
+                    .neighbors
+                    .iter()
+                    .position(|nb| nb.label.is_none())
+                {
+                    Some(p) => Err(format!(
+                        "unmatched next to unmatched neighbor on port {p} (not maximal)"
+                    )),
+                    None => Ok(()),
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use local_graphs::gen;
+
+    #[test]
+    fn accepts_perfect_matching_on_path4() {
+        let g = gen::path(4); // edges: (0,1) (1,2) (2,3)
+        let labels = MaximalMatching::labels_from_edges(&g, &[true, false, true]);
+        assert!(MaximalMatching::new().validate(&g, &labels).is_ok());
+    }
+
+    #[test]
+    fn accepts_maximal_non_perfect() {
+        let g = gen::path(3); // edges (0,1) (1,2); matching {(0,1)} leaves 2 alone
+        let labels = MaximalMatching::labels_from_edges(&g, &[true, false]);
+        assert!(MaximalMatching::new().validate(&g, &labels).is_ok());
+    }
+
+    #[test]
+    fn rejects_non_maximal() {
+        let g = gen::path(4);
+        let labels = MaximalMatching::labels_from_edges(&g, &[false, false, false]);
+        let err = MaximalMatching::new().validate(&g, &labels).unwrap_err();
+        assert!(err.reason.contains("not maximal"));
+    }
+
+    #[test]
+    fn rejects_unreciprocated_pointer() {
+        let g = gen::path(3);
+        let labels: Labeling<Option<PortId>> = vec![Some(0), None, None].into();
+        let err = MaximalMatching::new().validate(&g, &labels).unwrap_err();
+        assert_eq!(err.vertex, 0);
+        assert!(err.reason.contains("not reciprocated"));
+    }
+
+    #[test]
+    fn rejects_out_of_range_port() {
+        let g = gen::path(2);
+        let labels: Labeling<Option<PortId>> = vec![Some(5), Some(0)].into();
+        let err = MaximalMatching::new().validate(&g, &labels).unwrap_err();
+        assert!(err.reason.contains("out of range"));
+    }
+
+    #[test]
+    #[should_panic(expected = "share vertex")]
+    fn labels_from_edges_rejects_overlap() {
+        let g = gen::path(3);
+        let _ = MaximalMatching::labels_from_edges(&g, &[true, true]);
+    }
+
+    #[test]
+    fn empty_graph_trivially_valid() {
+        let g = local_graphs::GraphBuilder::new(3).build();
+        let labels: Labeling<Option<PortId>> = vec![None, None, None].into();
+        assert!(MaximalMatching::new().validate(&g, &labels).is_ok());
+    }
+}

@@ -1,0 +1,83 @@
+//! Maximal independent set as an LCL (`r = 1`, `Σ = {in, out}`).
+
+use crate::problem::{LclProblem, LocalView};
+
+/// Maximal independent set: `v ∈ I` iff no neighbor of `v` is in `I`
+/// (independence + maximality in one local condition, exactly the paper's
+/// formulation: `N(v) ∩ I = ∅  ⇔  v ∈ I`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Mis;
+
+impl Mis {
+    /// The MIS problem.
+    pub fn new() -> Self {
+        Mis
+    }
+}
+
+impl LclProblem for Mis {
+    type Label = bool;
+
+    fn name(&self) -> String {
+        "MIS".to_owned()
+    }
+
+    fn check_view(&self, view: &LocalView<bool>) -> Result<(), String> {
+        let neighbor_in = view.neighbors.iter().any(|nb| nb.label);
+        match (view.label, neighbor_in) {
+            (true, true) => Err("two adjacent vertices in the set".to_owned()),
+            (false, false) => {
+                Err("vertex outside the set with no neighbor inside (not maximal)".to_owned())
+            }
+            _ => Ok(()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Labeling;
+    use local_graphs::gen;
+
+    #[test]
+    fn accepts_alternating_set_on_path() {
+        let g = gen::path(5);
+        let l: Labeling<bool> = vec![true, false, true, false, true].into();
+        assert!(Mis::new().validate(&g, &l).is_ok());
+    }
+
+    #[test]
+    fn accepts_single_center_on_star() {
+        let g = gen::star(6);
+        let mut labels = vec![false; 6];
+        labels[0] = true;
+        assert!(Mis::new().validate(&g, &labels.into()).is_ok());
+    }
+
+    #[test]
+    fn rejects_adjacent_members() {
+        let g = gen::path(2);
+        let l: Labeling<bool> = vec![true, true].into();
+        let err = Mis::new().validate(&g, &l).unwrap_err();
+        assert!(err.reason.contains("adjacent"));
+    }
+
+    #[test]
+    fn rejects_non_maximal() {
+        let g = gen::path(3);
+        let l: Labeling<bool> = vec![true, false, false].into();
+        let err = Mis::new().validate(&g, &l).unwrap_err();
+        assert_eq!(err.vertex, 2);
+        assert!(err.reason.contains("maximal"));
+    }
+
+    #[test]
+    fn isolated_vertices_must_join() {
+        let g = local_graphs::GraphBuilder::new(2).build();
+        let l: Labeling<bool> = vec![false, false].into();
+        assert!(Mis::new().validate(&g, &l).is_err());
+        let l: Labeling<bool> = vec![true, true].into();
+        assert!(Mis::new().validate(&g, &l).is_ok());
+    }
+}

@@ -1,0 +1,13 @@
+//! The concrete LCL problems the paper works with.
+
+mod coloring;
+mod edge_coloring;
+mod matching;
+mod mis;
+mod sinkless;
+
+pub use coloring::VertexColoring;
+pub use edge_coloring::{EdgeKColoring, PortColors};
+pub use matching::MaximalMatching;
+pub use mis::Mis;
+pub use sinkless::{Orientation, SinklessColoring, SinklessOrientation};

@@ -1,0 +1,541 @@
+//! The synchronous round engine.
+
+use crate::error::SimError;
+use crate::ids::IdAssignment;
+use crate::node::{Action, NodeInit, NodeIo, NodeProgram, Protocol};
+use crate::params::GlobalParams;
+use local_graphs::Graph;
+use rand::{RngCore, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Which of the paper's two models a run executes under.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Mode {
+    /// DetLOCAL: unique IDs, no randomness.
+    Deterministic {
+        /// How the unique IDs are assigned.
+        ids: IdAssignment,
+    },
+    /// RandLOCAL: anonymous vertices, private per-node randomness derived
+    /// from the seed.
+    Randomized {
+        /// Master seed; per-node streams are split from it.
+        seed: u64,
+    },
+}
+
+impl Mode {
+    /// DetLOCAL with sequential IDs.
+    pub fn deterministic() -> Self {
+        Mode::Deterministic {
+            ids: IdAssignment::Sequential,
+        }
+    }
+
+    /// DetLOCAL with the given ID assignment.
+    pub fn deterministic_with(ids: IdAssignment) -> Self {
+        Mode::Deterministic { ids }
+    }
+
+    /// RandLOCAL with the given master seed.
+    pub fn randomized(seed: u64) -> Self {
+        Mode::Randomized { seed }
+    }
+}
+
+/// Aggregate statistics of a run.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RunStats {
+    /// Total messages sent across all rounds.
+    pub messages_sent: u64,
+    /// Number of engine sweeps executed (≥ `rounds`).
+    pub sweeps: u32,
+    /// How many nodes were still live *entering* each sweep — the progress
+    /// curve of the protocol (length = `sweeps`).
+    pub live_per_round: Vec<usize>,
+}
+
+/// The result of running a protocol to completion.
+#[derive(Debug, Clone)]
+pub struct Run<O> {
+    /// Per-vertex outputs, indexed by vertex.
+    pub outputs: Vec<O>,
+    /// Round complexity: the maximum number of communication rounds any
+    /// vertex consumed before halting.
+    pub rounds: u32,
+    /// Per-vertex halting rounds.
+    pub halt_rounds: Vec<u32>,
+    /// Message and sweep counters.
+    pub stats: RunStats,
+}
+
+/// SplitMix64 finalizer — used to derive independent per-node seeds from the
+/// master seed.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+struct Slot<N, M, O> {
+    state: N,
+    rng: Option<ChaCha8Rng>,
+    id: Option<u64>,
+    out: Vec<Option<M>>,
+    done: Option<(u32, O)>,
+    sent: u64,
+}
+
+/// Runs a [`Protocol`] on a graph under a [`Mode`], counting rounds.
+///
+/// Node steps within a sweep are independent (they read only the previous
+/// exchange's messages), so the engine executes them in parallel with rayon
+/// on large graphs; results are bit-identical to sequential execution because
+/// every node's randomness comes from its own pre-seeded stream.
+#[derive(Debug)]
+pub struct Engine<'g> {
+    graph: &'g Graph,
+    mode: Mode,
+    params: GlobalParams,
+    max_rounds: u32,
+}
+
+/// Below this many vertices the engine steps nodes sequentially (rayon
+/// overhead dominates otherwise).
+const PAR_THRESHOLD: usize = 2048;
+
+impl<'g> Engine<'g> {
+    /// Engine for `graph` under `mode`, advertising the graph's true
+    /// parameters, with a default round limit of `100_000`.
+    pub fn new(graph: &'g Graph, mode: Mode) -> Self {
+        Engine {
+            graph,
+            mode,
+            params: GlobalParams::from_graph(graph),
+            max_rounds: 100_000,
+        }
+    }
+
+    /// Override the advertised global parameters (Theorems 3/6/8 pretend the
+    /// graph is much larger than it is).
+    pub fn with_params(mut self, params: GlobalParams) -> Self {
+        self.params = params;
+        self
+    }
+
+    /// Override the round limit after which [`SimError::RoundLimitExceeded`]
+    /// is returned.
+    pub fn with_max_rounds(mut self, max_rounds: u32) -> Self {
+        self.max_rounds = max_rounds;
+        self
+    }
+
+    /// The parameters this engine advertises to nodes.
+    pub fn params(&self) -> &GlobalParams {
+        &self.params
+    }
+
+    /// The graph being simulated.
+    pub fn graph(&self) -> &Graph {
+        self.graph
+    }
+
+    /// Run `protocol` to completion.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::RoundLimitExceeded`] if some node never halts.
+    pub fn run<P>(&self, protocol: &P) -> Result<Run<<P::Node as NodeProgram>::Output>, SimError>
+    where
+        P: Protocol + Sync,
+    {
+        let g = self.graph;
+        let n = g.n();
+        let ids: Option<Vec<u64>> = match &self.mode {
+            Mode::Deterministic { ids } => Some(ids.assign(g)),
+            Mode::Randomized { .. } => None,
+        };
+        let seed = match &self.mode {
+            Mode::Randomized { seed } => Some(*seed),
+            Mode::Deterministic { .. } => None,
+        };
+
+        type NodeSlot<P> = Slot<
+            <P as Protocol>::Node,
+            <<P as Protocol>::Node as NodeProgram>::Msg,
+            <<P as Protocol>::Node as NodeProgram>::Output,
+        >;
+        let mut slots: Vec<NodeSlot<P>> = (0..n)
+                .map(|v| {
+                    let id = ids.as_ref().map(|ids| ids[v]);
+                    let init = NodeInit {
+                        node: v,
+                        degree: g.degree(v),
+                        id,
+                        params: &self.params,
+                    };
+                    Slot {
+                        state: protocol.create(&init),
+                        rng: seed.map(|s| {
+                            ChaCha8Rng::seed_from_u64(splitmix64(
+                                s ^ splitmix64(v as u64 + 1),
+                            ))
+                        }),
+                        id,
+                        out: Vec::new(),
+                        done: None,
+                        sent: 0,
+                    }
+                })
+                .collect();
+
+        let total_sent = AtomicU64::new(0);
+        let mut live = n;
+        let mut sweep: u32 = 0;
+        let mut live_per_round: Vec<usize> = Vec::new();
+        let mut prev_out: Vec<Vec<Option<<P::Node as NodeProgram>::Msg>>> = Vec::new();
+
+        while live > 0 {
+            if sweep > self.max_rounds {
+                return Err(SimError::RoundLimitExceeded {
+                    limit: self.max_rounds,
+                    live_nodes: live,
+                });
+            }
+            // Detach the previous outboxes so nodes can read them while being
+            // stepped mutably.
+            prev_out.clear();
+            prev_out.extend(slots.iter_mut().map(|s| std::mem::take(&mut s.out)));
+            let prev = &prev_out;
+            let params = &self.params;
+            let round = sweep;
+
+            let step_one = |(v, slot): (usize, &mut Slot<P::Node, _, _>)| {
+                if slot.done.is_some() {
+                    return;
+                }
+                let deg = g.degree(v);
+                let inbox: Vec<Option<<P::Node as NodeProgram>::Msg>> = if round == 0 {
+                    vec![None; deg]
+                } else {
+                    g.neighbors(v)
+                        .iter()
+                        .map(|nb| {
+                            prev.get(nb.node)
+                                .and_then(|o| o.get(nb.back_port))
+                                .cloned()
+                                .flatten()
+                        })
+                        .collect()
+                };
+                let mut out: Vec<Option<<P::Node as NodeProgram>::Msg>> = vec![None; deg];
+                let action = {
+                    let mut io = NodeIo {
+                        degree: deg,
+                        id: slot.id,
+                        params,
+                        inbox: &inbox,
+                        outbox: &mut out,
+                        rng: slot.rng.as_mut(),
+                    };
+                    slot.state.step(round, &mut io)
+                };
+                slot.sent += out.iter().filter(|m| m.is_some()).count() as u64;
+                slot.out = out;
+                if let Action::Halt(o) = action {
+                    slot.done = Some((round, o));
+                }
+            };
+
+            live_per_round.push(live);
+            if n >= PAR_THRESHOLD {
+                slots.par_iter_mut().enumerate().for_each(step_one);
+            } else {
+                slots.iter_mut().enumerate().for_each(step_one);
+            }
+
+            live = slots.iter().filter(|s| s.done.is_none()).count();
+            sweep += 1;
+        }
+
+        let mut outputs = Vec::with_capacity(n);
+        let mut halt_rounds = Vec::with_capacity(n);
+        let mut rounds = 0;
+        for slot in slots {
+            total_sent.fetch_add(slot.sent, Ordering::Relaxed);
+            let (r, o) = slot.done.expect("loop exits only when all halted");
+            rounds = rounds.max(r);
+            halt_rounds.push(r);
+            outputs.push(o);
+        }
+        Ok(Run {
+            outputs,
+            rounds,
+            halt_rounds,
+            stats: RunStats {
+                messages_sent: total_sent.into_inner(),
+                sweeps: sweep,
+                live_per_round,
+            },
+        })
+    }
+}
+
+/// Derive a fresh RNG for auxiliary (non-node) randomness from a master seed
+/// and a stream tag. Exposed so algorithm crates can split seeds the same way
+/// the engine does.
+pub fn derived_rng(seed: u64, tag: u64) -> ChaCha8Rng {
+    ChaCha8Rng::seed_from_u64(splitmix64(seed ^ splitmix64(tag.wrapping_add(0xABCD))))
+}
+
+/// Convenience: draw a uniform `u64` from a derived stream (used for ID
+/// generation in RandLOCAL algorithms).
+pub fn derived_u64(seed: u64, tag: u64) -> u64 {
+    derived_rng(seed, tag).next_u64()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use local_graphs::gen;
+
+    /// Flood the minimum ID: halts after `diameter` rounds.
+    struct FloodMin {
+        current: u64,
+        quiet_for: u32,
+        horizon: u32,
+    }
+    impl NodeProgram for FloodMin {
+        type Msg = u64;
+        type Output = u64;
+        fn step(&mut self, round: u32, io: &mut NodeIo<'_, u64>) -> Action<u64> {
+            if round == 0 {
+                io.broadcast(self.current);
+                return Action::Continue;
+            }
+            let before = self.current;
+            for (_, &m) in io.received() {
+                self.current = self.current.min(m);
+            }
+            if self.current == before {
+                self.quiet_for += 1;
+            } else {
+                self.quiet_for = 0;
+            }
+            // n rounds without change guarantees convergence everywhere.
+            if round >= self.horizon {
+                Action::Halt(self.current)
+            } else {
+                io.broadcast(self.current);
+                Action::Continue
+            }
+        }
+    }
+    struct FloodMinProtocol;
+    impl Protocol for FloodMinProtocol {
+        type Node = FloodMin;
+        fn create(&self, init: &NodeInit<'_>) -> FloodMin {
+            FloodMin {
+                current: init.id.expect("DetLOCAL test"),
+                quiet_for: 0,
+                horizon: init.params.n as u32,
+            }
+        }
+    }
+
+    #[test]
+    fn flood_min_agrees_on_minimum() {
+        let g = gen::cycle(11);
+        let run = Engine::new(&g, Mode::deterministic())
+            .run(&FloodMinProtocol)
+            .unwrap();
+        assert!(run.outputs.iter().all(|&o| o == 0));
+        assert_eq!(run.rounds, 11);
+        assert!(run.stats.messages_sent > 0);
+    }
+
+    #[test]
+    fn flood_min_with_shuffled_ids() {
+        let g = gen::path(9);
+        let run = Engine::new(
+            &g,
+            Mode::deterministic_with(IdAssignment::Shuffled { seed: 3 }),
+        )
+        .run(&FloodMinProtocol)
+        .unwrap();
+        assert!(run.outputs.iter().all(|&o| o == 0));
+    }
+
+    /// Zero-round protocol: output the degree immediately.
+    struct Immediate;
+    impl NodeProgram for Immediate {
+        type Msg = ();
+        type Output = usize;
+        fn step(&mut self, _round: u32, io: &mut NodeIo<'_, ()>) -> Action<usize> {
+            Action::Halt(io.degree())
+        }
+    }
+    struct ImmediateProtocol;
+    impl Protocol for ImmediateProtocol {
+        type Node = Immediate;
+        fn create(&self, _init: &NodeInit<'_>) -> Immediate {
+            Immediate
+        }
+    }
+
+    #[test]
+    fn zero_round_protocol_reports_zero_rounds() {
+        let g = gen::star(6);
+        let run = Engine::new(&g, Mode::deterministic())
+            .run(&ImmediateProtocol)
+            .unwrap();
+        assert_eq!(run.rounds, 0);
+        assert_eq!(run.outputs[0], 5);
+        assert_eq!(run.outputs[3], 1);
+        assert_eq!(run.stats.messages_sent, 0);
+    }
+
+    /// Never halts — must trip the round limit.
+    struct Forever;
+    impl NodeProgram for Forever {
+        type Msg = ();
+        type Output = ();
+        fn step(&mut self, _round: u32, _io: &mut NodeIo<'_, ()>) -> Action<()> {
+            Action::Continue
+        }
+    }
+    struct ForeverProtocol;
+    impl Protocol for ForeverProtocol {
+        type Node = Forever;
+        fn create(&self, _init: &NodeInit<'_>) -> Forever {
+            Forever
+        }
+    }
+
+    #[test]
+    fn round_limit_enforced() {
+        let g = gen::path(3);
+        let err = Engine::new(&g, Mode::deterministic())
+            .with_max_rounds(10)
+            .run(&ForeverProtocol)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            SimError::RoundLimitExceeded {
+                limit: 10,
+                live_nodes: 3
+            }
+        ));
+    }
+
+    /// RandLOCAL: each node outputs one random u64 with no communication.
+    struct RandOut;
+    impl NodeProgram for RandOut {
+        type Msg = ();
+        type Output = u64;
+        fn step(&mut self, _round: u32, io: &mut NodeIo<'_, ()>) -> Action<u64> {
+            assert!(io.id().is_none(), "RandLOCAL nodes must be anonymous");
+            let x = io.rng().next_u64();
+            Action::Halt(x)
+        }
+    }
+    struct RandProtocol;
+    impl Protocol for RandProtocol {
+        type Node = RandOut;
+        fn create(&self, init: &NodeInit<'_>) -> RandOut {
+            assert!(init.id.is_none());
+            RandOut
+        }
+    }
+
+    #[test]
+    fn randomized_mode_is_seeded_and_distinct() {
+        let g = gen::cycle(16);
+        let a = Engine::new(&g, Mode::randomized(42)).run(&RandProtocol).unwrap();
+        let b = Engine::new(&g, Mode::randomized(42)).run(&RandProtocol).unwrap();
+        let c = Engine::new(&g, Mode::randomized(43)).run(&RandProtocol).unwrap();
+        assert_eq!(a.outputs, b.outputs, "same seed, same outputs");
+        assert_ne!(a.outputs, c.outputs, "different seed, different outputs");
+        let distinct: std::collections::HashSet<_> = a.outputs.iter().collect();
+        assert_eq!(distinct.len(), 16, "node streams must be independent");
+    }
+
+    #[test]
+    fn parallel_and_sequential_agree() {
+        // A graph larger than PAR_THRESHOLD exercises the rayon path; the
+        // same protocol on a small graph exercises the sequential path. Both
+        // must be reproducible under the same seed.
+        let g = gen::cycle(PAR_THRESHOLD + 10);
+        let a = Engine::new(&g, Mode::randomized(7)).run(&RandProtocol).unwrap();
+        let b = Engine::new(&g, Mode::randomized(7)).run(&RandProtocol).unwrap();
+        assert_eq!(a.outputs, b.outputs);
+    }
+
+    #[test]
+    fn halt_rounds_are_per_node() {
+        let g = gen::star(5);
+        let run = Engine::new(&g, Mode::deterministic())
+            .run(&ImmediateProtocol)
+            .unwrap();
+        assert_eq!(run.halt_rounds, vec![0; 5]);
+    }
+
+    #[test]
+    fn claimed_params_reach_nodes() {
+        struct ParamCheck;
+        impl NodeProgram for ParamCheck {
+            type Msg = ();
+            type Output = u64;
+            fn step(&mut self, _round: u32, io: &mut NodeIo<'_, ()>) -> Action<u64> {
+                Action::Halt(io.params().n)
+            }
+        }
+        struct ParamProtocol;
+        impl Protocol for ParamProtocol {
+            type Node = ParamCheck;
+            fn create(&self, _init: &NodeInit<'_>) -> ParamCheck {
+                ParamCheck
+            }
+        }
+        let g = gen::path(3);
+        let params = GlobalParams::from_graph(&g).with_claimed_n(1 << 30);
+        let run = Engine::new(&g, Mode::deterministic())
+            .with_params(params)
+            .run(&ParamProtocol)
+            .unwrap();
+        assert!(run.outputs.iter().all(|&o| o == 1 << 30));
+    }
+
+    #[test]
+    fn live_per_round_traces_progress() {
+        let g = gen::star(6);
+        let run = Engine::new(&g, Mode::deterministic())
+            .run(&ImmediateProtocol)
+            .unwrap();
+        assert_eq!(run.stats.live_per_round, vec![6]);
+        let g = gen::cycle(5);
+        let run = Engine::new(&g, Mode::deterministic())
+            .run(&FloodMinProtocol)
+            .unwrap();
+        assert_eq!(run.stats.live_per_round.len() as u32, run.stats.sweeps);
+        assert_eq!(run.stats.live_per_round[0], 5);
+        // Monotonically non-increasing.
+        for w in run.stats.live_per_round.windows(2) {
+            assert!(w[0] >= w[1]);
+        }
+    }
+
+    #[test]
+    fn derived_rng_streams_differ() {
+        let a = derived_u64(1, 0);
+        let b = derived_u64(1, 1);
+        let c = derived_u64(2, 0);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(derived_u64(1, 0), a);
+    }
+}

@@ -1,0 +1,51 @@
+//! Simulator errors.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors from running a protocol in the round engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// Some node had not halted when the round limit was reached.
+    RoundLimitExceeded {
+        /// The configured limit.
+        limit: u32,
+        /// How many nodes were still live.
+        live_nodes: usize,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::RoundLimitExceeded { limit, live_nodes } => write!(
+                f,
+                "{live_nodes} node(s) still running after the {limit}-round limit"
+            ),
+        }
+    }
+}
+
+impl Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let e = SimError::RoundLimitExceeded {
+            limit: 10,
+            live_nodes: 3,
+        };
+        assert!(e.to_string().contains("10-round"));
+        assert!(e.to_string().contains("3 node"));
+    }
+
+    #[test]
+    fn implements_error() {
+        fn assert_error<E: Error + Send + Sync + 'static>() {}
+        assert_error::<SimError>();
+    }
+}

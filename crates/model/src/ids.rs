@@ -1,0 +1,153 @@
+//! Unique-ID assignments for DetLOCAL runs.
+//!
+//! The DetLOCAL model endows every vertex with a unique `Θ(log n)`-bit ID.
+//! How adversarially those IDs are placed matters for deterministic
+//! algorithms, so the engine supports several assignments.
+
+use local_graphs::Graph;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// `⌈log₂ n⌉` (and 0 for `n ≤ 1`): bits needed to write IDs in `0..n`.
+pub fn id_bits(n: u64) -> u32 {
+    if n <= 1 {
+        0
+    } else {
+        64 - (n - 1).leading_zeros()
+    }
+}
+
+/// Strategy for assigning the unique IDs a DetLOCAL run hands to vertices.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+#[derive(Default)]
+pub enum IdAssignment {
+    /// `ID(v) = v`: the friendliest possible assignment.
+    #[default]
+    Sequential,
+    /// A uniformly random permutation of `0..n`, derived from the seed.
+    Shuffled {
+        /// RNG seed for the permutation.
+        seed: u64,
+    },
+    /// Distinct random IDs drawn from `0..2^bits` (standard `c·log n`-bit
+    /// IDs with `c > 1`), derived from the seed.
+    RandomBits {
+        /// RNG seed for the draws.
+        seed: u64,
+        /// ID width in bits (must satisfy `2^bits ≥ n`).
+        bits: u32,
+    },
+    /// Caller-provided IDs; must be distinct.
+    Custom(Vec<u64>),
+}
+
+impl IdAssignment {
+    /// Materialize the per-vertex IDs for `g`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a [`IdAssignment::Custom`] vector has the wrong length or
+    /// duplicate entries, or if [`IdAssignment::RandomBits`] has
+    /// `2^bits < n`.
+    pub fn assign(&self, g: &Graph) -> Vec<u64> {
+        let n = g.n();
+        match self {
+            IdAssignment::Sequential => (0..n as u64).collect(),
+            IdAssignment::Shuffled { seed } => {
+                let mut ids: Vec<u64> = (0..n as u64).collect();
+                ids.shuffle(&mut StdRng::seed_from_u64(*seed));
+                ids
+            }
+            IdAssignment::RandomBits { seed, bits } => {
+                assert!(
+                    *bits >= id_bits(n as u64),
+                    "2^{bits} ID space cannot hold {n} distinct IDs"
+                );
+                let mut rng = StdRng::seed_from_u64(*seed);
+                let mut used = std::collections::HashSet::with_capacity(n);
+                let mut ids = Vec::with_capacity(n);
+                let space: u128 = 1u128 << bits;
+                while ids.len() < n {
+                    let candidate = (rng.gen::<u128>() % space) as u64;
+                    if used.insert(candidate) {
+                        ids.push(candidate);
+                    }
+                }
+                ids
+            }
+            IdAssignment::Custom(ids) => {
+                assert_eq!(ids.len(), n, "custom ID vector has wrong length");
+                let distinct: std::collections::HashSet<_> = ids.iter().collect();
+                assert_eq!(distinct.len(), n, "custom IDs must be distinct");
+                ids.clone()
+            }
+        }
+    }
+}
+
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use local_graphs::gen;
+
+    #[test]
+    fn id_bits_values() {
+        assert_eq!(id_bits(0), 0);
+        assert_eq!(id_bits(1), 0);
+        assert_eq!(id_bits(2), 1);
+        assert_eq!(id_bits(3), 2);
+        assert_eq!(id_bits(4), 2);
+        assert_eq!(id_bits(5), 3);
+        assert_eq!(id_bits(1 << 20), 20);
+    }
+
+    #[test]
+    fn sequential_ids() {
+        let g = gen::path(4);
+        assert_eq!(IdAssignment::Sequential.assign(&g), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn shuffled_is_permutation_and_reproducible() {
+        let g = gen::path(10);
+        let a = IdAssignment::Shuffled { seed: 9 }.assign(&g);
+        let b = IdAssignment::Shuffled { seed: 9 }.assign(&g);
+        assert_eq!(a, b);
+        let mut sorted = a.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..10).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn random_bits_are_distinct() {
+        let g = gen::cycle(20);
+        let ids = IdAssignment::RandomBits { seed: 4, bits: 16 }.assign(&g);
+        let set: std::collections::HashSet<_> = ids.iter().collect();
+        assert_eq!(set.len(), 20);
+        assert!(ids.iter().all(|&id| id < (1 << 16)));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot hold")]
+    fn random_bits_too_narrow() {
+        let g = gen::cycle(20);
+        let _ = IdAssignment::RandomBits { seed: 4, bits: 2 }.assign(&g);
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct")]
+    fn custom_rejects_duplicates() {
+        let g = gen::path(3);
+        let _ = IdAssignment::Custom(vec![1, 1, 2]).assign(&g);
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong length")]
+    fn custom_rejects_wrong_length() {
+        let g = gen::path(3);
+        let _ = IdAssignment::Custom(vec![1, 2]).assign(&g);
+    }
+}

@@ -1,0 +1,71 @@
+//! Global parameters known to every vertex.
+
+use serde::{Deserialize, Serialize};
+
+/// The global graph parameters every vertex knows at time zero.
+///
+/// `n` is a `u64` rather than `usize` because the paper's transforms run
+/// algorithms with *pretended* sizes much larger than the actual graph:
+/// Theorem 3 simulates with parameter `N = 2^(n²)` and Theorem 6 with
+/// `2^(ℓ')`. [`GlobalParams::with_claimed_n`] supports exactly that.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GlobalParams {
+    /// The (claimed) number of vertices.
+    pub n: u64,
+    /// The (claimed) maximum degree Δ.
+    pub delta: usize,
+}
+
+impl GlobalParams {
+    /// Parameters advertising the graph's true `n` and `Δ`.
+    pub fn from_graph(g: &local_graphs::Graph) -> Self {
+        GlobalParams {
+            n: g.n() as u64,
+            delta: g.max_degree(),
+        }
+    }
+
+    /// The same parameters but claiming a different vertex count — the
+    /// "implicitly assume the graph size is `2^(ℓ')`" device of Theorems 3,
+    /// 6, and 8.
+    pub fn with_claimed_n(self, n: u64) -> Self {
+        GlobalParams { n, ..self }
+    }
+
+    /// `⌈log₂ n⌉`, the number of bits needed to index a vertex.
+    pub fn log2_n(&self) -> u32 {
+        crate::ids::id_bits(self.n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use local_graphs::gen;
+
+    #[test]
+    fn from_graph_reads_true_values() {
+        let g = gen::star(7);
+        let p = GlobalParams::from_graph(&g);
+        assert_eq!(p.n, 7);
+        assert_eq!(p.delta, 6);
+    }
+
+    #[test]
+    fn claimed_n_overrides() {
+        let g = gen::path(4);
+        let p = GlobalParams::from_graph(&g).with_claimed_n(1 << 40);
+        assert_eq!(p.n, 1 << 40);
+        assert_eq!(p.delta, 2);
+    }
+
+    #[test]
+    fn log2_n() {
+        let p = GlobalParams { n: 1, delta: 0 };
+        assert_eq!(p.log2_n(), 0);
+        let p = GlobalParams { n: 8, delta: 0 };
+        assert_eq!(p.log2_n(), 3);
+        let p = GlobalParams { n: 9, delta: 0 };
+        assert_eq!(p.log2_n(), 4);
+    }
+}

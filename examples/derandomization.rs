@@ -1,0 +1,31 @@
+//! Theorem 3, live: `Det_P(n, Δ) ≤ Rand_P(2^(n²), Δ)`.
+//!
+//! Enumerates every graph on 4 vertices with Δ ≤ 3 under every injective
+//! 3-bit ID assignment, then executes the paper's proof: sample the
+//! ID-to-randomness table φ as the union bound prescribes and exhaustively
+//! verify that the hard-wired deterministic MIS algorithm errs on *no*
+//! instance.
+//!
+//! Run with `cargo run --example derandomization`.
+
+use exp_separation::separation::derand::derandomize_priority_mis;
+
+fn main() {
+    let (n, delta, id_bits) = (4, 3, 3);
+    println!("derandomizing priority MIS over the full instance space 𝒢({n}, {delta})");
+    println!("(IDs from a {id_bits}-bit space; claimed size N = 2^(n²) = 2^{})", n * n);
+    println!();
+    let report = derandomize_priority_mis(n, delta, id_bits, 0xC0FFEE, 64);
+    println!("instances exhaustively verified : {}", report.instances);
+    println!("claimed N                       : {}", report.claimed_n);
+    println!("φ samples until success         : {}", report.phis_tried);
+    println!();
+    println!("the good φ (id → hard-wired priority):");
+    for (id, p) in report.phi.iter().enumerate() {
+        println!("  φ({id}) = {p}");
+    }
+    println!();
+    println!("Take-away: the randomized algorithm run at size N = 2^(n²) encodes");
+    println!("a deterministic algorithm for size n — graph shattering must reduce");
+    println!("to deterministic complexity on small instances (Theorem 3).");
+}

@@ -1,0 +1,45 @@
+//! The headline result in one screen: sweep `n` and watch deterministic
+//! tree Δ-coloring grow like `log_Δ n` while the randomized algorithm stays
+//! nearly flat — the exponential separation of the paper's title.
+//!
+//! Run with `cargo run --release --example separation_sweep`.
+
+use exp_separation::algorithms::color::be_forest_coloring;
+use exp_separation::algorithms::tree::{theorem10_color, Theorem10Config};
+use exp_separation::graphs::gen;
+use exp_separation::lcl::problems::VertexColoring;
+use exp_separation::lcl::LclProblem;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let delta = 16;
+    println!("tree Δ-coloring, Δ = {delta}:");
+    println!("{:>8} | {:>16} | {:>16} | {:>7}", "n", "Det (Thm 9)", "Rand (Thm 10)", "ratio");
+    println!("{}", "-".repeat(58));
+    for exp in [8u32, 10, 12, 14, 16] {
+        let n = 1usize << exp;
+        let mut rng = StdRng::seed_from_u64(u64::from(exp));
+        let tree = gen::random_tree_max_degree(n, delta, &mut rng);
+        let ids: Vec<u64> = (0..n as u64).collect();
+
+        let det = be_forest_coloring(&tree, delta, &ids, None, 0);
+        let rand = theorem10_color(&tree, delta, 3, Theorem10Config::default())
+            .expect("simulation completes");
+        for labels in [&det.labels, &rand.coloring.labels] {
+            VertexColoring::new(delta)
+                .validate(&tree, labels)
+                .expect("both outputs are proper Δ-colorings");
+        }
+        println!(
+            "{:>8} | {:>16} | {:>16} | {:>7.2}",
+            n,
+            det.rounds,
+            rand.coloring.rounds,
+            f64::from(det.rounds) / f64::from(rand.coloring.rounds),
+        );
+    }
+    println!();
+    println!("Det grows with log n; Rand is governed by log log n — and by");
+    println!("Theorems 3 and 5 this gap is necessary, not an artifact.");
+}

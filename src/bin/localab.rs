@@ -1,0 +1,260 @@
+//! `localab` — run any algorithm of the laboratory on any generated
+//! workload, count LOCAL rounds, and validate the output.
+//!
+//! ```text
+//! localab <algorithm> <family> <n> [--delta D] [--seed S]
+//!
+//! algorithms: linial | delta1 | cv | rand-greedy | be-tree | theorem10
+//!             | theorem11 | luby | det-mis | ghaffari | ii-matching
+//!             | det-matching | ec-matching | edge-color | sinkless
+//! families:   path | cycle | star | tree | complete-tree | regular
+//!             | gnp | caterpillar
+//! ```
+//!
+//! Examples:
+//!
+//! ```text
+//! localab theorem10 complete-tree 100000 --delta 16
+//! localab luby regular 4096 --delta 4 --seed 7
+//! localab cv cycle 1000000
+//! ```
+
+use exp_separation::algorithms::color::{
+    cole_vishkin::cv_color_cycle, edge_color_distributed, linial_color, linial_then_reduce,
+    rand_greedy_color, be_forest_coloring,
+};
+use exp_separation::algorithms::matching::{
+    det_matching, israeli_itai_matching, matching_by_edge_color,
+};
+use exp_separation::algorithms::mis::ghaffari::GhaffariConfig;
+use exp_separation::algorithms::mis::{det_mis, ghaffari_mis, luby_mis};
+use exp_separation::algorithms::orientation::sinkless_orientation;
+use exp_separation::algorithms::tree::{theorem10_color, theorem11_color, Theorem10Config};
+use exp_separation::graphs::{gen, Graph};
+use exp_separation::lcl::problems::{
+    EdgeKColoring, MaximalMatching, Mis, SinklessOrientation, VertexColoring,
+};
+use exp_separation::lcl::{Labeling, LclProblem};
+use exp_separation::model::IdAssignment;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::process::ExitCode;
+
+struct Args {
+    algorithm: String,
+    family: String,
+    n: usize,
+    delta: usize,
+    seed: u64,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.len() < 3 {
+        return Err("usage: localab <algorithm> <family> <n> [--delta D] [--seed S]".into());
+    }
+    let mut args = Args {
+        algorithm: argv[0].clone(),
+        family: argv[1].clone(),
+        n: argv[2]
+            .parse()
+            .map_err(|_| format!("n must be a number, got '{}'", argv[2]))?,
+        delta: 16,
+        seed: 1,
+    };
+    let mut i = 3;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--delta" => {
+                args.delta = argv
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--delta needs a number")?;
+                i += 2;
+            }
+            "--seed" => {
+                args.seed = argv
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--seed needs a number")?;
+                i += 2;
+            }
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+    }
+    Ok(args)
+}
+
+fn build_graph(args: &Args) -> Result<Graph, String> {
+    let mut rng = StdRng::seed_from_u64(args.seed ^ 0xFEED);
+    Ok(match args.family.as_str() {
+        "path" => gen::path(args.n),
+        "cycle" => gen::cycle(args.n),
+        "star" => gen::star(args.n),
+        "tree" => gen::random_tree_max_degree(args.n, args.delta, &mut rng),
+        "complete-tree" => gen::complete_dary_tree(args.n, args.delta),
+        "regular" => gen::random_regular(args.n, args.delta, &mut rng)
+            .map_err(|e| e.to_string())?,
+        "gnp" => gen::gnp(args.n, args.delta as f64 / args.n as f64, &mut rng),
+        "caterpillar" => gen::caterpillar(args.n, args.delta.saturating_sub(2)),
+        other => return Err(format!("unknown family '{other}'")),
+    })
+}
+
+fn validate<P>(problem: &P, g: &Graph, labels: &Labeling<P::Label>) -> &'static str
+where
+    P: LclProblem + Sync,
+    P::Label: Clone + Send + Sync,
+{
+    match problem.validate(g, labels) {
+        Ok(()) => "valid",
+        Err(_) => "INVALID",
+    }
+}
+
+fn run(args: &Args) -> Result<(), String> {
+    let g = build_graph(args)?;
+    println!("workload: {} ({})", g, args.family);
+    let (rounds, verdict): (u32, String) = match args.algorithm.as_str() {
+        "linial" => {
+            let out = linial_color(&g, &IdAssignment::Shuffled { seed: args.seed });
+            let v = validate(&VertexColoring::new(out.palette), &g, &out.labels);
+            (out.rounds, format!("{} colors, {v}", out.palette))
+        }
+        "delta1" => {
+            let out = linial_then_reduce(&g, g.max_degree() + 1, args.seed);
+            let v = validate(&VertexColoring::new(out.palette), &g, &out.labels);
+            (out.rounds, format!("{} colors, {v}", out.palette))
+        }
+        "cv" => {
+            let out = cv_color_cycle(&g, &IdAssignment::Shuffled { seed: args.seed });
+            let v = validate(&VertexColoring::new(3), &g, &out.labels);
+            (out.rounds, format!("3 colors, {v}"))
+        }
+        "rand-greedy" => {
+            let out = rand_greedy_color(&g, g.max_degree() + 1, args.seed, 100_000)
+                .map_err(|e| e.to_string())?;
+            let v = validate(&VertexColoring::new(out.palette), &g, &out.labels);
+            (out.rounds, format!("{} colors, {v}", out.palette))
+        }
+        "be-tree" => {
+            let ids: Vec<u64> = (0..g.n() as u64).collect();
+            let out = be_forest_coloring(&g, args.delta.max(3), &ids, None, 0);
+            let v = validate(&VertexColoring::new(out.palette), &g, &out.labels);
+            (out.rounds, format!("{} colors, {v}", out.palette))
+        }
+        "theorem10" => {
+            let out = theorem10_color(&g, args.delta, args.seed, Theorem10Config::default())
+                .map_err(|e| e.to_string())?;
+            let v = validate(
+                &VertexColoring::new(args.delta),
+                &g,
+                &out.coloring.labels,
+            );
+            (
+                out.coloring.rounds,
+                format!(
+                    "{} colors, {v} (bad: {}, largest comp {})",
+                    args.delta, out.stats.bad_vertices, out.stats.largest_bad_component
+                ),
+            )
+        }
+        "theorem11" => {
+            let out = theorem11_color(&g, args.delta, args.seed).map_err(|e| e.to_string())?;
+            let v = validate(
+                &VertexColoring::new(args.delta),
+                &g,
+                &out.coloring.labels,
+            );
+            (out.coloring.rounds, format!("{} colors, {v}", args.delta))
+        }
+        "luby" => {
+            let out = luby_mis(&g, args.seed, 100_000).map_err(|e| e.to_string())?;
+            let v = validate(&Mis::new(), &g, &out.in_set.clone().into());
+            (out.rounds, format!("MIS, {v}"))
+        }
+        "det-mis" => {
+            let out = det_mis(&g, &IdAssignment::Shuffled { seed: args.seed });
+            let v = validate(&Mis::new(), &g, &out.in_set.clone().into());
+            (out.rounds, format!("MIS, {v}"))
+        }
+        "ghaffari" => {
+            let out = ghaffari_mis(&g, args.seed, GhaffariConfig::default())
+                .map_err(|e| e.to_string())?;
+            let v = validate(&Mis::new(), &g, &out.in_set.clone().into());
+            (out.rounds, format!("MIS, {v}"))
+        }
+        "ii-matching" => {
+            let out = israeli_itai_matching(&g, args.seed, 100_000)
+                .map_err(|e| e.to_string())?;
+            let labels = MaximalMatching::labels_from_edges(&g, &out.matched_edges);
+            let v = validate(&MaximalMatching::new(), &g, &labels);
+            (out.rounds, format!("matching, {v}"))
+        }
+        "det-matching" => {
+            let out = det_matching(&g, &IdAssignment::Shuffled { seed: args.seed });
+            let labels = MaximalMatching::labels_from_edges(&g, &out.matched_edges);
+            let v = validate(&MaximalMatching::new(), &g, &labels);
+            (out.rounds, format!("matching, {v}"))
+        }
+        "ec-matching" => {
+            let out = matching_by_edge_color(&g, args.seed);
+            let labels = MaximalMatching::labels_from_edges(&g, &out.matched_edges);
+            let v = validate(&MaximalMatching::new(), &g, &labels);
+            (out.rounds, format!("matching, {v}"))
+        }
+        "edge-color" => {
+            let out = edge_color_distributed(&g, args.seed);
+            let labels = EdgeKColoring::labels_from_edge_colors(&g, &out.colors);
+            let v = validate(&EdgeKColoring::new(out.palette), &g, &labels);
+            (out.rounds, format!("{} edge colors, {v}", out.palette))
+        }
+        "sinkless" => {
+            let out = sinkless_orientation(&g, args.seed, 40).map_err(|e| e.to_string())?;
+            let verdict = if out.sinks == 0 {
+                validate(
+                    &SinklessOrientation::new(g.max_degree()),
+                    &g,
+                    &out.labels,
+                )
+                .to_owned()
+            } else {
+                format!("{} sinks remain", out.sinks)
+            };
+            (out.rounds, format!("orientation, {verdict}"))
+        }
+        other => return Err(format!("unknown algorithm '{other}'")),
+    };
+    println!("rounds:   {rounds}");
+    println!("result:   {verdict}");
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    // Library preconditions (Δ floors, family shapes, n ≥ 1) surface as
+    // panics; turn them into CLI errors instead of backtraces.
+    std::panic::set_hook(Box::new(|_| {}));
+    let outcome = parse_args().and_then(|args| {
+        std::panic::catch_unwind(|| run(&args)).unwrap_or_else(|payload| {
+            let msg = payload
+                .downcast_ref::<String>()
+                .cloned()
+                .or_else(|| payload.downcast_ref::<&str>().map(|s| (*s).to_owned()))
+                .unwrap_or_else(|| "algorithm precondition violated".to_owned());
+            Err(msg)
+        })
+    });
+    match outcome {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!();
+            eprintln!("usage: localab <algorithm> <family> <n> [--delta D] [--seed S]");
+            eprintln!("  algorithms: linial delta1 cv rand-greedy be-tree theorem10 theorem11");
+            eprintln!("              luby det-mis ghaffari ii-matching det-matching ec-matching");
+            eprintln!("              edge-color sinkless");
+            eprintln!("  families:   path cycle star tree complete-tree regular gnp caterpillar");
+            ExitCode::FAILURE
+        }
+    }
+}

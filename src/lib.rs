@@ -1,0 +1,41 @@
+//! # exp-separation
+//!
+//! A laboratory for Linial's LOCAL model reproducing the results of
+//! Chang, Kopelowitz & Pettie, *An Exponential Separation Between Randomized
+//! and Deterministic Complexity in the LOCAL Model* (PODC/FOCS 2016).
+//!
+//! This facade crate re-exports the workspace crates so downstream users can
+//! depend on one package:
+//!
+//! * [`graphs`] — graph representation, generators, girth, edge coloring.
+//! * [`model`] — the synchronous DetLOCAL / RandLOCAL round engine.
+//! * [`lcl`] — locally checkable labeling problems and verifiers.
+//! * [`algorithms`] — the distributed algorithms the paper states or uses.
+//! * [`separation`] — the paper's contribution: derandomization (Theorem 3),
+//!   speedup transforms (Theorems 6/8), graph shattering, lower-bound
+//!   experiments, and complexity measurement.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use exp_separation::graphs::gen;
+//! use exp_separation::lcl::problems::VertexColoring;
+//! use exp_separation::lcl::LclProblem;
+//! use exp_separation::algorithms::color;
+//!
+//! // Δ-color a random tree with the paper's randomized algorithm and verify
+//! // the result with the LCL checker.
+//! let mut rng = rand::thread_rng();
+//! let tree = gen::random_tree_max_degree(200, 8, &mut rng);
+//! let outcome = color::linial_then_reduce(&tree, 9, 0xC0FFEE);
+//! let problem = VertexColoring::new(9);
+//! assert!(problem.validate(&tree, &outcome.labels).is_ok());
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use local_algorithms as algorithms;
+pub use local_graphs as graphs;
+pub use local_lcl as lcl;
+pub use local_model as model;
+pub use local_separation as separation;

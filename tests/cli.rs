@@ -1,0 +1,71 @@
+//! End-to-end tests of the `localab` CLI binary.
+
+use std::process::Command;
+
+fn localab(args: &[&str]) -> (bool, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_localab"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    let text = format!(
+        "{}{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    (out.status.success(), text)
+}
+
+#[test]
+fn cv_on_cycle() {
+    let (ok, text) = localab(&["cv", "cycle", "1000"]);
+    assert!(ok, "{text}");
+    assert!(text.contains("3 colors, valid"), "{text}");
+}
+
+#[test]
+fn theorem10_on_complete_tree() {
+    let (ok, text) = localab(&["theorem10", "complete-tree", "2000", "--delta", "16"]);
+    assert!(ok, "{text}");
+    assert!(text.contains("16 colors, valid"), "{text}");
+    assert!(text.contains("rounds:"), "{text}");
+}
+
+#[test]
+fn luby_on_regular() {
+    let (ok, text) = localab(&["luby", "regular", "256", "--delta", "4", "--seed", "9"]);
+    assert!(ok, "{text}");
+    assert!(text.contains("MIS, valid"), "{text}");
+}
+
+#[test]
+fn matching_family() {
+    for algo in ["ii-matching", "det-matching", "ec-matching"] {
+        let (ok, text) = localab(&[algo, "gnp", "60", "--delta", "5"]);
+        assert!(ok, "{algo}: {text}");
+        assert!(text.contains("matching, valid"), "{algo}: {text}");
+    }
+}
+
+#[test]
+fn edge_color_and_delta1() {
+    let (ok, text) = localab(&["edge-color", "cycle", "100"]);
+    assert!(ok, "{text}");
+    assert!(text.contains("edge colors, valid"), "{text}");
+    let (ok, text) = localab(&["delta1", "tree", "300", "--delta", "6"]);
+    assert!(ok, "{text}");
+    assert!(text.contains("valid"), "{text}");
+}
+
+#[test]
+fn unknown_algorithm_fails_with_usage() {
+    let (ok, text) = localab(&["frobnicate", "path", "5"]);
+    assert!(!ok);
+    assert!(text.contains("usage:"), "{text}");
+}
+
+#[test]
+fn missing_args_fail_with_usage() {
+    let (ok, text) = localab(&[]);
+    assert!(!ok);
+    assert!(text.contains("usage:"), "{text}");
+}

@@ -1,0 +1,154 @@
+//! Cross-crate integration: full algorithm pipelines on assorted workloads,
+//! every output validated by the LCL checkers — and the centralized and
+//! distributed verifiers must agree on every labeling they see.
+
+use exp_separation::algorithms::color::{
+    be_forest_coloring, linial_then_reduce, rand_greedy_color,
+};
+use exp_separation::algorithms::matching::{det_matching, israeli_itai_matching};
+use exp_separation::algorithms::mis::ghaffari::GhaffariConfig;
+use exp_separation::algorithms::mis::{det_mis, ghaffari_mis, luby_mis};
+use exp_separation::algorithms::orientation::sinkless_orientation;
+use exp_separation::algorithms::tree::{theorem10_color, theorem11_color, Theorem10Config};
+use exp_separation::graphs::{analysis, gen};
+use exp_separation::lcl::problems::{
+    MaximalMatching, Mis, SinklessOrientation, VertexColoring,
+};
+use exp_separation::lcl::{verifier, Labeling, LclProblem};
+use exp_separation::model::IdAssignment;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Validate with both checkers and assert agreement.
+fn check_both<P>(problem: &P, g: &exp_separation::graphs::Graph, labels: &Labeling<P::Label>)
+where
+    P: LclProblem + Sync,
+    P::Label: Clone + Send + Sync,
+{
+    let central = problem.validate(g, labels);
+    let distributed = verifier::check_distributed(problem, g, labels);
+    match (central, distributed) {
+        (Ok(()), Ok(())) => {}
+        (Err(a), Err(b)) => panic!("both verifiers reject ({a}; {b}) — pipeline bug"),
+        (a, b) => panic!("verifier disagreement: central {a:?} vs distributed {b:?}"),
+    }
+}
+
+#[test]
+fn coloring_pipelines_across_workloads() {
+    let mut rng = StdRng::seed_from_u64(100);
+    let workloads: Vec<exp_separation::graphs::Graph> = vec![
+        gen::cycle(40),
+        gen::grid(8, 5),
+        gen::gnp(60, 0.1, &mut rng),
+        gen::random_tree_max_degree(150, 6, &mut rng),
+        gen::random_regular(48, 4, &mut rng).unwrap(),
+    ];
+    for (i, g) in workloads.iter().enumerate() {
+        let palette = g.max_degree() + 1;
+        let det = linial_then_reduce(g, palette, i as u64);
+        check_both(&VertexColoring::new(palette), g, &det.labels);
+        let rand = rand_greedy_color(g, palette, i as u64, 2000).unwrap();
+        check_both(&VertexColoring::new(palette), g, &rand.labels);
+    }
+}
+
+#[test]
+fn tree_coloring_theorems_agree_on_palette() {
+    let mut rng = StdRng::seed_from_u64(101);
+    for delta in [9usize, 12, 16] {
+        let g = gen::random_tree_max_degree(300, delta, &mut rng);
+        let t10 = theorem10_color(&g, delta, 5, Theorem10Config::default()).unwrap();
+        check_both(&VertexColoring::new(delta), &g, &t10.coloring.labels);
+        let t11 = theorem11_color(&g, delta, 5).unwrap();
+        check_both(&VertexColoring::new(delta), &g, &t11.coloring.labels);
+        // Theorem 9 with the same palette.
+        let ids: Vec<u64> = (0..g.n() as u64).collect();
+        let t9 = be_forest_coloring(&g, delta, &ids, None, 0);
+        check_both(&VertexColoring::new(delta), &g, &t9.labels);
+    }
+}
+
+#[test]
+fn mis_pipelines_across_workloads() {
+    let mut rng = StdRng::seed_from_u64(102);
+    let workloads = [gen::cycle(33),
+        gen::star(20),
+        gen::gnp(70, 0.08, &mut rng),
+        gen::random_regular(40, 5, &mut rng).unwrap()];
+    for (i, g) in workloads.iter().enumerate() {
+        let seed = i as u64;
+        let l = luby_mis(g, seed, 10_000).unwrap();
+        check_both(&Mis::new(), g, &l.in_set.clone().into());
+        let d = det_mis(g, &IdAssignment::Shuffled { seed });
+        check_both(&Mis::new(), g, &d.in_set.clone().into());
+        let gh = ghaffari_mis(g, seed, GhaffariConfig::default()).unwrap();
+        check_both(&Mis::new(), g, &gh.in_set.clone().into());
+    }
+}
+
+#[test]
+fn matching_pipelines_across_workloads() {
+    let mut rng = StdRng::seed_from_u64(103);
+    let workloads = [gen::path(31),
+        gen::cycle(18),
+        gen::gnp(40, 0.15, &mut rng)];
+    for (i, g) in workloads.iter().enumerate() {
+        let seed = i as u64;
+        let r = israeli_itai_matching(g, seed, 5000).unwrap();
+        let labels = MaximalMatching::labels_from_edges(g, &r.matched_edges);
+        check_both(&MaximalMatching::new(), g, &labels);
+        let d = det_matching(g, &IdAssignment::Shuffled { seed });
+        let labels = MaximalMatching::labels_from_edges(g, &d.matched_edges);
+        check_both(&MaximalMatching::new(), g, &labels);
+    }
+}
+
+#[test]
+fn sinkless_orientation_end_to_end() {
+    let mut rng = StdRng::seed_from_u64(104);
+    let g = gen::random_regular(60, 3, &mut rng).unwrap();
+    // Enough repair phases to succeed w.h.p.; validated through the LCL.
+    for seed in 0..5 {
+        let out = sinkless_orientation(&g, seed, 40).unwrap();
+        if out.sinks == 0 {
+            check_both(&SinklessOrientation::new(3), &g, &out.labels);
+            return;
+        }
+    }
+    panic!("40 repair phases failed 5 times in a row — astronomically unlikely");
+}
+
+#[test]
+fn randomized_and_deterministic_rounds_separate_on_big_cycles() {
+    // The intro's summary in one test: deterministic Δ+1 coloring is
+    // log*-flat in n, Luby's MIS grows; both valid.
+    let small = gen::cycle(1 << 8);
+    let large = gen::cycle(1 << 13);
+    let det_small = linial_then_reduce(&small, 3, 1).rounds;
+    let det_large = linial_then_reduce(&large, 3, 1).rounds;
+    assert!(det_large <= det_small + 3, "{det_small} vs {det_large}");
+    let luby_small = luby_mis(&small, 1, 10_000).unwrap().rounds;
+    let luby_large = luby_mis(&large, 1, 10_000).unwrap().rounds;
+    assert!(
+        luby_large >= luby_small,
+        "Luby should not shrink with n: {luby_small} vs {luby_large}"
+    );
+}
+
+#[test]
+fn power_graph_simulation_identity() {
+    // Simulating G^k costs a factor k: verify the structural identity the
+    // speedup theorems rely on — a G²-neighborhood equals a radius-2 ball.
+    let mut rng = StdRng::seed_from_u64(105);
+    let g = gen::random_tree_max_degree(60, 4, &mut rng);
+    let g2 = analysis::power_graph(&g, 2);
+    for v in g.vertices() {
+        let dist = analysis::bfs_distances(&g, v);
+        for u in g.vertices() {
+            let adjacent = g2.has_edge(v, u);
+            let within2 = u != v && dist[u] <= 2;
+            assert_eq!(adjacent, within2, "G² edge ({v},{u})");
+        }
+    }
+}

@@ -1,0 +1,107 @@
+//! Robustness under adversarial port numbering and ID assignments.
+//!
+//! A correct LOCAL algorithm may read port numbers and IDs, but its
+//! *correctness* must survive any assignment of either. These tests rerun
+//! the key pipelines on port-shuffled copies of the same graphs and under
+//! hostile ID orders, validating every output.
+
+use exp_separation::algorithms::color::{linial_then_reduce, rand_greedy_color};
+use exp_separation::algorithms::matching::matching_by_edge_color;
+use exp_separation::algorithms::mis::{det_mis, luby_mis};
+use exp_separation::algorithms::tree::{theorem10_color, Theorem10Config};
+use exp_separation::graphs::gen;
+use exp_separation::lcl::problems::{MaximalMatching, Mis, VertexColoring};
+use exp_separation::lcl::{Labeling, LclProblem};
+use exp_separation::model::IdAssignment;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn coloring_pipelines_survive_port_shuffles() {
+    let mut rng = StdRng::seed_from_u64(300);
+    let base = gen::gnp(50, 0.12, &mut rng);
+    for shuffle_seed in 0..4 {
+        let g = base.shuffle_ports(shuffle_seed);
+        let palette = g.max_degree() + 1;
+        let det = linial_then_reduce(&g, palette, 1);
+        VertexColoring::new(palette)
+            .validate(&g, &det.labels)
+            .unwrap_or_else(|v| panic!("shuffle {shuffle_seed}: {v}"));
+        let rand = rand_greedy_color(&g, palette, 1, 2000).unwrap();
+        VertexColoring::new(palette)
+            .validate(&g, &rand.labels)
+            .unwrap_or_else(|v| panic!("shuffle {shuffle_seed}: {v}"));
+    }
+}
+
+#[test]
+fn mis_survives_port_shuffles() {
+    let mut rng = StdRng::seed_from_u64(301);
+    let base = gen::random_regular(48, 4, &mut rng).unwrap();
+    for shuffle_seed in 0..4 {
+        let g = base.shuffle_ports(shuffle_seed);
+        for out in [
+            luby_mis(&g, 5, 10_000).unwrap().in_set,
+            det_mis(&g, &IdAssignment::Shuffled { seed: 5 }).in_set,
+        ] {
+            let labels: Labeling<bool> = out.into();
+            Mis::new()
+                .validate(&g, &labels)
+                .unwrap_or_else(|v| panic!("shuffle {shuffle_seed}: {v}"));
+        }
+    }
+}
+
+#[test]
+fn matching_survives_port_shuffles() {
+    let mut rng = StdRng::seed_from_u64(302);
+    let base = gen::gnp(40, 0.15, &mut rng);
+    for shuffle_seed in 0..4 {
+        let g = base.shuffle_ports(shuffle_seed);
+        let out = matching_by_edge_color(&g, 3);
+        let labels = MaximalMatching::labels_from_edges(&g, &out.matched_edges);
+        MaximalMatching::new()
+            .validate(&g, &labels)
+            .unwrap_or_else(|v| panic!("shuffle {shuffle_seed}: {v}"));
+    }
+}
+
+#[test]
+fn theorem10_survives_port_shuffles_and_hostile_ids() {
+    let mut rng = StdRng::seed_from_u64(303);
+    let base = gen::random_tree_max_degree(400, 16, &mut rng);
+    for shuffle_seed in 0..3 {
+        let g = base.shuffle_ports(shuffle_seed);
+        let out = theorem10_color(&g, 16, 7, Theorem10Config::default()).unwrap();
+        VertexColoring::new(16)
+            .validate(&g, &out.coloring.labels)
+            .unwrap_or_else(|v| panic!("shuffle {shuffle_seed}: {v}"));
+    }
+}
+
+#[test]
+fn det_pipelines_survive_adversarial_id_orders() {
+    // Reverse, shuffled, and wide-random IDs must all produce valid outputs
+    // (round counts may differ — that is the adversary's prerogative).
+    let mut rng = StdRng::seed_from_u64(304);
+    let g = gen::gnp(60, 0.1, &mut rng);
+    let palette = g.max_degree() + 1;
+    let assignments = [
+        IdAssignment::Sequential,
+        IdAssignment::Custom((0..g.n() as u64).rev().collect()),
+        IdAssignment::Shuffled { seed: 9 },
+        IdAssignment::RandomBits { seed: 9, bits: 32 },
+    ];
+    for (i, ids) in assignments.iter().enumerate() {
+        let out = exp_separation::algorithms::color::linial_color(&g, ids);
+        VertexColoring::new(out.palette)
+            .validate(&g, &out.labels)
+            .unwrap_or_else(|v| panic!("assignment {i}: {v}"));
+        let mis = det_mis(&g, ids);
+        let labels: Labeling<bool> = mis.in_set.into();
+        Mis::new()
+            .validate(&g, &labels)
+            .unwrap_or_else(|v| panic!("assignment {i}: {v}"));
+        let _ = palette;
+    }
+}
