@@ -135,7 +135,10 @@ impl SyncAlgorithm for ColeVishkin {
 ///
 /// Panics if `g` is not 2-regular or `n < 3`.
 pub fn cv_color_cycle(g: &Graph, ids: &IdAssignment) -> ColoringOutcome {
-    assert!(g.n() >= 3 && g.is_regular(2), "cv_color_cycle needs a cycle");
+    assert!(
+        g.n() >= 3 && g.is_regular(2),
+        "cv_color_cycle needs a cycle"
+    );
     let n = g.n();
     let succ_port: Vec<PortId> = (0..n)
         .map(|v: NodeId| {

@@ -126,9 +126,7 @@ impl PolyFamily {
         for d in 1..=64u32 {
             let q = next_prime((delta as u64 * u64::from(d) + 1).max(ceil_root(k, d + 1)));
             let cand = PolyFamily { q, d, k, delta };
-            if best
-                .is_none_or(|b: PolyFamily| cand.palette_wide() < b.palette_wide())
-            {
+            if best.is_none_or(|b: PolyFamily| cand.palette_wide() < b.palette_wide()) {
                 best = Some(cand);
             }
             // Once q is pinned by Δ·d alone, larger d only hurts.
@@ -206,7 +204,11 @@ impl PolyFamily {
     /// Panics if more than Δ *distinct-colored* neighbors are supplied and no
     /// safe evaluation point exists, or if a color is `≥ k`.
     pub fn recolor(&self, own: u64, neighbors: &[u64]) -> u64 {
-        assert!(own < self.k, "color {own} outside source palette {}", self.k);
+        assert!(
+            own < self.k,
+            "color {own} outside source palette {}",
+            self.k
+        );
         for &nb in neighbors {
             assert!(nb < self.k, "color {nb} outside source palette {}", self.k);
         }
@@ -276,7 +278,9 @@ mod tests {
         let fam = PolyFamily::new(1000, 3);
         // Two distinct colors agree on at most d points.
         for (a, b) in [(0u64, 1), (5, 900), (123, 124)] {
-            let agreements = (0..fam.q()).filter(|&x| fam.eval(a, x) == fam.eval(b, x)).count();
+            let agreements = (0..fam.q())
+                .filter(|&x| fam.eval(a, x) == fam.eval(b, x))
+                .count();
             assert!(
                 agreements <= fam.degree_bound() as usize,
                 "colors {a},{b} agree on {agreements} > d points"

@@ -66,20 +66,13 @@ pub struct ColoringOutcome {
 /// let out = linial_then_reduce(&g, 3, 7);
 /// assert!(VertexColoring::new(3).validate(&g, &out.labels).is_ok());
 /// ```
-pub fn linial_then_reduce(
-    g: &local_graphs::Graph,
-    palette: usize,
-    seed: u64,
-) -> ColoringOutcome {
+pub fn linial_then_reduce(g: &local_graphs::Graph, palette: usize, seed: u64) -> ColoringOutcome {
     assert!(
         palette > g.max_degree(),
         "palette {palette} must exceed Δ = {}",
         g.max_degree()
     );
-    let base = linial_color(
-        g,
-        &local_model::IdAssignment::Shuffled { seed },
-    );
+    let base = linial_color(g, &local_model::IdAssignment::Shuffled { seed });
     let reduced = reduce_colors(g, &base.labels, base.palette, palette);
     ColoringOutcome {
         labels: reduced.labels,

@@ -184,7 +184,9 @@ mod tests {
             let palette = g.max_degree() + 1;
             let out = rand_greedy_color(&g, palette, trial, 500).unwrap();
             assert!(
-                VertexColoring::new(palette).validate(&g, &out.labels).is_ok(),
+                VertexColoring::new(palette)
+                    .validate(&g, &out.labels)
+                    .is_ok(),
                 "trial {trial}"
             );
         }

@@ -39,7 +39,11 @@ impl SyncAlgorithm for ColorReduction {
 
     fn init(&self, init: &NodeInit<'_>) -> usize {
         let c = self.initial[init.node];
-        assert!(c < self.from, "initial color {c} outside palette {}", self.from);
+        assert!(
+            c < self.from,
+            "initial color {c} outside palette {}",
+            self.from
+        );
         c
     }
 
@@ -86,13 +90,8 @@ pub fn reduce_colors(
         g.max_degree()
     );
     let algo = ColorReduction::new(labels.as_slice().to_vec(), from, target);
-    let out = run_sync(
-        g,
-        Mode::deterministic(),
-        &algo,
-        (from - target) as u32 + 2,
-    )
-    .expect("reduction halts after from-target rounds");
+    let out = run_sync(g, Mode::deterministic(), &algo, (from - target) as u32 + 2)
+        .expect("reduction halts after from-target rounds");
     ColoringOutcome {
         labels: Labeling::new(out.outputs),
         palette: target,
@@ -153,7 +152,9 @@ mod tests {
             let target = g.max_degree() + 1;
             let out = linial_then_reduce(&g, target, i);
             assert!(
-                VertexColoring::new(target).validate(&g, &out.labels).is_ok(),
+                VertexColoring::new(target)
+                    .validate(&g, &out.labels)
+                    .is_ok(),
                 "trial {i}"
             );
         }

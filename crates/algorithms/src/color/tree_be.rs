@@ -226,7 +226,10 @@ pub fn be_forest_coloring_detailed(
         for &(u, v) in g.edges() {
             if active[u] && active[v] {
                 let (ru, rv) = (find(&mut parent, u), find(&mut parent, v));
-                assert!(ru != rv, "active subgraph contains a cycle through ({u},{v})");
+                assert!(
+                    ru != rv,
+                    "active subgraph contains a cycle through ({u},{v})"
+                );
                 parent[ru] = rv;
             }
         }
@@ -284,20 +287,18 @@ pub fn be_forest_coloring_detailed(
         colors: linial_out.outputs.iter().map(|&c| c as usize).collect(),
         group_of: group_of.clone(),
     };
-    let reduce_out = run_sync(
-        g,
-        Mode::deterministic(),
-        &reduce,
-        c_colors as u32 + 2,
-    )
-    .expect("reduction halts");
+    let reduce_out =
+        run_sync(g, Mode::deterministic(), &reduce, c_colors as u32 + 2).expect("reduction halts");
     total_rounds += reduce_out.rounds;
 
     // Phase 4: scheduled sweep.
     let sweep = SweepAlgo {
         q,
         ell,
-        layer_of: layer_of.iter().map(|&l| if l == u32::MAX { 0 } else { l }).collect(),
+        layer_of: layer_of
+            .iter()
+            .map(|&l| if l == u32::MAX { 0 } else { l })
+            .collect(),
         class_of: reduce_out.outputs,
         active: active.clone(),
     };
@@ -394,7 +395,9 @@ mod tests {
         let small_q = be_forest_coloring(&g, 3, &seq_ids(g.n()), None, 0);
         let large_q = be_forest_coloring(&g, 16, &seq_ids(g.n()), None, 0);
         assert!(VertexColoring::new(3).validate(&g, &small_q.labels).is_ok());
-        assert!(VertexColoring::new(16).validate(&g, &large_q.labels).is_ok());
+        assert!(VertexColoring::new(16)
+            .validate(&g, &large_q.labels)
+            .is_ok());
     }
 
     #[test]

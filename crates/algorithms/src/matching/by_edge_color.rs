@@ -79,9 +79,8 @@ impl SyncAlgorithm for EdgeClassSweep {
         if class >= self.palette {
             return SyncStep::Decide(state.clone(), None);
         }
-        let candidate = (0..ctx.degree()).find(|&p| {
-            state.colors[p] == class && neighbors[p].matched.is_none()
-        });
+        let candidate =
+            (0..ctx.degree()).find(|&p| state.colors[p] == class && neighbors[p].matched.is_none());
         match candidate {
             Some(p) => {
                 let next = EcFullState {
@@ -105,13 +104,8 @@ pub fn matching_by_edge_color(g: &Graph, seed: u64) -> MatchingOutcome {
     assert!(g.m() > 0, "no edges to match");
     let coloring = edge_color_distributed(g, seed);
     let algo = EdgeClassSweep::new(g, &coloring.colors, coloring.palette);
-    let out = run_sync(
-        g,
-        Mode::deterministic(),
-        &algo,
-        coloring.palette as u32 + 2,
-    )
-    .expect("sweep halts after palette rounds");
+    let out = run_sync(g, Mode::deterministic(), &algo, coloring.palette as u32 + 2)
+        .expect("sweep halts after palette rounds");
     let mut matched_edges = vec![false; g.m()];
     for v in g.vertices() {
         if let Some(p) = out.outputs[v] {

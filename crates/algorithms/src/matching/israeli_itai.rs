@@ -83,10 +83,7 @@ impl SyncAlgorithm for IsraeliItai {
                     2 => {
                         // Acceptance round: acceptors take the lowest-port
                         // incoming proposal from a proposer.
-                        let i_am_proposer = matches!(
-                            state,
-                            IiState::Free { proposer: true, .. }
-                        );
+                        let i_am_proposer = matches!(state, IiState::Free { proposer: true, .. });
                         if !i_am_proposer {
                             let incoming = (0..ctx.degree()).find(|&p| {
                                 matches!(
@@ -111,10 +108,7 @@ impl SyncAlgorithm for IsraeliItai {
                                 &neighbors[*p],
                                 IiState::Matched { port } if *port == ctx.back_port(*p)
                             ) {
-                                return SyncStep::Decide(
-                                    IiState::Matched { port: *p },
-                                    Some(*p),
-                                );
+                                return SyncStep::Decide(IiState::Matched { port: *p }, Some(*p));
                             }
                         }
                         SyncStep::Continue(IiState::Free {

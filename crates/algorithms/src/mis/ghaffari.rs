@@ -115,16 +115,13 @@ impl SyncAlgorithm for PreShatter {
                         (2.0 * p).min(0.5)
                     };
                     let marked = ctx.rng().gen::<f64>() < next_p;
-                    SyncStep::Continue(GState::Undecided {
-                        p: next_p,
-                        marked,
-                    })
+                    SyncStep::Continue(GState::Undecided { p: next_p, marked })
                 } else {
                     // Even round: lone marks join.
                     if *marked
-                        && !neighbors.iter().any(
-                            |nb| matches!(nb, GState::Undecided { marked: true, .. }),
-                        )
+                        && !neighbors
+                            .iter()
+                            .any(|nb| matches!(nb, GState::Undecided { marked: true, .. }))
                     {
                         SyncStep::Decide(GState::InMis, Some(true))
                     } else {
@@ -177,11 +174,7 @@ pub fn ghaffari_preshatter(
 /// # Errors
 ///
 /// Propagates engine errors from either phase.
-pub fn ghaffari_mis(
-    g: &Graph,
-    seed: u64,
-    config: GhaffariConfig,
-) -> Result<MisOutcome, SimError> {
+pub fn ghaffari_mis(g: &Graph, seed: u64, config: GhaffariConfig) -> Result<MisOutcome, SimError> {
     let pre = ghaffari_preshatter(g, seed, config)?;
     let mut rounds = pre.rounds;
 

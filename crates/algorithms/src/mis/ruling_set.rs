@@ -45,10 +45,7 @@ pub fn is_ruling_set(g: &Graph, in_set: &[bool], k: usize) -> bool {
         let dist = analysis::bfs_distances(g, v);
         if in_set[v] {
             // No other member within distance k.
-            if g
-                .vertices()
-                .any(|u| u != v && in_set[u] && dist[u] <= k)
-            {
+            if g.vertices().any(|u| u != v && in_set[u] && dist[u] <= k) {
                 return false;
             }
         } else {

@@ -49,7 +49,10 @@ pub fn orientation_from_coloring(
     psi: &EdgeColoring,
     colors: &Labeling<usize>,
 ) -> Labeling<Orientation> {
-    assert!(g.is_regular(delta), "sinkless problems live on Δ-regular graphs");
+    assert!(
+        g.is_regular(delta),
+        "sinkless problems live on Δ-regular graphs"
+    );
     assert!(psi.num_colors() <= delta, "ψ must be a Δ-edge coloring");
     assert_eq!(colors.len(), g.n(), "one color per vertex");
     let mut labels: Vec<Orientation> = Vec::with_capacity(g.n());
@@ -62,8 +65,8 @@ pub fn orientation_from_coloring(
                 let mine = *colors.get(v) == e_color;
                 let theirs = *colors.get(nb.node) == e_color;
                 match (mine, theirs) {
-                    (true, false) => true,   // I claim it: out for me.
-                    (false, true) => false,  // They claim it: in for me.
+                    (true, false) => true,  // I claim it: out for me.
+                    (false, true) => false, // They claim it: in for me.
                     (true, true) => {
                         // Forbidden configuration of the input coloring: no
                         // consistent claim. Fall through to the tie rule so
@@ -71,9 +74,7 @@ pub fn orientation_from_coloring(
                         // surfaces as a possible sink, as in Lemma 1.
                         tie_rule(*colors.get(v), *colors.get(nb.node), v, nb.node)
                     }
-                    (false, false) => {
-                        tie_rule(*colors.get(v), *colors.get(nb.node), v, nb.node)
-                    }
+                    (false, false) => tie_rule(*colors.get(v), *colors.get(nb.node), v, nb.node),
                 }
             })
             .collect();
@@ -115,7 +116,10 @@ pub fn coloring_from_orientation(
     psi: &EdgeColoring,
     orientation: &Labeling<Orientation>,
 ) -> Labeling<usize> {
-    assert!(g.is_regular(delta), "sinkless problems live on Δ-regular graphs");
+    assert!(
+        g.is_regular(delta),
+        "sinkless problems live on Δ-regular graphs"
+    );
     assert!(psi.num_colors() <= delta, "ψ must be a Δ-edge coloring");
     assert_eq!(orientation.len(), g.n(), "one orientation per vertex");
     let labels: Vec<usize> = g
@@ -190,9 +194,13 @@ mod tests {
         let side = analysis::bipartition(&g).unwrap();
         let colors: Labeling<usize> = side.iter().map(|&s| s as usize).collect();
         let orientation = orientation_from_coloring(&g, 4, &psi, &colors);
-        SinklessOrientation::new(4).validate(&g, &orientation).unwrap();
+        SinklessOrientation::new(4)
+            .validate(&g, &orientation)
+            .unwrap();
         let colors2 = coloring_from_orientation(&g, 4, &psi, &orientation);
-        SinklessColoring::new(4, psi).validate(&g, &colors2).unwrap();
+        SinklessColoring::new(4, psi)
+            .validate(&g, &colors2)
+            .unwrap();
     }
 
     #[test]

@@ -185,7 +185,10 @@ mod tests {
                 assert!(problem.validate(&g, &out.labels).is_ok());
             }
         }
-        assert!(solved >= 8, "30 phases should almost always succeed: {solved}/10");
+        assert!(
+            solved >= 8,
+            "30 phases should almost always succeed: {solved}/10"
+        );
     }
 
     #[test]

@@ -13,10 +13,10 @@
 //! after the last decision — that extra sweep is infrastructure, not
 //! algorithmic cost, and is excluded from the metric.
 
+use local_graphs::{Graph, PortId};
 use local_model::{
     Action, Engine, GlobalParams, Mode, NodeInit, NodeIo, NodeProgram, Protocol, SimError,
 };
-use local_graphs::{Graph, PortId};
 use rand::RngCore;
 
 /// The result of one [`SyncAlgorithm::update`].
@@ -168,7 +168,8 @@ impl<'a, A: SyncAlgorithm> NodeProgram for SyncNode<'a, A> {
                     },
                     back_ports: &self.back_ports,
                 };
-                self.algo.update(round, &mut ctx, &self.state, &neighbor_states)
+                self.algo
+                    .update(round, &mut ctx, &self.state, &neighbor_states)
             };
             match step {
                 SyncStep::Continue(s) => self.state = s,

@@ -142,8 +142,7 @@ impl SyncAlgorithm for Phase1 {
             if i >= 2 {
                 let completed = i - 1;
                 let bad = if completed == 1 {
-                    (palette_size as f64) - (live_degree as f64)
-                        < self.margin * self.delta as f64
+                    (palette_size as f64) - (live_degree as f64) < self.margin * self.delta as f64
                 } else if completed < t {
                     // degree cap Δ/c_{completed+1}; schedule is 0-indexed so
                     // c_{completed+1} = schedule[completed].
@@ -162,8 +161,7 @@ impl SyncAlgorithm for Phase1 {
             // --- bid for iteration i ---
             debug_assert!(i <= t, "round past the schedule implies Bad above");
             let c_i = self.schedule[(i - 1) as usize];
-            let available: Vec<usize> =
-                (0..self.main_palette).filter(|&c| palette[c]).collect();
+            let available: Vec<usize> = (0..self.main_palette).filter(|&c| palette[c]).collect();
             let bid = if c_i <= 1.0 {
                 let k = ctx.rng().gen_range(0..available.len() as u64) as usize;
                 vec![available[k]]
@@ -239,7 +237,10 @@ pub fn theorem10_phase1(
     seed: u64,
     config: Theorem10Config,
 ) -> Result<(Vec<Option<usize>>, u32), SimError> {
-    assert!(delta >= 9, "Theorem 10 needs Δ ≥ 9 (reserved √Δ palette ≥ 3)");
+    assert!(
+        delta >= 9,
+        "Theorem 10 needs Δ ≥ 9 (reserved √Δ palette ≥ 3)"
+    );
     assert!(
         g.max_degree() <= delta,
         "graph degree {} exceeds Δ = {delta}",
@@ -388,7 +389,9 @@ mod tests {
     fn colors_complete_dary_tree() {
         let g = gen::complete_dary_tree(800, 16);
         let out = theorem10_color(&g, 16, 5, Theorem10Config::default()).unwrap();
-        assert!(VertexColoring::new(16).validate(&g, &out.coloring.labels).is_ok());
+        assert!(VertexColoring::new(16)
+            .validate(&g, &out.coloring.labels)
+            .is_ok());
     }
 
     #[test]
@@ -396,7 +399,9 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(61);
         let g = gen::random_tree_max_degree(800, 55, &mut rng);
         let out = theorem10_color(&g, 55, 9, Theorem10Config::default()).unwrap();
-        assert!(VertexColoring::new(55).validate(&g, &out.coloring.labels).is_ok());
+        assert!(VertexColoring::new(55)
+            .validate(&g, &out.coloring.labels)
+            .is_ok());
     }
 
     #[test]
@@ -457,7 +462,9 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(65);
         let g = gen::random_tree_max_degree(300, 8, &mut rng);
         let out = theorem10_color(&g, 16, 4, Theorem10Config::default()).unwrap();
-        assert!(VertexColoring::new(16).validate(&g, &out.coloring.labels).is_ok());
+        assert!(VertexColoring::new(16)
+            .validate(&g, &out.coloring.labels)
+            .is_ok());
     }
 
     #[test]

@@ -263,16 +263,15 @@ pub fn theorem11_color(g: &Graph, delta: usize, seed: u64) -> Result<Theorem11Ou
     }
 
     // Every uncolored vertex now has at most 3 uncolored neighbors.
-    debug_assert!(g.vertices().filter(|&v| in_u[v]).all(|v| {
-        g.neighbors(v).iter().filter(|nb| in_u[nb.node]).count() <= 3
-    }));
+    debug_assert!(g
+        .vertices()
+        .filter(|&v| in_u[v])
+        .all(|v| { g.neighbors(v).iter().filter(|nb| in_u[nb.node]).count() <= 3 }));
 
     // Phase 2: S = uncolored vertices with exactly 3 uncolored neighbors.
     let s_set: Vec<bool> = g
         .vertices()
-        .map(|v| {
-            in_u[v] && g.neighbors(v).iter().filter(|nb| in_u[nb.node]).count() == 3
-        })
+        .map(|v| in_u[v] && g.neighbors(v).iter().filter(|nb| in_u[nb.node]).count() == 3)
         .collect();
     let stats = bad_component_stats(g, &s_set);
     let mut phase2_rounds = 1; // the |N ∩ U| count exchange
@@ -337,10 +336,7 @@ pub fn theorem11_color(g: &Graph, delta: usize, seed: u64) -> Result<Theorem11Ou
         }
     }
 
-    let labels: Vec<usize> = colors
-        .into_iter()
-        .map(|c| c.unwrap_or(UNCOLORED))
-        .collect();
+    let labels: Vec<usize> = colors.into_iter().map(|c| c.unwrap_or(UNCOLORED)).collect();
     debug_assert!(labels.iter().all(|&c| c != UNCOLORED));
     let total = setup_rounds + phase1_rounds + phase2_rounds + phase3_rounds;
     Ok(Theorem11Outcome {
@@ -382,7 +378,9 @@ mod tests {
     fn colors_complete_dary_tree() {
         let g = gen::complete_dary_tree(300, 9);
         let out = theorem11_color(&g, 9, 4).unwrap();
-        assert!(VertexColoring::new(9).validate(&g, &out.coloring.labels).is_ok());
+        assert!(VertexColoring::new(9)
+            .validate(&g, &out.coloring.labels)
+            .is_ok());
     }
 
     #[test]
@@ -390,7 +388,9 @@ mod tests {
         // Degenerate but legal: the tree's degree is far below Δ.
         let g = gen::path(60);
         let out = theorem11_color(&g, 9, 1).unwrap();
-        assert!(VertexColoring::new(9).validate(&g, &out.coloring.labels).is_ok());
+        assert!(VertexColoring::new(9)
+            .validate(&g, &out.coloring.labels)
+            .is_ok());
     }
 
     #[test]
@@ -404,7 +404,9 @@ mod tests {
             out.stats.bad_vertices,
             g.n()
         );
-        assert!(VertexColoring::new(12).validate(&g, &out.coloring.labels).is_ok());
+        assert!(VertexColoring::new(12)
+            .validate(&g, &out.coloring.labels)
+            .is_ok());
     }
 
     #[test]

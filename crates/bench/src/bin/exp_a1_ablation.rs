@@ -1,15 +1,22 @@
 //! A1: ablation of Theorem 10's schedule constants.
 
-use local_bench::{banner, full_mode};
+use local_bench::{banner, emit_json, full_mode, json_mode};
 use local_separation::experiments::a1_ablation as a1;
 
 fn main() {
-    banner("A1", "Theorem 10 constants: growth K and palette margin ablation");
+    banner(
+        "A1",
+        "Theorem 10 constants: growth K and palette margin ablation",
+    );
     let cfg = if full_mode() {
         a1::Config::full()
     } else {
         a1::Config::quick()
     };
     let rows = a1::run(&cfg);
-    println!("{}", a1::table(&rows, cfg.n, cfg.delta));
+    if json_mode() {
+        emit_json("A1", rows.as_slice());
+    } else {
+        println!("{}", a1::table(&rows, cfg.n, cfg.delta));
+    }
 }

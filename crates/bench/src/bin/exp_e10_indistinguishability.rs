@@ -1,6 +1,6 @@
 //! E10: the indistinguishability principle, counted.
 
-use local_bench::{banner, full_mode};
+use local_bench::{banner, emit_json, full_mode, json_mode};
 use local_separation::experiments::e10_indistinguishability as e10;
 
 fn main() {
@@ -14,5 +14,9 @@ fn main() {
         e10::Config::quick()
     };
     let (rows, girth) = e10::run(&cfg);
-    println!("{}", e10::table(&rows, cfg.delta, girth));
+    if json_mode() {
+        emit_json("E10", rows.as_slice());
+    } else {
+        println!("{}", e10::table(&rows, cfg.delta, girth));
+    }
 }

@@ -1,16 +1,23 @@
 //! E11: Theorem 7's Δ = 2 dichotomy.
 
-use local_bench::{banner, full_mode};
+use local_bench::{banner, emit_json, full_mode, json_mode};
 use local_separation::experiments::e11_dichotomy as e11;
 
 fn main() {
-    banner("E11", "Δ = 2: every LCL is O(log* n) or Ω(n) — both sides measured");
+    banner(
+        "E11",
+        "Δ = 2: every LCL is O(log* n) or Ω(n) — both sides measured",
+    );
     let cfg = if full_mode() {
         e11::Config::full()
     } else {
         e11::Config::quick()
     };
     let out = e11::run(&cfg);
+    if json_mode() {
+        emit_json("E11", out.rows.as_slice());
+        return;
+    }
     println!("{}", e11::table(&out));
     println!("3-coloring best fit: {}", out.fast_fit.name());
     println!("2-coloring best fit: {}", out.slow_fit.name());

@@ -1,7 +1,7 @@
 //! E1: the exponential separation — deterministic vs randomized tree
 //! Δ-coloring rounds.
 
-use local_bench::{banner, full_mode};
+use local_bench::{banner, emit_json, full_mode, json_mode};
 use local_separation::experiments::e1_separation as e1;
 
 fn main() {
@@ -15,6 +15,10 @@ fn main() {
         e1::Config::quick()
     };
     let out = e1::run(&cfg);
+    if json_mode() {
+        emit_json("E1", out.rows.as_slice());
+        return;
+    }
     println!("{}", e1::table(&out));
     for (delta, model) in &out.det_fit {
         println!(

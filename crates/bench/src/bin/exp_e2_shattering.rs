@@ -1,6 +1,6 @@
 //! E2: Theorem 10 shattering — bad-component sizes vs the Δ⁴·log n bound.
 
-use local_bench::{banner, full_mode};
+use local_bench::{banner, emit_json, full_mode, json_mode};
 use local_separation::experiments::e2_shattering as e2;
 
 fn main() {
@@ -11,5 +11,9 @@ fn main() {
         e2::Config::quick()
     };
     let rows = e2::run(&cfg);
-    println!("{}", e2::table(&rows, cfg.delta));
+    if json_mode() {
+        emit_json("E2", rows.as_slice());
+    } else {
+        println!("{}", e2::table(&rows, cfg.delta));
+    }
 }

@@ -1,15 +1,22 @@
 //! E3: Theorem 11 — per-phase rounds and the shattered set for constant Δ.
 
-use local_bench::{banner, full_mode};
+use local_bench::{banner, emit_json, full_mode, json_mode};
 use local_separation::experiments::e3_theorem11 as e3;
 
 fn main() {
-    banner("E3", "Theorem 11 profile: setup/phase rounds and S components");
+    banner(
+        "E3",
+        "Theorem 11 profile: setup/phase rounds and S components",
+    );
     let cfg = if full_mode() {
         e3::Config::full()
     } else {
         e3::Config::quick()
     };
     let rows = e3::run(&cfg);
-    println!("{}", e3::table(&rows, cfg.delta));
+    if json_mode() {
+        emit_json("E3", rows.as_slice());
+    } else {
+        println!("{}", e3::table(&rows, cfg.delta));
+    }
 }

@@ -1,15 +1,22 @@
 //! E4: the zero-round lower bound — per-edge failure ≥ 1/Δ².
 
-use local_bench::{banner, full_mode};
+use local_bench::{banner, emit_json, full_mode, json_mode};
 use local_separation::experiments::e4_zero_round as e4;
 
 fn main() {
-    banner("E4", "every 0-round sinkless coloring fails with prob ≥ 1/Δ²");
+    banner(
+        "E4",
+        "every 0-round sinkless coloring fails with prob ≥ 1/Δ²",
+    );
     let cfg = if full_mode() {
         e4::Config::full()
     } else {
         e4::Config::quick()
     };
     let rows = e4::run(&cfg);
-    println!("{}", e4::table(&rows));
+    if json_mode() {
+        emit_json("E4", rows.as_slice());
+    } else {
+        println!("{}", e4::table(&rows));
+    }
 }

@@ -1,15 +1,22 @@
 //! E5: failure decay of truncated sinkless orientation.
 
-use local_bench::{banner, full_mode};
+use local_bench::{banner, emit_json, full_mode, json_mode};
 use local_separation::experiments::e5_truncation as e5;
 
 fn main() {
-    banner("E5", "sink probability vs round budget (round elimination, run forward)");
+    banner(
+        "E5",
+        "sink probability vs round budget (round elimination, run forward)",
+    );
     let cfg = if full_mode() {
         e5::Config::full()
     } else {
         e5::Config::quick()
     };
     let rows = e5::run(&cfg);
-    println!("{}", e5::table(&rows, cfg.delta));
+    if json_mode() {
+        emit_json("E5", rows.as_slice());
+    } else {
+        println!("{}", e5::table(&rows, cfg.delta));
+    }
 }

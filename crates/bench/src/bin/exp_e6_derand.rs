@@ -1,15 +1,22 @@
 //! E6: Theorem 3 derandomization over exhaustive toy instance spaces.
 
-use local_bench::{banner, full_mode};
+use local_bench::{banner, emit_json, full_mode, json_mode};
 use local_separation::experiments::e6_derand as e6;
 
 fn main() {
-    banner("E6", "Det(n, Δ) ≤ Rand(2^(n²), Δ), machine-verified at toy scale");
+    banner(
+        "E6",
+        "Det(n, Δ) ≤ Rand(2^(n²), Δ), machine-verified at toy scale",
+    );
     let cfg = if full_mode() {
         e6::Config::full()
     } else {
         e6::Config::quick()
     };
     let rows = e6::run(&cfg);
-    println!("{}", e6::table(&rows));
+    if json_mode() {
+        emit_json("E6", rows.as_slice());
+    } else {
+        println!("{}", e6::table(&rows));
+    }
 }

@@ -1,15 +1,22 @@
 //! E7: the Theorem 6 black-box speedup.
 
-use local_bench::{banner, full_mode};
+use local_bench::{banner, emit_json, full_mode, json_mode};
 use local_separation::experiments::e7_speedup as e7;
 
 fn main() {
-    banner("E7", "greedy-by-ID coloring: Θ(n) before, O(log* n + poly Δ) after");
+    banner(
+        "E7",
+        "greedy-by-ID coloring: Θ(n) before, O(log* n + poly Δ) after",
+    );
     let cfg = if full_mode() {
         e7::Config::full()
     } else {
         e7::Config::quick()
     };
     let rows = e7::run(&cfg);
-    println!("{}", e7::table(&rows));
+    if json_mode() {
+        emit_json("E7", rows.as_slice());
+    } else {
+        println!("{}", e7::table(&rows));
+    }
 }

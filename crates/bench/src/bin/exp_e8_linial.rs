@@ -1,16 +1,37 @@
 //! E8: Linial's coloring — Theorem 1 shrink and Theorem 2 convergence.
 
-use local_bench::{banner, full_mode};
+use local_bench::{banner, emit_json, full_mode, json_mode};
 use local_separation::experiments::e8_linial as e8;
+use serde::Serialize;
+
+/// E8's two measured sections, combined for the JSON report.
+#[derive(Serialize)]
+struct Sections {
+    shrink: Vec<e8::ShrinkRow>,
+    convergence: Vec<e8::ConvergenceRow>,
+}
 
 fn main() {
-    banner("E8", "one-round palette shrink and O(log* n) convergence to β·Δ²");
+    banner(
+        "E8",
+        "one-round palette shrink and O(log* n) convergence to β·Δ²",
+    );
     let cfg = if full_mode() {
         e8::Config::full()
     } else {
         e8::Config::quick()
     };
     let (shrink, conv) = e8::run(&cfg);
+    if json_mode() {
+        emit_json(
+            "E8",
+            &Sections {
+                shrink,
+                convergence: conv,
+            },
+        );
+        return;
+    }
     println!("{}", e8::shrink_table(&shrink));
     println!("{}", e8::convergence_table(&conv));
 }

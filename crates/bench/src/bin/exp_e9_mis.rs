@@ -1,16 +1,23 @@
 //! E9: the MIS landscape — Luby vs deterministic vs shattering.
 
-use local_bench::{banner, full_mode};
+use local_bench::{banner, emit_json, full_mode, json_mode};
 use local_separation::experiments::e9_mis as e9;
 
 fn main() {
-    banner("E9", "MIS: Luby Θ(log n) vs Det O(Δ²+log* n) vs Ghaffari shattering");
+    banner(
+        "E9",
+        "MIS: Luby Θ(log n) vs Det O(Δ²+log* n) vs Ghaffari shattering",
+    );
     let cfg = if full_mode() {
         e9::Config::full()
     } else {
         e9::Config::quick()
     };
     let out = e9::run(&cfg);
+    if json_mode() {
+        emit_json("E9", out.rows.as_slice());
+        return;
+    }
     println!("{}", e9::table(&out, cfg.delta));
     println!("Luby best fit: {}", out.luby_fit.name());
     println!("Det best fit:  {}", out.det_fit.name());

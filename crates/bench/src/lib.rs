@@ -1,18 +1,41 @@
 //! Shared scaffolding for the experiment binaries.
 //!
-//! Every binary accepts `--full` to run the EXPERIMENTS.md-scale sweep;
-//! without it, a laptop-seconds quick sweep runs.
+//! Every binary accepts `--full` to run the EXPERIMENTS.md-scale sweep
+//! (without it, a laptop-seconds quick sweep runs) and `--json` to emit the
+//! measured rows as a machine-readable [`TrialReport`] envelope instead of
+//! the human tables.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+use local_separation::trials::TrialReport;
+use serde::Serialize;
 
 /// Whether `--full` was passed on the command line.
 pub fn full_mode() -> bool {
     std::env::args().any(|a| a == "--full")
 }
 
-/// Print the standard experiment banner.
+/// Whether `--json` was passed on the command line.
+pub fn json_mode() -> bool {
+    std::env::args().any(|a| a == "--json")
+}
+
+/// The mode string recorded in JSON reports.
+pub fn mode_name() -> &'static str {
+    if full_mode() {
+        "full"
+    } else {
+        "quick"
+    }
+}
+
+/// Print the standard experiment banner (suppressed under `--json`, which
+/// must emit nothing but the report).
 pub fn banner(id: &str, claim: &str) {
+    if json_mode() {
+        return;
+    }
     println!("=== {id} — {claim} ===");
     println!(
         "mode: {}",
@@ -23,4 +46,17 @@ pub fn banner(id: &str, claim: &str) {
         }
     );
     println!();
+}
+
+/// Print the experiment's measured rows as the standard JSON envelope.
+pub fn emit_json<R: Serialize + ?Sized>(experiment: &str, rows: &R) {
+    println!(
+        "{}",
+        TrialReport {
+            experiment,
+            mode: mode_name(),
+            rows,
+        }
+        .to_json()
+    );
 }

@@ -123,9 +123,7 @@ pub fn priority_mis(g: &Graph, priorities: &[u64]) -> Option<Vec<bool>> {
             progressed = true;
         }
         for v in 0..n {
-            if state[v].is_none()
-                && g.neighbors(v).iter().any(|nb| state[nb.node] == Some(true))
-            {
+            if state[v].is_none() && g.neighbors(v).iter().any(|nb| state[nb.node] == Some(true)) {
                 state[v] = Some(false);
                 progressed = true;
             }
@@ -138,6 +136,36 @@ pub fn priority_mis(g: &Graph, priorities: &[u64]) -> Option<Vec<bool>> {
         }
     }
 }
+
+/// Failure of the φ search in [`derandomize_priority_mis`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DerandError {
+    /// No sampled `φ` verified on the whole instance space within the try
+    /// budget. The union bound makes this vanishingly unlikely at sane
+    /// parameters, so hitting it signals a parameter mistake (e.g. an ID
+    /// space so small that adjacent ties are forced), not bad luck.
+    NoGoodPhi {
+        /// How many candidate `φ` were sampled and rejected.
+        tries: u32,
+        /// Size of the instance space each candidate was checked against.
+        instances: usize,
+    },
+}
+
+impl std::fmt::Display for DerandError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DerandError::NoGoodPhi { tries, instances } => write!(
+                f,
+                "no good φ within {tries} samples against {instances} instances — \
+                 parameters violate the union bound"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DerandError {}
 
 /// The derandomization record (experiment E6).
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -166,18 +194,21 @@ pub struct DerandReport {
 /// `> 1 − |𝒢|/N`; with `N = 2^(n²)` vastly exceeding the instance count,
 /// a handful of samples suffice (usually one).
 ///
+/// # Errors
+///
+/// [`DerandError::NoGoodPhi`] if no sampled φ verifies within `max_tries`
+/// (probability ≈ 0 unless the parameters are nonsensical).
+///
 /// # Panics
 ///
-/// Panics on the same scale guards as [`enumerate_instances`], or if no good
-/// φ appears within `max_tries` (probability ≈ 0 unless parameters are
-/// nonsensical).
+/// Panics on the same scale guards as [`enumerate_instances`].
 pub fn derandomize_priority_mis(
     n: usize,
     delta: usize,
     id_bits: u32,
     seed: u64,
     max_tries: u32,
-) -> DerandReport {
+) -> Result<DerandReport, DerandError> {
     let instances = enumerate_instances(n, delta, id_bits);
     let claimed_n: u64 = 1u64
         .checked_shl((n * n) as u32)
@@ -200,7 +231,7 @@ pub fn derandomize_priority_mis(
             }
         });
         if good {
-            return DerandReport {
+            return Ok(DerandReport {
                 n,
                 delta,
                 id_bits,
@@ -208,10 +239,13 @@ pub fn derandomize_priority_mis(
                 claimed_n,
                 phis_tried: attempt,
                 phi,
-            };
+            });
         }
     }
-    panic!("no good φ within {max_tries} samples — parameters violate the union bound");
+    Err(DerandError::NoGoodPhi {
+        tries: max_tries,
+        instances: instances.len(),
+    })
 }
 
 #[cfg(test)]
@@ -231,10 +265,8 @@ mod tests {
         // n = 4, Δ = 1: graphs are matchings only (7 of them: empty + 6
         // single edges... plus 3 perfect matchings = 10).
         let inst = enumerate_instances(4, 1, 2);
-        let graphs: std::collections::HashSet<Vec<(usize, usize)>> = inst
-            .iter()
-            .map(|i| i.graph.edges().to_vec())
-            .collect();
+        let graphs: std::collections::HashSet<Vec<(usize, usize)>> =
+            inst.iter().map(|i| i.graph.edges().to_vec()).collect();
         assert_eq!(graphs.len(), 10);
     }
 
@@ -261,7 +293,7 @@ mod tests {
 
     #[test]
     fn derandomizes_n3() {
-        let report = derandomize_priority_mis(3, 2, 2, 1, 64);
+        let report = derandomize_priority_mis(3, 2, 2, 1, 64).expect("union bound");
         assert_eq!(report.claimed_n, 1 << 9);
         assert_eq!(report.instances, 8 * 24);
         assert!(report.phis_tried >= 1);
@@ -273,9 +305,24 @@ mod tests {
 
     #[test]
     fn derandomizes_n4_quickly() {
-        let report = derandomize_priority_mis(4, 3, 3, 2, 64);
+        let report = derandomize_priority_mis(4, 3, 3, 2, 64).expect("union bound");
         assert!(report.phis_tried <= 4, "union bound predicts ~1 try");
         assert_eq!(report.claimed_n, 1 << 16);
+    }
+
+    #[test]
+    fn exhausted_budget_yields_typed_error() {
+        // A zero-try budget can never find a φ: the search must report the
+        // failure as a value, not a panic.
+        let err = derandomize_priority_mis(3, 2, 2, 1, 0).unwrap_err();
+        assert_eq!(
+            err,
+            DerandError::NoGoodPhi {
+                tries: 0,
+                instances: 8 * 24
+            }
+        );
+        assert!(err.to_string().contains("no good φ"));
     }
 
     #[test]

@@ -10,6 +10,7 @@
 
 use crate::report::Table;
 use crate::shatter::shatter_profile;
+use crate::trials::TrialPlan;
 use local_algorithms::tree::theorem10::theorem10_phase1;
 use local_algorithms::tree::{theorem10_color, Theorem10Config};
 use local_graphs::gen;
@@ -86,25 +87,30 @@ pub fn run(cfg: &Config) -> Vec<Row> {
                 ..Theorem10Config::default()
             };
             let schedule_len = config.schedule(cfg.delta).len();
-            let mut bad_sum = 0.0;
-            let mut largest = 0usize;
-            let mut rounds_sum = 0.0;
-            for seed in 0..cfg.seeds {
-                let mut rng =
-                    StdRng::seed_from_u64(seed ^ (growth_k.to_bits() >> 3) ^ margin.to_bits());
+            let plan = TrialPlan::new(
+                cfg.seeds,
+                0xA1 ^ (growth_k.to_bits() >> 3) ^ margin.to_bits(),
+            );
+            let per_trial = plan.run(|t| {
+                let mut rng = StdRng::seed_from_u64(t.seed);
                 let g = gen::random_tree_max_degree(cfg.n, cfg.delta, &mut rng);
                 let (status, _) =
-                    theorem10_phase1(&g, cfg.delta, seed, config).expect("fixed schedule");
+                    theorem10_phase1(&g, cfg.delta, t.seed, config).expect("fixed schedule");
                 let bad: Vec<bool> = status.iter().map(Option::is_none).collect();
                 let profile = shatter_profile(&g, &bad);
-                bad_sum += profile.undecided as f64 / cfg.n as f64;
-                largest = largest.max(profile.largest());
-                let full = theorem10_color(&g, cfg.delta, seed, config).expect("completes");
+                let full = theorem10_color(&g, cfg.delta, t.seed, config).expect("completes");
                 VertexColoring::new(cfg.delta)
                     .validate(&g, &full.coloring.labels)
                     .expect("every ablation variant must still be correct");
-                rounds_sum += f64::from(full.coloring.rounds);
-            }
+                (
+                    profile.undecided as f64 / cfg.n as f64,
+                    profile.largest(),
+                    f64::from(full.coloring.rounds),
+                )
+            });
+            let bad_sum: f64 = per_trial.iter().map(|p| p.0).sum();
+            let largest = per_trial.iter().map(|p| p.1).max().unwrap_or(0);
+            let rounds_sum: f64 = per_trial.iter().map(|p| p.2).sum();
             rows.push(Row {
                 growth_k,
                 margin,
@@ -122,7 +128,14 @@ pub fn run(cfg: &Config) -> Vec<Row> {
 pub fn table(rows: &[Row], n: usize, delta: usize) -> Table {
     let mut t = Table::new(
         format!("A1: Theorem 10 constants ablation (n = {n}, Δ = {delta})"),
-        &["K", "margin", "t (iters)", "bad frac", "max comp", "total rounds"],
+        &[
+            "K",
+            "margin",
+            "t (iters)",
+            "bad frac",
+            "max comp",
+            "total rounds",
+        ],
     );
     for r in rows {
         t.push(vec![

@@ -166,7 +166,10 @@ mod tests {
             }
         }
         // At t = 4 (≥ girth/2) cycles are visible to someone: many views.
-        let beyond = rows.iter().find(|r| !r.below_horizon).expect("t=4 is beyond");
+        let beyond = rows
+            .iter()
+            .find(|r| !r.below_horizon)
+            .expect("t=4 is beyond");
         assert!(beyond.graph_views > 1);
         assert!(!table(&rows, 3, girth).is_empty());
     }

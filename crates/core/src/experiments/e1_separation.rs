@@ -15,6 +15,7 @@
 
 use crate::fit::{best_model, GrowthModel};
 use crate::report::Table;
+use crate::trials::TrialPlan;
 use local_algorithms::color::be_forest_coloring_detailed;
 use local_algorithms::tree::{theorem10_color, Theorem10Config};
 use local_graphs::gen;
@@ -103,50 +104,42 @@ pub fn run(cfg: &Config) -> Outcome {
         let mut rand_series = Vec::new();
         let mut measured_sizes: Vec<usize> = Vec::new();
         for &n in &cfg.ns {
-            let mut det_sum = 0.0;
-            let mut peel_sum = 0.0;
-            let mut rand_sum = 0.0;
-            let mut phase2_sum = 0.0;
             // The complete tree rounds n up to a full layer; report its
             // actual size, skip sizes already measured (two configured n can
             // round to the same tree), and skip points whose simulation cost
             // (the Δ-only reduction constant × vertices) exceeds a
             // laptop-minutes budget — they add no new shape information.
-            {
-                let probe = gen::complete_dary_tree(n, delta);
-                if measured_sizes.contains(&probe.n())
-                    || (delta * delta * probe.n()) as u64 > 100_000_000
-                {
-                    continue;
-                }
-                measured_sizes.push(probe.n());
+            let g = gen::complete_dary_tree(n, delta);
+            if measured_sizes.contains(&g.n()) || (delta * delta * g.n()) as u64 > 100_000_000 {
+                continue;
             }
-            let mut actual_n = n;
-            for seed in 0..cfg.seeds {
-                let g = gen::complete_dary_tree(n, delta);
-                actual_n = g.n();
-                let ids: Vec<u64> = (0..g.n() as u64).collect();
+            measured_sizes.push(g.n());
+            let actual_n = g.n();
 
-                let det = be_forest_coloring_detailed(&g, delta, &ids, None, 0);
-                VertexColoring::new(delta)
-                    .validate(&g, &det.coloring.labels)
-                    .expect("Theorem 9 output must be proper");
-                det_sum += f64::from(det.coloring.rounds);
-                peel_sum += f64::from(det.peel_rounds);
+            // The deterministic side is seed-independent: run it once.
+            let ids: Vec<u64> = (0..g.n() as u64).collect();
+            let det = be_forest_coloring_detailed(&g, delta, &ids, None, 0);
+            VertexColoring::new(delta)
+                .validate(&g, &det.coloring.labels)
+                .expect("Theorem 9 output must be proper");
+            let det_rounds = f64::from(det.coloring.rounds);
+            let det_peel = f64::from(det.peel_rounds);
 
-                let rand = theorem10_color(&g, delta, seed, Theorem10Config::default())
+            let plan = TrialPlan::new(cfg.seeds, 0xE1 ^ ((delta as u64) << 32) ^ (n as u64));
+            let per_trial = plan.run(|t| {
+                let rand = theorem10_color(&g, delta, t.seed, Theorem10Config::default())
                     .expect("engine should not hit round limits");
                 VertexColoring::new(delta)
                     .validate(&g, &rand.coloring.labels)
                     .expect("Theorem 10 output must be proper");
-                rand_sum += f64::from(rand.coloring.rounds);
-                phase2_sum += f64::from(rand.phase2_rounds);
-            }
+                (
+                    f64::from(rand.coloring.rounds),
+                    f64::from(rand.phase2_rounds),
+                )
+            });
             let k = cfg.seeds as f64;
-            let det_rounds = det_sum / k;
-            let det_peel = peel_sum / k;
-            let rand_rounds = rand_sum / k;
-            let rand_phase2 = phase2_sum / k;
+            let rand_rounds = per_trial.iter().map(|p| p.0).sum::<f64>() / k;
+            let rand_phase2 = per_trial.iter().map(|p| p.1).sum::<f64>() / k;
             // Fit the n-dependent parts: the peel depth (det) and the full
             // randomized round count (its other phases are Δ-only).
             det_series.push((actual_n as f64, det_peel));
@@ -177,7 +170,15 @@ pub fn run(cfg: &Config) -> Outcome {
 pub fn table(out: &Outcome) -> Table {
     let mut t = Table::new(
         "E1: tree Δ-coloring — DetLOCAL (Thm 9) vs RandLOCAL (Thm 10) rounds",
-        &["Δ", "n", "det total", "det peel ℓ", "rand total", "rand ph2", "det/rand"],
+        &[
+            "Δ",
+            "n",
+            "det total",
+            "det peel ℓ",
+            "rand total",
+            "rand ph2",
+            "det/rand",
+        ],
     );
     for r in &out.rows {
         t.push(vec![

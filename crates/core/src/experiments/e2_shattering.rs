@@ -8,6 +8,7 @@
 
 use crate::report::Table;
 use crate::shatter::shatter_profile;
+use crate::trials::TrialPlan;
 use local_algorithms::tree::theorem10::theorem10_phase1;
 use local_algorithms::tree::Theorem10Config;
 use local_graphs::gen;
@@ -64,20 +65,20 @@ pub struct Row {
 pub fn run(cfg: &Config) -> Vec<Row> {
     let mut rows = Vec::new();
     for &n in &cfg.ns {
-        let mut bad_max = 0usize;
-        let mut largest = 0usize;
         // The hard family (matching E1): complete (Δ−1)-ary trees, whose
         // internal vertices all have degree exactly Δ.
         let g = gen::complete_dary_tree(n, cfg.delta);
-        for seed in 0..cfg.seeds {
+        let plan = TrialPlan::new(cfg.seeds, 0xE2 ^ (n as u64));
+        let per_trial = plan.run(|t| {
             let (status, _rounds) =
-                theorem10_phase1(&g, cfg.delta, seed, Theorem10Config::default())
+                theorem10_phase1(&g, cfg.delta, t.seed, Theorem10Config::default())
                     .expect("phase 1 has a fixed schedule");
             let bad: Vec<bool> = status.iter().map(Option::is_none).collect();
             let profile = shatter_profile(&g, &bad);
-            bad_max = bad_max.max(profile.undecided);
-            largest = largest.max(profile.largest());
-        }
+            (profile.undecided, profile.largest())
+        });
+        let bad_max = per_trial.iter().map(|p| p.0).max().unwrap_or(0);
+        let largest = per_trial.iter().map(|p| p.1).max().unwrap_or(0);
         let bound = (cfg.delta as f64).powi(4) * (g.n() as f64).log2();
         rows.push(Row {
             n: g.n(),
@@ -122,7 +123,11 @@ mod tests {
         let rows = run(&cfg);
         assert_eq!(rows.len(), 2);
         for r in &rows {
-            assert!(r.within_bound, "n = {}: {} > {}", r.n, r.largest_component, r.bound);
+            assert!(
+                r.within_bound,
+                "n = {}: {} > {}",
+                r.n, r.largest_component, r.bound
+            );
             // Empirically components are far below the bound.
             assert!(r.largest_component <= 100);
         }

@@ -7,6 +7,7 @@
 //! `Θ(log_Δ n)`.
 
 use crate::report::Table;
+use crate::trials::TrialPlan;
 use local_algorithms::tree::theorem11_color;
 use local_graphs::gen;
 use local_lcl::problems::VertexColoring;
@@ -72,23 +73,29 @@ pub struct Row {
 pub fn run(cfg: &Config) -> Vec<Row> {
     let mut rows = Vec::new();
     for &n in &cfg.ns {
-        let (mut su, mut p1, mut p2, mut p3) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
-        let mut s_size = 0usize;
-        let mut s_largest = 0usize;
-        for seed in 0..cfg.seeds {
-            let mut rng = StdRng::seed_from_u64(seed.wrapping_add((n as u64) << 24));
+        let plan = TrialPlan::new(cfg.seeds, 0xE3 ^ ((n as u64) << 24));
+        let per_trial = plan.run(|t| {
+            let mut rng = StdRng::seed_from_u64(t.seed);
             let g = gen::random_tree_max_degree(n, cfg.delta, &mut rng);
-            let out = theorem11_color(&g, cfg.delta, seed).expect("fixed schedules");
+            let out = theorem11_color(&g, cfg.delta, t.seed).expect("fixed schedules");
             VertexColoring::new(cfg.delta)
                 .validate(&g, &out.coloring.labels)
                 .expect("Theorem 11 output must be proper");
-            su += f64::from(out.setup_rounds);
-            p1 += f64::from(out.phase1_rounds);
-            p2 += f64::from(out.phase2_rounds);
-            p3 += f64::from(out.phase3_rounds);
-            s_size = s_size.max(out.stats.bad_vertices);
-            s_largest = s_largest.max(out.stats.largest_bad_component);
-        }
+            (
+                f64::from(out.setup_rounds),
+                f64::from(out.phase1_rounds),
+                f64::from(out.phase2_rounds),
+                f64::from(out.phase3_rounds),
+                out.stats.bad_vertices,
+                out.stats.largest_bad_component,
+            )
+        });
+        let su: f64 = per_trial.iter().map(|p| p.0).sum();
+        let p1: f64 = per_trial.iter().map(|p| p.1).sum();
+        let p2: f64 = per_trial.iter().map(|p| p.2).sum();
+        let p3: f64 = per_trial.iter().map(|p| p.3).sum();
+        let s_size = per_trial.iter().map(|p| p.4).max().unwrap_or(0);
+        let s_largest = per_trial.iter().map(|p| p.5).max().unwrap_or(0);
         let k = cfg.seeds as f64;
         rows.push(Row {
             n,
@@ -107,7 +114,15 @@ pub fn run(cfg: &Config) -> Vec<Row> {
 pub fn table(rows: &[Row], delta: usize) -> Table {
     let mut t = Table::new(
         format!("E3: Theorem 11 (Δ = {delta}) — per-phase rounds and shattered set S"),
-        &["n", "setup", "phase1", "phase2", "phase3", "|S|", "max S comp"],
+        &[
+            "n",
+            "setup",
+            "phase1",
+            "phase2",
+            "phase3",
+            "|S|",
+            "max S comp",
+        ],
     );
     for r in rows {
         t.push(vec![

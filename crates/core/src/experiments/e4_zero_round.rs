@@ -7,6 +7,7 @@
 //! the engine, per Δ.
 
 use crate::report::Table;
+use crate::trials::TrialPlan;
 use local_algorithms::orientation::zero_round::{
     best_zero_round_failure, zero_round_sinkless_coloring,
 };
@@ -68,20 +69,20 @@ pub fn run(cfg: &Config) -> Vec<Row> {
         let g = gen::random_bipartite_regular(cfg.n_side, delta, &mut rng)
             .expect("feasible bipartite regular parameters");
         let psi = konig(&g).expect("regular bipartite graphs are Δ-edge-colorable");
-        let mut forbidden_edges = 0u64;
-        let mut failed_runs = 0u64;
-        for seed in 0..cfg.trials {
-            let labels = zero_round_sinkless_coloring(&g, &psi, delta, seed)
+        let plan = TrialPlan::new(cfg.trials, 0xE4 ^ ((delta as u64) << 8));
+        let per_trial = plan.run(|t| {
+            let labels = zero_round_sinkless_coloring(&g, &psi, delta, t.seed)
                 .expect("0-round protocol cannot time out");
-            let mut any = false;
+            let mut forbidden = 0u64;
             for (e, &(u, v)) in g.edges().iter().enumerate() {
                 if labels.get(u) == labels.get(v) && *labels.get(u) == psi.color(e) {
-                    forbidden_edges += 1;
-                    any = true;
+                    forbidden += 1;
                 }
             }
-            failed_runs += u64::from(any);
-        }
+            forbidden
+        });
+        let forbidden_edges: u64 = per_trial.iter().sum();
+        let failed_runs: u64 = per_trial.iter().filter(|&&f| f > 0).count() as u64;
         rows.push(Row {
             delta,
             exact: best_zero_round_failure(delta),

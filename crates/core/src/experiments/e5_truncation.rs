@@ -7,6 +7,7 @@
 //! rounds needed to first reach zero sinks grow (slowly) with `n`.
 
 use crate::report::Table;
+use crate::trials::TrialPlan;
 use local_algorithms::orientation::sinkless_orientation;
 use local_graphs::gen;
 use rand::rngs::StdRng;
@@ -71,13 +72,13 @@ pub fn run(cfg: &Config) -> Vec<Row> {
         let mut rng = StdRng::seed_from_u64(0xE5 ^ (n as u64) << 4);
         let g = gen::random_regular(n, cfg.delta, &mut rng).expect("feasible parameters");
         for &phases in &cfg.phases {
-            let mut sinks_total = 0u64;
-            let mut failed = 0u64;
-            for seed in 0..cfg.seeds {
-                let out = sinkless_orientation(&g, seed, phases).expect("fixed schedule");
-                sinks_total += out.sinks as u64;
-                failed += u64::from(out.sinks > 0);
-            }
+            let plan = TrialPlan::new(cfg.seeds, 0xE5 ^ ((n as u64) << 8) ^ u64::from(phases));
+            let per_trial = plan.run(|t| {
+                let out = sinkless_orientation(&g, t.seed, phases).expect("fixed schedule");
+                out.sinks as u64
+            });
+            let sinks_total: u64 = per_trial.iter().sum();
+            let failed: u64 = per_trial.iter().filter(|&&s| s > 0).count() as u64;
             rows.push(Row {
                 n,
                 phases,
@@ -122,7 +123,10 @@ mod tests {
         let p0 = rows[0].sink_probability;
         let p8 = rows[1].sink_probability;
         assert!(p0 > 0.05, "random orientation leaves ~2^-Δ sinks: {p0}");
-        assert!(p8 < p0 / 3.0, "8 phases must cut failure sharply: {p0} -> {p8}");
+        assert!(
+            p8 < p0 / 3.0,
+            "8 phases must cut failure sharply: {p0} -> {p8}"
+        );
         assert_eq!(table(&rows, 3).len(), 2);
     }
 }

@@ -69,11 +69,19 @@ impl From<DerandReport> for Row {
 }
 
 /// Run the sweep.
+///
+/// # Panics
+///
+/// Panics if a space exhausts `max_tries` without a good φ — at the
+/// configured scales the union bound makes that a parameter bug, not a
+/// recoverable condition.
 pub fn run(cfg: &Config) -> Vec<Row> {
     cfg.spaces
         .iter()
         .map(|&(n, delta, id_bits)| {
-            derandomize_priority_mis(n, delta, id_bits, 0xE6, cfg.max_tries).into()
+            derandomize_priority_mis(n, delta, id_bits, 0xE6, cfg.max_tries)
+                .unwrap_or_else(|e| panic!("E6 ({n}, {delta}, {id_bits}): {e}"))
+                .into()
         })
         .collect()
 }

@@ -10,6 +10,7 @@
 use crate::fit::{best_model, GrowthModel};
 use crate::report::Table;
 use crate::shatter::shatter_profile;
+use crate::trials::TrialPlan;
 use local_algorithms::mis::ghaffari::{ghaffari_preshatter, GhaffariConfig};
 use local_algorithms::mis::{det_mis, ghaffari_mis, luby_mis};
 use local_graphs::gen;
@@ -87,26 +88,28 @@ pub fn run(cfg: &Config) -> Outcome {
         let g = gen::random_regular(n, cfg.delta, &mut rng).expect("feasible parameters");
         let assert_mis = |in_set: &[bool]| {
             let labels: Labeling<bool> = in_set.to_vec().into();
-            Mis::new().validate(&g, &labels).expect("valid MIS required");
+            Mis::new()
+                .validate(&g, &labels)
+                .expect("valid MIS required");
         };
 
-        let mut luby_sum = 0.0;
-        let mut ghaffari_sum = 0.0;
-        let mut residue = 0usize;
-        for seed in 0..cfg.seeds {
-            let l = luby_mis(&g, seed, 10_000).expect("Luby finishes whp");
+        let plan = TrialPlan::new(cfg.seeds, 0xE9 ^ (n as u64));
+        let per_trial = plan.run(|t| {
+            let l = luby_mis(&g, t.seed, 10_000).expect("Luby finishes whp");
             assert_mis(&l.in_set);
-            luby_sum += f64::from(l.rounds);
 
-            let gh = ghaffari_mis(&g, seed, GhaffariConfig::default()).expect("finishes");
+            let gh = ghaffari_mis(&g, t.seed, GhaffariConfig::default()).expect("finishes");
             assert_mis(&gh.in_set);
-            ghaffari_sum += f64::from(gh.rounds);
 
-            let pre = ghaffari_preshatter(&g, seed, GhaffariConfig::default())
-                .expect("fixed budget");
+            let pre =
+                ghaffari_preshatter(&g, t.seed, GhaffariConfig::default()).expect("fixed budget");
             let undecided: Vec<bool> = pre.status.iter().map(Option::is_none).collect();
-            residue = residue.max(shatter_profile(&g, &undecided).largest());
-        }
+            let residue = shatter_profile(&g, &undecided).largest();
+            (f64::from(l.rounds), f64::from(gh.rounds), residue)
+        });
+        let luby_sum: f64 = per_trial.iter().map(|p| p.0).sum();
+        let ghaffari_sum: f64 = per_trial.iter().map(|p| p.1).sum();
+        let residue = per_trial.iter().map(|p| p.2).max().unwrap_or(0);
 
         let det = det_mis(&g, &IdAssignment::Shuffled { seed: 11 });
         assert_mis(&det.in_set);
@@ -163,7 +166,12 @@ mod tests {
         let (small, large) = (&out.rows[0], &out.rows[1]);
         // 16x the vertices: deterministic rounds move by at most a couple
         // (log* + fixed palette), Luby's tend upward.
-        assert!(large.det - small.det <= 4.0, "{} -> {}", small.det, large.det);
+        assert!(
+            large.det - small.det <= 4.0,
+            "{} -> {}",
+            small.det,
+            large.det
+        );
         assert!(large.residue_largest <= 128);
         assert!(!table(&out, 4).is_empty());
     }

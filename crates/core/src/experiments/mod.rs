@@ -21,9 +21,9 @@
 //! tables that EXPERIMENTS.md records.
 
 pub mod a1_ablation;
-pub mod e1_separation;
 pub mod e10_indistinguishability;
 pub mod e11_dichotomy;
+pub mod e1_separation;
 pub mod e2_shattering;
 pub mod e3_theorem11;
 pub mod e4_zero_round;

@@ -10,6 +10,8 @@
 //! * [`invariance`] — the Naor–Stockmeyer order-invariance checker (the
 //!   engine behind the paper's Corollary 1 discussion).
 //! * [`experiments`] — the E1–E9 experiment drivers behind EXPERIMENTS.md.
+//! * [`trials`] — the shared seeded parallel trial harness those drivers
+//!   run their randomized batches through.
 //! * [`fit`] — model-function fitting used to classify measured round
 //!   complexities (`log n` vs `log log n` vs `log* n` …).
 //! * [`report`] — aligned text tables for experiment output.
@@ -24,3 +26,4 @@ pub mod invariance;
 pub mod report;
 pub mod shatter;
 pub mod speedup;
+pub mod trials;

@@ -1,0 +1,280 @@
+//! The shared trial harness: seeded, parallel, reproducible.
+//!
+//! Every experiment that averages a randomized algorithm over independent
+//! runs used to hand-roll the same sequential loop (`for seed in 0..k`).
+//! [`TrialPlan`] replaces those loops: it derives one independent seed per
+//! trial from a master seed through the engine's own stream-splitting
+//! ([`local_model::derived_rng`]), executes the trials in parallel with
+//! rayon, and returns the per-trial results *in trial order* — so the
+//! aggregate an experiment computes is bit-identical no matter how many
+//! worker threads ran.
+//!
+//! [`summarize_runs`] aggregates the engine's per-run [`RunStats`] into the
+//! JSON-friendly [`StatsSummary`], and [`TrialReport`] is the stable JSON
+//! envelope the `exp_e*` binaries emit under `--json` (schema documented in
+//! the README).
+
+use local_model::{derived_rng, derived_u64, RunStats};
+use rand_chacha::ChaCha8Rng;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// A batch of independent seeded trials.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TrialPlan {
+    trials: u64,
+    master_seed: u64,
+}
+
+/// One trial's identity: its index in the batch and its derived seed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Trial {
+    /// Position in the batch, `0 .. trials`.
+    pub index: u64,
+    /// The independent per-trial seed, derived from the plan's master seed.
+    pub seed: u64,
+}
+
+impl Trial {
+    /// A fresh deterministic RNG for this trial (for auxiliary randomness
+    /// such as workload generation, split from the trial seed the same way
+    /// the engine splits node streams).
+    pub fn rng(&self) -> ChaCha8Rng {
+        derived_rng(self.seed, 0)
+    }
+}
+
+impl TrialPlan {
+    /// A plan for `trials` runs derived from `master_seed`.
+    pub fn new(trials: u64, master_seed: u64) -> Self {
+        TrialPlan {
+            trials,
+            master_seed,
+        }
+    }
+
+    /// Number of trials in the batch.
+    pub fn trials(&self) -> u64 {
+        self.trials
+    }
+
+    /// The derived seed of trial `index` — stable across runs and
+    /// independent across indices.
+    pub fn seed(&self, index: u64) -> u64 {
+        derived_u64(self.master_seed, index)
+    }
+
+    /// Run all trials in parallel; results come back in trial order, so any
+    /// fold over them is deterministic regardless of thread count.
+    ///
+    /// `f` must depend only on its [`Trial`] argument (and shared read-only
+    /// captures) — the harness guarantees nothing else.
+    pub fn run<R, F>(&self, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(Trial) -> R + Sync,
+    {
+        let trials: Vec<Trial> = (0..self.trials)
+            .map(|index| Trial {
+                index,
+                seed: self.seed(index),
+            })
+            .collect();
+        trials.into_par_iter().map(f).collect()
+    }
+
+    /// [`run`](Self::run), then average `value` over the trials.
+    pub fn mean<F>(&self, value: F) -> f64
+    where
+        F: Fn(Trial) -> f64 + Sync,
+    {
+        let total: f64 = self.run(value).into_iter().sum();
+        total / self.trials.max(1) as f64
+    }
+}
+
+/// Aggregate of the engine's [`RunStats`] over a batch of runs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StatsSummary {
+    /// Number of runs aggregated.
+    pub runs: u64,
+    /// Total messages sent across all runs.
+    pub messages_total: u64,
+    /// Mean messages per run.
+    pub messages_mean: f64,
+    /// Mean engine sweeps per run.
+    pub sweeps_mean: f64,
+    /// Smallest sweep count observed.
+    pub sweeps_min: u32,
+    /// Largest sweep count observed.
+    pub sweeps_max: u32,
+}
+
+/// Aggregate per-run [`RunStats`] into a [`StatsSummary`].
+///
+/// Returns a zeroed summary for an empty batch.
+pub fn summarize_runs<'a, I>(runs: I) -> StatsSummary
+where
+    I: IntoIterator<Item = &'a RunStats>,
+{
+    let mut n = 0u64;
+    let mut messages_total = 0u64;
+    let mut sweeps_total = 0u64;
+    let mut sweeps_min = u32::MAX;
+    let mut sweeps_max = 0u32;
+    for s in runs {
+        n += 1;
+        messages_total += s.messages_sent;
+        sweeps_total += u64::from(s.sweeps);
+        sweeps_min = sweeps_min.min(s.sweeps);
+        sweeps_max = sweeps_max.max(s.sweeps);
+    }
+    if n == 0 {
+        return StatsSummary {
+            runs: 0,
+            messages_total: 0,
+            messages_mean: 0.0,
+            sweeps_mean: 0.0,
+            sweeps_min: 0,
+            sweeps_max: 0,
+        };
+    }
+    StatsSummary {
+        runs: n,
+        messages_total,
+        messages_mean: messages_total as f64 / n as f64,
+        sweeps_mean: sweeps_total as f64 / n as f64,
+        sweeps_min,
+        sweeps_max,
+    }
+}
+
+/// The JSON envelope the experiment binaries emit under `--json`: one object
+/// per experiment, carrying the measured rows verbatim.
+///
+/// `R` is usually a row slice, but any serializable payload works (E8 emits
+/// a two-section struct).
+#[derive(Debug, Clone)]
+pub struct TrialReport<'a, R: Serialize + ?Sized> {
+    /// Experiment identifier (`"E1"`, …, `"A1"`).
+    pub experiment: &'a str,
+    /// `"quick"` or `"full"`.
+    pub mode: &'a str,
+    /// The measured rows, exactly as tabulated.
+    pub rows: &'a R,
+}
+
+// Hand-written: the derive does not cover lifetime-parameterized structs.
+impl<R: Serialize + ?Sized> Serialize for TrialReport<'_, R> {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Object(vec![
+            (
+                "experiment".to_string(),
+                serde::Value::String(self.experiment.to_string()),
+            ),
+            (
+                "mode".to_string(),
+                serde::Value::String(self.mode.to_string()),
+            ),
+            ("rows".to_string(), self.rows.to_value()),
+        ])
+    }
+}
+
+impl<R: Serialize + ?Sized> TrialReport<'_, R> {
+    /// Render the report as pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("report rows serialize infallibly")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeds_are_stable_and_distinct() {
+        let plan = TrialPlan::new(64, 7);
+        let again = TrialPlan::new(64, 7);
+        let seeds: Vec<u64> = (0..64).map(|i| plan.seed(i)).collect();
+        assert_eq!(seeds, (0..64).map(|i| again.seed(i)).collect::<Vec<u64>>());
+        let distinct: std::collections::HashSet<_> = seeds.iter().collect();
+        assert_eq!(distinct.len(), 64, "derived seeds must not collide");
+        assert_ne!(plan.seed(0), TrialPlan::new(64, 8).seed(0));
+    }
+
+    #[test]
+    fn run_preserves_trial_order() {
+        let plan = TrialPlan::new(500, 3);
+        let indices: Vec<u64> = plan.run(|t| t.index);
+        assert_eq!(indices, (0..500).collect::<Vec<u64>>());
+        let seeds: Vec<u64> = plan.run(|t| t.seed);
+        assert_eq!(seeds, (0..500).map(|i| plan.seed(i)).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn parallel_fold_is_deterministic() {
+        let plan = TrialPlan::new(200, 11);
+        let a: f64 = plan.mean(|t| (t.seed % 1000) as f64);
+        let b: f64 = plan.mean(|t| (t.seed % 1000) as f64);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn trial_rngs_are_independent() {
+        use rand::RngCore;
+        let plan = TrialPlan::new(2, 9);
+        let draws: Vec<u64> = plan.run(|t| t.rng().next_u64());
+        assert_ne!(draws[0], draws[1]);
+    }
+
+    #[test]
+    fn stats_summary_aggregates() {
+        let runs = vec![
+            RunStats {
+                messages_sent: 10,
+                sweeps: 3,
+                live_per_round: vec![4, 2, 1],
+            },
+            RunStats {
+                messages_sent: 30,
+                sweeps: 5,
+                live_per_round: vec![4, 4, 3, 2, 1],
+            },
+        ];
+        let s = summarize_runs(&runs);
+        assert_eq!(s.runs, 2);
+        assert_eq!(s.messages_total, 40);
+        assert_eq!(s.messages_mean, 20.0);
+        assert_eq!(s.sweeps_min, 3);
+        assert_eq!(s.sweeps_max, 5);
+        assert_eq!(s.sweeps_mean, 4.0);
+        let empty = summarize_runs([]);
+        assert_eq!(empty.runs, 0);
+        assert_eq!(empty.sweeps_min, 0);
+    }
+
+    #[test]
+    fn report_renders_json() {
+        #[derive(Serialize)]
+        struct Row {
+            n: usize,
+            rounds: f64,
+        }
+        let rows = vec![Row { n: 8, rounds: 2.5 }];
+        let json = TrialReport {
+            experiment: "E1",
+            mode: "quick",
+            rows: &rows,
+        }
+        .to_json();
+        assert!(json.contains("\"experiment\": \"E1\""));
+        assert!(json.contains("\"rounds\": 2.5"));
+        let v: serde_json::Value = serde_json::from_str(&json).expect("round-trips");
+        let mode = v
+            .field("mode")
+            .and_then(|m| m.as_str())
+            .expect("mode field");
+        assert_eq!(mode, "quick");
+    }
+}

@@ -359,7 +359,9 @@ mod tests {
         assert!(is_tree(&gen::path(5)));
         assert!(is_tree(&gen::star(7)));
         assert!(!is_tree(&gen::cycle(5)));
-        assert!(is_forest(&GraphBuilder::from_edges(4, [(0, 1), (2, 3)]).unwrap()));
+        assert!(is_forest(
+            &GraphBuilder::from_edges(4, [(0, 1), (2, 3)]).unwrap()
+        ));
         assert!(!is_forest(&gen::cycle(4)));
     }
 

@@ -163,8 +163,7 @@ fn hopcroft_karp(g: &Graph, side: &[u8], alive: &[bool]) -> Vec<Option<EdgeId>> 
                     Some(me) => {
                         let (a, b) = g.endpoints(me);
                         let u2 = if side[a] == 0 { a } else { b };
-                        dist[u2] == dist[u] + 1
-                            && try_augment(g, side, alive, dist, mate, u2)
+                        dist[u2] == dist[u] + 1 && try_augment(g, side, alive, dist, mate, u2)
                     }
                 };
                 if ok {
@@ -282,8 +281,7 @@ pub fn misra_gries(g: &Graph) -> EdgeColoring {
         loop {
             let last = *fan.last().expect("fan nonempty");
             let next = g.neighbors(u).iter().find(|nb| {
-                !in_fan[nb.node]
-                    && color[nb.edge].is_some_and(|c| is_free(&color, last, c))
+                !in_fan[nb.node] && color[nb.edge].is_some_and(|c| is_free(&color, last, c))
             });
             match next {
                 Some(nb) => {

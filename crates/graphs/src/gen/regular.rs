@@ -245,7 +245,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(13);
         let g = random_bipartite_regular(10, 3, &mut rng).unwrap();
         for &(u, v) in g.edges() {
-            assert!(u < 10 && v >= 10, "edge ({u},{v}) must cross the bipartition");
+            assert!(
+                u < 10 && v >= 10,
+                "edge ({u},{v}) must cross the bipartition"
+            );
         }
     }
 

@@ -137,7 +137,8 @@ pub fn caterpillar(spine: usize, legs: usize) -> Graph {
     }
     for s in 0..spine {
         for l in 0..legs {
-            b.add_edge(s, spine + s * legs + l).expect("leg edges are unique");
+            b.add_edge(s, spine + s * legs + l)
+                .expect("leg edges are unique");
         }
     }
     b.build()
@@ -157,7 +158,8 @@ pub fn broom(handle: usize, bristles: usize) -> Graph {
         b.add_edge(v - 1, v).expect("handle edges are unique");
     }
     for l in 0..bristles {
-        b.add_edge(handle - 1, handle + l).expect("bristle edges are unique");
+        b.add_edge(handle - 1, handle + l)
+            .expect("bristle edges are unique");
     }
     b.build()
 }

@@ -184,7 +184,16 @@ impl Graph {
         let mut adj: Vec<Vec<Neighbor>> = self
             .adj
             .iter()
-            .map(|nbs| vec![Neighbor { node: 0, back_port: 0, edge: 0 }; nbs.len()])
+            .map(|nbs| {
+                vec![
+                    Neighbor {
+                        node: 0,
+                        back_port: 0,
+                        edge: 0
+                    };
+                    nbs.len()
+                ]
+            })
             .collect();
         for v in 0..self.n() {
             for (old_p, nb) in self.adj[v].iter().enumerate() {
@@ -202,7 +211,13 @@ impl Graph {
 
 impl fmt::Display for Graph {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "Graph(n={}, m={}, Δ={})", self.n(), self.m(), self.max_degree)
+        write!(
+            f,
+            "Graph(n={}, m={}, Δ={})",
+            self.n(),
+            self.m(),
+            self.max_degree
+        )
     }
 }
 

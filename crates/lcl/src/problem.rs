@@ -137,7 +137,8 @@ pub trait LclProblem {
         v: NodeId,
     ) -> Result<(), Violation> {
         let view = LocalView::from_graph(self, g, labels, v);
-        self.check_view(&view).map_err(|reason| Violation { vertex: v, reason })
+        self.check_view(&view)
+            .map_err(|reason| Violation { vertex: v, reason })
     }
 
     /// Check the whole labeling by checking every vertex.

@@ -47,14 +47,7 @@ impl EdgeKColoring {
     ) -> crate::Labeling<PortColors> {
         assert_eq!(colors.len(), g.m(), "one color per edge");
         g.vertices()
-            .map(|v| {
-                PortColors(
-                    g.neighbors(v)
-                        .iter()
-                        .map(|nb| colors[nb.edge])
-                        .collect(),
-                )
-            })
+            .map(|v| PortColors(g.neighbors(v).iter().map(|nb| colors[nb.edge]).collect()))
             .collect()
     }
 }
@@ -106,8 +99,7 @@ mod tests {
     fn accepts_misra_gries_output() {
         let g = gen::complete(5);
         let col = edge_coloring::misra_gries(&g);
-        let labels =
-            EdgeKColoring::labels_from_edge_colors(&g, col.as_slice());
+        let labels = EdgeKColoring::labels_from_edge_colors(&g, col.as_slice());
         let p = EdgeKColoring::new(col.num_colors());
         assert!(p.validate(&g, &labels).is_ok());
     }
@@ -129,8 +121,7 @@ mod tests {
     #[test]
     fn rejects_inconsistent_edge() {
         let g = gen::path(2);
-        let labels: Labeling<PortColors> =
-            vec![PortColors(vec![0]), PortColors(vec![1])].into();
+        let labels: Labeling<PortColors> = vec![PortColors(vec![0]), PortColors(vec![1])].into();
         let err = EdgeKColoring::new(2).validate(&g, &labels).unwrap_err();
         assert!(err.reason.contains("neighbor says"));
     }
@@ -138,8 +129,7 @@ mod tests {
     #[test]
     fn rejects_out_of_palette() {
         let g = gen::path(2);
-        let labels: Labeling<PortColors> =
-            vec![PortColors(vec![5]), PortColors(vec![5])].into();
+        let labels: Labeling<PortColors> = vec![PortColors(vec![5]), PortColors(vec![5])].into();
         let err = EdgeKColoring::new(2).validate(&g, &labels).unwrap_err();
         assert!(err.reason.contains("outside palette"));
     }
@@ -147,8 +137,7 @@ mod tests {
     #[test]
     fn rejects_wrong_length() {
         let g = gen::path(2);
-        let labels: Labeling<PortColors> =
-            vec![PortColors(vec![]), PortColors(vec![0])].into();
+        let labels: Labeling<PortColors> = vec![PortColors(vec![]), PortColors(vec![0])].into();
         let err = EdgeKColoring::new(2).validate(&g, &labels).unwrap_err();
         assert!(err.reason.contains("wrong length"));
     }

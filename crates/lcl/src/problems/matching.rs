@@ -65,18 +65,12 @@ impl LclProblem for MaximalMatching {
                 }
                 Ok(())
             }
-            None => {
-                match view
-                    .neighbors
-                    .iter()
-                    .position(|nb| nb.label.is_none())
-                {
-                    Some(p) => Err(format!(
-                        "unmatched next to unmatched neighbor on port {p} (not maximal)"
-                    )),
-                    None => Ok(()),
-                }
-            }
+            None => match view.neighbors.iter().position(|nb| nb.label.is_none()) {
+                Some(p) => Err(format!(
+                    "unmatched next to unmatched neighbor on port {p} (not maximal)"
+                )),
+                None => Ok(()),
+            },
         }
     }
 }

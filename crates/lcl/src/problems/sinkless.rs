@@ -140,10 +140,7 @@ impl LclProblem for SinklessColoring {
     fn check_view(&self, view: &LocalView<usize>) -> Result<(), String> {
         let c = view.label;
         if c >= self.delta {
-            return Err(format!(
-                "color {c} outside palette of size {}",
-                self.delta
-            ));
+            return Err(format!("color {c} outside palette of size {}", self.delta));
         }
         for (p, nb) in view.neighbors.iter().enumerate() {
             if nb.label == c && nb.edge_input == c as u64 {
@@ -217,8 +214,7 @@ mod tests {
     fn rejects_inconsistent_edge() {
         let g = gen::cycle(3);
         let p = SinklessOrientation::new(2);
-        let labels: Labeling<Orientation> =
-            (0..3).map(|_| Orientation(vec![true, true])).collect();
+        let labels: Labeling<Orientation> = (0..3).map(|_| Orientation(vec![true, true])).collect();
         let err = p.validate(&g, &labels).unwrap_err();
         assert!(err.reason.contains("inconsistently"));
     }

@@ -160,10 +160,7 @@ pub fn encode_unordered(
         parent: &[usize],
         labels: Option<&[u64]>,
     ) -> Vec<u64> {
-        let mut tokens = vec![
-            labels.map_or(0, |l| l[u]),
-            g.degree(u) as u64,
-        ];
+        let mut tokens = vec![labels.map_or(0, |l| l[u]), g.degree(u) as u64];
         if dist[u] < t {
             let mut children: Vec<Vec<u64>> = g
                 .neighbors(u)
@@ -283,7 +280,10 @@ mod tests {
     #[test]
     fn unordered_detects_cycles_in_ball() {
         let g = gen::cycle(6);
-        assert!(encode_unordered(&g, 0, 3, None).is_none(), "radius 3 wraps C6");
+        assert!(
+            encode_unordered(&g, 0, 3, None).is_none(),
+            "radius 3 wraps C6"
+        );
         assert!(encode_unordered(&g, 0, 2, None).is_some());
     }
 

@@ -7,9 +7,7 @@ use crate::params::GlobalParams;
 use local_graphs::Graph;
 use rand::{RngCore, SeedableRng};
 use rand_chacha::ChaCha8Rng;
-use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
-use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Which of the paper's two models a run executes under.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -74,28 +72,83 @@ pub struct Run<O> {
 
 /// SplitMix64 finalizer — used to derive independent per-node seeds from the
 /// master seed.
-fn splitmix64(mut x: u64) -> u64 {
+pub(crate) fn splitmix64(mut x: u64) -> u64 {
     x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
     x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     x ^ (x >> 31)
 }
 
-struct Slot<N, M, O> {
+struct Slot<N, O> {
     state: N,
     rng: Option<ChaCha8Rng>,
     id: Option<u64>,
-    out: Vec<Option<M>>,
     done: Option<(u32, O)>,
     sent: u64,
+}
+
+/// The CSR-indexed double-buffered message plane.
+///
+/// One slot per *directed* edge, laid out by the adjacency structure: the
+/// outbox of vertex `v` is the contiguous segment
+/// `offsets[v] .. offsets[v + 1]`, one slot per port. Two flat buffers play
+/// complementary roles each sweep: nodes write sends into `out`, read
+/// receives from `inbox`, and between sweeps every sent message is *moved*
+/// (never cloned) to its receiver slot. Because the directed edge `(v, p)`
+/// and its reverse `(u, q)` (where `u` is the neighbor of `v` on port `p`
+/// and `q` the back port) occupy partner slots, delivery is the fixed
+/// permutation `inbox[i] = out[partner[i]].take()` — the `take` doubles as
+/// the clear of the out buffer, so after setup the plane never allocates.
+struct MessagePlane<M> {
+    /// CSR offsets: vertex `v` owns slots `offsets[v] .. offsets[v + 1]`.
+    offsets: Vec<usize>,
+    /// `partner[offsets[v] + p] = offsets[u] + q` for the reverse edge.
+    partner: Vec<usize>,
+    /// Receive buffer: after delivery, `v`'s inbox by port.
+    inbox: Vec<Option<M>>,
+    /// Send buffer: `v`'s outbox by port, all `None` between deliveries.
+    out: Vec<Option<M>>,
+}
+
+impl<M> MessagePlane<M> {
+    fn new(g: &Graph) -> Self {
+        let n = g.n();
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0usize);
+        for v in 0..n {
+            offsets.push(offsets[v] + g.degree(v));
+        }
+        let total = offsets[n];
+        let mut partner = vec![0usize; total];
+        for v in 0..n {
+            for (p, nb) in g.neighbors(v).iter().enumerate() {
+                partner[offsets[v] + p] = offsets[nb.node] + nb.back_port;
+            }
+        }
+        MessagePlane {
+            offsets,
+            partner,
+            inbox: (0..total).map(|_| None).collect(),
+            out: (0..total).map(|_| None).collect(),
+        }
+    }
+
+    /// Move every message sent this sweep to its receiver's inbox slot (and
+    /// drop the now-consumed previous inbox). Leaves `out` all `None`.
+    fn deliver(&mut self) {
+        for (i, &j) in self.partner.iter().enumerate() {
+            self.inbox[i] = self.out[j].take();
+        }
+    }
 }
 
 /// Runs a [`Protocol`] on a graph under a [`Mode`], counting rounds.
 ///
 /// Node steps within a sweep are independent (they read only the previous
-/// exchange's messages), so the engine executes them in parallel with rayon
-/// on large graphs; results are bit-identical to sequential execution because
-/// every node's randomness comes from its own pre-seeded stream.
+/// exchange's messages), so the engine steps disjoint contiguous vertex
+/// ranges on scoped threads for large graphs; results are bit-identical to
+/// sequential execution because every node's randomness comes from its own
+/// pre-seeded stream and nodes write only their own outbox segment.
 #[derive(Debug)]
 pub struct Engine<'g> {
     graph: &'g Graph,
@@ -104,8 +157,8 @@ pub struct Engine<'g> {
     max_rounds: u32,
 }
 
-/// Below this many vertices the engine steps nodes sequentially (rayon
-/// overhead dominates otherwise).
+/// Below this many vertices the engine steps nodes sequentially (thread
+/// spawn overhead dominates otherwise).
 const PAR_THRESHOLD: usize = 2048;
 
 impl<'g> Engine<'g> {
@@ -164,109 +217,126 @@ impl<'g> Engine<'g> {
             Mode::Deterministic { .. } => None,
         };
 
-        type NodeSlot<P> = Slot<
-            <P as Protocol>::Node,
-            <<P as Protocol>::Node as NodeProgram>::Msg,
-            <<P as Protocol>::Node as NodeProgram>::Output,
-        >;
+        type NodeSlot<P> =
+            Slot<<P as Protocol>::Node, <<P as Protocol>::Node as NodeProgram>::Output>;
         let mut slots: Vec<NodeSlot<P>> = (0..n)
-                .map(|v| {
-                    let id = ids.as_ref().map(|ids| ids[v]);
-                    let init = NodeInit {
-                        node: v,
-                        degree: g.degree(v),
-                        id,
-                        params: &self.params,
-                    };
-                    Slot {
-                        state: protocol.create(&init),
-                        rng: seed.map(|s| {
-                            ChaCha8Rng::seed_from_u64(splitmix64(
-                                s ^ splitmix64(v as u64 + 1),
-                            ))
-                        }),
-                        id,
-                        out: Vec::new(),
-                        done: None,
-                        sent: 0,
-                    }
-                })
-                .collect();
+            .map(|v| {
+                let id = ids.as_ref().map(|ids| ids[v]);
+                let init = NodeInit {
+                    node: v,
+                    degree: g.degree(v),
+                    id,
+                    params: &self.params,
+                };
+                Slot {
+                    state: protocol.create(&init),
+                    rng: seed.map(|s| {
+                        ChaCha8Rng::seed_from_u64(splitmix64(s ^ splitmix64(v as u64 + 1)))
+                    }),
+                    id,
+                    done: None,
+                    sent: 0,
+                }
+            })
+            .collect();
 
-        let total_sent = AtomicU64::new(0);
+        let mut plane: MessagePlane<<P::Node as NodeProgram>::Msg> = MessagePlane::new(g);
         let mut live = n;
         let mut sweep: u32 = 0;
         let mut live_per_round: Vec<usize> = Vec::new();
-        let mut prev_out: Vec<Vec<Option<<P::Node as NodeProgram>::Msg>>> = Vec::new();
 
         while live > 0 {
-            if sweep > self.max_rounds {
+            if sweep >= self.max_rounds {
                 return Err(SimError::RoundLimitExceeded {
                     limit: self.max_rounds,
                     live_nodes: live,
                 });
             }
-            // Detach the previous outboxes so nodes can read them while being
-            // stepped mutably.
-            prev_out.clear();
-            prev_out.extend(slots.iter_mut().map(|s| std::mem::take(&mut s.out)));
-            let prev = &prev_out;
+            live_per_round.push(live);
             let params = &self.params;
             let round = sweep;
+            let offsets = &plane.offsets;
+            let inbox = &plane.inbox;
 
-            let step_one = |(v, slot): (usize, &mut Slot<P::Node, _, _>)| {
-                if slot.done.is_some() {
-                    return;
-                }
-                let deg = g.degree(v);
-                let inbox: Vec<Option<<P::Node as NodeProgram>::Msg>> = if round == 0 {
-                    vec![None; deg]
-                } else {
-                    g.neighbors(v)
-                        .iter()
-                        .map(|nb| {
-                            prev.get(nb.node)
-                                .and_then(|o| o.get(nb.back_port))
-                                .cloned()
-                                .flatten()
-                        })
-                        .collect()
-                };
-                let mut out: Vec<Option<<P::Node as NodeProgram>::Msg>> = vec![None; deg];
-                let action = {
-                    let mut io = NodeIo {
-                        degree: deg,
-                        id: slot.id,
-                        params,
-                        inbox: &inbox,
-                        outbox: &mut out,
-                        rng: slot.rng.as_mut(),
+            // Step one node against its inbox/outbox arena segments. The
+            // segments are relative to an arena that may be a thread's
+            // sub-slice, hence the explicit outbox argument.
+            let step_node =
+                |v: usize,
+                 slot: &mut NodeSlot<P>,
+                 outbox: &mut [Option<<P::Node as NodeProgram>::Msg>]| {
+                    if slot.done.is_some() {
+                        return;
+                    }
+                    let action = {
+                        let mut io = NodeIo {
+                            degree: outbox.len(),
+                            id: slot.id,
+                            params,
+                            inbox: &inbox[offsets[v]..offsets[v + 1]],
+                            outbox,
+                            rng: slot.rng.as_mut(),
+                        };
+                        slot.state.step(round, &mut io)
                     };
-                    slot.state.step(round, &mut io)
+                    slot.sent += outbox.iter().filter(|m| m.is_some()).count() as u64;
+                    if let Action::Halt(o) = action {
+                        slot.done = Some((round, o));
+                    }
                 };
-                slot.sent += out.iter().filter(|m| m.is_some()).count() as u64;
-                slot.out = out;
-                if let Action::Halt(o) = action {
-                    slot.done = Some((round, o));
-                }
-            };
 
-            live_per_round.push(live);
             if n >= PAR_THRESHOLD {
-                slots.par_iter_mut().enumerate().for_each(step_one);
+                // Disjoint contiguous vertex ranges, each paired with the
+                // matching arena segment; no node touches another's slots,
+                // so results are bit-identical to the sequential order.
+                let threads = std::thread::available_parallelism()
+                    .map_or(1, std::num::NonZeroUsize::get)
+                    .min(n);
+                let per = n.div_ceil(threads);
+                std::thread::scope(|scope| {
+                    let mut slots_rest = slots.as_mut_slice();
+                    let mut out_rest = plane.out.as_mut_slice();
+                    let mut start = 0usize;
+                    while start < n {
+                        let end = (start + per).min(n);
+                        let (slot_chunk, sr) = slots_rest.split_at_mut(end - start);
+                        slots_rest = sr;
+                        let (out_chunk, or) = out_rest.split_at_mut(offsets[end] - offsets[start]);
+                        out_rest = or;
+                        let step_node = &step_node;
+                        scope.spawn(move || {
+                            let base = offsets[start];
+                            for (i, slot) in slot_chunk.iter_mut().enumerate() {
+                                let v = start + i;
+                                step_node(
+                                    v,
+                                    slot,
+                                    &mut out_chunk[offsets[v] - base..offsets[v + 1] - base],
+                                );
+                            }
+                        });
+                        start = end;
+                    }
+                });
             } else {
-                slots.iter_mut().enumerate().for_each(step_one);
+                for (v, slot) in slots.iter_mut().enumerate() {
+                    step_node(v, slot, &mut plane.out[offsets[v]..offsets[v + 1]]);
+                }
             }
 
             live = slots.iter().filter(|s| s.done.is_none()).count();
             sweep += 1;
+            if live > 0 {
+                plane.deliver();
+            }
         }
 
         let mut outputs = Vec::with_capacity(n);
         let mut halt_rounds = Vec::with_capacity(n);
         let mut rounds = 0;
+        let mut messages_sent = 0u64;
         for slot in slots {
-            total_sent.fetch_add(slot.sent, Ordering::Relaxed);
+            messages_sent += slot.sent;
             let (r, o) = slot.done.expect("loop exits only when all halted");
             rounds = rounds.max(r);
             halt_rounds.push(r);
@@ -277,7 +347,7 @@ impl<'g> Engine<'g> {
             rounds,
             halt_rounds,
             stats: RunStats {
-                messages_sent: total_sent.into_inner(),
+                messages_sent,
                 sweeps: sweep,
                 live_per_round,
             },
@@ -303,10 +373,10 @@ mod tests {
     use super::*;
     use local_graphs::gen;
 
-    /// Flood the minimum ID: halts after `diameter` rounds.
+    /// Flood the minimum ID: halts after `horizon = n` rounds, by which
+    /// point the minimum has reached every vertex.
     struct FloodMin {
         current: u64,
-        quiet_for: u32,
         horizon: u32,
     }
     impl NodeProgram for FloodMin {
@@ -317,16 +387,9 @@ mod tests {
                 io.broadcast(self.current);
                 return Action::Continue;
             }
-            let before = self.current;
             for (_, &m) in io.received() {
                 self.current = self.current.min(m);
             }
-            if self.current == before {
-                self.quiet_for += 1;
-            } else {
-                self.quiet_for = 0;
-            }
-            // n rounds without change guarantees convergence everywhere.
             if round >= self.horizon {
                 Action::Halt(self.current)
             } else {
@@ -341,7 +404,6 @@ mod tests {
         fn create(&self, init: &NodeInit<'_>) -> FloodMin {
             FloodMin {
                 current: init.id.expect("DetLOCAL test"),
-                quiet_for: 0,
                 horizon: init.params.n as u32,
             }
         }
@@ -432,6 +494,56 @@ mod tests {
         ));
     }
 
+    /// Halts every node at a fixed round, to probe the limit boundary.
+    struct HaltAt {
+        round: u32,
+    }
+    impl NodeProgram for HaltAt {
+        type Msg = ();
+        type Output = u32;
+        fn step(&mut self, round: u32, _io: &mut NodeIo<'_, ()>) -> Action<u32> {
+            if round >= self.round {
+                Action::Halt(round)
+            } else {
+                Action::Continue
+            }
+        }
+    }
+    struct HaltAtProtocol(u32);
+    impl Protocol for HaltAtProtocol {
+        type Node = HaltAt;
+        fn create(&self, _init: &NodeInit<'_>) -> HaltAt {
+            HaltAt { round: self.0 }
+        }
+    }
+
+    #[test]
+    fn round_limit_boundary_allows_exactly_max_rounds_sweeps() {
+        // A protocol halting everyone at round `max_rounds - 1` consumes
+        // exactly `max_rounds` sweeps (sweeps 0 .. max_rounds - 1): allowed.
+        let g = gen::path(4);
+        let run = Engine::new(&g, Mode::deterministic())
+            .with_max_rounds(5)
+            .run(&HaltAtProtocol(4))
+            .unwrap();
+        assert_eq!(run.stats.sweeps, 5);
+        assert_eq!(run.rounds, 4);
+
+        // One round later would need a sixth sweep: the limit must trip, and
+        // never let a sweep past `max_rounds` execute.
+        let err = Engine::new(&g, Mode::deterministic())
+            .with_max_rounds(5)
+            .run(&HaltAtProtocol(5))
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            SimError::RoundLimitExceeded {
+                limit: 5,
+                live_nodes: 4
+            }
+        ));
+    }
+
     /// RandLOCAL: each node outputs one random u64 with no communication.
     struct RandOut;
     impl NodeProgram for RandOut {
@@ -455,9 +567,15 @@ mod tests {
     #[test]
     fn randomized_mode_is_seeded_and_distinct() {
         let g = gen::cycle(16);
-        let a = Engine::new(&g, Mode::randomized(42)).run(&RandProtocol).unwrap();
-        let b = Engine::new(&g, Mode::randomized(42)).run(&RandProtocol).unwrap();
-        let c = Engine::new(&g, Mode::randomized(43)).run(&RandProtocol).unwrap();
+        let a = Engine::new(&g, Mode::randomized(42))
+            .run(&RandProtocol)
+            .unwrap();
+        let b = Engine::new(&g, Mode::randomized(42))
+            .run(&RandProtocol)
+            .unwrap();
+        let c = Engine::new(&g, Mode::randomized(43))
+            .run(&RandProtocol)
+            .unwrap();
         assert_eq!(a.outputs, b.outputs, "same seed, same outputs");
         assert_ne!(a.outputs, c.outputs, "different seed, different outputs");
         let distinct: std::collections::HashSet<_> = a.outputs.iter().collect();
@@ -470,8 +588,12 @@ mod tests {
         // same protocol on a small graph exercises the sequential path. Both
         // must be reproducible under the same seed.
         let g = gen::cycle(PAR_THRESHOLD + 10);
-        let a = Engine::new(&g, Mode::randomized(7)).run(&RandProtocol).unwrap();
-        let b = Engine::new(&g, Mode::randomized(7)).run(&RandProtocol).unwrap();
+        let a = Engine::new(&g, Mode::randomized(7))
+            .run(&RandProtocol)
+            .unwrap();
+        let b = Engine::new(&g, Mode::randomized(7))
+            .run(&RandProtocol)
+            .unwrap();
         assert_eq!(a.outputs, b.outputs);
     }
 

@@ -87,7 +87,6 @@ impl IdAssignment {
     }
 }
 
-
 #[cfg(test)]
 mod tests {
     use super::*;

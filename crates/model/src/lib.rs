@@ -64,6 +64,7 @@ mod error;
 mod ids;
 mod node;
 mod params;
+pub mod reference;
 
 pub use engine::{derived_rng, derived_u64, Engine, Mode, Run, RunStats};
 pub use error::SimError;

@@ -110,6 +110,33 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The arena engine must be observably equivalent to the simple
+    /// reference implementation — same outputs, rounds, halt schedule,
+    /// message count, and sweep count — in both models, on arbitrary graphs,
+    /// under a protocol that exercises broadcasting, state, randomness, and
+    /// staggered halting.
+    #[test]
+    fn arena_engine_matches_reference(g in arb_graph(), seed in 0u64..50) {
+        let params = GlobalParams::from_graph(&g);
+        for mode in [Mode::deterministic(), Mode::randomized(seed)] {
+            let fast = Engine::new(&g, mode.clone()).run(&MixerProtocol).unwrap();
+            let slow = local_model::reference::run_reference(
+                &g, &mode, &MixerProtocol, &params, 100_000,
+            )
+            .unwrap();
+            prop_assert_eq!(&fast.outputs, &slow.outputs);
+            prop_assert_eq!(fast.rounds, slow.rounds);
+            prop_assert_eq!(&fast.halt_rounds, &slow.halt_rounds);
+            prop_assert_eq!(fast.stats.messages_sent, slow.stats.messages_sent);
+            prop_assert_eq!(fast.stats.sweeps, slow.stats.sweeps);
+            prop_assert_eq!(&fast.stats.live_per_round, &slow.stats.live_per_round);
+        }
+    }
+}
+
 /// Per-node randomness must be independent: two nodes never share a stream.
 #[test]
 fn node_streams_are_pairwise_distinct() {
@@ -130,7 +157,9 @@ fn node_streams_are_pairwise_distinct() {
         }
     }
     let g = gen::cycle(64);
-    let run = Engine::new(&g, Mode::randomized(5)).run(&DrawProtocol).unwrap();
+    let run = Engine::new(&g, Mode::randomized(5))
+        .run(&DrawProtocol)
+        .unwrap();
     let set: std::collections::HashSet<_> = run.outputs.iter().collect();
     assert_eq!(set.len(), 64);
 }
@@ -170,7 +199,9 @@ fn port_delivery_is_exact() {
     }
     let mut rng = StdRng::seed_from_u64(77);
     let g = gen::gnp(30, 0.3, &mut rng);
-    let run = Engine::new(&g, Mode::deterministic()).run(&EchoProtocol).unwrap();
+    let run = Engine::new(&g, Mode::deterministic())
+        .run(&EchoProtocol)
+        .unwrap();
     for (v, &ok) in run.outputs.iter().enumerate() {
         assert!(ok || g.degree(v) == 0, "vertex {v} missed a message");
     }

@@ -4,8 +4,8 @@
 //!
 //! Run with `cargo run --release --example progress_curves`.
 
-use exp_separation::algorithms::sync::{run_sync, SyncOutcome};
 use exp_separation::algorithms::mis::luby::Luby;
+use exp_separation::algorithms::sync::{run_sync, SyncOutcome};
 use exp_separation::graphs::gen;
 use exp_separation::model::Mode;
 use rand::rngs::StdRng;
@@ -16,7 +16,11 @@ fn sparkline(values: &[usize], max: usize) -> String {
     values
         .iter()
         .map(|&v| {
-            let idx = if max == 0 { 0 } else { (v * 7).div_ceil(max.max(1)).min(7) };
+            let idx = if max == 0 {
+                0
+            } else {
+                (v * 7).div_ceil(max.max(1)).min(7)
+            };
             BARS[idx]
         })
         .collect()

@@ -18,8 +18,8 @@ fn main() {
     println!("workload: {tree} (a tree, Δ ≤ {delta})");
 
     // The paper's Theorem-10 algorithm: RandLOCAL, O(log_Δ log n + log* n).
-    let out = theorem10_color(&tree, delta, 7, Theorem10Config::default())
-        .expect("simulation completes");
+    let out =
+        theorem10_color(&tree, delta, 7, Theorem10Config::default()).expect("simulation completes");
     println!(
         "Theorem 10: Δ-colored in {} rounds ({} in the bidding phase, {} finishing {} bad vertices in components of size ≤ {})",
         out.coloring.rounds,

@@ -15,7 +15,10 @@ use rand::SeedableRng;
 fn main() {
     let delta = 16;
     println!("tree Δ-coloring, Δ = {delta}:");
-    println!("{:>8} | {:>16} | {:>16} | {:>7}", "n", "Det (Thm 9)", "Rand (Thm 10)", "ratio");
+    println!(
+        "{:>8} | {:>16} | {:>16} | {:>7}",
+        "n", "Det (Thm 9)", "Rand (Thm 10)", "ratio"
+    );
     println!("{}", "-".repeat(58));
     for exp in [8u32, 10, 12, 14, 16] {
         let n = 1usize << exp;

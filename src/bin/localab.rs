@@ -20,8 +20,8 @@
 //! ```
 
 use exp_separation::algorithms::color::{
-    cole_vishkin::cv_color_cycle, edge_color_distributed, linial_color, linial_then_reduce,
-    rand_greedy_color, be_forest_coloring,
+    be_forest_coloring, cole_vishkin::cv_color_cycle, edge_color_distributed, linial_color,
+    linial_then_reduce, rand_greedy_color,
 };
 use exp_separation::algorithms::matching::{
     det_matching, israeli_itai_matching, matching_by_edge_color,
@@ -93,8 +93,9 @@ fn build_graph(args: &Args) -> Result<Graph, String> {
         "star" => gen::star(args.n),
         "tree" => gen::random_tree_max_degree(args.n, args.delta, &mut rng),
         "complete-tree" => gen::complete_dary_tree(args.n, args.delta),
-        "regular" => gen::random_regular(args.n, args.delta, &mut rng)
-            .map_err(|e| e.to_string())?,
+        "regular" => {
+            gen::random_regular(args.n, args.delta, &mut rng).map_err(|e| e.to_string())?
+        }
         "gnp" => gen::gnp(args.n, args.delta as f64 / args.n as f64, &mut rng),
         "caterpillar" => gen::caterpillar(args.n, args.delta.saturating_sub(2)),
         other => return Err(format!("unknown family '{other}'")),
@@ -146,11 +147,7 @@ fn run(args: &Args) -> Result<(), String> {
         "theorem10" => {
             let out = theorem10_color(&g, args.delta, args.seed, Theorem10Config::default())
                 .map_err(|e| e.to_string())?;
-            let v = validate(
-                &VertexColoring::new(args.delta),
-                &g,
-                &out.coloring.labels,
-            );
+            let v = validate(&VertexColoring::new(args.delta), &g, &out.coloring.labels);
             (
                 out.coloring.rounds,
                 format!(
@@ -161,11 +158,7 @@ fn run(args: &Args) -> Result<(), String> {
         }
         "theorem11" => {
             let out = theorem11_color(&g, args.delta, args.seed).map_err(|e| e.to_string())?;
-            let v = validate(
-                &VertexColoring::new(args.delta),
-                &g,
-                &out.coloring.labels,
-            );
+            let v = validate(&VertexColoring::new(args.delta), &g, &out.coloring.labels);
             (out.coloring.rounds, format!("{} colors, {v}", args.delta))
         }
         "luby" => {
@@ -185,8 +178,7 @@ fn run(args: &Args) -> Result<(), String> {
             (out.rounds, format!("MIS, {v}"))
         }
         "ii-matching" => {
-            let out = israeli_itai_matching(&g, args.seed, 100_000)
-                .map_err(|e| e.to_string())?;
+            let out = israeli_itai_matching(&g, args.seed, 100_000).map_err(|e| e.to_string())?;
             let labels = MaximalMatching::labels_from_edges(&g, &out.matched_edges);
             let v = validate(&MaximalMatching::new(), &g, &labels);
             (out.rounds, format!("matching, {v}"))
@@ -212,12 +204,7 @@ fn run(args: &Args) -> Result<(), String> {
         "sinkless" => {
             let out = sinkless_orientation(&g, args.seed, 40).map_err(|e| e.to_string())?;
             let verdict = if out.sinks == 0 {
-                validate(
-                    &SinklessOrientation::new(g.max_degree()),
-                    &g,
-                    &out.labels,
-                )
-                .to_owned()
+                validate(&SinklessOrientation::new(g.max_degree()), &g, &out.labels).to_owned()
             } else {
                 format!("{} sinks remain", out.sinks)
             };

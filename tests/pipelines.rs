@@ -11,9 +11,7 @@ use exp_separation::algorithms::mis::{det_mis, ghaffari_mis, luby_mis};
 use exp_separation::algorithms::orientation::sinkless_orientation;
 use exp_separation::algorithms::tree::{theorem10_color, theorem11_color, Theorem10Config};
 use exp_separation::graphs::{analysis, gen};
-use exp_separation::lcl::problems::{
-    MaximalMatching, Mis, SinklessOrientation, VertexColoring,
-};
+use exp_separation::lcl::problems::{MaximalMatching, Mis, SinklessOrientation, VertexColoring};
 use exp_separation::lcl::{verifier, Labeling, LclProblem};
 use exp_separation::model::IdAssignment;
 use rand::rngs::StdRng;
@@ -72,10 +70,12 @@ fn tree_coloring_theorems_agree_on_palette() {
 #[test]
 fn mis_pipelines_across_workloads() {
     let mut rng = StdRng::seed_from_u64(102);
-    let workloads = [gen::cycle(33),
+    let workloads = [
+        gen::cycle(33),
         gen::star(20),
         gen::gnp(70, 0.08, &mut rng),
-        gen::random_regular(40, 5, &mut rng).unwrap()];
+        gen::random_regular(40, 5, &mut rng).unwrap(),
+    ];
     for (i, g) in workloads.iter().enumerate() {
         let seed = i as u64;
         let l = luby_mis(g, seed, 10_000).unwrap();
@@ -90,9 +90,7 @@ fn mis_pipelines_across_workloads() {
 #[test]
 fn matching_pipelines_across_workloads() {
     let mut rng = StdRng::seed_from_u64(103);
-    let workloads = [gen::path(31),
-        gen::cycle(18),
-        gen::gnp(40, 0.15, &mut rng)];
+    let workloads = [gen::path(31), gen::cycle(18), gen::gnp(40, 0.15, &mut rng)];
     for (i, g) in workloads.iter().enumerate() {
         let seed = i as u64;
         let r = israeli_itai_matching(g, seed, 5000).unwrap();

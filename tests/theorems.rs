@@ -19,7 +19,7 @@ use rand::SeedableRng;
 /// `Det(n) ≤ Rand(2^(n²))`.
 #[test]
 fn theorem3_derandomization_verified_exhaustively() {
-    let report = derandomize_priority_mis(3, 2, 2, 99, 64);
+    let report = derandomize_priority_mis(3, 2, 2, 99, 64).expect("union bound");
     assert_eq!(report.claimed_n, 512); // 2^(3²)
     assert!(report.instances >= 8 * 24);
     assert!(report.phis_tried <= 8, "the union bound predicts ~1 try");
@@ -76,8 +76,7 @@ fn theorem5_hard_instances_and_the_coloring_reduction() {
     // A proper 3-coloring (exists: bipartite graphs are 2-colorable, use 2
     // of the 3 colors) is automatically sinkless.
     let side = analysis::bipartition(&g).unwrap();
-    let labels: exp_separation::lcl::Labeling<usize> =
-        side.iter().map(|&s| s as usize).collect();
+    let labels: exp_separation::lcl::Labeling<usize> = side.iter().map(|&s| s as usize).collect();
     assert!(VertexColoring::new(3).validate(&g, &labels).is_ok());
     let sinkless = SinklessColoring::new(3, psi);
     assert!(sinkless.validate(&g, &labels).is_ok());
@@ -102,15 +101,24 @@ fn theorem7_delta2_dichotomy() {
     use exp_separation::algorithms::color::cole_vishkin::cv_color_cycle;
     use exp_separation::model::IdAssignment;
     let fast = cv_color_cycle(&gen::cycle(4096), &IdAssignment::Sequential);
-    assert!(fast.rounds <= 12, "log* n + O(1) rounds, got {}", fast.rounds);
-    assert!(VertexColoring::new(3).validate(&gen::cycle(4096), &fast.labels).is_ok());
+    assert!(
+        fast.rounds <= 12,
+        "log* n + O(1) rounds, got {}",
+        fast.rounds
+    );
+    assert!(VertexColoring::new(3)
+        .validate(&gen::cycle(4096), &fast.labels)
+        .is_ok());
     // 2-coloring an odd cycle is globally infeasible: every labeling fails.
     let g = gen::cycle(5);
     let p = VertexColoring::new(2);
     for mask in 0u32..32 {
         let labels: exp_separation::lcl::Labeling<usize> =
             (0..5).map(|v| ((mask >> v) & 1) as usize).collect();
-        assert!(p.validate(&g, &labels).is_err(), "mask {mask} cannot be proper");
+        assert!(
+            p.validate(&g, &labels).is_err(),
+            "mask {mask} cannot be proper"
+        );
     }
 }
 

@@ -1,0 +1,217 @@
+//! Offline vendored subset of the `criterion` API.
+//!
+//! Measures wall-clock time of benchmark closures with warmup + fixed
+//! sample counts and prints mean / min / max per benchmark. No plots, no
+//! statistical regression — enough to compare implementations by eye and
+//! by the machine-readable `BENCH <name> mean_ns=<x>` lines it emits.
+
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter, rendered `name/param`.
+    pub fn new<S: fmt::Display, P: fmt::Display>(name: S, param: P) -> Self {
+        BenchmarkId {
+            id: format!("{name}/{param}"),
+        }
+    }
+
+    /// An id carrying only a parameter.
+    pub fn from_parameter<P: fmt::Display>(param: P) -> Self {
+        BenchmarkId {
+            id: param.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_owned() }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.id)
+    }
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group: {name}");
+        BenchmarkGroup {
+            _criterion: self,
+            group: name.to_owned(),
+            sample_size: 20,
+        }
+    }
+}
+
+/// A group of benchmarks sharing settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    group: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark (min 2).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Run a benchmark with a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            samples: Vec::with_capacity(self.sample_size),
+            sample_size: self.sample_size,
+        };
+        f(&mut b, input);
+        self.report(&id, &b.samples);
+        self
+    }
+
+    /// Run a benchmark without an input.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            samples: Vec::with_capacity(self.sample_size),
+            sample_size: self.sample_size,
+        };
+        f(&mut b);
+        self.report(&id, &b.samples);
+        self
+    }
+
+    /// End the group.
+    pub fn finish(&mut self) {}
+
+    fn report(&self, id: &BenchmarkId, samples: &[Duration]) {
+        if samples.is_empty() {
+            println!("  {}/{id}: no samples", self.group);
+            return;
+        }
+        let ns: Vec<u128> = samples.iter().map(Duration::as_nanos).collect();
+        let mean = ns.iter().sum::<u128>() / ns.len() as u128;
+        let min = *ns.iter().min().expect("nonempty");
+        let max = *ns.iter().max().expect("nonempty");
+        println!(
+            "  {group}/{id}: mean {mean_h} min {min_h} max {max_h} ({k} samples)",
+            group = self.group,
+            mean_h = human(mean),
+            min_h = human(min),
+            max_h = human(max),
+            k = ns.len(),
+        );
+        // Machine-readable line for scripts comparing runs.
+        println!("BENCH {group}/{id} mean_ns={mean}", group = self.group);
+    }
+}
+
+fn human(ns: u128) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+/// Times one closure.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Time `f`, running one warmup iteration then `sample_size` timed ones.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        black_box(f());
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            black_box(f());
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+/// Declare a function bundling several benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($bench:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($bench(&mut criterion);)+
+        }
+    };
+}
+
+/// Declare the benchmark binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_samples() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("t");
+        group.sample_size(3);
+        let mut runs = 0u32;
+        group.bench_function("count", |b| {
+            b.iter(|| {
+                runs += 1;
+            })
+        });
+        group.finish();
+        // 1 warmup + 3 samples.
+        assert_eq!(runs, 4);
+    }
+
+    #[test]
+    fn ids_render() {
+        assert_eq!(BenchmarkId::new("det", 64).to_string(), "det/64");
+        assert_eq!(BenchmarkId::from_parameter(1024).to_string(), "1024");
+    }
+}

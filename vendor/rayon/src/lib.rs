@@ -1,0 +1,369 @@
+//! Offline vendored subset of the `rayon` API.
+//!
+//! The build environment has no crates.io access, so the workspace vendors
+//! the slice of rayon it uses: `par_iter` / `par_iter_mut` / `into_par_iter`
+//! with `enumerate`, `map`, `for_each`, and `collect`. Work is executed on
+//! real OS threads via [`std::thread::scope`], statically chunked across
+//! [`std::thread::available_parallelism`] workers. Every combinator
+//! preserves item order and touches each item exactly once, so parallel
+//! results are bit-identical to sequential ones for pure per-item work —
+//! the determinism contract the round engine relies on.
+
+#![warn(missing_docs)]
+
+use std::num::NonZeroUsize;
+
+pub mod prelude {
+    //! Glob-import target mirroring `rayon::prelude`.
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator};
+}
+
+/// Number of worker threads used for parallel execution.
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+fn chunk_size(len: usize) -> usize {
+    let threads = current_num_threads();
+    len.div_ceil(threads).max(1)
+}
+
+/// Run `f(index, &mut item)` for every item, in parallel chunks.
+fn for_each_mut_indexed<T, F>(items: &mut [T], f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut T) + Sync,
+{
+    if items.is_empty() {
+        return;
+    }
+    let chunk = chunk_size(items.len());
+    std::thread::scope(|scope| {
+        for (ci, chunk_items) in items.chunks_mut(chunk).enumerate() {
+            let f = &f;
+            scope.spawn(move || {
+                for (off, item) in chunk_items.iter_mut().enumerate() {
+                    f(ci * chunk + off, item);
+                }
+            });
+        }
+    });
+}
+
+/// Map `f(index, &item)` over every item, in parallel chunks, preserving
+/// order.
+fn map_indexed<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    if items.is_empty() {
+        return Vec::new();
+    }
+    let chunk = chunk_size(items.len());
+    let mut out: Vec<Option<R>> = Vec::new();
+    out.resize_with(items.len(), || None);
+    std::thread::scope(|scope| {
+        for ((ci, chunk_items), chunk_out) in
+            items.chunks(chunk).enumerate().zip(out.chunks_mut(chunk))
+        {
+            let f = &f;
+            scope.spawn(move || {
+                for ((off, item), slot) in chunk_items.iter().enumerate().zip(chunk_out) {
+                    *slot = Some(f(ci * chunk + off, item));
+                }
+            });
+        }
+    });
+    out.into_iter()
+        .map(|slot| slot.expect("every chunk slot filled"))
+        .collect()
+}
+
+/// Map `f(index, item)` over owned items, in parallel chunks, preserving
+/// order.
+fn map_owned_indexed<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+{
+    if items.is_empty() {
+        return Vec::new();
+    }
+    let chunk = chunk_size(items.len());
+    let mut chunks: Vec<Vec<T>> = Vec::new();
+    let mut items = items.into_iter();
+    loop {
+        let part: Vec<T> = items.by_ref().take(chunk).collect();
+        if part.is_empty() {
+            break;
+        }
+        chunks.push(part);
+    }
+    let mut out: Vec<Option<Vec<R>>> = Vec::new();
+    out.resize_with(chunks.len(), || None);
+    std::thread::scope(|scope| {
+        for ((ci, part), slot) in chunks.into_iter().enumerate().zip(out.iter_mut()) {
+            let f = &f;
+            scope.spawn(move || {
+                *slot = Some(
+                    part.into_iter()
+                        .enumerate()
+                        .map(|(off, item)| f(ci * chunk + off, item))
+                        .collect(),
+                );
+            });
+        }
+    });
+    out.into_iter()
+        .flat_map(|slot| slot.expect("every chunk produced"))
+        .collect()
+}
+
+/// `.par_iter()` on slices (and anything derefing to one).
+pub trait IntoParallelRefIterator<'a> {
+    /// Item type.
+    type Item: Sync + 'a;
+    /// A parallel iterator borrowing `self`.
+    fn par_iter(&'a self) -> ParIter<'a, Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = T;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = T;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+/// `.par_iter_mut()` on slices (and anything derefing to one).
+pub trait IntoParallelRefMutIterator<'a> {
+    /// Item type.
+    type Item: Send + 'a;
+    /// A parallel iterator mutably borrowing `self`.
+    fn par_iter_mut(&'a mut self) -> ParIterMut<'a, Self::Item>;
+}
+
+impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for [T] {
+    type Item = T;
+    fn par_iter_mut(&'a mut self) -> ParIterMut<'a, T> {
+        ParIterMut { items: self }
+    }
+}
+
+impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for Vec<T> {
+    type Item = T;
+    fn par_iter_mut(&'a mut self) -> ParIterMut<'a, T> {
+        ParIterMut { items: self }
+    }
+}
+
+/// `.into_par_iter()` on owned collections.
+pub trait IntoParallelIterator {
+    /// Item type.
+    type Item: Send;
+    /// The owning parallel iterator.
+    fn into_par_iter(self) -> IntoParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> IntoParIter<T> {
+        IntoParIter { items: self }
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Item = usize;
+    fn into_par_iter(self) -> IntoParIter<usize> {
+        IntoParIter {
+            items: self.collect(),
+        }
+    }
+}
+
+/// Borrowing parallel iterator over a slice.
+pub struct ParIter<'a, T> {
+    items: &'a [T],
+}
+
+impl<'a, T: Sync> ParIter<'a, T> {
+    /// Parallel map preserving order.
+    pub fn map<R, F>(self, f: F) -> ParMap<'a, T, F>
+    where
+        R: Send,
+        F: Fn(&'a T) -> R + Sync,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+
+    /// Run `f` on every item.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&T) + Sync,
+    {
+        let _ = map_indexed(self.items, |_, item| f(item));
+    }
+}
+
+/// Result of [`ParIter::map`].
+pub struct ParMap<'a, T, F> {
+    items: &'a [T],
+    f: F,
+}
+
+impl<'a, T, R, F> ParMap<'a, T, F>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&'a T) -> R + Sync,
+{
+    /// Gather results in input order.
+    pub fn collect<C: FromIterator<R>>(self) -> C {
+        let f = self.f;
+        let items: &'a [T] = self.items;
+        map_indexed(items, |i, _| f(&items[i]))
+            .into_iter()
+            .collect()
+    }
+}
+
+/// Mutably borrowing parallel iterator over a slice.
+pub struct ParIterMut<'a, T> {
+    items: &'a mut [T],
+}
+
+impl<'a, T: Send> ParIterMut<'a, T> {
+    /// Pair every item with its index.
+    pub fn enumerate(self) -> ParEnumerateMut<'a, T> {
+        ParEnumerateMut { items: self.items }
+    }
+
+    /// Run `f` on every item.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&mut T) + Sync,
+    {
+        for_each_mut_indexed(self.items, |_, item| f(item));
+    }
+}
+
+/// Result of [`ParIterMut::enumerate`].
+pub struct ParEnumerateMut<'a, T> {
+    items: &'a mut [T],
+}
+
+impl<T: Send> ParEnumerateMut<'_, T> {
+    /// Run `f((index, &mut item))` on every item.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn((usize, &mut T)) + Sync,
+    {
+        for_each_mut_indexed(self.items, |i, item| f((i, item)));
+    }
+}
+
+/// Owning parallel iterator.
+pub struct IntoParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> IntoParIter<T> {
+    /// Parallel map preserving order.
+    pub fn map<R, F>(self, f: F) -> IntoParMap<T, F>
+    where
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        IntoParMap {
+            items: self.items,
+            f,
+        }
+    }
+
+    /// Run `f` on every item.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(T) + Sync,
+    {
+        let _ = map_owned_indexed(self.items, |_, item| f(item));
+    }
+}
+
+/// Result of [`IntoParIter::map`].
+pub struct IntoParMap<T, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+impl<T, R, F> IntoParMap<T, F>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    /// Gather results in input order.
+    pub fn collect<C: FromIterator<R>>(self) -> C {
+        let f = self.f;
+        map_owned_indexed(self.items, |_, item| f(item))
+            .into_iter()
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_mut_enumerate_for_each_visits_all_once() {
+        let mut xs = vec![0u64; 10_000];
+        xs.par_iter_mut()
+            .enumerate()
+            .for_each(|(i, x)| *x += i as u64 + 1);
+        assert!(xs.iter().enumerate().all(|(i, &x)| x == i as u64 + 1));
+    }
+
+    #[test]
+    fn par_map_preserves_order() {
+        let xs: Vec<usize> = (0..5000).collect();
+        let doubled: Vec<usize> = xs.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, (0..5000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn into_par_iter_owned_map() {
+        let xs: Vec<String> = (0..100).map(|i| i.to_string()).collect();
+        let lens: Vec<usize> = xs.into_par_iter().map(|s| s.len()).collect();
+        assert_eq!(lens[0], 1);
+        assert_eq!(lens[99], 2);
+        assert_eq!(lens.len(), 100);
+    }
+
+    #[test]
+    fn empty_inputs_are_fine() {
+        let mut empty: Vec<u8> = Vec::new();
+        empty.par_iter_mut().enumerate().for_each(|(_, _)| {});
+        let mapped: Vec<u8> = empty.par_iter().map(|&x| x).collect();
+        assert!(mapped.is_empty());
+    }
+
+    #[test]
+    fn range_into_par_iter() {
+        let squares: Vec<usize> = (0..100usize).into_par_iter().map(|i| i * i).collect();
+        assert_eq!(squares[9], 81);
+    }
+}

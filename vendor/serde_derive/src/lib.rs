@@ -1,0 +1,336 @@
+//! Offline vendored `#[derive(Serialize)]` / `#[derive(Deserialize)]`.
+//!
+//! Hand-rolled token parsing (no `syn`/`quote` available offline). Supports
+//! exactly the shapes this workspace derives on:
+//!
+//! * structs with named fields (possibly generic over plain type params),
+//! * tuple structs (newtypes serialize as their inner value, larger tuples
+//!   as arrays),
+//! * enums whose variants are all unit variants (serialized as their name).
+//!
+//! Anything else fails the build with a clear `compile_error!`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Shape {
+    Named(Vec<String>),
+    Tuple(usize),
+    UnitEnum(Vec<String>),
+}
+
+struct Input {
+    name: String,
+    generics: Vec<String>,
+    shape: Shape,
+}
+
+fn is_punct(tt: &TokenTree, ch: char) -> bool {
+    matches!(tt, TokenTree::Punct(p) if p.as_char() == ch)
+}
+
+fn is_ident(tt: &TokenTree, name: &str) -> bool {
+    matches!(tt, TokenTree::Ident(i) if i.to_string() == name)
+}
+
+/// Advance past attributes (`#[...]`) starting at `i`.
+fn skip_attrs(tokens: &[TokenTree], mut i: usize) -> usize {
+    while i + 1 < tokens.len() && is_punct(&tokens[i], '#') {
+        i += 2; // '#' + bracket group
+    }
+    i
+}
+
+/// Advance past a visibility qualifier starting at `i`.
+fn skip_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    if i < tokens.len() && is_ident(&tokens[i], "pub") {
+        i += 1;
+        if i < tokens.len() {
+            if let TokenTree::Group(g) = &tokens[i] {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1; // pub(crate) etc.
+                }
+            }
+        }
+    }
+    i
+}
+
+fn parse_input(item: TokenStream) -> Result<Input, String> {
+    let tokens: Vec<TokenTree> = item.into_iter().collect();
+    let mut i = skip_attrs(&tokens, 0);
+    i = skip_vis(&tokens, i);
+    let is_enum = match tokens.get(i) {
+        Some(tt) if is_ident(tt, "struct") => false,
+        Some(tt) if is_ident(tt, "enum") => true,
+        other => return Err(format!("expected struct or enum, found {other:?}")),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, found {other:?}")),
+    };
+    i += 1;
+    // Generic parameters: collect the first ident of each comma-separated
+    // segment between the outermost < >.
+    let mut generics = Vec::new();
+    if tokens.get(i).is_some_and(|t| is_punct(t, '<')) {
+        i += 1;
+        let mut depth = 1usize;
+        let mut at_param_start = true;
+        while depth > 0 {
+            let tt = tokens
+                .get(i)
+                .ok_or_else(|| "unbalanced generics".to_string())?;
+            if is_punct(tt, '<') {
+                depth += 1;
+            } else if is_punct(tt, '>') {
+                depth -= 1;
+            } else if depth == 1 && is_punct(tt, ',') {
+                at_param_start = true;
+            } else if depth == 1 && at_param_start {
+                if let TokenTree::Ident(id) = tt {
+                    let s = id.to_string();
+                    if s == "const" {
+                        return Err("const generics are not supported".into());
+                    }
+                    generics.push(s);
+                    at_param_start = false;
+                } else if is_punct(tt, '\'') {
+                    return Err("lifetime parameters are not supported".into());
+                }
+            }
+            i += 1;
+        }
+    }
+    let shape = if is_enum {
+        let body = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+            other => return Err(format!("expected enum body, found {other:?}")),
+        };
+        Shape::UnitEnum(parse_unit_variants(body)?)
+    } else {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Named(parse_named_fields(g.stream())?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::Tuple(count_tuple_fields(g.stream()))
+            }
+            other => return Err(format!("expected struct body, found {other:?}")),
+        }
+    };
+    Ok(Input {
+        name,
+        generics,
+        shape,
+    })
+}
+
+fn parse_named_fields(body: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attrs(&tokens, i);
+        i = skip_vis(&tokens, i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => return Err(format!("expected field name, found {other}")),
+        };
+        i += 1;
+        if !tokens.get(i).is_some_and(|t| is_punct(t, ':')) {
+            return Err(format!("expected ':' after field `{name}`"));
+        }
+        i += 1;
+        // Consume the type: everything until a comma outside angle brackets.
+        let mut depth = 0usize;
+        while i < tokens.len() {
+            let tt = &tokens[i];
+            if is_punct(tt, '<') {
+                depth += 1;
+            } else if is_punct(tt, '>') {
+                depth = depth.saturating_sub(1);
+            } else if depth == 0 && is_punct(tt, ',') {
+                i += 1;
+                break;
+            }
+            i += 1;
+        }
+        fields.push(name);
+    }
+    Ok(fields)
+}
+
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let mut depth = 0usize;
+    let mut count = 0usize;
+    let mut saw_any = false;
+    for tt in body {
+        if is_punct(&tt, '<') {
+            depth += 1;
+        } else if is_punct(&tt, '>') {
+            depth = depth.saturating_sub(1);
+        } else if depth == 0 && is_punct(&tt, ',') {
+            count += 1;
+            saw_any = false;
+            continue;
+        }
+        saw_any = true;
+    }
+    count + usize::from(saw_any)
+}
+
+fn parse_unit_variants(body: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attrs(&tokens, i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => return Err(format!("expected variant name, found {other}")),
+        };
+        i += 1;
+        match tokens.get(i) {
+            None => {}
+            Some(tt) if is_punct(tt, ',') => {
+                i += 1;
+            }
+            Some(TokenTree::Group(_)) => {
+                return Err(format!(
+                    "variant `{name}` carries data; only unit-variant enums are supported"
+                ));
+            }
+            Some(tt) if is_punct(tt, '=') => {
+                return Err(format!("variant `{name}` has a discriminant; unsupported"));
+            }
+            Some(other) => return Err(format!("unexpected token after variant: {other}")),
+        }
+        variants.push(name);
+    }
+    Ok(variants)
+}
+
+fn impl_header(trait_name: &str, input: &Input) -> String {
+    let Input { name, generics, .. } = input;
+    if generics.is_empty() {
+        format!("impl ::serde::{trait_name} for {name}")
+    } else {
+        let bounded: Vec<String> = generics
+            .iter()
+            .map(|g| format!("{g}: ::serde::{trait_name}"))
+            .collect();
+        format!(
+            "impl<{}> ::serde::{trait_name} for {name}<{}>",
+            bounded.join(", "),
+            generics.join(", ")
+        )
+    }
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!(
+        "compile_error!({:?});",
+        format!("serde_derive (vendored): {msg}")
+    )
+    .parse()
+    .expect("valid compile_error")
+}
+
+/// Derive the workspace `Serialize` trait.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(item: TokenStream) -> TokenStream {
+    let input = match parse_input(item) {
+        Ok(i) => i,
+        Err(e) => return compile_error(&e),
+    };
+    let body = match &input.shape {
+        Shape::Named(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from({f:?}), \
+                         ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Object(vec![{}])", entries.join(", "))
+        }
+        Shape::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::Tuple(k) => {
+            let entries: Vec<String> = (0..*k)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", entries.join(", "))
+        }
+        Shape::UnitEnum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    format!(
+                        "{name}::{v} => ::serde::Value::String(::std::string::String::from({v:?}))",
+                        name = input.name
+                    )
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(", "))
+        }
+    };
+    let header = impl_header("Serialize", &input);
+    format!("{header} {{ fn to_value(&self) -> ::serde::Value {{ {body} }} }}")
+        .parse()
+        .expect("generated Serialize impl parses")
+}
+
+/// Derive the workspace `Deserialize` trait.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(item: TokenStream) -> TokenStream {
+    let input = match parse_input(item) {
+        Ok(i) => i,
+        Err(e) => return compile_error(&e),
+    };
+    let name = &input.name;
+    let body = match &input.shape {
+        Shape::Named(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::Deserialize::from_value(__v.field({f:?})?)?"))
+                .collect();
+            format!("Ok({name} {{ {} }})", entries.join(", "))
+        }
+        Shape::Tuple(1) => {
+            format!("Ok({name}(::serde::Deserialize::from_value(__v)?))")
+        }
+        Shape::Tuple(k) => {
+            let entries: Vec<String> = (0..*k)
+                .map(|i| format!("::serde::Deserialize::from_value(__v.index({i})?)?"))
+                .collect();
+            format!("Ok({name}({}))", entries.join(", "))
+        }
+        Shape::UnitEnum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| format!("{v:?} => Ok({name}::{v})"))
+                .collect();
+            format!(
+                "match __v.as_str()? {{ {}, other => \
+                 Err(::serde::DeError::unknown_variant(other)) }}",
+                arms.join(", ")
+            )
+        }
+    };
+    let header = impl_header("Deserialize", &input);
+    format!(
+        "{header} {{ fn from_value(__v: &::serde::Value) -> \
+         ::std::result::Result<Self, ::serde::DeError> {{ {body} }} }}"
+    )
+    .parse()
+    .expect("generated Deserialize impl parses")
+}
