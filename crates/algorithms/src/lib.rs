@@ -27,4 +27,7 @@ pub mod sync;
 pub mod tree;
 pub mod util;
 
-pub use sync::{run_sync, run_sync_with_params, SyncAlgorithm, SyncCtx, SyncOutcome, SyncStep};
+pub use sync::{
+    run_sync, run_sync_faulty, run_sync_with_params, FaultySyncOutcome, SyncAlgorithm, SyncCtx,
+    SyncOutcome, SyncStep,
+};

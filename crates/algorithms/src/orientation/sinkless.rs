@@ -71,9 +71,17 @@ impl SyncAlgorithm for SinklessRepair {
             // believing "incoming" — consistent repair fixes them later via
             // flips; with 64-bit draws ties are negligible.)
             for p in 0..deg {
-                let mine = state.signal[p].expect("drawn in round 1");
-                let theirs = neighbors[p].signal[ctx.back_port(p)].expect("drawn in round 1");
-                next.dirs[p] = mine > theirs;
+                let mine = state.signal[p];
+                let theirs = neighbors[p].signal[ctx.back_port(p)];
+                next.dirs[p] = match (mine, theirs) {
+                    (Some(a), Some(b)) => a > b,
+                    // A missing draw happens only in faulty runs (a dropped
+                    // round-1 message leaves the stale init state visible):
+                    // claim the edge outgoing; partial validation charges
+                    // any inconsistency to the vertex with the damaged view.
+                    (Some(_), None) => true,
+                    (None, _) => false,
+                };
                 next.signal[p] = None;
             }
             return SyncStep::Continue(next);

@@ -15,7 +15,8 @@
 
 use local_graphs::{Graph, PortId};
 use local_model::{
-    Action, Engine, GlobalParams, Mode, NodeInit, NodeIo, NodeProgram, Protocol, SimError,
+    Action, Engine, FaultPlan, GlobalParams, Mode, NodeInit, NodeIo, NodeProgram, Outcome,
+    Protocol, SimError,
 };
 use rand::RngCore;
 
@@ -260,10 +261,226 @@ pub fn run_sync_with_params<A: SyncAlgorithm>(
     })
 }
 
+/// Outcome of [`run_sync_faulty`]: per-vertex fates with partial outputs.
+///
+/// `Halted { round, output }` carries the round in which the vertex
+/// *decided* (the sync-layer metric, one less than its engine halt round).
+#[derive(Debug, Clone)]
+pub struct FaultySyncOutcome<O> {
+    /// Per-vertex fates, indexed by vertex.
+    pub outcomes: Vec<Outcome<O>>,
+    /// Engine sweeps consumed.
+    pub sweeps: u32,
+    /// Total messages sent.
+    pub messages: u64,
+    /// Messages discarded by drop faults.
+    pub dropped: u64,
+    /// Messages deferred one round by delay faults.
+    pub delayed: u64,
+}
+
+impl<O> FaultySyncOutcome<O> {
+    /// Per-vertex outputs for the vertices that decided, `None` elsewhere —
+    /// the shape partial LCL validation consumes.
+    pub fn partial_outputs(&self) -> Vec<Option<&O>> {
+        self.outcomes.iter().map(Outcome::output).collect()
+    }
+
+    /// Count of vertices that decided / crashed / were cut.
+    pub fn counts(&self) -> (usize, usize, usize) {
+        let mut halted = 0;
+        let mut crashed = 0;
+        let mut cut = 0;
+        for o in &self.outcomes {
+            match o {
+                Outcome::Halted { .. } => halted += 1,
+                Outcome::Crashed { .. } => crashed += 1,
+                Outcome::Cut => cut += 1,
+            }
+        }
+        (halted, crashed, cut)
+    }
+
+    /// The largest decided round (0 if nobody decided).
+    pub fn max_decided_round(&self) -> u32 {
+        self.outcomes
+            .iter()
+            .filter_map(|o| match o {
+                Outcome::Halted { round, .. } => Some(*round),
+                _ => None,
+            })
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// Engine node wrapping a [`SyncAlgorithm`] vertex for faulty runs.
+///
+/// Differs from [`SyncNode`] in two fault-model concessions:
+///
+/// * The last-heard cache is pre-seeded with every neighbor's *initial*
+///   state, so a dropped message means "stale state" rather than a panic —
+///   crash-stop neighbors simply freeze at their last delivered state.
+/// * A vertex halts one round after deciding (one final broadcast), instead
+///   of waiting for all neighbors to decide — a crashed neighbor would
+///   otherwise pin the whole run at the sweep budget.
+pub struct FaultySyncNode<'a, A: SyncAlgorithm> {
+    algo: &'a A,
+    state: A::State,
+    decided: Option<(u32, A::Output)>,
+    back_ports: Vec<PortId>,
+    /// Last state heard per port, seeded with the neighbor's initial state.
+    heard: Vec<A::State>,
+}
+
+impl<'a, A: SyncAlgorithm> NodeProgram for FaultySyncNode<'a, A> {
+    type Msg = A::State;
+    type Output = (A::Output, u32);
+
+    fn step(&mut self, round: u32, io: &mut NodeIo<'_, Self::Msg>) -> Action<Self::Output> {
+        if round == 0 {
+            io.broadcast(self.state.clone());
+            return Action::Continue;
+        }
+        for p in 0..io.degree() {
+            if let Some(s) = io.recv(p) {
+                self.heard[p] = s.clone();
+            }
+        }
+        if let Some((r, o)) = self.decided.clone() {
+            // The final state went out last round; nothing left to do.
+            return Action::Halt((o, r));
+        }
+        let step = {
+            let degree = io.degree();
+            let id = io.id();
+            let mut ctx = SyncCtx {
+                degree,
+                id,
+                params: io.params(),
+                rng: if io.is_randomized() {
+                    Some(io.rng())
+                } else {
+                    None
+                },
+                back_ports: &self.back_ports,
+            };
+            self.algo.update(round, &mut ctx, &self.state, &self.heard)
+        };
+        match step {
+            SyncStep::Continue(s) => self.state = s,
+            SyncStep::Decide(s, o) => {
+                self.state = s;
+                self.decided = Some((round, o));
+            }
+        }
+        io.broadcast(self.state.clone());
+        Action::Continue
+    }
+}
+
+/// Protocol adapter for faulty [`SyncAlgorithm`] runs.
+pub struct FaultySyncProtocol<'a, A: SyncAlgorithm> {
+    algo: &'a A,
+    graph: &'a Graph,
+    back_ports: Vec<Vec<PortId>>,
+    /// Every vertex's initial state, used to seed the last-heard caches.
+    init_states: Vec<A::State>,
+}
+
+impl<'a, A: SyncAlgorithm> Protocol for FaultySyncProtocol<'a, A> {
+    type Node = FaultySyncNode<'a, A>;
+
+    fn create(&self, init: &NodeInit<'_>) -> Self::Node {
+        let heard = self
+            .graph
+            .neighbors(init.node)
+            .iter()
+            .map(|nb| self.init_states[nb.node].clone())
+            .collect();
+        FaultySyncNode {
+            algo: self.algo,
+            state: self.init_states[init.node].clone(),
+            decided: None,
+            back_ports: self.back_ports[init.node].clone(),
+            heard,
+        }
+    }
+}
+
+/// Run a [`SyncAlgorithm`] under a [`FaultPlan`], tolerating message drops,
+/// delays, and crash-stop nodes.
+///
+/// Never errors: a vertex that cannot decide within `max_rounds` sweeps is
+/// reported as [`Outcome::Cut`] (and a crashed one as [`Outcome::Crashed`])
+/// with every other vertex's output intact.
+pub fn run_sync_faulty<A: SyncAlgorithm>(
+    g: &Graph,
+    mode: Mode,
+    algo: &A,
+    max_rounds: u32,
+    faults: &FaultPlan,
+) -> FaultySyncOutcome<A::Output> {
+    let params = GlobalParams::from_graph(g);
+    let ids: Option<Vec<u64>> = match &mode {
+        Mode::Deterministic { ids } => Some(ids.assign(g)),
+        Mode::Randomized { .. } => None,
+    };
+    let init_states: Vec<A::State> = g
+        .vertices()
+        .map(|v| {
+            algo.init(&NodeInit {
+                node: v,
+                degree: g.degree(v),
+                id: ids.as_ref().map(|ids| ids[v]),
+                params: &params,
+            })
+        })
+        .collect();
+    let back_ports = g
+        .vertices()
+        .map(|v| g.neighbors(v).iter().map(|nb| nb.back_port).collect())
+        .collect();
+    let protocol = FaultySyncProtocol {
+        algo,
+        graph: g,
+        back_ports,
+        init_states,
+    };
+    let run = Engine::new(g, mode)
+        .with_params(params)
+        .with_max_rounds(max_rounds.saturating_add(2))
+        .run_faulty(&protocol, faults);
+    FaultySyncOutcome {
+        outcomes: run
+            .outcomes
+            .into_iter()
+            .map(|o| match o {
+                Outcome::Halted {
+                    output: (o, decided),
+                    ..
+                } => Outcome::Halted {
+                    round: decided,
+                    output: o,
+                },
+                Outcome::Crashed { round } => Outcome::Crashed { round },
+                Outcome::Cut => Outcome::Cut,
+            })
+            .collect(),
+        sweeps: run.stats.sweeps,
+        messages: run.stats.messages_sent,
+        dropped: run.dropped,
+        delayed: run.delayed,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use local_graphs::gen;
+    use local_model::FaultSpec;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
 
     /// Each vertex decides the maximum ID within distance `horizon`.
     struct MaxWithin {
@@ -359,6 +576,70 @@ mod tests {
         let out = run_sync(&g, Mode::deterministic(), &Staggered, 100).unwrap();
         assert_eq!(out.rounds, 3); // vertex 2 decides at round 3
         assert_eq!(out.outputs[1], 2);
+    }
+
+    #[test]
+    fn faulty_run_with_trivial_plan_matches_run_sync() {
+        let g = gen::gnp(20, 0.3, &mut StdRng::seed_from_u64(7));
+        let clean = run_sync(&g, Mode::deterministic(), &MaxWithin { horizon: 2 }, 100).unwrap();
+        let faulty = run_sync_faulty(
+            &g,
+            Mode::deterministic(),
+            &MaxWithin { horizon: 2 },
+            100,
+            &FaultPlan::none(),
+        );
+        let (halted, crashed, cut) = faulty.counts();
+        assert_eq!((halted, crashed, cut), (g.n(), 0, 0));
+        assert_eq!(faulty.max_decided_round(), clean.rounds);
+        for (v, o) in faulty.outcomes.iter().enumerate() {
+            assert_eq!(o.output(), Some(&clean.outputs[v]));
+        }
+    }
+
+    #[test]
+    fn crashed_vertices_yield_partial_outputs() {
+        let g = gen::path(6);
+        // Vertex 2 crashes before it can decide; everyone else finishes.
+        let plan = FaultPlan::from_crash_schedule(vec![None, None, Some(1), None, None, None]);
+        let out = run_sync_faulty(
+            &g,
+            Mode::deterministic(),
+            &MaxWithin { horizon: 3 },
+            100,
+            &plan,
+        );
+        let (halted, crashed, cut) = out.counts();
+        assert_eq!((halted, crashed, cut), (5, 1, 0));
+        assert!(out.outcomes[2].is_crashed());
+        let partial = out.partial_outputs();
+        assert!(partial[2].is_none());
+        // Vertex 5 sits 3 hops from the crash: its distance-3 max (id 5,
+        // which is its own) is unaffected.
+        assert_eq!(partial[5], Some(&5));
+        // Vertex 3 should have seen id 5 through untouched edges.
+        assert_eq!(partial[3], Some(&5));
+    }
+
+    #[test]
+    fn certain_drops_leave_stale_states_not_panics() {
+        let g = gen::path(4);
+        // Drop everything: each vertex only ever sees the initial states it
+        // was seeded with, so the distance-2 max degrades to its own ID...
+        let plan = FaultPlan::sample(&g, &FaultSpec::none().with_drop(1.0), 3);
+        let out = run_sync_faulty(
+            &g,
+            Mode::deterministic(),
+            &MaxWithin { horizon: 2 },
+            100,
+            &plan,
+        );
+        let (halted, crashed, cut) = out.counts();
+        assert_eq!((halted, crashed, cut), (4, 0, 0));
+        // ...or rather to the max over the seeded initial neighbor states,
+        // i.e. the distance-1 max instead of the distance-2 max.
+        assert_eq!(out.partial_outputs()[0], Some(&1));
+        assert!(out.dropped > 0);
     }
 
     #[test]

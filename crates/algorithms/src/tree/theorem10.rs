@@ -21,10 +21,10 @@
 //! documented as a substitution in DESIGN.md.
 
 use crate::color::{be_forest_coloring, ColoringOutcome, UNCOLORED};
-use crate::sync::{run_sync, SyncAlgorithm, SyncCtx, SyncStep};
+use crate::sync::{run_sync, run_sync_faulty, FaultySyncOutcome, SyncAlgorithm, SyncCtx, SyncStep};
 use local_graphs::Graph;
 use local_lcl::Labeling;
-use local_model::{derived_rng, Mode, NodeInit, SimError};
+use local_model::{derived_rng, FaultPlan, Mode, NodeInit, SimError};
 use rand::Rng;
 
 /// Tunable constants of the Phase-1 schedule.
@@ -257,6 +257,44 @@ pub fn theorem10_phase1(
     };
     let out = run_sync(g, Mode::randomized(seed), &phase1, budget)?;
     Ok((out.outputs, out.rounds))
+}
+
+/// Run Phase 1 under a [`FaultPlan`] (experiment E12): the ColorBidding
+/// core of the tree Δ-coloring, with per-vertex fates instead of an
+/// all-or-nothing result. A vertex that decides carries `Some(color)` when
+/// colored from the main palette and `None` when filtered bad — the latter
+/// is an algorithmic outcome, not a fault.
+///
+/// # Panics
+///
+/// Same preconditions as [`theorem10_phase1`]: `delta ≥ 9` and
+/// `g.max_degree() ≤ delta`.
+pub fn theorem10_phase1_faulty(
+    g: &Graph,
+    delta: usize,
+    seed: u64,
+    config: Theorem10Config,
+    faults: &FaultPlan,
+) -> FaultySyncOutcome<Option<usize>> {
+    assert!(
+        delta >= 9,
+        "Theorem 10 needs Δ ≥ 9 (reserved √Δ palette ≥ 3)"
+    );
+    assert!(
+        g.max_degree() <= delta,
+        "graph degree {} exceeds Δ = {delta}",
+        g.max_degree()
+    );
+    let reserved = (delta as f64).sqrt().ceil() as usize;
+    let schedule = config.schedule(delta);
+    let budget = 2 * schedule.len() as u32 + 4;
+    let phase1 = Phase1 {
+        main_palette: delta - reserved,
+        delta,
+        schedule,
+        margin: config.palette_margin,
+    };
+    run_sync_faulty(g, Mode::randomized(seed), &phase1, budget, faults)
 }
 
 /// Run the full Theorem-10 algorithm: Δ-color a forest with max degree ≤ Δ.

@@ -1,21 +1,28 @@
 //! A1: ablation of Theorem 10's schedule constants.
 
-use local_bench::{banner, emit_json, full_mode, json_mode};
+use local_bench::Cli;
 use local_separation::experiments::a1_ablation as a1;
 
 fn main() {
-    banner(
+    let cli = Cli::parse();
+    cli.banner(
         "A1",
         "Theorem 10 constants: growth K and palette margin ablation",
     );
-    let cfg = if full_mode() {
+    let mut cfg = if cli.full {
         a1::Config::full()
     } else {
         a1::Config::quick()
     };
+    if let Some(t) = cli.trials {
+        cfg.seeds = t;
+    }
+    if cli.seed.is_some() {
+        eprintln!("note: --seed has no effect on A1 (seeds derive from the grid)");
+    }
     let rows = a1::run(&cfg);
-    if json_mode() {
-        emit_json("A1", rows.as_slice());
+    if cli.json {
+        cli.emit_json("A1", rows.as_slice());
     } else {
         println!("{}", a1::table(&rows, cfg.n, cfg.delta));
     }

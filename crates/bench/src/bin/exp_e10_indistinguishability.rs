@@ -1,21 +1,25 @@
 //! E10: the indistinguishability principle, counted.
 
-use local_bench::{banner, emit_json, full_mode, json_mode};
+use local_bench::Cli;
 use local_separation::experiments::e10_indistinguishability as e10;
 
 fn main() {
-    banner(
+    let cli = Cli::parse();
+    cli.banner(
         "E10",
         "below half the girth, a Δ-regular graph has ONE radius-t view = the tree's",
     );
-    let cfg = if full_mode() {
+    if cli.trials.is_some() || cli.seed.is_some() {
+        eprintln!("note: --trials/--seed have no effect on E10 (exact view census)");
+    }
+    let cfg = if cli.full {
         e10::Config::full()
     } else {
         e10::Config::quick()
     };
     let (rows, girth) = e10::run(&cfg);
-    if json_mode() {
-        emit_json("E10", rows.as_slice());
+    if cli.json {
+        cli.emit_json("E10", rows.as_slice());
     } else {
         println!("{}", e10::table(&rows, cfg.delta, girth));
     }

@@ -1,21 +1,25 @@
 //! E11: Theorem 7's Δ = 2 dichotomy.
 
-use local_bench::{banner, emit_json, full_mode, json_mode};
+use local_bench::Cli;
 use local_separation::experiments::e11_dichotomy as e11;
 
 fn main() {
-    banner(
+    let cli = Cli::parse();
+    cli.banner(
         "E11",
         "Δ = 2: every LCL is O(log* n) or Ω(n) — both sides measured",
     );
-    let cfg = if full_mode() {
+    if cli.trials.is_some() || cli.seed.is_some() {
+        eprintln!("note: --trials/--seed have no effect on E11 (deterministic sweeps)");
+    }
+    let cfg = if cli.full {
         e11::Config::full()
     } else {
         e11::Config::quick()
     };
     let out = e11::run(&cfg);
-    if json_mode() {
-        emit_json("E11", out.rows.as_slice());
+    if cli.json {
+        cli.emit_json("E11", out.rows.as_slice());
         return;
     }
     println!("{}", e11::table(&out));

@@ -1,0 +1,29 @@
+//! E12: resilience — validity and rounds under the deterministic fault plane.
+
+use local_bench::Cli;
+use local_separation::experiments::e12_resilience as e12;
+
+fn main() {
+    let cli = Cli::parse();
+    cli.banner(
+        "E12",
+        "graceful degradation under message drops and crash-stop nodes",
+    );
+    let mut cfg = if cli.full {
+        e12::Config::full()
+    } else {
+        e12::Config::quick()
+    };
+    if let Some(t) = cli.trials {
+        cfg.trials = t;
+    }
+    if let Some(s) = cli.seed {
+        cfg.master_seed = s;
+    }
+    let out = e12::run(&cfg);
+    if cli.json {
+        cli.emit_json("E12", out.rows.as_slice());
+        return;
+    }
+    println!("{}", e12::table(&out));
+}

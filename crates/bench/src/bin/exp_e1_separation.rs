@@ -1,22 +1,29 @@
 //! E1: the exponential separation — deterministic vs randomized tree
 //! Δ-coloring rounds.
 
-use local_bench::{banner, emit_json, full_mode, json_mode};
+use local_bench::Cli;
 use local_separation::experiments::e1_separation as e1;
 
 fn main() {
-    banner(
+    let cli = Cli::parse();
+    cli.banner(
         "E1",
         "tree Δ-coloring: Det Θ(log_Δ n) vs Rand O(log_Δ log n + log* n)",
     );
-    let cfg = if full_mode() {
+    let mut cfg = if cli.full {
         e1::Config::full()
     } else {
         e1::Config::quick()
     };
+    if let Some(t) = cli.trials {
+        cfg.seeds = t;
+    }
+    if cli.seed.is_some() {
+        eprintln!("note: --seed has no effect on E1 (seeds derive from n and Δ)");
+    }
     let out = e1::run(&cfg);
-    if json_mode() {
-        emit_json("E1", out.rows.as_slice());
+    if cli.json {
+        cli.emit_json("E1", out.rows.as_slice());
         return;
     }
     println!("{}", e1::table(&out));

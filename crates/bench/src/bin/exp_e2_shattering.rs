@@ -1,18 +1,25 @@
 //! E2: Theorem 10 shattering — bad-component sizes vs the Δ⁴·log n bound.
 
-use local_bench::{banner, emit_json, full_mode, json_mode};
+use local_bench::Cli;
 use local_separation::experiments::e2_shattering as e2;
 
 fn main() {
-    banner("E2", "bad components after Phase 1 are O(Δ⁴ log n)");
-    let cfg = if full_mode() {
+    let cli = Cli::parse();
+    cli.banner("E2", "bad components after Phase 1 are O(Δ⁴ log n)");
+    let mut cfg = if cli.full {
         e2::Config::full()
     } else {
         e2::Config::quick()
     };
+    if let Some(t) = cli.trials {
+        cfg.seeds = t;
+    }
+    if cli.seed.is_some() {
+        eprintln!("note: --seed has no effect on E2 (seeds derive from n)");
+    }
     let rows = e2::run(&cfg);
-    if json_mode() {
-        emit_json("E2", rows.as_slice());
+    if cli.json {
+        cli.emit_json("E2", rows.as_slice());
     } else {
         println!("{}", e2::table(&rows, cfg.delta));
     }

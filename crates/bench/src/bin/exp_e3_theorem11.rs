@@ -1,21 +1,28 @@
 //! E3: Theorem 11 — per-phase rounds and the shattered set for constant Δ.
 
-use local_bench::{banner, emit_json, full_mode, json_mode};
+use local_bench::Cli;
 use local_separation::experiments::e3_theorem11 as e3;
 
 fn main() {
-    banner(
+    let cli = Cli::parse();
+    cli.banner(
         "E3",
         "Theorem 11 profile: setup/phase rounds and S components",
     );
-    let cfg = if full_mode() {
+    let mut cfg = if cli.full {
         e3::Config::full()
     } else {
         e3::Config::quick()
     };
+    if let Some(t) = cli.trials {
+        cfg.seeds = t;
+    }
+    if cli.seed.is_some() {
+        eprintln!("note: --seed has no effect on E3 (seeds derive from n)");
+    }
     let rows = e3::run(&cfg);
-    if json_mode() {
-        emit_json("E3", rows.as_slice());
+    if cli.json {
+        cli.emit_json("E3", rows.as_slice());
     } else {
         println!("{}", e3::table(&rows, cfg.delta));
     }

@@ -1,21 +1,28 @@
 //! E4: the zero-round lower bound — per-edge failure ≥ 1/Δ².
 
-use local_bench::{banner, emit_json, full_mode, json_mode};
+use local_bench::Cli;
 use local_separation::experiments::e4_zero_round as e4;
 
 fn main() {
-    banner(
+    let cli = Cli::parse();
+    cli.banner(
         "E4",
         "every 0-round sinkless coloring fails with prob ≥ 1/Δ²",
     );
-    let cfg = if full_mode() {
+    let mut cfg = if cli.full {
         e4::Config::full()
     } else {
         e4::Config::quick()
     };
+    if let Some(t) = cli.trials {
+        cfg.trials = t;
+    }
+    if cli.seed.is_some() {
+        eprintln!("note: --seed has no effect on E4 (seeds derive from the strategy grid)");
+    }
     let rows = e4::run(&cfg);
-    if json_mode() {
-        emit_json("E4", rows.as_slice());
+    if cli.json {
+        cli.emit_json("E4", rows.as_slice());
     } else {
         println!("{}", e4::table(&rows));
     }

@@ -1,21 +1,28 @@
 //! E5: failure decay of truncated sinkless orientation.
 
-use local_bench::{banner, emit_json, full_mode, json_mode};
+use local_bench::Cli;
 use local_separation::experiments::e5_truncation as e5;
 
 fn main() {
-    banner(
+    let cli = Cli::parse();
+    cli.banner(
         "E5",
         "sink probability vs round budget (round elimination, run forward)",
     );
-    let cfg = if full_mode() {
+    let mut cfg = if cli.full {
         e5::Config::full()
     } else {
         e5::Config::quick()
     };
+    if let Some(t) = cli.trials {
+        cfg.seeds = t;
+    }
+    if cli.seed.is_some() {
+        eprintln!("note: --seed has no effect on E5 (seeds derive from the phase grid)");
+    }
     let rows = e5::run(&cfg);
-    if json_mode() {
-        emit_json("E5", rows.as_slice());
+    if cli.json {
+        cli.emit_json("E5", rows.as_slice());
     } else {
         println!("{}", e5::table(&rows, cfg.delta));
     }

@@ -1,21 +1,25 @@
 //! E6: Theorem 3 derandomization over exhaustive toy instance spaces.
 
-use local_bench::{banner, emit_json, full_mode, json_mode};
+use local_bench::Cli;
 use local_separation::experiments::e6_derand as e6;
 
 fn main() {
-    banner(
+    let cli = Cli::parse();
+    cli.banner(
         "E6",
         "Det(n, Δ) ≤ Rand(2^(n²), Δ), machine-verified at toy scale",
     );
-    let cfg = if full_mode() {
+    if cli.trials.is_some() || cli.seed.is_some() {
+        eprintln!("note: --trials/--seed have no effect on E6 (exhaustive enumeration)");
+    }
+    let cfg = if cli.full {
         e6::Config::full()
     } else {
         e6::Config::quick()
     };
     let rows = e6::run(&cfg);
-    if json_mode() {
-        emit_json("E6", rows.as_slice());
+    if cli.json {
+        cli.emit_json("E6", rows.as_slice());
     } else {
         println!("{}", e6::table(&rows));
     }

@@ -1,21 +1,25 @@
 //! E7: the Theorem 6 black-box speedup.
 
-use local_bench::{banner, emit_json, full_mode, json_mode};
+use local_bench::Cli;
 use local_separation::experiments::e7_speedup as e7;
 
 fn main() {
-    banner(
+    let cli = Cli::parse();
+    cli.banner(
         "E7",
         "greedy-by-ID coloring: Θ(n) before, O(log* n + poly Δ) after",
     );
-    let cfg = if full_mode() {
+    if cli.trials.is_some() || cli.seed.is_some() {
+        eprintln!("note: --trials/--seed have no effect on E7 (deterministic algorithms)");
+    }
+    let cfg = if cli.full {
         e7::Config::full()
     } else {
         e7::Config::quick()
     };
     let rows = e7::run(&cfg);
-    if json_mode() {
-        emit_json("E7", rows.as_slice());
+    if cli.json {
+        cli.emit_json("E7", rows.as_slice());
     } else {
         println!("{}", e7::table(&rows));
     }

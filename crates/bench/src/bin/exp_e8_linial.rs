@@ -1,6 +1,6 @@
 //! E8: Linial's coloring — Theorem 1 shrink and Theorem 2 convergence.
 
-use local_bench::{banner, emit_json, full_mode, json_mode};
+use local_bench::Cli;
 use local_separation::experiments::e8_linial as e8;
 use serde::Serialize;
 
@@ -12,18 +12,22 @@ struct Sections {
 }
 
 fn main() {
-    banner(
+    let cli = Cli::parse();
+    cli.banner(
         "E8",
         "one-round palette shrink and O(log* n) convergence to β·Δ²",
     );
-    let cfg = if full_mode() {
+    if cli.trials.is_some() || cli.seed.is_some() {
+        eprintln!("note: --trials/--seed have no effect on E8 (deterministic algorithms)");
+    }
+    let cfg = if cli.full {
         e8::Config::full()
     } else {
         e8::Config::quick()
     };
     let (shrink, conv) = e8::run(&cfg);
-    if json_mode() {
-        emit_json(
+    if cli.json {
+        cli.emit_json(
             "E8",
             &Sections {
                 shrink,

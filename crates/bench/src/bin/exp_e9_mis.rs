@@ -1,21 +1,28 @@
 //! E9: the MIS landscape — Luby vs deterministic vs shattering.
 
-use local_bench::{banner, emit_json, full_mode, json_mode};
+use local_bench::Cli;
 use local_separation::experiments::e9_mis as e9;
 
 fn main() {
-    banner(
+    let cli = Cli::parse();
+    cli.banner(
         "E9",
         "MIS: Luby Θ(log n) vs Det O(Δ²+log* n) vs Ghaffari shattering",
     );
-    let cfg = if full_mode() {
+    let mut cfg = if cli.full {
         e9::Config::full()
     } else {
         e9::Config::quick()
     };
+    if let Some(t) = cli.trials {
+        cfg.seeds = t;
+    }
+    if cli.seed.is_some() {
+        eprintln!("note: --seed has no effect on E9 (seeds derive from n)");
+    }
     let out = e9::run(&cfg);
-    if json_mode() {
-        emit_json("E9", out.rows.as_slice());
+    if cli.json {
+        cli.emit_json("E9", out.rows.as_slice());
         return;
     }
     println!("{}", e9::table(&out, cfg.delta));

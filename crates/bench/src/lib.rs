@@ -1,9 +1,13 @@
 //! Shared scaffolding for the experiment binaries.
 //!
-//! Every binary accepts `--full` to run the EXPERIMENTS.md-scale sweep
-//! (without it, a laptop-seconds quick sweep runs) and `--json` to emit the
-//! measured rows as a machine-readable [`TrialReport`] envelope instead of
-//! the human tables.
+//! Every binary parses its command line through [`Cli::parse`]: `--full`
+//! runs the EXPERIMENTS.md-scale sweep (without it, a laptop-seconds quick
+//! sweep runs), `--json` emits the measured rows as a machine-readable
+//! [`TrialReport`] envelope instead of the human tables, and `--trials N` /
+//! `--seed N` override the configuration's batch size and master seed where
+//! the experiment has those knobs. Unknown flags and malformed values print
+//! the usage and exit nonzero, so a typo never silently runs the default
+//! sweep.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -11,52 +15,179 @@
 use local_separation::trials::TrialReport;
 use serde::Serialize;
 
-/// Whether `--full` was passed on the command line.
-pub fn full_mode() -> bool {
-    std::env::args().any(|a| a == "--full")
+/// Parsed command-line options shared by all `exp_*` binaries.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Cli {
+    /// Run the EXPERIMENTS.md-scale sweep instead of the quick one.
+    pub full: bool,
+    /// Emit the JSON envelope instead of human tables.
+    pub json: bool,
+    /// Override for the experiment's trials/seeds-per-point knob.
+    pub trials: Option<u64>,
+    /// Override for the experiment's master seed.
+    pub seed: Option<u64>,
 }
 
-/// Whether `--json` was passed on the command line.
-pub fn json_mode() -> bool {
-    std::env::args().any(|a| a == "--json")
+/// Why parsing failed (or stopped): carried by [`Cli::try_parse`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CliError {
+    /// `--help`/`-h` was requested.
+    Help,
+    /// A real error: unknown flag, missing or malformed value.
+    Bad(String),
 }
 
-/// The mode string recorded in JSON reports.
-pub fn mode_name() -> &'static str {
-    if full_mode() {
-        "full"
-    } else {
-        "quick"
+fn usage(program: &str) -> String {
+    format!("usage: {program} [--full] [--json] [--trials N] [--seed N]")
+}
+
+impl Cli {
+    /// Parse `std::env::args()`, printing usage and exiting the process on
+    /// `--help` (status 0) or on any parse error (status 2).
+    pub fn parse() -> Cli {
+        let mut args = std::env::args();
+        let program = args.next().unwrap_or_else(|| "exp".to_string());
+        match Cli::try_parse(args) {
+            Ok(cli) => cli,
+            Err(CliError::Help) => {
+                println!("{}", usage(&program));
+                std::process::exit(0);
+            }
+            Err(CliError::Bad(msg)) => {
+                eprintln!("error: {msg}");
+                eprintln!("{}", usage(&program));
+                std::process::exit(2);
+            }
+        }
     }
-}
 
-/// Print the standard experiment banner (suppressed under `--json`, which
-/// must emit nothing but the report).
-pub fn banner(id: &str, claim: &str) {
-    if json_mode() {
-        return;
+    /// Parse an argument list (no program name). Pure, for tests.
+    ///
+    /// # Errors
+    ///
+    /// [`CliError::Help`] on `--help`/`-h`; [`CliError::Bad`] on an unknown
+    /// flag or a missing/malformed `--trials`/`--seed` value.
+    pub fn try_parse<I>(args: I) -> Result<Cli, CliError>
+    where
+        I: IntoIterator<Item = String>,
+    {
+        let mut cli = Cli::default();
+        let mut args = args.into_iter();
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--help" | "-h" => return Err(CliError::Help),
+                "--full" => cli.full = true,
+                "--json" => cli.json = true,
+                "--trials" => cli.trials = Some(parse_count("--trials", args.next())?),
+                "--seed" => cli.seed = Some(parse_count("--seed", args.next())?),
+                other => {
+                    if let Some(v) = other.strip_prefix("--trials=") {
+                        cli.trials = Some(parse_count("--trials", Some(v.to_string()))?);
+                    } else if let Some(v) = other.strip_prefix("--seed=") {
+                        cli.seed = Some(parse_count("--seed", Some(v.to_string()))?);
+                    } else {
+                        return Err(CliError::Bad(format!("unknown argument `{other}`")));
+                    }
+                }
+            }
+        }
+        Ok(cli)
     }
-    println!("=== {id} — {claim} ===");
-    println!(
-        "mode: {}",
-        if full_mode() {
+
+    /// The mode string recorded in JSON reports.
+    pub fn mode_name(&self) -> &'static str {
+        if self.full {
             "full"
         } else {
-            "quick (pass --full for the EXPERIMENTS.md sweep)"
+            "quick"
         }
-    );
-    println!();
+    }
+
+    /// Print the standard experiment banner (suppressed under `--json`,
+    /// which must emit nothing but the report).
+    pub fn banner(&self, id: &str, claim: &str) {
+        if self.json {
+            return;
+        }
+        println!("=== {id} — {claim} ===");
+        println!(
+            "mode: {}",
+            if self.full {
+                "full"
+            } else {
+                "quick (pass --full for the EXPERIMENTS.md sweep)"
+            }
+        );
+        println!();
+    }
+
+    /// Print the experiment's measured rows as the standard JSON envelope.
+    pub fn emit_json<R: Serialize + ?Sized>(&self, experiment: &str, rows: &R) {
+        println!(
+            "{}",
+            TrialReport {
+                experiment,
+                mode: self.mode_name(),
+                rows,
+            }
+            .to_json()
+        );
+    }
 }
 
-/// Print the experiment's measured rows as the standard JSON envelope.
-pub fn emit_json<R: Serialize + ?Sized>(experiment: &str, rows: &R) {
-    println!(
-        "{}",
-        TrialReport {
-            experiment,
-            mode: mode_name(),
-            rows,
-        }
-        .to_json()
-    );
+fn parse_count(flag: &str, value: Option<String>) -> Result<u64, CliError> {
+    let value = value.ok_or_else(|| CliError::Bad(format!("{flag} requires a value")))?;
+    value.parse::<u64>().map_err(|_| {
+        CliError::Bad(format!(
+            "{flag} expects a non-negative integer, got `{value}`"
+        ))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<Cli, CliError> {
+        Cli::try_parse(args.iter().map(|s| (*s).to_string()))
+    }
+
+    #[test]
+    fn defaults_are_quick_human() {
+        let cli = parse(&[]).unwrap();
+        assert_eq!(cli, Cli::default());
+        assert_eq!(cli.mode_name(), "quick");
+    }
+
+    #[test]
+    fn flags_parse_in_any_order() {
+        let cli = parse(&["--json", "--trials", "7", "--full", "--seed=42"]).unwrap();
+        assert!(cli.full && cli.json);
+        assert_eq!(cli.trials, Some(7));
+        assert_eq!(cli.seed, Some(42));
+        assert_eq!(cli.mode_name(), "full");
+    }
+
+    #[test]
+    fn unknown_flag_is_an_error() {
+        assert!(matches!(parse(&["--fulll"]), Err(CliError::Bad(_))));
+        assert!(matches!(parse(&["extra"]), Err(CliError::Bad(_))));
+    }
+
+    #[test]
+    fn malformed_values_are_errors() {
+        assert!(matches!(parse(&["--trials"]), Err(CliError::Bad(_))));
+        assert!(matches!(
+            parse(&["--trials", "many"]),
+            Err(CliError::Bad(_))
+        ));
+        assert!(matches!(parse(&["--seed", "-3"]), Err(CliError::Bad(_))));
+        assert!(matches!(parse(&["--seed=1.5"]), Err(CliError::Bad(_))));
+    }
+
+    #[test]
+    fn help_is_distinguished_from_errors() {
+        assert_eq!(parse(&["--help"]), Err(CliError::Help));
+        assert_eq!(parse(&["-h"]), Err(CliError::Help));
+    }
 }

@@ -1,0 +1,402 @@
+//! E12 — resilience of the paper's algorithms under the fault plane.
+//!
+//! The paper's model is fault-free; this experiment asks how gracefully its
+//! algorithms *degrade* when the model is weakened to crash-stop nodes and
+//! lossy/laggy links ([`FaultPlan`]). Three single-protocol cores run under
+//! a grid of drop/crash rates:
+//!
+//! * `tree-coloring` — Theorem 10's Phase-1 ColorBidding (the randomized
+//!   core of the tree Δ-coloring),
+//! * `sinkless` — the sinkless-orientation repair algorithm (E5's subject),
+//! * `mis` — Luby's MIS.
+//!
+//! (The full Theorem 10/11 pipelines splice a *centralized* deterministic
+//! finisher onto the randomized phase; faults are injected in the
+//! message-passing phase, which is the part the model is about — documented
+//! as a substitution in EXPERIMENTS.md.)
+//!
+//! Each surviving output is scored by the matching LCL verifier over the
+//! vertices whose radius-1 view survived ([`check_partial`]); a silenced
+//! vertex makes its whole neighborhood uncheckable and counts *against*
+//! validity. Trials run through [`TrialPlan::run_isolated`], so a panicking
+//! configuration is recorded as `panicked` instead of taking the sweep down,
+//! and every aggregate folds in trial order — the emitted JSON is
+//! byte-identical regardless of worker-thread count.
+
+use crate::report::Table;
+use crate::trials::{TrialOutcome, TrialPlan};
+use local_algorithms::mis::luby::Luby;
+use local_algorithms::orientation::sinkless::SinklessRepair;
+use local_algorithms::tree::theorem10::{theorem10_phase1_faulty, Theorem10Config};
+use local_algorithms::{run_sync_faulty, FaultySyncOutcome};
+use local_graphs::{gen, Graph};
+use local_lcl::problems::{Mis, Orientation, SinklessOrientation, VertexColoring};
+use local_lcl::{check_partial, PartialValidity};
+use local_model::{FaultPlan, FaultSpec, Mode, Outcome};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Sweep configuration.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Vertices in the tree-coloring workload (Δ = 16 tree).
+    pub tree_n: usize,
+    /// Vertices in the sinkless-orientation workload (3-regular).
+    pub sinkless_n: usize,
+    /// Vertices in the MIS workload (4-regular).
+    pub mis_n: usize,
+    /// Per-directed-edge per-round message-drop probabilities to sweep.
+    pub drop_ps: Vec<f64>,
+    /// Per-node crash probabilities to sweep.
+    pub crash_ps: Vec<f64>,
+    /// Trials per grid point.
+    pub trials: u64,
+    /// Master seed for the trial plan.
+    pub master_seed: u64,
+}
+
+impl Config {
+    /// A laptop-seconds configuration.
+    pub fn quick() -> Self {
+        Config {
+            tree_n: 200,
+            sinkless_n: 90,
+            mis_n: 120,
+            drop_ps: vec![0.0, 0.1, 0.3],
+            crash_ps: vec![0.0, 0.05],
+            trials: 3,
+            master_seed: 0xE12,
+        }
+    }
+
+    /// The full sweep EXPERIMENTS.md records.
+    pub fn full() -> Self {
+        Config {
+            tree_n: 600,
+            sinkless_n: 240,
+            mis_n: 400,
+            drop_ps: vec![0.0, 0.05, 0.1, 0.2, 0.4],
+            crash_ps: vec![0.0, 0.02, 0.1],
+            trials: 8,
+            master_seed: 0xE12,
+        }
+    }
+}
+
+/// Per-vertex fate counts, summed over a grid point's completed trials.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OutcomeCounts {
+    /// Vertices that decided an output.
+    pub halted: u64,
+    /// Vertices silenced by the crash schedule.
+    pub crashed: u64,
+    /// Vertices still undecided when the sweep budget ran out.
+    pub cut: u64,
+}
+
+/// One measured grid point.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Row {
+    /// Workload name (`tree-coloring`, `sinkless`, `mis`).
+    pub workload: String,
+    /// Message-drop probability of this point.
+    pub drop_p: f64,
+    /// Node-crash probability of this point.
+    pub crash_p: f64,
+    /// Trials attempted.
+    pub trials: u64,
+    /// Trials that panicked (isolated; excluded from the other aggregates).
+    pub panicked: u64,
+    /// Per-vertex fates summed over completed trials.
+    pub outcomes: OutcomeCounts,
+    /// Fraction of vertices that were both checkable and acceptable
+    /// (see [`PartialValidity::validity_rate`]), pooled over trials.
+    pub validity_rate: f64,
+    /// Mean over trials of the largest decided round.
+    pub rounds_mean: f64,
+    /// Largest decided round observed.
+    pub rounds_max: u32,
+}
+
+/// The sweep result.
+#[derive(Debug, Clone)]
+pub struct Outcome12 {
+    /// Measured grid points, in workload-major, drop-then-crash order.
+    pub rows: Vec<Row>,
+}
+
+/// What one completed trial contributes to its grid point.
+struct TrialRecord {
+    halted: usize,
+    crashed: usize,
+    cut: usize,
+    checked: usize,
+    valid: usize,
+    skipped: usize,
+    max_round: u32,
+}
+
+fn record<O>(run: &FaultySyncOutcome<O>, pv: &PartialValidity) -> TrialRecord {
+    let (halted, crashed, cut) = run.counts();
+    TrialRecord {
+        halted,
+        crashed,
+        cut,
+        checked: pv.checked,
+        valid: pv.valid,
+        skipped: pv.skipped,
+        max_round: run.max_decided_round(),
+    }
+}
+
+/// Partial labels of the vertices that decided.
+fn decided_labels<O: Clone>(run: &FaultySyncOutcome<O>) -> Vec<Option<O>> {
+    run.outcomes.iter().map(|o| o.output().cloned()).collect()
+}
+
+const TREE_DELTA: usize = 16;
+const SINKLESS_DELTA: usize = 3;
+const SINKLESS_PHASES: u32 = 20;
+const MIS_DELTA: usize = 4;
+const MIS_BUDGET: u32 = 400;
+
+/// Runner signature shared by every workload: trial seed + fault plan in,
+/// [`TrialRecord`] out.
+type Runner<'a> = Box<dyn Fn(&Graph, u64, &FaultPlan) -> TrialRecord + Sync + 'a>;
+
+/// One workload: a graph plus a fault-tolerant runner producing a
+/// [`TrialRecord`] from a trial seed and a fault spec.
+struct Workload<'a> {
+    name: &'static str,
+    graph: Graph,
+    crash_window: u32,
+    run: Runner<'a>,
+}
+
+fn workloads(cfg: &Config) -> Vec<Workload<'static>> {
+    let mut rng = StdRng::seed_from_u64(0xE12F);
+    let tree = gen::random_tree_max_degree(cfg.tree_n, TREE_DELTA, &mut rng);
+    let cubic = gen::random_regular(cfg.sinkless_n, SINKLESS_DELTA, &mut rng)
+        .expect("feasible 3-regular parameters");
+    let quartic =
+        gen::random_regular(cfg.mis_n, MIS_DELTA, &mut rng).expect("feasible 4-regular parameters");
+
+    let tree_budget = 2 * Theorem10Config::default().schedule(TREE_DELTA).len() as u32 + 4;
+    let reserved = (TREE_DELTA as f64).sqrt().ceil() as usize;
+    vec![
+        Workload {
+            name: "tree-coloring",
+            graph: tree,
+            crash_window: tree_budget,
+            run: Box::new(move |g, seed, plan| {
+                let out =
+                    theorem10_phase1_faulty(g, TREE_DELTA, seed, Theorem10Config::default(), plan);
+                // A decided vertex carries Some(color) or None (filtered
+                // bad) — both are decisions, but only colors are checkable.
+                let labels: Vec<Option<usize>> = out
+                    .outcomes
+                    .iter()
+                    .map(|o| match o {
+                        Outcome::Halted { output, .. } => *output,
+                        _ => None,
+                    })
+                    .collect();
+                let pv = check_partial(&VertexColoring::new(TREE_DELTA - reserved), g, &labels);
+                record(&out, &pv)
+            }),
+        },
+        Workload {
+            name: "sinkless",
+            graph: cubic,
+            crash_window: 2 * SINKLESS_PHASES + 6,
+            run: Box::new(|g, seed, plan| {
+                let algo = SinklessRepair {
+                    phases: SINKLESS_PHASES,
+                };
+                let out = run_sync_faulty(
+                    g,
+                    Mode::randomized(seed),
+                    &algo,
+                    2 * SINKLESS_PHASES + 6,
+                    plan,
+                );
+                let labels: Vec<Option<Orientation>> = decided_labels(&out);
+                let pv = check_partial(&SinklessOrientation::new(SINKLESS_DELTA), g, &labels);
+                record(&out, &pv)
+            }),
+        },
+        Workload {
+            name: "mis",
+            graph: quartic,
+            crash_window: MIS_BUDGET,
+            run: Box::new(|g, seed, plan| {
+                let out =
+                    run_sync_faulty(g, Mode::randomized(seed), &Luby::new(), MIS_BUDGET, plan);
+                let labels: Vec<Option<bool>> = decided_labels(&out);
+                let pv = check_partial(&Mis::new(), g, &labels);
+                record(&out, &pv)
+            }),
+        },
+    ]
+}
+
+/// Run the sweep.
+pub fn run(cfg: &Config) -> Outcome12 {
+    let mut rows = Vec::new();
+    for w in workloads(cfg) {
+        for &drop_p in &cfg.drop_ps {
+            for &crash_p in &cfg.crash_ps {
+                let spec = FaultSpec::none()
+                    .with_drop(drop_p)
+                    .with_crash(crash_p, w.crash_window);
+                let plan = TrialPlan::new(cfg.trials, cfg.master_seed);
+                let outcomes = plan.run_isolated(|trial| {
+                    let faults = FaultPlan::sample(&w.graph, &spec, trial.seed);
+                    (w.run)(&w.graph, trial.seed, &faults)
+                });
+
+                let mut panicked = 0u64;
+                let mut counts = OutcomeCounts {
+                    halted: 0,
+                    crashed: 0,
+                    cut: 0,
+                };
+                let mut valid = 0u64;
+                let mut scored = 0u64;
+                let mut completed = 0u64;
+                let mut rounds_total = 0u64;
+                let mut rounds_max = 0u32;
+                for outcome in outcomes {
+                    match outcome {
+                        TrialOutcome::Panicked { .. } => panicked += 1,
+                        TrialOutcome::Ok(r) => {
+                            completed += 1;
+                            counts.halted += r.halted as u64;
+                            counts.crashed += r.crashed as u64;
+                            counts.cut += r.cut as u64;
+                            valid += r.valid as u64;
+                            scored += (r.checked + r.skipped) as u64;
+                            rounds_total += u64::from(r.max_round);
+                            rounds_max = rounds_max.max(r.max_round);
+                        }
+                    }
+                }
+                rows.push(Row {
+                    workload: w.name.to_string(),
+                    drop_p,
+                    crash_p,
+                    trials: cfg.trials,
+                    panicked,
+                    outcomes: counts,
+                    validity_rate: if scored == 0 {
+                        0.0
+                    } else {
+                        valid as f64 / scored as f64
+                    },
+                    rounds_mean: if completed == 0 {
+                        0.0
+                    } else {
+                        rounds_total as f64 / completed as f64
+                    },
+                    rounds_max,
+                });
+            }
+        }
+    }
+    Outcome12 { rows }
+}
+
+/// Render the EXPERIMENTS.md table.
+pub fn table(out: &Outcome12) -> Table {
+    let mut t = Table::new(
+        "E12: validity and rounds under message drops and crash-stop nodes".to_string(),
+        &[
+            "workload", "drop", "crash", "halted", "crashed", "cut", "panics", "validity", "rounds",
+        ],
+    );
+    for r in &out.rows {
+        t.push(vec![
+            r.workload.clone(),
+            format!("{:.2}", r.drop_p),
+            format!("{:.2}", r.crash_p),
+            r.outcomes.halted.to_string(),
+            r.outcomes.crashed.to_string(),
+            r.outcomes.cut.to_string(),
+            r.panicked.to_string(),
+            format!("{:.3}", r.validity_rate),
+            format!("{:.1}", r.rounds_mean),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Config {
+        Config {
+            tree_n: 80,
+            sinkless_n: 60,
+            mis_n: 60,
+            drop_ps: vec![0.0, 0.5],
+            crash_ps: vec![0.0, 0.2],
+            trials: 2,
+            master_seed: 7,
+        }
+    }
+
+    #[test]
+    fn faults_degrade_validity_but_never_crash_the_sweep() {
+        let out = run(&tiny());
+        assert_eq!(out.rows.len(), 3 * 2 * 2);
+        for r in &out.rows {
+            assert_eq!(r.panicked, 0, "{}: no workload should panic", r.workload);
+            assert!(
+                (0.0..=1.0).contains(&r.validity_rate),
+                "{}: rate {}",
+                r.workload,
+                r.validity_rate
+            );
+        }
+        // Fault-free baselines dominate the heavily-faulted points.
+        for w in ["tree-coloring", "sinkless", "mis"] {
+            let rate = |d: f64, c: f64| {
+                out.rows
+                    .iter()
+                    .find(|r| r.workload == w && r.drop_p == d && r.crash_p == c)
+                    .expect("grid point present")
+                    .validity_rate
+            };
+            let clean = rate(0.0, 0.0);
+            let faulty = rate(0.5, 0.2);
+            assert!(
+                clean > faulty,
+                "{w}: clean {clean} should beat faulty {faulty}"
+            );
+            assert!(clean > 0.8, "{w}: clean runs should mostly validate");
+        }
+        // Crashes are actually reported at the crashy grid points.
+        assert!(out
+            .rows
+            .iter()
+            .filter(|r| r.crash_p > 0.0)
+            .any(|r| r.outcomes.crashed > 0));
+        assert!(!table(&out).is_empty());
+    }
+
+    #[test]
+    fn sweep_is_deterministic() {
+        let cfg = tiny();
+        let a = run(&cfg);
+        let b = run(&cfg);
+        for (x, y) in a.rows.iter().zip(&b.rows) {
+            assert_eq!(x.workload, y.workload);
+            assert_eq!(x.outcomes, y.outcomes);
+            assert_eq!(x.validity_rate, y.validity_rate);
+            assert_eq!(x.rounds_mean, y.rounds_mean);
+            assert_eq!(x.rounds_max, y.rounds_max);
+        }
+    }
+}

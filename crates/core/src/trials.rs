@@ -84,12 +84,75 @@ impl TrialPlan {
     }
 
     /// [`run`](Self::run), then average `value` over the trials.
+    ///
+    /// An empty plan has a mean of `0.0` (never `NaN`).
     pub fn mean<F>(&self, value: F) -> f64
     where
         F: Fn(Trial) -> f64 + Sync,
     {
+        if self.trials == 0 {
+            return 0.0;
+        }
         let total: f64 = self.run(value).into_iter().sum();
-        total / self.trials.max(1) as f64
+        total / self.trials as f64
+    }
+
+    /// [`run`](Self::run) with per-trial panic isolation: a trial whose
+    /// closure panics becomes [`TrialOutcome::Panicked`] (carrying the panic
+    /// message) in its slot, while every other trial completes normally.
+    /// Results still come back in trial order, so aggregation stays
+    /// deterministic — a poisoned worker never takes the batch down.
+    pub fn run_isolated<R, F>(&self, f: F) -> Vec<TrialOutcome<R>>
+    where
+        R: Send,
+        F: Fn(Trial) -> R + Sync,
+    {
+        self.run(|trial| {
+            match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(trial))) {
+                Ok(value) => TrialOutcome::Ok(value),
+                Err(payload) => TrialOutcome::Panicked {
+                    message: panic_message(payload.as_ref()),
+                },
+            }
+        })
+    }
+}
+
+/// The fate of one isolated trial (see [`TrialPlan::run_isolated`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TrialOutcome<R> {
+    /// The trial completed and produced a result.
+    Ok(R),
+    /// The trial panicked; the batch survived.
+    Panicked {
+        /// The panic payload rendered as text (`"<non-string panic>"` when
+        /// the payload is neither `&str` nor `String`).
+        message: String,
+    },
+}
+
+impl<R> TrialOutcome<R> {
+    /// The result, if the trial completed.
+    pub fn ok(self) -> Option<R> {
+        match self {
+            TrialOutcome::Ok(r) => Some(r),
+            TrialOutcome::Panicked { .. } => None,
+        }
+    }
+
+    /// Did the trial panic?
+    pub fn is_panicked(&self) -> bool {
+        matches!(self, TrialOutcome::Panicked { .. })
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic>".to_string()
     }
 }
 
@@ -108,6 +171,11 @@ pub struct StatsSummary {
     pub sweeps_min: u32,
     /// Largest sweep count observed.
     pub sweeps_max: u32,
+    /// Mean round complexity per run (`sweeps − 1`: the final sweep only
+    /// collects halts).
+    pub rounds_mean: f64,
+    /// Largest round complexity observed.
+    pub rounds_max: u32,
 }
 
 /// Aggregate per-run [`RunStats`] into a [`StatsSummary`].
@@ -122,12 +190,17 @@ where
     let mut sweeps_total = 0u64;
     let mut sweeps_min = u32::MAX;
     let mut sweeps_max = 0u32;
+    let mut rounds_total = 0u64;
+    let mut rounds_max = 0u32;
     for s in runs {
         n += 1;
         messages_total += s.messages_sent;
         sweeps_total += u64::from(s.sweeps);
         sweeps_min = sweeps_min.min(s.sweeps);
         sweeps_max = sweeps_max.max(s.sweeps);
+        let rounds = s.sweeps.saturating_sub(1);
+        rounds_total += u64::from(rounds);
+        rounds_max = rounds_max.max(rounds);
     }
     if n == 0 {
         return StatsSummary {
@@ -137,6 +210,8 @@ where
             sweeps_mean: 0.0,
             sweeps_min: 0,
             sweeps_max: 0,
+            rounds_mean: 0.0,
+            rounds_max: 0,
         };
     }
     StatsSummary {
@@ -146,6 +221,8 @@ where
         sweeps_mean: sweeps_total as f64 / n as f64,
         sweeps_min,
         sweeps_max,
+        rounds_mean: rounds_total as f64 / n as f64,
+        rounds_max,
     }
 }
 
@@ -249,9 +326,58 @@ mod tests {
         assert_eq!(s.sweeps_min, 3);
         assert_eq!(s.sweeps_max, 5);
         assert_eq!(s.sweeps_mean, 4.0);
+        assert_eq!(s.rounds_mean, 3.0);
+        assert_eq!(s.rounds_max, 4);
+    }
+
+    #[test]
+    fn empty_batch_summarizes_to_zeros() {
         let empty = summarize_runs([]);
         assert_eq!(empty.runs, 0);
+        assert_eq!(empty.messages_total, 0);
+        assert_eq!(empty.messages_mean, 0.0);
+        assert_eq!(empty.sweeps_mean, 0.0);
         assert_eq!(empty.sweeps_min, 0);
+        assert_eq!(empty.sweeps_max, 0);
+        assert_eq!(empty.rounds_mean, 0.0);
+        assert_eq!(empty.rounds_max, 0);
+        assert!(!empty.messages_mean.is_nan());
+    }
+
+    #[test]
+    fn zero_trial_mean_is_zero_not_nan() {
+        let plan = TrialPlan::new(0, 42);
+        let m = plan.mean(|_| f64::INFINITY);
+        assert_eq!(m, 0.0);
+        assert!(!m.is_nan());
+        assert!(plan.run(|t| t.index).is_empty());
+        assert!(plan.run_isolated(|t| t.index).is_empty());
+    }
+
+    #[test]
+    fn panicking_trial_is_isolated_and_ordered() {
+        let plan = TrialPlan::new(16, 5);
+        let outcomes = plan.run_isolated(|t| {
+            assert!(t.index != 3 && t.index != 9, "boom at {}", t.index);
+            t.index * 2
+        });
+        assert_eq!(outcomes.len(), 16);
+        for (i, o) in outcomes.iter().enumerate() {
+            if i == 3 || i == 9 {
+                assert!(o.is_panicked());
+                if let TrialOutcome::Panicked { message } = o {
+                    assert!(message.contains(&format!("boom at {i}")), "{message}");
+                }
+            } else {
+                assert_eq!(o, &TrialOutcome::Ok(i as u64 * 2));
+            }
+        }
+        // Deterministic across repeats despite the parallel pool.
+        let again = plan.run_isolated(|t| {
+            assert!(t.index != 3 && t.index != 9, "boom at {}", t.index);
+            t.index * 2
+        });
+        assert_eq!(outcomes, again);
     }
 
     #[test]

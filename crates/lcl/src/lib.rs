@@ -25,9 +25,11 @@
 #![warn(missing_docs)]
 
 mod labeling;
+mod partial;
 mod problem;
 pub mod problems;
 pub mod verifier;
 
 pub use labeling::Labeling;
+pub use partial::{check_complete, check_partial, PartialValidity};
 pub use problem::{LclProblem, LocalView, NeighborView, Violation};

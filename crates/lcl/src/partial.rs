@@ -1,0 +1,173 @@
+//! Partial validation for labelings that survived a faulty run.
+//!
+//! A crash-tolerant execution yields labels only at the vertices that halted;
+//! the rest are `None`. Validity is then a *local* notion: a vertex can be
+//! judged only if its full radius-1 view survived — it and every neighbor
+//! carry a label. [`check_partial`] scores exactly those vertices and reports
+//! how many passed, so resilience experiments (E12) can speak of a validity
+//! rate instead of an all-or-nothing verdict.
+
+use crate::labeling::Labeling;
+use crate::problem::{LclProblem, LocalView, NeighborView, Violation};
+use local_graphs::Graph;
+
+/// The verdict of [`check_partial`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PartialValidity {
+    /// Vertices whose full radius-1 view survived and was checked.
+    pub checked: usize,
+    /// Checked vertices whose view is acceptable.
+    pub valid: usize,
+    /// Vertices skipped because they or a neighbor carry no label.
+    pub skipped: usize,
+    /// The violations among the checked vertices.
+    pub violations: Vec<Violation>,
+}
+
+impl PartialValidity {
+    /// Fraction of vertices that were both checkable and acceptable, over
+    /// the whole graph (`valid / (checked + skipped)`); `1.0` on an empty
+    /// graph. A fault that silences a vertex therefore *counts against*
+    /// validity — its neighborhood becomes uncheckable.
+    pub fn validity_rate(&self) -> f64 {
+        let total = self.checked + self.skipped;
+        if total == 0 {
+            1.0
+        } else {
+            self.valid as f64 / total as f64
+        }
+    }
+
+    /// Did every checkable vertex pass?
+    pub fn all_checked_valid(&self) -> bool {
+        self.valid == self.checked
+    }
+}
+
+/// Check `problem`'s radius-1 predicate at every vertex whose full view
+/// survived: the vertex and all of its neighbors are labeled. Vertices with
+/// a hole anywhere in the view are skipped, never failed.
+///
+/// A complete labeling (`labels.iter().all(Option::is_some)`) checks every
+/// vertex and agrees with [`LclProblem::validate`].
+///
+/// # Panics
+///
+/// Panics if `labels.len() != g.n()`.
+pub fn check_partial<P: LclProblem>(
+    problem: &P,
+    g: &Graph,
+    labels: &[Option<P::Label>],
+) -> PartialValidity {
+    assert_eq!(labels.len(), g.n(), "labeling must cover every vertex");
+    let mut out = PartialValidity {
+        checked: 0,
+        valid: 0,
+        skipped: 0,
+        violations: Vec::new(),
+    };
+    for v in g.vertices() {
+        let Some(label) = labels[v].as_ref() else {
+            out.skipped += 1;
+            continue;
+        };
+        let neighbors: Option<Vec<NeighborView<P::Label>>> = g
+            .neighbors(v)
+            .iter()
+            .map(|nb| {
+                labels[nb.node].as_ref().map(|l| NeighborView {
+                    label: l.clone(),
+                    degree: g.degree(nb.node),
+                    back_port: nb.back_port,
+                    edge_input: problem.edge_input(nb.edge),
+                })
+            })
+            .collect();
+        let Some(neighbors) = neighbors else {
+            out.skipped += 1;
+            continue;
+        };
+        let view = LocalView {
+            label: label.clone(),
+            degree: g.degree(v),
+            neighbors,
+        };
+        out.checked += 1;
+        match problem.check_view(&view) {
+            Ok(()) => out.valid += 1,
+            Err(reason) => out.violations.push(Violation { vertex: v, reason }),
+        }
+    }
+    out
+}
+
+/// [`check_partial`] over a complete [`Labeling`] (test/diagnostic helper).
+pub fn check_complete<P: LclProblem>(
+    problem: &P,
+    g: &Graph,
+    labels: &Labeling<P::Label>,
+) -> PartialValidity {
+    let opts: Vec<Option<P::Label>> = labels.as_slice().iter().map(|l| Some(l.clone())).collect();
+    check_partial(problem, g, &opts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problems::VertexColoring;
+    use local_graphs::gen;
+
+    #[test]
+    fn complete_valid_labeling_checks_everything() {
+        let g = gen::path(4);
+        let labels = vec![Some(0usize), Some(1), Some(0), Some(1)];
+        let out = check_partial(&VertexColoring::new(2), &g, &labels);
+        assert_eq!(out.checked, 4);
+        assert_eq!(out.valid, 4);
+        assert_eq!(out.skipped, 0);
+        assert!(out.violations.is_empty());
+        assert!((out.validity_rate() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn holes_skip_their_whole_neighborhood() {
+        let g = gen::path(5);
+        // Vertex 2 has no label: vertices 1, 2, 3 become uncheckable.
+        let labels = vec![Some(0usize), Some(1), None, Some(1), Some(0)];
+        let out = check_partial(&VertexColoring::new(2), &g, &labels);
+        assert_eq!(out.checked, 2);
+        assert_eq!(out.valid, 2);
+        assert_eq!(out.skipped, 3);
+        assert!((out.validity_rate() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn surviving_violations_are_still_caught() {
+        let g = gen::path(4);
+        // 0–1 conflict survives even though vertex 3 is silent.
+        let labels = vec![Some(0usize), Some(0), Some(1), None];
+        let out = check_partial(&VertexColoring::new(2), &g, &labels);
+        assert_eq!(out.checked, 2);
+        assert_eq!(out.valid, 0);
+        assert_eq!(out.violations.len(), 2);
+        assert!(!out.all_checked_valid());
+    }
+
+    #[test]
+    fn empty_graph_is_vacuously_valid() {
+        let g = gen::path(0);
+        let out = check_partial(&VertexColoring::new(2), &g, &[]);
+        assert_eq!((out.checked, out.valid, out.skipped), (0, 0, 0));
+        assert!((out.validity_rate() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn agrees_with_validate_on_complete_labelings() {
+        let g = gen::cycle(6);
+        let labeling = Labeling::new(vec![0usize, 1, 0, 1, 0, 1]);
+        let problem = VertexColoring::new(2);
+        let out = check_complete(&problem, &g, &labeling);
+        assert_eq!(out.checked, 6);
+        assert_eq!(problem.validate(&g, &labeling).is_ok(), out.valid == 6);
+    }
+}

@@ -1,11 +1,12 @@
 //! The synchronous round engine.
 
 use crate::error::SimError;
+use crate::faults::{FaultPlan, FaultyRun, Outcome};
 use crate::ids::IdAssignment;
 use crate::node::{Action, NodeInit, NodeIo, NodeProgram, Protocol};
 use crate::params::GlobalParams;
 use local_graphs::Graph;
-use rand::{RngCore, SeedableRng};
+use rand::{Rng, RngCore, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 
@@ -108,6 +109,9 @@ struct MessagePlane<M> {
     inbox: Vec<Option<M>>,
     /// Send buffer: `v`'s outbox by port, all `None` between deliveries.
     out: Vec<Option<M>>,
+    /// Messages deferred one round by delay faults (allocated only when the
+    /// fault plan can delay).
+    delayed: Vec<Option<M>>,
 }
 
 impl<M> MessagePlane<M> {
@@ -130,6 +134,7 @@ impl<M> MessagePlane<M> {
             partner,
             inbox: (0..total).map(|_| None).collect(),
             out: (0..total).map(|_| None).collect(),
+            delayed: Vec::new(),
         }
     }
 
@@ -138,6 +143,51 @@ impl<M> MessagePlane<M> {
     fn deliver(&mut self) {
         for (i, &j) in self.partner.iter().enumerate() {
             self.inbox[i] = self.out[j].take();
+        }
+    }
+
+    /// [`deliver`](Self::deliver) through the fault plan: each sent message
+    /// may be dropped or deferred one round, per the plan's per-round
+    /// decision stream. `round` is the sweep that produced the messages.
+    ///
+    /// Runs single-threaded in ascending slot order, so the fault trace is a
+    /// pure function of `(plan, round, message pattern)` — identical whether
+    /// the nodes were stepped sequentially or in parallel.
+    fn deliver_faulty(
+        &mut self,
+        plan: &FaultPlan,
+        round: u32,
+        dropped: &mut u64,
+        delayed: &mut u64,
+    ) {
+        let drops = plan.has_drops();
+        let delays = plan.has_delays();
+        if !drops && !delays {
+            self.deliver();
+            return;
+        }
+        if delays && self.delayed.is_empty() {
+            self.delayed = (0..self.partner.len()).map(|_| None).collect();
+        }
+        let mut rng = plan.round_rng(round);
+        for (i, &j) in self.partner.iter().enumerate() {
+            // A message delayed from the previous exchange arrives now,
+            // unless a fresher on-time message supersedes it below.
+            let mut incoming = if delays { self.delayed[i].take() } else { None };
+            if let Some(m) = self.out[j].take() {
+                if drops && rng.gen::<f64>() < plan.drop_p(j) {
+                    *dropped += 1;
+                } else if delays && rng.gen::<f64>() < plan.delay_p() {
+                    self.delayed[i] = Some(m);
+                    *delayed += 1;
+                } else {
+                    if incoming.is_some() {
+                        *dropped += 1; // superseded delayed message
+                    }
+                    incoming = Some(m);
+                }
+            }
+            self.inbox[i] = incoming;
         }
     }
 }
@@ -155,6 +205,7 @@ pub struct Engine<'g> {
     mode: Mode,
     params: GlobalParams,
     max_rounds: u32,
+    par_threshold: usize,
 }
 
 /// Below this many vertices the engine steps nodes sequentially (thread
@@ -170,7 +221,17 @@ impl<'g> Engine<'g> {
             mode,
             params: GlobalParams::from_graph(graph),
             max_rounds: 100_000,
+            par_threshold: PAR_THRESHOLD,
         }
+    }
+
+    /// Override the vertex count above which nodes are stepped on scoped
+    /// threads. Exposed so tests can force the parallel path on small graphs;
+    /// results are bit-identical either way.
+    #[doc(hidden)]
+    pub fn with_par_threshold(mut self, par_threshold: usize) -> Self {
+        self.par_threshold = par_threshold.max(1);
+        self
     }
 
     /// Override the advertised global parameters (Theorems 3/6/8 pretend the
@@ -203,6 +264,57 @@ impl<'g> Engine<'g> {
     ///
     /// [`SimError::RoundLimitExceeded`] if some node never halts.
     pub fn run<P>(&self, protocol: &P) -> Result<Run<<P::Node as NodeProgram>::Output>, SimError>
+    where
+        P: Protocol + Sync,
+    {
+        let fr = self.run_faulty(protocol, &FaultPlan::none());
+        let cut = fr.cut();
+        if cut > 0 {
+            return Err(SimError::RoundLimitExceeded {
+                limit: self.max_rounds,
+                live_nodes: cut,
+                live_sample: fr
+                    .outcomes
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, o)| o.is_cut())
+                    .map(|(v, _)| v)
+                    .take(SimError::LIVE_SAMPLE_CAP)
+                    .collect(),
+            });
+        }
+        let mut outputs = Vec::with_capacity(fr.outcomes.len());
+        let mut halt_rounds = Vec::with_capacity(fr.outcomes.len());
+        for outcome in fr.outcomes {
+            let (r, o) = match outcome {
+                Outcome::Halted { round, output } => (round, output),
+                // A trivial plan crashes nobody, so every non-cut node halted.
+                _ => unreachable!("fault-free runs halt or get cut"),
+            };
+            halt_rounds.push(r);
+            outputs.push(o);
+        }
+        Ok(Run {
+            outputs,
+            rounds: fr.rounds,
+            halt_rounds,
+            stats: fr.stats,
+        })
+    }
+
+    /// Run `protocol` under a [`FaultPlan`], tolerating crashes and budget
+    /// exhaustion: instead of an all-or-nothing `Run`, every node gets an
+    /// [`Outcome`] — `Halted` with its output, `Crashed` at its scheduled
+    /// round, or `Cut` if it was still live when `max_rounds` sweeps ran out.
+    ///
+    /// With a trivial plan ([`FaultPlan::is_trivial`]) this is observably
+    /// identical to [`run`](Self::run): same outputs, halt rounds, message
+    /// counts, and sweep counts (a property test enforces it).
+    pub fn run_faulty<P>(
+        &self,
+        protocol: &P,
+        faults: &FaultPlan,
+    ) -> FaultyRun<<P::Node as NodeProgram>::Output>
     where
         P: Protocol + Sync,
     {
@@ -240,23 +352,43 @@ impl<'g> Engine<'g> {
             })
             .collect();
 
+        let has_crashes = faults.has_crashes();
+        let mut crashed: Vec<bool> = vec![false; if has_crashes { n } else { 0 }];
         let mut plane: MessagePlane<<P::Node as NodeProgram>::Msg> = MessagePlane::new(g);
-        let mut live = n;
         let mut sweep: u32 = 0;
+        let mut was_cut = false;
+        let mut dropped = 0u64;
+        let mut delayed = 0u64;
         let mut live_per_round: Vec<usize> = Vec::new();
 
-        while live > 0 {
+        loop {
+            // Crash-stop: nodes scheduled for this sweep fall silent before
+            // stepping (their earlier messages were already delivered).
+            if has_crashes {
+                for (v, c) in crashed.iter_mut().enumerate() {
+                    if !*c && slots[v].done.is_none() && faults.crash_round(v) == Some(sweep) {
+                        *c = true;
+                    }
+                }
+            }
+            let live = slots
+                .iter()
+                .enumerate()
+                .filter(|(v, s)| s.done.is_none() && !(has_crashes && crashed[*v]))
+                .count();
+            if live == 0 {
+                break;
+            }
             if sweep >= self.max_rounds {
-                return Err(SimError::RoundLimitExceeded {
-                    limit: self.max_rounds,
-                    live_nodes: live,
-                });
+                was_cut = true;
+                break;
             }
             live_per_round.push(live);
             let params = &self.params;
             let round = sweep;
             let offsets = &plane.offsets;
             let inbox = &plane.inbox;
+            let crashed_ref = &crashed;
 
             // Step one node against its inbox/outbox arena segments. The
             // segments are relative to an arena that may be a thread's
@@ -265,7 +397,7 @@ impl<'g> Engine<'g> {
                 |v: usize,
                  slot: &mut NodeSlot<P>,
                  outbox: &mut [Option<<P::Node as NodeProgram>::Msg>]| {
-                    if slot.done.is_some() {
+                    if slot.done.is_some() || (has_crashes && crashed_ref[v]) {
                         return;
                     }
                     let action = {
@@ -285,7 +417,7 @@ impl<'g> Engine<'g> {
                     }
                 };
 
-            if n >= PAR_THRESHOLD {
+            if n >= self.par_threshold {
                 // Disjoint contiguous vertex ranges, each paired with the
                 // matching arena segment; no node touches another's slots,
                 // so results are bit-identical to the sequential order.
@@ -324,34 +456,50 @@ impl<'g> Engine<'g> {
                 }
             }
 
-            live = slots.iter().filter(|s| s.done.is_none()).count();
+            let still = slots
+                .iter()
+                .enumerate()
+                .filter(|(v, s)| s.done.is_none() && !(has_crashes && crashed[*v]))
+                .count();
             sweep += 1;
-            if live > 0 {
-                plane.deliver();
+            if still > 0 {
+                plane.deliver_faulty(faults, round, &mut dropped, &mut delayed);
             }
         }
 
-        let mut outputs = Vec::with_capacity(n);
-        let mut halt_rounds = Vec::with_capacity(n);
+        let mut outcomes = Vec::with_capacity(n);
         let mut rounds = 0;
         let mut messages_sent = 0u64;
-        for slot in slots {
+        for (v, slot) in slots.into_iter().enumerate() {
             messages_sent += slot.sent;
-            let (r, o) = slot.done.expect("loop exits only when all halted");
-            rounds = rounds.max(r);
-            halt_rounds.push(r);
-            outputs.push(o);
+            outcomes.push(match slot.done {
+                Some((r, o)) => {
+                    rounds = rounds.max(r);
+                    Outcome::Halted {
+                        round: r,
+                        output: o,
+                    }
+                }
+                None if has_crashes && crashed[v] => Outcome::Crashed {
+                    round: faults.crash_round(v).expect("crashed nodes are scheduled"),
+                },
+                None => {
+                    debug_assert!(was_cut, "live nodes only survive a budget cut");
+                    Outcome::Cut
+                }
+            });
         }
-        Ok(Run {
-            outputs,
+        FaultyRun {
+            outcomes,
             rounds,
-            halt_rounds,
             stats: RunStats {
                 messages_sent,
                 sweeps: sweep,
                 live_per_round,
             },
-        })
+            dropped,
+            delayed,
+        }
     }
 }
 
@@ -371,6 +519,7 @@ pub fn derived_u64(seed: u64, tag: u64) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::faults::FaultSpec;
     use local_graphs::gen;
 
     /// Flood the minimum ID: halts after `horizon = n` rounds, by which
@@ -485,13 +634,14 @@ mod tests {
             .with_max_rounds(10)
             .run(&ForeverProtocol)
             .unwrap_err();
-        assert!(matches!(
+        assert_eq!(
             err,
             SimError::RoundLimitExceeded {
                 limit: 10,
-                live_nodes: 3
+                live_nodes: 3,
+                live_sample: vec![0, 1, 2],
             }
-        ));
+        );
     }
 
     /// Halts every node at a fixed round, to probe the limit boundary.
@@ -535,13 +685,14 @@ mod tests {
             .with_max_rounds(5)
             .run(&HaltAtProtocol(5))
             .unwrap_err();
-        assert!(matches!(
+        assert_eq!(
             err,
             SimError::RoundLimitExceeded {
                 limit: 5,
-                live_nodes: 4
+                live_nodes: 4,
+                live_sample: vec![0, 1, 2, 3],
             }
-        ));
+        );
     }
 
     /// RandLOCAL: each node outputs one random u64 with no communication.
@@ -649,6 +800,120 @@ mod tests {
         for w in run.stats.live_per_round.windows(2) {
             assert!(w[0] >= w[1]);
         }
+    }
+
+    #[test]
+    fn crashed_nodes_fall_silent_and_report_crashed() {
+        // FloodMin on a path; crash the minimum-ID endpoint before it ever
+        // speaks. Its 0 can then never reach the far end.
+        let g = gen::path(5);
+        let plan = FaultPlan::from_crash_schedule(vec![Some(0), None, None, None, None]);
+        let run = Engine::new(&g, Mode::deterministic()).run_faulty(&FloodMinProtocol, &plan);
+        assert!(run.outcomes[0].is_crashed());
+        assert_eq!(run.crashed(), 1);
+        assert_eq!(run.halted(), 4);
+        assert_eq!(run.cut(), 0);
+        // Survivors agree on the minimum of the *surviving* IDs.
+        for v in 1..5 {
+            assert_eq!(run.outcomes[v].output(), Some(&1));
+        }
+        let partial = run.partial_outputs();
+        assert_eq!(partial[0], None);
+        assert_eq!(partial[1], Some(&1));
+    }
+
+    #[test]
+    fn late_crash_preserves_earlier_messages() {
+        // Crash vertex 0 at round 2: its round-0/1 broadcasts still deliver,
+        // so the minimum 0 has already propagated 2 hops by then.
+        let g = gen::path(3);
+        let plan = FaultPlan::from_crash_schedule(vec![Some(2), None, None]);
+        let run = Engine::new(&g, Mode::deterministic()).run_faulty(&FloodMinProtocol, &plan);
+        assert!(run.outcomes[0].is_crashed());
+        assert_eq!(run.outcomes[1].output(), Some(&0));
+        assert_eq!(run.outcomes[2].output(), Some(&0));
+    }
+
+    #[test]
+    fn budget_exhaustion_cuts_instead_of_erroring() {
+        let g = gen::path(3);
+        let run = Engine::new(&g, Mode::deterministic())
+            .with_max_rounds(10)
+            .run_faulty(&ForeverProtocol, &FaultPlan::none());
+        assert_eq!(run.cut(), 3);
+        assert_eq!(run.halted(), 0);
+        assert_eq!(run.stats.sweeps, 10);
+        assert!(run.outcomes.iter().all(Outcome::is_cut));
+    }
+
+    #[test]
+    fn certain_drop_blocks_all_messages() {
+        // Drop probability 1 on every directed edge: FloodMin still halts at
+        // its horizon but no value ever crosses an edge, so every vertex
+        // keeps its own ID.
+        let g = gen::cycle(6);
+        let plan = FaultPlan::sample(&g, &FaultSpec::none().with_drop(1.0), 3);
+        let run = Engine::new(&g, Mode::deterministic()).run_faulty(&FloodMinProtocol, &plan);
+        assert_eq!(run.halted(), 6);
+        assert!(run.dropped > 0);
+        for (v, o) in run.outcomes.iter().enumerate() {
+            assert_eq!(o.output(), Some(&(v as u64)));
+        }
+    }
+
+    #[test]
+    fn certain_delay_defers_by_one_round() {
+        // Echo once: vertex sends its ID at round 0 and reads at rounds ≥ 1.
+        struct EchoOnce;
+        impl NodeProgram for EchoOnce {
+            type Msg = u64;
+            type Output = (u32, u64);
+            fn step(&mut self, round: u32, io: &mut NodeIo<'_, u64>) -> Action<(u32, u64)> {
+                if round == 0 {
+                    io.broadcast(io.id().expect("det"));
+                    return Action::Continue;
+                }
+                match io.received().next().map(|(_, &m)| m) {
+                    Some(m) => Action::Halt((round, m)),
+                    None => Action::Continue,
+                }
+            }
+        }
+        struct EchoOnceProtocol;
+        impl Protocol for EchoOnceProtocol {
+            type Node = EchoOnce;
+            fn create(&self, _init: &NodeInit<'_>) -> EchoOnce {
+                EchoOnce
+            }
+        }
+        let g = gen::path(2);
+        let plan = FaultPlan::sample(&g, &FaultSpec::none().with_delay(1.0), 5);
+        let run = Engine::new(&g, Mode::deterministic()).run_faulty(&EchoOnceProtocol, &plan);
+        assert_eq!(run.halted(), 2);
+        assert_eq!(run.delayed, 2);
+        // The round-0 messages arrive one round late: heard at round 2.
+        assert_eq!(run.outcomes[0].output(), Some(&(2, 1)));
+        assert_eq!(run.outcomes[1].output(), Some(&(2, 0)));
+    }
+
+    #[test]
+    fn faulty_run_with_trivial_plan_matches_run() {
+        let g = gen::cycle(9);
+        let run = Engine::new(&g, Mode::randomized(5))
+            .run(&RandProtocol)
+            .unwrap();
+        let faulty =
+            Engine::new(&g, Mode::randomized(5)).run_faulty(&RandProtocol, &FaultPlan::none());
+        assert_eq!(faulty.halted(), 9);
+        assert_eq!(faulty.dropped, 0);
+        assert_eq!(faulty.delayed, 0);
+        let outputs: Vec<u64> = faulty
+            .outcomes
+            .iter()
+            .map(|o| *o.output().expect("halted"))
+            .collect();
+        assert_eq!(outputs, run.outputs);
+        assert_eq!(faulty.stats, run.stats);
     }
 
     #[test]

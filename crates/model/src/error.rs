@@ -13,16 +13,40 @@ pub enum SimError {
         limit: u32,
         /// How many nodes were still live.
         live_nodes: usize,
+        /// The first few (≤ [`SimError::LIVE_SAMPLE_CAP`]) live vertex
+        /// indices, so a diverging protocol is diagnosable from the error
+        /// alone.
+        live_sample: Vec<usize>,
     },
+}
+
+impl SimError {
+    /// Maximum number of live vertex indices recorded in
+    /// [`SimError::RoundLimitExceeded`].
+    pub const LIVE_SAMPLE_CAP: usize = 8;
 }
 
 impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            SimError::RoundLimitExceeded { limit, live_nodes } => write!(
-                f,
-                "{live_nodes} node(s) still running after the {limit}-round limit"
-            ),
+            SimError::RoundLimitExceeded {
+                limit,
+                live_nodes,
+                live_sample,
+            } => {
+                write!(
+                    f,
+                    "{live_nodes} node(s) still running after the {limit}-round limit"
+                )?;
+                if !live_sample.is_empty() {
+                    write!(f, " (live vertices: {live_sample:?}")?;
+                    if *live_nodes > live_sample.len() {
+                        write!(f, ", …")?;
+                    }
+                    write!(f, ")")?;
+                }
+                Ok(())
+            }
         }
     }
 }
@@ -34,13 +58,26 @@ mod tests {
     use super::*;
 
     #[test]
-    fn display() {
+    fn display_includes_live_sample() {
         let e = SimError::RoundLimitExceeded {
             limit: 10,
             live_nodes: 3,
+            live_sample: vec![0, 4, 7],
         };
         assert!(e.to_string().contains("10-round"));
         assert!(e.to_string().contains("3 node"));
+        assert!(e.to_string().contains("[0, 4, 7]"));
+        assert!(!e.to_string().contains("…"), "sample covers all live nodes");
+    }
+
+    #[test]
+    fn display_marks_truncated_sample() {
+        let e = SimError::RoundLimitExceeded {
+            limit: 5,
+            live_nodes: 100,
+            live_sample: (0..SimError::LIVE_SAMPLE_CAP).collect(),
+        };
+        assert!(e.to_string().contains('…'));
     }
 
     #[test]

@@ -1,0 +1,408 @@
+//! Deterministic fault injection for the round engine.
+//!
+//! The LOCAL model assumes perfectly synchronous, fault-free rounds; every
+//! theorem the repo reproduces leans on that assumption. A [`FaultPlan`]
+//! breaks it *on demand and reproducibly*: per-directed-edge message-drop
+//! probabilities, a per-node crash-at-round schedule, and an optional
+//! one-round message delay, all sampled from the plan's own ChaCha8 streams
+//! (split via the engine's `splitmix64` convention). Given the same
+//! `(graph, mode, fault_seed)` triple, a faulty run replays bit-identically —
+//! including across the engine's sequential and parallel stepping paths,
+//! because every fault decision is made on the delivery path, which is
+//! single-threaded and ordered by directed-edge slot.
+//!
+//! Fault semantics (all crash-stop, no Byzantine behavior):
+//!
+//! * **Drop**: a message sent along directed edge `(v, p)` is discarded with
+//!   the slot's drop probability, independently per round.
+//! * **Delay**: a surviving message is deferred by one round with probability
+//!   `delay_p`. If the sender emits a fresh message on the same port in the
+//!   next round, the newer message wins and the delayed one is dropped (each
+//!   port buffers at most one message per round in the LOCAL model).
+//! * **Crash**: a node with `crash_round = Some(r)` falls silent from sweep
+//!   `r` on — it stops stepping, sends nothing, and never halts. Messages it
+//!   sent in earlier rounds still deliver.
+//!
+//! [`Engine::run_faulty`](crate::Engine::run_faulty) consumes a plan and
+//! reports per-node [`Outcome`]s with partial outputs instead of the
+//! all-or-nothing [`Run`](crate::Run).
+
+use crate::engine::{splitmix64, RunStats};
+use local_graphs::{Graph, NodeId, PortId};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Stream tag for the crash-schedule sampler (split from the fault seed).
+const CRASH_STREAM: u64 = 0xC4A5;
+/// Stream tag base for per-round drop/delay decisions.
+const ROUND_STREAM: u64 = 0xD409;
+
+/// The knobs of a sampled fault plan: how faulty the network should be.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultSpec {
+    /// Probability that any given message is dropped (applied independently
+    /// per directed edge per round).
+    pub drop_p: f64,
+    /// Probability that a surviving message is delayed by one round.
+    pub delay_p: f64,
+    /// Probability that a node crashes at all.
+    pub crash_p: f64,
+    /// Crashing nodes pick their crash round uniformly from
+    /// `0..crash_window` (a node crashing at round 0 never acts).
+    pub crash_window: u32,
+}
+
+impl FaultSpec {
+    /// The fault-free specification.
+    pub fn none() -> Self {
+        FaultSpec {
+            drop_p: 0.0,
+            delay_p: 0.0,
+            crash_p: 0.0,
+            crash_window: 0,
+        }
+    }
+
+    /// Fault-free, then with the given drop probability.
+    pub fn with_drop(mut self, p: f64) -> Self {
+        self.drop_p = p;
+        self
+    }
+
+    /// Fault-free, then with the given delay probability.
+    pub fn with_delay(mut self, p: f64) -> Self {
+        self.delay_p = p;
+        self
+    }
+
+    /// Fault-free, then with the given crash probability and window.
+    pub fn with_crash(mut self, p: f64, window: u32) -> Self {
+        self.crash_p = p;
+        self.crash_window = window;
+        self
+    }
+}
+
+impl Default for FaultSpec {
+    fn default() -> Self {
+        FaultSpec::none()
+    }
+}
+
+/// A fully materialized, deterministic fault schedule for one graph.
+///
+/// Construct with [`FaultPlan::none`] (trivial, observably identical to the
+/// fault-free engine), [`FaultPlan::sample`] (from a [`FaultSpec`] and a
+/// fault seed), or [`FaultPlan::from_crash_schedule`] (explicit crash rounds,
+/// for tests).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Per-directed-edge drop probability, indexed by CSR slot (vertex `v`'s
+    /// port `p` is slot `offset(v) + p`). Empty = no drops anywhere.
+    drop: Vec<f64>,
+    /// Probability a surviving message is deferred one round.
+    delay_p: f64,
+    /// Per-node crash round. Empty = no crashes anywhere.
+    crash_round: Vec<Option<u32>>,
+    /// The seed the per-round drop/delay streams are split from.
+    seed: u64,
+}
+
+impl FaultPlan {
+    /// The trivial plan: no drops, no delays, no crashes.
+    pub fn none() -> Self {
+        FaultPlan {
+            drop: Vec::new(),
+            delay_p: 0.0,
+            crash_round: Vec::new(),
+            seed: 0,
+        }
+    }
+
+    /// Sample a plan for `g` from `spec`, deterministically in `fault_seed`.
+    ///
+    /// The crash schedule is drawn up front from its own split stream; drop
+    /// and delay decisions are drawn later, per round, from per-round split
+    /// streams — so the whole fault trace is a pure function of
+    /// `(g, spec, fault_seed)`.
+    pub fn sample(g: &Graph, spec: &FaultSpec, fault_seed: u64) -> Self {
+        let crash_round = if spec.crash_p > 0.0 {
+            let mut rng =
+                ChaCha8Rng::seed_from_u64(splitmix64(fault_seed ^ splitmix64(CRASH_STREAM)));
+            (0..g.n())
+                .map(|_| {
+                    if rng.gen::<f64>() < spec.crash_p {
+                        Some(rng.gen_range(0..u64::from(spec.crash_window.max(1))) as u32)
+                    } else {
+                        None
+                    }
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+        let drop = if spec.drop_p > 0.0 {
+            vec![spec.drop_p; g.vertices().map(|v| g.degree(v)).sum()]
+        } else {
+            Vec::new()
+        };
+        FaultPlan {
+            drop,
+            delay_p: spec.delay_p,
+            crash_round,
+            seed: fault_seed,
+        }
+    }
+
+    /// A plan with an explicit per-node crash schedule and no message faults.
+    pub fn from_crash_schedule(crash_round: Vec<Option<u32>>) -> Self {
+        FaultPlan {
+            drop: Vec::new(),
+            delay_p: 0.0,
+            crash_round,
+            seed: 0,
+        }
+    }
+
+    /// Override the drop probability of the single directed edge `(v, p)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p >= g.degree(v)`.
+    pub fn set_edge_drop(&mut self, g: &Graph, v: NodeId, p: PortId, drop_p: f64) {
+        assert!(p < g.degree(v), "port {p} out of range for vertex {v}");
+        let total: usize = g.vertices().map(|u| g.degree(u)).sum();
+        if self.drop.is_empty() {
+            self.drop = vec![0.0; total];
+        }
+        let offset: usize = (0..v).map(|u| g.degree(u)).sum();
+        self.drop[offset + p] = drop_p;
+    }
+
+    /// Whether this plan can never inject a fault (the engine then takes the
+    /// plain fault-free paths, so a trivial plan is observably identical to
+    /// no plan at all).
+    pub fn is_trivial(&self) -> bool {
+        !self.has_drops() && !self.has_delays() && !self.has_crashes()
+    }
+
+    /// The fault seed the message-fault streams are split from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The per-node crash schedule (empty if no crashes are planned).
+    pub fn crash_schedule(&self) -> &[Option<u32>] {
+        &self.crash_round
+    }
+
+    pub(crate) fn has_drops(&self) -> bool {
+        self.drop.iter().any(|&p| p > 0.0)
+    }
+
+    pub(crate) fn has_delays(&self) -> bool {
+        self.delay_p > 0.0
+    }
+
+    pub(crate) fn has_crashes(&self) -> bool {
+        self.crash_round.iter().any(Option::is_some)
+    }
+
+    pub(crate) fn drop_p(&self, slot: usize) -> f64 {
+        self.drop.get(slot).copied().unwrap_or(0.0)
+    }
+
+    pub(crate) fn delay_p(&self) -> f64 {
+        self.delay_p
+    }
+
+    pub(crate) fn crash_round(&self, v: NodeId) -> Option<u32> {
+        self.crash_round.get(v).copied().flatten()
+    }
+
+    /// The drop/delay decision stream for the exchange after sweep `round`.
+    /// Split per round so the trace is independent of how many messages
+    /// earlier rounds carried.
+    pub(crate) fn round_rng(&self, round: u32) -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(splitmix64(
+            self.seed ^ splitmix64(ROUND_STREAM.wrapping_add(u64::from(round))),
+        ))
+    }
+}
+
+/// The fate of one node in a faulty run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Outcome<O> {
+    /// The node halted normally with an output.
+    Halted {
+        /// The round in which it halted.
+        round: u32,
+        /// Its output.
+        output: O,
+    },
+    /// The node crashed (fell permanently silent) before halting.
+    Crashed {
+        /// The sweep from which it stopped participating.
+        round: u32,
+    },
+    /// The node was still live when the sweep budget cut the run.
+    Cut,
+}
+
+impl<O> Outcome<O> {
+    /// The output, if the node halted.
+    pub fn output(&self) -> Option<&O> {
+        match self {
+            Outcome::Halted { output, .. } => Some(output),
+            _ => None,
+        }
+    }
+
+    /// Whether the node halted normally.
+    pub fn is_halted(&self) -> bool {
+        matches!(self, Outcome::Halted { .. })
+    }
+
+    /// Whether the node crashed.
+    pub fn is_crashed(&self) -> bool {
+        matches!(self, Outcome::Crashed { .. })
+    }
+
+    /// Whether the node was cut by the sweep budget.
+    pub fn is_cut(&self) -> bool {
+        matches!(self, Outcome::Cut)
+    }
+}
+
+/// The result of a crash-tolerant run: per-node outcomes with partial
+/// outputs, never an error — a run that exhausts its sweep budget degrades
+/// to [`Outcome::Cut`] entries instead of failing wholesale.
+#[derive(Debug, Clone)]
+pub struct FaultyRun<O> {
+    /// Per-vertex fates, indexed by vertex.
+    pub outcomes: Vec<Outcome<O>>,
+    /// Maximum halting round over the nodes that did halt (0 if none).
+    pub rounds: u32,
+    /// Message and sweep counters (crashed nodes' pre-crash messages
+    /// included).
+    pub stats: RunStats,
+    /// Messages discarded by drop faults (including delayed messages
+    /// superseded by a fresher one on the same port).
+    pub dropped: u64,
+    /// Messages deferred by one round.
+    pub delayed: u64,
+}
+
+impl<O> FaultyRun<O> {
+    /// Number of nodes that halted normally.
+    pub fn halted(&self) -> usize {
+        self.outcomes.iter().filter(|o| o.is_halted()).count()
+    }
+
+    /// Number of nodes that crashed.
+    pub fn crashed(&self) -> usize {
+        self.outcomes.iter().filter(|o| o.is_crashed()).count()
+    }
+
+    /// Number of nodes cut by the sweep budget.
+    pub fn cut(&self) -> usize {
+        self.outcomes.iter().filter(|o| o.is_cut()).count()
+    }
+
+    /// Per-vertex outputs for the halted nodes, `None` elsewhere — the shape
+    /// partial LCL validation consumes.
+    pub fn partial_outputs(&self) -> Vec<Option<&O>> {
+        self.outcomes.iter().map(Outcome::output).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use local_graphs::gen;
+
+    #[test]
+    fn trivial_plans_are_trivial() {
+        assert!(FaultPlan::none().is_trivial());
+        let g = gen::cycle(5);
+        assert!(FaultPlan::sample(&g, &FaultSpec::none(), 7).is_trivial());
+        assert!(FaultPlan::from_crash_schedule(vec![None; 5]).is_trivial());
+        assert!(!FaultPlan::from_crash_schedule(vec![None, Some(2)]).is_trivial());
+        assert!(!FaultPlan::sample(&g, &FaultSpec::none().with_drop(0.5), 7).is_trivial());
+        assert!(!FaultPlan::sample(&g, &FaultSpec::none().with_delay(0.5), 7).is_trivial());
+    }
+
+    #[test]
+    fn sampling_is_seed_deterministic() {
+        let g = gen::cycle(64);
+        let spec = FaultSpec {
+            drop_p: 0.1,
+            delay_p: 0.05,
+            crash_p: 0.3,
+            crash_window: 10,
+        };
+        let a = FaultPlan::sample(&g, &spec, 42);
+        let b = FaultPlan::sample(&g, &spec, 42);
+        let c = FaultPlan::sample(&g, &spec, 43);
+        assert_eq!(a, b);
+        assert_ne!(a.crash_schedule(), c.crash_schedule());
+        assert!(a.has_crashes());
+        assert!(a.crash_schedule().iter().flatten().all(|&r| r < 10));
+    }
+
+    #[test]
+    fn edge_drop_overrides_one_slot() {
+        let g = gen::path(3); // degrees 1, 2, 1 → slots 0..4
+        let mut plan = FaultPlan::none();
+        plan.set_edge_drop(&g, 1, 1, 0.75);
+        assert_eq!(plan.drop_p(0), 0.0);
+        assert_eq!(plan.drop_p(2), 0.75);
+        assert!(plan.has_drops());
+    }
+
+    #[test]
+    fn round_streams_differ_by_round_and_seed() {
+        use rand::RngCore;
+        let plan = FaultPlan {
+            drop: vec![0.5],
+            delay_p: 0.0,
+            crash_round: Vec::new(),
+            seed: 9,
+        };
+        let mut other = plan.clone();
+        other.seed = 10;
+        assert_ne!(plan.round_rng(0).next_u64(), plan.round_rng(1).next_u64());
+        assert_ne!(plan.round_rng(0).next_u64(), other.round_rng(0).next_u64());
+        assert_eq!(plan.round_rng(3).next_u64(), plan.round_rng(3).next_u64());
+    }
+
+    #[test]
+    fn outcome_accessors() {
+        let h: Outcome<u32> = Outcome::Halted {
+            round: 3,
+            output: 7,
+        };
+        assert!(h.is_halted());
+        assert_eq!(h.output(), Some(&7));
+        let c: Outcome<u32> = Outcome::Crashed { round: 1 };
+        assert!(c.is_crashed());
+        assert_eq!(c.output(), None);
+        let cut: Outcome<u32> = Outcome::Cut;
+        assert!(cut.is_cut());
+        let run = FaultyRun {
+            outcomes: vec![h, c, cut],
+            rounds: 3,
+            stats: RunStats {
+                messages_sent: 0,
+                sweeps: 4,
+                live_per_round: vec![3, 2, 1, 1],
+            },
+            dropped: 0,
+            delayed: 0,
+        };
+        assert_eq!(run.halted(), 1);
+        assert_eq!(run.crashed(), 1);
+        assert_eq!(run.cut(), 1);
+        assert_eq!(run.partial_outputs(), vec![Some(&7), None, None]);
+    }
+}

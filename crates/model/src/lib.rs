@@ -61,6 +61,7 @@
 pub mod ball;
 mod engine;
 mod error;
+mod faults;
 mod ids;
 mod node;
 mod params;
@@ -68,6 +69,7 @@ pub mod reference;
 
 pub use engine::{derived_rng, derived_u64, Engine, Mode, Run, RunStats};
 pub use error::SimError;
+pub use faults::{FaultPlan, FaultSpec, FaultyRun, Outcome};
 pub use ids::{id_bits, IdAssignment};
 pub use node::{Action, NodeInit, NodeIo, NodeProgram, Protocol};
 pub use params::GlobalParams;

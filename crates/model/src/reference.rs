@@ -93,6 +93,13 @@ where
             return Err(SimError::RoundLimitExceeded {
                 limit: max_rounds,
                 live_nodes: live,
+                live_sample: slots
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, s)| s.done.is_none())
+                    .map(|(v, _)| v)
+                    .take(SimError::LIVE_SAMPLE_CAP)
+                    .collect(),
             });
         }
         live_per_round.push(live);
