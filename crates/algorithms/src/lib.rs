@@ -23,11 +23,16 @@ pub mod color;
 pub mod matching;
 pub mod mis;
 pub mod orientation;
+pub mod repair;
 pub mod sync;
 pub mod tree;
 pub mod util;
 
+pub use repair::{
+    recover, Finish, Finisher, GreedyColoringFinisher, LubyRestartFinisher, Recovery,
+    RecoveryPolicy, SinklessFinisher,
+};
 pub use sync::{
-    run_sync, run_sync_faulty, run_sync_with_params, FaultySyncOutcome, SyncAlgorithm, SyncCtx,
-    SyncOutcome, SyncStep,
+    run_sync, run_sync_faulty, run_sync_faulty_budgeted, run_sync_with_params, FaultySyncOutcome,
+    SyncAlgorithm, SyncCtx, SyncOutcome, SyncStep,
 };

@@ -1,0 +1,973 @@
+//! Shattering-style self-healing: finish a faulty run's partial labeling.
+//!
+//! The paper's Theorem 10 structure — a randomized phase solves most
+//! vertices, a deterministic finisher cleans up the small residual
+//! components — is exactly a recovery algorithm if the "unsolved" vertices
+//! are the ones a fault silenced. [`recover`] drives it generically:
+//!
+//! 1. The *core* is every unlabeled vertex plus every labeled vertex whose
+//!    radius-1 view violates the problem (a dropped message can leave two
+//!    halted neighbors mutually inconsistent, so non-`Halted` alone is not
+//!    enough).
+//! 2. The core is dilated by a boundary radius into a
+//!    [`Residue`](local_model::Residue); everything outside stays *frozen*.
+//! 3. A per-problem [`Finisher`] relabels only the residue, treating the
+//!    frozen boundary labels as constraints.
+//! 4. The finisher's labels are spliced into a complete labeling and gated
+//!    by [`check_complete`]; on failure the radius escalates (1 → 2 → …)
+//!    until [`RecoveryPolicy::max_radius`], and any vertex the failed
+//!    splice left violating is absorbed into the core — so a defect the
+//!    relabeling pushed just past the frontier is *surrounded* on the next
+//!    attempt rather than chased by radius alone. Exhaustion reports a
+//!    typed [`RecoveryError`].
+//!
+//! Three finishers cover the repo's flagship problems: [`SinklessFinisher`]
+//! (cycle-seeded BFS orientation), [`GreedyColoringFinisher`] (boundary-first
+//! greedy Δ-coloring), and [`LubyRestartFinisher`] (a fresh Luby run on the
+//! residue, restricted away from frozen MIS members).
+
+use crate::mis::luby::Luby;
+use crate::sync::run_sync_faulty_budgeted;
+use local_graphs::Graph;
+use local_lcl::problems::Orientation;
+use local_lcl::{check_complete, check_partial, Labeling, LclProblem};
+use local_model::{derived_u64, Breach, Budget, FaultPlan, Mode, RecoveryError, Residue};
+use std::collections::VecDeque;
+
+/// How hard [`recover`] tries: the escalation ladder and the per-attempt
+/// watchdog budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryPolicy {
+    /// Largest boundary radius tried (attempt `k` uses radius `k`).
+    pub max_radius: u32,
+    /// Watchdog budget each finisher attempt runs under.
+    pub budget: Budget,
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> Self {
+        RecoveryPolicy {
+            max_radius: 3,
+            budget: Budget::rounds(100_000),
+        }
+    }
+}
+
+/// A successful recovery: the complete labeling plus how much it cost.
+#[derive(Debug, Clone)]
+pub struct Recovery<L> {
+    /// The complete labeling, verified by [`check_complete`].
+    pub labels: Labeling<L>,
+    /// Attempts consumed (0 if the partial labeling was already complete and
+    /// valid; otherwise the radius of the successful attempt).
+    pub attempts: u32,
+    /// The boundary radius of the successful attempt (0 if none was needed).
+    pub radius: u32,
+    /// Core vertices of the successful attempt: the unlabeled/violating
+    /// vertices the recovery started from, plus any violations absorbed
+    /// from earlier failed splices.
+    pub core_size: usize,
+    /// Residue vertices relabeled by the successful attempt.
+    pub residue_size: usize,
+    /// Extra rounds the successful finisher attempt paid.
+    pub extra_rounds: u32,
+}
+
+/// What a [`Finisher`] attempt produced: one label per residue member (in
+/// local index order) and the rounds the finishing pass cost.
+#[derive(Debug, Clone)]
+pub struct Finish<L> {
+    /// Labels for `residue.members()`, by local index.
+    pub labels: Vec<L>,
+    /// Round cost of the pass (BFS depth for the deterministic finishers,
+    /// decided rounds for the Luby restart).
+    pub rounds: u32,
+}
+
+/// A problem-specific deterministic finisher: relabel the residue so the
+/// spliced labeling satisfies the problem, treating labels outside the
+/// residue as frozen constraints.
+pub trait Finisher<P: LclProblem> {
+    /// Run one attempt at the given boundary radius.
+    ///
+    /// # Errors
+    ///
+    /// [`RecoveryError::Infeasible`] if the frozen boundary admits no valid
+    /// completion at this radius (the driver escalates);
+    /// [`RecoveryError::Budget`] if the attempt breached `budget` (the
+    /// driver gives up).
+    fn finish(
+        &self,
+        g: &Graph,
+        residue: &Residue,
+        partial: &[Option<P::Label>],
+        budget: &Budget,
+        attempt: u32,
+    ) -> Result<Finish<P::Label>, RecoveryError>;
+}
+
+/// Recover a complete valid labeling from a partial one by escalating
+/// residue repair (see the module docs for the drive cycle).
+///
+/// # Errors
+///
+/// [`RecoveryError::Budget`] as soon as any attempt breaches its budget;
+/// otherwise the last attempt's [`RecoveryError::Infeasible`], or
+/// [`RecoveryError::Exhausted`] if every radius spliced but failed
+/// verification.
+///
+/// # Panics
+///
+/// Panics if `partial.len() != g.n()`.
+pub fn recover<P, F>(
+    problem: &P,
+    g: &Graph,
+    partial: &[Option<P::Label>],
+    finisher: &F,
+    policy: &RecoveryPolicy,
+) -> Result<Recovery<P::Label>, RecoveryError>
+where
+    P: LclProblem,
+    F: Finisher<P>,
+{
+    assert_eq!(partial.len(), g.n(), "labeling must cover every vertex");
+    let verdict = check_partial(problem, g, partial);
+    let mut core = vec![false; g.n()];
+    let mut core_size = 0usize;
+    for (v, label) in partial.iter().enumerate() {
+        if label.is_none() {
+            core[v] = true;
+            core_size += 1;
+        }
+    }
+    for violation in &verdict.violations {
+        if !core[violation.vertex] {
+            core[violation.vertex] = true;
+            core_size += 1;
+        }
+    }
+    if core_size == 0 {
+        let labels: Labeling<P::Label> = partial
+            .iter()
+            .map(|l| l.clone().expect("no holes when the core is empty"))
+            .collect();
+        return Ok(Recovery {
+            labels,
+            attempts: 0,
+            radius: 0,
+            core_size: 0,
+            residue_size: 0,
+            extra_rounds: 0,
+        });
+    }
+
+    let mut last_violations = verdict.violations.len();
+    let mut last_infeasible: Option<RecoveryError> = None;
+    for attempt in 1..=policy.max_radius {
+        let residue = Residue::extract(g, &core, attempt);
+        match finisher.finish(g, &residue, partial, &policy.budget, attempt) {
+            Err(err @ RecoveryError::Budget { .. }) => return Err(err),
+            Err(err) => {
+                last_infeasible = Some(err);
+                continue;
+            }
+            Ok(finish) => {
+                assert_eq!(
+                    finish.labels.len(),
+                    residue.len(),
+                    "finisher must label every residue member"
+                );
+                let labels: Labeling<P::Label> = g
+                    .vertices()
+                    .map(|v| match residue.local(v) {
+                        Some(i) => finish.labels[i].clone(),
+                        None => partial[v]
+                            .clone()
+                            .expect("unlabeled vertices are in the core"),
+                    })
+                    .collect();
+                let spliced = check_complete(problem, g, &labels);
+                if spliced.violations.is_empty() {
+                    return Ok(Recovery {
+                        labels,
+                        attempts: attempt,
+                        radius: attempt,
+                        core_size,
+                        residue_size: residue.len(),
+                        extra_rounds: finish.rounds,
+                    });
+                }
+                // Shattering-style escalation: a defect the splice could not
+                // clear — including one the finisher's own relabeling pushed
+                // just past the residue frontier — joins the damaged core,
+                // so the next attempt's residue is grown around it instead
+                // of chasing it with radius alone.
+                for violation in &spliced.violations {
+                    if !core[violation.vertex] {
+                        core[violation.vertex] = true;
+                        core_size += 1;
+                    }
+                }
+                last_violations = spliced.violations.len();
+                last_infeasible = None;
+            }
+        }
+    }
+    Err(last_infeasible.unwrap_or(RecoveryError::Exhausted {
+        attempts: policy.max_radius,
+        max_radius: policy.max_radius,
+        violations: last_violations,
+    }))
+}
+
+fn infeasible(attempt: u32, reason: impl Into<String>) -> RecoveryError {
+    RecoveryError::Infeasible {
+        attempt,
+        reason: reason.into(),
+    }
+}
+
+/// Orient every residue member so it has an out-edge, consistently with the
+/// frozen boundary: boundary edges are forced (the mirror of the frozen
+/// side's declared direction), then a BFS from the already-satisfied members
+/// orients free edges child → parent; components with no satisfied vertex get
+/// a cycle oriented cyclically first. A residue tree component with no
+/// possible out-edge is [`RecoveryError::Infeasible`] — escalation unfreezes
+/// its boundary and typically supplies one.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SinklessFinisher;
+
+impl Finisher<local_lcl::problems::SinklessOrientation> for SinklessFinisher {
+    fn finish(
+        &self,
+        g: &Graph,
+        residue: &Residue,
+        partial: &[Option<Orientation>],
+        budget: &Budget,
+        attempt: u32,
+    ) -> Result<Finish<Orientation>, RecoveryError> {
+        let m = residue.len();
+        let mut out: Vec<Vec<Option<bool>>> = residue
+            .members()
+            .iter()
+            .map(|&v| vec![None; g.degree(v)])
+            .collect();
+        let mut satisfied = vec![false; m];
+        let mut depth = vec![0u32; m];
+
+        // Boundary edges are forced: mirror the frozen side's declaration.
+        for (i, &v) in residue.members().iter().enumerate() {
+            for (p, nb) in g.neighbors(v).iter().enumerate() {
+                if residue.contains(nb.node) {
+                    continue;
+                }
+                let frozen = partial[nb.node]
+                    .as_ref()
+                    .ok_or_else(|| infeasible(attempt, "unlabeled vertex outside the residue"))?;
+                let theirs = *frozen.0.get(nb.back_port).ok_or_else(|| {
+                    infeasible(
+                        attempt,
+                        format!("malformed frozen orientation at vertex {}", nb.node),
+                    )
+                })?;
+                out[i][p] = Some(!theirs);
+                if !theirs {
+                    satisfied[i] = true;
+                }
+            }
+        }
+
+        let mut queue: VecDeque<usize> = (0..m).filter(|&i| satisfied[i]).collect();
+        let mut rounds =
+            drain_orientation_queue(g, residue, &mut queue, &mut out, &mut satisfied, &mut depth);
+
+        // Components with no satisfied vertex need a cycle to host out-edges.
+        let mut dfs_state: Vec<u8> = vec![0; m];
+        let mut dfs_parent: Vec<Option<usize>> = vec![None; m];
+        for start in 0..m {
+            if satisfied[start] {
+                continue;
+            }
+            let cycle = find_free_cycle(
+                g,
+                residue,
+                &satisfied,
+                &out,
+                start,
+                &mut dfs_state,
+                &mut dfs_parent,
+            )
+            .ok_or_else(|| {
+                infeasible(
+                    attempt,
+                    format!(
+                        "residue component of vertex {} is a tree with no available out-edge",
+                        residue.global(start)
+                    ),
+                )
+            })?;
+            // Orient the cycle cyclically: every cycle vertex gains an out-edge.
+            let k = cycle.len();
+            for t in 0..k {
+                let a = cycle[t];
+                let b = cycle[(t + 1) % k];
+                let ga = residue.global(a);
+                let gb = residue.global(b);
+                let (p, nb) = g
+                    .neighbors(ga)
+                    .iter()
+                    .enumerate()
+                    .find(|(_, nb)| nb.node == gb)
+                    .expect("cycle edges exist in the graph");
+                out[a][p] = Some(true);
+                out[b][nb.back_port] = Some(false);
+                satisfied[a] = true;
+                depth[a] = 0;
+            }
+            queue.extend(cycle);
+            rounds = rounds.max(drain_orientation_queue(
+                g,
+                residue,
+                &mut queue,
+                &mut out,
+                &mut satisfied,
+                &mut depth,
+            ));
+        }
+
+        // Leftover free edges (both endpoints already satisfied): orient
+        // low-to-high local index, deterministically.
+        for i in 0..m {
+            let v = residue.global(i);
+            for (p, nb) in g.neighbors(v).iter().enumerate() {
+                if out[i][p].is_some() {
+                    continue;
+                }
+                let j = residue
+                    .local(nb.node)
+                    .expect("all boundary ports were forced");
+                out[i][p] = Some(true);
+                out[j][nb.back_port] = Some(false);
+            }
+        }
+
+        if rounds > budget.max_rounds {
+            return Err(RecoveryError::Budget {
+                attempt,
+                breach: Breach::Rounds,
+            });
+        }
+        let labels = out
+            .into_iter()
+            .map(|ports| {
+                Orientation(
+                    ports
+                        .into_iter()
+                        .map(|d| d.expect("every port was oriented"))
+                        .collect(),
+                )
+            })
+            .collect();
+        Ok(Finish { labels, rounds })
+    }
+}
+
+/// BFS from the satisfied set: each free edge to an unsatisfied member is
+/// oriented out of that member (toward the satisfied side), satisfying it.
+/// Returns the maximum BFS depth reached.
+fn drain_orientation_queue(
+    g: &Graph,
+    residue: &Residue,
+    queue: &mut VecDeque<usize>,
+    out: &mut [Vec<Option<bool>>],
+    satisfied: &mut [bool],
+    depth: &mut [u32],
+) -> u32 {
+    let mut max_depth = 0;
+    while let Some(i) = queue.pop_front() {
+        max_depth = max_depth.max(depth[i]);
+        let v = residue.global(i);
+        for (p, nb) in g.neighbors(v).iter().enumerate() {
+            let Some(j) = residue.local(nb.node) else {
+                continue;
+            };
+            if out[i][p].is_none() && !satisfied[j] {
+                out[i][p] = Some(false);
+                out[j][nb.back_port] = Some(true);
+                satisfied[j] = true;
+                depth[j] = depth[i] + 1;
+                queue.push_back(j);
+            }
+        }
+    }
+    max_depth
+}
+
+/// Find a cycle in the free subgraph (unassigned member-member edges among
+/// unsatisfied members) of `start`'s component, as a list of local indices in
+/// cycle order. `None` means the component is a tree.
+///
+/// Iterative DFS that emulates recursion (a vertex stays "gray" while its
+/// neighbor cursor is on the stack), so a gray non-parent neighbor is always
+/// an ancestor and the parent chain yields a simple cycle.
+fn find_free_cycle(
+    g: &Graph,
+    residue: &Residue,
+    satisfied: &[bool],
+    out: &[Vec<Option<bool>>],
+    start: usize,
+    state: &mut [u8],
+    parent: &mut [Option<usize>],
+) -> Option<Vec<usize>> {
+    debug_assert_eq!(state[start], 0, "components are visited once");
+    let mut stack: Vec<(usize, usize)> = vec![(start, 0)];
+    state[start] = 1;
+    parent[start] = None;
+    while let Some(&mut (u, ref mut cursor)) = stack.last_mut() {
+        let gu = residue.global(u);
+        let neighbors = g.neighbors(gu);
+        let mut advanced = false;
+        while *cursor < neighbors.len() {
+            let p = *cursor;
+            *cursor += 1;
+            let nb = &neighbors[p];
+            let Some(j) = residue.local(nb.node) else {
+                continue;
+            };
+            if out[u][p].is_some() || satisfied[j] {
+                continue;
+            }
+            match state[j] {
+                0 => {
+                    state[j] = 1;
+                    parent[j] = Some(u);
+                    stack.push((j, 0));
+                    advanced = true;
+                    break;
+                }
+                1 if parent[u] != Some(j) => {
+                    // Back edge u → j: the cycle is j's descendants down to u.
+                    let mut cycle = vec![u];
+                    let mut w = u;
+                    while w != j {
+                        w = parent[w].expect("ancestor chain reaches the back edge target");
+                        cycle.push(w);
+                    }
+                    return Some(cycle);
+                }
+                _ => {}
+            }
+        }
+        if !advanced {
+            state[u] = 2;
+            stack.pop();
+        }
+    }
+    None
+}
+
+/// Greedy coloring of the residue against the frozen boundary: members are
+/// colored in BFS order seeded from the boundary-adjacent members (then from
+/// the lowest-index member of any interior component), each taking the
+/// smallest palette color unused by its already-colored and frozen
+/// neighbors. Runs out of palette → [`RecoveryError::Infeasible`].
+#[derive(Debug, Clone, Copy)]
+pub struct GreedyColoringFinisher {
+    /// Palette size (colors `0..palette`).
+    pub palette: usize,
+}
+
+impl Finisher<local_lcl::problems::VertexColoring> for GreedyColoringFinisher {
+    fn finish(
+        &self,
+        g: &Graph,
+        residue: &Residue,
+        partial: &[Option<usize>],
+        budget: &Budget,
+        attempt: u32,
+    ) -> Result<Finish<usize>, RecoveryError> {
+        let m = residue.len();
+        let mut color: Vec<Option<usize>> = vec![None; m];
+        let mut seen = vec![false; m];
+        let mut depth = vec![0u32; m];
+        let mut queue: VecDeque<usize> = VecDeque::new();
+        for (i, &v) in residue.members().iter().enumerate() {
+            if g.neighbors(v).iter().any(|nb| !residue.contains(nb.node)) {
+                seen[i] = true;
+                queue.push_back(i);
+            }
+        }
+        let mut rounds = 0u32;
+        let mut cursor = 0usize;
+        loop {
+            while let Some(i) = queue.pop_front() {
+                rounds = rounds.max(depth[i]);
+                let v = residue.global(i);
+                let mut used = vec![false; self.palette];
+                for nb in g.neighbors(v) {
+                    let c = match residue.local(nb.node) {
+                        Some(j) => color[j],
+                        None => Some(*partial[nb.node].as_ref().ok_or_else(|| {
+                            infeasible(attempt, "unlabeled vertex outside the residue")
+                        })?),
+                    };
+                    if let Some(c) = c {
+                        if c < self.palette {
+                            used[c] = true;
+                        }
+                    }
+                }
+                let Some(c) = (0..self.palette).find(|&c| !used[c]) else {
+                    return Err(infeasible(
+                        attempt,
+                        format!(
+                            "no free color at vertex {v}: all {} palette colors used by neighbors",
+                            self.palette
+                        ),
+                    ));
+                };
+                color[i] = Some(c);
+                for nb in g.neighbors(v) {
+                    if let Some(j) = residue.local(nb.node) {
+                        if !seen[j] {
+                            seen[j] = true;
+                            depth[j] = depth[i] + 1;
+                            queue.push_back(j);
+                        }
+                    }
+                }
+            }
+            while cursor < m && seen[cursor] {
+                cursor += 1;
+            }
+            if cursor >= m {
+                break;
+            }
+            seen[cursor] = true;
+            depth[cursor] = 0;
+            queue.push_back(cursor);
+        }
+        if rounds > budget.max_rounds {
+            return Err(RecoveryError::Budget {
+                attempt,
+                breach: Breach::Rounds,
+            });
+        }
+        let labels = color
+            .into_iter()
+            .map(|c| c.expect("BFS reaches every member"))
+            .collect();
+        Ok(Finish { labels, rounds })
+    }
+}
+
+/// Restart Luby's MIS on the residue: members adjacent to a frozen MIS
+/// member are knocked out (decided `false`), the rest run
+/// [`Luby`] restricted to the residue's induced subgraph under the attempt's
+/// derived seed and the watchdog budget.
+#[derive(Debug, Clone, Copy)]
+pub struct LubyRestartFinisher {
+    /// Seed the per-attempt Luby streams are derived from.
+    pub seed: u64,
+}
+
+/// Stream tag for per-attempt Luby restart seeds.
+const LUBY_RESTART_STREAM: u64 = 0x13F1;
+
+impl Finisher<local_lcl::problems::Mis> for LubyRestartFinisher {
+    fn finish(
+        &self,
+        g: &Graph,
+        residue: &Residue,
+        partial: &[Option<bool>],
+        budget: &Budget,
+        attempt: u32,
+    ) -> Result<Finish<bool>, RecoveryError> {
+        let members = residue.members();
+        // Retain the prior MIS wherever it is locally consistent (greedy in
+        // ascending order among conflicting prior members). Vertices just
+        // outside the residue keep whatever witness they had, so the
+        // restart cannot strand them by rolling dice it had no reason to
+        // roll.
+        let mut retained = vec![false; members.len()];
+        for (i, &v) in members.iter().enumerate() {
+            if partial[v] != Some(true) {
+                continue;
+            }
+            let blocked = g
+                .neighbors(v)
+                .iter()
+                .any(|nb| match residue.local(nb.node) {
+                    Some(j) => retained[j],
+                    None => partial[nb.node] == Some(true),
+                });
+            if !blocked {
+                retained[i] = true;
+            }
+        }
+        // The restart only decides members that are neither retained nor
+        // dominated by a true vertex (retained or frozen).
+        let active: Vec<bool> = members
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| {
+                !retained[i]
+                    && !g
+                        .neighbors(v)
+                        .iter()
+                        .any(|nb| match residue.local(nb.node) {
+                            Some(j) => retained[j],
+                            None => partial[nb.node] == Some(true),
+                        })
+            })
+            .collect();
+        let algo = Luby::restricted(active);
+        let seed = derived_u64(
+            self.seed,
+            LUBY_RESTART_STREAM.wrapping_add(u64::from(attempt)),
+        );
+        let run = run_sync_faulty_budgeted(
+            residue.graph(),
+            Mode::randomized(seed),
+            &algo,
+            budget,
+            &FaultPlan::none(),
+        );
+        if let Some(breach) = run.breach {
+            return Err(RecoveryError::Budget { attempt, breach });
+        }
+        let mut labels: Vec<bool> = run
+            .outcomes
+            .iter()
+            .enumerate()
+            .map(|(i, o)| retained[i] || *o.output().expect("unbreached fault-free runs halt"))
+            .collect();
+        // Deterministic maximality sweep: join any member left without a
+        // certificate (ascending order preserves independence — a flip
+        // gives every neighbor a witness, so no later flip can conflict).
+        let mut swept = false;
+        for i in 0..members.len() {
+            if labels[i] {
+                continue;
+            }
+            let has_witness =
+                g.neighbors(members[i])
+                    .iter()
+                    .any(|nb| match residue.local(nb.node) {
+                        Some(j) => labels[j],
+                        None => partial[nb.node] == Some(true),
+                    });
+            if !has_witness {
+                labels[i] = true;
+                swept = true;
+            }
+        }
+        Ok(Finish {
+            labels,
+            rounds: run.max_decided_round() + u32::from(swept),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::orientation::sinkless::SinklessRepair;
+    use crate::sync::run_sync_faulty;
+    use local_graphs::gen;
+    use local_lcl::problems::{Mis, SinklessOrientation, VertexColoring};
+    use local_model::{FaultSpec, Outcome};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn assert_fully_valid<P: LclProblem>(problem: &P, g: &Graph, labels: &Labeling<P::Label>) {
+        let verdict = check_complete(problem, g, labels);
+        assert!(
+            verdict.violations.is_empty(),
+            "spliced labeling must be valid, got {:?}",
+            verdict.violations.first()
+        );
+        assert_eq!(verdict.checked, g.n());
+    }
+
+    #[test]
+    fn valid_complete_labeling_needs_no_attempts() {
+        let g = gen::cycle(6);
+        let partial: Vec<Option<usize>> = (0..6).map(|v| Some(v % 2)).collect();
+        let rec = recover(
+            &VertexColoring::new(3),
+            &g,
+            &partial,
+            &GreedyColoringFinisher { palette: 3 },
+            &RecoveryPolicy::default(),
+        )
+        .unwrap();
+        assert_eq!(rec.attempts, 0);
+        assert_eq!(rec.core_size, 0);
+        assert_eq!(rec.extra_rounds, 0);
+    }
+
+    #[test]
+    fn coloring_holes_are_repaired_against_the_frozen_boundary() {
+        let g = gen::path(7);
+        let mut partial: Vec<Option<usize>> = (0..7).map(|v| Some(v % 2)).collect();
+        partial[3] = None;
+        let rec = recover(
+            &VertexColoring::new(2),
+            &g,
+            &partial,
+            &GreedyColoringFinisher { palette: 2 },
+            &RecoveryPolicy::default(),
+        )
+        .unwrap();
+        assert_eq!(rec.attempts, 1);
+        assert_eq!(rec.core_size, 1);
+        assert_eq!(rec.residue_size, 3);
+        assert_fully_valid(&VertexColoring::new(2), &g, &rec.labels);
+        // Frozen vertices keep their labels.
+        assert_eq!(rec.labels.as_slice()[0], 0);
+        assert_eq!(rec.labels.as_slice()[6], 0);
+    }
+
+    #[test]
+    fn coloring_violations_join_the_core() {
+        // Adjacent equal colors with no holes: both endpoints must be relabeled.
+        let g = gen::path(5);
+        let partial: Vec<Option<usize>> = vec![Some(0), Some(1), Some(1), Some(0), Some(1)];
+        let rec = recover(
+            &VertexColoring::new(3),
+            &g,
+            &partial,
+            &GreedyColoringFinisher { palette: 3 },
+            &RecoveryPolicy::default(),
+        )
+        .unwrap();
+        assert_eq!(rec.core_size, 2);
+        assert!(rec.attempts >= 1);
+        assert_fully_valid(&VertexColoring::new(3), &g, &rec.labels);
+    }
+
+    #[test]
+    fn starved_palette_escalates_then_errors_typed() {
+        // Path 0-1-2-3-4 with palette {0,1}, hole at 2. At radius 1 the
+        // members {1,2,3} are pinched by the frozen endpoints (0 and 4 carry
+        // different colors), and the boundary-first greedy order paints 1 → 1
+        // and 3 → 0, starving vertex 2. Radius 2 unfreezes everything.
+        let g = gen::path(5);
+        let partial: Vec<Option<usize>> = vec![Some(0), Some(1), None, Some(0), Some(1)];
+        let err = recover(
+            &VertexColoring::new(2),
+            &g,
+            &partial,
+            &GreedyColoringFinisher { palette: 2 },
+            &RecoveryPolicy {
+                max_radius: 1,
+                ..RecoveryPolicy::default()
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, RecoveryError::Infeasible { attempt: 1, .. }));
+        // Escalation to radius 2 succeeds.
+        let rec = recover(
+            &VertexColoring::new(2),
+            &g,
+            &partial,
+            &GreedyColoringFinisher { palette: 2 },
+            &RecoveryPolicy::default(),
+        )
+        .unwrap();
+        assert_eq!(rec.attempts, 2);
+        assert_fully_valid(&VertexColoring::new(2), &g, &rec.labels);
+    }
+
+    #[test]
+    fn sinkless_recovers_a_crashed_cycle_vertex() {
+        let n = 12;
+        let g = gen::cycle(n);
+        // Orient the cycle forward, then hole out two adjacent vertices.
+        let mut partial: Vec<Option<Orientation>> = (0..n)
+            .map(|v| {
+                Some(Orientation(
+                    g.neighbors(v)
+                        .iter()
+                        .map(|nb| nb.node == (v + 1) % n)
+                        .collect(),
+                ))
+            })
+            .collect();
+        partial[4] = None;
+        partial[5] = None;
+        let rec = recover(
+            &SinklessOrientation::new(2),
+            &g,
+            &partial,
+            &SinklessFinisher,
+            &RecoveryPolicy::default(),
+        )
+        .unwrap();
+        assert_eq!(rec.core_size, 2);
+        assert_fully_valid(&SinklessOrientation::new(2), &g, &rec.labels);
+    }
+
+    #[test]
+    fn sinkless_whole_graph_residue_uses_a_cycle() {
+        // Everything crashed: the residue is the whole cycle, no frozen
+        // boundary at all — the finisher must find and orient a cycle.
+        let g = gen::cycle(9);
+        let partial: Vec<Option<Orientation>> = vec![None; 9];
+        let rec = recover(
+            &SinklessOrientation::new(2),
+            &g,
+            &partial,
+            &SinklessFinisher,
+            &RecoveryPolicy::default(),
+        )
+        .unwrap();
+        assert_eq!(rec.core_size, 9);
+        assert_eq!(rec.residue_size, 9);
+        assert_fully_valid(&SinklessOrientation::new(2), &g, &rec.labels);
+    }
+
+    #[test]
+    fn sinkless_tree_component_is_infeasible() {
+        // A path is a tree: with every vertex unlabeled there is no way to
+        // avoid a sink, at any radius. (The *problem* is also undefined on
+        // paths — degrees differ — but the finisher fails first, typed.)
+        let g = gen::path(4);
+        let partial: Vec<Option<Orientation>> = vec![None; 4];
+        let err = recover(
+            &SinklessOrientation::new(2),
+            &g,
+            &partial,
+            &SinklessFinisher,
+            &RecoveryPolicy::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, RecoveryError::Infeasible { .. }));
+        assert!(err.to_string().contains("tree"));
+    }
+
+    #[test]
+    fn mis_restart_repairs_crashed_vertices() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let g = gen::gnp(40, 0.15, &mut rng);
+        let plan = local_model::FaultPlan::sample(&g, &FaultSpec::none().with_crash(0.2, 8), 5);
+        let run = run_sync_faulty(&g, Mode::randomized(3), &Luby::new(), 400, &plan);
+        let partial: Vec<Option<bool>> = run.outcomes.iter().map(|o| o.output().copied()).collect();
+        let rec = recover(
+            &Mis::new(),
+            &g,
+            &partial,
+            &LubyRestartFinisher { seed: 77 },
+            &RecoveryPolicy::default(),
+        )
+        .unwrap();
+        assert_fully_valid(&Mis::new(), &g, &rec.labels);
+    }
+
+    #[test]
+    fn budget_breach_aborts_instead_of_escalating() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let g = gen::gnp(30, 0.2, &mut rng);
+        let partial: Vec<Option<bool>> = vec![None; 30];
+        // A zero-round budget cannot even run Luby's first phase.
+        let err = recover(
+            &Mis::new(),
+            &g,
+            &partial,
+            &LubyRestartFinisher { seed: 1 },
+            &RecoveryPolicy {
+                max_radius: 3,
+                budget: Budget::rounds(0),
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, RecoveryError::Budget { attempt: 1, .. }));
+    }
+
+    #[test]
+    fn sinkless_repair_pipeline_end_to_end() {
+        // The E12/E13 shape: run the sinkless repair algorithm under crashes,
+        // then recover the survivors' partial orientation to a complete one.
+        let mut rng = StdRng::seed_from_u64(0xE13);
+        let g = gen::random_regular(30, 3, &mut rng).expect("feasible");
+        let plan = local_model::FaultPlan::sample(&g, &FaultSpec::none().with_crash(0.1, 20), 9);
+        let run = run_sync_faulty(
+            &g,
+            Mode::randomized(21),
+            &SinklessRepair { phases: 20 },
+            46,
+            &plan,
+        );
+        let partial: Vec<Option<Orientation>> =
+            run.outcomes.iter().map(|o| o.output().cloned()).collect();
+        let rec = recover(
+            &SinklessOrientation::new(3),
+            &g,
+            &partial,
+            &SinklessFinisher,
+            &RecoveryPolicy::default(),
+        )
+        .unwrap();
+        assert!(rec.attempts <= 3);
+        assert_fully_valid(&SinklessOrientation::new(3), &g, &rec.labels);
+    }
+
+    #[test]
+    fn exhaustion_reports_attempts_and_violations() {
+        struct Hopeless;
+        impl Finisher<VertexColoring> for Hopeless {
+            fn finish(
+                &self,
+                _g: &Graph,
+                residue: &Residue,
+                _partial: &[Option<usize>],
+                _budget: &Budget,
+                _attempt: u32,
+            ) -> Result<Finish<usize>, RecoveryError> {
+                // Monochrome: always invalid on an edgeful residue.
+                Ok(Finish {
+                    labels: vec![0; residue.len()],
+                    rounds: 0,
+                })
+            }
+        }
+        let g = gen::cycle(6);
+        let partial: Vec<Option<usize>> = vec![None; 6];
+        let err = recover(
+            &VertexColoring::new(3),
+            &g,
+            &partial,
+            &Hopeless,
+            &RecoveryPolicy::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            RecoveryError::Exhausted {
+                attempts: 3,
+                max_radius: 3,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn cut_vertices_recover_too() {
+        // Cut a run early so some vertices are Cut (not Crashed); recovery
+        // treats both the same.
+        let g = gen::cycle(8);
+        let run = run_sync_faulty(&g, Mode::randomized(5), &Luby::new(), 1, &FaultPlan::none());
+        assert!(run.outcomes.iter().any(Outcome::is_cut));
+        let partial: Vec<Option<bool>> = run.outcomes.iter().map(|o| o.output().copied()).collect();
+        let rec = recover(
+            &Mis::new(),
+            &g,
+            &partial,
+            &LubyRestartFinisher { seed: 8 },
+            &RecoveryPolicy::default(),
+        )
+        .unwrap();
+        assert_fully_valid(&Mis::new(), &g, &rec.labels);
+    }
+}

@@ -15,8 +15,8 @@
 
 use local_graphs::{Graph, PortId};
 use local_model::{
-    Action, Engine, FaultPlan, GlobalParams, Mode, NodeInit, NodeIo, NodeProgram, Outcome,
-    Protocol, SimError,
+    Action, Breach, Budget, Engine, FaultPlan, GlobalParams, Mode, NodeInit, NodeIo, NodeProgram,
+    Outcome, Protocol, SimError,
 };
 use rand::RngCore;
 
@@ -277,6 +277,8 @@ pub struct FaultySyncOutcome<O> {
     pub dropped: u64,
     /// Messages deferred one round by delay faults.
     pub delayed: u64,
+    /// Which budget axis cut the run, if any.
+    pub breach: Option<Breach>,
 }
 
 impl<O> FaultySyncOutcome<O> {
@@ -421,6 +423,21 @@ pub fn run_sync_faulty<A: SyncAlgorithm>(
     max_rounds: u32,
     faults: &FaultPlan,
 ) -> FaultySyncOutcome<A::Output> {
+    run_sync_faulty_budgeted(g, mode, algo, &Budget::rounds(max_rounds), faults)
+}
+
+/// [`run_sync_faulty`] under a full watchdog [`Budget`]: `max_rounds` counts
+/// algorithmic rounds as before, and the optional message and wall-clock caps
+/// are enforced by the engine between sweeps. A vertex still undecided when
+/// any axis breaches is reported as [`Outcome::Cut`], with the breach kind on
+/// the outcome ([`FaultySyncOutcome::breach`]).
+pub fn run_sync_faulty_budgeted<A: SyncAlgorithm>(
+    g: &Graph,
+    mode: Mode,
+    algo: &A,
+    budget: &Budget,
+    faults: &FaultPlan,
+) -> FaultySyncOutcome<A::Output> {
     let params = GlobalParams::from_graph(g);
     let ids: Option<Vec<u64>> = match &mode {
         Mode::Deterministic { ids } => Some(ids.assign(g)),
@@ -447,9 +464,13 @@ pub fn run_sync_faulty<A: SyncAlgorithm>(
         back_ports,
         init_states,
     };
+    let engine_budget = Budget {
+        max_rounds: budget.max_rounds.saturating_add(2),
+        ..*budget
+    };
     let run = Engine::new(g, mode)
         .with_params(params)
-        .with_max_rounds(max_rounds.saturating_add(2))
+        .with_budget(engine_budget)
         .run_faulty(&protocol, faults);
     FaultySyncOutcome {
         outcomes: run
@@ -471,6 +492,7 @@ pub fn run_sync_faulty<A: SyncAlgorithm>(
         messages: run.stats.messages_sent,
         dropped: run.dropped,
         delayed: run.delayed,
+        breach: run.breach,
     }
 }
 

@@ -5,6 +5,7 @@ use local_separation::experiments::a1_ablation as a1;
 
 fn main() {
     let cli = Cli::parse();
+    cli.reject_checkpoint("A1");
     cli.banner(
         "A1",
         "Theorem 10 constants: growth K and palette margin ablation",

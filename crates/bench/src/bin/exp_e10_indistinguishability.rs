@@ -5,6 +5,7 @@ use local_separation::experiments::e10_indistinguishability as e10;
 
 fn main() {
     let cli = Cli::parse();
+    cli.reject_checkpoint("E10");
     cli.banner(
         "E10",
         "below half the girth, a Δ-regular graph has ONE radius-t view = the tree's",

@@ -5,6 +5,7 @@ use local_separation::experiments::e11_dichotomy as e11;
 
 fn main() {
     let cli = Cli::parse();
+    cli.reject_checkpoint("E11");
     cli.banner(
         "E11",
         "Δ = 2: every LCL is O(log* n) or Ω(n) — both sides measured",

@@ -20,7 +20,8 @@ fn main() {
     if let Some(s) = cli.seed {
         cfg.master_seed = s;
     }
-    let out = e12::run(&cfg);
+    let checkpoint = cli.open_checkpoint();
+    let out = e12::run_checkpointed(&cfg, checkpoint.as_ref());
     if cli.json {
         cli.emit_json("E12", out.rows.as_slice());
         return;

@@ -1,0 +1,27 @@
+//! E13: self-healing — recovering faulty runs to complete valid labelings.
+
+use local_bench::Cli;
+use local_separation::experiments::e13_recovery as e13;
+
+fn main() {
+    let cli = Cli::parse();
+    cli.banner("E13", "recovery of faulty runs to complete valid labelings");
+    let mut cfg = if cli.full {
+        e13::Config::full()
+    } else {
+        e13::Config::quick()
+    };
+    if let Some(t) = cli.trials {
+        cfg.trials = t;
+    }
+    if let Some(s) = cli.seed {
+        cfg.master_seed = s;
+    }
+    let checkpoint = cli.open_checkpoint();
+    let out = e13::run_checkpointed(&cfg, checkpoint.as_ref());
+    if cli.json {
+        cli.emit_json("E13", out.rows.as_slice());
+        return;
+    }
+    println!("{}", e13::table(&out));
+}

@@ -6,6 +6,7 @@ use local_separation::experiments::e1_separation as e1;
 
 fn main() {
     let cli = Cli::parse();
+    cli.reject_checkpoint("E1");
     cli.banner(
         "E1",
         "tree Δ-coloring: Det Θ(log_Δ n) vs Rand O(log_Δ log n + log* n)",

@@ -5,6 +5,7 @@ use local_separation::experiments::e2_shattering as e2;
 
 fn main() {
     let cli = Cli::parse();
+    cli.reject_checkpoint("E2");
     cli.banner("E2", "bad components after Phase 1 are O(Δ⁴ log n)");
     let mut cfg = if cli.full {
         e2::Config::full()

@@ -5,6 +5,7 @@ use local_separation::experiments::e3_theorem11 as e3;
 
 fn main() {
     let cli = Cli::parse();
+    cli.reject_checkpoint("E3");
     cli.banner(
         "E3",
         "Theorem 11 profile: setup/phase rounds and S components",

@@ -5,6 +5,7 @@ use local_separation::experiments::e4_zero_round as e4;
 
 fn main() {
     let cli = Cli::parse();
+    cli.reject_checkpoint("E4");
     cli.banner(
         "E4",
         "every 0-round sinkless coloring fails with prob ≥ 1/Δ²",

@@ -5,6 +5,7 @@ use local_separation::experiments::e5_truncation as e5;
 
 fn main() {
     let cli = Cli::parse();
+    cli.reject_checkpoint("E5");
     cli.banner(
         "E5",
         "sink probability vs round budget (round elimination, run forward)",

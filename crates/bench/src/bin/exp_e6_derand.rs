@@ -5,6 +5,7 @@ use local_separation::experiments::e6_derand as e6;
 
 fn main() {
     let cli = Cli::parse();
+    cli.reject_checkpoint("E6");
     cli.banner(
         "E6",
         "Det(n, Δ) ≤ Rand(2^(n²), Δ), machine-verified at toy scale",

@@ -5,6 +5,7 @@ use local_separation::experiments::e7_speedup as e7;
 
 fn main() {
     let cli = Cli::parse();
+    cli.reject_checkpoint("E7");
     cli.banner(
         "E7",
         "greedy-by-ID coloring: Θ(n) before, O(log* n + poly Δ) after",

@@ -13,6 +13,7 @@ struct Sections {
 
 fn main() {
     let cli = Cli::parse();
+    cli.reject_checkpoint("E8");
     cli.banner(
         "E8",
         "one-round palette shrink and O(log* n) convergence to β·Δ²",

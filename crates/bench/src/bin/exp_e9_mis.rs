@@ -5,6 +5,7 @@ use local_separation::experiments::e9_mis as e9;
 
 fn main() {
     let cli = Cli::parse();
+    cli.reject_checkpoint("E9");
     cli.banner(
         "E9",
         "MIS: Luby Θ(log n) vs Det O(Δ²+log* n) vs Ghaffari shattering",

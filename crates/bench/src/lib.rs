@@ -5,13 +5,18 @@
 //! sweep runs), `--json` emits the measured rows as a machine-readable
 //! [`TrialReport`] envelope instead of the human tables, and `--trials N` /
 //! `--seed N` override the configuration's batch size and master seed where
-//! the experiment has those knobs. Unknown flags and malformed values print
-//! the usage and exit nonzero, so a typo never silently runs the default
-//! sweep.
+//! the experiment has those knobs. `--checkpoint PATH` makes sweeps that
+//! support it resumable: finished trials are appended to a JSON-lines store
+//! as they complete, and a rerun with the same seed and path skips them (a
+//! binary without checkpoint support rejects the flag with exit status 2
+//! rather than silently dropping resumability). Unknown flags and malformed
+//! values print the usage and exit nonzero, so a typo never silently runs
+//! the default sweep.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use local_separation::checkpoint::Checkpoint;
 use local_separation::trials::TrialReport;
 use serde::Serialize;
 
@@ -26,6 +31,8 @@ pub struct Cli {
     pub trials: Option<u64>,
     /// Override for the experiment's master seed.
     pub seed: Option<u64>,
+    /// Path of the JSON-lines checkpoint store (`--checkpoint`).
+    pub checkpoint: Option<String>,
 }
 
 /// Why parsing failed (or stopped): carried by [`Cli::try_parse`].
@@ -38,7 +45,7 @@ pub enum CliError {
 }
 
 fn usage(program: &str) -> String {
-    format!("usage: {program} [--full] [--json] [--trials N] [--seed N]")
+    format!("usage: {program} [--full] [--json] [--trials N] [--seed N] [--checkpoint PATH]")
 }
 
 impl Cli {
@@ -80,11 +87,16 @@ impl Cli {
                 "--json" => cli.json = true,
                 "--trials" => cli.trials = Some(parse_count("--trials", args.next())?),
                 "--seed" => cli.seed = Some(parse_count("--seed", args.next())?),
+                "--checkpoint" => {
+                    cli.checkpoint = Some(parse_path("--checkpoint", args.next())?);
+                }
                 other => {
                     if let Some(v) = other.strip_prefix("--trials=") {
                         cli.trials = Some(parse_count("--trials", Some(v.to_string()))?);
                     } else if let Some(v) = other.strip_prefix("--seed=") {
                         cli.seed = Some(parse_count("--seed", Some(v.to_string()))?);
+                    } else if let Some(v) = other.strip_prefix("--checkpoint=") {
+                        cli.checkpoint = Some(parse_path("--checkpoint", Some(v.to_string()))?);
                     } else {
                         return Err(CliError::Bad(format!("unknown argument `{other}`")));
                     }
@@ -121,6 +133,35 @@ impl Cli {
         println!();
     }
 
+    /// Open the checkpoint store named by `--checkpoint`, or `None` when the
+    /// flag was not given. For binaries whose experiment supports resume.
+    ///
+    /// Exits with status 2 if the file cannot be opened — a sweep that
+    /// cannot persist its progress should not pretend to be resumable.
+    pub fn open_checkpoint(&self) -> Option<Checkpoint> {
+        let path = self.checkpoint.as_deref()?;
+        match Checkpoint::open(path) {
+            Ok(ckpt) => Some(ckpt),
+            Err(err) => {
+                eprintln!("error: cannot open checkpoint `{path}`: {err}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// Reject `--checkpoint` for a binary whose experiment has no resumable
+    /// trial loop, with a message naming the experiment; exits with status 2.
+    /// Silently accepting the flag would let a user believe a killed sweep
+    /// is resumable when it is not.
+    pub fn reject_checkpoint(&self, experiment: &str) {
+        if self.checkpoint.is_some() {
+            eprintln!(
+                "error: {experiment} does not support --checkpoint (no resumable trial loop)"
+            );
+            std::process::exit(2);
+        }
+    }
+
     /// Print the experiment's measured rows as the standard JSON envelope.
     pub fn emit_json<R: Serialize + ?Sized>(&self, experiment: &str, rows: &R) {
         println!(
@@ -133,6 +174,14 @@ impl Cli {
             .to_json()
         );
     }
+}
+
+fn parse_path(flag: &str, value: Option<String>) -> Result<String, CliError> {
+    let value = value.ok_or_else(|| CliError::Bad(format!("{flag} requires a path")))?;
+    if value.is_empty() {
+        return Err(CliError::Bad(format!("{flag} requires a non-empty path")));
+    }
+    Ok(value)
 }
 
 fn parse_count(flag: &str, value: Option<String>) -> Result<u64, CliError> {
@@ -183,6 +232,27 @@ mod tests {
         ));
         assert!(matches!(parse(&["--seed", "-3"]), Err(CliError::Bad(_))));
         assert!(matches!(parse(&["--seed=1.5"]), Err(CliError::Bad(_))));
+    }
+
+    #[test]
+    fn checkpoint_path_parses_in_both_spellings() {
+        let cli = parse(&["--checkpoint", "sweep.ckpt"]).unwrap();
+        assert_eq!(cli.checkpoint.as_deref(), Some("sweep.ckpt"));
+        let cli = parse(&["--checkpoint=out/e13.jsonl", "--json"]).unwrap();
+        assert_eq!(cli.checkpoint.as_deref(), Some("out/e13.jsonl"));
+        assert!(cli.json);
+        assert_eq!(parse(&[]).unwrap().checkpoint, None);
+    }
+
+    #[test]
+    fn checkpoint_without_a_path_is_an_error() {
+        assert!(matches!(parse(&["--checkpoint"]), Err(CliError::Bad(_))));
+        assert!(matches!(parse(&["--checkpoint="]), Err(CliError::Bad(_))));
+    }
+
+    #[test]
+    fn open_checkpoint_absent_is_none() {
+        assert!(Cli::default().open_checkpoint().is_none());
     }
 
     #[test]

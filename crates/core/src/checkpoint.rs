@@ -1,0 +1,251 @@
+//! JSON-lines checkpoint store for resumable experiment sweeps.
+//!
+//! A [`Checkpoint`] is an append-only file of one JSON object per line,
+//! `{"scope": ..., "index": ..., "value": ...}`, recording the result of
+//! each finished trial. An interrupted sweep rerun with the same seed and
+//! `--checkpoint` path reloads the file, skips every trial it already holds,
+//! and recomputes only the rest — so the final `--json` report is
+//! byte-identical to an uninterrupted run (provided the recorded values
+//! round-trip exactly; keep them integer- and string-valued).
+//!
+//! The store tolerates a torn final line: a process killed mid-append leaves
+//! a truncated record, which [`Checkpoint::open`] silently drops (that trial
+//! is simply recomputed). Every complete line is flushed before
+//! [`Checkpoint::record`] returns, so at most one in-flight record can ever
+//! be lost.
+//!
+//! The `scope` string namespaces trial indices: experiments embed the
+//! workload and grid coordinates (and the master seed) so that resuming with
+//! different parameters never reuses stale results.
+
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+use serde::Value;
+
+/// An append-only JSON-lines store of per-trial results, safe to share
+/// across rayon workers.
+#[derive(Debug)]
+pub struct Checkpoint {
+    path: PathBuf,
+    inner: Mutex<Inner>,
+}
+
+#[derive(Debug)]
+struct Inner {
+    entries: HashMap<(String, u64), Value>,
+    writer: BufWriter<File>,
+}
+
+impl Checkpoint {
+    /// Open (or create) the checkpoint file at `path`, loading every intact
+    /// record already present.
+    ///
+    /// Malformed lines — a torn final line after a kill, or stray garbage —
+    /// are skipped, not errors: the corresponding trials are recomputed. A
+    /// later record for the same `(scope, index)` supersedes an earlier one.
+    ///
+    /// # Errors
+    ///
+    /// [`std::io::Error`] if the file cannot be read or opened for append.
+    pub fn open<P: AsRef<Path>>(path: P) -> std::io::Result<Checkpoint> {
+        use std::io::{Read, Seek, SeekFrom};
+
+        let path = path.as_ref().to_path_buf();
+        let mut entries = HashMap::new();
+        // A killed writer can leave the file without a trailing newline; a
+        // fresh append would then glue onto the torn fragment and corrupt
+        // the new record too. Detect that and terminate the torn line first.
+        let mut needs_newline = false;
+        match File::open(&path) {
+            Ok(mut file) => {
+                if file.metadata()?.len() > 0 {
+                    file.seek(SeekFrom::End(-1))?;
+                    let mut last = [0u8; 1];
+                    file.read_exact(&mut last)?;
+                    needs_newline = last[0] != b'\n';
+                    file.seek(SeekFrom::Start(0))?;
+                }
+                for line in BufReader::new(file).lines() {
+                    let line = line?;
+                    if let Some((scope, index, value)) = parse_line(&line) {
+                        entries.insert((scope, index), value);
+                    }
+                }
+            }
+            Err(err) if err.kind() == std::io::ErrorKind::NotFound => {}
+            Err(err) => return Err(err),
+        }
+        let file = OpenOptions::new().create(true).append(true).open(&path)?;
+        let mut writer = BufWriter::new(file);
+        if needs_newline {
+            writer.write_all(b"\n")?;
+            writer.flush()?;
+        }
+        Ok(Checkpoint {
+            path,
+            inner: Mutex::new(Inner { entries, writer }),
+        })
+    }
+
+    /// The path this store appends to.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Number of loaded + recorded entries.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("checkpoint lock").entries.len()
+    }
+
+    /// Is the store empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The recorded value for trial `index` of `scope`, if present.
+    pub fn lookup(&self, scope: &str, index: u64) -> Option<Value> {
+        self.inner
+            .lock()
+            .expect("checkpoint lock")
+            .entries
+            .get(&(scope.to_string(), index))
+            .cloned()
+    }
+
+    /// Append one record and flush it to disk before returning, so a kill
+    /// after `record` never loses the trial.
+    ///
+    /// # Errors
+    ///
+    /// [`std::io::Error`] if the append or flush fails.
+    pub fn record(&self, scope: &str, index: u64, value: Value) -> std::io::Result<()> {
+        let line = serde_json::to_string(&Value::Object(vec![
+            ("scope".to_string(), Value::String(scope.to_string())),
+            ("index".to_string(), Value::U64(index)),
+            ("value".to_string(), value.clone()),
+        ]))
+        .expect("checkpoint records serialize infallibly");
+        let mut inner = self.inner.lock().expect("checkpoint lock");
+        inner.writer.write_all(line.as_bytes())?;
+        inner.writer.write_all(b"\n")?;
+        inner.writer.flush()?;
+        inner.entries.insert((scope.to_string(), index), value);
+        Ok(())
+    }
+}
+
+/// Parse one checkpoint line; `None` for anything malformed (torn tail,
+/// wrong shape).
+fn parse_line(line: &str) -> Option<(String, u64, Value)> {
+    if line.trim().is_empty() {
+        return None;
+    }
+    let v: Value = serde_json::from_str(line).ok()?;
+    let scope = v.get("scope")?.as_str().ok()?.to_string();
+    let index = match v.get("index")? {
+        Value::U64(i) => *i,
+        _ => return None,
+    };
+    let value = v.get("value")?.clone();
+    Some((scope, index, value))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(tag: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!(
+            "lcl-checkpoint-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        p
+    }
+
+    #[test]
+    fn record_then_reopen_round_trips() {
+        let path = temp_path("roundtrip");
+        let _ = std::fs::remove_file(&path);
+        {
+            let ckpt = Checkpoint::open(&path).expect("open");
+            assert!(ckpt.is_empty());
+            ckpt.record("e13/drop=0.1", 0, Value::U64(7)).expect("rec");
+            ckpt.record("e13/drop=0.1", 2, Value::Bool(true))
+                .expect("rec");
+            ckpt.record("e13/drop=0.2", 0, Value::String("x".into()))
+                .expect("rec");
+            assert_eq!(ckpt.len(), 3);
+            assert_eq!(ckpt.lookup("e13/drop=0.1", 0), Some(Value::U64(7)));
+        }
+        let again = Checkpoint::open(&path).expect("reopen");
+        assert_eq!(again.len(), 3);
+        assert_eq!(again.lookup("e13/drop=0.1", 0), Some(Value::U64(7)));
+        assert_eq!(again.lookup("e13/drop=0.1", 2), Some(Value::Bool(true)));
+        assert_eq!(
+            again.lookup("e13/drop=0.2", 0),
+            Some(Value::String("x".into()))
+        );
+        assert_eq!(again.lookup("e13/drop=0.1", 1), None);
+        assert_eq!(again.lookup("other", 0), None);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn torn_final_line_is_dropped_not_fatal() {
+        let path = temp_path("torn");
+        let _ = std::fs::remove_file(&path);
+        {
+            let ckpt = Checkpoint::open(&path).expect("open");
+            ckpt.record("s", 0, Value::U64(1)).expect("rec");
+            ckpt.record("s", 1, Value::U64(2)).expect("rec");
+        }
+        // Simulate a SIGKILL mid-append: truncate the last line.
+        let text = std::fs::read_to_string(&path).expect("read");
+        let cut = text.len() - 8;
+        std::fs::write(&path, &text[..cut]).expect("truncate");
+        let ckpt = Checkpoint::open(&path).expect("reopen survives torn tail");
+        assert_eq!(ckpt.lookup("s", 0), Some(Value::U64(1)));
+        assert_eq!(ckpt.lookup("s", 1), None, "torn record is recomputed");
+        // The store keeps accepting appends after the torn line.
+        ckpt.record("s", 1, Value::U64(3)).expect("rec");
+        drop(ckpt);
+        let again = Checkpoint::open(&path).expect("reopen");
+        assert_eq!(again.lookup("s", 1), Some(Value::U64(3)));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn later_duplicate_record_wins() {
+        let path = temp_path("dup");
+        let _ = std::fs::remove_file(&path);
+        {
+            let ckpt = Checkpoint::open(&path).expect("open");
+            ckpt.record("s", 5, Value::U64(10)).expect("rec");
+            ckpt.record("s", 5, Value::U64(20)).expect("rec");
+            assert_eq!(ckpt.lookup("s", 5), Some(Value::U64(20)));
+        }
+        let again = Checkpoint::open(&path).expect("reopen");
+        assert_eq!(again.lookup("s", 5), Some(Value::U64(20)));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn garbage_lines_are_skipped() {
+        let path = temp_path("garbage");
+        std::fs::write(
+            &path,
+            "not json\n{\"scope\": \"s\", \"index\": 1, \"value\": 4}\n{\"scope\": 3}\n\n",
+        )
+        .expect("write");
+        let ckpt = Checkpoint::open(&path).expect("open");
+        assert_eq!(ckpt.len(), 1);
+        assert_eq!(ckpt.lookup("s", 1), Some(Value::U64(4)));
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -18,18 +18,24 @@
 //! Each surviving output is scored by the matching LCL verifier over the
 //! vertices whose radius-1 view survived ([`check_partial`]); a silenced
 //! vertex makes its whole neighborhood uncheckable and counts *against*
-//! validity. Trials run through [`TrialPlan::run_isolated`], so a panicking
-//! configuration is recorded as `panicked` instead of taking the sweep down,
-//! and every aggregate folds in trial order — the emitted JSON is
-//! byte-identical regardless of worker-thread count.
+//! validity. Trials run through the isolated trial harness, so a panicking
+//! configuration is recorded as `panicked` (with its panic messages carried
+//! into the JSON report) instead of taking the sweep down, and every
+//! aggregate folds in trial order — the emitted JSON is byte-identical
+//! regardless of worker-thread count. A workload whose graph generator
+//! fails (infeasible parameters, exhausted retries) contributes
+//! grid-shaped rows carrying the typed error instead of panicking the
+//! sweep. [`run_checkpointed`] adds kill-and-resume support through the
+//! [`Checkpoint`] store.
 
+use crate::checkpoint::Checkpoint;
 use crate::report::Table;
 use crate::trials::{TrialOutcome, TrialPlan};
 use local_algorithms::mis::luby::Luby;
 use local_algorithms::orientation::sinkless::SinklessRepair;
 use local_algorithms::tree::theorem10::{theorem10_phase1_faulty, Theorem10Config};
 use local_algorithms::{run_sync_faulty, FaultySyncOutcome};
-use local_graphs::{gen, Graph};
+use local_graphs::{gen, Graph, GraphError};
 use local_lcl::problems::{Mis, Orientation, SinklessOrientation, VertexColoring};
 use local_lcl::{check_partial, PartialValidity};
 use local_model::{FaultPlan, FaultSpec, Mode, Outcome};
@@ -108,6 +114,12 @@ pub struct Row {
     pub trials: u64,
     /// Trials that panicked (isolated; excluded from the other aggregates).
     pub panicked: u64,
+    /// The captured panic payloads, in trial order (empty when nothing
+    /// panicked).
+    pub panic_messages: Vec<String>,
+    /// Set when the workload's graph generator failed: the typed
+    /// [`GraphError`] rendered as text. Such rows carry zeroed aggregates.
+    pub error: Option<String>,
     /// Per-vertex fates summed over completed trials.
     pub outcomes: OutcomeCounts,
     /// Fraction of vertices that were both checkable and acceptable
@@ -126,7 +138,20 @@ pub struct Outcome12 {
     pub rows: Vec<Row>,
 }
 
+impl Outcome12 {
+    /// The row of one grid point, if measured.
+    pub fn get(&self, workload: &str, drop_p: f64, crash_p: f64) -> Option<&Row> {
+        self.rows
+            .iter()
+            .find(|r| r.workload == workload && r.drop_p == drop_p && r.crash_p == crash_p)
+    }
+}
+
 /// What one completed trial contributes to its grid point.
+///
+/// Integer-only so checkpointed records round-trip exactly and a resumed
+/// sweep reproduces the uninterrupted JSON byte-for-byte.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 struct TrialRecord {
     halted: usize,
     crashed: usize,
@@ -174,18 +199,19 @@ struct Workload<'a> {
     run: Runner<'a>,
 }
 
-fn workloads(cfg: &Config) -> Vec<Workload<'static>> {
+/// Build the three workloads. A failing graph generator yields
+/// `Err((name, error))` for its slot instead of panicking — the sweep turns
+/// that into grid-shaped error rows.
+fn workloads(cfg: &Config) -> Vec<Result<Workload<'static>, (&'static str, GraphError)>> {
     let mut rng = StdRng::seed_from_u64(0xE12F);
     let tree = gen::random_tree_max_degree(cfg.tree_n, TREE_DELTA, &mut rng);
-    let cubic = gen::random_regular(cfg.sinkless_n, SINKLESS_DELTA, &mut rng)
-        .expect("feasible 3-regular parameters");
-    let quartic =
-        gen::random_regular(cfg.mis_n, MIS_DELTA, &mut rng).expect("feasible 4-regular parameters");
+    let cubic = gen::random_regular(cfg.sinkless_n, SINKLESS_DELTA, &mut rng);
+    let quartic = gen::random_regular(cfg.mis_n, MIS_DELTA, &mut rng);
 
     let tree_budget = 2 * Theorem10Config::default().schedule(TREE_DELTA).len() as u32 + 4;
     let reserved = (TREE_DELTA as f64).sqrt().ceil() as usize;
     vec![
-        Workload {
+        Ok(Workload {
             name: "tree-coloring",
             graph: tree,
             crash_window: tree_budget,
@@ -205,10 +231,10 @@ fn workloads(cfg: &Config) -> Vec<Workload<'static>> {
                 let pv = check_partial(&VertexColoring::new(TREE_DELTA - reserved), g, &labels);
                 record(&out, &pv)
             }),
-        },
-        Workload {
+        }),
+        cubic.map_err(|e| ("sinkless", e)).map(|graph| Workload {
             name: "sinkless",
-            graph: cubic,
+            graph,
             crash_window: 2 * SINKLESS_PHASES + 6,
             run: Box::new(|g, seed, plan| {
                 let algo = SinklessRepair {
@@ -225,10 +251,10 @@ fn workloads(cfg: &Config) -> Vec<Workload<'static>> {
                 let pv = check_partial(&SinklessOrientation::new(SINKLESS_DELTA), g, &labels);
                 record(&out, &pv)
             }),
-        },
-        Workload {
+        }),
+        quartic.map_err(|e| ("mis", e)).map(|graph| Workload {
             name: "mis",
-            graph: quartic,
+            graph,
             crash_window: MIS_BUDGET,
             run: Box::new(|g, seed, plan| {
                 let out =
@@ -237,70 +263,141 @@ fn workloads(cfg: &Config) -> Vec<Workload<'static>> {
                 let pv = check_partial(&Mis::new(), g, &labels);
                 record(&out, &pv)
             }),
-        },
+        }),
     ]
+}
+
+/// The checkpoint scope of one grid point: everything a trial's result
+/// depends on besides its index, so resuming with changed parameters never
+/// reuses stale records.
+fn scope(experiment: &str, cfg: &Config, workload: &str, drop_p: f64, crash_p: f64) -> String {
+    format!(
+        "{experiment}/{workload}/tree_n={}/sinkless_n={}/mis_n={}/drop={drop_p}/crash={crash_p}/seed={}",
+        cfg.tree_n, cfg.sinkless_n, cfg.mis_n, cfg.master_seed
+    )
+}
+
+/// Fold one grid point's trial outcomes into a [`Row`].
+fn fold_row(
+    workload: &str,
+    drop_p: f64,
+    crash_p: f64,
+    trials: u64,
+    outcomes: Vec<TrialOutcome<TrialRecord>>,
+) -> Row {
+    let mut panicked = 0u64;
+    let mut panic_messages = Vec::new();
+    let mut counts = OutcomeCounts {
+        halted: 0,
+        crashed: 0,
+        cut: 0,
+    };
+    let mut valid = 0u64;
+    let mut scored = 0u64;
+    let mut completed = 0u64;
+    let mut rounds_total = 0u64;
+    let mut rounds_max = 0u32;
+    for outcome in outcomes {
+        match outcome {
+            TrialOutcome::Panicked { message } => {
+                panicked += 1;
+                panic_messages.push(message);
+            }
+            TrialOutcome::Ok(r) => {
+                completed += 1;
+                counts.halted += r.halted as u64;
+                counts.crashed += r.crashed as u64;
+                counts.cut += r.cut as u64;
+                valid += r.valid as u64;
+                scored += (r.checked + r.skipped) as u64;
+                rounds_total += u64::from(r.max_round);
+                rounds_max = rounds_max.max(r.max_round);
+            }
+        }
+    }
+    Row {
+        workload: workload.to_string(),
+        drop_p,
+        crash_p,
+        trials,
+        panicked,
+        panic_messages,
+        error: None,
+        outcomes: counts,
+        validity_rate: if scored == 0 {
+            0.0
+        } else {
+            valid as f64 / scored as f64
+        },
+        rounds_mean: if completed == 0 {
+            0.0
+        } else {
+            rounds_total as f64 / completed as f64
+        },
+        rounds_max,
+    }
+}
+
+/// A grid point whose workload failed to construct: zeroed aggregates plus
+/// the typed error, so the JSON report shows *why* the numbers are missing.
+fn error_row(workload: &str, drop_p: f64, crash_p: f64, err: &GraphError) -> Row {
+    Row {
+        workload: workload.to_string(),
+        drop_p,
+        crash_p,
+        trials: 0,
+        panicked: 0,
+        panic_messages: Vec::new(),
+        error: Some(err.to_string()),
+        outcomes: OutcomeCounts {
+            halted: 0,
+            crashed: 0,
+            cut: 0,
+        },
+        validity_rate: 0.0,
+        rounds_mean: 0.0,
+        rounds_max: 0,
+    }
 }
 
 /// Run the sweep.
 pub fn run(cfg: &Config) -> Outcome12 {
-    let mut rows = Vec::new();
-    for w in workloads(cfg) {
-        for &drop_p in &cfg.drop_ps {
-            for &crash_p in &cfg.crash_ps {
-                let spec = FaultSpec::none()
-                    .with_drop(drop_p)
-                    .with_crash(crash_p, w.crash_window);
-                let plan = TrialPlan::new(cfg.trials, cfg.master_seed);
-                let outcomes = plan.run_isolated(|trial| {
-                    let faults = FaultPlan::sample(&w.graph, &spec, trial.seed);
-                    (w.run)(&w.graph, trial.seed, &faults)
-                });
+    run_checkpointed(cfg, None)
+}
 
-                let mut panicked = 0u64;
-                let mut counts = OutcomeCounts {
-                    halted: 0,
-                    crashed: 0,
-                    cut: 0,
-                };
-                let mut valid = 0u64;
-                let mut scored = 0u64;
-                let mut completed = 0u64;
-                let mut rounds_total = 0u64;
-                let mut rounds_max = 0u32;
-                for outcome in outcomes {
-                    match outcome {
-                        TrialOutcome::Panicked { .. } => panicked += 1,
-                        TrialOutcome::Ok(r) => {
-                            completed += 1;
-                            counts.halted += r.halted as u64;
-                            counts.crashed += r.crashed as u64;
-                            counts.cut += r.cut as u64;
-                            valid += r.valid as u64;
-                            scored += (r.checked + r.skipped) as u64;
-                            rounds_total += u64::from(r.max_round);
-                            rounds_max = rounds_max.max(r.max_round);
-                        }
+/// [`run`] with optional checkpoint/resume: completed trials found in the
+/// store are replayed instead of re-executed, and fresh ones are appended,
+/// so a killed sweep rerun with the same configuration and checkpoint path
+/// finishes the remaining work and emits identical rows.
+pub fn run_checkpointed(cfg: &Config, checkpoint: Option<&Checkpoint>) -> Outcome12 {
+    let mut rows = Vec::new();
+    for slot in workloads(cfg) {
+        match slot {
+            Err((name, err)) => {
+                for &drop_p in &cfg.drop_ps {
+                    for &crash_p in &cfg.crash_ps {
+                        rows.push(error_row(name, drop_p, crash_p, &err));
                     }
                 }
-                rows.push(Row {
-                    workload: w.name.to_string(),
-                    drop_p,
-                    crash_p,
-                    trials: cfg.trials,
-                    panicked,
-                    outcomes: counts,
-                    validity_rate: if scored == 0 {
-                        0.0
-                    } else {
-                        valid as f64 / scored as f64
-                    },
-                    rounds_mean: if completed == 0 {
-                        0.0
-                    } else {
-                        rounds_total as f64 / completed as f64
-                    },
-                    rounds_max,
-                });
+            }
+            Ok(w) => {
+                for &drop_p in &cfg.drop_ps {
+                    for &crash_p in &cfg.crash_ps {
+                        let spec = FaultSpec::none()
+                            .with_drop(drop_p)
+                            .with_crash(crash_p, w.crash_window);
+                        let plan = TrialPlan::new(cfg.trials, cfg.master_seed);
+                        let scope = scope("e12", cfg, w.name, drop_p, crash_p);
+                        let outcomes = plan.run_isolated_checkpointed(
+                            checkpoint.map(|c| (c, scope.as_str())),
+                            |trial| {
+                                let faults = FaultPlan::sample(&w.graph, &spec, trial.seed);
+                                (w.run)(&w.graph, trial.seed, &faults)
+                            },
+                        );
+                        rows.push(fold_row(w.name, drop_p, crash_p, cfg.trials, outcomes));
+                    }
+                }
             }
         }
     }
@@ -316,6 +413,13 @@ pub fn table(out: &Outcome12) -> Table {
         ],
     );
     for r in &out.rows {
+        let (validity, rounds) = match &r.error {
+            Some(_) => ("error".to_string(), "-".to_string()),
+            None => (
+                format!("{:.3}", r.validity_rate),
+                format!("{:.1}", r.rounds_mean),
+            ),
+        };
         t.push(vec![
             r.workload.clone(),
             format!("{:.2}", r.drop_p),
@@ -324,8 +428,8 @@ pub fn table(out: &Outcome12) -> Table {
             r.outcomes.crashed.to_string(),
             r.outcomes.cut.to_string(),
             r.panicked.to_string(),
-            format!("{:.3}", r.validity_rate),
-            format!("{:.1}", r.rounds_mean),
+            validity,
+            rounds,
         ]);
     }
     t
@@ -363,10 +467,8 @@ mod tests {
         // Fault-free baselines dominate the heavily-faulted points.
         for w in ["tree-coloring", "sinkless", "mis"] {
             let rate = |d: f64, c: f64| {
-                out.rows
-                    .iter()
-                    .find(|r| r.workload == w && r.drop_p == d && r.crash_p == c)
-                    .expect("grid point present")
+                out.get(w, d, c)
+                    .unwrap_or_else(|| panic!("{w}: grid point ({d}, {c}) missing"))
                     .validity_rate
             };
             let clean = rate(0.0, 0.0);
@@ -387,16 +489,63 @@ mod tests {
     }
 
     #[test]
-    fn sweep_is_deterministic() {
+    fn sweep_is_deterministic_and_checkpoint_replay_matches() {
+        let mut path = std::env::temp_dir();
+        path.push(format!("lcl-e12-ckpt-{}", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+
         let cfg = tiny();
         let a = run(&cfg);
-        let b = run(&cfg);
-        for (x, y) in a.rows.iter().zip(&b.rows) {
-            assert_eq!(x.workload, y.workload);
-            assert_eq!(x.outcomes, y.outcomes);
-            assert_eq!(x.validity_rate, y.validity_rate);
-            assert_eq!(x.rounds_mean, y.rounds_mean);
-            assert_eq!(x.rounds_max, y.rounds_max);
+        // First checkpointed run records every trial; the second replays
+        // them all from the file without recomputation. All three must
+        // agree field-for-field.
+        let b = {
+            let ckpt = Checkpoint::open(&path).expect("open checkpoint");
+            run_checkpointed(&cfg, Some(&ckpt))
+        };
+        let c = {
+            let ckpt = Checkpoint::open(&path).expect("reopen checkpoint");
+            run_checkpointed(&cfg, Some(&ckpt))
+        };
+        for (x, y) in a.rows.iter().zip(b.rows.iter().zip(&c.rows)) {
+            for y in [y.0, y.1] {
+                assert_eq!(x.workload, y.workload);
+                assert_eq!(x.outcomes, y.outcomes);
+                assert_eq!(x.validity_rate, y.validity_rate);
+                assert_eq!(x.rounds_mean, y.rounds_mean);
+                assert_eq!(x.rounds_max, y.rounds_max);
+                assert_eq!(x.panic_messages, y.panic_messages);
+            }
         }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn infeasible_generator_parameters_become_error_rows() {
+        // n·d odd for the 3-regular sinkless workload: no such graph.
+        let cfg = Config {
+            sinkless_n: 61,
+            ..tiny()
+        };
+        let out = run(&cfg);
+        assert_eq!(out.rows.len(), 3 * 2 * 2, "error rows keep the grid shape");
+        for r in out.rows.iter().filter(|r| r.workload == "sinkless") {
+            let err = r.error.as_deref().expect("sinkless rows carry the error");
+            assert!(err.contains("infeasible"), "typed error surfaced: {err}");
+            assert_eq!(r.trials, 0);
+            assert_eq!(r.outcomes.halted, 0);
+        }
+        for r in out.rows.iter().filter(|r| r.workload != "sinkless") {
+            assert!(
+                r.error.is_none(),
+                "{}: other workloads still run",
+                r.workload
+            );
+            assert!(r.outcomes.halted > 0);
+        }
+        // The error reaches the JSON report and the text table.
+        let json = serde_json::to_string(&out.rows).expect("rows serialize");
+        assert!(json.contains("infeasible"));
+        assert!(format!("{}", table(&out)).contains("error"));
     }
 }

@@ -1,0 +1,640 @@
+//! E13 — self-healing: recovering faulty runs to complete valid labelings.
+//!
+//! E12 measures how the paper's algorithms *degrade* under the fault plane;
+//! this experiment measures how cheaply the damage is *repaired*. Each trial
+//! reruns an E12-style faulty execution, then hands the surviving partial
+//! labeling to the generic recovery driver
+//! ([`local_algorithms::recover`]): extract the residual subgraph around the
+//! damaged core, run a deterministic finisher on it against the frozen
+//! boundary, splice, and verify with `check_complete` — escalating the
+//! boundary radius 1 → 2 → 3 when the residue is locally infeasible.
+//!
+//! Reported per grid point: the recovery rate (fraction of trials reaching
+//! a *complete valid* labeling), the escalation histogram (how many trials
+//! needed radius 0/1/2/3 — 0 means the faulty run already validated), and
+//! the extra rounds the finisher paid on top of the base run. Workload
+//! construction failures become typed error rows, panics are isolated and
+//! their messages carried into the JSON, and [`run_checkpointed`] adds
+//! kill-and-resume: per-trial records are integer-only, so a resumed sweep
+//! reproduces the uninterrupted JSON byte-for-byte.
+
+use crate::checkpoint::Checkpoint;
+use crate::report::Table;
+use crate::trials::{TrialOutcome, TrialPlan};
+use local_algorithms::mis::luby::Luby;
+use local_algorithms::orientation::sinkless::SinklessRepair;
+use local_algorithms::tree::theorem10::{theorem10_phase1_faulty, Theorem10Config};
+use local_algorithms::{
+    recover, run_sync_faulty_budgeted, FaultySyncOutcome, Finisher, GreedyColoringFinisher,
+    LubyRestartFinisher, RecoveryPolicy, SinklessFinisher,
+};
+use local_graphs::{gen, Graph, GraphError};
+use local_lcl::problems::{Mis, Orientation, SinklessOrientation, VertexColoring};
+use local_lcl::LclProblem;
+use local_model::{derived_u64, Budget, FaultPlan, FaultSpec, Mode, Outcome};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+pub use super::e12_resilience::OutcomeCounts;
+
+/// Sweep configuration. The fault grid deliberately stays inside the range
+/// the recovery subsystem promises to heal (drops ≤ 0.2, crashes ≤ 0.1).
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Vertices in the tree-coloring workload (Δ = 16 tree).
+    pub tree_n: usize,
+    /// Vertices in the sinkless-orientation workload (3-regular).
+    pub sinkless_n: usize,
+    /// Vertices in the MIS workload (4-regular).
+    pub mis_n: usize,
+    /// Per-directed-edge per-round message-drop probabilities to sweep.
+    pub drop_ps: Vec<f64>,
+    /// Per-node crash probabilities to sweep.
+    pub crash_ps: Vec<f64>,
+    /// Trials per grid point.
+    pub trials: u64,
+    /// Master seed for the trial plan.
+    pub master_seed: u64,
+    /// Recovery policy (escalation cap and per-attempt budget).
+    pub policy: RecoveryPolicy,
+}
+
+impl Config {
+    /// A laptop-seconds configuration.
+    pub fn quick() -> Self {
+        Config {
+            tree_n: 200,
+            sinkless_n: 90,
+            mis_n: 120,
+            drop_ps: vec![0.0, 0.1, 0.2],
+            crash_ps: vec![0.0, 0.05],
+            trials: 3,
+            master_seed: 0xE13,
+            policy: RecoveryPolicy::default(),
+        }
+    }
+
+    /// The full sweep EXPERIMENTS.md records: the whole E12 grid restricted
+    /// to the promised fault range.
+    pub fn full() -> Self {
+        Config {
+            tree_n: 600,
+            sinkless_n: 240,
+            mis_n: 400,
+            drop_ps: vec![0.0, 0.05, 0.1, 0.2],
+            crash_ps: vec![0.0, 0.02, 0.1],
+            trials: 8,
+            master_seed: 0xE13,
+            policy: RecoveryPolicy::default(),
+        }
+    }
+}
+
+/// One measured grid point.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Row {
+    /// Workload name (`tree-coloring`, `sinkless`, `mis`).
+    pub workload: String,
+    /// Message-drop probability of this point.
+    pub drop_p: f64,
+    /// Node-crash probability of this point.
+    pub crash_p: f64,
+    /// Trials attempted.
+    pub trials: u64,
+    /// Trials that panicked (isolated; excluded from the other aggregates).
+    pub panicked: u64,
+    /// The captured panic payloads, in trial order.
+    pub panic_messages: Vec<String>,
+    /// Set when the workload's graph generator failed (typed error text).
+    pub error: Option<String>,
+    /// Trials whose recovery produced a complete valid labeling.
+    pub recovered: u64,
+    /// `recovered / completed` (1.0 for an empty batch would be vacuous, so
+    /// 0 completed trials report 0.0).
+    pub recovery_rate: f64,
+    /// Escalation histogram: entry `r` counts recovered trials that needed
+    /// boundary radius `r` (0 = the faulty run already validated).
+    pub escalations: Vec<u64>,
+    /// Failure messages of unrecovered trials, in trial order.
+    pub failures: Vec<String>,
+    /// Per-vertex fates of the base runs, summed over completed trials.
+    pub outcomes: OutcomeCounts,
+    /// Mean damaged-core size over completed trials.
+    pub core_mean: f64,
+    /// Mean residue size (core + dilation) over completed trials.
+    pub residue_mean: f64,
+    /// Mean largest decided round of the base runs.
+    pub base_rounds_mean: f64,
+    /// Mean extra rounds the finisher paid on top of the base run.
+    pub extra_rounds_mean: f64,
+    /// Largest extra-round cost observed.
+    pub extra_rounds_max: u32,
+}
+
+/// The sweep result.
+#[derive(Debug, Clone)]
+pub struct Outcome13 {
+    /// Measured grid points, in workload-major, drop-then-crash order.
+    pub rows: Vec<Row>,
+}
+
+impl Outcome13 {
+    /// The row of one grid point, if measured.
+    pub fn get(&self, workload: &str, drop_p: f64, crash_p: f64) -> Option<&Row> {
+        self.rows
+            .iter()
+            .find(|r| r.workload == workload && r.drop_p == drop_p && r.crash_p == crash_p)
+    }
+}
+
+/// What one completed trial contributes to its grid point.
+///
+/// Integer-only (plus strings) so checkpointed records round-trip exactly
+/// and a resumed sweep reproduces the uninterrupted JSON byte-for-byte.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct TrialResult {
+    recovered: bool,
+    attempts: u32,
+    core: usize,
+    residue: usize,
+    base_rounds: u32,
+    extra_rounds: u32,
+    halted: usize,
+    crashed: usize,
+    cut: usize,
+    failure: Option<String>,
+}
+
+/// Run recovery on one faulty base run and fold the result into a
+/// [`TrialResult`].
+fn heal<P, F, O>(
+    g: &Graph,
+    run: &FaultySyncOutcome<O>,
+    partial: &[Option<P::Label>],
+    problem: &P,
+    finisher: &F,
+    policy: &RecoveryPolicy,
+) -> TrialResult
+where
+    P: LclProblem,
+    F: Finisher<P>,
+{
+    let (halted, crashed, cut) = run.counts();
+    let base_rounds = run.max_decided_round();
+    match recover(problem, g, partial, finisher, policy) {
+        Ok(rec) => TrialResult {
+            recovered: true,
+            attempts: rec.attempts,
+            core: rec.core_size,
+            residue: rec.residue_size,
+            base_rounds,
+            extra_rounds: rec.extra_rounds,
+            halted,
+            crashed,
+            cut,
+            failure: None,
+        },
+        Err(err) => TrialResult {
+            recovered: false,
+            attempts: policy.max_radius,
+            core: 0,
+            residue: 0,
+            base_rounds,
+            extra_rounds: 0,
+            halted,
+            crashed,
+            cut,
+            failure: Some(err.to_string()),
+        },
+    }
+}
+
+/// Partial labels of the vertices that decided.
+fn decided_labels<O: Clone>(run: &FaultySyncOutcome<O>) -> Vec<Option<O>> {
+    run.outcomes.iter().map(|o| o.output().cloned()).collect()
+}
+
+const TREE_DELTA: usize = 16;
+const SINKLESS_DELTA: usize = 3;
+const SINKLESS_PHASES: u32 = 20;
+const MIS_DELTA: usize = 4;
+const MIS_BUDGET: u32 = 400;
+/// Stream tag separating the MIS finisher's restart seed from every other
+/// consumer of the trial seed.
+const MIS_FINISHER_STREAM: u64 = 0xE13;
+
+type Runner<'a> = Box<dyn Fn(&Graph, u64, &FaultPlan, &RecoveryPolicy) -> TrialResult + Sync + 'a>;
+
+struct Workload<'a> {
+    name: &'static str,
+    graph: Graph,
+    crash_window: u32,
+    run: Runner<'a>,
+}
+
+/// Build the three workloads; a failing graph generator yields its slot's
+/// typed error instead of panicking.
+fn workloads(cfg: &Config) -> Vec<Result<Workload<'static>, (&'static str, GraphError)>> {
+    let mut rng = StdRng::seed_from_u64(0xE13F);
+    let tree = gen::random_tree_max_degree(cfg.tree_n, TREE_DELTA, &mut rng);
+    let cubic = gen::random_regular(cfg.sinkless_n, SINKLESS_DELTA, &mut rng);
+    let quartic = gen::random_regular(cfg.mis_n, MIS_DELTA, &mut rng);
+
+    let tree_budget = 2 * Theorem10Config::default().schedule(TREE_DELTA).len() as u32 + 4;
+    vec![
+        Ok(Workload {
+            name: "tree-coloring",
+            graph: tree,
+            crash_window: tree_budget,
+            run: Box::new(move |g, seed, plan, policy| {
+                let out =
+                    theorem10_phase1_faulty(g, TREE_DELTA, seed, Theorem10Config::default(), plan);
+                // Phase 1 leaves filtered-bad vertices decided-but-unlabeled
+                // (`Some(None)`); flattening folds them into the damaged
+                // core, so recovery colors them too — the finisher plays the
+                // role of Theorem 10's deterministic Phase 2, bounded to the
+                // residue instead of centralized.
+                let labels: Vec<Option<usize>> = out
+                    .outcomes
+                    .iter()
+                    .map(|o| match o {
+                        Outcome::Halted { output, .. } => *output,
+                        _ => None,
+                    })
+                    .collect();
+                heal(
+                    g,
+                    &out,
+                    &labels,
+                    &VertexColoring::new(TREE_DELTA),
+                    &GreedyColoringFinisher {
+                        palette: TREE_DELTA,
+                    },
+                    policy,
+                )
+            }),
+        }),
+        cubic.map_err(|e| ("sinkless", e)).map(|graph| Workload {
+            name: "sinkless",
+            graph,
+            crash_window: 2 * SINKLESS_PHASES + 6,
+            run: Box::new(|g, seed, plan, policy| {
+                let algo = SinklessRepair {
+                    phases: SINKLESS_PHASES,
+                };
+                let out = run_sync_faulty_budgeted(
+                    g,
+                    Mode::randomized(seed),
+                    &algo,
+                    &Budget::rounds(2 * SINKLESS_PHASES + 6),
+                    plan,
+                );
+                let labels: Vec<Option<Orientation>> = decided_labels(&out);
+                heal(
+                    g,
+                    &out,
+                    &labels,
+                    &SinklessOrientation::new(SINKLESS_DELTA),
+                    &SinklessFinisher,
+                    policy,
+                )
+            }),
+        }),
+        quartic.map_err(|e| ("mis", e)).map(|graph| Workload {
+            name: "mis",
+            graph,
+            crash_window: MIS_BUDGET,
+            run: Box::new(|g, seed, plan, policy| {
+                let out = run_sync_faulty_budgeted(
+                    g,
+                    Mode::randomized(seed),
+                    &Luby::new(),
+                    &Budget::rounds(MIS_BUDGET),
+                    plan,
+                );
+                let labels: Vec<Option<bool>> = decided_labels(&out);
+                heal(
+                    g,
+                    &out,
+                    &labels,
+                    &Mis::new(),
+                    &LubyRestartFinisher {
+                        seed: derived_u64(seed, MIS_FINISHER_STREAM),
+                    },
+                    policy,
+                )
+            }),
+        }),
+    ]
+}
+
+/// The checkpoint scope of one grid point (everything a trial depends on
+/// besides its index).
+fn scope(cfg: &Config, workload: &str, drop_p: f64, crash_p: f64) -> String {
+    format!(
+        "e13/{workload}/tree_n={}/sinkless_n={}/mis_n={}/drop={drop_p}/crash={crash_p}/radius={}/seed={}",
+        cfg.tree_n, cfg.sinkless_n, cfg.mis_n, cfg.policy.max_radius, cfg.master_seed
+    )
+}
+
+/// Fold one grid point's trial outcomes into a [`Row`].
+fn fold_row(
+    workload: &str,
+    drop_p: f64,
+    crash_p: f64,
+    cfg: &Config,
+    outcomes: Vec<TrialOutcome<TrialResult>>,
+) -> Row {
+    let mut panicked = 0u64;
+    let mut panic_messages = Vec::new();
+    let mut recovered = 0u64;
+    let mut completed = 0u64;
+    let mut escalations = vec![0u64; cfg.policy.max_radius as usize + 1];
+    let mut failures = Vec::new();
+    let mut counts = OutcomeCounts {
+        halted: 0,
+        crashed: 0,
+        cut: 0,
+    };
+    let mut core_total = 0u64;
+    let mut residue_total = 0u64;
+    let mut base_rounds_total = 0u64;
+    let mut extra_rounds_total = 0u64;
+    let mut extra_rounds_max = 0u32;
+    for outcome in outcomes {
+        match outcome {
+            TrialOutcome::Panicked { message } => {
+                panicked += 1;
+                panic_messages.push(message);
+            }
+            TrialOutcome::Ok(r) => {
+                completed += 1;
+                counts.halted += r.halted as u64;
+                counts.crashed += r.crashed as u64;
+                counts.cut += r.cut as u64;
+                core_total += r.core as u64;
+                residue_total += r.residue as u64;
+                base_rounds_total += u64::from(r.base_rounds);
+                extra_rounds_total += u64::from(r.extra_rounds);
+                extra_rounds_max = extra_rounds_max.max(r.extra_rounds);
+                if r.recovered {
+                    recovered += 1;
+                    if let Some(slot) = escalations.get_mut(r.attempts as usize) {
+                        *slot += 1;
+                    }
+                }
+                if let Some(f) = r.failure {
+                    failures.push(f);
+                }
+            }
+        }
+    }
+    let mean = |total: u64| {
+        if completed == 0 {
+            0.0
+        } else {
+            total as f64 / completed as f64
+        }
+    };
+    Row {
+        workload: workload.to_string(),
+        drop_p,
+        crash_p,
+        trials: cfg.trials,
+        panicked,
+        panic_messages,
+        error: None,
+        recovered,
+        recovery_rate: if completed == 0 {
+            0.0
+        } else {
+            recovered as f64 / completed as f64
+        },
+        escalations,
+        failures,
+        outcomes: counts,
+        core_mean: mean(core_total),
+        residue_mean: mean(residue_total),
+        base_rounds_mean: mean(base_rounds_total),
+        extra_rounds_mean: mean(extra_rounds_total),
+        extra_rounds_max,
+    }
+}
+
+/// A grid point whose workload failed to construct.
+fn error_row(workload: &str, drop_p: f64, crash_p: f64, cfg: &Config, err: &GraphError) -> Row {
+    Row {
+        workload: workload.to_string(),
+        drop_p,
+        crash_p,
+        trials: 0,
+        panicked: 0,
+        panic_messages: Vec::new(),
+        error: Some(err.to_string()),
+        recovered: 0,
+        recovery_rate: 0.0,
+        escalations: vec![0; cfg.policy.max_radius as usize + 1],
+        failures: Vec::new(),
+        outcomes: OutcomeCounts {
+            halted: 0,
+            crashed: 0,
+            cut: 0,
+        },
+        core_mean: 0.0,
+        residue_mean: 0.0,
+        base_rounds_mean: 0.0,
+        extra_rounds_mean: 0.0,
+        extra_rounds_max: 0,
+    }
+}
+
+/// Run the sweep.
+pub fn run(cfg: &Config) -> Outcome13 {
+    run_checkpointed(cfg, None)
+}
+
+/// [`run`] with optional checkpoint/resume (see the module docs of
+/// [`crate::checkpoint`]).
+pub fn run_checkpointed(cfg: &Config, checkpoint: Option<&Checkpoint>) -> Outcome13 {
+    let mut rows = Vec::new();
+    for slot in workloads(cfg) {
+        match slot {
+            Err((name, err)) => {
+                for &drop_p in &cfg.drop_ps {
+                    for &crash_p in &cfg.crash_ps {
+                        rows.push(error_row(name, drop_p, crash_p, cfg, &err));
+                    }
+                }
+            }
+            Ok(w) => {
+                for &drop_p in &cfg.drop_ps {
+                    for &crash_p in &cfg.crash_ps {
+                        let spec = FaultSpec::none()
+                            .with_drop(drop_p)
+                            .with_crash(crash_p, w.crash_window);
+                        let plan = TrialPlan::new(cfg.trials, cfg.master_seed);
+                        let scope = scope(cfg, w.name, drop_p, crash_p);
+                        let outcomes = plan.run_isolated_checkpointed(
+                            checkpoint.map(|c| (c, scope.as_str())),
+                            |trial| {
+                                let faults = FaultPlan::sample(&w.graph, &spec, trial.seed);
+                                (w.run)(&w.graph, trial.seed, &faults, &cfg.policy)
+                            },
+                        );
+                        rows.push(fold_row(w.name, drop_p, crash_p, cfg, outcomes));
+                    }
+                }
+            }
+        }
+    }
+    Outcome13 { rows }
+}
+
+/// Render the EXPERIMENTS.md table.
+pub fn table(out: &Outcome13) -> Table {
+    let mut t = Table::new(
+        "E13: recovery of faulty runs to complete valid labelings".to_string(),
+        &[
+            "workload",
+            "drop",
+            "crash",
+            "recovered",
+            "rate",
+            "escalations",
+            "core",
+            "extra rounds",
+            "panics",
+        ],
+    );
+    for r in &out.rows {
+        let (rate, extra) = match &r.error {
+            Some(_) => ("error".to_string(), "-".to_string()),
+            None => (
+                format!("{:.3}", r.recovery_rate),
+                format!("{:.1} (max {})", r.extra_rounds_mean, r.extra_rounds_max),
+            ),
+        };
+        let escalations = r
+            .escalations
+            .iter()
+            .map(|c| c.to_string())
+            .collect::<Vec<_>>()
+            .join("/");
+        t.push(vec![
+            r.workload.clone(),
+            format!("{:.2}", r.drop_p),
+            format!("{:.2}", r.crash_p),
+            format!("{}/{}", r.recovered, r.trials),
+            rate,
+            escalations,
+            format!("{:.1}", r.core_mean),
+            extra,
+            r.panicked.to_string(),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Config {
+        Config {
+            tree_n: 80,
+            sinkless_n: 60,
+            mis_n: 60,
+            drop_ps: vec![0.0, 0.2],
+            crash_ps: vec![0.0, 0.05],
+            trials: 2,
+            master_seed: 7,
+            policy: RecoveryPolicy::default(),
+        }
+    }
+
+    #[test]
+    fn every_grid_point_recovers_completely() {
+        let out = run(&tiny());
+        assert_eq!(out.rows.len(), 3 * 2 * 2);
+        for r in &out.rows {
+            assert!(r.error.is_none(), "{}: {:?}", r.workload, r.error);
+            assert_eq!(r.panicked, 0, "{}: no trial should panic", r.workload);
+            assert_eq!(
+                r.recovery_rate, 1.0,
+                "{} drop={} crash={}: failures {:?}",
+                r.workload, r.drop_p, r.crash_p, r.failures
+            );
+            assert_eq!(r.recovered, r.trials);
+            assert_eq!(
+                r.escalations.iter().sum::<u64>(),
+                r.recovered,
+                "every recovered trial lands in one histogram bucket"
+            );
+            assert!(r.failures.is_empty());
+        }
+        // Faulted grid points actually exercise the finishers: some trial
+        // has a nonempty core somewhere.
+        assert!(out
+            .rows
+            .iter()
+            .any(|r| (r.drop_p > 0.0 || r.crash_p > 0.0) && r.core_mean > 0.0));
+        // A fault-free MIS run validates as-is: no escalation, no extra cost.
+        let clean_mis = out.get("mis", 0.0, 0.0).expect("grid point");
+        assert_eq!(clean_mis.escalations[0], clean_mis.trials);
+        assert_eq!(clean_mis.extra_rounds_mean, 0.0);
+        assert!(!table(&out).is_empty());
+    }
+
+    #[test]
+    fn sweep_is_deterministic_and_checkpoint_replay_matches() {
+        let mut path = std::env::temp_dir();
+        path.push(format!("lcl-e13-ckpt-{}", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+
+        let cfg = tiny();
+        let a = run(&cfg);
+        let b = {
+            let ckpt = Checkpoint::open(&path).expect("open checkpoint");
+            run_checkpointed(&cfg, Some(&ckpt))
+        };
+        let c = {
+            let ckpt = Checkpoint::open(&path).expect("reopen checkpoint");
+            run_checkpointed(&cfg, Some(&ckpt))
+        };
+        for (x, y) in a.rows.iter().zip(b.rows.iter().zip(&c.rows)) {
+            for y in [y.0, y.1] {
+                assert_eq!(x.workload, y.workload);
+                assert_eq!(x.recovered, y.recovered);
+                assert_eq!(x.escalations, y.escalations);
+                assert_eq!(x.outcomes, y.outcomes);
+                assert_eq!(x.core_mean, y.core_mean);
+                assert_eq!(x.residue_mean, y.residue_mean);
+                assert_eq!(x.base_rounds_mean, y.base_rounds_mean);
+                assert_eq!(x.extra_rounds_mean, y.extra_rounds_mean);
+                assert_eq!(x.failures, y.failures);
+            }
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn infeasible_generator_parameters_become_error_rows() {
+        let cfg = Config {
+            sinkless_n: 61, // n·d odd: no 3-regular graph
+            ..tiny()
+        };
+        let out = run(&cfg);
+        assert_eq!(out.rows.len(), 3 * 2 * 2, "error rows keep the grid shape");
+        for r in out.rows.iter().filter(|r| r.workload == "sinkless") {
+            let err = r.error.as_deref().expect("sinkless rows carry the error");
+            assert!(err.contains("infeasible"), "{err}");
+            assert_eq!(r.trials, 0);
+        }
+        assert!(out
+            .rows
+            .iter()
+            .filter(|r| r.workload != "sinkless")
+            .all(|r| r.error.is_none()));
+    }
+}

@@ -12,6 +12,8 @@
 //! * [`experiments`] — the E1–E9 experiment drivers behind EXPERIMENTS.md.
 //! * [`trials`] — the shared seeded parallel trial harness those drivers
 //!   run their randomized batches through.
+//! * [`checkpoint`] — the JSON-lines checkpoint store behind the binaries'
+//!   `--checkpoint` flag (kill-and-resume sweeps).
 //! * [`fit`] — model-function fitting used to classify measured round
 //!   complexities (`log n` vs `log log n` vs `log* n` …).
 //! * [`report`] — aligned text tables for experiment output.
@@ -19,6 +21,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod checkpoint;
 pub mod derand;
 pub mod experiments;
 pub mod fit;

@@ -116,6 +116,85 @@ impl TrialPlan {
             }
         })
     }
+
+    /// [`run_isolated`](Self::run_isolated) with checkpoint/resume: when
+    /// `checkpoint` is `Some((store, scope))`, a trial whose outcome is
+    /// already recorded under `(scope, index)` is *not* re-executed — its
+    /// recorded outcome is decoded and returned in place — and every freshly
+    /// computed outcome is appended (and flushed) to the store before the
+    /// batch completes.
+    ///
+    /// Callers must make `scope` identify everything the trial depends on
+    /// besides its index (workload, grid point, master seed), so a resumed
+    /// sweep with different parameters never reuses stale results. Recorded
+    /// results whose JSON no longer decodes as `R` (e.g. after a schema
+    /// change) are recomputed, not errors.
+    ///
+    /// With `checkpoint: None` this is exactly [`run_isolated`](Self::run_isolated).
+    ///
+    /// # Panics
+    ///
+    /// If appending to the checkpoint file fails — a broken checkpoint
+    /// cannot guarantee resumability, so it fails loudly rather than
+    /// silently degrading.
+    pub fn run_isolated_checkpointed<R, F>(
+        &self,
+        checkpoint: Option<(&crate::checkpoint::Checkpoint, &str)>,
+        f: F,
+    ) -> Vec<TrialOutcome<R>>
+    where
+        R: Serialize + Deserialize + Send,
+        F: Fn(Trial) -> R + Sync,
+    {
+        let Some((store, scope)) = checkpoint else {
+            return self.run_isolated(f);
+        };
+        self.run(|trial| {
+            if let Some(recorded) = store.lookup(scope, trial.index) {
+                if let Some(outcome) = decode_outcome(&recorded) {
+                    return outcome;
+                }
+            }
+            let outcome = match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(trial)))
+            {
+                Ok(value) => TrialOutcome::Ok(value),
+                Err(payload) => TrialOutcome::Panicked {
+                    message: panic_message(payload.as_ref()),
+                },
+            };
+            store
+                .record(scope, trial.index, encode_outcome(&outcome))
+                .expect("checkpoint append failed");
+            outcome
+        })
+    }
+}
+
+/// Encode a trial outcome as a checkpoint value: `{"ok": R}` or
+/// `{"panicked": "message"}`. (Hand-written — the derive macro does not
+/// cover data-carrying enums.)
+fn encode_outcome<R: Serialize>(outcome: &TrialOutcome<R>) -> serde::Value {
+    match outcome {
+        TrialOutcome::Ok(value) => serde::Value::Object(vec![("ok".to_string(), value.to_value())]),
+        TrialOutcome::Panicked { message } => serde::Value::Object(vec![(
+            "panicked".to_string(),
+            serde::Value::String(message.clone()),
+        )]),
+    }
+}
+
+/// Decode a checkpoint value recorded by [`encode_outcome`]; `None` for any
+/// shape mismatch (the trial is then recomputed).
+fn decode_outcome<R: Deserialize>(v: &serde::Value) -> Option<TrialOutcome<R>> {
+    if let Some(ok) = v.get("ok") {
+        return R::from_value(ok).ok().map(TrialOutcome::Ok);
+    }
+    if let Some(msg) = v.get("panicked") {
+        return msg.as_str().ok().map(|message| TrialOutcome::Panicked {
+            message: message.to_string(),
+        });
+    }
+    None
 }
 
 /// The fate of one isolated trial (see [`TrialPlan::run_isolated`]).
@@ -402,5 +481,159 @@ mod tests {
             .and_then(|m| m.as_str())
             .expect("mode field");
         assert_eq!(mode, "quick");
+    }
+
+    fn temp_checkpoint(tag: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!(
+            "lcl-trials-ckpt-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_file(&p);
+        p
+    }
+
+    #[test]
+    fn checkpointed_run_skips_recorded_trials() {
+        use crate::checkpoint::Checkpoint;
+        use std::sync::atomic::{AtomicU64, Ordering};
+
+        let path = temp_checkpoint("skip");
+        let plan = TrialPlan::new(10, 21);
+        let executed = AtomicU64::new(0);
+        let first = {
+            let ckpt = Checkpoint::open(&path).expect("open");
+            plan.run_isolated_checkpointed(Some((&ckpt, "scope-a")), |t| {
+                executed.fetch_add(1, Ordering::Relaxed);
+                t.seed % 100
+            })
+        };
+        assert_eq!(executed.load(Ordering::Relaxed), 10);
+
+        // Resume: every trial is recorded, so nothing re-executes and the
+        // outcomes are identical.
+        let resumed = {
+            let ckpt = Checkpoint::open(&path).expect("reopen");
+            plan.run_isolated_checkpointed(Some((&ckpt, "scope-a")), |t| {
+                executed.fetch_add(1, Ordering::Relaxed);
+                t.seed % 100
+            })
+        };
+        assert_eq!(executed.load(Ordering::Relaxed), 10, "no re-execution");
+        assert_eq!(first, resumed);
+
+        // A different scope shares the file but none of the results.
+        {
+            let ckpt = Checkpoint::open(&path).expect("reopen");
+            plan.run_isolated_checkpointed(Some((&ckpt, "scope-b")), |t| {
+                executed.fetch_add(1, Ordering::Relaxed);
+                t.seed % 100
+            });
+        }
+        assert_eq!(executed.load(Ordering::Relaxed), 20);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn checkpointed_run_replays_panics_without_rerunning() {
+        use crate::checkpoint::Checkpoint;
+
+        let path = temp_checkpoint("panic");
+        let plan = TrialPlan::new(6, 33);
+        let run = |ckpt: &Checkpoint, allow_panic: bool| {
+            plan.run_isolated_checkpointed(Some((ckpt, "s")), |t| {
+                if t.index == 2 {
+                    assert!(allow_panic, "trial 2 must come from the checkpoint");
+                    panic!("boom at 2");
+                }
+                t.index
+            })
+        };
+        let first = {
+            let ckpt = Checkpoint::open(&path).expect("open");
+            run(&ckpt, true)
+        };
+        assert!(first[2].is_panicked());
+        let resumed = {
+            let ckpt = Checkpoint::open(&path).expect("reopen");
+            run(&ckpt, false)
+        };
+        assert_eq!(first, resumed);
+        if let TrialOutcome::Panicked { message } = &resumed[2] {
+            assert!(message.contains("boom at 2"), "{message}");
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn checkpointed_run_completes_a_partial_file() {
+        use crate::checkpoint::Checkpoint;
+        use std::sync::atomic::{AtomicU64, Ordering};
+
+        let path = temp_checkpoint("partial");
+        let plan = TrialPlan::new(8, 44);
+        // Record only trials 0, 3, 7 — as if the first run was killed.
+        {
+            let ckpt = Checkpoint::open(&path).expect("open");
+            for i in [0u64, 3, 7] {
+                ckpt.record(
+                    "s",
+                    i,
+                    serde::Value::Object(vec![(
+                        "ok".to_string(),
+                        serde::Value::U64(plan.seed(i) % 100),
+                    )]),
+                )
+                .expect("rec");
+            }
+        }
+        let executed = AtomicU64::new(0);
+        let outcomes = {
+            let ckpt = Checkpoint::open(&path).expect("reopen");
+            plan.run_isolated_checkpointed(Some((&ckpt, "s")), |t| {
+                executed.fetch_add(1, Ordering::Relaxed);
+                t.seed % 100
+            })
+        };
+        assert_eq!(executed.load(Ordering::Relaxed), 5, "3 of 8 were recorded");
+        let expected: Vec<TrialOutcome<u64>> = (0..8)
+            .map(|i| TrialOutcome::Ok(plan.seed(i) % 100))
+            .collect();
+        assert_eq!(outcomes, expected);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn checkpoint_none_matches_run_isolated() {
+        let plan = TrialPlan::new(12, 55);
+        let a: Vec<TrialOutcome<u64>> = plan.run_isolated(|t| t.seed);
+        let b: Vec<TrialOutcome<u64>> = plan.run_isolated_checkpointed(None, |t| t.seed);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn undecodable_recorded_value_is_recomputed() {
+        use crate::checkpoint::Checkpoint;
+
+        let path = temp_checkpoint("undecodable");
+        let plan = TrialPlan::new(1, 66);
+        {
+            let ckpt = Checkpoint::open(&path).expect("open");
+            // Recorded under an old schema: a string where a u64 is expected.
+            ckpt.record(
+                "s",
+                0,
+                serde::Value::Object(vec![(
+                    "ok".to_string(),
+                    serde::Value::String("stale".to_string()),
+                )]),
+            )
+            .expect("rec");
+            let outcomes: Vec<TrialOutcome<u64>> =
+                plan.run_isolated_checkpointed(Some((&ckpt, "s")), |t| t.seed);
+            assert_eq!(outcomes, vec![TrialOutcome::Ok(plan.seed(0))]);
+        }
+        let _ = std::fs::remove_file(&path);
     }
 }

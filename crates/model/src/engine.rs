@@ -5,6 +5,7 @@ use crate::faults::{FaultPlan, FaultyRun, Outcome};
 use crate::ids::IdAssignment;
 use crate::node::{Action, NodeInit, NodeIo, NodeProgram, Protocol};
 use crate::params::GlobalParams;
+use crate::recover::{Breach, Budget};
 use local_graphs::Graph;
 use rand::{Rng, RngCore, SeedableRng};
 use rand_chacha::ChaCha8Rng;
@@ -204,7 +205,7 @@ pub struct Engine<'g> {
     graph: &'g Graph,
     mode: Mode,
     params: GlobalParams,
-    max_rounds: u32,
+    budget: Budget,
     par_threshold: usize,
 }
 
@@ -220,7 +221,7 @@ impl<'g> Engine<'g> {
             graph,
             mode,
             params: GlobalParams::from_graph(graph),
-            max_rounds: 100_000,
+            budget: Budget::rounds(100_000),
             par_threshold: PAR_THRESHOLD,
         }
     }
@@ -242,9 +243,18 @@ impl<'g> Engine<'g> {
     }
 
     /// Override the round limit after which [`SimError::RoundLimitExceeded`]
-    /// is returned.
+    /// is returned. Shorthand for [`with_budget`](Self::with_budget) with a
+    /// rounds-only [`Budget`].
     pub fn with_max_rounds(mut self, max_rounds: u32) -> Self {
-        self.max_rounds = max_rounds;
+        self.budget.max_rounds = max_rounds;
+        self
+    }
+
+    /// Replace the full watchdog [`Budget`] (rounds, and optionally total
+    /// messages and wall-clock time). A faulty run that breaches any axis is
+    /// cut, with the [`Breach`] recorded on the [`FaultyRun`].
+    pub fn with_budget(mut self, budget: Budget) -> Self {
+        self.budget = budget;
         self
     }
 
@@ -271,7 +281,7 @@ impl<'g> Engine<'g> {
         let cut = fr.cut();
         if cut > 0 {
             return Err(SimError::RoundLimitExceeded {
-                limit: self.max_rounds,
+                limit: self.budget.max_rounds,
                 live_nodes: cut,
                 live_sample: fr
                     .outcomes
@@ -356,10 +366,11 @@ impl<'g> Engine<'g> {
         let mut crashed: Vec<bool> = vec![false; if has_crashes { n } else { 0 }];
         let mut plane: MessagePlane<<P::Node as NodeProgram>::Msg> = MessagePlane::new(g);
         let mut sweep: u32 = 0;
-        let mut was_cut = false;
+        let mut breach: Option<Breach> = None;
         let mut dropped = 0u64;
         let mut delayed = 0u64;
         let mut live_per_round: Vec<usize> = Vec::new();
+        let started = self.budget.wall_clock.map(|_| std::time::Instant::now());
 
         loop {
             // Crash-stop: nodes scheduled for this sweep fall silent before
@@ -379,9 +390,15 @@ impl<'g> Engine<'g> {
             if live == 0 {
                 break;
             }
-            if sweep >= self.max_rounds {
-                was_cut = true;
+            if sweep >= self.budget.max_rounds {
+                breach = Some(Breach::Rounds);
                 break;
+            }
+            if let (Some(limit), Some(started)) = (self.budget.wall_clock, started) {
+                if started.elapsed() > limit {
+                    breach = Some(Breach::WallClock);
+                    break;
+                }
             }
             live_per_round.push(live);
             let params = &self.params;
@@ -463,6 +480,13 @@ impl<'g> Engine<'g> {
                 .count();
             sweep += 1;
             if still > 0 {
+                if let Some(max_messages) = self.budget.max_messages {
+                    let sent: u64 = slots.iter().map(|s| s.sent).sum();
+                    if sent > max_messages {
+                        breach = Some(Breach::Messages);
+                        break;
+                    }
+                }
                 plane.deliver_faulty(faults, round, &mut dropped, &mut delayed);
             }
         }
@@ -484,7 +508,7 @@ impl<'g> Engine<'g> {
                     round: faults.crash_round(v).expect("crashed nodes are scheduled"),
                 },
                 None => {
-                    debug_assert!(was_cut, "live nodes only survive a budget cut");
+                    debug_assert!(breach.is_some(), "live nodes only survive a budget cut");
                     Outcome::Cut
                 }
             });
@@ -499,6 +523,7 @@ impl<'g> Engine<'g> {
             },
             dropped,
             delayed,
+            breach,
         }
     }
 }
@@ -844,6 +869,58 @@ mod tests {
         assert_eq!(run.halted(), 0);
         assert_eq!(run.stats.sweeps, 10);
         assert!(run.outcomes.iter().all(Outcome::is_cut));
+    }
+
+    #[test]
+    fn budget_breach_kind_is_recorded() {
+        let g = gen::path(3);
+        let run = Engine::new(&g, Mode::deterministic())
+            .with_max_rounds(10)
+            .run_faulty(&ForeverProtocol, &FaultPlan::none());
+        assert_eq!(run.breach, Some(Breach::Rounds));
+        let run = Engine::new(&g, Mode::deterministic())
+            .run_faulty(&FloodMinProtocol, &FaultPlan::none());
+        assert_eq!(run.breach, None);
+    }
+
+    #[test]
+    fn message_budget_cuts_a_chatty_run() {
+        // FloodMin on a cycle sends 2 messages per node per sweep; a cap of
+        // 10 is breached after the first sweep (12 sent > 10).
+        let g = gen::cycle(6);
+        let run = Engine::new(&g, Mode::deterministic())
+            .with_budget(Budget::rounds(100).with_max_messages(10))
+            .run_faulty(&FloodMinProtocol, &FaultPlan::none());
+        assert_eq!(run.breach, Some(Breach::Messages));
+        assert_eq!(run.cut(), 6);
+        assert_eq!(run.stats.sweeps, 1);
+        // A generous cap never trips.
+        let run = Engine::new(&g, Mode::deterministic())
+            .with_budget(Budget::rounds(100).with_max_messages(1_000_000))
+            .run_faulty(&FloodMinProtocol, &FaultPlan::none());
+        assert_eq!(run.breach, None);
+        assert_eq!(run.halted(), 6);
+    }
+
+    #[test]
+    fn message_budget_spares_a_run_that_finishes_on_the_cap_sweep() {
+        // Immediate halting sends nothing: even a zero cap cannot breach.
+        let g = gen::star(4);
+        let run = Engine::new(&g, Mode::deterministic())
+            .with_budget(Budget::rounds(10).with_max_messages(0))
+            .run_faulty(&ImmediateProtocol, &FaultPlan::none());
+        assert_eq!(run.breach, None);
+        assert_eq!(run.halted(), 4);
+    }
+
+    #[test]
+    fn wall_clock_budget_cuts_a_diverging_run() {
+        let g = gen::path(3);
+        let run = Engine::new(&g, Mode::deterministic())
+            .with_budget(Budget::rounds(u32::MAX).with_wall_clock(std::time::Duration::ZERO))
+            .run_faulty(&ForeverProtocol, &FaultPlan::none());
+        assert_eq!(run.breach, Some(Breach::WallClock));
+        assert_eq!(run.cut(), 3);
     }
 
     #[test]

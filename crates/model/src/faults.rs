@@ -52,6 +52,16 @@ pub struct FaultSpec {
     pub crash_window: u32,
 }
 
+/// Reject a probability outside `[0, 1]` (NaN included) with a message
+/// naming the offending knob.
+fn checked_probability(knob: &str, p: f64) -> f64 {
+    assert!(
+        (0.0..=1.0).contains(&p),
+        "FaultSpec::{knob}: probability must be in [0, 1], got {p}"
+    );
+    p
+}
+
 impl FaultSpec {
     /// The fault-free specification.
     pub fn none() -> Self {
@@ -64,20 +74,32 @@ impl FaultSpec {
     }
 
     /// Fault-free, then with the given drop probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
     pub fn with_drop(mut self, p: f64) -> Self {
-        self.drop_p = p;
+        self.drop_p = checked_probability("with_drop", p);
         self
     }
 
     /// Fault-free, then with the given delay probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
     pub fn with_delay(mut self, p: f64) -> Self {
-        self.delay_p = p;
+        self.delay_p = checked_probability("with_delay", p);
         self
     }
 
     /// Fault-free, then with the given crash probability and window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
     pub fn with_crash(mut self, p: f64, window: u32) -> Self {
-        self.crash_p = p;
+        self.crash_p = checked_probability("with_crash", p);
         self.crash_window = window;
         self
     }
@@ -291,6 +313,9 @@ pub struct FaultyRun<O> {
     pub dropped: u64,
     /// Messages deferred by one round.
     pub delayed: u64,
+    /// Which budget axis cut the run, if any ([`Outcome::Cut`] entries exist
+    /// only when this is `Some`).
+    pub breach: Option<crate::recover::Breach>,
 }
 
 impl<O> FaultyRun<O> {
@@ -330,6 +355,37 @@ mod tests {
         assert!(!FaultPlan::from_crash_schedule(vec![None, Some(2)]).is_trivial());
         assert!(!FaultPlan::sample(&g, &FaultSpec::none().with_drop(0.5), 7).is_trivial());
         assert!(!FaultPlan::sample(&g, &FaultSpec::none().with_delay(0.5), 7).is_trivial());
+    }
+
+    #[test]
+    fn probability_boundaries_are_accepted() {
+        let spec = FaultSpec::none()
+            .with_drop(0.0)
+            .with_delay(1.0)
+            .with_crash(0.5, 4);
+        assert_eq!(spec.drop_p, 0.0);
+        assert_eq!(spec.delay_p, 1.0);
+        assert_eq!(spec.crash_p, 0.5);
+        assert_eq!(FaultSpec::none().with_drop(1.0).drop_p, 1.0);
+        assert_eq!(FaultSpec::none().with_crash(0.0, 0).crash_p, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "with_drop: probability must be in [0, 1]")]
+    fn negative_drop_probability_panics() {
+        let _ = FaultSpec::none().with_drop(-0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "with_delay: probability must be in [0, 1]")]
+    fn oversized_delay_probability_panics() {
+        let _ = FaultSpec::none().with_delay(1.0 + 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "with_crash: probability must be in [0, 1]")]
+    fn nan_crash_probability_panics() {
+        let _ = FaultSpec::none().with_crash(f64::NAN, 5);
     }
 
     #[test]
@@ -399,6 +455,7 @@ mod tests {
             },
             dropped: 0,
             delayed: 0,
+            breach: Some(crate::recover::Breach::Rounds),
         };
         assert_eq!(run.halted(), 1);
         assert_eq!(run.crashed(), 1);

@@ -65,6 +65,7 @@ mod faults;
 mod ids;
 mod node;
 mod params;
+pub mod recover;
 pub mod reference;
 
 pub use engine::{derived_rng, derived_u64, Engine, Mode, Run, RunStats};
@@ -73,3 +74,4 @@ pub use faults::{FaultPlan, FaultSpec, FaultyRun, Outcome};
 pub use ids::{id_bits, IdAssignment};
 pub use node::{Action, NodeInit, NodeIo, NodeProgram, Protocol};
 pub use params::GlobalParams;
+pub use recover::{faulty_core, Breach, Budget, RecoveryError, Residue};
