@@ -29,10 +29,11 @@ pub mod tree;
 pub mod util;
 
 pub use repair::{
-    recover, Finish, Finisher, GreedyColoringFinisher, LubyRestartFinisher, Recovery,
-    RecoveryPolicy, SinklessFinisher,
+    recover, recover_traced, Finish, Finisher, GreedyColoringFinisher, LubyRestartFinisher,
+    Recovery, RecoveryPolicy, SinklessFinisher,
 };
 pub use sync::{
-    run_sync, run_sync_faulty, run_sync_faulty_budgeted, run_sync_with_params, FaultySyncOutcome,
-    SyncAlgorithm, SyncCtx, SyncOutcome, SyncStep,
+    run_sync, run_sync_faulty, run_sync_faulty_budgeted, run_sync_faulty_budgeted_traced,
+    run_sync_with_params, run_sync_with_params_traced, FaultySyncOutcome, SyncAlgorithm, SyncCtx,
+    SyncOutcome, SyncStep,
 };

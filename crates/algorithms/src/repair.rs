@@ -32,6 +32,7 @@ use local_graphs::Graph;
 use local_lcl::problems::Orientation;
 use local_lcl::{check_complete, check_partial, Labeling, LclProblem};
 use local_model::{derived_u64, Breach, Budget, FaultPlan, Mode, RecoveryError, Residue};
+use local_obs::{EventData, Trace};
 use std::collections::VecDeque;
 
 /// How hard [`recover`] tries: the escalation ladder and the per-attempt
@@ -104,6 +105,11 @@ pub trait Finisher<P: LclProblem> {
         budget: &Budget,
         attempt: u32,
     ) -> Result<Finish<P::Label>, RecoveryError>;
+
+    /// A short name identifying the finisher in trace `recovery` events.
+    fn name(&self) -> &'static str {
+        "finisher"
+    }
 }
 
 /// Recover a complete valid labeling from a partial one by escalating
@@ -130,7 +136,34 @@ where
     P: LclProblem,
     F: Finisher<P>,
 {
+    recover_traced(problem, g, partial, finisher, policy, None)
+}
+
+/// [`recover`] with an optional trace sink: every escalation attempt emits a
+/// `recovery` event carrying the core/residue sizes, the finisher used, and
+/// whether the spliced labeling verified.
+///
+/// # Errors
+///
+/// Same contract as [`recover`].
+///
+/// # Panics
+///
+/// Panics if `partial.len() != g.n()`.
+pub fn recover_traced<P, F>(
+    problem: &P,
+    g: &Graph,
+    partial: &[Option<P::Label>],
+    finisher: &F,
+    policy: &RecoveryPolicy,
+    trace: Option<&Trace>,
+) -> Result<Recovery<P::Label>, RecoveryError>
+where
+    P: LclProblem,
+    F: Finisher<P>,
+{
     assert_eq!(partial.len(), g.n(), "labeling must cover every vertex");
+    let _span = trace.map(|t| t.span("recover"));
     let verdict = check_partial(problem, g, partial);
     let mut core = vec![false; g.n()];
     let mut core_size = 0usize;
@@ -161,13 +194,31 @@ where
         });
     }
 
+    let emit = |attempt: u32, core_size: usize, residue_size: usize, ok: bool, extra: u32| {
+        if let Some(tr) = trace {
+            tr.emit(EventData::Recovery {
+                attempt,
+                radius: attempt,
+                core: core_size as u64,
+                residue: residue_size as u64,
+                finisher: finisher.name().to_string(),
+                ok,
+                extra_rounds: extra,
+            });
+        }
+    };
+
     let mut last_violations = verdict.violations.len();
     let mut last_infeasible: Option<RecoveryError> = None;
     for attempt in 1..=policy.max_radius {
         let residue = Residue::extract(g, &core, attempt);
         match finisher.finish(g, &residue, partial, &policy.budget, attempt) {
-            Err(err @ RecoveryError::Budget { .. }) => return Err(err),
+            Err(err @ RecoveryError::Budget { .. }) => {
+                emit(attempt, core_size, residue.len(), false, 0);
+                return Err(err);
+            }
             Err(err) => {
+                emit(attempt, core_size, residue.len(), false, 0);
                 last_infeasible = Some(err);
                 continue;
             }
@@ -187,6 +238,13 @@ where
                     })
                     .collect();
                 let spliced = check_complete(problem, g, &labels);
+                emit(
+                    attempt,
+                    core_size,
+                    residue.len(),
+                    spliced.violations.is_empty(),
+                    finish.rounds,
+                );
                 if spliced.violations.is_empty() {
                     return Ok(Recovery {
                         labels,
@@ -238,6 +296,10 @@ fn infeasible(attempt: u32, reason: impl Into<String>) -> RecoveryError {
 pub struct SinklessFinisher;
 
 impl Finisher<local_lcl::problems::SinklessOrientation> for SinklessFinisher {
+    fn name(&self) -> &'static str {
+        "sinkless"
+    }
+
     fn finish(
         &self,
         g: &Graph,
@@ -478,6 +540,10 @@ pub struct GreedyColoringFinisher {
 }
 
 impl Finisher<local_lcl::problems::VertexColoring> for GreedyColoringFinisher {
+    fn name(&self) -> &'static str {
+        "greedy-coloring"
+    }
+
     fn finish(
         &self,
         g: &Graph,
@@ -575,6 +641,10 @@ pub struct LubyRestartFinisher {
 const LUBY_RESTART_STREAM: u64 = 0x13F1;
 
 impl Finisher<local_lcl::problems::Mis> for LubyRestartFinisher {
+    fn name(&self) -> &'static str {
+        "luby-restart"
+    }
+
     fn finish(
         &self,
         g: &Graph,

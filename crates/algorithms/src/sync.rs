@@ -18,6 +18,7 @@ use local_model::{
     Action, Breach, Budget, Engine, FaultPlan, GlobalParams, Mode, NodeInit, NodeIo, NodeProgram,
     Outcome, Protocol, SimError,
 };
+use local_obs::Trace;
 use rand::RngCore;
 
 /// The result of one [`SyncAlgorithm::update`].
@@ -239,15 +240,36 @@ pub fn run_sync_with_params<A: SyncAlgorithm>(
     max_rounds: u32,
     params: GlobalParams,
 ) -> Result<SyncOutcome<A::Output>, SimError> {
+    run_sync_with_params_traced(g, mode, algo, max_rounds, params, None)
+}
+
+/// [`run_sync_with_params`] with an optional trace buffer: the underlying
+/// engine run emits its per-round events into `trace`.
+///
+/// # Errors
+///
+/// [`SimError::RoundLimitExceeded`] if some vertex never decides within
+/// `max_rounds`.
+pub fn run_sync_with_params_traced<A: SyncAlgorithm>(
+    g: &Graph,
+    mode: Mode,
+    algo: &A,
+    max_rounds: u32,
+    params: GlobalParams,
+    trace: Option<&Trace>,
+) -> Result<SyncOutcome<A::Output>, SimError> {
     let back_ports = g
         .vertices()
         .map(|v| g.neighbors(v).iter().map(|nb| nb.back_port).collect())
         .collect();
     let protocol = SyncProtocol { algo, back_ports };
-    let run = Engine::new(g, mode)
+    let mut engine = Engine::new(g, mode)
         .with_params(params)
-        .with_max_rounds(max_rounds.saturating_add(2))
-        .run(&protocol)?;
+        .with_max_rounds(max_rounds.saturating_add(2));
+    if let Some(tr) = trace {
+        engine = engine.with_trace(tr);
+    }
+    let run = engine.run(&protocol)?;
     let mut outputs = Vec::with_capacity(run.outputs.len());
     let mut rounds = 0;
     for (o, r) in run.outputs {
@@ -438,6 +460,20 @@ pub fn run_sync_faulty_budgeted<A: SyncAlgorithm>(
     budget: &Budget,
     faults: &FaultPlan,
 ) -> FaultySyncOutcome<A::Output> {
+    run_sync_faulty_budgeted_traced(g, mode, algo, budget, faults, None)
+}
+
+/// [`run_sync_faulty_budgeted`] with an optional trace buffer: the underlying
+/// engine run emits its per-round events (live counts, message volume,
+/// crashes, fault-plane drops/delays, budget consumption) into `trace`.
+pub fn run_sync_faulty_budgeted_traced<A: SyncAlgorithm>(
+    g: &Graph,
+    mode: Mode,
+    algo: &A,
+    budget: &Budget,
+    faults: &FaultPlan,
+    trace: Option<&Trace>,
+) -> FaultySyncOutcome<A::Output> {
     let params = GlobalParams::from_graph(g);
     let ids: Option<Vec<u64>> = match &mode {
         Mode::Deterministic { ids } => Some(ids.assign(g)),
@@ -468,10 +504,13 @@ pub fn run_sync_faulty_budgeted<A: SyncAlgorithm>(
         max_rounds: budget.max_rounds.saturating_add(2),
         ..*budget
     };
-    let run = Engine::new(g, mode)
+    let mut engine = Engine::new(g, mode)
         .with_params(params)
-        .with_budget(engine_budget)
-        .run_faulty(&protocol, faults);
+        .with_budget(engine_budget);
+    if let Some(tr) = trace {
+        engine = engine.with_trace(tr);
+    }
+    let run = engine.run_faulty(&protocol, faults);
     FaultySyncOutcome {
         outcomes: run
             .outcomes

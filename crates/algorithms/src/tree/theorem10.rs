@@ -21,10 +21,14 @@
 //! documented as a substitution in DESIGN.md.
 
 use crate::color::{be_forest_coloring, ColoringOutcome, UNCOLORED};
-use crate::sync::{run_sync, run_sync_faulty, FaultySyncOutcome, SyncAlgorithm, SyncCtx, SyncStep};
+use crate::sync::{
+    run_sync_faulty_budgeted_traced, run_sync_with_params_traced, FaultySyncOutcome, SyncAlgorithm,
+    SyncCtx, SyncStep,
+};
 use local_graphs::Graph;
 use local_lcl::Labeling;
-use local_model::{derived_rng, FaultPlan, Mode, NodeInit, SimError};
+use local_model::{derived_rng, Budget, FaultPlan, GlobalParams, Mode, NodeInit, SimError};
+use local_obs::Trace;
 use rand::Rng;
 
 /// Tunable constants of the Phase-1 schedule.
@@ -237,6 +241,27 @@ pub fn theorem10_phase1(
     seed: u64,
     config: Theorem10Config,
 ) -> Result<(Vec<Option<usize>>, u32), SimError> {
+    theorem10_phase1_traced(g, delta, seed, config, None)
+}
+
+/// [`theorem10_phase1`] with an optional trace buffer: the ColorBidding run
+/// is wrapped in a `t10_color_bidding` span and the engine emits per-round
+/// events into `trace`.
+///
+/// # Errors
+///
+/// Propagates engine errors.
+///
+/// # Panics
+///
+/// Same preconditions as [`theorem10_phase1`].
+pub fn theorem10_phase1_traced(
+    g: &Graph,
+    delta: usize,
+    seed: u64,
+    config: Theorem10Config,
+    trace: Option<&Trace>,
+) -> Result<(Vec<Option<usize>>, u32), SimError> {
     assert!(
         delta >= 9,
         "Theorem 10 needs Δ ≥ 9 (reserved √Δ palette ≥ 3)"
@@ -255,7 +280,15 @@ pub fn theorem10_phase1(
         schedule,
         margin: config.palette_margin,
     };
-    let out = run_sync(g, Mode::randomized(seed), &phase1, budget)?;
+    let _span = trace.map(|t| t.span("t10_color_bidding"));
+    let out = run_sync_with_params_traced(
+        g,
+        Mode::randomized(seed),
+        &phase1,
+        budget,
+        GlobalParams::from_graph(g),
+        trace,
+    )?;
     Ok((out.outputs, out.rounds))
 }
 
@@ -276,6 +309,24 @@ pub fn theorem10_phase1_faulty(
     config: Theorem10Config,
     faults: &FaultPlan,
 ) -> FaultySyncOutcome<Option<usize>> {
+    theorem10_phase1_faulty_traced(g, delta, seed, config, faults, None)
+}
+
+/// [`theorem10_phase1_faulty`] with an optional trace buffer: the run is
+/// wrapped in a `t10_color_bidding` span and the engine emits per-round
+/// events (live counts, crashes, fault-plane activity) into `trace`.
+///
+/// # Panics
+///
+/// Same preconditions as [`theorem10_phase1`].
+pub fn theorem10_phase1_faulty_traced(
+    g: &Graph,
+    delta: usize,
+    seed: u64,
+    config: Theorem10Config,
+    faults: &FaultPlan,
+    trace: Option<&Trace>,
+) -> FaultySyncOutcome<Option<usize>> {
     assert!(
         delta >= 9,
         "Theorem 10 needs Δ ≥ 9 (reserved √Δ palette ≥ 3)"
@@ -294,7 +345,15 @@ pub fn theorem10_phase1_faulty(
         schedule,
         margin: config.palette_margin,
     };
-    run_sync_faulty(g, Mode::randomized(seed), &phase1, budget, faults)
+    let _span = trace.map(|t| t.span("t10_color_bidding"));
+    run_sync_faulty_budgeted_traced(
+        g,
+        Mode::randomized(seed),
+        &phase1,
+        &Budget::rounds(budget),
+        faults,
+        trace,
+    )
 }
 
 /// Run the full Theorem-10 algorithm: Δ-color a forest with max degree ≤ Δ.
@@ -313,9 +372,31 @@ pub fn theorem10_color(
     seed: u64,
     config: Theorem10Config,
 ) -> Result<Theorem10Outcome, SimError> {
+    theorem10_color_traced(g, delta, seed, config, None)
+}
+
+/// [`theorem10_color`] with an optional trace buffer: Phase 1 runs under a
+/// `t10_color_bidding` span (with per-round engine events) and the
+/// deterministic finisher over the filtered vertices under a
+/// `t10_filtered_finish` span.
+///
+/// # Errors
+///
+/// Propagates engine errors.
+///
+/// # Panics
+///
+/// Same preconditions as [`theorem10_color`].
+pub fn theorem10_color_traced(
+    g: &Graph,
+    delta: usize,
+    seed: u64,
+    config: Theorem10Config,
+    trace: Option<&Trace>,
+) -> Result<Theorem10Outcome, SimError> {
     let reserved = (delta as f64).sqrt().ceil() as usize;
     let main_palette = delta - reserved;
-    let (phase1_colors, phase1_rounds) = theorem10_phase1(g, delta, seed, config)?;
+    let (phase1_colors, phase1_rounds) = theorem10_phase1_traced(g, delta, seed, config, trace)?;
 
     let bad: Vec<bool> = phase1_colors.iter().map(Option::is_none).collect();
     let stats = bad_component_stats(g, &bad);
@@ -326,6 +407,7 @@ pub fn theorem10_color(
         .collect();
     let mut phase2_rounds = 0;
     if stats.bad_vertices > 0 {
+        let _span = trace.map(|t| t.span("t10_filtered_finish"));
         // RandLOCAL synthesizes IDs: 4·log₂(n)+8 random bits per vertex,
         // unique w.h.p. (one free round; counted).
         let mut rng = derived_rng(seed, 0x7110);

@@ -3,7 +3,8 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use local_graphs::gen;
-use local_model::{Action, Engine, Mode, NodeInit, NodeIo, NodeProgram, Protocol};
+use local_model::{Action, Engine, FaultPlan, Mode, NodeInit, NodeIo, NodeProgram, Protocol};
+use local_obs::Trace;
 
 /// Floods for a fixed number of rounds, then halts — pure engine overhead.
 struct Flood {
@@ -55,5 +56,27 @@ fn bench_engine(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_engine);
+/// The same flood with a [`Trace`] attached: measures what per-round event
+/// buffering costs when observability is *on*. The `engine_flood_20_rounds`
+/// group above is the tracing-disabled baseline (its `Option<&Trace>` is
+/// `None`), so the pair bounds the overhead from both sides.
+fn bench_engine_traced(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_flood_20_rounds_traced");
+    group.sample_size(10);
+    for &n in &[1usize << 10, 1 << 14] {
+        let g = gen::cycle(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
+            b.iter(|| {
+                let trace = Trace::new(0);
+                let run = Engine::new(g, Mode::deterministic())
+                    .with_trace(&trace)
+                    .run_faulty(&FloodProtocol { horizon: 20 }, &FaultPlan::none());
+                (run.stats.messages_sent, trace.into_events().len())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine, bench_engine_traced);
 criterion_main!(benches);

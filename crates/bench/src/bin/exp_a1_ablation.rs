@@ -6,6 +6,7 @@ use local_separation::experiments::a1_ablation as a1;
 fn main() {
     let cli = Cli::parse();
     cli.reject_checkpoint("A1");
+    cli.reject_trace("A1");
     cli.banner(
         "A1",
         "Theorem 10 constants: growth K and palette margin ablation",
@@ -19,7 +20,7 @@ fn main() {
         cfg.seeds = t;
     }
     if cli.seed.is_some() {
-        eprintln!("note: --seed has no effect on A1 (seeds derive from the grid)");
+        cli.progress("note: --seed has no effect on A1 (seeds derive from the grid)");
     }
     let rows = a1::run(&cfg);
     if cli.json {

@@ -6,12 +6,13 @@ use local_separation::experiments::e10_indistinguishability as e10;
 fn main() {
     let cli = Cli::parse();
     cli.reject_checkpoint("E10");
+    cli.reject_trace("E10");
     cli.banner(
         "E10",
         "below half the girth, a Δ-regular graph has ONE radius-t view = the tree's",
     );
     if cli.trials.is_some() || cli.seed.is_some() {
-        eprintln!("note: --trials/--seed have no effect on E10 (exact view census)");
+        cli.progress("note: --trials/--seed have no effect on E10 (exact view census)");
     }
     let cfg = if cli.full {
         e10::Config::full()

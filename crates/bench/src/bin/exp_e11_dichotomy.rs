@@ -6,12 +6,13 @@ use local_separation::experiments::e11_dichotomy as e11;
 fn main() {
     let cli = Cli::parse();
     cli.reject_checkpoint("E11");
+    cli.reject_trace("E11");
     cli.banner(
         "E11",
         "Δ = 2: every LCL is O(log* n) or Ω(n) — both sides measured",
     );
     if cli.trials.is_some() || cli.seed.is_some() {
-        eprintln!("note: --trials/--seed have no effect on E11 (deterministic sweeps)");
+        cli.progress("note: --trials/--seed have no effect on E11 (deterministic sweeps)");
     }
     let cfg = if cli.full {
         e11::Config::full()

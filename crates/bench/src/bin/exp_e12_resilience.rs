@@ -1,6 +1,7 @@
 //! E12: resilience — validity and rounds under the deterministic fault plane.
 
 use local_bench::Cli;
+use local_obs::TraceSink;
 use local_separation::experiments::e12_resilience as e12;
 
 fn main() {
@@ -20,8 +21,16 @@ fn main() {
     if let Some(s) = cli.seed {
         cfg.master_seed = s;
     }
-    let checkpoint = cli.open_checkpoint();
-    let out = e12::run_checkpointed(&cfg, checkpoint.as_ref());
+    if cli.trace.is_some() && cli.checkpoint.is_some() {
+        eprintln!("error: --trace and --checkpoint are mutually exclusive on E12");
+        std::process::exit(2);
+    }
+    let out = if let Some(mut sink) = cli.open_trace() {
+        e12::run_traced(&cfg, Some(&mut sink as &mut dyn TraceSink))
+    } else {
+        let checkpoint = cli.open_checkpoint();
+        e12::run_checkpointed(&cfg, checkpoint.as_ref())
+    };
     if cli.json {
         cli.emit_json("E12", out.rows.as_slice());
         return;

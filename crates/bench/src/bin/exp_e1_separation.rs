@@ -7,6 +7,7 @@ use local_separation::experiments::e1_separation as e1;
 fn main() {
     let cli = Cli::parse();
     cli.reject_checkpoint("E1");
+    cli.reject_trace("E1");
     cli.banner(
         "E1",
         "tree Δ-coloring: Det Θ(log_Δ n) vs Rand O(log_Δ log n + log* n)",
@@ -20,7 +21,7 @@ fn main() {
         cfg.seeds = t;
     }
     if cli.seed.is_some() {
-        eprintln!("note: --seed has no effect on E1 (seeds derive from n and Δ)");
+        cli.progress("note: --seed has no effect on E1 (seeds derive from n and Δ)");
     }
     let out = e1::run(&cfg);
     if cli.json {

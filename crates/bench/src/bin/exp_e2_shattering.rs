@@ -1,6 +1,7 @@
 //! E2: Theorem 10 shattering — bad-component sizes vs the Δ⁴·log n bound.
 
 use local_bench::Cli;
+use local_obs::TraceSink;
 use local_separation::experiments::e2_shattering as e2;
 
 fn main() {
@@ -16,9 +17,10 @@ fn main() {
         cfg.seeds = t;
     }
     if cli.seed.is_some() {
-        eprintln!("note: --seed has no effect on E2 (seeds derive from n)");
+        cli.progress("note: --seed has no effect on E2 (seeds derive from n)");
     }
-    let rows = e2::run(&cfg);
+    let mut trace = cli.open_trace();
+    let rows = e2::run_traced(&cfg, trace.as_mut().map(|sink| sink as &mut dyn TraceSink));
     if cli.json {
         cli.emit_json("E2", rows.as_slice());
     } else {

@@ -6,6 +6,7 @@ use local_separation::experiments::e3_theorem11 as e3;
 fn main() {
     let cli = Cli::parse();
     cli.reject_checkpoint("E3");
+    cli.reject_trace("E3");
     cli.banner(
         "E3",
         "Theorem 11 profile: setup/phase rounds and S components",
@@ -19,7 +20,7 @@ fn main() {
         cfg.seeds = t;
     }
     if cli.seed.is_some() {
-        eprintln!("note: --seed has no effect on E3 (seeds derive from n)");
+        cli.progress("note: --seed has no effect on E3 (seeds derive from n)");
     }
     let rows = e3::run(&cfg);
     if cli.json {

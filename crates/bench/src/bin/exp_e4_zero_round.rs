@@ -6,6 +6,7 @@ use local_separation::experiments::e4_zero_round as e4;
 fn main() {
     let cli = Cli::parse();
     cli.reject_checkpoint("E4");
+    cli.reject_trace("E4");
     cli.banner(
         "E4",
         "every 0-round sinkless coloring fails with prob ≥ 1/Δ²",
@@ -19,7 +20,7 @@ fn main() {
         cfg.trials = t;
     }
     if cli.seed.is_some() {
-        eprintln!("note: --seed has no effect on E4 (seeds derive from the strategy grid)");
+        cli.progress("note: --seed has no effect on E4 (seeds derive from the strategy grid)");
     }
     let rows = e4::run(&cfg);
     if cli.json {

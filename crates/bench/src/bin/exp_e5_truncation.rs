@@ -6,6 +6,7 @@ use local_separation::experiments::e5_truncation as e5;
 fn main() {
     let cli = Cli::parse();
     cli.reject_checkpoint("E5");
+    cli.reject_trace("E5");
     cli.banner(
         "E5",
         "sink probability vs round budget (round elimination, run forward)",
@@ -19,7 +20,7 @@ fn main() {
         cfg.seeds = t;
     }
     if cli.seed.is_some() {
-        eprintln!("note: --seed has no effect on E5 (seeds derive from the phase grid)");
+        cli.progress("note: --seed has no effect on E5 (seeds derive from the phase grid)");
     }
     let rows = e5::run(&cfg);
     if cli.json {

@@ -6,12 +6,13 @@ use local_separation::experiments::e6_derand as e6;
 fn main() {
     let cli = Cli::parse();
     cli.reject_checkpoint("E6");
+    cli.reject_trace("E6");
     cli.banner(
         "E6",
         "Det(n, Δ) ≤ Rand(2^(n²), Δ), machine-verified at toy scale",
     );
     if cli.trials.is_some() || cli.seed.is_some() {
-        eprintln!("note: --trials/--seed have no effect on E6 (exhaustive enumeration)");
+        cli.progress("note: --trials/--seed have no effect on E6 (exhaustive enumeration)");
     }
     let cfg = if cli.full {
         e6::Config::full()

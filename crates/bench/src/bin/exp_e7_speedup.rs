@@ -6,12 +6,13 @@ use local_separation::experiments::e7_speedup as e7;
 fn main() {
     let cli = Cli::parse();
     cli.reject_checkpoint("E7");
+    cli.reject_trace("E7");
     cli.banner(
         "E7",
         "greedy-by-ID coloring: Θ(n) before, O(log* n + poly Δ) after",
     );
     if cli.trials.is_some() || cli.seed.is_some() {
-        eprintln!("note: --trials/--seed have no effect on E7 (deterministic algorithms)");
+        cli.progress("note: --trials/--seed have no effect on E7 (deterministic algorithms)");
     }
     let cfg = if cli.full {
         e7::Config::full()

@@ -14,12 +14,13 @@ struct Sections {
 fn main() {
     let cli = Cli::parse();
     cli.reject_checkpoint("E8");
+    cli.reject_trace("E8");
     cli.banner(
         "E8",
         "one-round palette shrink and O(log* n) convergence to β·Δ²",
     );
     if cli.trials.is_some() || cli.seed.is_some() {
-        eprintln!("note: --trials/--seed have no effect on E8 (deterministic algorithms)");
+        cli.progress("note: --trials/--seed have no effect on E8 (deterministic algorithms)");
     }
     let cfg = if cli.full {
         e8::Config::full()

@@ -6,6 +6,7 @@ use local_separation::experiments::e9_mis as e9;
 fn main() {
     let cli = Cli::parse();
     cli.reject_checkpoint("E9");
+    cli.reject_trace("E9");
     cli.banner(
         "E9",
         "MIS: Luby Θ(log n) vs Det O(Δ²+log* n) vs Ghaffari shattering",
@@ -19,7 +20,7 @@ fn main() {
         cfg.seeds = t;
     }
     if cli.seed.is_some() {
-        eprintln!("note: --seed has no effect on E9 (seeds derive from n)");
+        cli.progress("note: --seed has no effect on E9 (seeds derive from n)");
     }
     let out = e9::run(&cfg);
     if cli.json {

@@ -1,0 +1,264 @@
+//! `obs_report`: summarize or diff JSON-lines trace files.
+//!
+//! * `obs_report TRACE` — validate every line of `TRACE` and print a
+//!   summary: event counts, per-round live/message curves pooled over runs,
+//!   merged histograms, span timings, and recovery attempts.
+//! * `obs_report --diff A B` — compare two traces *modulo timing*: span
+//!   wall-clock micros are scrubbed before comparison, so two runs of the
+//!   same seeded experiment must diff clean. Exit status 0 when identical,
+//!   1 when they differ, 2 on unreadable/unparseable input.
+
+use local_obs::{read_trace, EventData, PowHistogram, TraceEvent};
+use std::collections::BTreeMap;
+
+fn usage() -> ! {
+    eprintln!("usage: obs_report TRACE | obs_report --diff A B");
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args
+        .iter()
+        .map(String::as_str)
+        .collect::<Vec<_>>()
+        .as_slice()
+    {
+        ["--help"] | ["-h"] => {
+            println!("usage: obs_report TRACE | obs_report --diff A B");
+        }
+        ["--diff", a, b] => diff(a, b),
+        [path] if !path.starts_with('-') => summarize(path),
+        _ => usage(),
+    }
+}
+
+fn load(path: &str) -> Vec<TraceEvent> {
+    match read_trace(std::path::Path::new(path)) {
+        Ok(events) => events,
+        Err(err) => {
+            eprintln!("error: {path}: {err}");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// One scrubbed event rendered for comparison: timing zeroed, everything
+/// else verbatim.
+fn scrubbed_line(event: &TraceEvent) -> String {
+    serde_json::to_string(&event.scrubbed()).expect("trace events serialize infallibly")
+}
+
+fn diff(a_path: &str, b_path: &str) {
+    let a = load(a_path);
+    let b = load(b_path);
+    let mut differences = 0usize;
+    const SHOWN: usize = 10;
+    for (i, (x, y)) in a.iter().zip(&b).enumerate() {
+        let (lx, ly) = (scrubbed_line(x), scrubbed_line(y));
+        if lx != ly {
+            if differences < SHOWN {
+                println!("event {i} differs:");
+                println!("  - {lx}");
+                println!("  + {ly}");
+            }
+            differences += 1;
+        }
+    }
+    if a.len() != b.len() {
+        println!(
+            "length differs: {} has {} events, {} has {}",
+            a_path,
+            a.len(),
+            b_path,
+            b.len()
+        );
+        differences += a.len().abs_diff(b.len());
+    }
+    if differences == 0 {
+        println!("identical modulo timing: {} events in both traces", a.len());
+    } else {
+        println!("{differences} non-timing difference(s)");
+        std::process::exit(1);
+    }
+}
+
+#[derive(Default)]
+struct RoundCurve {
+    live: u64,
+    messages: u64,
+    samples: u64,
+}
+
+fn summarize(path: &str) {
+    let events = load(path);
+    println!("{path}: {} events", events.len());
+    if events.is_empty() {
+        return;
+    }
+
+    let trials: std::collections::BTreeSet<u64> = events.iter().map(|e| e.trial).collect();
+    println!(
+        "trials: {} (ids {}..={})",
+        trials.len(),
+        trials.iter().next().expect("nonempty"),
+        trials.iter().next_back().expect("nonempty")
+    );
+
+    let mut tags: BTreeMap<&'static str, u64> = BTreeMap::new();
+    for e in &events {
+        *tags.entry(e.data.tag()).or_default() += 1;
+    }
+    let tag_list: Vec<String> = tags.iter().map(|(t, c)| format!("{t}: {c}")).collect();
+    println!("events by type: {}", tag_list.join(", "));
+
+    run_summary(&events);
+    round_curves(&events);
+    histograms(&events);
+    spans(&events);
+    recoveries(&events);
+}
+
+fn run_summary(events: &[TraceEvent]) {
+    let mut runs = 0u64;
+    let mut messages = 0u64;
+    let mut rounds_total = 0u64;
+    let mut rounds_max = 0u32;
+    let mut halted = 0u64;
+    let mut crashed = 0u64;
+    let mut cut = 0u64;
+    let mut breaches: BTreeMap<String, u64> = BTreeMap::new();
+    for e in events {
+        if let EventData::RunEnd {
+            rounds,
+            messages: m,
+            halted: h,
+            crashed: c,
+            cut: q,
+            breach,
+            ..
+        } = &e.data
+        {
+            runs += 1;
+            messages += m;
+            rounds_total += u64::from(*rounds);
+            rounds_max = rounds_max.max(*rounds);
+            halted += h;
+            crashed += c;
+            cut += q;
+            if let Some(b) = breach {
+                *breaches.entry(b.clone()).or_default() += 1;
+            }
+        }
+    }
+    if runs == 0 {
+        return;
+    }
+    println!(
+        "runs: {runs}; rounds mean {:.1} max {rounds_max}; messages total {messages}",
+        rounds_total as f64 / runs as f64
+    );
+    println!("vertex fates: halted {halted}, crashed {crashed}, cut {cut}");
+    for (b, c) in &breaches {
+        println!("budget breaches: {b} × {c}");
+    }
+}
+
+/// Per-round curves pooled over every run in the trace: how the live-vertex
+/// count decays and where the message volume peaks.
+fn round_curves(events: &[TraceEvent]) {
+    let mut curve: BTreeMap<u32, RoundCurve> = BTreeMap::new();
+    for e in events {
+        if let EventData::Round {
+            round,
+            live,
+            messages,
+            ..
+        } = &e.data
+        {
+            let slot = curve.entry(*round).or_default();
+            slot.live += live;
+            slot.messages += messages;
+            slot.samples += 1;
+        }
+    }
+    if curve.is_empty() {
+        return;
+    }
+    const SHOWN: usize = 24;
+    println!("per-round curve (pooled over runs; live/messages are means):");
+    println!("  round  runs   live-mean  messages-mean");
+    for (round, c) in curve.iter().take(SHOWN) {
+        println!(
+            "  {round:>5}  {:>4}  {:>10.1}  {:>13.1}",
+            c.samples,
+            c.live as f64 / c.samples as f64,
+            c.messages as f64 / c.samples as f64
+        );
+    }
+    if curve.len() > SHOWN {
+        println!("  … {} more rounds", curve.len() - SHOWN);
+    }
+}
+
+fn histograms(events: &[TraceEvent]) {
+    let mut merged: BTreeMap<String, PowHistogram> = BTreeMap::new();
+    for e in events {
+        if let EventData::Histogram { name, hist } = &e.data {
+            merged.entry(name.clone()).or_default().merge(hist);
+        }
+    }
+    for (name, hist) in &merged {
+        println!("histogram {name} (total {}):", hist.total());
+        for (bin, count) in hist.nonzero() {
+            let (lo, hi) = PowHistogram::bin_bounds(bin);
+            println!("  [{lo}, {hi}]: {count}");
+        }
+    }
+}
+
+fn spans(events: &[TraceEvent]) {
+    let mut timing: BTreeMap<String, (u64, u64)> = BTreeMap::new();
+    for e in events {
+        if let EventData::SpanEnd { name, micros } = &e.data {
+            let slot = timing.entry(name.clone()).or_default();
+            slot.0 += 1;
+            slot.1 += micros;
+        }
+    }
+    for (name, (count, micros)) in &timing {
+        println!(
+            "span {name}: {count} × (total {micros} µs, mean {:.1} µs)",
+            *micros as f64 / *count as f64
+        );
+    }
+}
+
+fn recoveries(events: &[TraceEvent]) {
+    let mut attempts = 0u64;
+    let mut ok = 0u64;
+    let mut max_radius = 0u32;
+    let mut finishers: BTreeMap<String, u64> = BTreeMap::new();
+    for e in events {
+        if let EventData::Recovery {
+            radius,
+            finisher,
+            ok: success,
+            ..
+        } = &e.data
+        {
+            attempts += 1;
+            ok += u64::from(*success);
+            max_radius = max_radius.max(*radius);
+            *finishers.entry(finisher.clone()).or_default() += 1;
+        }
+    }
+    if attempts == 0 {
+        return;
+    }
+    let by_finisher: Vec<String> = finishers.iter().map(|(f, c)| format!("{f}: {c}")).collect();
+    println!(
+        "recovery attempts: {attempts} ({ok} verified ok, max radius {max_radius}); {}",
+        by_finisher.join(", ")
+    );
+}

@@ -9,13 +9,18 @@
 //! support it resumable: finished trials are appended to a JSON-lines store
 //! as they complete, and a rerun with the same seed and path skips them (a
 //! binary without checkpoint support rejects the flag with exit status 2
-//! rather than silently dropping resumability). Unknown flags and malformed
-//! values print the usage and exit nonzero, so a typo never silently runs
-//! the default sweep.
+//! rather than silently dropping resumability). `--trace PATH` streams
+//! structured JSON-lines trace events (per-round engine telemetry, phase
+//! spans, recovery attempts, histograms) to a file for the experiments that
+//! support it — the same reject-with-status-2 contract applies elsewhere —
+//! and `--quiet` suppresses progress lines on stderr. Unknown flags and
+//! malformed values print the usage and exit nonzero, so a typo never
+//! silently runs the default sweep.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use local_obs::FileSink;
 use local_separation::checkpoint::Checkpoint;
 use local_separation::trials::TrialReport;
 use serde::Serialize;
@@ -33,6 +38,10 @@ pub struct Cli {
     pub seed: Option<u64>,
     /// Path of the JSON-lines checkpoint store (`--checkpoint`).
     pub checkpoint: Option<String>,
+    /// Path of the JSON-lines trace file (`--trace`).
+    pub trace: Option<String>,
+    /// Suppress progress lines on stderr (`--quiet`).
+    pub quiet: bool,
 }
 
 /// Why parsing failed (or stopped): carried by [`Cli::try_parse`].
@@ -45,7 +54,10 @@ pub enum CliError {
 }
 
 fn usage(program: &str) -> String {
-    format!("usage: {program} [--full] [--json] [--trials N] [--seed N] [--checkpoint PATH]")
+    format!(
+        "usage: {program} [--full] [--json] [--quiet] [--trials N] [--seed N] \
+         [--checkpoint PATH] [--trace PATH]"
+    )
 }
 
 impl Cli {
@@ -90,6 +102,8 @@ impl Cli {
                 "--checkpoint" => {
                     cli.checkpoint = Some(parse_path("--checkpoint", args.next())?);
                 }
+                "--trace" => cli.trace = Some(parse_path("--trace", args.next())?),
+                "--quiet" => cli.quiet = true,
                 other => {
                     if let Some(v) = other.strip_prefix("--trials=") {
                         cli.trials = Some(parse_count("--trials", Some(v.to_string()))?);
@@ -97,6 +111,8 @@ impl Cli {
                         cli.seed = Some(parse_count("--seed", Some(v.to_string()))?);
                     } else if let Some(v) = other.strip_prefix("--checkpoint=") {
                         cli.checkpoint = Some(parse_path("--checkpoint", Some(v.to_string()))?);
+                    } else if let Some(v) = other.strip_prefix("--trace=") {
+                        cli.trace = Some(parse_path("--trace", Some(v.to_string()))?);
                     } else {
                         return Err(CliError::Bad(format!("unknown argument `{other}`")));
                     }
@@ -160,6 +176,38 @@ impl Cli {
             );
             std::process::exit(2);
         }
+    }
+
+    /// Open the JSON-lines trace sink named by `--trace`, or `None` when the
+    /// flag was not given. For binaries whose experiment supports tracing.
+    ///
+    /// Exits with status 2 if the file cannot be created — a run asked to
+    /// record a trace must not silently run untraced.
+    pub fn open_trace(&self) -> Option<FileSink> {
+        let path = self.trace.as_deref()?;
+        match FileSink::create(std::path::Path::new(path)) {
+            Ok(sink) => Some(sink),
+            Err(err) => {
+                eprintln!("error: cannot create trace file `{path}`: {err}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// Reject `--trace` for a binary whose experiment has no traced run
+    /// path, with a message naming the experiment; exits with status 2.
+    /// Silently accepting the flag would leave the user with an empty file
+    /// instead of the trace they asked for.
+    pub fn reject_trace(&self, experiment: &str) {
+        if self.trace.is_some() {
+            eprintln!("error: {experiment} does not support --trace (no traced run path)");
+            std::process::exit(2);
+        }
+    }
+
+    /// A progress line on stderr, suppressed under `--quiet`.
+    pub fn progress(&self, message: &str) {
+        local_obs::progress(self.quiet, message);
     }
 
     /// Print the experiment's measured rows as the standard JSON envelope.
@@ -253,6 +301,28 @@ mod tests {
     #[test]
     fn open_checkpoint_absent_is_none() {
         assert!(Cli::default().open_checkpoint().is_none());
+    }
+
+    #[test]
+    fn trace_path_parses_in_both_spellings() {
+        let cli = parse(&["--trace", "run.jsonl"]).unwrap();
+        assert_eq!(cli.trace.as_deref(), Some("run.jsonl"));
+        let cli = parse(&["--trace=out/e2.jsonl", "--quiet"]).unwrap();
+        assert_eq!(cli.trace.as_deref(), Some("out/e2.jsonl"));
+        assert!(cli.quiet);
+        assert_eq!(parse(&[]).unwrap().trace, None);
+        assert!(!parse(&[]).unwrap().quiet);
+    }
+
+    #[test]
+    fn trace_without_a_path_is_an_error() {
+        assert!(matches!(parse(&["--trace"]), Err(CliError::Bad(_))));
+        assert!(matches!(parse(&["--trace="]), Err(CliError::Bad(_))));
+    }
+
+    #[test]
+    fn open_trace_absent_is_none() {
+        assert!(Cli::default().open_trace().is_none());
     }
 
     #[test]

@@ -33,12 +33,13 @@ use crate::report::Table;
 use crate::trials::{TrialOutcome, TrialPlan};
 use local_algorithms::mis::luby::Luby;
 use local_algorithms::orientation::sinkless::SinklessRepair;
-use local_algorithms::tree::theorem10::{theorem10_phase1_faulty, Theorem10Config};
-use local_algorithms::{run_sync_faulty, FaultySyncOutcome};
+use local_algorithms::tree::theorem10::{theorem10_phase1_faulty_traced, Theorem10Config};
+use local_algorithms::{run_sync_faulty_budgeted_traced, FaultySyncOutcome};
 use local_graphs::{gen, Graph, GraphError};
 use local_lcl::problems::{Mis, Orientation, SinklessOrientation, VertexColoring};
 use local_lcl::{check_partial, PartialValidity};
-use local_model::{FaultPlan, FaultSpec, Mode, Outcome};
+use local_model::{Budget, FaultPlan, FaultSpec, Mode, Outcome};
+use local_obs::{Trace, TraceSink};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
@@ -186,9 +187,9 @@ const SINKLESS_PHASES: u32 = 20;
 const MIS_DELTA: usize = 4;
 const MIS_BUDGET: u32 = 400;
 
-/// Runner signature shared by every workload: trial seed + fault plan in,
-/// [`TrialRecord`] out.
-type Runner<'a> = Box<dyn Fn(&Graph, u64, &FaultPlan) -> TrialRecord + Sync + 'a>;
+/// Runner signature shared by every workload: trial seed + fault plan (and
+/// an optional per-trial trace buffer) in, [`TrialRecord`] out.
+type Runner<'a> = Box<dyn Fn(&Graph, u64, &FaultPlan, Option<&Trace>) -> TrialRecord + Sync + 'a>;
 
 /// One workload: a graph plus a fault-tolerant runner producing a
 /// [`TrialRecord`] from a trial seed and a fault spec.
@@ -215,9 +216,15 @@ fn workloads(cfg: &Config) -> Vec<Result<Workload<'static>, (&'static str, Graph
             name: "tree-coloring",
             graph: tree,
             crash_window: tree_budget,
-            run: Box::new(move |g, seed, plan| {
-                let out =
-                    theorem10_phase1_faulty(g, TREE_DELTA, seed, Theorem10Config::default(), plan);
+            run: Box::new(move |g, seed, plan, trace| {
+                let out = theorem10_phase1_faulty_traced(
+                    g,
+                    TREE_DELTA,
+                    seed,
+                    Theorem10Config::default(),
+                    plan,
+                    trace,
+                );
                 // A decided vertex carries Some(color) or None (filtered
                 // bad) — both are decisions, but only colors are checkable.
                 let labels: Vec<Option<usize>> = out
@@ -236,16 +243,17 @@ fn workloads(cfg: &Config) -> Vec<Result<Workload<'static>, (&'static str, Graph
             name: "sinkless",
             graph,
             crash_window: 2 * SINKLESS_PHASES + 6,
-            run: Box::new(|g, seed, plan| {
+            run: Box::new(|g, seed, plan, trace| {
                 let algo = SinklessRepair {
                     phases: SINKLESS_PHASES,
                 };
-                let out = run_sync_faulty(
+                let out = run_sync_faulty_budgeted_traced(
                     g,
                     Mode::randomized(seed),
                     &algo,
-                    2 * SINKLESS_PHASES + 6,
+                    &Budget::rounds(2 * SINKLESS_PHASES + 6),
                     plan,
+                    trace,
                 );
                 let labels: Vec<Option<Orientation>> = decided_labels(&out);
                 let pv = check_partial(&SinklessOrientation::new(SINKLESS_DELTA), g, &labels);
@@ -256,9 +264,15 @@ fn workloads(cfg: &Config) -> Vec<Result<Workload<'static>, (&'static str, Graph
             name: "mis",
             graph,
             crash_window: MIS_BUDGET,
-            run: Box::new(|g, seed, plan| {
-                let out =
-                    run_sync_faulty(g, Mode::randomized(seed), &Luby::new(), MIS_BUDGET, plan);
+            run: Box::new(|g, seed, plan, trace| {
+                let out = run_sync_faulty_budgeted_traced(
+                    g,
+                    Mode::randomized(seed),
+                    &Luby::new(),
+                    &Budget::rounds(MIS_BUDGET),
+                    plan,
+                    trace,
+                );
                 let labels: Vec<Option<bool>> = decided_labels(&out);
                 let pv = check_partial(&Mis::new(), g, &labels);
                 record(&out, &pv)
@@ -392,9 +406,51 @@ pub fn run_checkpointed(cfg: &Config, checkpoint: Option<&Checkpoint>) -> Outcom
                             checkpoint.map(|c| (c, scope.as_str())),
                             |trial| {
                                 let faults = FaultPlan::sample(&w.graph, &spec, trial.seed);
-                                (w.run)(&w.graph, trial.seed, &faults)
+                                (w.run)(&w.graph, trial.seed, &faults, None)
                             },
                         );
+                        rows.push(fold_row(w.name, drop_p, crash_p, cfg.trials, outcomes));
+                    }
+                }
+            }
+        }
+    }
+    Outcome12 { rows }
+}
+
+/// [`run`] with an optional trace sink: each trial's engine run emits its
+/// per-round events (live counts, crashes, fault-plane drops and delays)
+/// into `sink`, with trial numbers unique across the whole grid (grid points
+/// are visited in workload-major, drop-then-crash order and each consumes
+/// `cfg.trials` trial numbers). Tracing runs without checkpoint support and
+/// without panic isolation — it is an observability mode, not a production
+/// sweep mode.
+pub fn run_traced(cfg: &Config, mut sink: Option<&mut dyn TraceSink>) -> Outcome12 {
+    let mut rows = Vec::new();
+    let mut base = 0u64;
+    for slot in workloads(cfg) {
+        match slot {
+            Err((name, err)) => {
+                for &drop_p in &cfg.drop_ps {
+                    for &crash_p in &cfg.crash_ps {
+                        rows.push(error_row(name, drop_p, crash_p, &err));
+                    }
+                }
+            }
+            Ok(w) => {
+                for &drop_p in &cfg.drop_ps {
+                    for &crash_p in &cfg.crash_ps {
+                        let spec = FaultSpec::none()
+                            .with_drop(drop_p)
+                            .with_crash(crash_p, w.crash_window);
+                        let plan = TrialPlan::new(cfg.trials, cfg.master_seed);
+                        let records =
+                            plan.run_with_trace_from(sink.as_deref_mut(), base, |trial, trace| {
+                                let faults = FaultPlan::sample(&w.graph, &spec, trial.seed);
+                                (w.run)(&w.graph, trial.seed, &faults, trace)
+                            });
+                        base += cfg.trials;
+                        let outcomes = records.into_iter().map(TrialOutcome::Ok).collect();
                         rows.push(fold_row(w.name, drop_p, crash_p, cfg.trials, outcomes));
                     }
                 }
@@ -518,6 +574,35 @@ mod tests {
             }
         }
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn traced_sweep_matches_untraced_rows() {
+        use local_obs::MemorySink;
+
+        let cfg = tiny();
+        let plain = run(&cfg);
+        let mut sink = MemorySink::new();
+        let traced = run_traced(&cfg, Some(&mut sink));
+        assert_eq!(
+            serde_json::to_string(&plain.rows).unwrap(),
+            serde_json::to_string(&traced.rows).unwrap(),
+            "tracing must not change the measured rows"
+        );
+        let events = sink.into_events();
+        // Every grid point contributed cfg.trials engine runs, each with a
+        // run_start/run_end pair, under globally unique trial numbers.
+        let starts = events
+            .iter()
+            .filter(|e| e.data.tag() == "run_start")
+            .count();
+        assert_eq!(starts as u64, 3 * 2 * 2 * cfg.trials);
+        let trials: std::collections::HashSet<u64> = events.iter().map(|e| e.trial).collect();
+        assert_eq!(trials, (0..3 * 2 * 2 * cfg.trials).collect());
+        // Crashy grid points actually show crashes in the round events.
+        assert!(events
+            .iter()
+            .any(|e| matches!(e.data, local_obs::EventData::Round { crashes, .. } if crashes > 0)));
     }
 
     #[test]

@@ -23,15 +23,16 @@ use crate::report::Table;
 use crate::trials::{TrialOutcome, TrialPlan};
 use local_algorithms::mis::luby::Luby;
 use local_algorithms::orientation::sinkless::SinklessRepair;
-use local_algorithms::tree::theorem10::{theorem10_phase1_faulty, Theorem10Config};
+use local_algorithms::tree::theorem10::{theorem10_phase1_faulty_traced, Theorem10Config};
 use local_algorithms::{
-    recover, run_sync_faulty_budgeted, FaultySyncOutcome, Finisher, GreedyColoringFinisher,
-    LubyRestartFinisher, RecoveryPolicy, SinklessFinisher,
+    recover_traced, run_sync_faulty_budgeted_traced, FaultySyncOutcome, Finisher,
+    GreedyColoringFinisher, LubyRestartFinisher, RecoveryPolicy, SinklessFinisher,
 };
 use local_graphs::{gen, Graph, GraphError};
 use local_lcl::problems::{Mis, Orientation, SinklessOrientation, VertexColoring};
 use local_lcl::LclProblem;
 use local_model::{derived_u64, Budget, FaultPlan, FaultSpec, Mode, Outcome};
+use local_obs::{Trace, TraceSink};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
@@ -175,6 +176,7 @@ fn heal<P, F, O>(
     problem: &P,
     finisher: &F,
     policy: &RecoveryPolicy,
+    trace: Option<&Trace>,
 ) -> TrialResult
 where
     P: LclProblem,
@@ -182,7 +184,7 @@ where
 {
     let (halted, crashed, cut) = run.counts();
     let base_rounds = run.max_decided_round();
-    match recover(problem, g, partial, finisher, policy) {
+    match recover_traced(problem, g, partial, finisher, policy, trace) {
         Ok(rec) => TrialResult {
             recovered: true,
             attempts: rec.attempts,
@@ -224,7 +226,9 @@ const MIS_BUDGET: u32 = 400;
 /// consumer of the trial seed.
 const MIS_FINISHER_STREAM: u64 = 0xE13;
 
-type Runner<'a> = Box<dyn Fn(&Graph, u64, &FaultPlan, &RecoveryPolicy) -> TrialResult + Sync + 'a>;
+type Runner<'a> = Box<
+    dyn Fn(&Graph, u64, &FaultPlan, &RecoveryPolicy, Option<&Trace>) -> TrialResult + Sync + 'a,
+>;
 
 struct Workload<'a> {
     name: &'static str,
@@ -247,9 +251,15 @@ fn workloads(cfg: &Config) -> Vec<Result<Workload<'static>, (&'static str, Graph
             name: "tree-coloring",
             graph: tree,
             crash_window: tree_budget,
-            run: Box::new(move |g, seed, plan, policy| {
-                let out =
-                    theorem10_phase1_faulty(g, TREE_DELTA, seed, Theorem10Config::default(), plan);
+            run: Box::new(move |g, seed, plan, policy, trace| {
+                let out = theorem10_phase1_faulty_traced(
+                    g,
+                    TREE_DELTA,
+                    seed,
+                    Theorem10Config::default(),
+                    plan,
+                    trace,
+                );
                 // Phase 1 leaves filtered-bad vertices decided-but-unlabeled
                 // (`Some(None)`); flattening folds them into the damaged
                 // core, so recovery colors them too — the finisher plays the
@@ -272,6 +282,7 @@ fn workloads(cfg: &Config) -> Vec<Result<Workload<'static>, (&'static str, Graph
                         palette: TREE_DELTA,
                     },
                     policy,
+                    trace,
                 )
             }),
         }),
@@ -279,16 +290,17 @@ fn workloads(cfg: &Config) -> Vec<Result<Workload<'static>, (&'static str, Graph
             name: "sinkless",
             graph,
             crash_window: 2 * SINKLESS_PHASES + 6,
-            run: Box::new(|g, seed, plan, policy| {
+            run: Box::new(|g, seed, plan, policy, trace| {
                 let algo = SinklessRepair {
                     phases: SINKLESS_PHASES,
                 };
-                let out = run_sync_faulty_budgeted(
+                let out = run_sync_faulty_budgeted_traced(
                     g,
                     Mode::randomized(seed),
                     &algo,
                     &Budget::rounds(2 * SINKLESS_PHASES + 6),
                     plan,
+                    trace,
                 );
                 let labels: Vec<Option<Orientation>> = decided_labels(&out);
                 heal(
@@ -298,6 +310,7 @@ fn workloads(cfg: &Config) -> Vec<Result<Workload<'static>, (&'static str, Graph
                     &SinklessOrientation::new(SINKLESS_DELTA),
                     &SinklessFinisher,
                     policy,
+                    trace,
                 )
             }),
         }),
@@ -305,13 +318,14 @@ fn workloads(cfg: &Config) -> Vec<Result<Workload<'static>, (&'static str, Graph
             name: "mis",
             graph,
             crash_window: MIS_BUDGET,
-            run: Box::new(|g, seed, plan, policy| {
-                let out = run_sync_faulty_budgeted(
+            run: Box::new(|g, seed, plan, policy, trace| {
+                let out = run_sync_faulty_budgeted_traced(
                     g,
                     Mode::randomized(seed),
                     &Luby::new(),
                     &Budget::rounds(MIS_BUDGET),
                     plan,
+                    trace,
                 );
                 let labels: Vec<Option<bool>> = decided_labels(&out);
                 heal(
@@ -323,6 +337,7 @@ fn workloads(cfg: &Config) -> Vec<Result<Workload<'static>, (&'static str, Graph
                         seed: derived_u64(seed, MIS_FINISHER_STREAM),
                     },
                     policy,
+                    trace,
                 )
             }),
         }),
@@ -479,9 +494,50 @@ pub fn run_checkpointed(cfg: &Config, checkpoint: Option<&Checkpoint>) -> Outcom
                             checkpoint.map(|c| (c, scope.as_str())),
                             |trial| {
                                 let faults = FaultPlan::sample(&w.graph, &spec, trial.seed);
-                                (w.run)(&w.graph, trial.seed, &faults, &cfg.policy)
+                                (w.run)(&w.graph, trial.seed, &faults, &cfg.policy, None)
                             },
                         );
+                        rows.push(fold_row(w.name, drop_p, crash_p, cfg, outcomes));
+                    }
+                }
+            }
+        }
+    }
+    Outcome13 { rows }
+}
+
+/// [`run`] with an optional trace sink: each trial's base engine run emits
+/// per-round events and the recovery driver emits one `recovery` event per
+/// escalation attempt (core/residue sizes, finisher, verification verdict).
+/// Trial numbers are unique across the whole grid. Tracing runs without
+/// checkpoint support and without panic isolation — it is an observability
+/// mode, not a production sweep mode.
+pub fn run_traced(cfg: &Config, mut sink: Option<&mut dyn TraceSink>) -> Outcome13 {
+    let mut rows = Vec::new();
+    let mut base = 0u64;
+    for slot in workloads(cfg) {
+        match slot {
+            Err((name, err)) => {
+                for &drop_p in &cfg.drop_ps {
+                    for &crash_p in &cfg.crash_ps {
+                        rows.push(error_row(name, drop_p, crash_p, cfg, &err));
+                    }
+                }
+            }
+            Ok(w) => {
+                for &drop_p in &cfg.drop_ps {
+                    for &crash_p in &cfg.crash_ps {
+                        let spec = FaultSpec::none()
+                            .with_drop(drop_p)
+                            .with_crash(crash_p, w.crash_window);
+                        let plan = TrialPlan::new(cfg.trials, cfg.master_seed);
+                        let results =
+                            plan.run_with_trace_from(sink.as_deref_mut(), base, |trial, trace| {
+                                let faults = FaultPlan::sample(&w.graph, &spec, trial.seed);
+                                (w.run)(&w.graph, trial.seed, &faults, &cfg.policy, trace)
+                            });
+                        base += cfg.trials;
+                        let outcomes = results.into_iter().map(TrialOutcome::Ok).collect();
                         rows.push(fold_row(w.name, drop_p, crash_p, cfg, outcomes));
                     }
                 }
@@ -616,6 +672,53 @@ mod tests {
             }
         }
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn traced_sweep_matches_untraced_and_emits_recovery_events() {
+        use local_obs::{EventData, MemorySink};
+
+        let cfg = tiny();
+        let plain = run(&cfg);
+        let mut sink = MemorySink::new();
+        let traced = run_traced(&cfg, Some(&mut sink));
+        assert_eq!(
+            serde_json::to_string(&plain.rows).unwrap(),
+            serde_json::to_string(&traced.rows).unwrap(),
+            "tracing must not change the measured rows"
+        );
+        let events = sink.into_events();
+        // The faulted grid points exercise the recovery driver, and every
+        // recovery event names a real finisher and carries core ≤ residue.
+        let recoveries: Vec<_> = events
+            .iter()
+            .filter_map(|e| match &e.data {
+                EventData::Recovery {
+                    core,
+                    residue,
+                    finisher,
+                    ok,
+                    ..
+                } => Some((*core, *residue, finisher.clone(), *ok)),
+                _ => None,
+            })
+            .collect();
+        assert!(
+            !recoveries.is_empty(),
+            "faulted trials emit recovery events"
+        );
+        for (core, residue, finisher, _) in &recoveries {
+            assert!(core <= residue, "core {core} ≤ residue {residue}");
+            assert!(
+                ["greedy-coloring", "sinkless", "luby-restart"].contains(&finisher.as_str()),
+                "unexpected finisher {finisher}"
+            );
+        }
+        assert!(recoveries.iter().any(|(.., ok)| *ok));
+        // The recovery driver's span brackets the recovery events.
+        assert!(events
+            .iter()
+            .any(|e| matches!(&e.data, EventData::SpanStart { name } if name == "recover")));
     }
 
     #[test]

@@ -9,9 +9,10 @@
 use crate::report::Table;
 use crate::shatter::shatter_profile;
 use crate::trials::TrialPlan;
-use local_algorithms::tree::theorem10::theorem10_phase1;
+use local_algorithms::tree::theorem10::theorem10_phase1_traced;
 use local_algorithms::tree::Theorem10Config;
 use local_graphs::gen;
+use local_obs::{EventData, PowHistogram, TraceSink};
 use serde::{Deserialize, Serialize};
 
 /// Sweep configuration.
@@ -63,18 +64,39 @@ pub struct Row {
 
 /// Run the sweep.
 pub fn run(cfg: &Config) -> Vec<Row> {
+    run_traced(cfg, None)
+}
+
+/// [`run`] with an optional trace sink: every trial's Phase-1 engine run
+/// emits per-round events (live vertices, message volume), and each trial
+/// additionally records a `shattered_component_size` histogram of the bad
+/// components it produced. Trials are stamped with a global sequence number
+/// `point · seeds + seed` so the combined stream stays unambiguous across
+/// sweep points.
+pub fn run_traced(cfg: &Config, mut sink: Option<&mut dyn TraceSink>) -> Vec<Row> {
     let mut rows = Vec::new();
-    for &n in &cfg.ns {
+    for (point, &n) in cfg.ns.iter().enumerate() {
         // The hard family (matching E1): complete (Δ−1)-ary trees, whose
         // internal vertices all have degree exactly Δ.
         let g = gen::complete_dary_tree(n, cfg.delta);
         let plan = TrialPlan::new(cfg.seeds, 0xE2 ^ (n as u64));
-        let per_trial = plan.run(|t| {
+        let base = point as u64 * cfg.seeds;
+        let per_trial = plan.run_with_trace_from(sink.as_deref_mut(), base, |t, trace| {
             let (status, _rounds) =
-                theorem10_phase1(&g, cfg.delta, t.seed, Theorem10Config::default())
+                theorem10_phase1_traced(&g, cfg.delta, t.seed, Theorem10Config::default(), trace)
                     .expect("phase 1 has a fixed schedule");
             let bad: Vec<bool> = status.iter().map(Option::is_none).collect();
             let profile = shatter_profile(&g, &bad);
+            if let Some(tr) = trace {
+                let mut hist = PowHistogram::new();
+                for &size in &profile.component_sizes {
+                    hist.record(size as u64);
+                }
+                tr.emit(EventData::Histogram {
+                    name: "shattered_component_size".to_string(),
+                    hist: Box::new(hist),
+                });
+            }
             (profile.undecided, profile.largest())
         });
         let bad_max = per_trial.iter().map(|p| p.0).max().unwrap_or(0);
@@ -132,5 +154,45 @@ mod tests {
             assert!(r.largest_component <= 100);
         }
         assert_eq!(table(&rows, 16).len(), 2);
+    }
+
+    #[test]
+    fn traced_run_matches_untraced_and_emits_histograms() {
+        use local_obs::MemorySink;
+        use serde_json::to_string;
+
+        let cfg = Config {
+            delta: 16,
+            ns: vec![512, 1024],
+            seeds: 2,
+        };
+        let plain = run(&cfg);
+        let mut sink = MemorySink::new();
+        let traced = run_traced(&cfg, Some(&mut sink));
+        assert_eq!(
+            to_string(&plain).unwrap(),
+            to_string(&traced).unwrap(),
+            "tracing must not change results"
+        );
+        let events = sink.into_events();
+        // One shattered-component histogram per trial, stamped with a
+        // globally unique trial number across the two sweep points. (The
+        // engine additionally emits messages/halt-round histograms per run,
+        // hence the filter by name.)
+        let hists: Vec<&local_obs::TraceEvent> = events
+            .iter()
+            .filter(|e| {
+                matches!(&e.data, local_obs::EventData::Histogram { name, .. }
+                    if name == "shattered_component_size")
+            })
+            .collect();
+        assert_eq!(hists.len(), 4);
+        let trials: std::collections::HashSet<u64> = hists.iter().map(|e| e.trial).collect();
+        assert_eq!(trials, (0..4).collect());
+        // Engine rounds were traced too.
+        assert!(events.iter().any(|e| e.data.tag() == "round"));
+        assert!(events
+            .iter()
+            .any(|e| matches!(&e.data, local_obs::EventData::SpanStart { name } if name == "t10_color_bidding")));
     }
 }

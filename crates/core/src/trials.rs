@@ -15,6 +15,7 @@
 //! the README).
 
 use local_model::{derived_rng, derived_u64, RunStats};
+use local_obs::{Trace, TraceSink};
 use rand_chacha::ChaCha8Rng;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
@@ -81,6 +82,55 @@ impl TrialPlan {
             })
             .collect();
         trials.into_par_iter().map(f).collect()
+    }
+
+    /// [`run`](Self::run) with per-trial tracing: each trial gets its own
+    /// [`Trace`] buffer (stamped with the trial index), and after all trials
+    /// finish the buffered events are drained into `sink` *in trial order*
+    /// and flushed once. The emitted stream is therefore bit-identical no
+    /// matter how many rayon workers executed the batch — thread-count
+    /// invariance holds by construction, not by luck.
+    ///
+    /// With `sink: None` no buffers are allocated and `f` sees `None`, so a
+    /// trace-disabled run pays only the `Option` branch. (`S` is generic —
+    /// `?Sized` — so both concrete sinks and `&mut dyn TraceSink` reborrows
+    /// work without fighting `&mut` invariance.)
+    pub fn run_with_trace<R, F, S>(&self, sink: Option<&mut S>, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(Trial, Option<&Trace>) -> R + Sync,
+        S: TraceSink + ?Sized,
+    {
+        self.run_with_trace_from(sink, 0, f)
+    }
+
+    /// [`run_with_trace`](Self::run_with_trace) with a trial-number offset:
+    /// trial `i` of the batch is stamped as trace trial `base + i`.
+    /// Experiments sweeping several points through successive plans use this
+    /// to keep trial numbers unique across the whole trace file.
+    pub fn run_with_trace_from<R, F, S>(&self, sink: Option<&mut S>, base: u64, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(Trial, Option<&Trace>) -> R + Sync,
+        S: TraceSink + ?Sized,
+    {
+        let Some(sink) = sink else {
+            return self.run(|trial| f(trial, None));
+        };
+        let mut results = Vec::with_capacity(self.trials as usize);
+        let traced: Vec<(R, Trace)> = self.run(|trial| {
+            let trace = Trace::new(base + trial.index);
+            let r = f(trial, Some(&trace));
+            (r, trace)
+        });
+        for (r, trace) in traced {
+            for event in trace.into_events() {
+                sink.record(&event);
+            }
+            results.push(r);
+        }
+        sink.flush();
+        results
     }
 
     /// [`run`](Self::run), then average `value` over the trials.
@@ -255,6 +305,21 @@ pub struct StatsSummary {
     pub rounds_mean: f64,
     /// Largest round complexity observed.
     pub rounds_max: u32,
+    /// Largest single-round message volume observed across all runs (0 when
+    /// no run recorded per-round message counts).
+    pub messages_max_round: u64,
+}
+
+/// Round complexity of one run. The engine's final sweep only collects
+/// halts, so a run with `s` sweeps performed `s − 1` algorithmic rounds.
+/// The degenerate cases are explicit: a zero-sweep run (the engine never
+/// stepped — e.g. an immediate budget cut) and a one-sweep run (every vertex
+/// halted on its first activation) both count as zero rounds.
+fn rounds_of(sweeps: u32) -> u32 {
+    match sweeps {
+        0 | 1 => 0,
+        s => s - 1,
+    }
 }
 
 /// Aggregate per-run [`RunStats`] into a [`StatsSummary`].
@@ -271,15 +336,19 @@ where
     let mut sweeps_max = 0u32;
     let mut rounds_total = 0u64;
     let mut rounds_max = 0u32;
+    let mut messages_max_round = 0u64;
     for s in runs {
         n += 1;
         messages_total += s.messages_sent;
         sweeps_total += u64::from(s.sweeps);
         sweeps_min = sweeps_min.min(s.sweeps);
         sweeps_max = sweeps_max.max(s.sweeps);
-        let rounds = s.sweeps.saturating_sub(1);
+        let rounds = rounds_of(s.sweeps);
         rounds_total += u64::from(rounds);
         rounds_max = rounds_max.max(rounds);
+        if let Some(&peak) = s.messages_per_round.iter().max() {
+            messages_max_round = messages_max_round.max(peak);
+        }
     }
     if n == 0 {
         return StatsSummary {
@@ -291,6 +360,7 @@ where
             sweeps_max: 0,
             rounds_mean: 0.0,
             rounds_max: 0,
+            messages_max_round: 0,
         };
     }
     StatsSummary {
@@ -302,6 +372,7 @@ where
         sweeps_max,
         rounds_mean: rounds_total as f64 / n as f64,
         rounds_max,
+        messages_max_round,
     }
 }
 
@@ -391,11 +462,13 @@ mod tests {
                 messages_sent: 10,
                 sweeps: 3,
                 live_per_round: vec![4, 2, 1],
+                messages_per_round: vec![6, 3, 1],
             },
             RunStats {
                 messages_sent: 30,
                 sweeps: 5,
                 live_per_round: vec![4, 4, 3, 2, 1],
+                messages_per_round: vec![12, 8, 6, 3, 1],
             },
         ];
         let s = summarize_runs(&runs);
@@ -407,6 +480,83 @@ mod tests {
         assert_eq!(s.sweeps_mean, 4.0);
         assert_eq!(s.rounds_mean, 3.0);
         assert_eq!(s.rounds_max, 4);
+        assert_eq!(s.messages_max_round, 12);
+    }
+
+    #[test]
+    fn zero_and_one_sweep_runs_count_zero_rounds() {
+        // A zero-sweep run (engine cut before its first sweep) and a
+        // one-sweep run (everyone halted immediately) are distinct states
+        // that both perform zero algorithmic rounds.
+        let runs = vec![
+            RunStats {
+                messages_sent: 0,
+                sweeps: 0,
+                live_per_round: vec![],
+                messages_per_round: vec![],
+            },
+            RunStats {
+                messages_sent: 4,
+                sweeps: 1,
+                live_per_round: vec![2],
+                messages_per_round: vec![4],
+            },
+        ];
+        let s = summarize_runs(&runs);
+        assert_eq!(s.rounds_mean, 0.0);
+        assert_eq!(s.rounds_max, 0);
+        assert_eq!(s.sweeps_min, 0);
+        assert_eq!(s.sweeps_max, 1);
+        assert_eq!(s.messages_max_round, 4);
+    }
+
+    #[test]
+    fn messages_max_round_is_zero_without_per_round_data() {
+        // Old checkpoint records decode with an empty messages_per_round;
+        // the aggregate must not invent a peak for them.
+        let runs = vec![RunStats {
+            messages_sent: 9,
+            sweeps: 4,
+            live_per_round: vec![3, 2, 1, 0],
+            messages_per_round: vec![],
+        }];
+        let s = summarize_runs(&runs);
+        assert_eq!(s.messages_total, 9);
+        assert_eq!(s.messages_max_round, 0);
+    }
+
+    #[test]
+    fn run_with_trace_is_ordered_and_matches_untraced() {
+        use local_obs::{EventData, MemorySink};
+
+        let plan = TrialPlan::new(24, 77);
+        let body = |trial: Trial, trace: Option<&Trace>| {
+            if let Some(tr) = trace {
+                let _span = tr.span("trial");
+                tr.emit(EventData::SpanStart {
+                    name: format!("inner-{}", trial.index),
+                });
+                tr.emit(EventData::SpanEnd {
+                    name: format!("inner-{}", trial.index),
+                    micros: 0,
+                });
+            }
+            trial.seed % 1000
+        };
+        let untraced = plan.run_with_trace(None::<&mut MemorySink>, body);
+        assert_eq!(untraced, plan.run(|t| t.seed % 1000));
+
+        let mut sink = MemorySink::new();
+        let traced = plan.run_with_trace(Some(&mut sink), body);
+        assert_eq!(traced, untraced, "tracing must not change results");
+        let events = sink.into_events();
+        assert_eq!(events.len(), 24 * 4);
+        // Events arrive in trial order with per-trial sequence numbers,
+        // regardless of which rayon worker ran which trial.
+        for (i, ev) in events.iter().enumerate() {
+            assert_eq!(ev.trial, (i / 4) as u64);
+            assert_eq!(ev.seq, (i % 4) as u64);
+        }
     }
 
     #[test]

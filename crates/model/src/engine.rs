@@ -7,9 +7,10 @@ use crate::node::{Action, NodeInit, NodeIo, NodeProgram, Protocol};
 use crate::params::GlobalParams;
 use crate::recover::{Breach, Budget};
 use local_graphs::Graph;
+use local_obs::{EventData, PowHistogram, Trace};
 use rand::{Rng, RngCore, SeedableRng};
 use rand_chacha::ChaCha8Rng;
-use serde::{Deserialize, Serialize};
+use serde::{DeError, Deserialize, Serialize, Value};
 
 /// Which of the paper's two models a run executes under.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -47,7 +48,7 @@ impl Mode {
 }
 
 /// Aggregate statistics of a run.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RunStats {
     /// Total messages sent across all rounds.
     pub messages_sent: u64,
@@ -56,6 +57,39 @@ pub struct RunStats {
     /// How many nodes were still live *entering* each sweep — the progress
     /// curve of the protocol (length = `sweeps`).
     pub live_per_round: Vec<usize>,
+    /// Messages sent during each sweep — the per-round twin of
+    /// `live_per_round` (length = `sweeps`; sums to `messages_sent`).
+    pub messages_per_round: Vec<u64>,
+}
+
+// Hand-written so records serialized before `messages_per_round` existed
+// (e.g. old checkpoint files) still decode: the field defaults to empty.
+impl Serialize for RunStats {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("messages_sent".into(), self.messages_sent.to_value()),
+            ("sweeps".into(), self.sweeps.to_value()),
+            ("live_per_round".into(), self.live_per_round.to_value()),
+            (
+                "messages_per_round".into(),
+                self.messages_per_round.to_value(),
+            ),
+        ])
+    }
+}
+
+impl Deserialize for RunStats {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(RunStats {
+            messages_sent: u64::from_value(v.field("messages_sent")?)?,
+            sweeps: u32::from_value(v.field("sweeps")?)?,
+            live_per_round: Vec::from_value(v.field("live_per_round")?)?,
+            messages_per_round: match v.get("messages_per_round") {
+                Some(x) => Vec::from_value(x)?,
+                None => Vec::new(),
+            },
+        })
+    }
 }
 
 /// The result of running a protocol to completion.
@@ -207,6 +241,7 @@ pub struct Engine<'g> {
     params: GlobalParams,
     budget: Budget,
     par_threshold: usize,
+    trace: Option<&'g Trace>,
 }
 
 /// Below this many vertices the engine steps nodes sequentially (thread
@@ -223,7 +258,17 @@ impl<'g> Engine<'g> {
             params: GlobalParams::from_graph(graph),
             budget: Budget::rounds(100_000),
             par_threshold: PAR_THRESHOLD,
+            trace: None,
         }
+    }
+
+    /// Attach a trace buffer: the run emits `run_start`, one `round` event
+    /// per sweep, end-of-run histograms (messages per vertex, halt rounds),
+    /// and `run_end`. Without a trace the per-sweep cost is one branch on
+    /// this `Option` — no allocation, no virtual call.
+    pub fn with_trace(mut self, trace: &'g Trace) -> Self {
+        self.trace = Some(trace);
+        self
     }
 
     /// Override the vertex count above which nodes are stepped on scoped
@@ -370,15 +415,32 @@ impl<'g> Engine<'g> {
         let mut dropped = 0u64;
         let mut delayed = 0u64;
         let mut live_per_round: Vec<usize> = Vec::new();
+        let mut messages_per_round: Vec<u64> = Vec::new();
+        let mut messages_total = 0u64;
         let started = self.budget.wall_clock.map(|_| std::time::Instant::now());
+
+        if let Some(tr) = self.trace {
+            tr.emit(EventData::RunStart {
+                n: n as u64,
+                m: g.m() as u64,
+                mode: match &self.mode {
+                    Mode::Deterministic { .. } => "det",
+                    Mode::Randomized { .. } => "rand",
+                }
+                .to_string(),
+                max_rounds: self.budget.max_rounds,
+            });
+        }
 
         loop {
             // Crash-stop: nodes scheduled for this sweep fall silent before
             // stepping (their earlier messages were already delivered).
+            let mut crashes_now = 0u64;
             if has_crashes {
                 for (v, c) in crashed.iter_mut().enumerate() {
                     if !*c && slots[v].done.is_none() && faults.crash_round(v) == Some(sweep) {
                         *c = true;
+                        crashes_now += 1;
                     }
                 }
             }
@@ -407,34 +469,37 @@ impl<'g> Engine<'g> {
             let inbox = &plane.inbox;
             let crashed_ref = &crashed;
 
-            // Step one node against its inbox/outbox arena segments. The
-            // segments are relative to an arena that may be a thread's
-            // sub-slice, hence the explicit outbox argument.
-            let step_node =
-                |v: usize,
-                 slot: &mut NodeSlot<P>,
-                 outbox: &mut [Option<<P::Node as NodeProgram>::Msg>]| {
-                    if slot.done.is_some() || (has_crashes && crashed_ref[v]) {
-                        return;
-                    }
-                    let action = {
-                        let mut io = NodeIo {
-                            degree: outbox.len(),
-                            id: slot.id,
-                            params,
-                            inbox: &inbox[offsets[v]..offsets[v + 1]],
-                            outbox,
-                            rng: slot.rng.as_mut(),
-                        };
-                        slot.state.step(round, &mut io)
+            // Step one node against its inbox/outbox arena segments,
+            // returning how many messages it sent. The segments are relative
+            // to an arena that may be a thread's sub-slice, hence the
+            // explicit outbox argument.
+            let step_node = |v: usize,
+                             slot: &mut NodeSlot<P>,
+                             outbox: &mut [Option<<P::Node as NodeProgram>::Msg>]|
+             -> u64 {
+                if slot.done.is_some() || (has_crashes && crashed_ref[v]) {
+                    return 0;
+                }
+                let action = {
+                    let mut io = NodeIo {
+                        degree: outbox.len(),
+                        id: slot.id,
+                        params,
+                        inbox: &inbox[offsets[v]..offsets[v + 1]],
+                        outbox,
+                        rng: slot.rng.as_mut(),
                     };
-                    slot.sent += outbox.iter().filter(|m| m.is_some()).count() as u64;
-                    if let Action::Halt(o) = action {
-                        slot.done = Some((round, o));
-                    }
+                    slot.state.step(round, &mut io)
                 };
+                let sent_now = outbox.iter().filter(|m| m.is_some()).count() as u64;
+                slot.sent += sent_now;
+                if let Action::Halt(o) = action {
+                    slot.done = Some((round, o));
+                }
+                sent_now
+            };
 
-            if n >= self.par_threshold {
+            let sweep_sent: u64 = if n >= self.par_threshold {
                 // Disjoint contiguous vertex ranges, each paired with the
                 // matching arena segment; no node touches another's slots,
                 // so results are bit-identical to the sequential order.
@@ -443,6 +508,7 @@ impl<'g> Engine<'g> {
                     .min(n);
                 let per = n.div_ceil(threads);
                 std::thread::scope(|scope| {
+                    let mut handles = Vec::with_capacity(threads);
                     let mut slots_rest = slots.as_mut_slice();
                     let mut out_rest = plane.out.as_mut_slice();
                     let mut start = 0usize;
@@ -453,52 +519,92 @@ impl<'g> Engine<'g> {
                         let (out_chunk, or) = out_rest.split_at_mut(offsets[end] - offsets[start]);
                         out_rest = or;
                         let step_node = &step_node;
-                        scope.spawn(move || {
+                        handles.push(scope.spawn(move || {
                             let base = offsets[start];
+                            let mut sent = 0u64;
                             for (i, slot) in slot_chunk.iter_mut().enumerate() {
                                 let v = start + i;
-                                step_node(
+                                sent += step_node(
                                     v,
                                     slot,
                                     &mut out_chunk[offsets[v] - base..offsets[v + 1] - base],
                                 );
                             }
-                        });
+                            sent
+                        }));
                         start = end;
                     }
-                });
+                    handles
+                        .into_iter()
+                        .map(|h| match h.join() {
+                            Ok(sent) => sent,
+                            Err(payload) => std::panic::resume_unwind(payload),
+                        })
+                        .sum()
+                })
             } else {
+                let mut sent = 0u64;
                 for (v, slot) in slots.iter_mut().enumerate() {
-                    step_node(v, slot, &mut plane.out[offsets[v]..offsets[v + 1]]);
+                    sent += step_node(v, slot, &mut plane.out[offsets[v]..offsets[v + 1]]);
                 }
-            }
+                sent
+            };
 
+            messages_per_round.push(sweep_sent);
+            messages_total += sweep_sent;
             let still = slots
                 .iter()
                 .enumerate()
                 .filter(|(v, s)| s.done.is_none() && !(has_crashes && crashed[*v]))
                 .count();
             sweep += 1;
+            let dropped_before = dropped;
+            let delayed_before = delayed;
+            let mut message_breach = false;
             if still > 0 {
                 if let Some(max_messages) = self.budget.max_messages {
-                    let sent: u64 = slots.iter().map(|s| s.sent).sum();
-                    if sent > max_messages {
+                    if messages_total > max_messages {
                         breach = Some(Breach::Messages);
-                        break;
+                        message_breach = true;
                     }
                 }
-                plane.deliver_faulty(faults, round, &mut dropped, &mut delayed);
+                if !message_breach {
+                    plane.deliver_faulty(faults, round, &mut dropped, &mut delayed);
+                }
+            }
+            if let Some(tr) = self.trace {
+                tr.emit(EventData::Round {
+                    round,
+                    live: live as u64,
+                    messages: sweep_sent,
+                    halts: (live - still) as u64,
+                    crashes: crashes_now,
+                    dropped: dropped - dropped_before,
+                    delayed: delayed - delayed_before,
+                    messages_total,
+                });
+            }
+            if message_breach {
+                break;
             }
         }
 
         let mut outcomes = Vec::with_capacity(n);
         let mut rounds = 0;
         let mut messages_sent = 0u64;
+        let mut messages_hist = self.trace.map(|_| PowHistogram::new());
+        let mut halt_hist = self.trace.map(|_| PowHistogram::new());
         for (v, slot) in slots.into_iter().enumerate() {
             messages_sent += slot.sent;
+            if let Some(h) = messages_hist.as_mut() {
+                h.record(slot.sent);
+            }
             outcomes.push(match slot.done {
                 Some((r, o)) => {
                     rounds = rounds.max(r);
+                    if let Some(h) = halt_hist.as_mut() {
+                        h.record(u64::from(r));
+                    }
                     Outcome::Halted {
                         round: r,
                         output: o,
@@ -513,18 +619,39 @@ impl<'g> Engine<'g> {
                 }
             });
         }
-        FaultyRun {
+        let fr = FaultyRun {
             outcomes,
             rounds,
             stats: RunStats {
                 messages_sent,
                 sweeps: sweep,
                 live_per_round,
+                messages_per_round,
             },
             dropped,
             delayed,
             breach,
+        };
+        if let Some(tr) = self.trace {
+            tr.emit(EventData::Histogram {
+                name: "messages_per_vertex".into(),
+                hist: Box::new(messages_hist.unwrap_or_default()),
+            });
+            tr.emit(EventData::Histogram {
+                name: "halt_round".into(),
+                hist: Box::new(halt_hist.unwrap_or_default()),
+            });
+            tr.emit(EventData::RunEnd {
+                rounds: fr.rounds,
+                sweeps: fr.stats.sweeps,
+                messages: fr.stats.messages_sent,
+                halted: fr.halted() as u64,
+                crashed: fr.crashed() as u64,
+                cut: fr.cut() as u64,
+                breach: fr.breach.as_ref().map(|b| b.to_string()),
+            });
         }
+        fr
     }
 }
 
@@ -991,6 +1118,166 @@ mod tests {
             .collect();
         assert_eq!(outputs, run.outputs);
         assert_eq!(faulty.stats, run.stats);
+    }
+
+    #[test]
+    fn messages_per_round_sums_to_messages_sent() {
+        let g = gen::cycle(7);
+        let run = Engine::new(&g, Mode::deterministic())
+            .run(&FloodMinProtocol)
+            .unwrap();
+        assert_eq!(
+            run.stats.messages_per_round.len() as u32,
+            run.stats.sweeps,
+            "one entry per sweep"
+        );
+        assert_eq!(
+            run.stats.messages_per_round.iter().sum::<u64>(),
+            run.stats.messages_sent
+        );
+        // FloodMin on a cycle broadcasts on both ports every non-final sweep.
+        assert_eq!(run.stats.messages_per_round[0], 14);
+    }
+
+    #[test]
+    fn run_stats_decode_tolerates_records_without_messages_per_round() {
+        // A record written before `messages_per_round` existed (old
+        // checkpoint files) must still decode, defaulting to empty.
+        let old = Value::Object(vec![
+            ("messages_sent".into(), Value::U64(6)),
+            ("sweeps".into(), Value::U64(2)),
+            (
+                "live_per_round".into(),
+                Value::Array(vec![Value::U64(3), Value::U64(3)]),
+            ),
+        ]);
+        let stats = RunStats::from_value(&old).unwrap();
+        assert_eq!(stats.messages_sent, 6);
+        assert_eq!(stats.sweeps, 2);
+        assert_eq!(stats.messages_per_round, Vec::<u64>::new());
+        // A current record round-trips with the field intact.
+        let current = RunStats {
+            messages_sent: 6,
+            sweeps: 2,
+            live_per_round: vec![3, 3],
+            messages_per_round: vec![4, 2],
+        };
+        assert_eq!(RunStats::from_value(&current.to_value()).unwrap(), current);
+    }
+
+    #[test]
+    fn trace_records_run_lifecycle() {
+        let g = gen::cycle(5);
+        let trace = Trace::new(7);
+        let run = Engine::new(&g, Mode::deterministic())
+            .with_trace(&trace)
+            .run(&FloodMinProtocol)
+            .unwrap();
+        let events = trace.into_events();
+        assert!(events.iter().all(|e| e.trial == 7));
+        assert_eq!(events.first().map(|e| e.data.tag()), Some("run_start"));
+        assert_eq!(events.last().map(|e| e.data.tag()), Some("run_end"));
+        let rounds = events.iter().filter(|e| e.data.tag() == "round").count();
+        assert_eq!(rounds as u32, run.stats.sweeps);
+        let hists: Vec<&str> = events
+            .iter()
+            .filter_map(|e| match &e.data {
+                EventData::Histogram { name, .. } => Some(name.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(hists, ["messages_per_vertex", "halt_round"]);
+        match &events[1].data {
+            EventData::Round {
+                round,
+                live,
+                messages,
+                messages_total,
+                ..
+            } => {
+                assert_eq!(*round, 0);
+                assert_eq!(*live, 5);
+                assert_eq!(*messages, 10);
+                assert_eq!(*messages_total, 10);
+            }
+            other => panic!("expected round event, got {other:?}"),
+        }
+        match &events[events.len() - 1].data {
+            EventData::RunEnd {
+                halted,
+                cut,
+                breach,
+                messages,
+                ..
+            } => {
+                assert_eq!(*halted, 5);
+                assert_eq!(*cut, 0);
+                assert_eq!(*breach, None);
+                assert_eq!(*messages, run.stats.messages_sent);
+            }
+            other => panic!("expected run_end event, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn trace_is_identical_across_par_thresholds() {
+        // Same run, sequential vs forced-parallel stepping: the event stream
+        // must match bit for bit (engine events carry no wall-clock fields).
+        let g = gen::cycle(64);
+        let seq = Trace::new(0);
+        Engine::new(&g, Mode::deterministic())
+            .with_trace(&seq)
+            .run(&FloodMinProtocol)
+            .unwrap();
+        let par = Trace::new(0);
+        Engine::new(&g, Mode::deterministic())
+            .with_par_threshold(1)
+            .with_trace(&par)
+            .run(&FloodMinProtocol)
+            .unwrap();
+        assert_eq!(seq.into_events(), par.into_events());
+    }
+
+    #[test]
+    fn trace_counts_crashes_and_budget_cuts() {
+        let g = gen::path(5);
+        let trace = Trace::new(0);
+        let plan = FaultPlan::from_crash_schedule(vec![Some(1), None, None, None, None]);
+        Engine::new(&g, Mode::deterministic())
+            .with_trace(&trace)
+            .run_faulty(&FloodMinProtocol, &plan);
+        let events = trace.into_events();
+        let crashes: u64 = events
+            .iter()
+            .filter_map(|e| match &e.data {
+                EventData::Round { crashes, .. } => Some(*crashes),
+                _ => None,
+            })
+            .sum();
+        assert_eq!(crashes, 1);
+        match &events.last().unwrap().data {
+            EventData::RunEnd {
+                crashed, halted, ..
+            } => {
+                assert_eq!(*crashed, 1);
+                assert_eq!(*halted, 4);
+            }
+            other => panic!("expected run_end, got {other:?}"),
+        }
+
+        let trace = Trace::new(0);
+        Engine::new(&g, Mode::deterministic())
+            .with_max_rounds(3)
+            .with_trace(&trace)
+            .run_faulty(&ForeverProtocol, &FaultPlan::none());
+        let events = trace.into_events();
+        match &events.last().unwrap().data {
+            EventData::RunEnd { cut, breach, .. } => {
+                assert_eq!(*cut, 5);
+                assert_eq!(breach.as_deref(), Some("round budget"));
+            }
+            other => panic!("expected run_end, got {other:?}"),
+        }
     }
 
     #[test]

@@ -452,6 +452,7 @@ mod tests {
                 messages_sent: 0,
                 sweeps: 4,
                 live_per_round: vec![3, 2, 1, 1],
+                messages_per_round: vec![0, 0, 0, 0],
             },
             dropped: 0,
             delayed: 0,

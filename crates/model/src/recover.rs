@@ -337,6 +337,7 @@ mod tests {
                 messages_sent: 0,
                 sweeps: 2,
                 live_per_round: vec![3, 1],
+                messages_per_round: vec![0, 0],
             },
             dropped: 0,
             delayed: 0,

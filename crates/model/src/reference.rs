@@ -86,6 +86,7 @@ where
     let mut live = n;
     let mut sweep: u32 = 0;
     let mut live_per_round: Vec<usize> = Vec::new();
+    let mut messages_per_round: Vec<u64> = Vec::new();
     let mut prev_out: Vec<Vec<Option<<P::Node as NodeProgram>::Msg>>> = Vec::new();
 
     while live > 0 {
@@ -103,6 +104,7 @@ where
             });
         }
         live_per_round.push(live);
+        messages_per_round.push(0);
         prev_out.clear();
         prev_out.extend(slots.iter_mut().map(|s| std::mem::take(&mut s.out)));
         let round = sweep;
@@ -139,7 +141,9 @@ where
                 };
                 slot.state.step(round, &mut io)
             };
-            slot.sent += out.iter().filter(|m| m.is_some()).count() as u64;
+            let sent_now = out.iter().filter(|m| m.is_some()).count() as u64;
+            slot.sent += sent_now;
+            *messages_per_round.last_mut().expect("pushed this sweep") += sent_now;
             slot.out = out;
             if let Action::Halt(o) = action {
                 slot.done = Some((round, o));
@@ -169,6 +173,7 @@ where
             messages_sent,
             sweeps: sweep,
             live_per_round,
+            messages_per_round,
         },
     })
 }

@@ -90,6 +90,20 @@ proptest! {
         }
     }
 
+    /// Fault-free runs must account for every message: the per-round message
+    /// curve sums to the aggregate counter, with one entry per sweep.
+    #[test]
+    fn fault_free_messages_per_round_sums_to_messages_sent(g in arb_graph(), seed in 0u64..50) {
+        for mode in [Mode::deterministic(), Mode::randomized(seed)] {
+            let run = Engine::new(&g, mode).run(&MixerProtocol).unwrap();
+            prop_assert_eq!(run.stats.messages_per_round.len() as u32, run.stats.sweeps);
+            prop_assert_eq!(
+                run.stats.messages_per_round.iter().sum::<u64>(),
+                run.stats.messages_sent
+            );
+        }
+    }
+
     #[test]
     fn id_assignments_are_permutations(g in arb_graph(), seed in 0u64..50) {
         let ids = IdAssignment::Shuffled { seed }.assign(&g);
@@ -133,6 +147,7 @@ proptest! {
             prop_assert_eq!(fast.stats.messages_sent, slow.stats.messages_sent);
             prop_assert_eq!(fast.stats.sweeps, slow.stats.sweeps);
             prop_assert_eq!(&fast.stats.live_per_round, &slow.stats.live_per_round);
+            prop_assert_eq!(&fast.stats.messages_per_round, &slow.stats.messages_per_round);
         }
     }
 }

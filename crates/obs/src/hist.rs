@@ -1,0 +1,185 @@
+//! Fixed-bin power-of-two histograms.
+
+use serde::{DeError, Deserialize, Serialize, Value};
+
+/// Number of bins: one for zero plus one per possible bit length of a `u64`.
+const BINS: usize = 65;
+
+/// A power-of-two histogram over `u64` samples.
+///
+/// Bin 0 counts exact zeros; bin `b ≥ 1` counts values whose bit length is
+/// `b`, i.e. the half-open doubling range `[2^(b-1), 2^b)`. The bin layout is
+/// fixed, so merging histograms from different runs is exact, and the sparse
+/// serde encoding (`{"total": t, "bins": [[bin, count], ...]}`) round-trips
+/// bit-for-bit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PowHistogram {
+    bins: [u64; BINS],
+}
+
+impl Default for PowHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PowHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        PowHistogram { bins: [0; BINS] }
+    }
+
+    /// The bin a value falls into: 0 for 0, otherwise the bit length.
+    pub fn bin_of(value: u64) -> usize {
+        (u64::BITS - value.leading_zeros()) as usize
+    }
+
+    /// The inclusive `[lo, hi]` range of values a bin covers.
+    pub fn bin_bounds(bin: usize) -> (u64, u64) {
+        match bin {
+            0 => (0, 0),
+            64 => (1 << 63, u64::MAX),
+            b => (1 << (b - 1), (1 << b) - 1),
+        }
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, value: u64) {
+        self.bins[Self::bin_of(value)] += 1;
+    }
+
+    /// Record `count` samples of the same value.
+    pub fn record_n(&mut self, value: u64, count: u64) {
+        self.bins[Self::bin_of(value)] += count;
+    }
+
+    /// Add every count of `other` into `self`.
+    pub fn merge(&mut self, other: &PowHistogram) {
+        for (a, b) in self.bins.iter_mut().zip(other.bins.iter()) {
+            *a += b;
+        }
+    }
+
+    /// Total number of recorded samples.
+    pub fn total(&self) -> u64 {
+        self.bins.iter().sum()
+    }
+
+    /// Whether no sample has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.bins.iter().all(|&c| c == 0)
+    }
+
+    /// The count in one bin (0 for out-of-range bins).
+    pub fn count(&self, bin: usize) -> u64 {
+        self.bins.get(bin).copied().unwrap_or(0)
+    }
+
+    /// The non-empty bins, ascending, as `(bin, count)`.
+    pub fn nonzero(&self) -> impl Iterator<Item = (usize, u64)> + '_ {
+        self.bins
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(b, &c)| (b, c))
+    }
+
+    /// The highest non-empty bin, if any sample was recorded.
+    pub fn max_bin(&self) -> Option<usize> {
+        self.nonzero().last().map(|(b, _)| b)
+    }
+}
+
+impl Serialize for PowHistogram {
+    fn to_value(&self) -> Value {
+        let bins: Vec<Value> = self
+            .nonzero()
+            .map(|(b, c)| Value::Array(vec![Value::U64(b as u64), Value::U64(c)]))
+            .collect();
+        Value::Object(vec![
+            ("total".into(), Value::U64(self.total())),
+            ("bins".into(), Value::Array(bins)),
+        ])
+    }
+}
+
+impl Deserialize for PowHistogram {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let mut h = PowHistogram::new();
+        for entry in Vec::<(usize, u64)>::from_value(v.field("bins")?)? {
+            let (bin, count) = entry;
+            if bin >= BINS {
+                return Err(DeError(format!("histogram bin {bin} out of range")));
+            }
+            h.bins[bin] += count;
+        }
+        let total = u64::from_value(v.field("total")?)?;
+        if total != h.total() {
+            return Err(DeError(format!(
+                "histogram total {total} does not match bin sum {}",
+                h.total()
+            )));
+        }
+        Ok(h)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bins_follow_bit_length() {
+        assert_eq!(PowHistogram::bin_of(0), 0);
+        assert_eq!(PowHistogram::bin_of(1), 1);
+        assert_eq!(PowHistogram::bin_of(2), 2);
+        assert_eq!(PowHistogram::bin_of(3), 2);
+        assert_eq!(PowHistogram::bin_of(4), 3);
+        assert_eq!(PowHistogram::bin_of(u64::MAX), 64);
+        for bin in 0..BINS {
+            let (lo, hi) = PowHistogram::bin_bounds(bin);
+            assert_eq!(PowHistogram::bin_of(lo), bin);
+            assert_eq!(PowHistogram::bin_of(hi), bin);
+        }
+    }
+
+    #[test]
+    fn record_merge_total() {
+        let mut a = PowHistogram::new();
+        a.record(0);
+        a.record(5);
+        a.record_n(7, 3);
+        let mut b = PowHistogram::new();
+        b.record(1024);
+        b.merge(&a);
+        assert_eq!(b.total(), 6);
+        assert_eq!(b.count(0), 1);
+        assert_eq!(b.count(3), 4);
+        assert_eq!(b.count(11), 1);
+        assert_eq!(b.max_bin(), Some(11));
+        assert!(PowHistogram::new().is_empty());
+    }
+
+    #[test]
+    fn serde_round_trips_exactly() {
+        let mut h = PowHistogram::new();
+        h.record(0);
+        h.record_n(3, 9);
+        h.record(u64::MAX);
+        let text = serde_json::to_string(&h).unwrap();
+        let back: PowHistogram = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, h);
+        // An empty histogram round-trips too.
+        let e = PowHistogram::new();
+        let back: PowHistogram = serde_json::from_str(&serde_json::to_string(&e).unwrap()).unwrap();
+        assert_eq!(back, e);
+    }
+
+    #[test]
+    fn corrupt_totals_are_rejected() {
+        let bad = r#"{"total": 5, "bins": [[1, 2]]}"#;
+        assert!(serde_json::from_str::<PowHistogram>(bad).is_err());
+        let oob = r#"{"total": 1, "bins": [[99, 1]]}"#;
+        assert!(serde_json::from_str::<PowHistogram>(oob).is_err());
+    }
+}
