@@ -15,7 +15,7 @@ use crate::color::ColoringOutcome;
 use crate::sync::{run_sync, SyncAlgorithm, SyncCtx, SyncStep};
 use local_graphs::{Graph, NodeId, PortId};
 use local_lcl::Labeling;
-use local_model::{IdAssignment, Mode, NodeInit};
+use local_model::{ExecSpec, IdAssignment, Mode, NodeInit};
 
 /// Number of Cole–Vishkin halving iterations needed from `bits`-bit colors
 /// down to colors `< 6` (values ≤ 5).
@@ -148,7 +148,8 @@ pub fn cv_color_cycle(g: &Graph, ids: &IdAssignment) -> ColoringOutcome {
         .collect();
     let algo = ColeVishkin::new(succ_port, ids.assign(g));
     let budget = algo.cv_rounds() + 10;
-    let out = run_sync(g, Mode::deterministic(), &algo, budget)
+    let out = run_sync(g, Mode::deterministic(), &algo, &ExecSpec::rounds(budget))
+        .strict()
         .expect("Cole-Vishkin halts after its fixed schedule");
     ColoringOutcome {
         labels: Labeling::new(out.outputs),

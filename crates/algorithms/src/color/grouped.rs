@@ -140,7 +140,7 @@ mod tests {
     use super::*;
     use crate::sync::run_sync;
     use local_graphs::gen;
-    use local_model::Mode;
+    use local_model::{ExecSpec, Mode};
 
     #[test]
     fn grouped_linial_only_constrains_within_groups() {
@@ -155,7 +155,9 @@ mod tests {
             colors: ids,
             group_of,
         };
-        let out = run_sync(&g, Mode::deterministic(), &algo, 100).unwrap();
+        let out = run_sync(&g, Mode::deterministic(), &algo, &ExecSpec::rounds(100))
+            .strict()
+            .unwrap();
         assert_ne!(out.outputs[0], out.outputs[1]);
         assert_ne!(out.outputs[2], out.outputs[3]);
     }
@@ -168,7 +170,9 @@ mod tests {
             colors: vec![0, 1, 2],
             group_of: vec![NO_GROUP, 1, 1],
         };
-        let out = run_sync(&g, Mode::deterministic(), &algo, 100).unwrap();
+        let out = run_sync(&g, Mode::deterministic(), &algo, &ExecSpec::rounds(100))
+            .strict()
+            .unwrap();
         assert_eq!(out.outputs[0], 0);
         assert_ne!(out.outputs[1], out.outputs[2]);
     }
@@ -185,7 +189,9 @@ mod tests {
             colors: (0..6).collect(),
             group_of,
         };
-        let out = run_sync(&g, Mode::deterministic(), &algo, 100).unwrap();
+        let out = run_sync(&g, Mode::deterministic(), &algo, &ExecSpec::rounds(100))
+            .strict()
+            .unwrap();
         assert!(out.outputs.iter().all(|&c| c == 0));
     }
 }

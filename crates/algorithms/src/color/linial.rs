@@ -8,10 +8,10 @@
 
 use crate::color::cover_free::PolyFamily;
 use crate::color::ColoringOutcome;
-use crate::sync::{run_sync_with_params, SyncAlgorithm, SyncCtx, SyncStep};
+use crate::sync::{run_sync, SyncAlgorithm, SyncCtx, SyncStep};
 use local_graphs::Graph;
 use local_lcl::Labeling;
-use local_model::{GlobalParams, IdAssignment, Mode, NodeInit};
+use local_model::{ExecSpec, GlobalParams, IdAssignment, Mode, NodeInit};
 
 /// The per-round family schedule: families to apply in order, ending at the
 /// fixpoint palette.
@@ -176,13 +176,13 @@ pub fn linial_color_from(
     let palette = schedule.final_palette();
     let algo = LinialAlgorithm::from_colors(schedule, colors);
     let params = GlobalParams::from_graph(g);
-    let out = run_sync_with_params(
+    let out = run_sync(
         g,
         Mode::deterministic(),
         &algo,
-        (g.n() as u32).max(200),
-        params,
+        &ExecSpec::rounds((g.n() as u32).max(200)).with_params(params),
     )
+    .strict()
     .expect("Linial halts after its fixed schedule");
     ColoringOutcome {
         labels: Labeling::new(out.outputs.iter().map(|&c| c as usize).collect()),

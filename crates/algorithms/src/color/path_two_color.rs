@@ -20,7 +20,7 @@ use crate::color::ColoringOutcome;
 use crate::sync::{run_sync, SyncAlgorithm, SyncCtx, SyncStep};
 use local_graphs::Graph;
 use local_lcl::Labeling;
-use local_model::{Mode, NodeInit, SimError};
+use local_model::{ExecSpec, Mode, NodeInit, SimError};
 
 /// Public state: the waves heard so far, as `(origin id, my parity in that
 /// wave)`, at most one entry per origin.
@@ -88,7 +88,13 @@ impl SyncAlgorithm for PathTwoColoring {
 ///
 /// Panics (inside the engine) if some vertex has degree > 2.
 pub fn path_two_coloring(g: &Graph) -> Result<ColoringOutcome, SimError> {
-    let out = run_sync(g, Mode::deterministic(), &PathTwoColoring, g.n() as u32 + 4)?;
+    let out = run_sync(
+        g,
+        Mode::deterministic(),
+        &PathTwoColoring,
+        &ExecSpec::rounds(g.n() as u32 + 4),
+    )
+    .strict()?;
     Ok(ColoringOutcome {
         labels: Labeling::new(out.outputs),
         palette: 2,

@@ -13,7 +13,7 @@ use crate::color::ColoringOutcome;
 use crate::sync::{run_sync, SyncAlgorithm, SyncCtx, SyncStep};
 use local_graphs::Graph;
 use local_lcl::Labeling;
-use local_model::{Mode, NodeInit};
+use local_model::{ExecSpec, Mode, NodeInit};
 use rand::Rng;
 
 /// Per-vertex public state.
@@ -152,7 +152,13 @@ pub fn rand_greedy_color(
         g.max_degree()
     );
     let algo = RandGreedy::new(palette);
-    let out = run_sync(g, Mode::randomized(seed), &algo, max_rounds)?;
+    let out = run_sync(
+        g,
+        Mode::randomized(seed),
+        &algo,
+        &ExecSpec::rounds(max_rounds),
+    )
+    .strict()?;
     Ok(ColoringOutcome {
         labels: Labeling::new(out.outputs),
         palette,
@@ -206,7 +212,9 @@ mod tests {
         // color suffices.
         let active: Vec<bool> = (0..6).map(|v| v % 2 == 0).collect();
         let algo = RandGreedy::restricted(1, active.clone());
-        let out = run_sync(&g, Mode::randomized(4), &algo, 100).unwrap();
+        let out = run_sync(&g, Mode::randomized(4), &algo, &ExecSpec::rounds(100))
+            .strict()
+            .unwrap();
         #[allow(clippy::needless_range_loop)]
         for v in 0..6 {
             if active[v] {

@@ -9,7 +9,7 @@ use crate::color::ColoringOutcome;
 use crate::sync::{run_sync, SyncAlgorithm, SyncCtx, SyncStep};
 use local_graphs::Graph;
 use local_lcl::Labeling;
-use local_model::{Mode, NodeInit};
+use local_model::{ExecSpec, Mode, NodeInit};
 
 /// The reduction as a [`SyncAlgorithm`]. States are current colors.
 #[derive(Debug, Clone)]
@@ -90,8 +90,14 @@ pub fn reduce_colors(
         g.max_degree()
     );
     let algo = ColorReduction::new(labels.as_slice().to_vec(), from, target);
-    let out = run_sync(g, Mode::deterministic(), &algo, (from - target) as u32 + 2)
-        .expect("reduction halts after from-target rounds");
+    let out = run_sync(
+        g,
+        Mode::deterministic(),
+        &algo,
+        &ExecSpec::rounds((from - target) as u32 + 2),
+    )
+    .strict()
+    .expect("reduction halts after from-target rounds");
     ColoringOutcome {
         labels: Labeling::new(out.outputs),
         palette: target,

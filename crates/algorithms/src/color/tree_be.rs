@@ -27,7 +27,7 @@ use crate::color::{ColoringOutcome, UNCOLORED};
 use crate::sync::{run_sync, SyncAlgorithm, SyncCtx, SyncStep};
 use local_graphs::Graph;
 use local_lcl::Labeling;
-use local_model::{Mode, NodeInit};
+use local_model::{ExecSpec, Mode, NodeInit};
 
 // ---------------------------------------------------------------- phase 1
 
@@ -241,8 +241,14 @@ pub fn be_forest_coloring_detailed(
         q,
         active: active.clone(),
     };
-    let peel_out = run_sync(g, Mode::deterministic(), &peel, g.n() as u32 + 2)
-        .expect("every forest vertex eventually peels");
+    let peel_out = run_sync(
+        g,
+        Mode::deterministic(),
+        &peel,
+        &ExecSpec::rounds(g.n() as u32 + 2),
+    )
+    .strict()
+    .expect("every forest vertex eventually peels");
     total_rounds += peel_out.rounds;
     let layer_of: Vec<u32> = peel_out.outputs;
     let ell = layer_of
@@ -276,8 +282,14 @@ pub fn be_forest_coloring_detailed(
         colors: ids.to_vec(),
         group_of: group_of.clone(),
     };
-    let linial_out = run_sync(g, Mode::deterministic(), &linial, g.n() as u32 + 200)
-        .expect("Linial halts after its schedule");
+    let linial_out = run_sync(
+        g,
+        Mode::deterministic(),
+        &linial,
+        &ExecSpec::rounds(g.n() as u32 + 200),
+    )
+    .strict()
+    .expect("Linial halts after its schedule");
     total_rounds += linial_out.rounds;
 
     // Phase 3: reduce within-layer colors to q.
@@ -287,8 +299,14 @@ pub fn be_forest_coloring_detailed(
         colors: linial_out.outputs.iter().map(|&c| c as usize).collect(),
         group_of: group_of.clone(),
     };
-    let reduce_out =
-        run_sync(g, Mode::deterministic(), &reduce, c_colors as u32 + 2).expect("reduction halts");
+    let reduce_out = run_sync(
+        g,
+        Mode::deterministic(),
+        &reduce,
+        &ExecSpec::rounds(c_colors as u32 + 2),
+    )
+    .strict()
+    .expect("reduction halts");
     total_rounds += reduce_out.rounds;
 
     // Phase 4: scheduled sweep.
@@ -303,8 +321,14 @@ pub fn be_forest_coloring_detailed(
         active: active.clone(),
     };
     let budget = (u64::from(ell) + 1) * q as u64 + 4;
-    let sweep_out = run_sync(g, Mode::deterministic(), &sweep, budget as u32)
-        .expect("sweep halts after its schedule");
+    let sweep_out = run_sync(
+        g,
+        Mode::deterministic(),
+        &sweep,
+        &ExecSpec::rounds(budget as u32),
+    )
+    .strict()
+    .expect("sweep halts after its schedule");
     total_rounds += sweep_out.rounds;
 
     let labels: Vec<usize> = sweep_out

@@ -32,8 +32,6 @@ pub use repair::{
     recover, recover_traced, Finish, Finisher, GreedyColoringFinisher, LubyRestartFinisher,
     Recovery, RecoveryPolicy, SinklessFinisher,
 };
-pub use sync::{
-    run_sync, run_sync_faulty, run_sync_faulty_budgeted, run_sync_faulty_budgeted_traced,
-    run_sync_with_params, run_sync_with_params_traced, FaultySyncOutcome, SyncAlgorithm, SyncCtx,
-    SyncOutcome, SyncStep,
-};
+#[allow(deprecated)]
+pub use sync::FaultySyncOutcome;
+pub use sync::{run_sync, SyncAlgorithm, SyncCtx, SyncOutcome, SyncRun, SyncStep};

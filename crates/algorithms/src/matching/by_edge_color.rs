@@ -13,7 +13,7 @@ use crate::color::edge_distributed::edge_color_distributed;
 use crate::matching::MatchingOutcome;
 use crate::sync::{run_sync, SyncAlgorithm, SyncCtx, SyncStep};
 use local_graphs::{Graph, PortId};
-use local_model::{Mode, NodeInit};
+use local_model::{ExecSpec, Mode, NodeInit};
 
 /// The class sweep over an edge coloring. The per-vertex inputs (incident
 /// edge colors by port) travel in the state — legitimate local input, since
@@ -104,8 +104,14 @@ pub fn matching_by_edge_color(g: &Graph, seed: u64) -> MatchingOutcome {
     assert!(g.m() > 0, "no edges to match");
     let coloring = edge_color_distributed(g, seed);
     let algo = EdgeClassSweep::new(g, &coloring.colors, coloring.palette);
-    let out = run_sync(g, Mode::deterministic(), &algo, coloring.palette as u32 + 2)
-        .expect("sweep halts after palette rounds");
+    let out = run_sync(
+        g,
+        Mode::deterministic(),
+        &algo,
+        &ExecSpec::rounds(coloring.palette as u32 + 2),
+    )
+    .strict()
+    .expect("sweep halts after palette rounds");
     let mut matched_edges = vec![false; g.m()];
     for v in g.vertices() {
         if let Some(p) = out.outputs[v] {

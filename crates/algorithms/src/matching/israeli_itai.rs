@@ -9,7 +9,7 @@
 use crate::matching::MatchingOutcome;
 use crate::sync::{run_sync, SyncAlgorithm, SyncCtx, SyncStep};
 use local_graphs::{Graph, PortId};
-use local_model::{Mode, NodeInit, SimError};
+use local_model::{ExecSpec, Mode, NodeInit, SimError};
 use rand::Rng;
 
 /// Public state.
@@ -133,7 +133,13 @@ pub fn israeli_itai_matching(
     seed: u64,
     max_rounds: u32,
 ) -> Result<MatchingOutcome, SimError> {
-    let out = run_sync(g, Mode::randomized(seed), &IsraeliItai, max_rounds)?;
+    let out = run_sync(
+        g,
+        Mode::randomized(seed),
+        &IsraeliItai,
+        &ExecSpec::rounds(max_rounds),
+    )
+    .strict()?;
     let mut matched_edges = vec![false; g.m()];
     for v in g.vertices() {
         if let Some(p) = out.outputs[v] {

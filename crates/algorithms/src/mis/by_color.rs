@@ -18,7 +18,7 @@ use crate::mis::MisOutcome;
 use crate::sync::{run_sync, SyncAlgorithm, SyncCtx, SyncStep};
 use local_graphs::Graph;
 use local_lcl::Labeling;
-use local_model::{IdAssignment, Mode, NodeInit};
+use local_model::{ExecSpec, IdAssignment, Mode, NodeInit};
 
 /// Public state of the class sweep.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -119,8 +119,14 @@ pub fn mis_by_color(
         }
     }
     let algo = ClassSweep::new(colors.as_slice().to_vec(), active.map(<[bool]>::to_vec));
-    let out = run_sync(g, Mode::deterministic(), &algo, palette as u32 + 2)
-        .expect("sweep halts after palette rounds");
+    let out = run_sync(
+        g,
+        Mode::deterministic(),
+        &algo,
+        &ExecSpec::rounds(palette as u32 + 2),
+    )
+    .strict()
+    .expect("sweep halts after palette rounds");
     MisOutcome {
         in_set: out.outputs,
         rounds: out.rounds,

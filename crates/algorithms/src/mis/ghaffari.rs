@@ -19,7 +19,7 @@ use crate::mis::MisOutcome;
 use crate::sync::{run_sync, SyncAlgorithm, SyncCtx, SyncStep};
 use local_graphs::Graph;
 use local_lcl::Labeling;
-use local_model::{derived_rng, Mode, NodeInit, SimError};
+use local_model::{derived_rng, ExecSpec, Mode, NodeInit, SimError};
 use rand::Rng;
 
 /// Tuning for the pre-shattering phase length.
@@ -159,7 +159,13 @@ pub fn ghaffari_preshatter(
 ) -> Result<PreShatterOutcome, SimError> {
     let phases = config.phases(g.max_degree().max(1));
     let algo = PreShatter { phases };
-    let out = run_sync(g, Mode::randomized(seed), &algo, 2 * phases + 4)?;
+    let out = run_sync(
+        g,
+        Mode::randomized(seed),
+        &algo,
+        &ExecSpec::rounds(2 * phases + 4),
+    )
+    .strict()?;
     Ok(PreShatterOutcome {
         status: out.outputs,
         rounds: out.rounds,
@@ -217,7 +223,13 @@ pub fn ghaffari_mis(g: &Graph, seed: u64, config: GhaffariConfig) -> Result<MisO
             colors: ids,
             group_of,
         };
-        let linial_out = run_sync(g, Mode::deterministic(), &linial, g.n() as u32 + 200)?;
+        let linial_out = run_sync(
+            g,
+            Mode::deterministic(),
+            &linial,
+            &ExecSpec::rounds(g.n() as u32 + 200),
+        )
+        .strict()?;
         rounds += linial_out.rounds;
         let colors: Labeling<usize> =
             Labeling::new(linial_out.outputs.iter().map(|&c| c as usize).collect());

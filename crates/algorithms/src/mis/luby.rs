@@ -8,7 +8,7 @@
 use crate::mis::MisOutcome;
 use crate::sync::{run_sync, SyncAlgorithm, SyncCtx, SyncStep};
 use local_graphs::Graph;
-use local_model::{Mode, NodeInit, SimError};
+use local_model::{ExecSpec, Mode, NodeInit, SimError};
 use rand::Rng;
 
 /// Public per-vertex state.
@@ -127,7 +127,13 @@ pub fn luby_mis_restricted(
         Some(a) => Luby::restricted(a),
         None => Luby::new(),
     };
-    let out = run_sync(g, Mode::randomized(seed), &algo, max_rounds)?;
+    let out = run_sync(
+        g,
+        Mode::randomized(seed),
+        &algo,
+        &ExecSpec::rounds(max_rounds),
+    )
+    .strict()?;
     Ok(MisOutcome {
         in_set: out.outputs,
         rounds: out.rounds,

@@ -17,7 +17,7 @@ use crate::sync::{run_sync, SyncAlgorithm, SyncCtx, SyncStep};
 use local_graphs::Graph;
 use local_lcl::problems::Orientation;
 use local_lcl::Labeling;
-use local_model::{Mode, NodeInit, SimError};
+use local_model::{ExecSpec, Mode, NodeInit, SimError};
 use rand::Rng;
 
 /// Public state: per-port direction beliefs plus this phase's per-port
@@ -143,7 +143,13 @@ pub fn sinkless_orientation(
     phases: u32,
 ) -> Result<SinklessOutcome, SimError> {
     let algo = SinklessRepair { phases };
-    let out = run_sync(g, Mode::randomized(seed), &algo, 2 * phases + 6)?;
+    let out = run_sync(
+        g,
+        Mode::randomized(seed),
+        &algo,
+        &ExecSpec::rounds(2 * phases + 6),
+    )
+    .strict()?;
     let sinks = out
         .outputs
         .iter()

@@ -14,7 +14,7 @@ use crate::sync::{run_sync, SyncAlgorithm, SyncCtx, SyncStep};
 use local_graphs::edge_coloring::EdgeColoring;
 use local_graphs::Graph;
 use local_lcl::Labeling;
-use local_model::{Mode, NodeInit, SimError};
+use local_model::{ExecSpec, Mode, NodeInit, SimError};
 use rand::Rng;
 
 /// The worst-edge failure probability of the 0-round strategy that colors
@@ -84,7 +84,7 @@ pub fn zero_round_sinkless_coloring(
     seed: u64,
 ) -> Result<Labeling<usize>, SimError> {
     let algo = ZeroRoundColoring { delta };
-    let out = run_sync(g, Mode::randomized(seed), &algo, 4)?;
+    let out = run_sync(g, Mode::randomized(seed), &algo, &ExecSpec::rounds(4)).strict()?;
     Ok(Labeling::new(out.outputs))
 }
 

@@ -27,11 +27,11 @@
 //! residue, restricted away from frozen MIS members).
 
 use crate::mis::luby::Luby;
-use crate::sync::run_sync_faulty_budgeted;
+use crate::sync::run_sync;
 use local_graphs::Graph;
 use local_lcl::problems::Orientation;
 use local_lcl::{check_complete, check_partial, Labeling, LclProblem};
-use local_model::{derived_u64, Breach, Budget, FaultPlan, Mode, RecoveryError, Residue};
+use local_model::{derived_u64, Breach, Budget, ExecSpec, FaultPlan, Mode, RecoveryError, Residue};
 use local_obs::{EventData, Trace};
 use std::collections::VecDeque;
 
@@ -43,6 +43,16 @@ pub struct RecoveryPolicy {
     pub max_radius: u32,
     /// Watchdog budget each finisher attempt runs under.
     pub budget: Budget,
+}
+
+// Hand-written because `Budget` serializes by hand (see `local_model`).
+impl serde::Serialize for RecoveryPolicy {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Object(vec![
+            ("max_radius".to_string(), self.max_radius.to_value()),
+            ("budget".to_string(), self.budget.to_value()),
+        ])
+    }
 }
 
 impl Default for RecoveryPolicy {
@@ -696,12 +706,13 @@ impl Finisher<local_lcl::problems::Mis> for LubyRestartFinisher {
             self.seed,
             LUBY_RESTART_STREAM.wrapping_add(u64::from(attempt)),
         );
-        let run = run_sync_faulty_budgeted(
+        let run = run_sync(
             residue.graph(),
             Mode::randomized(seed),
             &algo,
-            budget,
-            &FaultPlan::none(),
+            &ExecSpec::default()
+                .with_budget(*budget)
+                .with_faults(&FaultPlan::none()),
         );
         if let Some(breach) = run.breach {
             return Err(RecoveryError::Budget { attempt, breach });
@@ -743,7 +754,6 @@ impl Finisher<local_lcl::problems::Mis> for LubyRestartFinisher {
 mod tests {
     use super::*;
     use crate::orientation::sinkless::SinklessRepair;
-    use crate::sync::run_sync_faulty;
     use local_graphs::gen;
     use local_lcl::problems::{Mis, SinklessOrientation, VertexColoring};
     use local_model::{FaultSpec, Outcome};
@@ -922,7 +932,12 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(11);
         let g = gen::gnp(40, 0.15, &mut rng);
         let plan = local_model::FaultPlan::sample(&g, &FaultSpec::none().with_crash(0.2, 8), 5);
-        let run = run_sync_faulty(&g, Mode::randomized(3), &Luby::new(), 400, &plan);
+        let run = run_sync(
+            &g,
+            Mode::randomized(3),
+            &Luby::new(),
+            &ExecSpec::rounds(400).with_faults(&plan),
+        );
         let partial: Vec<Option<bool>> = run.outcomes.iter().map(|o| o.output().copied()).collect();
         let rec = recover(
             &Mis::new(),
@@ -962,12 +977,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(0xE13);
         let g = gen::random_regular(30, 3, &mut rng).expect("feasible");
         let plan = local_model::FaultPlan::sample(&g, &FaultSpec::none().with_crash(0.1, 20), 9);
-        let run = run_sync_faulty(
+        let run = run_sync(
             &g,
             Mode::randomized(21),
             &SinklessRepair { phases: 20 },
-            46,
-            &plan,
+            &ExecSpec::rounds(46).with_faults(&plan),
         );
         let partial: Vec<Option<Orientation>> =
             run.outcomes.iter().map(|o| o.output().cloned()).collect();
@@ -1027,7 +1041,12 @@ mod tests {
         // Cut a run early so some vertices are Cut (not Crashed); recovery
         // treats both the same.
         let g = gen::cycle(8);
-        let run = run_sync_faulty(&g, Mode::randomized(5), &Luby::new(), 1, &FaultPlan::none());
+        let run = run_sync(
+            &g,
+            Mode::randomized(5),
+            &Luby::new(),
+            &ExecSpec::rounds(1).with_faults(&FaultPlan::none()),
+        );
         assert!(run.outcomes.iter().any(Outcome::is_cut));
         let partial: Vec<Option<bool>> = run.outcomes.iter().map(|o| o.output().copied()).collect();
         let rec = recover(

@@ -15,10 +15,9 @@
 
 use local_graphs::{Graph, PortId};
 use local_model::{
-    Action, Breach, Budget, Engine, FaultPlan, GlobalParams, Mode, NodeInit, NodeIo, NodeProgram,
+    Action, Breach, Budget, Engine, ExecSpec, GlobalParams, Mode, NodeInit, NodeIo, NodeProgram,
     Outcome, Protocol, SimError,
 };
-use local_obs::Trace;
 use rand::RngCore;
 
 /// The result of one [`SyncAlgorithm::update`].
@@ -108,7 +107,8 @@ pub trait SyncAlgorithm: Sync {
     ) -> SyncStep<Self::State, Self::Output>;
 }
 
-/// Outcome of [`run_sync`].
+/// The strict all-decided shape, recovered from a [`SyncRun`] by
+/// [`SyncRun::strict`].
 #[derive(Debug, Clone)]
 pub struct SyncOutcome<O> {
     /// Per-vertex outputs.
@@ -211,84 +211,14 @@ impl<'a, A: SyncAlgorithm> Protocol for SyncProtocol<'a, A> {
     }
 }
 
-/// Run a [`SyncAlgorithm`] on `g` under `mode` with the engine's default
-/// parameters.
-///
-/// # Errors
-///
-/// [`SimError::RoundLimitExceeded`] if some vertex never decides within
-/// `max_rounds`.
-pub fn run_sync<A: SyncAlgorithm>(
-    g: &Graph,
-    mode: Mode,
-    algo: &A,
-    max_rounds: u32,
-) -> Result<SyncOutcome<A::Output>, SimError> {
-    run_sync_with_params(g, mode, algo, max_rounds, GlobalParams::from_graph(g))
-}
-
-/// [`run_sync`] with explicit (possibly pretended) global parameters.
-///
-/// # Errors
-///
-/// [`SimError::RoundLimitExceeded`] if some vertex never decides within
-/// `max_rounds`.
-pub fn run_sync_with_params<A: SyncAlgorithm>(
-    g: &Graph,
-    mode: Mode,
-    algo: &A,
-    max_rounds: u32,
-    params: GlobalParams,
-) -> Result<SyncOutcome<A::Output>, SimError> {
-    run_sync_with_params_traced(g, mode, algo, max_rounds, params, None)
-}
-
-/// [`run_sync_with_params`] with an optional trace buffer: the underlying
-/// engine run emits its per-round events into `trace`.
-///
-/// # Errors
-///
-/// [`SimError::RoundLimitExceeded`] if some vertex never decides within
-/// `max_rounds`.
-pub fn run_sync_with_params_traced<A: SyncAlgorithm>(
-    g: &Graph,
-    mode: Mode,
-    algo: &A,
-    max_rounds: u32,
-    params: GlobalParams,
-    trace: Option<&Trace>,
-) -> Result<SyncOutcome<A::Output>, SimError> {
-    let back_ports = g
-        .vertices()
-        .map(|v| g.neighbors(v).iter().map(|nb| nb.back_port).collect())
-        .collect();
-    let protocol = SyncProtocol { algo, back_ports };
-    let mut engine = Engine::new(g, mode)
-        .with_params(params)
-        .with_max_rounds(max_rounds.saturating_add(2));
-    if let Some(tr) = trace {
-        engine = engine.with_trace(tr);
-    }
-    let run = engine.run(&protocol)?;
-    let mut outputs = Vec::with_capacity(run.outputs.len());
-    let mut rounds = 0;
-    for (o, r) in run.outputs {
-        rounds = rounds.max(r);
-        outputs.push(o);
-    }
-    Ok(SyncOutcome {
-        outputs,
-        rounds,
-        messages: run.stats.messages_sent,
-    })
-}
-
-/// Outcome of [`run_sync_faulty`]: per-vertex fates with partial outputs.
+/// Outcome of [`run_sync`]: per-vertex fates with partial outputs.
 ///
 /// `Halted { round, output }` carries the round in which the vertex
 /// *decided* (the sync-layer metric, one less than its engine halt round).
+/// Fault-free runs under a sufficient budget have every vertex `Halted`;
+/// [`strict`](Self::strict) recovers the all-decided [`SyncOutcome`] shape.
 #[derive(Debug, Clone)]
-pub struct FaultySyncOutcome<O> {
+pub struct SyncRun<O> {
     /// Per-vertex fates, indexed by vertex.
     pub outcomes: Vec<Outcome<O>>,
     /// Engine sweeps consumed.
@@ -301,9 +231,17 @@ pub struct FaultySyncOutcome<O> {
     pub delayed: u64,
     /// Which budget axis cut the run, if any.
     pub breach: Option<Breach>,
+    /// The engine round limit the run executed under (algorithmic budget
+    /// plus bookkeeping sweeps) — reported on [`strict`](Self::strict)'s
+    /// error.
+    round_limit: u32,
 }
 
-impl<O> FaultySyncOutcome<O> {
+/// Pre-refactor name of [`SyncRun`].
+#[deprecated(note = "renamed to `SyncRun`")]
+pub type FaultySyncOutcome<O> = SyncRun<O>;
+
+impl<O> SyncRun<O> {
     /// Per-vertex outputs for the vertices that decided, `None` elsewhere —
     /// the shape partial LCL validation consumes.
     pub fn partial_outputs(&self) -> Vec<Option<&O>> {
@@ -335,6 +273,52 @@ impl<O> FaultySyncOutcome<O> {
             })
             .max()
             .unwrap_or(0)
+    }
+
+    /// Collapse into the strict all-decided [`SyncOutcome`] shape.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::RoundLimitExceeded`] if any vertex was cut by the budget.
+    ///
+    /// # Panics
+    ///
+    /// If a vertex crashed: crash-stop fates have no strict equivalent, so
+    /// calling this on a run executed under a crashing fault plan is a logic
+    /// error.
+    pub fn strict(self) -> Result<SyncOutcome<O>, SimError> {
+        let (_, crashed, cut) = self.counts();
+        assert_eq!(crashed, 0, "strict() on a run with crashed vertices");
+        if cut > 0 {
+            return Err(SimError::RoundLimitExceeded {
+                limit: self.round_limit,
+                live_nodes: cut,
+                live_sample: self
+                    .outcomes
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, o)| o.is_cut())
+                    .map(|(v, _)| v)
+                    .take(SimError::LIVE_SAMPLE_CAP)
+                    .collect(),
+            });
+        }
+        let mut outputs = Vec::with_capacity(self.outcomes.len());
+        let mut rounds = 0;
+        for o in self.outcomes {
+            match o {
+                Outcome::Halted { round, output } => {
+                    rounds = rounds.max(round);
+                    outputs.push(output);
+                }
+                _ => unreachable!("counted above"),
+            }
+        }
+        Ok(SyncOutcome {
+            outputs,
+            rounds,
+            messages: self.messages,
+        })
     }
 }
 
@@ -432,86 +416,79 @@ impl<'a, A: SyncAlgorithm> Protocol for FaultySyncProtocol<'a, A> {
     }
 }
 
-/// Run a [`SyncAlgorithm`] under a [`FaultPlan`], tolerating message drops,
-/// delays, and crash-stop nodes.
+/// Run a [`SyncAlgorithm`] on `g` under `mode`, as described by `spec` —
+/// the single sync-layer entry point.
 ///
-/// Never errors: a vertex that cannot decide within `max_rounds` sweeps is
-/// reported as [`Outcome::Cut`] (and a crashed one as [`Outcome::Crashed`])
-/// with every other vertex's output intact.
-pub fn run_sync_faulty<A: SyncAlgorithm>(
+/// The spec's knobs compose freely:
+///
+/// * `spec.budget.max_rounds` counts *algorithmic* rounds; the engine gets
+///   two extra bookkeeping sweeps on that axis (other budget axes pass
+///   through unchanged). An absent budget allows 100 000 rounds.
+/// * `spec.params` overrides the advertised global parameters (Theorems
+///   3/6/8 pretend the graph is larger than it is).
+/// * `spec.faults` injects message drops, delays, and crash-stop nodes. The
+///   fault-tolerant node wrapper ([`FaultySyncNode`]) differs observably
+///   from the fault-free one ([`SyncNode`]) — pre-seeded last-heard caches,
+///   halting one round after deciding — so the fault-free case (`None`)
+///   runs [`SyncNode`], bit-identical to the pre-refactor `run_sync`.
+/// * `spec.trace` receives the engine's per-round events (live counts,
+///   message volume, crashes, fault-plane drops/delays, budget consumption).
+///
+/// Never errors: a vertex that cannot decide within the budget is reported
+/// as [`Outcome::Cut`] (and a crashed one as [`Outcome::Crashed`]) with
+/// every other vertex's output intact. Use [`SyncRun::strict`] where the
+/// old `Result<SyncOutcome, SimError>` shape is wanted.
+pub fn run_sync<A: SyncAlgorithm>(
     g: &Graph,
     mode: Mode,
     algo: &A,
-    max_rounds: u32,
-    faults: &FaultPlan,
-) -> FaultySyncOutcome<A::Output> {
-    run_sync_faulty_budgeted(g, mode, algo, &Budget::rounds(max_rounds), faults)
-}
-
-/// [`run_sync_faulty`] under a full watchdog [`Budget`]: `max_rounds` counts
-/// algorithmic rounds as before, and the optional message and wall-clock caps
-/// are enforced by the engine between sweeps. A vertex still undecided when
-/// any axis breaches is reported as [`Outcome::Cut`], with the breach kind on
-/// the outcome ([`FaultySyncOutcome::breach`]).
-pub fn run_sync_faulty_budgeted<A: SyncAlgorithm>(
-    g: &Graph,
-    mode: Mode,
-    algo: &A,
-    budget: &Budget,
-    faults: &FaultPlan,
-) -> FaultySyncOutcome<A::Output> {
-    run_sync_faulty_budgeted_traced(g, mode, algo, budget, faults, None)
-}
-
-/// [`run_sync_faulty_budgeted`] with an optional trace buffer: the underlying
-/// engine run emits its per-round events (live counts, message volume,
-/// crashes, fault-plane drops/delays, budget consumption) into `trace`.
-pub fn run_sync_faulty_budgeted_traced<A: SyncAlgorithm>(
-    g: &Graph,
-    mode: Mode,
-    algo: &A,
-    budget: &Budget,
-    faults: &FaultPlan,
-    trace: Option<&Trace>,
-) -> FaultySyncOutcome<A::Output> {
-    let params = GlobalParams::from_graph(g);
-    let ids: Option<Vec<u64>> = match &mode {
-        Mode::Deterministic { ids } => Some(ids.assign(g)),
-        Mode::Randomized { .. } => None,
+    spec: &ExecSpec<'_>,
+) -> SyncRun<A::Output> {
+    let params = spec.params.unwrap_or_else(|| GlobalParams::from_graph(g));
+    let budget = spec.budget.unwrap_or(Budget::rounds(100_000));
+    let engine_budget = Budget {
+        max_rounds: budget.max_rounds.saturating_add(2),
+        ..budget
     };
-    let init_states: Vec<A::State> = g
-        .vertices()
-        .map(|v| {
-            algo.init(&NodeInit {
-                node: v,
-                degree: g.degree(v),
-                id: ids.as_ref().map(|ids| ids[v]),
-                params: &params,
-            })
-        })
-        .collect();
-    let back_ports = g
+    let back_ports: Vec<Vec<PortId>> = g
         .vertices()
         .map(|v| g.neighbors(v).iter().map(|nb| nb.back_port).collect())
         .collect();
-    let protocol = FaultySyncProtocol {
-        algo,
-        graph: g,
-        back_ports,
-        init_states,
+    let engine_spec = ExecSpec {
+        params: Some(params),
+        budget: Some(engine_budget),
+        faults: spec.faults,
+        trace: spec.trace,
     };
-    let engine_budget = Budget {
-        max_rounds: budget.max_rounds.saturating_add(2),
-        ..*budget
+    let engine = Engine::new(g, mode.clone());
+    let run = match spec.faults {
+        None => engine.execute(&engine_spec, &SyncProtocol { algo, back_ports }),
+        Some(_) => {
+            let ids: Option<Vec<u64>> = match &mode {
+                Mode::Deterministic { ids } => Some(ids.assign(g)),
+                Mode::Randomized { .. } => None,
+            };
+            let init_states: Vec<A::State> = g
+                .vertices()
+                .map(|v| {
+                    algo.init(&NodeInit {
+                        node: v,
+                        degree: g.degree(v),
+                        id: ids.as_ref().map(|ids| ids[v]),
+                        params: &params,
+                    })
+                })
+                .collect();
+            let protocol = FaultySyncProtocol {
+                algo,
+                graph: g,
+                back_ports,
+                init_states,
+            };
+            engine.execute(&engine_spec, &protocol)
+        }
     };
-    let mut engine = Engine::new(g, mode)
-        .with_params(params)
-        .with_budget(engine_budget);
-    if let Some(tr) = trace {
-        engine = engine.with_trace(tr);
-    }
-    let run = engine.run_faulty(&protocol, faults);
-    FaultySyncOutcome {
+    SyncRun {
         outcomes: run
             .outcomes
             .into_iter()
@@ -532,6 +509,7 @@ pub fn run_sync_faulty_budgeted_traced<A: SyncAlgorithm>(
         dropped: run.dropped,
         delayed: run.delayed,
         breach: run.breach,
+        round_limit: engine_budget.max_rounds,
     }
 }
 
@@ -539,7 +517,7 @@ pub fn run_sync_faulty_budgeted_traced<A: SyncAlgorithm>(
 mod tests {
     use super::*;
     use local_graphs::gen;
-    use local_model::FaultSpec;
+    use local_model::{FaultPlan, FaultSpec};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -572,7 +550,14 @@ mod tests {
     #[test]
     fn max_within_radius() {
         let g = gen::path(6);
-        let out = run_sync(&g, Mode::deterministic(), &MaxWithin { horizon: 2 }, 100).unwrap();
+        let out = run_sync(
+            &g,
+            Mode::deterministic(),
+            &MaxWithin { horizon: 2 },
+            &ExecSpec::rounds(100),
+        )
+        .strict()
+        .unwrap();
         assert_eq!(out.rounds, 2);
         // Vertex 0 sees IDs within distance 2: {0,1,2} → 2.
         assert_eq!(out.outputs[0], 2);
@@ -600,7 +585,9 @@ mod tests {
     #[test]
     fn instant_decision_counts_one_round() {
         let g = gen::star(4);
-        let out = run_sync(&g, Mode::deterministic(), &Instant, 10).unwrap();
+        let out = run_sync(&g, Mode::deterministic(), &Instant, &ExecSpec::rounds(10))
+            .strict()
+            .unwrap();
         assert_eq!(out.rounds, 1);
         assert_eq!(out.outputs[0], 3);
     }
@@ -634,7 +621,14 @@ mod tests {
     #[test]
     fn staggered_decisions_see_decided_neighbors() {
         let g = gen::path(3);
-        let out = run_sync(&g, Mode::deterministic(), &Staggered, 100).unwrap();
+        let out = run_sync(
+            &g,
+            Mode::deterministic(),
+            &Staggered,
+            &ExecSpec::rounds(100),
+        )
+        .strict()
+        .unwrap();
         assert_eq!(out.rounds, 3); // vertex 2 decides at round 3
         assert_eq!(out.outputs[1], 2);
     }
@@ -642,13 +636,20 @@ mod tests {
     #[test]
     fn faulty_run_with_trivial_plan_matches_run_sync() {
         let g = gen::gnp(20, 0.3, &mut StdRng::seed_from_u64(7));
-        let clean = run_sync(&g, Mode::deterministic(), &MaxWithin { horizon: 2 }, 100).unwrap();
-        let faulty = run_sync_faulty(
+        let clean = run_sync(
             &g,
             Mode::deterministic(),
             &MaxWithin { horizon: 2 },
-            100,
-            &FaultPlan::none(),
+            &ExecSpec::rounds(100),
+        )
+        .strict()
+        .unwrap();
+        let plan = FaultPlan::none();
+        let faulty = run_sync(
+            &g,
+            Mode::deterministic(),
+            &MaxWithin { horizon: 2 },
+            &ExecSpec::rounds(100).with_faults(&plan),
         );
         let (halted, crashed, cut) = faulty.counts();
         assert_eq!((halted, crashed, cut), (g.n(), 0, 0));
@@ -663,12 +664,11 @@ mod tests {
         let g = gen::path(6);
         // Vertex 2 crashes before it can decide; everyone else finishes.
         let plan = FaultPlan::from_crash_schedule(vec![None, None, Some(1), None, None, None]);
-        let out = run_sync_faulty(
+        let out = run_sync(
             &g,
             Mode::deterministic(),
             &MaxWithin { horizon: 3 },
-            100,
-            &plan,
+            &ExecSpec::rounds(100).with_faults(&plan),
         );
         let (halted, crashed, cut) = out.counts();
         assert_eq!((halted, crashed, cut), (5, 1, 0));
@@ -688,12 +688,11 @@ mod tests {
         // Drop everything: each vertex only ever sees the initial states it
         // was seeded with, so the distance-2 max degrades to its own ID...
         let plan = FaultPlan::sample(&g, &FaultSpec::none().with_drop(1.0), 3);
-        let out = run_sync_faulty(
+        let out = run_sync(
             &g,
             Mode::deterministic(),
             &MaxWithin { horizon: 2 },
-            100,
-            &plan,
+            &ExecSpec::rounds(100).with_faults(&plan),
         );
         let (halted, crashed, cut) = out.counts();
         assert_eq!((halted, crashed, cut), (4, 0, 0));
@@ -722,7 +721,7 @@ mod tests {
         }
         let g = gen::path(2);
         assert!(matches!(
-            run_sync(&g, Mode::deterministic(), &Never, 5),
+            run_sync(&g, Mode::deterministic(), &Never, &ExecSpec::rounds(5)).strict(),
             Err(SimError::RoundLimitExceeded { .. })
         ));
     }

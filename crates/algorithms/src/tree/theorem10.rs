@@ -21,13 +21,12 @@
 //! documented as a substitution in DESIGN.md.
 
 use crate::color::{be_forest_coloring, ColoringOutcome, UNCOLORED};
-use crate::sync::{
-    run_sync_faulty_budgeted_traced, run_sync_with_params_traced, FaultySyncOutcome, SyncAlgorithm,
-    SyncCtx, SyncStep,
-};
+use crate::sync::{run_sync, SyncAlgorithm, SyncCtx, SyncRun, SyncStep};
 use local_graphs::Graph;
 use local_lcl::Labeling;
-use local_model::{derived_rng, Budget, FaultPlan, GlobalParams, Mode, NodeInit, SimError};
+use local_model::{
+    derived_rng, Budget, ExecSpec, FaultPlan, GlobalParams, Mode, NodeInit, SimError,
+};
 use local_obs::Trace;
 use rand::Rng;
 
@@ -281,14 +280,15 @@ pub fn theorem10_phase1_traced(
         margin: config.palette_margin,
     };
     let _span = trace.map(|t| t.span("t10_color_bidding"));
-    let out = run_sync_with_params_traced(
+    let out = run_sync(
         g,
         Mode::randomized(seed),
         &phase1,
-        budget,
-        GlobalParams::from_graph(g),
-        trace,
-    )?;
+        &ExecSpec::rounds(budget)
+            .with_params(GlobalParams::from_graph(g))
+            .traced(trace),
+    )
+    .strict()?;
     Ok((out.outputs, out.rounds))
 }
 
@@ -308,7 +308,7 @@ pub fn theorem10_phase1_faulty(
     seed: u64,
     config: Theorem10Config,
     faults: &FaultPlan,
-) -> FaultySyncOutcome<Option<usize>> {
+) -> SyncRun<Option<usize>> {
     theorem10_phase1_faulty_traced(g, delta, seed, config, faults, None)
 }
 
@@ -326,7 +326,7 @@ pub fn theorem10_phase1_faulty_traced(
     config: Theorem10Config,
     faults: &FaultPlan,
     trace: Option<&Trace>,
-) -> FaultySyncOutcome<Option<usize>> {
+) -> SyncRun<Option<usize>> {
     assert!(
         delta >= 9,
         "Theorem 10 needs Δ ≥ 9 (reserved √Δ palette ≥ 3)"
@@ -346,13 +346,14 @@ pub fn theorem10_phase1_faulty_traced(
         margin: config.palette_margin,
     };
     let _span = trace.map(|t| t.span("t10_color_bidding"));
-    run_sync_faulty_budgeted_traced(
+    run_sync(
         g,
         Mode::randomized(seed),
         &phase1,
-        &Budget::rounds(budget),
-        faults,
-        trace,
+        &ExecSpec::default()
+            .with_budget(Budget::rounds(budget))
+            .with_faults(faults)
+            .traced(trace),
     )
 }
 

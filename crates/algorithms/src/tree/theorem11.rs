@@ -32,7 +32,7 @@ use crate::sync::{run_sync, SyncAlgorithm, SyncCtx, SyncStep};
 use crate::tree::theorem10::{bad_component_stats, ShatterStats};
 use local_graphs::Graph;
 use local_lcl::Labeling;
-use local_model::{derived_rng, Mode, NodeInit, SimError};
+use local_model::{derived_rng, ExecSpec, Mode, NodeInit, SimError};
 use rand::Rng;
 
 // ------------------------------------------------- one peeling iteration
@@ -226,14 +226,26 @@ pub fn theorem11_color(g: &Graph, delta: usize, seed: u64) -> Result<Theorem11Ou
         colors: ids,
         group_of: all_groups.clone(),
     };
-    let linial_out = run_sync(g, Mode::deterministic(), &linial, n as u32 + 200)?;
+    let linial_out = run_sync(
+        g,
+        Mode::deterministic(),
+        &linial,
+        &ExecSpec::rounds(n as u32 + 200),
+    )
+    .strict()?;
     let reduce = GroupReduce {
         from: linial_palette,
         to: delta + 1,
         colors: linial_out.outputs.iter().map(|&c| c as usize).collect(),
         group_of: all_groups,
     };
-    let reduce_out = run_sync(g, Mode::deterministic(), &reduce, linial_palette as u32 + 2)?;
+    let reduce_out = run_sync(
+        g,
+        Mode::deterministic(),
+        &reduce,
+        &ExecSpec::rounds(linial_palette as u32 + 2),
+    )
+    .strict()?;
     let base_class: Vec<usize> = reduce_out.outputs.iter().map(|&c| c as usize).collect();
     let setup_rounds = 1 + linial_out.rounds + reduce_out.rounds;
 
@@ -251,8 +263,9 @@ pub fn theorem11_color(g: &Graph, delta: usize, seed: u64) -> Result<Theorem11Ou
             g,
             Mode::randomized(seed ^ (c as u64).wrapping_mul(0x9E37_79B9)),
             &iter,
-            delta as u32 + 8,
-        )?;
+            &ExecSpec::rounds(delta as u32 + 8),
+        )
+        .strict()?;
         phase1_rounds += out.rounds;
         for v in g.vertices() {
             if out.outputs[v] {
@@ -327,7 +340,7 @@ pub fn theorem11_color(g: &Graph, delta: usize, seed: u64) -> Result<Theorem11Ou
             class_of,
             delta,
         };
-        let out = run_sync(g, Mode::deterministic(), &completion, 8)?;
+        let out = run_sync(g, Mode::deterministic(), &completion, &ExecSpec::rounds(8)).strict()?;
         phase3_rounds += out.rounds;
         for v in g.vertices() {
             if in_u[v] {

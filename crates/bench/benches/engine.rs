@@ -3,7 +3,9 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use local_graphs::gen;
-use local_model::{Action, Engine, FaultPlan, Mode, NodeInit, NodeIo, NodeProgram, Protocol};
+use local_model::{
+    Action, Engine, ExecSpec, FaultPlan, Mode, NodeInit, NodeIo, NodeProgram, Protocol,
+};
 use local_obs::Trace;
 
 /// Floods for a fixed number of rounds, then halts — pure engine overhead.
@@ -48,7 +50,8 @@ fn bench_engine(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
             b.iter(|| {
                 Engine::new(g, Mode::deterministic())
-                    .run(&FloodProtocol { horizon: 20 })
+                    .execute(&ExecSpec::default(), &FloodProtocol { horizon: 20 })
+                    .into_run(100_000)
                     .unwrap()
             })
         });
@@ -68,9 +71,10 @@ fn bench_engine_traced(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
             b.iter(|| {
                 let trace = Trace::new(0);
+                let plan = FaultPlan::none();
+                let spec = ExecSpec::default().with_faults(&plan).with_trace(&trace);
                 let run = Engine::new(g, Mode::deterministic())
-                    .with_trace(&trace)
-                    .run_faulty(&FloodProtocol { horizon: 20 }, &FaultPlan::none());
+                    .execute(&spec, &FloodProtocol { horizon: 20 });
                 (run.stats.messages_sent, trace.into_events().len())
             })
         });

@@ -1,31 +1,5 @@
 //! A1: ablation of Theorem 10's schedule constants.
 
-use local_bench::Cli;
-use local_separation::experiments::a1_ablation as a1;
-
 fn main() {
-    let cli = Cli::parse();
-    cli.reject_checkpoint("A1");
-    cli.reject_trace("A1");
-    cli.banner(
-        "A1",
-        "Theorem 10 constants: growth K and palette margin ablation",
-    );
-    let mut cfg = if cli.full {
-        a1::Config::full()
-    } else {
-        a1::Config::quick()
-    };
-    if let Some(t) = cli.trials {
-        cfg.seeds = t;
-    }
-    if cli.seed.is_some() {
-        cli.progress("note: --seed has no effect on A1 (seeds derive from the grid)");
-    }
-    let rows = a1::run(&cfg);
-    if cli.json {
-        cli.emit_json("A1", rows.as_slice());
-    } else {
-        println!("{}", a1::table(&rows, cfg.n, cfg.delta));
-    }
+    local_bench::registry::main_for("A1");
 }

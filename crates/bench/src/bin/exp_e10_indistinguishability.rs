@@ -1,28 +1,5 @@
 //! E10: the indistinguishability principle, counted.
 
-use local_bench::Cli;
-use local_separation::experiments::e10_indistinguishability as e10;
-
 fn main() {
-    let cli = Cli::parse();
-    cli.reject_checkpoint("E10");
-    cli.reject_trace("E10");
-    cli.banner(
-        "E10",
-        "below half the girth, a Δ-regular graph has ONE radius-t view = the tree's",
-    );
-    if cli.trials.is_some() || cli.seed.is_some() {
-        cli.progress("note: --trials/--seed have no effect on E10 (exact view census)");
-    }
-    let cfg = if cli.full {
-        e10::Config::full()
-    } else {
-        e10::Config::quick()
-    };
-    let (rows, girth) = e10::run(&cfg);
-    if cli.json {
-        cli.emit_json("E10", rows.as_slice());
-    } else {
-        println!("{}", e10::table(&rows, cfg.delta, girth));
-    }
+    local_bench::registry::main_for("E10");
 }

@@ -1,30 +1,5 @@
 //! E11: Theorem 7's Δ = 2 dichotomy.
 
-use local_bench::Cli;
-use local_separation::experiments::e11_dichotomy as e11;
-
 fn main() {
-    let cli = Cli::parse();
-    cli.reject_checkpoint("E11");
-    cli.reject_trace("E11");
-    cli.banner(
-        "E11",
-        "Δ = 2: every LCL is O(log* n) or Ω(n) — both sides measured",
-    );
-    if cli.trials.is_some() || cli.seed.is_some() {
-        cli.progress("note: --trials/--seed have no effect on E11 (deterministic sweeps)");
-    }
-    let cfg = if cli.full {
-        e11::Config::full()
-    } else {
-        e11::Config::quick()
-    };
-    let out = e11::run(&cfg);
-    if cli.json {
-        cli.emit_json("E11", out.rows.as_slice());
-        return;
-    }
-    println!("{}", e11::table(&out));
-    println!("3-coloring best fit: {}", out.fast_fit.name());
-    println!("2-coloring best fit: {}", out.slow_fit.name());
+    local_bench::registry::main_for("E11");
 }

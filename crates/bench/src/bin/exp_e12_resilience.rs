@@ -1,39 +1,5 @@
 //! E12: resilience — validity and rounds under the deterministic fault plane.
 
-use local_bench::Cli;
-use local_obs::TraceSink;
-use local_separation::experiments::e12_resilience as e12;
-
 fn main() {
-    let cli = Cli::parse();
-    cli.banner(
-        "E12",
-        "graceful degradation under message drops and crash-stop nodes",
-    );
-    let mut cfg = if cli.full {
-        e12::Config::full()
-    } else {
-        e12::Config::quick()
-    };
-    if let Some(t) = cli.trials {
-        cfg.trials = t;
-    }
-    if let Some(s) = cli.seed {
-        cfg.master_seed = s;
-    }
-    if cli.trace.is_some() && cli.checkpoint.is_some() {
-        eprintln!("error: --trace and --checkpoint are mutually exclusive on E12");
-        std::process::exit(2);
-    }
-    let out = if let Some(mut sink) = cli.open_trace() {
-        e12::run_traced(&cfg, Some(&mut sink as &mut dyn TraceSink))
-    } else {
-        let checkpoint = cli.open_checkpoint();
-        e12::run_checkpointed(&cfg, checkpoint.as_ref())
-    };
-    if cli.json {
-        cli.emit_json("E12", out.rows.as_slice());
-        return;
-    }
-    println!("{}", e12::table(&out));
+    local_bench::registry::main_for("E12");
 }

@@ -1,36 +1,5 @@
 //! E13: self-healing — recovering faulty runs to complete valid labelings.
 
-use local_bench::Cli;
-use local_obs::TraceSink;
-use local_separation::experiments::e13_recovery as e13;
-
 fn main() {
-    let cli = Cli::parse();
-    cli.banner("E13", "recovery of faulty runs to complete valid labelings");
-    let mut cfg = if cli.full {
-        e13::Config::full()
-    } else {
-        e13::Config::quick()
-    };
-    if let Some(t) = cli.trials {
-        cfg.trials = t;
-    }
-    if let Some(s) = cli.seed {
-        cfg.master_seed = s;
-    }
-    if cli.trace.is_some() && cli.checkpoint.is_some() {
-        eprintln!("error: --trace and --checkpoint are mutually exclusive on E13");
-        std::process::exit(2);
-    }
-    let out = if let Some(mut sink) = cli.open_trace() {
-        e13::run_traced(&cfg, Some(&mut sink as &mut dyn TraceSink))
-    } else {
-        let checkpoint = cli.open_checkpoint();
-        e13::run_checkpointed(&cfg, checkpoint.as_ref())
-    };
-    if cli.json {
-        cli.emit_json("E13", out.rows.as_slice());
-        return;
-    }
-    println!("{}", e13::table(&out));
+    local_bench::registry::main_for("E13");
 }

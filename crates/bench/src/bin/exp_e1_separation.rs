@@ -1,44 +1,6 @@
 //! E1: the exponential separation — deterministic vs randomized tree
 //! Δ-coloring rounds.
 
-use local_bench::Cli;
-use local_separation::experiments::e1_separation as e1;
-
 fn main() {
-    let cli = Cli::parse();
-    cli.reject_checkpoint("E1");
-    cli.reject_trace("E1");
-    cli.banner(
-        "E1",
-        "tree Δ-coloring: Det Θ(log_Δ n) vs Rand O(log_Δ log n + log* n)",
-    );
-    let mut cfg = if cli.full {
-        e1::Config::full()
-    } else {
-        e1::Config::quick()
-    };
-    if let Some(t) = cli.trials {
-        cfg.seeds = t;
-    }
-    if cli.seed.is_some() {
-        cli.progress("note: --seed has no effect on E1 (seeds derive from n and Δ)");
-    }
-    let out = e1::run(&cfg);
-    if cli.json {
-        cli.emit_json("E1", out.rows.as_slice());
-        return;
-    }
-    println!("{}", e1::table(&out));
-    for (delta, model) in &out.det_fit {
-        println!(
-            "Δ = {delta}: deterministic peel depth ℓ best fit: {}",
-            model.name()
-        );
-    }
-    for (delta, model) in &out.rand_fit {
-        println!(
-            "Δ = {delta}: randomized total rounds best fit:    {}",
-            model.name()
-        );
-    }
+    local_bench::registry::main_for("E1");
 }

@@ -1,29 +1,5 @@
 //! E2: Theorem 10 shattering — bad-component sizes vs the Δ⁴·log n bound.
 
-use local_bench::Cli;
-use local_obs::TraceSink;
-use local_separation::experiments::e2_shattering as e2;
-
 fn main() {
-    let cli = Cli::parse();
-    cli.reject_checkpoint("E2");
-    cli.banner("E2", "bad components after Phase 1 are O(Δ⁴ log n)");
-    let mut cfg = if cli.full {
-        e2::Config::full()
-    } else {
-        e2::Config::quick()
-    };
-    if let Some(t) = cli.trials {
-        cfg.seeds = t;
-    }
-    if cli.seed.is_some() {
-        cli.progress("note: --seed has no effect on E2 (seeds derive from n)");
-    }
-    let mut trace = cli.open_trace();
-    let rows = e2::run_traced(&cfg, trace.as_mut().map(|sink| sink as &mut dyn TraceSink));
-    if cli.json {
-        cli.emit_json("E2", rows.as_slice());
-    } else {
-        println!("{}", e2::table(&rows, cfg.delta));
-    }
+    local_bench::registry::main_for("E2");
 }

@@ -1,31 +1,5 @@
 //! E3: Theorem 11 — per-phase rounds and the shattered set for constant Δ.
 
-use local_bench::Cli;
-use local_separation::experiments::e3_theorem11 as e3;
-
 fn main() {
-    let cli = Cli::parse();
-    cli.reject_checkpoint("E3");
-    cli.reject_trace("E3");
-    cli.banner(
-        "E3",
-        "Theorem 11 profile: setup/phase rounds and S components",
-    );
-    let mut cfg = if cli.full {
-        e3::Config::full()
-    } else {
-        e3::Config::quick()
-    };
-    if let Some(t) = cli.trials {
-        cfg.seeds = t;
-    }
-    if cli.seed.is_some() {
-        cli.progress("note: --seed has no effect on E3 (seeds derive from n)");
-    }
-    let rows = e3::run(&cfg);
-    if cli.json {
-        cli.emit_json("E3", rows.as_slice());
-    } else {
-        println!("{}", e3::table(&rows, cfg.delta));
-    }
+    local_bench::registry::main_for("E3");
 }

@@ -1,31 +1,5 @@
 //! E4: the zero-round lower bound — per-edge failure ≥ 1/Δ².
 
-use local_bench::Cli;
-use local_separation::experiments::e4_zero_round as e4;
-
 fn main() {
-    let cli = Cli::parse();
-    cli.reject_checkpoint("E4");
-    cli.reject_trace("E4");
-    cli.banner(
-        "E4",
-        "every 0-round sinkless coloring fails with prob ≥ 1/Δ²",
-    );
-    let mut cfg = if cli.full {
-        e4::Config::full()
-    } else {
-        e4::Config::quick()
-    };
-    if let Some(t) = cli.trials {
-        cfg.trials = t;
-    }
-    if cli.seed.is_some() {
-        cli.progress("note: --seed has no effect on E4 (seeds derive from the strategy grid)");
-    }
-    let rows = e4::run(&cfg);
-    if cli.json {
-        cli.emit_json("E4", rows.as_slice());
-    } else {
-        println!("{}", e4::table(&rows));
-    }
+    local_bench::registry::main_for("E4");
 }

@@ -1,31 +1,5 @@
 //! E5: failure decay of truncated sinkless orientation.
 
-use local_bench::Cli;
-use local_separation::experiments::e5_truncation as e5;
-
 fn main() {
-    let cli = Cli::parse();
-    cli.reject_checkpoint("E5");
-    cli.reject_trace("E5");
-    cli.banner(
-        "E5",
-        "sink probability vs round budget (round elimination, run forward)",
-    );
-    let mut cfg = if cli.full {
-        e5::Config::full()
-    } else {
-        e5::Config::quick()
-    };
-    if let Some(t) = cli.trials {
-        cfg.seeds = t;
-    }
-    if cli.seed.is_some() {
-        cli.progress("note: --seed has no effect on E5 (seeds derive from the phase grid)");
-    }
-    let rows = e5::run(&cfg);
-    if cli.json {
-        cli.emit_json("E5", rows.as_slice());
-    } else {
-        println!("{}", e5::table(&rows, cfg.delta));
-    }
+    local_bench::registry::main_for("E5");
 }

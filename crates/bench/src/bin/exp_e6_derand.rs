@@ -1,28 +1,5 @@
 //! E6: Theorem 3 derandomization over exhaustive toy instance spaces.
 
-use local_bench::Cli;
-use local_separation::experiments::e6_derand as e6;
-
 fn main() {
-    let cli = Cli::parse();
-    cli.reject_checkpoint("E6");
-    cli.reject_trace("E6");
-    cli.banner(
-        "E6",
-        "Det(n, Δ) ≤ Rand(2^(n²), Δ), machine-verified at toy scale",
-    );
-    if cli.trials.is_some() || cli.seed.is_some() {
-        cli.progress("note: --trials/--seed have no effect on E6 (exhaustive enumeration)");
-    }
-    let cfg = if cli.full {
-        e6::Config::full()
-    } else {
-        e6::Config::quick()
-    };
-    let rows = e6::run(&cfg);
-    if cli.json {
-        cli.emit_json("E6", rows.as_slice());
-    } else {
-        println!("{}", e6::table(&rows));
-    }
+    local_bench::registry::main_for("E6");
 }

@@ -1,28 +1,5 @@
 //! E7: the Theorem 6 black-box speedup.
 
-use local_bench::Cli;
-use local_separation::experiments::e7_speedup as e7;
-
 fn main() {
-    let cli = Cli::parse();
-    cli.reject_checkpoint("E7");
-    cli.reject_trace("E7");
-    cli.banner(
-        "E7",
-        "greedy-by-ID coloring: Θ(n) before, O(log* n + poly Δ) after",
-    );
-    if cli.trials.is_some() || cli.seed.is_some() {
-        cli.progress("note: --trials/--seed have no effect on E7 (deterministic algorithms)");
-    }
-    let cfg = if cli.full {
-        e7::Config::full()
-    } else {
-        e7::Config::quick()
-    };
-    let rows = e7::run(&cfg);
-    if cli.json {
-        cli.emit_json("E7", rows.as_slice());
-    } else {
-        println!("{}", e7::table(&rows));
-    }
+    local_bench::registry::main_for("E7");
 }

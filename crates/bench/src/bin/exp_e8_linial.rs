@@ -1,43 +1,5 @@
 //! E8: Linial's coloring — Theorem 1 shrink and Theorem 2 convergence.
 
-use local_bench::Cli;
-use local_separation::experiments::e8_linial as e8;
-use serde::Serialize;
-
-/// E8's two measured sections, combined for the JSON report.
-#[derive(Serialize)]
-struct Sections {
-    shrink: Vec<e8::ShrinkRow>,
-    convergence: Vec<e8::ConvergenceRow>,
-}
-
 fn main() {
-    let cli = Cli::parse();
-    cli.reject_checkpoint("E8");
-    cli.reject_trace("E8");
-    cli.banner(
-        "E8",
-        "one-round palette shrink and O(log* n) convergence to β·Δ²",
-    );
-    if cli.trials.is_some() || cli.seed.is_some() {
-        cli.progress("note: --trials/--seed have no effect on E8 (deterministic algorithms)");
-    }
-    let cfg = if cli.full {
-        e8::Config::full()
-    } else {
-        e8::Config::quick()
-    };
-    let (shrink, conv) = e8::run(&cfg);
-    if cli.json {
-        cli.emit_json(
-            "E8",
-            &Sections {
-                shrink,
-                convergence: conv,
-            },
-        );
-        return;
-    }
-    println!("{}", e8::shrink_table(&shrink));
-    println!("{}", e8::convergence_table(&conv));
+    local_bench::registry::main_for("E8");
 }

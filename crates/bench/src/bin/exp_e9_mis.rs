@@ -1,33 +1,5 @@
 //! E9: the MIS landscape — Luby vs deterministic vs shattering.
 
-use local_bench::Cli;
-use local_separation::experiments::e9_mis as e9;
-
 fn main() {
-    let cli = Cli::parse();
-    cli.reject_checkpoint("E9");
-    cli.reject_trace("E9");
-    cli.banner(
-        "E9",
-        "MIS: Luby Θ(log n) vs Det O(Δ²+log* n) vs Ghaffari shattering",
-    );
-    let mut cfg = if cli.full {
-        e9::Config::full()
-    } else {
-        e9::Config::quick()
-    };
-    if let Some(t) = cli.trials {
-        cfg.seeds = t;
-    }
-    if cli.seed.is_some() {
-        cli.progress("note: --seed has no effect on E9 (seeds derive from n)");
-    }
-    let out = e9::run(&cfg);
-    if cli.json {
-        cli.emit_json("E9", out.rows.as_slice());
-        return;
-    }
-    println!("{}", e9::table(&out, cfg.delta));
-    println!("Luby best fit: {}", out.luby_fit.name());
-    println!("Det best fit:  {}", out.det_fit.name());
+    local_bench::registry::main_for("E9");
 }

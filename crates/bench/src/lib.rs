@@ -20,6 +20,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod experiments;
+pub mod registry;
+
 use local_obs::FileSink;
 use local_separation::checkpoint::Checkpoint;
 use local_separation::trials::TrialReport;
@@ -131,22 +134,23 @@ impl Cli {
         }
     }
 
-    /// Print the standard experiment banner (suppressed under `--json`,
-    /// which must emit nothing but the report).
+    /// Print the standard experiment banner. Under `--json` it goes to
+    /// stderr — stdout must carry nothing but the report envelope, but the
+    /// banner still orients whoever is watching the terminal.
     pub fn banner(&self, id: &str, claim: &str) {
-        if self.json {
-            return;
-        }
-        println!("=== {id} — {claim} ===");
-        println!(
-            "mode: {}",
+        let text = format!(
+            "=== {id} — {claim} ===\nmode: {}\n",
             if self.full {
                 "full"
             } else {
                 "quick (pass --full for the EXPERIMENTS.md sweep)"
             }
         );
-        println!();
+        if self.json {
+            eprintln!("{text}");
+        } else {
+            println!("{text}");
+        }
     }
 
     /// Open the checkpoint store named by `--checkpoint`, or `None` when the
@@ -165,19 +169,6 @@ impl Cli {
         }
     }
 
-    /// Reject `--checkpoint` for a binary whose experiment has no resumable
-    /// trial loop, with a message naming the experiment; exits with status 2.
-    /// Silently accepting the flag would let a user believe a killed sweep
-    /// is resumable when it is not.
-    pub fn reject_checkpoint(&self, experiment: &str) {
-        if self.checkpoint.is_some() {
-            eprintln!(
-                "error: {experiment} does not support --checkpoint (no resumable trial loop)"
-            );
-            std::process::exit(2);
-        }
-    }
-
     /// Open the JSON-lines trace sink named by `--trace`, or `None` when the
     /// flag was not given. For binaries whose experiment supports tracing.
     ///
@@ -191,17 +182,6 @@ impl Cli {
                 eprintln!("error: cannot create trace file `{path}`: {err}");
                 std::process::exit(2);
             }
-        }
-    }
-
-    /// Reject `--trace` for a binary whose experiment has no traced run
-    /// path, with a message naming the experiment; exits with status 2.
-    /// Silently accepting the flag would leave the user with an empty file
-    /// instead of the trace they asked for.
-    pub fn reject_trace(&self, experiment: &str) {
-        if self.trace.is_some() {
-            eprintln!("error: {experiment} does not support --trace (no traced run path)");
-            std::process::exit(2);
         }
     }
 

@@ -1,0 +1,95 @@
+//! Process-level contracts of the shim binaries: `--json` stdout is a clean
+//! machine-readable envelope (the banner moves to stderr), and bad or
+//! unsupported flags exit with status 2 through the shared driver.
+//!
+//! E6 is the probe binary — its quick sweep is an exhaustive toy-scale
+//! enumeration that finishes in milliseconds even unoptimized.
+
+use std::process::Command;
+
+fn e6() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_exp_e6_derand"))
+}
+
+/// Pipe `--json` stdout straight into the parser: the envelope must be the
+/// ONLY thing on stdout, and the banner must have moved to stderr.
+#[test]
+fn json_stdout_parses_and_banner_goes_to_stderr() {
+    let out = e6().arg("--json").output().expect("spawn exp_e6");
+    assert!(out.status.success(), "status: {:?}", out.status);
+
+    let stdout = String::from_utf8(out.stdout).expect("utf-8 stdout");
+    let envelope: serde::Value = serde_json::from_str(&stdout).expect("stdout is one JSON value");
+    assert_eq!(
+        envelope.field("experiment").unwrap().as_str().unwrap(),
+        "E6"
+    );
+    assert_eq!(envelope.field("mode").unwrap().as_str().unwrap(), "quick");
+    assert!(matches!(
+        envelope.field("rows").unwrap(),
+        serde::Value::Array(rows) if !rows.is_empty()
+    ));
+
+    let stderr = String::from_utf8(out.stderr).expect("utf-8 stderr");
+    assert!(
+        stderr.contains("=== E6"),
+        "banner must still appear, on stderr: {stderr:?}"
+    );
+}
+
+#[test]
+fn quiet_json_still_emits_the_envelope() {
+    let out = e6().args(["--json", "--quiet"]).output().expect("spawn");
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).expect("utf-8 stdout");
+    serde_json::from_str::<serde::Value>(&stdout).expect("stdout is one JSON value");
+}
+
+#[test]
+fn unknown_flag_exits_2() {
+    let out = e6().arg("--bogus").output().expect("spawn");
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8(out.stderr).expect("utf-8 stderr");
+    assert!(stderr.contains("unknown argument `--bogus`"), "{stderr:?}");
+}
+
+/// The uniform capability rejection, observed end to end: E6 has no
+/// resumable trial loop, so `--checkpoint` must die with the one pinned
+/// message and status 2 — and before any sweep output.
+#[test]
+fn unsupported_checkpoint_exits_2_with_the_pinned_message() {
+    let out = e6()
+        .args(["--checkpoint", "x.ckpt"])
+        .output()
+        .expect("spawn");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(
+        out.stdout.is_empty(),
+        "no sweep output before the rejection"
+    );
+    let stderr = String::from_utf8(out.stderr).expect("utf-8 stderr");
+    assert_eq!(
+        stderr,
+        "error: E6 does not support --checkpoint (no resumable trial loop)\n"
+    );
+}
+
+/// Every experiment now has a traced run path: `--trace` on a binary that
+/// never had one (E6) must produce a non-empty JSON-lines file.
+#[test]
+fn trace_flag_writes_a_jsonl_file() {
+    let dir = std::env::temp_dir().join(format!("e6_trace_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let path = dir.join("e6.jsonl");
+    let out = e6()
+        .args(["--json", "--trace", path.to_str().expect("utf-8 path")])
+        .output()
+        .expect("spawn");
+    assert!(out.status.success(), "status: {:?}", out.status);
+    let trace = std::fs::read_to_string(&path).expect("trace file exists");
+    assert!(!trace.trim().is_empty(), "trace must not be empty");
+    for line in trace.lines() {
+        serde_json::from_str::<serde::Value>(line).expect("each trace line is JSON");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}

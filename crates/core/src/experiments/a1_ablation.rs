@@ -10,18 +10,19 @@
 
 use crate::report::Table;
 use crate::shatter::shatter_profile;
-use crate::trials::TrialPlan;
+use crate::trials::{TrialOutcome, TrialPlan, TrialSpec};
 use local_algorithms::tree::theorem10::theorem10_phase1;
 use local_algorithms::tree::{theorem10_color, Theorem10Config};
 use local_graphs::gen;
 use local_lcl::problems::VertexColoring;
 use local_lcl::LclProblem;
+use local_obs::TraceSink;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 
 /// Sweep configuration.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, serde::Serialize)]
 pub struct Config {
     /// Tree size.
     pub n: usize,
@@ -78,6 +79,14 @@ pub struct Row {
 
 /// Run the ablation; every full-pipeline coloring is validated.
 pub fn run(cfg: &Config) -> Vec<Row> {
+    run_traced(cfg, None)
+}
+
+/// [`run`] with an optional trace sink: each trial runs inside an
+/// `a1_trial` span (stamped with a globally unique trial number), so the
+/// stream records per-trial wall-clock timing.
+pub fn run_traced(cfg: &Config, mut sink: Option<&mut dyn TraceSink>) -> Vec<Row> {
+    let mut trace_base = 0u64;
     let mut rows = Vec::new();
     for &growth_k in &cfg.growth_ks {
         for &margin in &cfg.margins {
@@ -91,23 +100,32 @@ pub fn run(cfg: &Config) -> Vec<Row> {
                 cfg.seeds,
                 0xA1 ^ (growth_k.to_bits() >> 3) ^ margin.to_bits(),
             );
-            let per_trial = plan.run(|t| {
-                let mut rng = StdRng::seed_from_u64(t.seed);
-                let g = gen::random_tree_max_degree(cfg.n, cfg.delta, &mut rng);
-                let (status, _) =
-                    theorem10_phase1(&g, cfg.delta, t.seed, config).expect("fixed schedule");
-                let bad: Vec<bool> = status.iter().map(Option::is_none).collect();
-                let profile = shatter_profile(&g, &bad);
-                let full = theorem10_color(&g, cfg.delta, t.seed, config).expect("completes");
-                VertexColoring::new(cfg.delta)
-                    .validate(&g, &full.coloring.labels)
-                    .expect("every ablation variant must still be correct");
-                (
-                    profile.undecided as f64 / cfg.n as f64,
-                    profile.largest(),
-                    f64::from(full.coloring.rounds),
-                )
-            });
+            let spec = TrialSpec::new()
+                .traced(sink.as_deref_mut())
+                .trace_base(trace_base);
+            trace_base += plan.trials();
+            let per_trial: Vec<_> = plan
+                .execute(spec, |t, trace| {
+                    let _span = trace.map(|tr| tr.span("a1_trial"));
+                    let mut rng = StdRng::seed_from_u64(t.seed);
+                    let g = gen::random_tree_max_degree(cfg.n, cfg.delta, &mut rng);
+                    let (status, _) =
+                        theorem10_phase1(&g, cfg.delta, t.seed, config).expect("fixed schedule");
+                    let bad: Vec<bool> = status.iter().map(Option::is_none).collect();
+                    let profile = shatter_profile(&g, &bad);
+                    let full = theorem10_color(&g, cfg.delta, t.seed, config).expect("completes");
+                    VertexColoring::new(cfg.delta)
+                        .validate(&g, &full.coloring.labels)
+                        .expect("every ablation variant must still be correct");
+                    (
+                        profile.undecided as f64 / cfg.n as f64,
+                        profile.largest(),
+                        f64::from(full.coloring.rounds),
+                    )
+                })
+                .into_iter()
+                .map(TrialOutcome::into_ok)
+                .collect();
             let bad_sum: f64 = per_trial.iter().map(|p| p.0).sum();
             let largest = per_trial.iter().map(|p| p.1).max().unwrap_or(0);
             let rounds_sum: f64 = per_trial.iter().map(|p| p.2).sum();

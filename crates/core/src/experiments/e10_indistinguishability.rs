@@ -13,13 +13,14 @@
 use crate::report::Table;
 use local_graphs::{analysis, gen, Graph};
 use local_model::ball;
+use local_obs::{Trace, TraceSink};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
 
 /// Sweep configuration.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, serde::Serialize)]
 pub struct Config {
     /// Degree Δ (also the tree arity + 1).
     pub delta: usize,
@@ -73,6 +74,14 @@ pub struct Row {
 ///
 /// Panics if the generator cannot achieve the requested girth.
 pub fn run(cfg: &Config) -> (Vec<Row>, usize) {
+    run_traced(cfg, None)
+}
+
+/// [`run`] with an optional trace sink: each radius is measured inside an
+/// `e10_radius` span on trace trial 0, so the stream records per-radius
+/// wall-clock timing.
+pub fn run_traced(cfg: &Config, sink: Option<&mut dyn TraceSink>) -> (Vec<Row>, usize) {
+    let trace = sink.as_ref().map(|_| Trace::new(0));
     let mut rng = StdRng::seed_from_u64(0xE10);
     let g = gen::high_girth_regular(cfg.n_side, cfg.delta, cfg.min_girth, &mut rng)
         .expect("girth achievable at this scale");
@@ -85,6 +94,7 @@ pub fn run(cfg: &Config) -> (Vec<Row>, usize) {
         .radii
         .iter()
         .map(|&t| {
+            let _span = trace.as_ref().map(|tr| tr.span("e10_radius"));
             // Views up to port renumbering (the equivalence lower bounds
             // use); balls that wrap a cycle fall back to the exact ordered
             // encoding, which only inflates the beyond-horizon counts.
@@ -107,6 +117,12 @@ pub fn run(cfg: &Config) -> (Vec<Row>, usize) {
             }
         })
         .collect();
+    if let (Some(sink), Some(trace)) = (sink, trace) {
+        for event in trace.into_events() {
+            sink.record(&event);
+        }
+        sink.flush();
+    }
     (rows, girth)
 }
 

@@ -17,10 +17,11 @@ use local_graphs::gen;
 use local_lcl::problems::VertexColoring;
 use local_lcl::LclProblem;
 use local_model::IdAssignment;
+use local_obs::{Trace, TraceSink};
 use serde::{Deserialize, Serialize};
 
 /// Sweep configuration.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, serde::Serialize)]
 pub struct Config {
     /// Path/cycle lengths.
     pub ns: Vec<usize>,
@@ -66,10 +67,19 @@ pub struct Outcome {
 
 /// Run the sweep; both colorings are validated at every size.
 pub fn run(cfg: &Config) -> Outcome {
+    run_traced(cfg, None)
+}
+
+/// [`run`] with an optional trace sink: each size is measured inside an
+/// `e11_size` span on trace trial 0, so the stream records per-size
+/// wall-clock timing.
+pub fn run_traced(cfg: &Config, sink: Option<&mut dyn TraceSink>) -> Outcome {
+    let trace = sink.as_ref().map(|_| Trace::new(0));
     let mut rows = Vec::new();
     let mut fast = Vec::new();
     let mut slow = Vec::new();
     for &n in &cfg.ns {
+        let _span = trace.as_ref().map(|t| t.span("e11_size"));
         let cycle = gen::cycle(n);
         let three = cv_color_cycle(&cycle, &IdAssignment::Sequential);
         VertexColoring::new(3)
@@ -89,6 +99,12 @@ pub fn run(cfg: &Config) -> Outcome {
             three_coloring: three.rounds,
             two_coloring: two.rounds,
         });
+    }
+    if let (Some(sink), Some(trace)) = (sink, trace) {
+        for event in trace.into_events() {
+            sink.record(&event);
+        }
+        sink.flush();
     }
     Outcome {
         fast_fit: best_model(&fast).model,

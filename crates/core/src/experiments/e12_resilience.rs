@@ -30,22 +30,22 @@
 
 use crate::checkpoint::Checkpoint;
 use crate::report::Table;
-use crate::trials::{TrialOutcome, TrialPlan};
+use crate::trials::{TrialOutcome, TrialPlan, TrialSpec};
 use local_algorithms::mis::luby::Luby;
 use local_algorithms::orientation::sinkless::SinklessRepair;
 use local_algorithms::tree::theorem10::{theorem10_phase1_faulty_traced, Theorem10Config};
-use local_algorithms::{run_sync_faulty_budgeted_traced, FaultySyncOutcome};
+use local_algorithms::{run_sync, SyncRun};
 use local_graphs::{gen, Graph, GraphError};
 use local_lcl::problems::{Mis, Orientation, SinklessOrientation, VertexColoring};
 use local_lcl::{check_partial, PartialValidity};
-use local_model::{Budget, FaultPlan, FaultSpec, Mode, Outcome};
+use local_model::{Budget, ExecSpec, FaultPlan, FaultSpec, Mode, Outcome};
 use local_obs::{Trace, TraceSink};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 
 /// Sweep configuration.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, serde::Serialize)]
 pub struct Config {
     /// Vertices in the tree-coloring workload (Δ = 16 tree).
     pub tree_n: usize,
@@ -163,7 +163,7 @@ struct TrialRecord {
     max_round: u32,
 }
 
-fn record<O>(run: &FaultySyncOutcome<O>, pv: &PartialValidity) -> TrialRecord {
+fn record<O>(run: &SyncRun<O>, pv: &PartialValidity) -> TrialRecord {
     let (halted, crashed, cut) = run.counts();
     TrialRecord {
         halted,
@@ -177,7 +177,7 @@ fn record<O>(run: &FaultySyncOutcome<O>, pv: &PartialValidity) -> TrialRecord {
 }
 
 /// Partial labels of the vertices that decided.
-fn decided_labels<O: Clone>(run: &FaultySyncOutcome<O>) -> Vec<Option<O>> {
+fn decided_labels<O: Clone>(run: &SyncRun<O>) -> Vec<Option<O>> {
     run.outcomes.iter().map(|o| o.output().cloned()).collect()
 }
 
@@ -247,13 +247,14 @@ fn workloads(cfg: &Config) -> Vec<Result<Workload<'static>, (&'static str, Graph
                 let algo = SinklessRepair {
                     phases: SINKLESS_PHASES,
                 };
-                let out = run_sync_faulty_budgeted_traced(
+                let out = run_sync(
                     g,
                     Mode::randomized(seed),
                     &algo,
-                    &Budget::rounds(2 * SINKLESS_PHASES + 6),
-                    plan,
-                    trace,
+                    &ExecSpec::default()
+                        .with_budget(Budget::rounds(2 * SINKLESS_PHASES + 6))
+                        .with_faults(plan)
+                        .traced(trace),
                 );
                 let labels: Vec<Option<Orientation>> = decided_labels(&out);
                 let pv = check_partial(&SinklessOrientation::new(SINKLESS_DELTA), g, &labels);
@@ -265,13 +266,14 @@ fn workloads(cfg: &Config) -> Vec<Result<Workload<'static>, (&'static str, Graph
             graph,
             crash_window: MIS_BUDGET,
             run: Box::new(|g, seed, plan, trace| {
-                let out = run_sync_faulty_budgeted_traced(
+                let out = run_sync(
                     g,
                     Mode::randomized(seed),
                     &Luby::new(),
-                    &Budget::rounds(MIS_BUDGET),
-                    plan,
-                    trace,
+                    &ExecSpec::default()
+                        .with_budget(Budget::rounds(MIS_BUDGET))
+                        .with_faults(plan)
+                        .traced(trace),
                 );
                 let labels: Vec<Option<bool>> = decided_labels(&out);
                 let pv = check_partial(&Mis::new(), g, &labels);
@@ -402,13 +404,13 @@ pub fn run_checkpointed(cfg: &Config, checkpoint: Option<&Checkpoint>) -> Outcom
                             .with_crash(crash_p, w.crash_window);
                         let plan = TrialPlan::new(cfg.trials, cfg.master_seed);
                         let scope = scope("e12", cfg, w.name, drop_p, crash_p);
-                        let outcomes = plan.run_isolated_checkpointed(
-                            checkpoint.map(|c| (c, scope.as_str())),
-                            |trial| {
-                                let faults = FaultPlan::sample(&w.graph, &spec, trial.seed);
-                                (w.run)(&w.graph, trial.seed, &faults, None)
-                            },
-                        );
+                        let tspec = TrialSpec::new()
+                            .isolated()
+                            .checkpointed(checkpoint.map(|c| (c, scope.as_str())));
+                        let outcomes = plan.execute(tspec, |trial, _| {
+                            let faults = FaultPlan::sample(&w.graph, &spec, trial.seed);
+                            (w.run)(&w.graph, trial.seed, &faults, None)
+                        });
                         rows.push(fold_row(w.name, drop_p, crash_p, cfg.trials, outcomes));
                     }
                 }
@@ -444,13 +446,14 @@ pub fn run_traced(cfg: &Config, mut sink: Option<&mut dyn TraceSink>) -> Outcome
                             .with_drop(drop_p)
                             .with_crash(crash_p, w.crash_window);
                         let plan = TrialPlan::new(cfg.trials, cfg.master_seed);
-                        let records =
-                            plan.run_with_trace_from(sink.as_deref_mut(), base, |trial, trace| {
-                                let faults = FaultPlan::sample(&w.graph, &spec, trial.seed);
-                                (w.run)(&w.graph, trial.seed, &faults, trace)
-                            });
+                        let tspec = TrialSpec::new()
+                            .traced(sink.as_deref_mut())
+                            .trace_base(base);
+                        let outcomes = plan.execute(tspec, |trial, trace| {
+                            let faults = FaultPlan::sample(&w.graph, &spec, trial.seed);
+                            (w.run)(&w.graph, trial.seed, &faults, trace)
+                        });
                         base += cfg.trials;
-                        let outcomes = records.into_iter().map(TrialOutcome::Ok).collect();
                         rows.push(fold_row(w.name, drop_p, crash_p, cfg.trials, outcomes));
                     }
                 }

@@ -20,18 +20,18 @@
 
 use crate::checkpoint::Checkpoint;
 use crate::report::Table;
-use crate::trials::{TrialOutcome, TrialPlan};
+use crate::trials::{TrialOutcome, TrialPlan, TrialSpec};
 use local_algorithms::mis::luby::Luby;
 use local_algorithms::orientation::sinkless::SinklessRepair;
 use local_algorithms::tree::theorem10::{theorem10_phase1_faulty_traced, Theorem10Config};
 use local_algorithms::{
-    recover_traced, run_sync_faulty_budgeted_traced, FaultySyncOutcome, Finisher,
-    GreedyColoringFinisher, LubyRestartFinisher, RecoveryPolicy, SinklessFinisher,
+    recover_traced, run_sync, Finisher, GreedyColoringFinisher, LubyRestartFinisher,
+    RecoveryPolicy, SinklessFinisher, SyncRun,
 };
 use local_graphs::{gen, Graph, GraphError};
 use local_lcl::problems::{Mis, Orientation, SinklessOrientation, VertexColoring};
 use local_lcl::LclProblem;
-use local_model::{derived_u64, Budget, FaultPlan, FaultSpec, Mode, Outcome};
+use local_model::{derived_u64, Budget, ExecSpec, FaultPlan, FaultSpec, Mode, Outcome};
 use local_obs::{Trace, TraceSink};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -41,7 +41,7 @@ pub use super::e12_resilience::OutcomeCounts;
 
 /// Sweep configuration. The fault grid deliberately stays inside the range
 /// the recovery subsystem promises to heal (drops ≤ 0.2, crashes ≤ 0.1).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, serde::Serialize)]
 pub struct Config {
     /// Vertices in the tree-coloring workload (Δ = 16 tree).
     pub tree_n: usize,
@@ -171,7 +171,7 @@ struct TrialResult {
 /// [`TrialResult`].
 fn heal<P, F, O>(
     g: &Graph,
-    run: &FaultySyncOutcome<O>,
+    run: &SyncRun<O>,
     partial: &[Option<P::Label>],
     problem: &P,
     finisher: &F,
@@ -213,7 +213,7 @@ where
 }
 
 /// Partial labels of the vertices that decided.
-fn decided_labels<O: Clone>(run: &FaultySyncOutcome<O>) -> Vec<Option<O>> {
+fn decided_labels<O: Clone>(run: &SyncRun<O>) -> Vec<Option<O>> {
     run.outcomes.iter().map(|o| o.output().cloned()).collect()
 }
 
@@ -294,13 +294,14 @@ fn workloads(cfg: &Config) -> Vec<Result<Workload<'static>, (&'static str, Graph
                 let algo = SinklessRepair {
                     phases: SINKLESS_PHASES,
                 };
-                let out = run_sync_faulty_budgeted_traced(
+                let out = run_sync(
                     g,
                     Mode::randomized(seed),
                     &algo,
-                    &Budget::rounds(2 * SINKLESS_PHASES + 6),
-                    plan,
-                    trace,
+                    &ExecSpec::default()
+                        .with_budget(Budget::rounds(2 * SINKLESS_PHASES + 6))
+                        .with_faults(plan)
+                        .traced(trace),
                 );
                 let labels: Vec<Option<Orientation>> = decided_labels(&out);
                 heal(
@@ -319,13 +320,14 @@ fn workloads(cfg: &Config) -> Vec<Result<Workload<'static>, (&'static str, Graph
             graph,
             crash_window: MIS_BUDGET,
             run: Box::new(|g, seed, plan, policy, trace| {
-                let out = run_sync_faulty_budgeted_traced(
+                let out = run_sync(
                     g,
                     Mode::randomized(seed),
                     &Luby::new(),
-                    &Budget::rounds(MIS_BUDGET),
-                    plan,
-                    trace,
+                    &ExecSpec::default()
+                        .with_budget(Budget::rounds(MIS_BUDGET))
+                        .with_faults(plan)
+                        .traced(trace),
                 );
                 let labels: Vec<Option<bool>> = decided_labels(&out);
                 heal(
@@ -490,13 +492,13 @@ pub fn run_checkpointed(cfg: &Config, checkpoint: Option<&Checkpoint>) -> Outcom
                             .with_crash(crash_p, w.crash_window);
                         let plan = TrialPlan::new(cfg.trials, cfg.master_seed);
                         let scope = scope(cfg, w.name, drop_p, crash_p);
-                        let outcomes = plan.run_isolated_checkpointed(
-                            checkpoint.map(|c| (c, scope.as_str())),
-                            |trial| {
-                                let faults = FaultPlan::sample(&w.graph, &spec, trial.seed);
-                                (w.run)(&w.graph, trial.seed, &faults, &cfg.policy, None)
-                            },
-                        );
+                        let tspec = TrialSpec::new()
+                            .isolated()
+                            .checkpointed(checkpoint.map(|c| (c, scope.as_str())));
+                        let outcomes = plan.execute(tspec, |trial, _| {
+                            let faults = FaultPlan::sample(&w.graph, &spec, trial.seed);
+                            (w.run)(&w.graph, trial.seed, &faults, &cfg.policy, None)
+                        });
                         rows.push(fold_row(w.name, drop_p, crash_p, cfg, outcomes));
                     }
                 }
@@ -531,13 +533,14 @@ pub fn run_traced(cfg: &Config, mut sink: Option<&mut dyn TraceSink>) -> Outcome
                             .with_drop(drop_p)
                             .with_crash(crash_p, w.crash_window);
                         let plan = TrialPlan::new(cfg.trials, cfg.master_seed);
-                        let results =
-                            plan.run_with_trace_from(sink.as_deref_mut(), base, |trial, trace| {
-                                let faults = FaultPlan::sample(&w.graph, &spec, trial.seed);
-                                (w.run)(&w.graph, trial.seed, &faults, &cfg.policy, trace)
-                            });
+                        let tspec = TrialSpec::new()
+                            .traced(sink.as_deref_mut())
+                            .trace_base(base);
+                        let outcomes = plan.execute(tspec, |trial, trace| {
+                            let faults = FaultPlan::sample(&w.graph, &spec, trial.seed);
+                            (w.run)(&w.graph, trial.seed, &faults, &cfg.policy, trace)
+                        });
                         base += cfg.trials;
-                        let outcomes = results.into_iter().map(TrialOutcome::Ok).collect();
                         rows.push(fold_row(w.name, drop_p, crash_p, cfg, outcomes));
                     }
                 }

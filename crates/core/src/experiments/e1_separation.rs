@@ -15,16 +15,17 @@
 
 use crate::fit::{best_model, GrowthModel};
 use crate::report::Table;
-use crate::trials::TrialPlan;
+use crate::trials::{TrialOutcome, TrialPlan, TrialSpec};
 use local_algorithms::color::be_forest_coloring_detailed;
 use local_algorithms::tree::{theorem10_color, Theorem10Config};
 use local_graphs::gen;
 use local_lcl::problems::VertexColoring;
 use local_lcl::LclProblem;
+use local_obs::TraceSink;
 use serde::{Deserialize, Serialize};
 
 /// Sweep configuration.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, serde::Serialize)]
 pub struct Config {
     /// Maximum degrees to test.
     pub deltas: Vec<usize>,
@@ -96,6 +97,14 @@ pub struct Outcome {
 
 /// Run the sweep. Every produced coloring is validated before being counted.
 pub fn run(cfg: &Config) -> Outcome {
+    run_traced(cfg, None)
+}
+
+/// [`run`] with an optional trace sink: each randomized trial runs inside
+/// an `e1_trial` span (stamped with a globally unique trial number), so the
+/// stream records per-trial wall-clock timing.
+pub fn run_traced(cfg: &Config, mut sink: Option<&mut dyn TraceSink>) -> Outcome {
+    let mut trace_base = 0u64;
     let mut rows = Vec::new();
     let mut det_fit = Vec::new();
     let mut rand_fit = Vec::new();
@@ -126,17 +135,26 @@ pub fn run(cfg: &Config) -> Outcome {
             let det_peel = f64::from(det.peel_rounds);
 
             let plan = TrialPlan::new(cfg.seeds, 0xE1 ^ ((delta as u64) << 32) ^ (n as u64));
-            let per_trial = plan.run(|t| {
-                let rand = theorem10_color(&g, delta, t.seed, Theorem10Config::default())
-                    .expect("engine should not hit round limits");
-                VertexColoring::new(delta)
-                    .validate(&g, &rand.coloring.labels)
-                    .expect("Theorem 10 output must be proper");
-                (
-                    f64::from(rand.coloring.rounds),
-                    f64::from(rand.phase2_rounds),
-                )
-            });
+            let spec = TrialSpec::new()
+                .traced(sink.as_deref_mut())
+                .trace_base(trace_base);
+            trace_base += plan.trials();
+            let per_trial: Vec<(f64, f64)> = plan
+                .execute(spec, |t, trace| {
+                    let _span = trace.map(|tr| tr.span("e1_trial"));
+                    let rand = theorem10_color(&g, delta, t.seed, Theorem10Config::default())
+                        .expect("engine should not hit round limits");
+                    VertexColoring::new(delta)
+                        .validate(&g, &rand.coloring.labels)
+                        .expect("Theorem 10 output must be proper");
+                    (
+                        f64::from(rand.coloring.rounds),
+                        f64::from(rand.phase2_rounds),
+                    )
+                })
+                .into_iter()
+                .map(TrialOutcome::into_ok)
+                .collect();
             let k = cfg.seeds as f64;
             let rand_rounds = per_trial.iter().map(|p| p.0).sum::<f64>() / k;
             let rand_phase2 = per_trial.iter().map(|p| p.1).sum::<f64>() / k;

@@ -8,7 +8,7 @@
 
 use crate::report::Table;
 use crate::shatter::shatter_profile;
-use crate::trials::TrialPlan;
+use crate::trials::{TrialOutcome, TrialPlan, TrialSpec};
 use local_algorithms::tree::theorem10::theorem10_phase1_traced;
 use local_algorithms::tree::Theorem10Config;
 use local_graphs::gen;
@@ -16,7 +16,7 @@ use local_obs::{EventData, PowHistogram, TraceSink};
 use serde::{Deserialize, Serialize};
 
 /// Sweep configuration.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, serde::Serialize)]
 pub struct Config {
     /// Maximum degree Δ.
     pub delta: usize,
@@ -81,24 +81,36 @@ pub fn run_traced(cfg: &Config, mut sink: Option<&mut dyn TraceSink>) -> Vec<Row
         let g = gen::complete_dary_tree(n, cfg.delta);
         let plan = TrialPlan::new(cfg.seeds, 0xE2 ^ (n as u64));
         let base = point as u64 * cfg.seeds;
-        let per_trial = plan.run_with_trace_from(sink.as_deref_mut(), base, |t, trace| {
-            let (status, _rounds) =
-                theorem10_phase1_traced(&g, cfg.delta, t.seed, Theorem10Config::default(), trace)
-                    .expect("phase 1 has a fixed schedule");
-            let bad: Vec<bool> = status.iter().map(Option::is_none).collect();
-            let profile = shatter_profile(&g, &bad);
-            if let Some(tr) = trace {
-                let mut hist = PowHistogram::new();
-                for &size in &profile.component_sizes {
-                    hist.record(size as u64);
+        let spec = TrialSpec::new()
+            .traced(sink.as_deref_mut())
+            .trace_base(base);
+        let per_trial: Vec<_> = plan
+            .execute(spec, |t, trace| {
+                let (status, _rounds) = theorem10_phase1_traced(
+                    &g,
+                    cfg.delta,
+                    t.seed,
+                    Theorem10Config::default(),
+                    trace,
+                )
+                .expect("phase 1 has a fixed schedule");
+                let bad: Vec<bool> = status.iter().map(Option::is_none).collect();
+                let profile = shatter_profile(&g, &bad);
+                if let Some(tr) = trace {
+                    let mut hist = PowHistogram::new();
+                    for &size in &profile.component_sizes {
+                        hist.record(size as u64);
+                    }
+                    tr.emit(EventData::Histogram {
+                        name: "shattered_component_size".to_string(),
+                        hist: Box::new(hist),
+                    });
                 }
-                tr.emit(EventData::Histogram {
-                    name: "shattered_component_size".to_string(),
-                    hist: Box::new(hist),
-                });
-            }
-            (profile.undecided, profile.largest())
-        });
+                (profile.undecided, profile.largest())
+            })
+            .into_iter()
+            .map(TrialOutcome::into_ok)
+            .collect();
         let bad_max = per_trial.iter().map(|p| p.0).max().unwrap_or(0);
         let largest = per_trial.iter().map(|p| p.1).max().unwrap_or(0);
         let bound = (cfg.delta as f64).powi(4) * (g.n() as f64).log2();

@@ -7,17 +7,18 @@
 //! `Θ(log_Δ n)`.
 
 use crate::report::Table;
-use crate::trials::TrialPlan;
+use crate::trials::{TrialOutcome, TrialPlan, TrialSpec};
 use local_algorithms::tree::theorem11_color;
 use local_graphs::gen;
 use local_lcl::problems::VertexColoring;
 use local_lcl::LclProblem;
+use local_obs::TraceSink;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 
 /// Sweep configuration.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, serde::Serialize)]
 pub struct Config {
     /// Maximum degree Δ (paper: ≥ 55; any Δ ≥ 9 runs).
     pub delta: usize,
@@ -71,25 +72,42 @@ pub struct Row {
 
 /// Run the sweep; every coloring is validated.
 pub fn run(cfg: &Config) -> Vec<Row> {
+    run_traced(cfg, None)
+}
+
+/// [`run`] with an optional trace sink: each trial runs inside an
+/// `e3_trial` span (stamped with a globally unique trial number), so the
+/// stream records per-trial wall-clock timing.
+pub fn run_traced(cfg: &Config, mut sink: Option<&mut dyn TraceSink>) -> Vec<Row> {
+    let mut trace_base = 0u64;
     let mut rows = Vec::new();
     for &n in &cfg.ns {
         let plan = TrialPlan::new(cfg.seeds, 0xE3 ^ ((n as u64) << 24));
-        let per_trial = plan.run(|t| {
-            let mut rng = StdRng::seed_from_u64(t.seed);
-            let g = gen::random_tree_max_degree(n, cfg.delta, &mut rng);
-            let out = theorem11_color(&g, cfg.delta, t.seed).expect("fixed schedules");
-            VertexColoring::new(cfg.delta)
-                .validate(&g, &out.coloring.labels)
-                .expect("Theorem 11 output must be proper");
-            (
-                f64::from(out.setup_rounds),
-                f64::from(out.phase1_rounds),
-                f64::from(out.phase2_rounds),
-                f64::from(out.phase3_rounds),
-                out.stats.bad_vertices,
-                out.stats.largest_bad_component,
-            )
-        });
+        let spec = TrialSpec::new()
+            .traced(sink.as_deref_mut())
+            .trace_base(trace_base);
+        trace_base += plan.trials();
+        let per_trial: Vec<_> = plan
+            .execute(spec, |t, trace| {
+                let _span = trace.map(|tr| tr.span("e3_trial"));
+                let mut rng = StdRng::seed_from_u64(t.seed);
+                let g = gen::random_tree_max_degree(n, cfg.delta, &mut rng);
+                let out = theorem11_color(&g, cfg.delta, t.seed).expect("fixed schedules");
+                VertexColoring::new(cfg.delta)
+                    .validate(&g, &out.coloring.labels)
+                    .expect("Theorem 11 output must be proper");
+                (
+                    f64::from(out.setup_rounds),
+                    f64::from(out.phase1_rounds),
+                    f64::from(out.phase2_rounds),
+                    f64::from(out.phase3_rounds),
+                    out.stats.bad_vertices,
+                    out.stats.largest_bad_component,
+                )
+            })
+            .into_iter()
+            .map(TrialOutcome::into_ok)
+            .collect();
         let su: f64 = per_trial.iter().map(|p| p.0).sum();
         let p1: f64 = per_trial.iter().map(|p| p.1).sum();
         let p2: f64 = per_trial.iter().map(|p| p.2).sum();

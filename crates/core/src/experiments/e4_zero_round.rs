@@ -7,18 +7,19 @@
 //! the engine, per Δ.
 
 use crate::report::Table;
-use crate::trials::TrialPlan;
+use crate::trials::{TrialOutcome, TrialPlan, TrialSpec};
 use local_algorithms::orientation::zero_round::{
     best_zero_round_failure, zero_round_sinkless_coloring,
 };
 use local_graphs::edge_coloring::konig;
 use local_graphs::gen;
+use local_obs::TraceSink;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 
 /// Sweep configuration.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, serde::Serialize)]
 pub struct Config {
     /// Degrees to test.
     pub deltas: Vec<usize>,
@@ -63,6 +64,14 @@ pub struct Row {
 
 /// Run the sweep.
 pub fn run(cfg: &Config) -> Vec<Row> {
+    run_traced(cfg, None)
+}
+
+/// [`run`] with an optional trace sink: each trial runs inside an
+/// `e4_trial` span (stamped with a globally unique trial number), so the
+/// stream records per-trial wall-clock timing.
+pub fn run_traced(cfg: &Config, mut sink: Option<&mut dyn TraceSink>) -> Vec<Row> {
+    let mut trace_base = 0u64;
     let mut rows = Vec::new();
     for &delta in &cfg.deltas {
         let mut rng = StdRng::seed_from_u64(0xE4 ^ (delta as u64) << 8);
@@ -70,17 +79,26 @@ pub fn run(cfg: &Config) -> Vec<Row> {
             .expect("feasible bipartite regular parameters");
         let psi = konig(&g).expect("regular bipartite graphs are Δ-edge-colorable");
         let plan = TrialPlan::new(cfg.trials, 0xE4 ^ ((delta as u64) << 8));
-        let per_trial = plan.run(|t| {
-            let labels = zero_round_sinkless_coloring(&g, &psi, delta, t.seed)
-                .expect("0-round protocol cannot time out");
-            let mut forbidden = 0u64;
-            for (e, &(u, v)) in g.edges().iter().enumerate() {
-                if labels.get(u) == labels.get(v) && *labels.get(u) == psi.color(e) {
-                    forbidden += 1;
+        let spec = TrialSpec::new()
+            .traced(sink.as_deref_mut())
+            .trace_base(trace_base);
+        trace_base += plan.trials();
+        let per_trial: Vec<_> = plan
+            .execute(spec, |t, trace| {
+                let _span = trace.map(|tr| tr.span("e4_trial"));
+                let labels = zero_round_sinkless_coloring(&g, &psi, delta, t.seed)
+                    .expect("0-round protocol cannot time out");
+                let mut forbidden = 0u64;
+                for (e, &(u, v)) in g.edges().iter().enumerate() {
+                    if labels.get(u) == labels.get(v) && *labels.get(u) == psi.color(e) {
+                        forbidden += 1;
+                    }
                 }
-            }
-            forbidden
-        });
+                forbidden
+            })
+            .into_iter()
+            .map(TrialOutcome::into_ok)
+            .collect();
         let forbidden_edges: u64 = per_trial.iter().sum();
         let failed_runs: u64 = per_trial.iter().filter(|&&f| f > 0).count() as u64;
         rows.push(Row {

@@ -7,15 +7,16 @@
 //! rounds needed to first reach zero sinks grow (slowly) with `n`.
 
 use crate::report::Table;
-use crate::trials::TrialPlan;
+use crate::trials::{TrialOutcome, TrialPlan, TrialSpec};
 use local_algorithms::orientation::sinkless_orientation;
 use local_graphs::gen;
+use local_obs::TraceSink;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 
 /// Sweep configuration.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, serde::Serialize)]
 pub struct Config {
     /// Degree (≥ 3; the problem is trivial for Δ ≤ 2... and the lower bound
     /// is for Δ-regular graphs).
@@ -67,16 +68,33 @@ pub struct Row {
 
 /// Run the sweep.
 pub fn run(cfg: &Config) -> Vec<Row> {
+    run_traced(cfg, None)
+}
+
+/// [`run`] with an optional trace sink: each trial runs inside an
+/// `e5_trial` span (stamped with a globally unique trial number), so the
+/// stream records per-trial wall-clock timing.
+pub fn run_traced(cfg: &Config, mut sink: Option<&mut dyn TraceSink>) -> Vec<Row> {
+    let mut trace_base = 0u64;
     let mut rows = Vec::new();
     for &n in &cfg.ns {
         let mut rng = StdRng::seed_from_u64(0xE5 ^ (n as u64) << 4);
         let g = gen::random_regular(n, cfg.delta, &mut rng).expect("feasible parameters");
         for &phases in &cfg.phases {
             let plan = TrialPlan::new(cfg.seeds, 0xE5 ^ ((n as u64) << 8) ^ u64::from(phases));
-            let per_trial = plan.run(|t| {
-                let out = sinkless_orientation(&g, t.seed, phases).expect("fixed schedule");
-                out.sinks as u64
-            });
+            let spec = TrialSpec::new()
+                .traced(sink.as_deref_mut())
+                .trace_base(trace_base);
+            trace_base += plan.trials();
+            let per_trial: Vec<_> = plan
+                .execute(spec, |t, trace| {
+                    let _span = trace.map(|tr| tr.span("e5_trial"));
+                    let out = sinkless_orientation(&g, t.seed, phases).expect("fixed schedule");
+                    out.sinks as u64
+                })
+                .into_iter()
+                .map(TrialOutcome::into_ok)
+                .collect();
             let sinks_total: u64 = per_trial.iter().sum();
             let failed: u64 = per_trial.iter().filter(|&&s| s > 0).count() as u64;
             rows.push(Row {

@@ -9,10 +9,11 @@
 
 use crate::derand::{derandomize_priority_mis, DerandReport};
 use crate::report::Table;
+use local_obs::{Trace, TraceSink};
 use serde::{Deserialize, Serialize};
 
 /// Sweep configuration.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, serde::Serialize)]
 pub struct Config {
     /// The `(n, Δ, id_bits)` spaces to derandomize over.
     pub spaces: Vec<(usize, usize, u32)>,
@@ -76,14 +77,31 @@ impl From<DerandReport> for Row {
 /// configured scales the union bound makes that a parameter bug, not a
 /// recoverable condition.
 pub fn run(cfg: &Config) -> Vec<Row> {
-    cfg.spaces
+    run_traced(cfg, None)
+}
+
+/// [`run`] with an optional trace sink: each `(n, Δ, id bits)` space is
+/// derandomized inside an `e6_space` span on trace trial 0, so the stream
+/// records per-space wall-clock timing.
+pub fn run_traced(cfg: &Config, sink: Option<&mut dyn TraceSink>) -> Vec<Row> {
+    let trace = sink.as_ref().map(|_| Trace::new(0));
+    let rows = cfg
+        .spaces
         .iter()
         .map(|&(n, delta, id_bits)| {
+            let _span = trace.as_ref().map(|t| t.span("e6_space"));
             derandomize_priority_mis(n, delta, id_bits, 0xE6, cfg.max_tries)
                 .unwrap_or_else(|e| panic!("E6 ({n}, {delta}, {id_bits}): {e}"))
                 .into()
         })
-        .collect()
+        .collect();
+    if let (Some(sink), Some(trace)) = (sink, trace) {
+        for event in trace.into_events() {
+            sink.record(&event);
+        }
+        sink.flush();
+    }
+    rows
 }
 
 /// Render the EXPERIMENTS.md table.

@@ -9,12 +9,13 @@
 use crate::report::Table;
 use crate::speedup::{theorem6_demo, SpeedupReport};
 use local_graphs::{analysis, gen};
+use local_obs::{Trace, TraceSink};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 
 /// Sweep configuration.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, serde::Serialize)]
 pub struct Config {
     /// Path lengths / tree sizes.
     pub ns: Vec<usize>,
@@ -69,13 +70,23 @@ impl Row {
 
 /// Run the sweep (paths with increasing IDs; BFS-ordered random trees).
 pub fn run(cfg: &Config) -> Vec<Row> {
+    run_traced(cfg, None)
+}
+
+/// [`run`] with an optional trace sink: each demo instance runs inside an
+/// `e7_instance` span on trace trial 0, so the stream records per-instance
+/// wall-clock timing.
+pub fn run_traced(cfg: &Config, sink: Option<&mut dyn TraceSink>) -> Vec<Row> {
+    let trace = sink.as_ref().map(|_| Trace::new(0));
     let mut rows = Vec::new();
     for &n in &cfg.ns {
+        let _span = trace.as_ref().map(|t| t.span("e7_instance"));
         let g = gen::path(n);
         let report = theorem6_demo(&g, (0..n as u64).collect());
         rows.push(Row::from_report("path", &report));
     }
     for &n in &cfg.ns {
+        let _span = trace.as_ref().map(|t| t.span("e7_instance"));
         let mut rng = StdRng::seed_from_u64(0xE7 ^ (n as u64) << 3);
         let g = gen::random_tree_max_degree(n, cfg.tree_delta, &mut rng);
         let dist = analysis::bfs_distances(&g, 0);
@@ -87,6 +98,12 @@ pub fn run(cfg: &Config) -> Vec<Row> {
         }
         let report = theorem6_demo(&g, ids);
         rows.push(Row::from_report("tree", &report));
+    }
+    if let (Some(sink), Some(trace)) = (sink, trace) {
+        for event in trace.into_events() {
+            sink.record(&event);
+        }
+        sink.flush();
     }
     rows
 }

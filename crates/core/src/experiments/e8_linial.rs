@@ -10,12 +10,13 @@ use local_graphs::gen;
 use local_lcl::problems::VertexColoring;
 use local_lcl::LclProblem;
 use local_model::IdAssignment;
+use local_obs::{Trace, TraceSink};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 
 /// Sweep configuration.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, serde::Serialize)]
 pub struct Config {
     /// Source palettes for the one-round table.
     pub ks: Vec<u64>,
@@ -75,6 +76,18 @@ pub struct ConvergenceRow {
 
 /// Run both sweeps.
 pub fn run(cfg: &Config) -> (Vec<ShrinkRow>, Vec<ConvergenceRow>) {
+    run_traced(cfg, None)
+}
+
+/// [`run`] with an optional trace sink: each convergence instance runs
+/// inside an `e8_convergence` span on trace trial 0, so the stream records
+/// per-instance wall-clock timing (the shrink table is pure arithmetic and
+/// is not traced).
+pub fn run_traced(
+    cfg: &Config,
+    sink: Option<&mut dyn TraceSink>,
+) -> (Vec<ShrinkRow>, Vec<ConvergenceRow>) {
+    let trace = sink.as_ref().map(|_| Trace::new(0));
     let mut shrink = Vec::new();
     for &delta in &cfg.deltas {
         for &k in &cfg.ks {
@@ -92,6 +105,7 @@ pub fn run(cfg: &Config) -> (Vec<ShrinkRow>, Vec<ConvergenceRow>) {
     let mut conv = Vec::new();
     for &delta in &cfg.deltas {
         for &n in &cfg.ns {
+            let _span = trace.as_ref().map(|t| t.span("e8_convergence"));
             let g = if delta == 2 {
                 gen::cycle(n)
             } else {
@@ -109,6 +123,12 @@ pub fn run(cfg: &Config) -> (Vec<ShrinkRow>, Vec<ConvergenceRow>) {
                 palette: out.palette,
             });
         }
+    }
+    if let (Some(sink), Some(trace)) = (sink, trace) {
+        for event in trace.into_events() {
+            sink.record(&event);
+        }
+        sink.flush();
     }
     (shrink, conv)
 }

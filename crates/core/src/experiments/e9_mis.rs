@@ -10,19 +10,20 @@
 use crate::fit::{best_model, GrowthModel};
 use crate::report::Table;
 use crate::shatter::shatter_profile;
-use crate::trials::TrialPlan;
+use crate::trials::{TrialOutcome, TrialPlan, TrialSpec};
 use local_algorithms::mis::ghaffari::{ghaffari_preshatter, GhaffariConfig};
 use local_algorithms::mis::{det_mis, ghaffari_mis, luby_mis};
 use local_graphs::gen;
 use local_lcl::problems::Mis;
 use local_lcl::{Labeling, LclProblem};
 use local_model::IdAssignment;
+use local_obs::TraceSink;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 
 /// Sweep configuration.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, serde::Serialize)]
 pub struct Config {
     /// Degree of the random regular workload.
     pub delta: usize,
@@ -80,6 +81,14 @@ pub struct Outcome {
 
 /// Run the sweep; every MIS is validated.
 pub fn run(cfg: &Config) -> Outcome {
+    run_traced(cfg, None)
+}
+
+/// [`run`] with an optional trace sink: each trial runs inside an
+/// `e9_trial` span (stamped with a globally unique trial number), so the
+/// stream records per-trial wall-clock timing.
+pub fn run_traced(cfg: &Config, mut sink: Option<&mut dyn TraceSink>) -> Outcome {
+    let mut trace_base = 0u64;
     let mut rows = Vec::new();
     let mut luby_series = Vec::new();
     let mut det_series = Vec::new();
@@ -94,19 +103,28 @@ pub fn run(cfg: &Config) -> Outcome {
         };
 
         let plan = TrialPlan::new(cfg.seeds, 0xE9 ^ (n as u64));
-        let per_trial = plan.run(|t| {
-            let l = luby_mis(&g, t.seed, 10_000).expect("Luby finishes whp");
-            assert_mis(&l.in_set);
+        let spec = TrialSpec::new()
+            .traced(sink.as_deref_mut())
+            .trace_base(trace_base);
+        trace_base += plan.trials();
+        let per_trial: Vec<_> = plan
+            .execute(spec, |t, trace| {
+                let _span = trace.map(|tr| tr.span("e9_trial"));
+                let l = luby_mis(&g, t.seed, 10_000).expect("Luby finishes whp");
+                assert_mis(&l.in_set);
 
-            let gh = ghaffari_mis(&g, t.seed, GhaffariConfig::default()).expect("finishes");
-            assert_mis(&gh.in_set);
+                let gh = ghaffari_mis(&g, t.seed, GhaffariConfig::default()).expect("finishes");
+                assert_mis(&gh.in_set);
 
-            let pre =
-                ghaffari_preshatter(&g, t.seed, GhaffariConfig::default()).expect("fixed budget");
-            let undecided: Vec<bool> = pre.status.iter().map(Option::is_none).collect();
-            let residue = shatter_profile(&g, &undecided).largest();
-            (f64::from(l.rounds), f64::from(gh.rounds), residue)
-        });
+                let pre = ghaffari_preshatter(&g, t.seed, GhaffariConfig::default())
+                    .expect("fixed budget");
+                let undecided: Vec<bool> = pre.status.iter().map(Option::is_none).collect();
+                let residue = shatter_profile(&g, &undecided).largest();
+                (f64::from(l.rounds), f64::from(gh.rounds), residue)
+            })
+            .into_iter()
+            .map(TrialOutcome::into_ok)
+            .collect();
         let luby_sum: f64 = per_trial.iter().map(|p| p.0).sum();
         let ghaffari_sum: f64 = per_trial.iter().map(|p| p.1).sum();
         let residue = per_trial.iter().map(|p| p.2).max().unwrap_or(0);

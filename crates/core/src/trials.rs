@@ -45,6 +45,110 @@ impl Trial {
     }
 }
 
+/// The checkpoint capability of a [`TrialSpec`]: the store, the scope key,
+/// and the outcome codec (captured as fn pointers when the spec is built,
+/// so [`TrialPlan::execute`] itself carries no serde bounds).
+struct CheckpointSlot<'a, R> {
+    store: &'a crate::checkpoint::Checkpoint,
+    scope: &'a str,
+    encode: fn(&TrialOutcome<R>) -> serde::Value,
+    decode: fn(&serde::Value) -> Option<TrialOutcome<R>>,
+}
+
+/// How a batch of trials executes: panic isolation × checkpoint/resume ×
+/// per-trial tracing, composed freely.
+///
+/// The five `TrialPlan::run*` variants of PRs 2–4 each hard-wired one
+/// combination; a spec states the combination as data and
+/// [`TrialPlan::execute`] is the single entry point. The default spec is the
+/// plain parallel batch: panics propagate, nothing is recorded, no trace
+/// buffers are allocated.
+///
+/// The spec is consumed by `execute` (the trace sink is an `&mut` borrow),
+/// so build it at the call site.
+pub struct TrialSpec<'a, 'sink, R> {
+    isolate: bool,
+    checkpoint: Option<CheckpointSlot<'a, R>>,
+    sink: Option<&'a mut (dyn TraceSink + 'sink)>,
+    trace_base: u64,
+}
+
+impl<R> Default for TrialSpec<'_, '_, R> {
+    fn default() -> Self {
+        TrialSpec {
+            isolate: false,
+            checkpoint: None,
+            sink: None,
+            trace_base: 0,
+        }
+    }
+}
+
+impl<'a, 'sink, R> TrialSpec<'a, 'sink, R> {
+    /// The plain parallel batch: no isolation, no checkpoint, no trace.
+    pub fn new() -> Self {
+        TrialSpec::default()
+    }
+
+    /// Catch per-trial panics: a panicking trial becomes
+    /// [`TrialOutcome::Panicked`] in its slot while the rest of the batch
+    /// completes — a poisoned worker never takes the batch down.
+    pub fn isolated(mut self) -> Self {
+        self.isolate = true;
+        self
+    }
+
+    /// Checkpoint/resume against `(store, scope)`: a trial already recorded
+    /// under `(scope, index)` is *not* re-executed — its recorded outcome is
+    /// decoded and returned in place (a replayed trial emits no trace
+    /// events) — and every freshly computed outcome is appended (and
+    /// flushed) to the store before the batch completes. `None` leaves the
+    /// spec un-checkpointed, so callers can thread their CLI `Option`
+    /// straight through.
+    ///
+    /// `scope` must identify everything the trial depends on besides its
+    /// index (workload, grid point, master seed), so a resumed sweep with
+    /// different parameters never reuses stale results. Recorded results
+    /// whose JSON no longer decodes as `R` (e.g. after a schema change) are
+    /// recomputed, not errors.
+    pub fn checkpointed(
+        mut self,
+        checkpoint: Option<(&'a crate::checkpoint::Checkpoint, &'a str)>,
+    ) -> Self
+    where
+        R: Serialize + Deserialize,
+    {
+        self.checkpoint = checkpoint.map(|(store, scope)| CheckpointSlot {
+            store,
+            scope,
+            encode: encode_outcome::<R>,
+            decode: decode_outcome::<R>,
+        });
+        self
+    }
+
+    /// Per-trial tracing: each trial gets its own [`Trace`] buffer (stamped
+    /// with the trial index), and after all trials finish the buffered
+    /// events are drained into `sink` *in trial order* and flushed once. The
+    /// emitted stream is therefore bit-identical no matter how many rayon
+    /// workers executed the batch — thread-count invariance holds by
+    /// construction, not by luck. `None` traces nothing: no buffers are
+    /// allocated and the trial body sees `None`.
+    pub fn traced(mut self, sink: Option<&'a mut (dyn TraceSink + 'sink)>) -> Self {
+        self.sink = sink;
+        self
+    }
+
+    /// Stamp traced trials starting from `base`: trial `i` of the batch is
+    /// trace trial `base + i`. Experiments sweeping several points through
+    /// successive plans use this to keep trial numbers unique across the
+    /// whole trace file.
+    pub fn trace_base(mut self, base: u64) -> Self {
+        self.trace_base = base;
+        self
+    }
+}
+
 impl TrialPlan {
     /// A plan for `trials` runs derived from `master_seed`.
     pub fn new(trials: u64, master_seed: u64) -> Self {
@@ -65,75 +169,139 @@ impl TrialPlan {
         derived_u64(self.master_seed, index)
     }
 
-    /// Run all trials in parallel; results come back in trial order, so any
-    /// fold over them is deterministic regardless of thread count.
+    /// Run all trials in parallel under `spec`; results come back in trial
+    /// order, so any fold over them is deterministic regardless of thread
+    /// count.
     ///
-    /// `f` must depend only on its [`Trial`] argument (and shared read-only
-    /// captures) — the harness guarantees nothing else.
-    pub fn run<R, F>(&self, f: F) -> Vec<R>
+    /// `f` must depend only on its [`Trial`] argument, the [`Trace`] handle
+    /// it is passed (when the spec traces), and shared read-only captures —
+    /// the harness guarantees nothing else. Without
+    /// [`TrialSpec::isolated`], every returned outcome is
+    /// [`TrialOutcome::Ok`] (a panic propagates and takes the batch down);
+    /// unwrap the batch with [`TrialOutcome::into_ok`].
+    ///
+    /// # Panics
+    ///
+    /// If appending to the spec's checkpoint file fails — a broken
+    /// checkpoint cannot guarantee resumability, so it fails loudly rather
+    /// than silently degrading.
+    pub fn execute<R, F>(&self, spec: TrialSpec<'_, '_, R>, f: F) -> Vec<TrialOutcome<R>>
     where
         R: Send,
-        F: Fn(Trial) -> R + Sync,
+        F: Fn(Trial, Option<&Trace>) -> R + Sync,
     {
+        let TrialSpec {
+            isolate,
+            checkpoint,
+            sink,
+            trace_base,
+        } = spec;
+        let body = |trial: Trial, trace: Option<&Trace>| -> TrialOutcome<R> {
+            if let Some(slot) = &checkpoint {
+                if let Some(recorded) = slot.store.lookup(slot.scope, trial.index) {
+                    if let Some(outcome) = (slot.decode)(&recorded) {
+                        return outcome;
+                    }
+                }
+            }
+            let outcome = if isolate {
+                match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(trial, trace))) {
+                    Ok(value) => TrialOutcome::Ok(value),
+                    Err(payload) => TrialOutcome::Panicked {
+                        message: panic_message(payload.as_ref()),
+                    },
+                }
+            } else {
+                TrialOutcome::Ok(f(trial, trace))
+            };
+            if let Some(slot) = &checkpoint {
+                slot.store
+                    .record(slot.scope, trial.index, (slot.encode)(&outcome))
+                    .expect("checkpoint append failed");
+            }
+            outcome
+        };
         let trials: Vec<Trial> = (0..self.trials)
             .map(|index| Trial {
                 index,
                 seed: self.seed(index),
             })
             .collect();
-        trials.into_par_iter().map(f).collect()
+        match sink {
+            None => trials.into_par_iter().map(|t| body(t, None)).collect(),
+            Some(sink) => {
+                let traced: Vec<(TrialOutcome<R>, Trace)> = trials
+                    .into_par_iter()
+                    .map(|trial| {
+                        let trace = Trace::new(trace_base + trial.index);
+                        let r = body(trial, Some(&trace));
+                        (r, trace)
+                    })
+                    .collect();
+                let mut results = Vec::with_capacity(self.trials as usize);
+                for (r, trace) in traced {
+                    for event in trace.into_events() {
+                        sink.record(&event);
+                    }
+                    results.push(r);
+                }
+                sink.flush();
+                results
+            }
+        }
     }
 
-    /// [`run`](Self::run) with per-trial tracing: each trial gets its own
-    /// [`Trace`] buffer (stamped with the trial index), and after all trials
-    /// finish the buffered events are drained into `sink` *in trial order*
-    /// and flushed once. The emitted stream is therefore bit-identical no
-    /// matter how many rayon workers executed the batch — thread-count
-    /// invariance holds by construction, not by luck.
-    ///
-    /// With `sink: None` no buffers are allocated and `f` sees `None`, so a
-    /// trace-disabled run pays only the `Option` branch. (`S` is generic —
-    /// `?Sized` — so both concrete sinks and `&mut dyn TraceSink` reborrows
-    /// work without fighting `&mut` invariance.)
+    /// [`execute`](Self::execute) under the default spec, dropping the
+    /// always-`Ok` wrappers.
+    #[deprecated(note = "use `execute` with `TrialSpec::new()`")]
+    pub fn run<R, F>(&self, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(Trial) -> R + Sync,
+    {
+        self.execute(TrialSpec::new(), |t, _| f(t))
+            .into_iter()
+            .map(TrialOutcome::into_ok)
+            .collect()
+    }
+
+    /// [`execute`](Self::execute) with only the trace capability.
+    #[deprecated(note = "use `execute` with `TrialSpec::new().traced(..)`")]
     pub fn run_with_trace<R, F, S>(&self, sink: Option<&mut S>, f: F) -> Vec<R>
     where
         R: Send,
         F: Fn(Trial, Option<&Trace>) -> R + Sync,
-        S: TraceSink + ?Sized,
+        S: TraceSink,
     {
-        self.run_with_trace_from(sink, 0, f)
+        self.execute(
+            TrialSpec::new().traced(sink.map(|s| s as &mut dyn TraceSink)),
+            f,
+        )
+        .into_iter()
+        .map(TrialOutcome::into_ok)
+        .collect()
     }
 
-    /// [`run_with_trace`](Self::run_with_trace) with a trial-number offset:
-    /// trial `i` of the batch is stamped as trace trial `base + i`.
-    /// Experiments sweeping several points through successive plans use this
-    /// to keep trial numbers unique across the whole trace file.
+    /// [`execute`](Self::execute) with trace capability and base offset.
+    #[deprecated(note = "use `execute` with `TrialSpec::new().traced(..).trace_base(..)`")]
     pub fn run_with_trace_from<R, F, S>(&self, sink: Option<&mut S>, base: u64, f: F) -> Vec<R>
     where
         R: Send,
         F: Fn(Trial, Option<&Trace>) -> R + Sync,
-        S: TraceSink + ?Sized,
+        S: TraceSink,
     {
-        let Some(sink) = sink else {
-            return self.run(|trial| f(trial, None));
-        };
-        let mut results = Vec::with_capacity(self.trials as usize);
-        let traced: Vec<(R, Trace)> = self.run(|trial| {
-            let trace = Trace::new(base + trial.index);
-            let r = f(trial, Some(&trace));
-            (r, trace)
-        });
-        for (r, trace) in traced {
-            for event in trace.into_events() {
-                sink.record(&event);
-            }
-            results.push(r);
-        }
-        sink.flush();
-        results
+        self.execute(
+            TrialSpec::new()
+                .traced(sink.map(|s| s as &mut dyn TraceSink))
+                .trace_base(base),
+            f,
+        )
+        .into_iter()
+        .map(TrialOutcome::into_ok)
+        .collect()
     }
 
-    /// [`run`](Self::run), then average `value` over the trials.
+    /// [`execute`](Self::execute), then average `value` over the trials.
     ///
     /// An empty plan has a mean of `0.0` (never `NaN`).
     pub fn mean<F>(&self, value: F) -> f64
@@ -143,50 +311,26 @@ impl TrialPlan {
         if self.trials == 0 {
             return 0.0;
         }
-        let total: f64 = self.run(value).into_iter().sum();
+        let total: f64 = self
+            .execute(TrialSpec::new(), |t, _| value(t))
+            .into_iter()
+            .map(TrialOutcome::into_ok)
+            .sum();
         total / self.trials as f64
     }
 
-    /// [`run`](Self::run) with per-trial panic isolation: a trial whose
-    /// closure panics becomes [`TrialOutcome::Panicked`] (carrying the panic
-    /// message) in its slot, while every other trial completes normally.
-    /// Results still come back in trial order, so aggregation stays
-    /// deterministic — a poisoned worker never takes the batch down.
+    /// [`execute`](Self::execute) with only panic isolation.
+    #[deprecated(note = "use `execute` with `TrialSpec::new().isolated()`")]
     pub fn run_isolated<R, F>(&self, f: F) -> Vec<TrialOutcome<R>>
     where
         R: Send,
         F: Fn(Trial) -> R + Sync,
     {
-        self.run(|trial| {
-            match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(trial))) {
-                Ok(value) => TrialOutcome::Ok(value),
-                Err(payload) => TrialOutcome::Panicked {
-                    message: panic_message(payload.as_ref()),
-                },
-            }
-        })
+        self.execute(TrialSpec::new().isolated(), |t, _| f(t))
     }
 
-    /// [`run_isolated`](Self::run_isolated) with checkpoint/resume: when
-    /// `checkpoint` is `Some((store, scope))`, a trial whose outcome is
-    /// already recorded under `(scope, index)` is *not* re-executed — its
-    /// recorded outcome is decoded and returned in place — and every freshly
-    /// computed outcome is appended (and flushed) to the store before the
-    /// batch completes.
-    ///
-    /// Callers must make `scope` identify everything the trial depends on
-    /// besides its index (workload, grid point, master seed), so a resumed
-    /// sweep with different parameters never reuses stale results. Recorded
-    /// results whose JSON no longer decodes as `R` (e.g. after a schema
-    /// change) are recomputed, not errors.
-    ///
-    /// With `checkpoint: None` this is exactly [`run_isolated`](Self::run_isolated).
-    ///
-    /// # Panics
-    ///
-    /// If appending to the checkpoint file fails — a broken checkpoint
-    /// cannot guarantee resumability, so it fails loudly rather than
-    /// silently degrading.
+    /// [`execute`](Self::execute) with isolation and checkpoint/resume.
+    #[deprecated(note = "use `execute` with `TrialSpec::new().isolated().checkpointed(..)`")]
     pub fn run_isolated_checkpointed<R, F>(
         &self,
         checkpoint: Option<(&crate::checkpoint::Checkpoint, &str)>,
@@ -196,27 +340,10 @@ impl TrialPlan {
         R: Serialize + Deserialize + Send,
         F: Fn(Trial) -> R + Sync,
     {
-        let Some((store, scope)) = checkpoint else {
-            return self.run_isolated(f);
-        };
-        self.run(|trial| {
-            if let Some(recorded) = store.lookup(scope, trial.index) {
-                if let Some(outcome) = decode_outcome(&recorded) {
-                    return outcome;
-                }
-            }
-            let outcome = match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(trial)))
-            {
-                Ok(value) => TrialOutcome::Ok(value),
-                Err(payload) => TrialOutcome::Panicked {
-                    message: panic_message(payload.as_ref()),
-                },
-            };
-            store
-                .record(scope, trial.index, encode_outcome(&outcome))
-                .expect("checkpoint append failed");
-            outcome
-        })
+        self.execute(
+            TrialSpec::new().isolated().checkpointed(checkpoint),
+            |t, _| f(t),
+        )
     }
 }
 
@@ -272,6 +399,23 @@ impl<R> TrialOutcome<R> {
     /// Did the trial panic?
     pub fn is_panicked(&self) -> bool {
         matches!(self, TrialOutcome::Panicked { .. })
+    }
+
+    /// The result of a trial that cannot have panicked (a batch executed
+    /// without [`TrialSpec::isolated`] propagates panics instead of
+    /// recording them).
+    ///
+    /// # Panics
+    ///
+    /// If the trial did panic (only possible under isolation), re-raising
+    /// its message.
+    pub fn into_ok(self) -> R {
+        match self {
+            TrialOutcome::Ok(r) => r,
+            TrialOutcome::Panicked { message } => {
+                panic!("into_ok on a panicked trial: {message}")
+            }
+        }
     }
 }
 
@@ -418,6 +562,35 @@ impl<R: Serialize + ?Sized> TrialReport<'_, R> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::checkpoint::Checkpoint;
+
+    /// The plain-batch shape, via the unified entry point.
+    fn run<R: Send>(plan: &TrialPlan, f: impl Fn(Trial) -> R + Sync) -> Vec<R> {
+        plan.execute(TrialSpec::new(), |t, _| f(t))
+            .into_iter()
+            .map(TrialOutcome::into_ok)
+            .collect()
+    }
+
+    /// The isolated shape, via the unified entry point.
+    fn run_isolated<R: Send>(
+        plan: &TrialPlan,
+        f: impl Fn(Trial) -> R + Sync,
+    ) -> Vec<TrialOutcome<R>> {
+        plan.execute(TrialSpec::new().isolated(), |t, _| f(t))
+    }
+
+    /// The isolated + checkpointed shape, via the unified entry point.
+    fn run_checkpointed<R: Serialize + Deserialize + Send>(
+        plan: &TrialPlan,
+        checkpoint: Option<(&Checkpoint, &str)>,
+        f: impl Fn(Trial) -> R + Sync,
+    ) -> Vec<TrialOutcome<R>> {
+        plan.execute(
+            TrialSpec::new().isolated().checkpointed(checkpoint),
+            |t, _| f(t),
+        )
+    }
 
     #[test]
     fn seeds_are_stable_and_distinct() {
@@ -433,9 +606,9 @@ mod tests {
     #[test]
     fn run_preserves_trial_order() {
         let plan = TrialPlan::new(500, 3);
-        let indices: Vec<u64> = plan.run(|t| t.index);
+        let indices: Vec<u64> = run(&plan, |t| t.index);
         assert_eq!(indices, (0..500).collect::<Vec<u64>>());
-        let seeds: Vec<u64> = plan.run(|t| t.seed);
+        let seeds: Vec<u64> = run(&plan, |t| t.seed);
         assert_eq!(seeds, (0..500).map(|i| plan.seed(i)).collect::<Vec<u64>>());
     }
 
@@ -451,7 +624,7 @@ mod tests {
     fn trial_rngs_are_independent() {
         use rand::RngCore;
         let plan = TrialPlan::new(2, 9);
-        let draws: Vec<u64> = plan.run(|t| t.rng().next_u64());
+        let draws: Vec<u64> = run(&plan, |t| t.rng().next_u64());
         assert_ne!(draws[0], draws[1]);
     }
 
@@ -543,11 +716,19 @@ mod tests {
             }
             trial.seed % 1000
         };
-        let untraced = plan.run_with_trace(None::<&mut MemorySink>, body);
-        assert_eq!(untraced, plan.run(|t| t.seed % 1000));
+        let untraced: Vec<u64> = plan
+            .execute(TrialSpec::new(), body)
+            .into_iter()
+            .map(TrialOutcome::into_ok)
+            .collect();
+        assert_eq!(untraced, run(&plan, |t| t.seed % 1000));
 
         let mut sink = MemorySink::new();
-        let traced = plan.run_with_trace(Some(&mut sink), body);
+        let traced: Vec<u64> = plan
+            .execute(TrialSpec::new().traced(Some(&mut sink)), body)
+            .into_iter()
+            .map(TrialOutcome::into_ok)
+            .collect();
         assert_eq!(traced, untraced, "tracing must not change results");
         let events = sink.into_events();
         assert_eq!(events.len(), 24 * 4);
@@ -579,14 +760,14 @@ mod tests {
         let m = plan.mean(|_| f64::INFINITY);
         assert_eq!(m, 0.0);
         assert!(!m.is_nan());
-        assert!(plan.run(|t| t.index).is_empty());
-        assert!(plan.run_isolated(|t| t.index).is_empty());
+        assert!(run(&plan, |t| t.index).is_empty());
+        assert!(run_isolated(&plan, |t| t.index).is_empty());
     }
 
     #[test]
     fn panicking_trial_is_isolated_and_ordered() {
         let plan = TrialPlan::new(16, 5);
-        let outcomes = plan.run_isolated(|t| {
+        let outcomes = run_isolated(&plan, |t| {
             assert!(t.index != 3 && t.index != 9, "boom at {}", t.index);
             t.index * 2
         });
@@ -602,7 +783,7 @@ mod tests {
             }
         }
         // Deterministic across repeats despite the parallel pool.
-        let again = plan.run_isolated(|t| {
+        let again = run_isolated(&plan, |t| {
             assert!(t.index != 3 && t.index != 9, "boom at {}", t.index);
             t.index * 2
         });
@@ -646,7 +827,6 @@ mod tests {
 
     #[test]
     fn checkpointed_run_skips_recorded_trials() {
-        use crate::checkpoint::Checkpoint;
         use std::sync::atomic::{AtomicU64, Ordering};
 
         let path = temp_checkpoint("skip");
@@ -654,7 +834,7 @@ mod tests {
         let executed = AtomicU64::new(0);
         let first = {
             let ckpt = Checkpoint::open(&path).expect("open");
-            plan.run_isolated_checkpointed(Some((&ckpt, "scope-a")), |t| {
+            run_checkpointed(&plan, Some((&ckpt, "scope-a")), |t| {
                 executed.fetch_add(1, Ordering::Relaxed);
                 t.seed % 100
             })
@@ -665,7 +845,7 @@ mod tests {
         // outcomes are identical.
         let resumed = {
             let ckpt = Checkpoint::open(&path).expect("reopen");
-            plan.run_isolated_checkpointed(Some((&ckpt, "scope-a")), |t| {
+            run_checkpointed(&plan, Some((&ckpt, "scope-a")), |t| {
                 executed.fetch_add(1, Ordering::Relaxed);
                 t.seed % 100
             })
@@ -676,7 +856,7 @@ mod tests {
         // A different scope shares the file but none of the results.
         {
             let ckpt = Checkpoint::open(&path).expect("reopen");
-            plan.run_isolated_checkpointed(Some((&ckpt, "scope-b")), |t| {
+            run_checkpointed(&plan, Some((&ckpt, "scope-b")), |t| {
                 executed.fetch_add(1, Ordering::Relaxed);
                 t.seed % 100
             });
@@ -687,12 +867,10 @@ mod tests {
 
     #[test]
     fn checkpointed_run_replays_panics_without_rerunning() {
-        use crate::checkpoint::Checkpoint;
-
         let path = temp_checkpoint("panic");
         let plan = TrialPlan::new(6, 33);
         let run = |ckpt: &Checkpoint, allow_panic: bool| {
-            plan.run_isolated_checkpointed(Some((ckpt, "s")), |t| {
+            run_checkpointed(&plan, Some((ckpt, "s")), |t| {
                 if t.index == 2 {
                     assert!(allow_panic, "trial 2 must come from the checkpoint");
                     panic!("boom at 2");
@@ -718,7 +896,6 @@ mod tests {
 
     #[test]
     fn checkpointed_run_completes_a_partial_file() {
-        use crate::checkpoint::Checkpoint;
         use std::sync::atomic::{AtomicU64, Ordering};
 
         let path = temp_checkpoint("partial");
@@ -741,7 +918,7 @@ mod tests {
         let executed = AtomicU64::new(0);
         let outcomes = {
             let ckpt = Checkpoint::open(&path).expect("reopen");
-            plan.run_isolated_checkpointed(Some((&ckpt, "s")), |t| {
+            run_checkpointed(&plan, Some((&ckpt, "s")), |t| {
                 executed.fetch_add(1, Ordering::Relaxed);
                 t.seed % 100
             })
@@ -757,15 +934,13 @@ mod tests {
     #[test]
     fn checkpoint_none_matches_run_isolated() {
         let plan = TrialPlan::new(12, 55);
-        let a: Vec<TrialOutcome<u64>> = plan.run_isolated(|t| t.seed);
-        let b: Vec<TrialOutcome<u64>> = plan.run_isolated_checkpointed(None, |t| t.seed);
+        let a: Vec<TrialOutcome<u64>> = run_isolated(&plan, |t| t.seed);
+        let b: Vec<TrialOutcome<u64>> = run_checkpointed(&plan, None, |t| t.seed);
         assert_eq!(a, b);
     }
 
     #[test]
     fn undecodable_recorded_value_is_recomputed() {
-        use crate::checkpoint::Checkpoint;
-
         let path = temp_checkpoint("undecodable");
         let plan = TrialPlan::new(1, 66);
         {
@@ -781,7 +956,7 @@ mod tests {
             )
             .expect("rec");
             let outcomes: Vec<TrialOutcome<u64>> =
-                plan.run_isolated_checkpointed(Some((&ckpt, "s")), |t| t.seed);
+                run_checkpointed(&plan, Some((&ckpt, "s")), |t| t.seed);
             assert_eq!(outcomes, vec![TrialOutcome::Ok(plan.seed(0))]);
         }
         let _ = std::fs::remove_file(&path);

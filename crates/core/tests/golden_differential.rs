@@ -1,0 +1,109 @@
+//! Golden differential fixtures for the ExecSpec refactor.
+//!
+//! The fixtures under `tests/fixtures/` were captured from the pre-refactor
+//! execution paths (`Engine::run`/`run_faulty`, the six `run_sync*` variants,
+//! the five `TrialPlan::run*` variants). After the collapse onto
+//! `Engine::execute` / `run_sync(&ExecSpec)` / `TrialPlan::execute`, these
+//! tests assert the unified pipeline is bit-identical on rows (rounds,
+//! messages, outputs) and trace bytes, fault-free and faulty.
+//!
+//! Regenerate (only when an *intentional* behavior change lands) with:
+//! `GOLDEN_REGEN=1 cargo test -p local-separation --test golden_differential`
+
+use local_obs::{MemorySink, TraceSink};
+use local_separation::experiments::{e12_resilience, e1_separation, e9_mis};
+use std::fs;
+use std::path::PathBuf;
+
+fn fixture_path(name: &str) -> PathBuf {
+    let mut p = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    p.push("tests");
+    p.push("fixtures");
+    p.push(name);
+    p
+}
+
+/// Compare `actual` against the named fixture, or rewrite it when
+/// `GOLDEN_REGEN=1` is set.
+fn assert_golden(name: &str, actual: &str) {
+    let path = fixture_path(name);
+    if std::env::var_os("GOLDEN_REGEN").is_some() {
+        fs::create_dir_all(path.parent().unwrap()).expect("create fixtures dir");
+        fs::write(&path, actual).expect("write fixture");
+        return;
+    }
+    let expected = fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing fixture {} ({e}); run with GOLDEN_REGEN=1", name));
+    assert_eq!(
+        expected, actual,
+        "{name}: output diverged from the pre-refactor golden fixture"
+    );
+}
+
+#[test]
+fn e1_rows_match_pre_refactor_fixture() {
+    let cfg = e1_separation::Config {
+        deltas: vec![16],
+        ns: vec![256, 1024],
+        seeds: 2,
+    };
+    let out = e1_separation::run(&cfg);
+    let json = serde_json::to_string_pretty(&out.rows).expect("rows serialize");
+    assert_golden("e1_rows.json", &json);
+}
+
+#[test]
+fn e9_rows_match_pre_refactor_fixture() {
+    let cfg = e9_mis::Config {
+        delta: 4,
+        ns: vec![256, 1024],
+        seeds: 2,
+    };
+    let out = e9_mis::run(&cfg);
+    let json = serde_json::to_string_pretty(&out.rows).expect("rows serialize");
+    assert_golden("e9_rows.json", &json);
+}
+
+fn e12_tiny() -> e12_resilience::Config {
+    e12_resilience::Config {
+        tree_n: 80,
+        sinkless_n: 60,
+        mis_n: 60,
+        drop_ps: vec![0.0, 0.5],
+        crash_ps: vec![0.0, 0.2],
+        trials: 2,
+        master_seed: 7,
+    }
+}
+
+/// E12 rows cover the full grid: the (0, 0) point is the fault-free path,
+/// the rest exercise drops and crash-stop scheduling.
+#[test]
+fn e12_rows_match_pre_refactor_fixture() {
+    let out = e12_resilience::run(&e12_tiny());
+    let json = serde_json::to_string_pretty(&out.rows).expect("rows serialize");
+    assert_golden("e12_rows.json", &json);
+}
+
+/// The traced E12 sweep, scrubbed of wall-clock span timings, must stay
+/// byte-identical: same events, same `(trial, seq)` stamps, same order.
+#[test]
+fn e12_trace_matches_pre_refactor_fixture() {
+    let mut sink = MemorySink::new();
+    let out = e12_resilience::run_traced(&e12_tiny(), Some(&mut sink));
+    sink.flush();
+    let lines: Vec<String> = sink
+        .into_events()
+        .iter()
+        .map(|e| serde_json::to_string(&e.scrubbed()).expect("event serializes"))
+        .collect();
+    let mut blob = lines.join("\n");
+    blob.push('\n');
+    assert_golden("e12_trace.jsonl", &blob);
+    // Traced and untraced rows agree too (tracing is observational).
+    let plain = e12_resilience::run(&e12_tiny());
+    assert_eq!(
+        serde_json::to_string(&plain.rows).unwrap(),
+        serde_json::to_string(&out.rows).unwrap(),
+    );
+}

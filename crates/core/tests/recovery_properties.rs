@@ -14,13 +14,13 @@
 use local_algorithms::mis::luby::Luby;
 use local_algorithms::orientation::sinkless::SinklessRepair;
 use local_algorithms::{
-    recover, run_sync_faulty, GreedyColoringFinisher, LubyRestartFinisher, RecoveryPolicy,
+    recover, run_sync, GreedyColoringFinisher, LubyRestartFinisher, RecoveryPolicy,
     SinklessFinisher,
 };
 use local_graphs::{gen, Graph};
 use local_lcl::problems::{Mis, Orientation, SinklessOrientation, VertexColoring};
 use local_lcl::{check_complete, check_partial, Labeling};
-use local_model::{FaultPlan, FaultSpec, Mode};
+use local_model::{ExecSpec, FaultPlan, FaultSpec, Mode};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -43,7 +43,7 @@ proptest! {
         g in arb_graph(),
         seed in 0u64..100,
     ) {
-        let run = run_sync_faulty(&g, Mode::randomized(seed), &Luby::new(), 10_000, &FaultPlan::none());
+        let run = run_sync(&g, Mode::randomized(seed), &Luby::new(), &ExecSpec::rounds(10_000).with_faults(&FaultPlan::none()));
         let partial: Vec<Option<bool>> =
             run.outcomes.iter().map(|o| o.output().copied()).collect();
         prop_assert!(partial.iter().all(Option::is_some), "fault-free Luby halts everywhere");
@@ -70,7 +70,7 @@ proptest! {
     ) {
         let spec = FaultSpec::none().with_drop(0.1).with_crash(0.1, 5);
         let plan = FaultPlan::sample(&g, &spec, fault_seed);
-        let run = run_sync_faulty(&g, Mode::randomized(seed), &Luby::new(), 10_000, &plan);
+        let run = run_sync(&g, Mode::randomized(seed), &Luby::new(), &ExecSpec::rounds(10_000).with_faults(&plan));
         let partial: Vec<Option<bool>> =
             run.outcomes.iter().map(|o| o.output().copied()).collect();
         let finisher = LubyRestartFinisher { seed: fault_seed };
@@ -96,7 +96,7 @@ proptest! {
         let spec = FaultSpec::none().with_drop(0.1).with_crash(0.1, 10);
         let plan = FaultPlan::sample(&g, &spec, fault_seed);
         let algo = SinklessRepair { phases: 20 };
-        let run = run_sync_faulty(&g, Mode::randomized(seed), &algo, 46, &plan);
+        let run = run_sync(&g, Mode::randomized(seed), &algo, &ExecSpec::rounds(46).with_faults(&plan));
         let partial: Vec<Option<Orientation>> =
             run.outcomes.iter().map(|o| o.output().cloned()).collect();
         let problem = SinklessOrientation::new(3);

@@ -8,9 +8,9 @@
 //! these tests pin it down against the ground truth of a plain sequential
 //! loop (exactly what a one-thread pool would produce).
 
-use local_model::{Action, Engine, FaultPlan, Mode, NodeInit, NodeIo, NodeProgram, Protocol};
+use local_model::{Action, Engine, ExecSpec, Mode, NodeInit, NodeIo, NodeProgram, Protocol};
 use local_obs::{MemorySink, Trace, TraceSink};
-use local_separation::trials::{Trial, TrialPlan};
+use local_separation::trials::{Trial, TrialOutcome, TrialPlan, TrialSpec};
 use proptest::prelude::*;
 
 /// A small protocol with data-dependent halting so different trials emit
@@ -55,8 +55,17 @@ fn traced_trial(trial: Trial, trace: Option<&Trace>) -> u64 {
     if let Some(t) = trace {
         engine = engine.with_trace(t);
     }
-    let run = engine.run_faulty(&PulseProtocol, &FaultPlan::none());
+    let run = engine.execute(&ExecSpec::default(), &PulseProtocol);
     run.stats.messages_sent
+}
+
+/// Run the batch through the unified entry point with a trace attached,
+/// unwrapping the (never-panicking) outcomes back to plain results.
+fn run_traced(plan: &TrialPlan, sink: &mut MemorySink) -> Vec<u64> {
+    plan.execute(TrialSpec::new().traced(Some(sink)), traced_trial)
+        .into_iter()
+        .map(TrialOutcome::into_ok)
+        .collect()
 }
 
 /// The ground truth: the same batch executed by a plain sequential loop,
@@ -87,7 +96,7 @@ proptest! {
         let plan = TrialPlan::new(trials, master_seed);
 
         let mut parallel = MemorySink::new();
-        let par_results = plan.run_with_trace(Some(&mut parallel), traced_trial);
+        let par_results = run_traced(&plan, &mut parallel);
 
         let mut serial = MemorySink::new();
         let ser_results = serial_reference(&plan, &mut serial);
@@ -102,9 +111,9 @@ proptest! {
     fn repeated_parallel_traces_are_bit_identical(trials in 1u64..12, master_seed in 0u64..500) {
         let plan = TrialPlan::new(trials, master_seed);
         let mut a = MemorySink::new();
-        plan.run_with_trace(Some(&mut a), traced_trial);
+        run_traced(&plan, &mut a);
         let mut b = MemorySink::new();
-        plan.run_with_trace(Some(&mut b), traced_trial);
+        run_traced(&plan, &mut b);
         prop_assert_eq!(a.events(), b.events());
     }
 
@@ -113,9 +122,13 @@ proptest! {
     #[test]
     fn tracing_does_not_change_results(trials in 1u64..12, master_seed in 0u64..500) {
         let plan = TrialPlan::new(trials, master_seed);
-        let untraced = plan.run(|t| traced_trial(t, None));
+        let untraced: Vec<u64> = plan
+            .execute(TrialSpec::new(), |t, _| traced_trial(t, None))
+            .into_iter()
+            .map(TrialOutcome::into_ok)
+            .collect();
         let mut sink = MemorySink::new();
-        let traced = plan.run_with_trace(Some(&mut sink), traced_trial);
+        let traced = run_traced(&plan, &mut sink);
         prop_assert_eq!(untraced, traced);
     }
 }

@@ -11,7 +11,7 @@
 use crate::labeling::Labeling;
 use crate::problem::{LclProblem, LocalView, NeighborView, Violation};
 use local_graphs::{Graph, PortId};
-use local_model::{Action, Engine, Mode, NodeInit, NodeIo, NodeProgram, Protocol};
+use local_model::{Action, Engine, ExecSpec, Mode, NodeInit, NodeIo, NodeProgram, Protocol};
 
 /// One verification message: the sender's label, degree, and sending port.
 type VerifyMsg<L> = (L, usize, PortId);
@@ -126,7 +126,8 @@ where
         labels,
     };
     let run = Engine::new(g, Mode::deterministic())
-        .run(&protocol)
+        .execute(&ExecSpec::default(), &protocol)
+        .into_run(100_000)
         .expect("verifier halts after one exchange");
     debug_assert!(run.rounds <= 1);
     for (v, outcome) in run.outputs.into_iter().enumerate() {

@@ -6,6 +6,7 @@ use crate::ids::IdAssignment;
 use crate::node::{Action, NodeInit, NodeIo, NodeProgram, Protocol};
 use crate::params::GlobalParams;
 use crate::recover::{Breach, Budget};
+use crate::spec::ExecSpec;
 use local_graphs::Graph;
 use local_obs::{EventData, PowHistogram, Trace};
 use rand::{Rng, RngCore, SeedableRng};
@@ -313,62 +314,83 @@ impl<'g> Engine<'g> {
         self.graph
     }
 
-    /// Run `protocol` to completion.
+    /// Run `protocol` to completion, fault-free and untraced, under the
+    /// engine's own budget.
     ///
     /// # Errors
     ///
     /// [`SimError::RoundLimitExceeded`] if some node never halts.
+    #[deprecated(note = "use `execute` with `ExecSpec::default()` and `FaultyRun::into_run`")]
     pub fn run<P>(&self, protocol: &P) -> Result<Run<<P::Node as NodeProgram>::Output>, SimError>
     where
         P: Protocol + Sync,
     {
-        let fr = self.run_faulty(protocol, &FaultPlan::none());
-        let cut = fr.cut();
-        if cut > 0 {
-            return Err(SimError::RoundLimitExceeded {
-                limit: self.budget.max_rounds,
-                live_nodes: cut,
-                live_sample: fr
-                    .outcomes
-                    .iter()
-                    .enumerate()
-                    .filter(|(_, o)| o.is_cut())
-                    .map(|(v, _)| v)
-                    .take(SimError::LIVE_SAMPLE_CAP)
-                    .collect(),
-            });
-        }
-        let mut outputs = Vec::with_capacity(fr.outcomes.len());
-        let mut halt_rounds = Vec::with_capacity(fr.outcomes.len());
-        for outcome in fr.outcomes {
-            let (r, o) = match outcome {
-                Outcome::Halted { round, output } => (round, output),
-                // A trivial plan crashes nobody, so every non-cut node halted.
-                _ => unreachable!("fault-free runs halt or get cut"),
-            };
-            halt_rounds.push(r);
-            outputs.push(o);
-        }
-        Ok(Run {
-            outputs,
-            rounds: fr.rounds,
-            halt_rounds,
-            stats: fr.stats,
-        })
+        self.execute(&ExecSpec::default(), protocol)
+            .into_run(self.budget.max_rounds)
     }
 
-    /// Run `protocol` under a [`FaultPlan`], tolerating crashes and budget
-    /// exhaustion: instead of an all-or-nothing `Run`, every node gets an
-    /// [`Outcome`] — `Halted` with its output, `Crashed` at its scheduled
-    /// round, or `Cut` if it was still live when `max_rounds` sweeps ran out.
-    ///
-    /// With a trivial plan ([`FaultPlan::is_trivial`]) this is observably
-    /// identical to [`run`](Self::run): same outputs, halt rounds, message
-    /// counts, and sweep counts (a property test enforces it).
+    /// Run `protocol` under a [`FaultPlan`].
+    #[deprecated(note = "use `execute` with `ExecSpec::default().with_faults(..)`")]
     pub fn run_faulty<P>(
         &self,
         protocol: &P,
         faults: &FaultPlan,
+    ) -> FaultyRun<<P::Node as NodeProgram>::Output>
+    where
+        P: Protocol + Sync,
+    {
+        self.execute(&ExecSpec::default().with_faults(faults), protocol)
+    }
+
+    /// Run `protocol` as described by `spec` — the single execution path.
+    ///
+    /// Every node gets an [`Outcome`](crate::faults::Outcome) — `Halted`
+    /// with its output, `Crashed` at its scheduled round, or `Cut` if it was
+    /// still live when the budget ran out. A spec field left `None` falls
+    /// back to the engine's own setting (builder methods remain for
+    /// engine-lifetime configuration); the fault-free case runs the no-op
+    /// plan, whose drop/delay/crash branches all constant-fold away, so the
+    /// hot loop stays allocation-free at bench parity.
+    ///
+    /// With no fault plan (or a trivial one, [`FaultPlan::is_trivial`]) the
+    /// result is observably identical to the faulty path: same outputs, halt
+    /// rounds, message counts, and sweep counts (a property test enforces
+    /// it). [`FaultyRun::into_run`] recovers the strict all-or-nothing
+    /// [`Run`] shape.
+    pub fn execute<P>(
+        &self,
+        spec: &ExecSpec<'_>,
+        protocol: &P,
+    ) -> FaultyRun<<P::Node as NodeProgram>::Output>
+    where
+        P: Protocol + Sync,
+    {
+        let no_faults;
+        let faults = match spec.faults {
+            Some(f) => f,
+            None => {
+                // `FaultPlan::none()` holds empty vectors — constructing it
+                // per run allocates nothing.
+                no_faults = FaultPlan::none();
+                &no_faults
+            }
+        };
+        self.execute_inner(
+            protocol,
+            spec.params.as_ref().unwrap_or(&self.params),
+            spec.budget.as_ref().unwrap_or(&self.budget),
+            faults,
+            spec.trace.or(self.trace),
+        )
+    }
+
+    fn execute_inner<P>(
+        &self,
+        protocol: &P,
+        params: &GlobalParams,
+        budget: &Budget,
+        faults: &FaultPlan,
+        trace: Option<&Trace>,
     ) -> FaultyRun<<P::Node as NodeProgram>::Output>
     where
         P: Protocol + Sync,
@@ -393,7 +415,7 @@ impl<'g> Engine<'g> {
                     node: v,
                     degree: g.degree(v),
                     id,
-                    params: &self.params,
+                    params,
                 };
                 Slot {
                     state: protocol.create(&init),
@@ -417,9 +439,9 @@ impl<'g> Engine<'g> {
         let mut live_per_round: Vec<usize> = Vec::new();
         let mut messages_per_round: Vec<u64> = Vec::new();
         let mut messages_total = 0u64;
-        let started = self.budget.wall_clock.map(|_| std::time::Instant::now());
+        let started = budget.wall_clock.map(|_| std::time::Instant::now());
 
-        if let Some(tr) = self.trace {
+        if let Some(tr) = trace {
             tr.emit(EventData::RunStart {
                 n: n as u64,
                 m: g.m() as u64,
@@ -428,7 +450,7 @@ impl<'g> Engine<'g> {
                     Mode::Randomized { .. } => "rand",
                 }
                 .to_string(),
-                max_rounds: self.budget.max_rounds,
+                max_rounds: budget.max_rounds,
             });
         }
 
@@ -452,18 +474,17 @@ impl<'g> Engine<'g> {
             if live == 0 {
                 break;
             }
-            if sweep >= self.budget.max_rounds {
+            if sweep >= budget.max_rounds {
                 breach = Some(Breach::Rounds);
                 break;
             }
-            if let (Some(limit), Some(started)) = (self.budget.wall_clock, started) {
+            if let (Some(limit), Some(started)) = (budget.wall_clock, started) {
                 if started.elapsed() > limit {
                     breach = Some(Breach::WallClock);
                     break;
                 }
             }
             live_per_round.push(live);
-            let params = &self.params;
             let round = sweep;
             let offsets = &plane.offsets;
             let inbox = &plane.inbox;
@@ -562,7 +583,7 @@ impl<'g> Engine<'g> {
             let delayed_before = delayed;
             let mut message_breach = false;
             if still > 0 {
-                if let Some(max_messages) = self.budget.max_messages {
+                if let Some(max_messages) = budget.max_messages {
                     if messages_total > max_messages {
                         breach = Some(Breach::Messages);
                         message_breach = true;
@@ -572,7 +593,7 @@ impl<'g> Engine<'g> {
                     plane.deliver_faulty(faults, round, &mut dropped, &mut delayed);
                 }
             }
-            if let Some(tr) = self.trace {
+            if let Some(tr) = trace {
                 tr.emit(EventData::Round {
                     round,
                     live: live as u64,
@@ -592,8 +613,8 @@ impl<'g> Engine<'g> {
         let mut outcomes = Vec::with_capacity(n);
         let mut rounds = 0;
         let mut messages_sent = 0u64;
-        let mut messages_hist = self.trace.map(|_| PowHistogram::new());
-        let mut halt_hist = self.trace.map(|_| PowHistogram::new());
+        let mut messages_hist = trace.map(|_| PowHistogram::new());
+        let mut halt_hist = trace.map(|_| PowHistogram::new());
         for (v, slot) in slots.into_iter().enumerate() {
             messages_sent += slot.sent;
             if let Some(h) = messages_hist.as_mut() {
@@ -632,7 +653,7 @@ impl<'g> Engine<'g> {
             delayed,
             breach,
         };
-        if let Some(tr) = self.trace {
+        if let Some(tr) = trace {
             tr.emit(EventData::Histogram {
                 name: "messages_per_vertex".into(),
                 hist: Box::new(messages_hist.unwrap_or_default()),
@@ -674,6 +695,83 @@ mod tests {
     use crate::faults::FaultSpec;
     use local_graphs::gen;
 
+    /// Chainable test sugar over the single real entry point,
+    /// [`Engine::execute`]: the strict fault-free shape (what `run` was) and
+    /// the faulty shape (what `run_faulty` was).
+    trait Exec {
+        fn exec<P: Protocol + Sync>(
+            &self,
+            protocol: &P,
+        ) -> Result<Run<<P::Node as NodeProgram>::Output>, SimError>;
+        fn exec_faulty<P: Protocol + Sync>(
+            &self,
+            protocol: &P,
+            faults: &FaultPlan,
+        ) -> FaultyRun<<P::Node as NodeProgram>::Output>;
+    }
+
+    impl Exec for Engine<'_> {
+        fn exec<P: Protocol + Sync>(
+            &self,
+            protocol: &P,
+        ) -> Result<Run<<P::Node as NodeProgram>::Output>, SimError> {
+            self.execute(&ExecSpec::default(), protocol)
+                .into_run(self.budget.max_rounds)
+        }
+        fn exec_faulty<P: Protocol + Sync>(
+            &self,
+            protocol: &P,
+            faults: &FaultPlan,
+        ) -> FaultyRun<<P::Node as NodeProgram>::Output> {
+            self.execute(&ExecSpec::default().with_faults(faults), protocol)
+        }
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_delegate_to_execute() {
+        let g = gen::cycle(9);
+        let engine = Engine::new(&g, Mode::randomized(5));
+        let via_shim = engine.run(&RandProtocol).unwrap();
+        let via_spec = engine
+            .execute(&ExecSpec::default(), &RandProtocol)
+            .into_run(100_000)
+            .unwrap();
+        assert_eq!(via_shim.outputs, via_spec.outputs);
+        assert_eq!(via_shim.stats, via_spec.stats);
+
+        let plan = FaultPlan::from_crash_schedule(vec![Some(0); 9]);
+        let a = engine.run_faulty(&RandProtocol, &plan);
+        let b = engine.execute(&ExecSpec::default().with_faults(&plan), &RandProtocol);
+        assert_eq!(a.crashed(), b.crashed());
+        assert_eq!(a.stats, b.stats);
+    }
+
+    #[test]
+    fn spec_overrides_engine_settings() {
+        // A spec budget wins over the engine's; a spec trace attaches
+        // without the builder.
+        let g = gen::path(3);
+        let engine = Engine::new(&g, Mode::deterministic());
+        let fr = engine.execute(&ExecSpec::rounds(4), &ForeverProtocol);
+        assert_eq!(fr.stats.sweeps, 4);
+        assert_eq!(fr.breach, Some(Breach::Rounds));
+
+        let trace = Trace::new(3);
+        let spec = ExecSpec::default().with_trace(&trace);
+        engine.execute(&spec, &FloodMinProtocol);
+        let events = trace.into_events();
+        assert_eq!(events.first().map(|e| e.data.tag()), Some("run_start"));
+        assert_eq!(events.last().map(|e| e.data.tag()), Some("run_end"));
+
+        // FloodMin's horizon comes from the advertised n: a claimed n of 64
+        // stretches the halt to round 64 on a 3-path.
+        let params = GlobalParams::from_graph(&g).with_claimed_n(64);
+        let fr = engine.execute(&ExecSpec::default().with_params(params), &FloodMinProtocol);
+        assert_eq!(fr.halted(), 3);
+        assert_eq!(fr.rounds, 64);
+    }
+
     /// Flood the minimum ID: halts after `horizon = n` rounds, by which
     /// point the minimum has reached every vertex.
     struct FloodMin {
@@ -714,7 +812,7 @@ mod tests {
     fn flood_min_agrees_on_minimum() {
         let g = gen::cycle(11);
         let run = Engine::new(&g, Mode::deterministic())
-            .run(&FloodMinProtocol)
+            .exec(&FloodMinProtocol)
             .unwrap();
         assert!(run.outputs.iter().all(|&o| o == 0));
         assert_eq!(run.rounds, 11);
@@ -728,7 +826,7 @@ mod tests {
             &g,
             Mode::deterministic_with(IdAssignment::Shuffled { seed: 3 }),
         )
-        .run(&FloodMinProtocol)
+        .exec(&FloodMinProtocol)
         .unwrap();
         assert!(run.outputs.iter().all(|&o| o == 0));
     }
@@ -754,7 +852,7 @@ mod tests {
     fn zero_round_protocol_reports_zero_rounds() {
         let g = gen::star(6);
         let run = Engine::new(&g, Mode::deterministic())
-            .run(&ImmediateProtocol)
+            .exec(&ImmediateProtocol)
             .unwrap();
         assert_eq!(run.rounds, 0);
         assert_eq!(run.outputs[0], 5);
@@ -784,7 +882,7 @@ mod tests {
         let g = gen::path(3);
         let err = Engine::new(&g, Mode::deterministic())
             .with_max_rounds(10)
-            .run(&ForeverProtocol)
+            .exec(&ForeverProtocol)
             .unwrap_err();
         assert_eq!(
             err,
@@ -826,7 +924,7 @@ mod tests {
         let g = gen::path(4);
         let run = Engine::new(&g, Mode::deterministic())
             .with_max_rounds(5)
-            .run(&HaltAtProtocol(4))
+            .exec(&HaltAtProtocol(4))
             .unwrap();
         assert_eq!(run.stats.sweeps, 5);
         assert_eq!(run.rounds, 4);
@@ -835,7 +933,7 @@ mod tests {
         // never let a sweep past `max_rounds` execute.
         let err = Engine::new(&g, Mode::deterministic())
             .with_max_rounds(5)
-            .run(&HaltAtProtocol(5))
+            .exec(&HaltAtProtocol(5))
             .unwrap_err();
         assert_eq!(
             err,
@@ -871,13 +969,13 @@ mod tests {
     fn randomized_mode_is_seeded_and_distinct() {
         let g = gen::cycle(16);
         let a = Engine::new(&g, Mode::randomized(42))
-            .run(&RandProtocol)
+            .exec(&RandProtocol)
             .unwrap();
         let b = Engine::new(&g, Mode::randomized(42))
-            .run(&RandProtocol)
+            .exec(&RandProtocol)
             .unwrap();
         let c = Engine::new(&g, Mode::randomized(43))
-            .run(&RandProtocol)
+            .exec(&RandProtocol)
             .unwrap();
         assert_eq!(a.outputs, b.outputs, "same seed, same outputs");
         assert_ne!(a.outputs, c.outputs, "different seed, different outputs");
@@ -892,10 +990,10 @@ mod tests {
         // must be reproducible under the same seed.
         let g = gen::cycle(PAR_THRESHOLD + 10);
         let a = Engine::new(&g, Mode::randomized(7))
-            .run(&RandProtocol)
+            .exec(&RandProtocol)
             .unwrap();
         let b = Engine::new(&g, Mode::randomized(7))
-            .run(&RandProtocol)
+            .exec(&RandProtocol)
             .unwrap();
         assert_eq!(a.outputs, b.outputs);
     }
@@ -904,7 +1002,7 @@ mod tests {
     fn halt_rounds_are_per_node() {
         let g = gen::star(5);
         let run = Engine::new(&g, Mode::deterministic())
-            .run(&ImmediateProtocol)
+            .exec(&ImmediateProtocol)
             .unwrap();
         assert_eq!(run.halt_rounds, vec![0; 5]);
     }
@@ -930,7 +1028,7 @@ mod tests {
         let params = GlobalParams::from_graph(&g).with_claimed_n(1 << 30);
         let run = Engine::new(&g, Mode::deterministic())
             .with_params(params)
-            .run(&ParamProtocol)
+            .exec(&ParamProtocol)
             .unwrap();
         assert!(run.outputs.iter().all(|&o| o == 1 << 30));
     }
@@ -939,12 +1037,12 @@ mod tests {
     fn live_per_round_traces_progress() {
         let g = gen::star(6);
         let run = Engine::new(&g, Mode::deterministic())
-            .run(&ImmediateProtocol)
+            .exec(&ImmediateProtocol)
             .unwrap();
         assert_eq!(run.stats.live_per_round, vec![6]);
         let g = gen::cycle(5);
         let run = Engine::new(&g, Mode::deterministic())
-            .run(&FloodMinProtocol)
+            .exec(&FloodMinProtocol)
             .unwrap();
         assert_eq!(run.stats.live_per_round.len() as u32, run.stats.sweeps);
         assert_eq!(run.stats.live_per_round[0], 5);
@@ -960,7 +1058,7 @@ mod tests {
         // speaks. Its 0 can then never reach the far end.
         let g = gen::path(5);
         let plan = FaultPlan::from_crash_schedule(vec![Some(0), None, None, None, None]);
-        let run = Engine::new(&g, Mode::deterministic()).run_faulty(&FloodMinProtocol, &plan);
+        let run = Engine::new(&g, Mode::deterministic()).exec_faulty(&FloodMinProtocol, &plan);
         assert!(run.outcomes[0].is_crashed());
         assert_eq!(run.crashed(), 1);
         assert_eq!(run.halted(), 4);
@@ -980,7 +1078,7 @@ mod tests {
         // so the minimum 0 has already propagated 2 hops by then.
         let g = gen::path(3);
         let plan = FaultPlan::from_crash_schedule(vec![Some(2), None, None]);
-        let run = Engine::new(&g, Mode::deterministic()).run_faulty(&FloodMinProtocol, &plan);
+        let run = Engine::new(&g, Mode::deterministic()).exec_faulty(&FloodMinProtocol, &plan);
         assert!(run.outcomes[0].is_crashed());
         assert_eq!(run.outcomes[1].output(), Some(&0));
         assert_eq!(run.outcomes[2].output(), Some(&0));
@@ -991,7 +1089,7 @@ mod tests {
         let g = gen::path(3);
         let run = Engine::new(&g, Mode::deterministic())
             .with_max_rounds(10)
-            .run_faulty(&ForeverProtocol, &FaultPlan::none());
+            .exec_faulty(&ForeverProtocol, &FaultPlan::none());
         assert_eq!(run.cut(), 3);
         assert_eq!(run.halted(), 0);
         assert_eq!(run.stats.sweeps, 10);
@@ -1003,10 +1101,10 @@ mod tests {
         let g = gen::path(3);
         let run = Engine::new(&g, Mode::deterministic())
             .with_max_rounds(10)
-            .run_faulty(&ForeverProtocol, &FaultPlan::none());
+            .exec_faulty(&ForeverProtocol, &FaultPlan::none());
         assert_eq!(run.breach, Some(Breach::Rounds));
         let run = Engine::new(&g, Mode::deterministic())
-            .run_faulty(&FloodMinProtocol, &FaultPlan::none());
+            .exec_faulty(&FloodMinProtocol, &FaultPlan::none());
         assert_eq!(run.breach, None);
     }
 
@@ -1017,14 +1115,14 @@ mod tests {
         let g = gen::cycle(6);
         let run = Engine::new(&g, Mode::deterministic())
             .with_budget(Budget::rounds(100).with_max_messages(10))
-            .run_faulty(&FloodMinProtocol, &FaultPlan::none());
+            .exec_faulty(&FloodMinProtocol, &FaultPlan::none());
         assert_eq!(run.breach, Some(Breach::Messages));
         assert_eq!(run.cut(), 6);
         assert_eq!(run.stats.sweeps, 1);
         // A generous cap never trips.
         let run = Engine::new(&g, Mode::deterministic())
             .with_budget(Budget::rounds(100).with_max_messages(1_000_000))
-            .run_faulty(&FloodMinProtocol, &FaultPlan::none());
+            .exec_faulty(&FloodMinProtocol, &FaultPlan::none());
         assert_eq!(run.breach, None);
         assert_eq!(run.halted(), 6);
     }
@@ -1035,7 +1133,7 @@ mod tests {
         let g = gen::star(4);
         let run = Engine::new(&g, Mode::deterministic())
             .with_budget(Budget::rounds(10).with_max_messages(0))
-            .run_faulty(&ImmediateProtocol, &FaultPlan::none());
+            .exec_faulty(&ImmediateProtocol, &FaultPlan::none());
         assert_eq!(run.breach, None);
         assert_eq!(run.halted(), 4);
     }
@@ -1045,7 +1143,7 @@ mod tests {
         let g = gen::path(3);
         let run = Engine::new(&g, Mode::deterministic())
             .with_budget(Budget::rounds(u32::MAX).with_wall_clock(std::time::Duration::ZERO))
-            .run_faulty(&ForeverProtocol, &FaultPlan::none());
+            .exec_faulty(&ForeverProtocol, &FaultPlan::none());
         assert_eq!(run.breach, Some(Breach::WallClock));
         assert_eq!(run.cut(), 3);
     }
@@ -1057,7 +1155,7 @@ mod tests {
         // keeps its own ID.
         let g = gen::cycle(6);
         let plan = FaultPlan::sample(&g, &FaultSpec::none().with_drop(1.0), 3);
-        let run = Engine::new(&g, Mode::deterministic()).run_faulty(&FloodMinProtocol, &plan);
+        let run = Engine::new(&g, Mode::deterministic()).exec_faulty(&FloodMinProtocol, &plan);
         assert_eq!(run.halted(), 6);
         assert!(run.dropped > 0);
         for (v, o) in run.outcomes.iter().enumerate() {
@@ -1092,7 +1190,7 @@ mod tests {
         }
         let g = gen::path(2);
         let plan = FaultPlan::sample(&g, &FaultSpec::none().with_delay(1.0), 5);
-        let run = Engine::new(&g, Mode::deterministic()).run_faulty(&EchoOnceProtocol, &plan);
+        let run = Engine::new(&g, Mode::deterministic()).exec_faulty(&EchoOnceProtocol, &plan);
         assert_eq!(run.halted(), 2);
         assert_eq!(run.delayed, 2);
         // The round-0 messages arrive one round late: heard at round 2.
@@ -1104,10 +1202,10 @@ mod tests {
     fn faulty_run_with_trivial_plan_matches_run() {
         let g = gen::cycle(9);
         let run = Engine::new(&g, Mode::randomized(5))
-            .run(&RandProtocol)
+            .exec(&RandProtocol)
             .unwrap();
         let faulty =
-            Engine::new(&g, Mode::randomized(5)).run_faulty(&RandProtocol, &FaultPlan::none());
+            Engine::new(&g, Mode::randomized(5)).exec_faulty(&RandProtocol, &FaultPlan::none());
         assert_eq!(faulty.halted(), 9);
         assert_eq!(faulty.dropped, 0);
         assert_eq!(faulty.delayed, 0);
@@ -1124,7 +1222,7 @@ mod tests {
     fn messages_per_round_sums_to_messages_sent() {
         let g = gen::cycle(7);
         let run = Engine::new(&g, Mode::deterministic())
-            .run(&FloodMinProtocol)
+            .exec(&FloodMinProtocol)
             .unwrap();
         assert_eq!(
             run.stats.messages_per_round.len() as u32,
@@ -1171,7 +1269,7 @@ mod tests {
         let trace = Trace::new(7);
         let run = Engine::new(&g, Mode::deterministic())
             .with_trace(&trace)
-            .run(&FloodMinProtocol)
+            .exec(&FloodMinProtocol)
             .unwrap();
         let events = trace.into_events();
         assert!(events.iter().all(|e| e.trial == 7));
@@ -1227,13 +1325,13 @@ mod tests {
         let seq = Trace::new(0);
         Engine::new(&g, Mode::deterministic())
             .with_trace(&seq)
-            .run(&FloodMinProtocol)
+            .exec(&FloodMinProtocol)
             .unwrap();
         let par = Trace::new(0);
         Engine::new(&g, Mode::deterministic())
             .with_par_threshold(1)
             .with_trace(&par)
-            .run(&FloodMinProtocol)
+            .exec(&FloodMinProtocol)
             .unwrap();
         assert_eq!(seq.into_events(), par.into_events());
     }
@@ -1245,7 +1343,7 @@ mod tests {
         let plan = FaultPlan::from_crash_schedule(vec![Some(1), None, None, None, None]);
         Engine::new(&g, Mode::deterministic())
             .with_trace(&trace)
-            .run_faulty(&FloodMinProtocol, &plan);
+            .exec_faulty(&FloodMinProtocol, &plan);
         let events = trace.into_events();
         let crashes: u64 = events
             .iter()
@@ -1269,7 +1367,7 @@ mod tests {
         Engine::new(&g, Mode::deterministic())
             .with_max_rounds(3)
             .with_trace(&trace)
-            .run_faulty(&ForeverProtocol, &FaultPlan::none());
+            .exec_faulty(&ForeverProtocol, &FaultPlan::none());
         let events = trace.into_events();
         match &events.last().unwrap().data {
             EventData::RunEnd { cut, breach, .. } => {

@@ -27,7 +27,8 @@
 //! reports per-node [`Outcome`]s with partial outputs instead of the
 //! all-or-nothing [`Run`](crate::Run).
 
-use crate::engine::{splitmix64, RunStats};
+use crate::engine::{splitmix64, Run, RunStats};
+use crate::error::SimError;
 use local_graphs::{Graph, NodeId, PortId};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
@@ -338,6 +339,55 @@ impl<O> FaultyRun<O> {
     /// partial LCL validation consumes.
     pub fn partial_outputs(&self) -> Vec<Option<&O>> {
         self.outcomes.iter().map(Outcome::output).collect()
+    }
+
+    /// Collapse into the strict all-or-nothing [`Run`] shape: every node
+    /// must have halted with an output.
+    ///
+    /// `limit` is the round budget reported on the error (callers know which
+    /// budget they ran under; the run itself only records the breach axis).
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::RoundLimitExceeded`] if any node was cut by the budget.
+    ///
+    /// # Panics
+    ///
+    /// If a node crashed: crash-stop outcomes have no strict-run equivalent,
+    /// so converting a run executed under a crashing fault plan is a logic
+    /// error.
+    pub fn into_run(self, limit: u32) -> Result<Run<O>, SimError> {
+        let cut = self.cut();
+        if cut > 0 {
+            return Err(SimError::RoundLimitExceeded {
+                limit,
+                live_nodes: cut,
+                live_sample: self
+                    .outcomes
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, o)| o.is_cut())
+                    .map(|(v, _)| v)
+                    .take(SimError::LIVE_SAMPLE_CAP)
+                    .collect(),
+            });
+        }
+        let mut outputs = Vec::with_capacity(self.outcomes.len());
+        let mut halt_rounds = Vec::with_capacity(self.outcomes.len());
+        for outcome in self.outcomes {
+            let (r, o) = match outcome {
+                Outcome::Halted { round, output } => (round, output),
+                _ => panic!("into_run on a run with crashed nodes"),
+            };
+            halt_rounds.push(r);
+            outputs.push(o);
+        }
+        Ok(Run {
+            outputs,
+            rounds: self.rounds,
+            halt_rounds,
+            stats: self.stats,
+        })
     }
 }
 

@@ -25,7 +25,7 @@
 //!
 //! ```
 //! use local_graphs::gen;
-//! use local_model::{Action, Engine, Mode, NodeInit, NodeIo, NodeProgram, Protocol};
+//! use local_model::{Action, Engine, ExecSpec, Mode, NodeInit, NodeIo, NodeProgram, Protocol};
 //!
 //! struct DegreeNode;
 //! impl NodeProgram for DegreeNode {
@@ -49,7 +49,8 @@
 //! }
 //!
 //! let g = gen::star(5);
-//! let run = Engine::new(&g, Mode::deterministic()).run(&DegreeProtocol)?;
+//! let engine = Engine::new(&g, Mode::deterministic());
+//! let run = engine.execute(&ExecSpec::default(), &DegreeProtocol).into_run(100_000)?;
 //! assert_eq!(run.rounds, 1);
 //! assert_eq!(run.outputs[1], 4); // a leaf sees the hub's degree
 //! # Ok::<(), local_model::SimError>(())
@@ -67,6 +68,7 @@ mod node;
 mod params;
 pub mod recover;
 pub mod reference;
+mod spec;
 
 pub use engine::{derived_rng, derived_u64, Engine, Mode, Run, RunStats};
 pub use error::SimError;
@@ -75,3 +77,4 @@ pub use ids::{id_bits, IdAssignment};
 pub use node::{Action, NodeInit, NodeIo, NodeProgram, Protocol};
 pub use params::GlobalParams;
 pub use recover::{faulty_core, Breach, Budget, RecoveryError, Residue};
+pub use spec::ExecSpec;

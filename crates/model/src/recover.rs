@@ -50,6 +50,21 @@ pub struct Budget {
     pub wall_clock: Option<Duration>,
 }
 
+// Hand-written: `wall_clock` is a `Duration`, which the vendored serde has
+// no impl for — it serializes as fractional seconds (or null).
+impl serde::Serialize for Budget {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Object(vec![
+            ("max_rounds".to_string(), self.max_rounds.to_value()),
+            ("max_messages".to_string(), self.max_messages.to_value()),
+            (
+                "wall_clock_secs".to_string(),
+                self.wall_clock.map(|d| d.as_secs_f64()).to_value(),
+            ),
+        ])
+    }
+}
+
 impl Budget {
     /// A budget limiting only the number of rounds.
     pub fn rounds(max_rounds: u32) -> Self {

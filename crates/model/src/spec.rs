@@ -1,0 +1,138 @@
+//! The declarative execution specification.
+//!
+//! The paper's object of study is one thing — a synchronous LOCAL execution
+//! — but PRs 2–4 grew a Cartesian product of entry points around it
+//! (`run`/`run_faulty`, six `run_sync*` variants, five `TrialPlan::run*`
+//! variants). [`ExecSpec`] collapses the axes into one value: *what faults*,
+//! *what budget*, *what trace*, *what advertised parameters*. Every layer of
+//! the stack now takes a spec instead of choosing a differently-named
+//! function, and composing capabilities is field assignment, not a new API.
+//!
+//! `ExecSpec::default()` is the fault-free, untraced run under the engine's
+//! own budget and parameters — byte-identical to the pre-refactor
+//! `Engine::run` path (a golden differential test in the core crate holds
+//! this fixed).
+
+use crate::faults::FaultPlan;
+use crate::params::GlobalParams;
+use crate::recover::Budget;
+use local_obs::Trace;
+
+/// How one simulation executes: fault plan, watchdog budget, trace
+/// attachment, and advertised global parameters.
+///
+/// All fields are `Option`s whose `None` means "keep the engine's own
+/// setting", so a spec only states what it overrides. Borrowed fields
+/// (`faults`, `trace`) keep the hot path allocation-free: a spec is a few
+/// words on the stack, cheap to build per run.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct ExecSpec<'a> {
+    /// Advertised global parameters (Theorems 3/6/8 pretend the graph is
+    /// larger than it is); `None` advertises the engine's.
+    pub params: Option<GlobalParams>,
+    /// Watchdog budget (rounds, and optionally messages / wall-clock);
+    /// `None` runs under the engine's budget.
+    pub budget: Option<Budget>,
+    /// Fault plan (drops, delays, crash-stop schedule); `None` is the
+    /// statically-eliminated no-op plan — the fault-free fast path.
+    pub faults: Option<&'a FaultPlan>,
+    /// Trace buffer receiving run lifecycle events; `None` traces nothing
+    /// (the disabled path is a single branch per sweep).
+    pub trace: Option<&'a Trace>,
+}
+
+impl<'a> ExecSpec<'a> {
+    /// The fault-free, untraced spec under the engine's own settings.
+    pub fn new() -> Self {
+        ExecSpec::default()
+    }
+
+    /// Shorthand for a spec whose only override is a rounds-only [`Budget`].
+    pub fn rounds(max_rounds: u32) -> Self {
+        ExecSpec::default().with_budget(Budget::rounds(max_rounds))
+    }
+
+    /// Advertise `params` instead of the engine's.
+    pub fn with_params(mut self, params: GlobalParams) -> Self {
+        self.params = Some(params);
+        self
+    }
+
+    /// Run under `budget` instead of the engine's.
+    pub fn with_budget(mut self, budget: Budget) -> Self {
+        self.budget = Some(budget);
+        self
+    }
+
+    /// Override only the round axis, keeping any other budget axes already
+    /// set on this spec.
+    pub fn with_max_rounds(mut self, max_rounds: u32) -> Self {
+        let mut b = self.budget.unwrap_or(Budget::rounds(max_rounds));
+        b.max_rounds = max_rounds;
+        self.budget = Some(b);
+        self
+    }
+
+    /// Inject `faults` (drops, delays, crash-stop schedule).
+    pub fn with_faults(mut self, faults: &'a FaultPlan) -> Self {
+        self.faults = Some(faults);
+        self
+    }
+
+    /// Attach `trace`: the run emits `run_start`, per-sweep `round` events,
+    /// end-of-run histograms, and `run_end`.
+    pub fn with_trace(mut self, trace: &'a Trace) -> Self {
+        self.trace = Some(trace);
+        self
+    }
+
+    /// [`with_trace`](Self::with_trace) accepting the `Option` producers
+    /// thread around — `None` leaves the spec untraced.
+    pub fn traced(mut self, trace: Option<&'a Trace>) -> Self {
+        self.trace = trace;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_overrides_nothing() {
+        let spec = ExecSpec::default();
+        assert!(spec.params.is_none());
+        assert!(spec.budget.is_none());
+        assert!(spec.faults.is_none());
+        assert!(spec.trace.is_none());
+    }
+
+    #[test]
+    fn builders_compose() {
+        let plan = FaultPlan::none();
+        let trace = Trace::new(0);
+        let spec = ExecSpec::rounds(7)
+            .with_faults(&plan)
+            .with_trace(&trace)
+            .with_max_rounds(9);
+        assert_eq!(spec.budget.unwrap().max_rounds, 9);
+        assert!(spec.faults.is_some());
+        assert!(spec.trace.is_some());
+    }
+
+    #[test]
+    fn with_max_rounds_keeps_other_axes() {
+        let spec = ExecSpec::default()
+            .with_budget(Budget::rounds(5).with_max_messages(10))
+            .with_max_rounds(8);
+        let b = spec.budget.unwrap();
+        assert_eq!(b.max_rounds, 8);
+        assert_eq!(b.max_messages, Some(10));
+    }
+
+    #[test]
+    fn traced_none_is_untraced() {
+        let spec = ExecSpec::default().traced(None);
+        assert!(spec.trace.is_none());
+    }
+}

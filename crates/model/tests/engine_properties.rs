@@ -2,11 +2,33 @@
 
 use local_graphs::{gen, Graph};
 use local_model::{
-    Action, Engine, GlobalParams, IdAssignment, Mode, NodeInit, NodeIo, NodeProgram, Protocol,
+    Action, Engine, ExecSpec, GlobalParams, IdAssignment, Mode, NodeInit, NodeIo, NodeProgram,
+    Protocol, Run, SimError,
 };
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+
+/// Chainable sugar over the single entry point, `Engine::execute`: the
+/// strict fault-free shape the pre-refactor `Engine::run` returned.
+trait Exec {
+    fn exec<P: Protocol + Sync>(
+        &self,
+        protocol: &P,
+    ) -> Result<Run<<P::Node as NodeProgram>::Output>, SimError>;
+}
+
+impl Exec for Engine<'_> {
+    fn exec<P: Protocol + Sync>(
+        &self,
+        protocol: &P,
+    ) -> Result<Run<<P::Node as NodeProgram>::Output>, SimError> {
+        // 100_000 is the engine's default round budget; only the error
+        // message reads it.
+        self.execute(&ExecSpec::default(), protocol)
+            .into_run(100_000)
+    }
+}
 
 /// A protocol mixing randomness, state, and staggered halting: each node
 /// accumulates a hash of everything it hears and halts after `id-or-random`
@@ -63,8 +85,8 @@ proptest! {
 
     #[test]
     fn randomized_runs_are_seed_deterministic(g in arb_graph(), seed in 0u64..100) {
-        let a = Engine::new(&g, Mode::randomized(seed)).run(&MixerProtocol).unwrap();
-        let b = Engine::new(&g, Mode::randomized(seed)).run(&MixerProtocol).unwrap();
+        let a = Engine::new(&g, Mode::randomized(seed)).exec(&MixerProtocol).unwrap();
+        let b = Engine::new(&g, Mode::randomized(seed)).exec(&MixerProtocol).unwrap();
         prop_assert_eq!(a.outputs, b.outputs);
         prop_assert_eq!(a.rounds, b.rounds);
         prop_assert_eq!(a.stats, b.stats);
@@ -72,14 +94,14 @@ proptest! {
 
     #[test]
     fn deterministic_runs_are_plain_deterministic(g in arb_graph()) {
-        let a = Engine::new(&g, Mode::deterministic()).run(&MixerProtocol).unwrap();
-        let b = Engine::new(&g, Mode::deterministic()).run(&MixerProtocol).unwrap();
+        let a = Engine::new(&g, Mode::deterministic()).exec(&MixerProtocol).unwrap();
+        let b = Engine::new(&g, Mode::deterministic()).exec(&MixerProtocol).unwrap();
         prop_assert_eq!(a.outputs, b.outputs);
     }
 
     #[test]
     fn halt_rounds_bounded_by_rounds(g in arb_graph(), seed in 0u64..50) {
-        let run = Engine::new(&g, Mode::randomized(seed)).run(&MixerProtocol).unwrap();
+        let run = Engine::new(&g, Mode::randomized(seed)).exec(&MixerProtocol).unwrap();
         let max = run.halt_rounds.iter().copied().max().unwrap_or(0);
         prop_assert_eq!(max, run.rounds);
         prop_assert!(run.stats.sweeps >= run.rounds);
@@ -95,7 +117,7 @@ proptest! {
     #[test]
     fn fault_free_messages_per_round_sums_to_messages_sent(g in arb_graph(), seed in 0u64..50) {
         for mode in [Mode::deterministic(), Mode::randomized(seed)] {
-            let run = Engine::new(&g, mode).run(&MixerProtocol).unwrap();
+            let run = Engine::new(&g, mode).exec(&MixerProtocol).unwrap();
             prop_assert_eq!(run.stats.messages_per_round.len() as u32, run.stats.sweeps);
             prop_assert_eq!(
                 run.stats.messages_per_round.iter().sum::<u64>(),
@@ -115,10 +137,10 @@ proptest! {
     #[test]
     fn claimed_params_do_not_change_topology_results(g in arb_graph()) {
         // Advertising a larger n must not alter a protocol that ignores n.
-        let a = Engine::new(&g, Mode::deterministic()).run(&MixerProtocol).unwrap();
+        let a = Engine::new(&g, Mode::deterministic()).exec(&MixerProtocol).unwrap();
         let b = Engine::new(&g, Mode::deterministic())
             .with_params(GlobalParams::from_graph(&g).with_claimed_n(1 << 40))
-            .run(&MixerProtocol)
+            .exec(&MixerProtocol)
             .unwrap();
         prop_assert_eq!(a.outputs, b.outputs);
     }
@@ -136,7 +158,7 @@ proptest! {
     fn arena_engine_matches_reference(g in arb_graph(), seed in 0u64..50) {
         let params = GlobalParams::from_graph(&g);
         for mode in [Mode::deterministic(), Mode::randomized(seed)] {
-            let fast = Engine::new(&g, mode.clone()).run(&MixerProtocol).unwrap();
+            let fast = Engine::new(&g, mode.clone()).exec(&MixerProtocol).unwrap();
             let slow = local_model::reference::run_reference(
                 &g, &mode, &MixerProtocol, &params, 100_000,
             )
@@ -173,7 +195,7 @@ fn node_streams_are_pairwise_distinct() {
     }
     let g = gen::cycle(64);
     let run = Engine::new(&g, Mode::randomized(5))
-        .run(&DrawProtocol)
+        .exec(&DrawProtocol)
         .unwrap();
     let set: std::collections::HashSet<_> = run.outputs.iter().collect();
     assert_eq!(set.len(), 64);
@@ -215,7 +237,7 @@ fn port_delivery_is_exact() {
     let mut rng = StdRng::seed_from_u64(77);
     let g = gen::gnp(30, 0.3, &mut rng);
     let run = Engine::new(&g, Mode::deterministic())
-        .run(&EchoProtocol)
+        .exec(&EchoProtocol)
         .unwrap();
     for (v, &ok) in run.outputs.iter().enumerate() {
         assert!(ok || g.degree(v) == 0, "vertex {v} missed a message");

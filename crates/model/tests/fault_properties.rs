@@ -12,12 +12,43 @@
 
 use local_graphs::{gen, Graph};
 use local_model::{
-    Action, Engine, FaultPlan, FaultSpec, GlobalParams, Mode, NodeInit, NodeIo, NodeProgram,
-    Protocol,
+    Action, Engine, ExecSpec, FaultPlan, FaultSpec, FaultyRun, GlobalParams, Mode, NodeInit,
+    NodeIo, NodeProgram, Protocol, Run, SimError,
 };
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+
+/// Chainable sugar over the single entry point, `Engine::execute`, matching
+/// the pre-refactor `run`/`run_faulty` shapes.
+trait Exec {
+    fn exec<P: Protocol + Sync>(
+        &self,
+        protocol: &P,
+    ) -> Result<Run<<P::Node as NodeProgram>::Output>, SimError>;
+    fn exec_faulty<P: Protocol + Sync>(
+        &self,
+        protocol: &P,
+        faults: &FaultPlan,
+    ) -> FaultyRun<<P::Node as NodeProgram>::Output>;
+}
+
+impl Exec for Engine<'_> {
+    fn exec<P: Protocol + Sync>(
+        &self,
+        protocol: &P,
+    ) -> Result<Run<<P::Node as NodeProgram>::Output>, SimError> {
+        self.execute(&ExecSpec::default(), protocol)
+            .into_run(100_000)
+    }
+    fn exec_faulty<P: Protocol + Sync>(
+        &self,
+        protocol: &P,
+        faults: &FaultPlan,
+    ) -> FaultyRun<<P::Node as NodeProgram>::Output> {
+        self.execute(&ExecSpec::default().with_faults(faults), protocol)
+    }
+}
 
 /// A fault-tolerant protocol mixing randomness, state, and staggered
 /// halting: accumulates a hash of everything heard, halts at a
@@ -80,8 +111,8 @@ proptest! {
         let trivial = FaultPlan::sample(&g, &FaultSpec::none(), seed);
         prop_assert!(trivial.is_trivial());
         for mode in [Mode::deterministic(), Mode::randomized(seed)] {
-            let clean = Engine::new(&g, mode.clone()).run(&MixerProtocol).unwrap();
-            let faulty = Engine::new(&g, mode.clone()).run_faulty(&MixerProtocol, &trivial);
+            let clean = Engine::new(&g, mode.clone()).exec(&MixerProtocol).unwrap();
+            let faulty = Engine::new(&g, mode.clone()).exec_faulty(&MixerProtocol, &trivial);
             prop_assert_eq!(faulty.halted(), g.n());
             prop_assert_eq!(faulty.crashed(), 0);
             prop_assert_eq!(faulty.cut(), 0);
@@ -122,11 +153,11 @@ proptest! {
         for mode in [Mode::deterministic(), Mode::randomized(seed)] {
             let sequential = Engine::new(&g, mode.clone())
                 .with_max_rounds(50)
-                .run_faulty(&MixerProtocol, &plan);
+                .exec_faulty(&MixerProtocol, &plan);
             let parallel = Engine::new(&g, mode.clone())
                 .with_max_rounds(50)
                 .with_par_threshold(1)
-                .run_faulty(&MixerProtocol, &plan);
+                .exec_faulty(&MixerProtocol, &plan);
             prop_assert_eq!(&sequential.outcomes, &parallel.outcomes);
             prop_assert_eq!(sequential.dropped, parallel.dropped);
             prop_assert_eq!(sequential.delayed, parallel.delayed);
@@ -137,7 +168,7 @@ proptest! {
             // reproduces it exactly.
             let again = Engine::new(&g, mode.clone())
                 .with_max_rounds(50)
-                .run_faulty(&MixerProtocol, &plan);
+                .exec_faulty(&MixerProtocol, &plan);
             prop_assert_eq!(&sequential.outcomes, &again.outcomes);
         }
     }
@@ -150,7 +181,7 @@ proptest! {
         let plan = FaultPlan::sample(&g, &spec, fault_seed);
         let run = Engine::new(&g, Mode::deterministic())
             .with_max_rounds(50)
-            .run_faulty(&MixerProtocol, &plan);
+            .exec_faulty(&MixerProtocol, &plan);
         for (v, outcome) in run.outcomes.iter().enumerate() {
             match plan.crash_schedule()[v] {
                 // Window 2 ⇒ crash rounds 0/1, always before the ≥2 horizon.
@@ -183,7 +214,7 @@ fn faulty_runs_see_claimed_params() {
     let params = GlobalParams::from_graph(&g).with_claimed_n(1 << 20);
     let run = Engine::new(&g, Mode::deterministic())
         .with_params(params)
-        .run_faulty(&ParamProtocol, &FaultPlan::none());
+        .exec_faulty(&ParamProtocol, &FaultPlan::none());
     assert!(run
         .outcomes
         .iter()

@@ -9,7 +9,9 @@
 //! Run with `cargo run --example custom_protocol`.
 
 use exp_separation::graphs::gen;
-use exp_separation::model::{Action, Engine, Mode, NodeInit, NodeIo, NodeProgram, Protocol};
+use exp_separation::model::{
+    Action, Engine, ExecSpec, Mode, NodeInit, NodeIo, NodeProgram, Protocol,
+};
 
 /// Each round, forward the largest (id, hops) pair heard so far.
 struct NearestPeak {
@@ -59,7 +61,8 @@ impl Protocol for NearestPeakProtocol {
 fn main() {
     let g = gen::cycle(24);
     let run = Engine::new(&g, Mode::deterministic())
-        .run(&NearestPeakProtocol { horizon: 3 })
+        .execute(&ExecSpec::default(), &NearestPeakProtocol { horizon: 3 })
+        .into_run(100_000)
         .expect("fixed-horizon protocol always halts");
 
     println!("cycle of 24, radius-3 nearest-peak distances:");

@@ -7,6 +7,7 @@
 use exp_separation::algorithms::mis::luby::Luby;
 use exp_separation::algorithms::sync::{run_sync, SyncOutcome};
 use exp_separation::graphs::gen;
+use exp_separation::model::ExecSpec;
 use exp_separation::model::Mode;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -34,8 +35,14 @@ fn main() {
 
     for seed in [1u64, 2, 3] {
         // Run through the sync layer to keep per-round decision counts.
-        let out: SyncOutcome<bool> =
-            run_sync(&g, Mode::randomized(seed), &Luby::new(), 10_000).expect("Luby finishes");
+        let out: SyncOutcome<bool> = run_sync(
+            &g,
+            Mode::randomized(seed),
+            &Luby::new(),
+            &ExecSpec::rounds(10_000),
+        )
+        .strict()
+        .expect("Luby finishes");
         // Reconstruct a decided-per-round curve from the outputs' rounds is
         // not exposed; approximate with the engine's live curve by rerunning
         // at engine level is equivalent — here we show rounds and set size.
@@ -78,7 +85,8 @@ fn main() {
     }
     let g = gen::cycle(2000);
     let run = Engine::new(&g, Mode::deterministic())
-        .run(&WaveProtocol)
+        .execute(&ExecSpec::default(), &WaveProtocol)
+        .into_run(100_000)
         .expect("finishes");
     let max = run.stats.live_per_round.iter().copied().max().unwrap_or(1);
     println!(
