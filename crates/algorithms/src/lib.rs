@@ -32,6 +32,4 @@ pub use repair::{
     recover, recover_traced, Finish, Finisher, GreedyColoringFinisher, LubyRestartFinisher,
     Recovery, RecoveryPolicy, SinklessFinisher,
 };
-#[allow(deprecated)]
-pub use sync::FaultySyncOutcome;
 pub use sync::{run_sync, SyncAlgorithm, SyncCtx, SyncOutcome, SyncRun, SyncStep};

@@ -237,10 +237,6 @@ pub struct SyncRun<O> {
     round_limit: u32,
 }
 
-/// Pre-refactor name of [`SyncRun`].
-#[deprecated(note = "renamed to `SyncRun`")]
-pub type FaultySyncOutcome<O> = SyncRun<O>;
-
 impl<O> SyncRun<O> {
     /// Per-vertex outputs for the vertices that decided, `None` elsewhere —
     /// the shape partial LCL validation consumes.
@@ -459,6 +455,7 @@ pub fn run_sync<A: SyncAlgorithm>(
         budget: Some(engine_budget),
         faults: spec.faults,
         trace: spec.trace,
+        shards: spec.shards,
     };
     let engine = Engine::new(g, mode.clone());
     let run = match spec.faults {

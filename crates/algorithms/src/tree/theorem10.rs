@@ -327,6 +327,36 @@ pub fn theorem10_phase1_faulty_traced(
     faults: &FaultPlan,
     trace: Option<&Trace>,
 ) -> SyncRun<Option<usize>> {
+    phase1_faulty_inner(g, delta, seed, config, faults, trace, None)
+}
+
+/// [`theorem10_phase1_faulty`] with an explicit engine shard count — the
+/// result is bit-identical for every `shards`, so this is purely a
+/// performance/test knob (the shard-invariance suite runs it at 1/2/8).
+///
+/// # Panics
+///
+/// Same preconditions as [`theorem10_phase1`], plus `shards > 0`.
+pub fn theorem10_phase1_faulty_sharded(
+    g: &Graph,
+    delta: usize,
+    seed: u64,
+    config: Theorem10Config,
+    faults: &FaultPlan,
+    shards: usize,
+) -> SyncRun<Option<usize>> {
+    phase1_faulty_inner(g, delta, seed, config, faults, None, Some(shards))
+}
+
+fn phase1_faulty_inner(
+    g: &Graph,
+    delta: usize,
+    seed: u64,
+    config: Theorem10Config,
+    faults: &FaultPlan,
+    trace: Option<&Trace>,
+    shards: Option<usize>,
+) -> SyncRun<Option<usize>> {
     assert!(
         delta >= 9,
         "Theorem 10 needs Δ ≥ 9 (reserved √Δ palette ≥ 3)"
@@ -346,15 +376,14 @@ pub fn theorem10_phase1_faulty_traced(
         margin: config.palette_margin,
     };
     let _span = trace.map(|t| t.span("t10_color_bidding"));
-    run_sync(
-        g,
-        Mode::randomized(seed),
-        &phase1,
-        &ExecSpec::default()
-            .with_budget(Budget::rounds(budget))
-            .with_faults(faults)
-            .traced(trace),
-    )
+    let mut spec = ExecSpec::default()
+        .with_budget(Budget::rounds(budget))
+        .with_faults(faults)
+        .traced(trace);
+    if let Some(k) = shards {
+        spec = spec.with_shards(k);
+    }
+    run_sync(g, Mode::randomized(seed), &phase1, &spec)
 }
 
 /// Run the full Theorem-10 algorithm: Δ-color a forest with max degree ≤ Δ.

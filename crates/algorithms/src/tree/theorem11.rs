@@ -32,7 +32,7 @@ use crate::sync::{run_sync, SyncAlgorithm, SyncCtx, SyncStep};
 use crate::tree::theorem10::{bad_component_stats, ShatterStats};
 use local_graphs::Graph;
 use local_lcl::Labeling;
-use local_model::{derived_rng, ExecSpec, Mode, NodeInit, SimError};
+use local_model::{derived_rng, ExecSpec, GlobalParams, Mode, NodeInit, SimError};
 use rand::Rng;
 
 // ------------------------------------------------- one peeling iteration
@@ -226,11 +226,14 @@ pub fn theorem11_color(g: &Graph, delta: usize, seed: u64) -> Result<Theorem11Ou
         colors: ids,
         group_of: all_groups.clone(),
     };
+    let horizon = GlobalParams::from_graph(g)
+        .round_horizon(200)
+        .expect("materialized graphs fit the u32 round counter");
     let linial_out = run_sync(
         g,
         Mode::deterministic(),
         &linial,
-        &ExecSpec::rounds(n as u32 + 200),
+        &ExecSpec::rounds(horizon),
     )
     .strict()?;
     let reduce = GroupReduce {

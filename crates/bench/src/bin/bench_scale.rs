@@ -1,0 +1,205 @@
+//! Large-`n` scaling probe for the round engine — the data source behind
+//! `BENCH_engine.json` and the CI large-n smoke job.
+//!
+//! Unlike the criterion benches (statistical, small `n`), this binary does a
+//! handful of timed single runs at 1M–100M vertices and reports a JSON row:
+//! mean wall-clock per run, peak RSS (`VmHWM`), and an order-independent
+//! fingerprint of the outputs so shard-count invariance is checkable from the
+//! command line:
+//!
+//! ```text
+//! bench_scale --workload flood --n 1000000 --repeat 5
+//! bench_scale --workload luby  --n 10000000 --d 3 --shards 4
+//! ```
+
+use local_algorithms::mis::{luby_mis, luby_mis_with_shards, MisOutcome};
+use local_graphs::{gen, Graph};
+use local_model::{Action, Engine, ExecSpec, Mode, NodeInit, NodeIo, NodeProgram, Protocol};
+use std::time::Instant;
+
+/// Floods the max for a fixed horizon, then halts — pure engine overhead
+/// (same protocol as the criterion `engine_flood_20_rounds` group).
+struct Flood {
+    horizon: u32,
+    value: u64,
+}
+impl NodeProgram for Flood {
+    type Msg = u64;
+    type Output = u64;
+    fn step(&mut self, round: u32, io: &mut NodeIo<'_, u64>) -> Action<u64> {
+        for (_, &m) in io.received() {
+            self.value = self.value.max(m);
+        }
+        if round >= self.horizon {
+            Action::Halt(self.value)
+        } else {
+            io.broadcast(self.value);
+            Action::Continue
+        }
+    }
+}
+struct FloodProtocol {
+    horizon: u32,
+}
+impl Protocol for FloodProtocol {
+    type Node = Flood;
+    fn create(&self, init: &NodeInit<'_>) -> Flood {
+        Flood {
+            horizon: self.horizon,
+            value: init.id.unwrap_or(0),
+        }
+    }
+}
+
+/// FNV-1a over a `u64` stream — stable output fingerprint.
+struct Fnv(u64);
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+    fn write(&mut self, x: u64) {
+        for b in x.to_le_bytes() {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+}
+
+/// Peak resident set size of this process in bytes (`VmHWM` from
+/// `/proc/self/status`); 0 where unavailable.
+fn peak_rss_bytes() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            let kb: u64 = rest
+                .trim()
+                .trim_end_matches("kB")
+                .trim()
+                .parse()
+                .unwrap_or(0);
+            return kb * 1024;
+        }
+    }
+    0
+}
+
+fn arg(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+struct RunResult {
+    rounds: u32,
+    fingerprint: u64,
+}
+
+fn run_flood(g: &Graph, shards: usize, horizon: u32) -> RunResult {
+    let mut engine = Engine::new(g, Mode::deterministic());
+    if shards > 0 {
+        engine = engine.with_shards(shards);
+    }
+    let run = engine
+        .execute(&ExecSpec::default(), &FloodProtocol { horizon })
+        .into_run(100_000)
+        .expect("flood halts at its horizon");
+    let mut h = Fnv::new();
+    for &o in &run.outputs {
+        h.write(o);
+    }
+    RunResult {
+        rounds: run.rounds,
+        fingerprint: h.0,
+    }
+}
+
+fn run_luby(g: &Graph, shards: usize, seed: u64) -> RunResult {
+    let out = luby_mis_sharded(g, seed, shards);
+    let mut h = Fnv::new();
+    for &b in &out.in_set {
+        h.write(u64::from(b));
+    }
+    RunResult {
+        rounds: out.rounds,
+        fingerprint: h.0,
+    }
+}
+
+/// `luby_mis` with an optional shard-count override (0 = engine default).
+fn luby_mis_sharded(g: &Graph, seed: u64, shards: usize) -> MisOutcome {
+    if shards == 0 {
+        luby_mis(g, seed, 10_000).expect("luby halts")
+    } else {
+        luby_mis_with_shards(g, seed, 10_000, shards).expect("luby halts")
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let workload = arg(&args, "--workload").unwrap_or_else(|| "flood".into());
+    let n: usize = arg(&args, "--n")
+        .unwrap_or_else(|| "1000000".into())
+        .parse()
+        .expect("--n takes a vertex count");
+    let d: usize = arg(&args, "--d")
+        .unwrap_or_else(|| "3".into())
+        .parse()
+        .expect("--d takes a degree");
+    let repeat: usize = arg(&args, "--repeat")
+        .unwrap_or_else(|| "3".into())
+        .parse()
+        .expect("--repeat takes a count");
+    let shards: usize = arg(&args, "--shards")
+        .unwrap_or_else(|| "0".into())
+        .parse()
+        .expect("--shards takes a count (0 = auto)");
+    let horizon: u32 = arg(&args, "--rounds")
+        .unwrap_or_else(|| "20".into())
+        .parse()
+        .expect("--rounds takes a horizon");
+    let seed: u64 = arg(&args, "--seed")
+        .unwrap_or_else(|| "1".into())
+        .parse()
+        .expect("--seed takes a u64");
+
+    let gen_start = Instant::now();
+    let g = match workload.as_str() {
+        "flood" => gen::stream::cycle(n),
+        "luby" => gen::stream::circulant(n, d).expect("feasible (n, d)"),
+        other => panic!("unknown workload {other:?} (expected flood|luby)"),
+    };
+    let gen_ns = gen_start.elapsed().as_nanos();
+
+    let mut times = Vec::with_capacity(repeat);
+    let mut result = None;
+    for _ in 0..repeat {
+        let t = Instant::now();
+        let r = match workload.as_str() {
+            "flood" => run_flood(&g, shards, horizon),
+            _ => run_luby(&g, shards, seed),
+        };
+        times.push(t.elapsed().as_nanos() as u64);
+        if let Some(prev) = &result {
+            let prev: &RunResult = prev;
+            assert_eq!(
+                prev.fingerprint, r.fingerprint,
+                "same seed must reproduce bit-identically"
+            );
+        }
+        result = Some(r);
+    }
+    let result = result.expect("at least one run");
+    let mean_ns = times.iter().sum::<u64>() / times.len() as u64;
+    let min_ns = *times.iter().min().expect("non-empty");
+    let threads = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+
+    println!(
+        "{{\"workload\":\"{workload}\",\"n\":{n},\"d\":{d},\"shards\":{shards},\"threads\":{threads},\"repeat\":{repeat},\"gen_ns\":{gen_ns},\"mean_ns\":{mean_ns},\"min_ns\":{min_ns},\"rounds\":{rounds},\"fingerprint\":\"{fp:016x}\",\"peak_rss_bytes\":{rss}}}",
+        rounds = result.rounds,
+        fp = result.fingerprint,
+        rss = peak_rss_bytes(),
+    );
+}

@@ -21,7 +21,7 @@ use local_algorithms::color::ColoringOutcome;
 use local_algorithms::sync::{run_sync, SyncAlgorithm, SyncCtx, SyncStep};
 use local_graphs::{analysis, Graph};
 use local_lcl::Labeling;
-use local_model::{ExecSpec, IdAssignment, Mode, NodeInit};
+use local_model::{ExecSpec, GlobalParams, IdAssignment, Mode, NodeInit};
 use serde::{Deserialize, Serialize};
 
 /// Short IDs distinct within a prescribed distance, with the LOCAL round
@@ -152,14 +152,12 @@ pub fn greedy_color_by_ids(g: &Graph, ids: Vec<u64>, palette: usize) -> Coloring
         g.max_degree()
     );
     let algo = GreedyByIds::new(ids, palette);
-    let out = run_sync(
-        g,
-        Mode::deterministic(),
-        &algo,
-        &ExecSpec::rounds(g.n() as u32 + 8),
-    )
-    .strict()
-    .expect("greedy-by-id terminates within n rounds when IDs are locally distinct");
+    let horizon = GlobalParams::from_graph(g)
+        .round_horizon(8)
+        .expect("materialized graphs fit the u32 round counter");
+    let out = run_sync(g, Mode::deterministic(), &algo, &ExecSpec::rounds(horizon))
+        .strict()
+        .expect("greedy-by-id terminates within n rounds when IDs are locally distinct");
     ColoringOutcome {
         labels: Labeling::new(out.outputs),
         palette,

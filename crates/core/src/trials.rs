@@ -251,56 +251,6 @@ impl TrialPlan {
         }
     }
 
-    /// [`execute`](Self::execute) under the default spec, dropping the
-    /// always-`Ok` wrappers.
-    #[deprecated(note = "use `execute` with `TrialSpec::new()`")]
-    pub fn run<R, F>(&self, f: F) -> Vec<R>
-    where
-        R: Send,
-        F: Fn(Trial) -> R + Sync,
-    {
-        self.execute(TrialSpec::new(), |t, _| f(t))
-            .into_iter()
-            .map(TrialOutcome::into_ok)
-            .collect()
-    }
-
-    /// [`execute`](Self::execute) with only the trace capability.
-    #[deprecated(note = "use `execute` with `TrialSpec::new().traced(..)`")]
-    pub fn run_with_trace<R, F, S>(&self, sink: Option<&mut S>, f: F) -> Vec<R>
-    where
-        R: Send,
-        F: Fn(Trial, Option<&Trace>) -> R + Sync,
-        S: TraceSink,
-    {
-        self.execute(
-            TrialSpec::new().traced(sink.map(|s| s as &mut dyn TraceSink)),
-            f,
-        )
-        .into_iter()
-        .map(TrialOutcome::into_ok)
-        .collect()
-    }
-
-    /// [`execute`](Self::execute) with trace capability and base offset.
-    #[deprecated(note = "use `execute` with `TrialSpec::new().traced(..).trace_base(..)`")]
-    pub fn run_with_trace_from<R, F, S>(&self, sink: Option<&mut S>, base: u64, f: F) -> Vec<R>
-    where
-        R: Send,
-        F: Fn(Trial, Option<&Trace>) -> R + Sync,
-        S: TraceSink,
-    {
-        self.execute(
-            TrialSpec::new()
-                .traced(sink.map(|s| s as &mut dyn TraceSink))
-                .trace_base(base),
-            f,
-        )
-        .into_iter()
-        .map(TrialOutcome::into_ok)
-        .collect()
-    }
-
     /// [`execute`](Self::execute), then average `value` over the trials.
     ///
     /// An empty plan has a mean of `0.0` (never `NaN`).
@@ -317,33 +267,6 @@ impl TrialPlan {
             .map(TrialOutcome::into_ok)
             .sum();
         total / self.trials as f64
-    }
-
-    /// [`execute`](Self::execute) with only panic isolation.
-    #[deprecated(note = "use `execute` with `TrialSpec::new().isolated()`")]
-    pub fn run_isolated<R, F>(&self, f: F) -> Vec<TrialOutcome<R>>
-    where
-        R: Send,
-        F: Fn(Trial) -> R + Sync,
-    {
-        self.execute(TrialSpec::new().isolated(), |t, _| f(t))
-    }
-
-    /// [`execute`](Self::execute) with isolation and checkpoint/resume.
-    #[deprecated(note = "use `execute` with `TrialSpec::new().isolated().checkpointed(..)`")]
-    pub fn run_isolated_checkpointed<R, F>(
-        &self,
-        checkpoint: Option<(&crate::checkpoint::Checkpoint, &str)>,
-        f: F,
-    ) -> Vec<TrialOutcome<R>>
-    where
-        R: Serialize + Deserialize + Send,
-        F: Fn(Trial) -> R + Sync,
-    {
-        self.execute(
-            TrialSpec::new().isolated().checkpointed(checkpoint),
-            |t, _| f(t),
-        )
     }
 }
 

@@ -1,7 +1,7 @@
 //! Incremental construction of [`Graph`] values with validation.
 
 use crate::error::GraphError;
-use crate::graph::{EdgeId, Graph, Neighbor, NodeId};
+use crate::graph::{assemble_csr, EdgeId, Graph, NodeId};
 use std::collections::HashSet;
 
 /// Builder for [`Graph`]: collects edges, rejects self-loops and duplicates,
@@ -80,22 +80,8 @@ impl GraphBuilder {
     /// Finish construction. Ports are numbered in edge-insertion order at
     /// each endpoint.
     pub fn build(self) -> Graph {
-        let mut adj: Vec<Vec<Neighbor>> = vec![Vec::new(); self.n];
-        for (e, &(u, v)) in self.edges.iter().enumerate() {
-            let pu = adj[u].len();
-            let pv = adj[v].len();
-            adj[u].push(Neighbor {
-                node: v,
-                back_port: pv,
-                edge: e,
-            });
-            adj[v].push(Neighbor {
-                node: u,
-                back_port: pu,
-                edge: e,
-            });
-        }
-        Graph::from_parts(adj, self.edges)
+        let (offsets, adj, max_degree) = assemble_csr(self.n, || self.edges.iter().copied());
+        Graph::from_csr(offsets, adj, self.edges, max_degree)
     }
 
     /// Build from an explicit edge list over `0..n`.
@@ -112,6 +98,19 @@ impl GraphBuilder {
             b.add_edge(u, v)?;
         }
         Ok(b.build())
+    }
+
+    /// Build straight from a pre-validated, endpoint-normalized edge list
+    /// (`u < v`, no duplicates, all `< n`) without re-checking it — the fast
+    /// path for generators whose own invariants already guarantee validity
+    /// (e.g. the switch-chain sampler, whose edge set is maintained exactly).
+    ///
+    /// Port numbering is identical to [`GraphBuilder::from_edges`] on the
+    /// same list. Invalid input is only caught by debug assertions.
+    pub(crate) fn from_edges_unchecked(n: usize, edges: Vec<(NodeId, NodeId)>) -> Graph {
+        debug_assert!(edges.iter().all(|&(u, v)| u < v && v < n));
+        let (offsets, adj, max_degree) = assemble_csr(n, || edges.iter().copied());
+        Graph::from_csr(offsets, adj, edges, max_degree)
     }
 }
 

@@ -1,0 +1,198 @@
+//! A flat open-addressing membership set for undirected edges.
+//!
+//! The switch-chain sampler needs only three operations — `contains`,
+//! `insert`, `remove` — over keys that are pairs of `u32`-sized vertex
+//! indices. `std::collections::HashSet<(usize, usize)>` serves, but at
+//! `n ≥ 1M` its SipHash and per-entry overhead make *generation* dominate
+//! engine time and roughly double peak memory. This set packs each edge into
+//! one `u64`, hashes with `splitmix64`, probes linearly, and deletes with
+//! backward-shift (no tombstones), so the table stays a single flat `Vec<u64>`
+//! at a fixed ≤ 50% load factor.
+
+/// Sentinel for an empty slot; never a valid key because a packed edge has
+/// `u < v`, so the all-ones pattern (`u = v = u32::MAX`) cannot occur.
+const EMPTY: u64 = u64::MAX;
+
+/// SplitMix64 finalizer — a full-avalanche multiply-xor-shift mix.
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Membership set of normalized undirected edges `{u, v}`, `u ≠ v`.
+#[derive(Debug, Clone)]
+pub(crate) struct EdgeSet {
+    slots: Vec<u64>,
+    mask: usize,
+    len: usize,
+}
+
+impl EdgeSet {
+    /// A set sized for `capacity` edges at ≤ 50% load (table length is the
+    /// next power of two ≥ `2 · capacity`).
+    pub(crate) fn with_capacity(capacity: usize) -> Self {
+        let table = (2 * capacity).next_power_of_two().max(8);
+        EdgeSet {
+            slots: vec![EMPTY; table],
+            mask: table - 1,
+            len: 0,
+        }
+    }
+
+    /// Pack `{u, v}` into the canonical `u64` key.
+    ///
+    /// # Panics
+    ///
+    /// Debug-panics on self-loops or endpoints ≥ 2³² − 1.
+    fn key(u: usize, v: usize) -> u64 {
+        debug_assert!(u != v, "self-loop {{{u}, {u}}}");
+        debug_assert!(u.max(v) < u32::MAX as usize, "vertex index exceeds u32");
+        let (a, b) = (u.min(v) as u64, u.max(v) as u64);
+        (a << 32) | b
+    }
+
+    /// Number of edges in the set.
+    #[cfg(test)]
+    pub(crate) fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether `{u, v}` is in the set.
+    pub(crate) fn contains(&self, u: usize, v: usize) -> bool {
+        let key = Self::key(u, v);
+        let mut i = (mix(key) as usize) & self.mask;
+        loop {
+            match self.slots[i] {
+                k if k == key => return true,
+                EMPTY => return false,
+                _ => i = (i + 1) & self.mask,
+            }
+        }
+    }
+
+    /// Insert `{u, v}`; returns `false` if it was already present.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the insert would push the table past half full — callers
+    /// size the set for their maximum edge count up front, so growth is a
+    /// logic error, not an expected path.
+    pub(crate) fn insert(&mut self, u: usize, v: usize) -> bool {
+        let key = Self::key(u, v);
+        let mut i = (mix(key) as usize) & self.mask;
+        loop {
+            match self.slots[i] {
+                k if k == key => return false,
+                EMPTY => {
+                    assert!(
+                        2 * (self.len + 1) <= self.slots.len(),
+                        "EdgeSet over capacity"
+                    );
+                    self.slots[i] = key;
+                    self.len += 1;
+                    return true;
+                }
+                _ => i = (i + 1) & self.mask,
+            }
+        }
+    }
+
+    /// Remove `{u, v}`; returns `false` if it was absent.
+    ///
+    /// Uses backward-shift deletion: subsequent probe-chain entries slide
+    /// back over the hole so lookups never need tombstones.
+    pub(crate) fn remove(&mut self, u: usize, v: usize) -> bool {
+        let key = Self::key(u, v);
+        let mut i = (mix(key) as usize) & self.mask;
+        loop {
+            match self.slots[i] {
+                k if k == key => break,
+                EMPTY => return false,
+                _ => i = (i + 1) & self.mask,
+            }
+        }
+        // Backward shift: walk the cluster after `i`; any entry whose ideal
+        // slot is at or before the hole (cyclically) moves into it.
+        let mut hole = i;
+        let mut j = (i + 1) & self.mask;
+        while self.slots[j] != EMPTY {
+            let ideal = (mix(self.slots[j]) as usize) & self.mask;
+            // Distance from ideal to j vs from hole to j (cyclic): if the
+            // entry's ideal position does not lie strictly inside
+            // (hole, j], it may legally occupy the hole.
+            let dist_ideal = (j.wrapping_sub(ideal)) & self.mask;
+            let dist_hole = (j.wrapping_sub(hole)) & self.mask;
+            if dist_ideal >= dist_hole {
+                self.slots[hole] = self.slots[j];
+                hole = j;
+            }
+            j = (j + 1) & self.mask;
+        }
+        self.slots[hole] = EMPTY;
+        self.len -= 1;
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use std::collections::HashSet;
+
+    #[test]
+    fn basic_ops() {
+        let mut s = EdgeSet::with_capacity(4);
+        assert!(s.insert(3, 1));
+        assert!(!s.insert(1, 3), "normalized duplicate");
+        assert!(s.contains(1, 3));
+        assert!(s.contains(3, 1));
+        assert!(!s.contains(1, 2));
+        assert!(s.remove(3, 1));
+        assert!(!s.remove(3, 1));
+        assert!(!s.contains(1, 3));
+        assert_eq!(s.len(), 0);
+    }
+
+    #[test]
+    fn differential_against_std_hashset() {
+        // Randomized insert/remove/contains mirror: the EdgeSet must agree
+        // with HashSet on every operation, across enough ops to exercise
+        // collision clusters and backward shifts.
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut ours = EdgeSet::with_capacity(600);
+        let mut reference: HashSet<(usize, usize)> = HashSet::new();
+        for _ in 0..20_000 {
+            let u = rng.gen_range(0..40usize);
+            let mut v = rng.gen_range(0..40usize);
+            if u == v {
+                v = (v + 1) % 40;
+            }
+            let k = (u.min(v), u.max(v));
+            match rng.gen_range(0..3) {
+                0 => assert_eq!(ours.insert(u, v), reference.insert(k)),
+                1 => assert_eq!(ours.remove(u, v), reference.remove(&k)),
+                _ => assert_eq!(ours.contains(u, v), reference.contains(&k)),
+            }
+            assert_eq!(ours.len(), reference.len());
+        }
+        for &(u, v) in &reference {
+            assert!(ours.contains(u, v));
+        }
+    }
+
+    #[test]
+    fn fills_to_declared_capacity() {
+        let mut s = EdgeSet::with_capacity(100);
+        for v in 1..=100 {
+            assert!(s.insert(0, v));
+        }
+        assert_eq!(s.len(), 100);
+        for v in 1..=100 {
+            assert!(s.contains(0, v));
+        }
+    }
+}

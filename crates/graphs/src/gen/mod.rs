@@ -6,10 +6,15 @@
 //! Random families (take an explicit RNG for reproducibility):
 //! [`random_tree`], [`random_tree_max_degree`], [`gnp`], [`random_regular`],
 //! [`random_bipartite_regular`], [`high_girth_regular`].
+//!
+//! Streaming constructors for huge instances (no materialized edge list):
+//! [`stream::cycle`], [`stream::circulant`], [`stream::complete_dary_tree`].
 
 mod classic;
+mod edge_set;
 mod high_girth;
 mod regular;
+pub mod stream;
 mod trees;
 
 pub use classic::{complete, complete_bipartite, cycle, gnp, grid, path, star};

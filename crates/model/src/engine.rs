@@ -1,6 +1,5 @@
 //! The synchronous round engine.
 
-use crate::error::SimError;
 use crate::faults::{FaultPlan, FaultyRun, Outcome};
 use crate::ids::IdAssignment;
 use crate::node::{Action, NodeInit, NodeIo, NodeProgram, Protocol};
@@ -116,12 +115,99 @@ pub(crate) fn splitmix64(mut x: u64) -> u64 {
     x ^ (x >> 31)
 }
 
-struct Slot<N, O> {
-    state: N,
-    rng: Option<ChaCha8Rng>,
-    id: Option<u64>,
-    done: Option<(u32, O)>,
-    sent: u64,
+/// Per-vertex engine state, struct-of-arrays.
+///
+/// Earlier revisions kept one slot struct per vertex with an inline
+/// `Option<ChaCha8Rng>`; in DetLOCAL mode that padded every vertex with a
+/// dead ~136-byte RNG payload the sweep still had to stride over. Columns
+/// keep each access pattern dense — the sweep walks `states`/`done`/`sent`
+/// sequentially, and `rngs` is *empty* (not `None`-filled) when the mode is
+/// deterministic — and they split cleanly into per-shard sub-slices.
+struct NodeColumns<N: NodeProgram> {
+    states: Vec<N>,
+    /// Per-node RNG streams; empty in DetLOCAL mode.
+    rngs: Vec<ChaCha8Rng>,
+    done: Vec<Option<(u32, N::Output)>>,
+    sent: Vec<u64>,
+}
+
+/// Vertex boundaries cutting `0..n` into `k` shards balanced by *directed
+/// edge slots* (each shard owns ≈ `total/k` outbox slots), so a hub-heavy
+/// prefix doesn't starve the other shards. Falls back to an even vertex
+/// split on edgeless graphs. Boundaries are monotone; empty shards are legal.
+fn shard_bounds(offsets: &[usize], k: usize) -> Vec<usize> {
+    let n = offsets.len() - 1;
+    let total = offsets[n];
+    let mut bounds = Vec::with_capacity(k + 1);
+    bounds.push(0usize);
+    for s in 1..k {
+        let b = if total == 0 {
+            n * s / k
+        } else {
+            // First vertex whose starting slot reaches the s-th slot quantile.
+            offsets.partition_point(|&o| o < total * s / k)
+        };
+        bounds.push(b.max(bounds[s - 1]).min(n));
+    }
+    bounds.push(n);
+    bounds
+}
+
+/// Step the vertices of `range` for one sweep. All column and arena slices
+/// are shard-relative: columns start at `range.start`, message arenas at
+/// `offsets[range.start]`. `crashed` is global (and empty when the plan has
+/// no crashes). Returns `(messages sent, nodes halted)` for the chunk.
+///
+/// This is the one stepping routine — the serial path calls it over `0..n`
+/// and each shard worker over its own cut, so the two orders are
+/// bit-identical by construction: every node reads only its own inbox
+/// segment and pre-seeded RNG stream, and writes only its own column cells
+/// and outbox segment.
+#[allow(clippy::too_many_arguments)]
+fn step_span<N: NodeProgram>(
+    round: u32,
+    range: std::ops::Range<usize>,
+    offsets: &[usize],
+    params: &GlobalParams,
+    ids: Option<&[u64]>,
+    crashed: &[bool],
+    has_crashes: bool,
+    states: &mut [N],
+    rngs: &mut [ChaCha8Rng],
+    done: &mut [Option<(u32, N::Output)>],
+    sent: &mut [u64],
+    inbox: &[Option<N::Msg>],
+    out: &mut [Option<N::Msg>],
+) -> (u64, u64) {
+    let base = offsets[range.start];
+    let randomized = !rngs.is_empty();
+    let mut sent_total = 0u64;
+    let mut halts = 0u64;
+    for (i, v) in range.enumerate() {
+        if done[i].is_some() || (has_crashes && crashed[v]) {
+            continue;
+        }
+        let (o0, o1) = (offsets[v] - base, offsets[v + 1] - base);
+        let action = {
+            let mut io = NodeIo {
+                degree: o1 - o0,
+                id: ids.map(|ids| ids[v]),
+                params,
+                inbox: &inbox[o0..o1],
+                outbox: &mut out[o0..o1],
+                rng: if randomized { Some(&mut rngs[i]) } else { None },
+            };
+            states[i].step(round, &mut io)
+        };
+        let sent_now = out[o0..o1].iter().filter(|m| m.is_some()).count() as u64;
+        sent[i] += sent_now;
+        sent_total += sent_now;
+        if let Action::Halt(o) = action {
+            done[i] = Some((round, o));
+            halts += 1;
+        }
+    }
+    (sent_total, halts)
 }
 
 /// The CSR-indexed double-buffered message plane.
@@ -136,9 +222,10 @@ struct Slot<N, O> {
 /// and `q` the back port) occupy partner slots, delivery is the fixed
 /// permutation `inbox[i] = out[partner[i]].take()` — the `take` doubles as
 /// the clear of the out buffer, so after setup the plane never allocates.
-struct MessagePlane<M> {
-    /// CSR offsets: vertex `v` owns slots `offsets[v] .. offsets[v + 1]`.
-    offsets: Vec<usize>,
+struct MessagePlane<'g, M> {
+    /// CSR offsets, borrowed straight from the graph's adjacency: vertex `v`
+    /// owns slots `offsets[v] .. offsets[v + 1]`.
+    offsets: &'g [usize],
     /// `partner[offsets[v] + p] = offsets[u] + q` for the reverse edge.
     partner: Vec<usize>,
     /// Receive buffer: after delivery, `v`'s inbox by port.
@@ -150,14 +237,10 @@ struct MessagePlane<M> {
     delayed: Vec<Option<M>>,
 }
 
-impl<M> MessagePlane<M> {
-    fn new(g: &Graph) -> Self {
+impl<'g, M> MessagePlane<'g, M> {
+    fn new(g: &'g Graph) -> Self {
         let n = g.n();
-        let mut offsets = Vec::with_capacity(n + 1);
-        offsets.push(0usize);
-        for v in 0..n {
-            offsets.push(offsets[v] + g.degree(v));
-        }
+        let offsets = g.csr_offsets();
         let total = offsets[n];
         let mut partner = vec![0usize; total];
         for v in 0..n {
@@ -231,10 +314,12 @@ impl<M> MessagePlane<M> {
 /// Runs a [`Protocol`] on a graph under a [`Mode`], counting rounds.
 ///
 /// Node steps within a sweep are independent (they read only the previous
-/// exchange's messages), so the engine steps disjoint contiguous vertex
-/// ranges on scoped threads for large graphs; results are bit-identical to
-/// sequential execution because every node's randomness comes from its own
-/// pre-seeded stream and nodes write only their own outbox segment.
+/// exchange's messages), so the engine cuts the vertex set into contiguous
+/// shards stepped on scoped threads for large graphs; results are
+/// bit-identical to sequential execution — and invariant across shard
+/// counts — because every node's randomness comes from its own pre-seeded
+/// stream, nodes write only their own column cells and outbox segment, and
+/// each inbox slot has exactly one writer per exchange.
 #[derive(Debug)]
 pub struct Engine<'g> {
     graph: &'g Graph,
@@ -242,6 +327,7 @@ pub struct Engine<'g> {
     params: GlobalParams,
     budget: Budget,
     par_threshold: usize,
+    shards: Option<std::num::NonZeroUsize>,
     trace: Option<&'g Trace>,
 }
 
@@ -259,8 +345,22 @@ impl<'g> Engine<'g> {
             params: GlobalParams::from_graph(graph),
             budget: Budget::rounds(100_000),
             par_threshold: PAR_THRESHOLD,
+            shards: None,
             trace: None,
         }
+    }
+
+    /// Sweep with exactly `shards` vertex shards (clamped to `n`), even below
+    /// the automatic parallelism threshold. Output is bit-identical across
+    /// shard counts; a spec-level [`ExecSpec::with_shards`] wins over this.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero.
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards =
+            Some(std::num::NonZeroUsize::new(shards).expect("shard count must be nonzero"));
+        self
     }
 
     /// Attach a trace buffer: the run emits `run_start`, one `round` event
@@ -314,34 +414,6 @@ impl<'g> Engine<'g> {
         self.graph
     }
 
-    /// Run `protocol` to completion, fault-free and untraced, under the
-    /// engine's own budget.
-    ///
-    /// # Errors
-    ///
-    /// [`SimError::RoundLimitExceeded`] if some node never halts.
-    #[deprecated(note = "use `execute` with `ExecSpec::default()` and `FaultyRun::into_run`")]
-    pub fn run<P>(&self, protocol: &P) -> Result<Run<<P::Node as NodeProgram>::Output>, SimError>
-    where
-        P: Protocol + Sync,
-    {
-        self.execute(&ExecSpec::default(), protocol)
-            .into_run(self.budget.max_rounds)
-    }
-
-    /// Run `protocol` under a [`FaultPlan`].
-    #[deprecated(note = "use `execute` with `ExecSpec::default().with_faults(..)`")]
-    pub fn run_faulty<P>(
-        &self,
-        protocol: &P,
-        faults: &FaultPlan,
-    ) -> FaultyRun<<P::Node as NodeProgram>::Output>
-    where
-        P: Protocol + Sync,
-    {
-        self.execute(&ExecSpec::default().with_faults(faults), protocol)
-    }
-
     /// Run `protocol` as described by `spec` — the single execution path.
     ///
     /// Every node gets an [`Outcome`](crate::faults::Outcome) — `Halted`
@@ -381,6 +453,7 @@ impl<'g> Engine<'g> {
             spec.budget.as_ref().unwrap_or(&self.budget),
             faults,
             spec.trace.or(self.trace),
+            spec.shards,
         )
     }
 
@@ -391,6 +464,7 @@ impl<'g> Engine<'g> {
         budget: &Budget,
         faults: &FaultPlan,
         trace: Option<&Trace>,
+        spec_shards: Option<std::num::NonZeroUsize>,
     ) -> FaultyRun<<P::Node as NodeProgram>::Output>
     where
         P: Protocol + Sync,
@@ -406,32 +480,68 @@ impl<'g> Engine<'g> {
             Mode::Deterministic { .. } => None,
         };
 
-        type NodeSlot<P> =
-            Slot<<P as Protocol>::Node, <<P as Protocol>::Node as NodeProgram>::Output>;
-        let mut slots: Vec<NodeSlot<P>> = (0..n)
-            .map(|v| {
-                let id = ids.as_ref().map(|ids| ids[v]);
-                let init = NodeInit {
-                    node: v,
-                    degree: g.degree(v),
-                    id,
-                    params,
-                };
-                Slot {
-                    state: protocol.create(&init),
-                    rng: seed.map(|s| {
-                        ChaCha8Rng::seed_from_u64(splitmix64(s ^ splitmix64(v as u64 + 1)))
-                    }),
-                    id,
-                    done: None,
-                    sent: 0,
-                }
-            })
-            .collect();
+        let mut states: Vec<P::Node> = Vec::with_capacity(n);
+        let mut rngs: Vec<ChaCha8Rng> = Vec::with_capacity(if seed.is_some() { n } else { 0 });
+        for v in 0..n {
+            let id = ids.as_ref().map(|ids| ids[v]);
+            let init = NodeInit {
+                node: v,
+                degree: g.degree(v),
+                id,
+                params,
+            };
+            states.push(protocol.create(&init));
+            if let Some(s) = seed {
+                rngs.push(ChaCha8Rng::seed_from_u64(splitmix64(
+                    s ^ splitmix64(v as u64 + 1),
+                )));
+            }
+        }
+        let mut cols: NodeColumns<P::Node> = NodeColumns {
+            states,
+            rngs,
+            done: (0..n).map(|_| None).collect(),
+            sent: vec![0u64; n],
+        };
+
+        // An explicitly requested shard count (spec beats engine builder)
+        // forces the sharded path even on tiny graphs — the invariance tests
+        // rely on that; otherwise shard only past the parallelism threshold.
+        let shards = match spec_shards.or(self.shards) {
+            Some(k) => k.get().min(n.max(1)),
+            None if n >= self.par_threshold => std::thread::available_parallelism()
+                .map_or(1, std::num::NonZeroUsize::get)
+                .min(n),
+            None => 1,
+        };
+        let bounds = if shards > 1 {
+            shard_bounds(g.csr_offsets(), shards)
+        } else {
+            Vec::new()
+        };
+        // Without drops or delays every shard can deliver its own inbox as
+        // soon as its own stepping is done (it only takes from its own out
+        // segment), exporting cross-shard messages for the serial drain.
+        let eager = !faults.has_drops() && !faults.has_delays();
 
         let has_crashes = faults.has_crashes();
         let mut crashed: Vec<bool> = vec![false; if has_crashes { n } else { 0 }];
-        let mut plane: MessagePlane<<P::Node as NodeProgram>::Msg> = MessagePlane::new(g);
+        // Crash schedule, flattened and sorted by (round, vertex): the sweep
+        // loop consumes it with a cursor instead of re-scanning every vertex
+        // each round. Same order as the old per-vertex scan.
+        let crash_events: Vec<(u32, usize)> = if has_crashes {
+            let mut ev: Vec<(u32, usize)> = (0..n)
+                .filter_map(|v| faults.crash_round(v).map(|r| (r, v)))
+                .collect();
+            ev.sort_unstable();
+            ev
+        } else {
+            Vec::new()
+        };
+        let mut crash_cursor = 0usize;
+        let mut halted_total = 0usize;
+        let mut crashed_total = 0usize;
+        let mut plane: MessagePlane<'_, <P::Node as NodeProgram>::Msg> = MessagePlane::new(g);
         let mut sweep: u32 = 0;
         let mut breach: Option<Breach> = None;
         let mut dropped = 0u64;
@@ -458,19 +568,19 @@ impl<'g> Engine<'g> {
             // Crash-stop: nodes scheduled for this sweep fall silent before
             // stepping (their earlier messages were already delivered).
             let mut crashes_now = 0u64;
-            if has_crashes {
-                for (v, c) in crashed.iter_mut().enumerate() {
-                    if !*c && slots[v].done.is_none() && faults.crash_round(v) == Some(sweep) {
-                        *c = true;
-                        crashes_now += 1;
-                    }
+            while crash_cursor < crash_events.len() && crash_events[crash_cursor].0 == sweep {
+                let v = crash_events[crash_cursor].1;
+                crash_cursor += 1;
+                if cols.done[v].is_none() {
+                    crashed[v] = true;
+                    crashed_total += 1;
+                    crashes_now += 1;
                 }
             }
-            let live = slots
-                .iter()
-                .enumerate()
-                .filter(|(v, s)| s.done.is_none() && !(has_crashes && crashed[*v]))
-                .count();
+            // Halted and crashed node sets are disjoint (a node only crashes
+            // while not yet done), so liveness is pure counter arithmetic —
+            // no per-sweep O(n) scans.
+            let live = n - halted_total - crashed_total;
             if live == 0 {
                 break;
             }
@@ -486,98 +596,136 @@ impl<'g> Engine<'g> {
             }
             live_per_round.push(live);
             let round = sweep;
-            let offsets = &plane.offsets;
-            let inbox = &plane.inbox;
-            let crashed_ref = &crashed;
+            let offsets = plane.offsets;
+            let ids_ref = ids.as_deref();
+            let crashed_ref = &crashed[..];
 
-            // Step one node against its inbox/outbox arena segments,
-            // returning how many messages it sent. The segments are relative
-            // to an arena that may be a thread's sub-slice, hence the
-            // explicit outbox argument.
-            let step_node = |v: usize,
-                             slot: &mut NodeSlot<P>,
-                             outbox: &mut [Option<<P::Node as NodeProgram>::Msg>]|
-             -> u64 {
-                if slot.done.is_some() || (has_crashes && crashed_ref[v]) {
-                    return 0;
-                }
-                let action = {
-                    let mut io = NodeIo {
-                        degree: outbox.len(),
-                        id: slot.id,
-                        params,
-                        inbox: &inbox[offsets[v]..offsets[v + 1]],
-                        outbox,
-                        rng: slot.rng.as_mut(),
-                    };
-                    slot.state.step(round, &mut io)
-                };
-                let sent_now = outbox.iter().filter(|m| m.is_some()).count() as u64;
-                slot.sent += sent_now;
-                if let Action::Halt(o) = action {
-                    slot.done = Some((round, o));
-                }
-                sent_now
-            };
-
-            let sweep_sent: u64 = if n >= self.par_threshold {
-                // Disjoint contiguous vertex ranges, each paired with the
-                // matching arena segment; no node touches another's slots,
-                // so results are bit-identical to the sequential order.
-                let threads = std::thread::available_parallelism()
-                    .map_or(1, std::num::NonZeroUsize::get)
-                    .min(n);
-                let per = n.div_ceil(threads);
-                std::thread::scope(|scope| {
-                    let mut handles = Vec::with_capacity(threads);
-                    let mut slots_rest = slots.as_mut_slice();
-                    let mut out_rest = plane.out.as_mut_slice();
-                    let mut start = 0usize;
-                    while start < n {
-                        let end = (start + per).min(n);
-                        let (slot_chunk, sr) = slots_rest.split_at_mut(end - start);
-                        slots_rest = sr;
-                        let (out_chunk, or) = out_rest.split_at_mut(offsets[end] - offsets[start]);
-                        out_rest = or;
-                        let step_node = &step_node;
-                        handles.push(scope.spawn(move || {
-                            let base = offsets[start];
-                            let mut sent = 0u64;
-                            for (i, slot) in slot_chunk.iter_mut().enumerate() {
-                                let v = start + i;
-                                sent += step_node(
-                                    v,
-                                    slot,
-                                    &mut out_chunk[offsets[v] - base..offsets[v + 1] - base],
-                                );
-                            }
-                            sent
-                        }));
-                        start = end;
-                    }
-                    handles
-                        .into_iter()
-                        .map(|h| match h.join() {
-                            Ok(sent) => sent,
-                            Err(payload) => std::panic::resume_unwind(payload),
-                        })
-                        .sum()
-                })
+            let mut delivered_eagerly = false;
+            let (sweep_sent, sweep_halts) = if shards == 1 {
+                step_span(
+                    round,
+                    0..n,
+                    offsets,
+                    params,
+                    ids_ref,
+                    crashed_ref,
+                    has_crashes,
+                    &mut cols.states,
+                    &mut cols.rngs,
+                    &mut cols.done,
+                    &mut cols.sent,
+                    &plane.inbox,
+                    &mut plane.out,
+                )
             } else {
-                let mut sent = 0u64;
-                for (v, slot) in slots.iter_mut().enumerate() {
-                    sent += step_node(v, slot, &mut plane.out[offsets[v]..offsets[v + 1]]);
+                // Each shard steps its own vertex cut against its own column
+                // and arena sub-slices; when `eager`, it then delivers its
+                // own inbox (taking only from its own out segment) and
+                // exports cross-shard messages. Every inbox slot has exactly
+                // one writer per phase, so the result is bit-identical to the
+                // serial order regardless of shard count or thread timing.
+                let partner = &plane.partner[..];
+                let randomized = !cols.rngs.is_empty();
+                let (sent, halts, xfers) = std::thread::scope(|scope| {
+                    let mut handles = Vec::with_capacity(shards);
+                    let mut states_rest = cols.states.as_mut_slice();
+                    let mut rngs_rest = cols.rngs.as_mut_slice();
+                    let mut done_rest = cols.done.as_mut_slice();
+                    let mut sent_rest = cols.sent.as_mut_slice();
+                    let mut out_rest = plane.out.as_mut_slice();
+                    let mut inbox_rest = plane.inbox.as_mut_slice();
+                    for s in 0..shards {
+                        let (start, end) = (bounds[s], bounds[s + 1]);
+                        let len = end - start;
+                        let (states_chunk, r) = states_rest.split_at_mut(len);
+                        states_rest = r;
+                        let (rngs_chunk, r) =
+                            rngs_rest.split_at_mut(if randomized { len } else { 0 });
+                        rngs_rest = r;
+                        let (done_chunk, r) = done_rest.split_at_mut(len);
+                        done_rest = r;
+                        let (sent_chunk, r) = sent_rest.split_at_mut(len);
+                        sent_rest = r;
+                        let slots_len = offsets[end] - offsets[start];
+                        let (out_chunk, r) = out_rest.split_at_mut(slots_len);
+                        out_rest = r;
+                        let (inbox_chunk, r) = inbox_rest.split_at_mut(slots_len);
+                        inbox_rest = r;
+                        handles.push(scope.spawn(move || {
+                            let (base, end_off) = (offsets[start], offsets[end]);
+                            let (sent, halts) = step_span(
+                                round,
+                                start..end,
+                                offsets,
+                                params,
+                                ids_ref,
+                                crashed_ref,
+                                has_crashes,
+                                states_chunk,
+                                rngs_chunk,
+                                done_chunk,
+                                sent_chunk,
+                                inbox_chunk,
+                                out_chunk,
+                            );
+                            let mut xfer: Vec<(usize, <P::Node as NodeProgram>::Msg)> = Vec::new();
+                            if eager {
+                                // Intra-shard delivery: this shard's out
+                                // segment is final once its stepping is done,
+                                // so no barrier is needed before taking from
+                                // it. Foreign-partner slots get `None` now
+                                // and their message (if any) in the drain.
+                                for li in 0..inbox_chunk.len() {
+                                    let j = partner[base + li];
+                                    inbox_chunk[li] = if j >= base && j < end_off {
+                                        out_chunk[j - base].take()
+                                    } else {
+                                        None
+                                    };
+                                }
+                                // Whatever survives in `out` has a foreign
+                                // partner (delivery is an involution): export
+                                // it with its destination inbox slot.
+                                for lj in 0..out_chunk.len() {
+                                    if let Some(m) = out_chunk[lj].take() {
+                                        xfer.push((partner[base + lj], m));
+                                    }
+                                }
+                            }
+                            (sent, halts, xfer)
+                        }));
+                    }
+                    let mut sent = 0u64;
+                    let mut halts = 0u64;
+                    let mut xfers = Vec::with_capacity(shards);
+                    for h in handles {
+                        match h.join() {
+                            Ok((s, hl, x)) => {
+                                sent += s;
+                                halts += hl;
+                                xfers.push(x);
+                            }
+                            Err(payload) => std::panic::resume_unwind(payload),
+                        }
+                    }
+                    (sent, halts, xfers)
+                });
+                if eager {
+                    // Serial drain of cross-shard messages: each inbox slot
+                    // is written at most once (its unique sender), so order
+                    // does not matter and the result is deterministic.
+                    for (i, m) in xfers.into_iter().flatten() {
+                        plane.inbox[i] = Some(m);
+                    }
+                    delivered_eagerly = true;
                 }
-                sent
+                (sent, halts)
             };
 
             messages_per_round.push(sweep_sent);
             messages_total += sweep_sent;
-            let still = slots
-                .iter()
-                .enumerate()
-                .filter(|(v, s)| s.done.is_none() && !(has_crashes && crashed[*v]))
-                .count();
+            halted_total += sweep_halts as usize;
+            let still = live - sweep_halts as usize;
             sweep += 1;
             let dropped_before = dropped;
             let delayed_before = delayed;
@@ -589,7 +737,7 @@ impl<'g> Engine<'g> {
                         message_breach = true;
                     }
                 }
-                if !message_breach {
+                if !message_breach && !delivered_eagerly {
                     plane.deliver_faulty(faults, round, &mut dropped, &mut delayed);
                 }
             }
@@ -598,7 +746,7 @@ impl<'g> Engine<'g> {
                     round,
                     live: live as u64,
                     messages: sweep_sent,
-                    halts: (live - still) as u64,
+                    halts: sweep_halts,
                     crashes: crashes_now,
                     dropped: dropped - dropped_before,
                     delayed: delayed - delayed_before,
@@ -615,12 +763,12 @@ impl<'g> Engine<'g> {
         let mut messages_sent = 0u64;
         let mut messages_hist = trace.map(|_| PowHistogram::new());
         let mut halt_hist = trace.map(|_| PowHistogram::new());
-        for (v, slot) in slots.into_iter().enumerate() {
-            messages_sent += slot.sent;
+        for (v, (done, sent)) in cols.done.into_iter().zip(cols.sent).enumerate() {
+            messages_sent += sent;
             if let Some(h) = messages_hist.as_mut() {
-                h.record(slot.sent);
+                h.record(sent);
             }
-            outcomes.push(match slot.done {
+            outcomes.push(match done {
                 Some((r, o)) => {
                     rounds = rounds.max(r);
                     if let Some(h) = halt_hist.as_mut() {
@@ -692,6 +840,7 @@ pub fn derived_u64(seed: u64, tag: u64) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::error::SimError;
     use crate::faults::FaultSpec;
     use local_graphs::gen;
 
@@ -725,26 +874,6 @@ mod tests {
         ) -> FaultyRun<<P::Node as NodeProgram>::Output> {
             self.execute(&ExecSpec::default().with_faults(faults), protocol)
         }
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_shims_delegate_to_execute() {
-        let g = gen::cycle(9);
-        let engine = Engine::new(&g, Mode::randomized(5));
-        let via_shim = engine.run(&RandProtocol).unwrap();
-        let via_spec = engine
-            .execute(&ExecSpec::default(), &RandProtocol)
-            .into_run(100_000)
-            .unwrap();
-        assert_eq!(via_shim.outputs, via_spec.outputs);
-        assert_eq!(via_shim.stats, via_spec.stats);
-
-        let plan = FaultPlan::from_crash_schedule(vec![Some(0); 9]);
-        let a = engine.run_faulty(&RandProtocol, &plan);
-        let b = engine.execute(&ExecSpec::default().with_faults(&plan), &RandProtocol);
-        assert_eq!(a.crashed(), b.crashed());
-        assert_eq!(a.stats, b.stats);
     }
 
     #[test]
@@ -803,7 +932,10 @@ mod tests {
         fn create(&self, init: &NodeInit<'_>) -> FloodMin {
             FloodMin {
                 current: init.id.expect("DetLOCAL test"),
-                horizon: init.params.n as u32,
+                horizon: init
+                    .params
+                    .round_horizon(0)
+                    .expect("test n fits the round counter"),
             }
         }
     }
@@ -1375,6 +1507,136 @@ mod tests {
                 assert_eq!(breach.as_deref(), Some("round budget"));
             }
             other => panic!("expected run_end, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sharded_run_is_bit_identical_to_serial() {
+        let g = gen::cycle(30);
+        let base = Engine::new(&g, Mode::deterministic())
+            .exec(&FloodMinProtocol)
+            .unwrap();
+        for k in [1usize, 2, 3, 8, 64] {
+            let run = Engine::new(&g, Mode::deterministic())
+                .execute(&ExecSpec::default().with_shards(k), &FloodMinProtocol)
+                .into_run(100_000)
+                .unwrap();
+            assert_eq!(run.outputs, base.outputs, "shards = {k}");
+            assert_eq!(run.halt_rounds, base.halt_rounds, "shards = {k}");
+            assert_eq!(run.stats, base.stats, "shards = {k}");
+        }
+    }
+
+    #[test]
+    fn sharded_randomized_run_matches_serial() {
+        // Per-node RNG streams are pre-seeded, so sharding must not perturb
+        // a RandLOCAL run either.
+        let g = gen::cycle(33);
+        let base = Engine::new(&g, Mode::randomized(9))
+            .exec(&RandProtocol)
+            .unwrap();
+        for k in [2usize, 5, 8] {
+            let run = Engine::new(&g, Mode::randomized(9))
+                .execute(&ExecSpec::default().with_shards(k), &RandProtocol)
+                .into_run(100_000)
+                .unwrap();
+            assert_eq!(run.outputs, base.outputs, "shards = {k}");
+            assert_eq!(run.stats, base.stats, "shards = {k}");
+        }
+    }
+
+    #[test]
+    fn engine_level_shards_builder_matches_serial() {
+        let g = gen::star(17);
+        let base = Engine::new(&g, Mode::deterministic())
+            .exec(&FloodMinProtocol)
+            .unwrap();
+        let run = Engine::new(&g, Mode::deterministic())
+            .with_shards(4)
+            .exec(&FloodMinProtocol)
+            .unwrap();
+        assert_eq!(run.outputs, base.outputs);
+        assert_eq!(run.stats, base.stats);
+    }
+
+    #[test]
+    fn sharded_faulty_run_matches_serial() {
+        // Crashes keep the eager path; drops/delays force the serial
+        // fault-delivery path under sharded stepping. Both must agree with
+        // the fully serial engine in every observable.
+        let g = gen::cycle(20);
+        let mut crash = vec![None; 20];
+        crash[3] = Some(0);
+        crash[11] = Some(2);
+        let crash_plan = FaultPlan::from_crash_schedule(crash);
+        let lossy_plan =
+            FaultPlan::sample(&g, &FaultSpec::none().with_drop(0.3).with_delay(0.3), 77);
+        for plan in [&crash_plan, &lossy_plan] {
+            let base = Engine::new(&g, Mode::deterministic()).exec_faulty(&FloodMinProtocol, plan);
+            for k in [2usize, 7] {
+                let run = Engine::new(&g, Mode::deterministic()).execute(
+                    &ExecSpec::default().with_faults(plan).with_shards(k),
+                    &FloodMinProtocol,
+                );
+                assert_eq!(run.rounds, base.rounds, "shards = {k}");
+                assert_eq!(run.stats, base.stats, "shards = {k}");
+                assert_eq!(run.dropped, base.dropped, "shards = {k}");
+                assert_eq!(run.delayed, base.delayed, "shards = {k}");
+                assert_eq!(run.breach, base.breach, "shards = {k}");
+                assert_eq!(run.halted(), base.halted(), "shards = {k}");
+                assert_eq!(run.crashed(), base.crashed(), "shards = {k}");
+                assert_eq!(
+                    run.partial_outputs(),
+                    base.partial_outputs(),
+                    "shards = {k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_message_budget_breach_matches_serial() {
+        let g = gen::cycle(6);
+        let spec = ExecSpec::default().with_budget(Budget::rounds(100).with_max_messages(10));
+        let base = Engine::new(&g, Mode::deterministic())
+            .execute(&spec, &FloodMinProtocol)
+            .into_run(100)
+            .unwrap_err();
+        let sharded = Engine::new(&g, Mode::deterministic())
+            .execute(&spec.with_shards(3), &FloodMinProtocol)
+            .into_run(100)
+            .unwrap_err();
+        assert_eq!(base, sharded);
+    }
+
+    #[test]
+    fn trace_is_identical_across_shard_counts() {
+        let seq = Trace::new(0);
+        let g = gen::cycle(40);
+        Engine::new(&g, Mode::deterministic())
+            .with_trace(&seq)
+            .exec(&FloodMinProtocol)
+            .unwrap();
+        let sharded = Trace::new(0);
+        Engine::new(&g, Mode::deterministic())
+            .with_shards(6)
+            .with_trace(&sharded)
+            .exec(&FloodMinProtocol)
+            .unwrap();
+        assert_eq!(seq.into_events(), sharded.into_events());
+    }
+
+    #[test]
+    fn shard_bounds_are_monotone_and_cover() {
+        let g = gen::star(9); // skewed degrees: hub has 8 slots
+        for k in [1usize, 2, 3, 8, 9] {
+            let b = shard_bounds(g.csr_offsets(), k);
+            assert_eq!(b.len(), k + 1);
+            assert_eq!(b[0], 0);
+            assert_eq!(b[k], 9);
+            for w in b.windows(2) {
+                assert!(w[0] <= w[1]);
+            }
         }
     }
 

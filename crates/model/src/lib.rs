@@ -75,6 +75,6 @@ pub use error::SimError;
 pub use faults::{FaultPlan, FaultSpec, FaultyRun, Outcome};
 pub use ids::{id_bits, IdAssignment};
 pub use node::{Action, NodeInit, NodeIo, NodeProgram, Protocol};
-pub use params::GlobalParams;
+pub use params::{GlobalParams, HorizonOverflow};
 pub use recover::{faulty_core, Breach, Budget, RecoveryError, Residue};
 pub use spec::ExecSpec;

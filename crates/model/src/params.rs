@@ -36,7 +36,50 @@ impl GlobalParams {
     pub fn log2_n(&self) -> u32 {
         crate::ids::id_bits(self.n)
     }
+
+    /// The advertised `n` plus `slack` as a `u32` round horizon — the shape
+    /// `O(n)`-round protocols feed to a round budget.
+    ///
+    /// The engine counts rounds in `u32`; a claimed `n` of 5 billion used to
+    /// truncate silently through `as u32` and wrap the horizon to a small
+    /// number. This is the loud replacement.
+    ///
+    /// # Errors
+    ///
+    /// [`HorizonOverflow`] if `n + slack` exceeds `u32::MAX`.
+    pub fn round_horizon(&self, slack: u32) -> Result<u32, HorizonOverflow> {
+        u32::try_from(self.n)
+            .ok()
+            .and_then(|n| n.checked_add(slack))
+            .ok_or(HorizonOverflow { n: self.n, slack })
+    }
 }
+
+/// An advertised vertex count does not fit the engine's `u32` round counter.
+///
+/// Returned by [`GlobalParams::round_horizon`] when a protocol whose round
+/// budget scales with `n` is pointed at a claimed `n` (plus slack) above
+/// `u32::MAX` — the spec is rejected up front instead of silently truncating
+/// the horizon.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HorizonOverflow {
+    /// The advertised vertex count.
+    pub n: u64,
+    /// The additive round slack requested on top of `n`.
+    pub slack: u32,
+}
+
+impl std::fmt::Display for HorizonOverflow {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "round horizon n + slack = {} + {} exceeds the u32 round counter",
+            self.n, self.slack
+        )
+    }
+}
+
+impl std::error::Error for HorizonOverflow {}
 
 #[cfg(test)]
 mod tests {
@@ -67,5 +110,38 @@ mod tests {
         assert_eq!(p.log2_n(), 3);
         let p = GlobalParams { n: 9, delta: 0 };
         assert_eq!(p.log2_n(), 4);
+    }
+
+    #[test]
+    fn round_horizon_fits_small_n() {
+        let p = GlobalParams { n: 1000, delta: 3 };
+        assert_eq!(p.round_horizon(8), Ok(1008));
+        assert_eq!(p.round_horizon(0), Ok(1000));
+    }
+
+    #[test]
+    fn round_horizon_rejects_a_5b_vertex_spec() {
+        // The regression this pins: `5_000_000_000 as u32` silently wraps to
+        // 705_032_704; the typed path must fail loudly instead.
+        let p = GlobalParams {
+            n: 5_000_000_000,
+            delta: 3,
+        };
+        let err = p.round_horizon(8).unwrap_err();
+        assert_eq!(
+            err,
+            HorizonOverflow {
+                n: 5_000_000_000,
+                slack: 8
+            }
+        );
+        assert!(err.to_string().contains("5000000000"));
+
+        // Overflow via the slack on an n that itself fits.
+        let p = GlobalParams {
+            n: u64::from(u32::MAX),
+            delta: 3,
+        };
+        assert!(p.round_horizon(1).is_err());
     }
 }

@@ -17,6 +17,7 @@ use crate::faults::FaultPlan;
 use crate::params::GlobalParams;
 use crate::recover::Budget;
 use local_obs::Trace;
+use std::num::NonZeroUsize;
 
 /// How one simulation executes: fault plan, watchdog budget, trace
 /// attachment, and advertised global parameters.
@@ -39,6 +40,11 @@ pub struct ExecSpec<'a> {
     /// Trace buffer receiving run lifecycle events; `None` traces nothing
     /// (the disabled path is a single branch per sweep).
     pub trace: Option<&'a Trace>,
+    /// Number of vertex shards the engine sweeps in parallel; `None` lets the
+    /// engine choose (its own setting, or an automatic choice by graph size).
+    /// Output is bit-identical across shard counts, so this is purely a
+    /// performance/test knob.
+    pub shards: Option<NonZeroUsize>,
 }
 
 impl<'a> ExecSpec<'a> {
@@ -92,6 +98,18 @@ impl<'a> ExecSpec<'a> {
         self.trace = trace;
         self
     }
+
+    /// Sweep with exactly `shards` vertex shards (clamped to `n` by the
+    /// engine). Forces the sharded path even below the engine's automatic
+    /// parallelism threshold, which the shard-invariance tests rely on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero.
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = Some(NonZeroUsize::new(shards).expect("shard count must be nonzero"));
+        self
+    }
 }
 
 #[cfg(test)]
@@ -105,6 +123,19 @@ mod tests {
         assert!(spec.budget.is_none());
         assert!(spec.faults.is_none());
         assert!(spec.trace.is_none());
+        assert!(spec.shards.is_none());
+    }
+
+    #[test]
+    fn with_shards_sets_count() {
+        let spec = ExecSpec::default().with_shards(4);
+        assert_eq!(spec.shards.map(NonZeroUsize::get), Some(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn with_shards_rejects_zero() {
+        let _ = ExecSpec::default().with_shards(0);
     }
 
     #[test]
