@@ -31,7 +31,9 @@ use crate::sync::run_sync;
 use local_graphs::Graph;
 use local_lcl::problems::Orientation;
 use local_lcl::{check_complete, check_partial, Labeling, LclProblem};
-use local_model::{derived_u64, Breach, Budget, ExecSpec, FaultPlan, Mode, RecoveryError, Residue};
+use local_model::{
+    derived_u64, AttemptRecord, Breach, Budget, ExecSpec, FaultPlan, Mode, RecoveryError, Residue,
+};
 use local_obs::{EventData, Trace};
 use std::collections::VecDeque;
 
@@ -172,6 +174,132 @@ where
     P: LclProblem,
     F: Finisher<P>,
 {
+    drive(problem, g, partial, finisher, policy, trace).0
+}
+
+/// The graceful end of a failed recovery: a typed census of what survived
+/// plus the full escalation trail, instead of a bare [`RecoveryError`].
+///
+/// Adversarial trials consume this (via [`recover_report`]) so every fault
+/// plan produces a *scored* row — a plan that wrecks recovery outright is
+/// the most interesting one, not an error to discard. The census fields are
+/// [`check_partial`] over the input partial labeling (what stands when
+/// recovery gives up); `trail` is shared verbatim with
+/// [`RecoveryError::Exhausted`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct DegradedRun {
+    /// Total vertices in the graph.
+    pub n: usize,
+    /// Vertices still carrying a label in the surviving partial labeling.
+    pub labeled: usize,
+    /// Labeled vertices whose full radius-1 view was checkable.
+    pub checked: usize,
+    /// Checked vertices whose view satisfied the problem.
+    pub valid: usize,
+    /// Labeled vertices skipped because a neighbor is unlabeled.
+    pub skipped: usize,
+    /// Residual violations among the checked vertices.
+    pub violations: usize,
+    /// The per-attempt escalation history (one record per radius tried).
+    pub trail: Vec<AttemptRecord>,
+    /// The terminal error recovery gave up with.
+    pub error: RecoveryError,
+}
+
+impl DegradedRun {
+    /// Fraction of vertices with a *valid* surviving label, in `[0, 1]`.
+    pub fn surviving_fraction(&self) -> f64 {
+        if self.n == 0 {
+            1.0
+        } else {
+            self.valid as f64 / self.n as f64
+        }
+    }
+}
+
+// Hand-written because `AttemptRecord` and `RecoveryError` serialize by hand.
+impl serde::Serialize for DegradedRun {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Object(vec![
+            ("n".to_string(), self.n.to_value()),
+            ("labeled".to_string(), self.labeled.to_value()),
+            ("checked".to_string(), self.checked.to_value()),
+            ("valid".to_string(), self.valid.to_value()),
+            ("skipped".to_string(), self.skipped.to_value()),
+            ("violations".to_string(), self.violations.to_value()),
+            (
+                "surviving_fraction".to_string(),
+                self.surviving_fraction().to_value(),
+            ),
+            ("trail".to_string(), self.trail.to_value()),
+            ("error".to_string(), self.error.to_value()),
+        ])
+    }
+}
+
+/// [`recover_traced`] with graceful degradation: a failure comes back as a
+/// scored [`DegradedRun`] report (surviving census + attempt trail + the
+/// typed error) instead of a bare [`RecoveryError`], so callers that must
+/// always produce a row — the adversary search above all — never special-case
+/// the error path.
+///
+/// # Errors
+///
+/// Never fails in the `RecoveryError` sense; the `Err` arm *is* the report.
+///
+/// # Panics
+///
+/// Panics if `partial.len() != g.n()`.
+pub fn recover_report<P, F>(
+    problem: &P,
+    g: &Graph,
+    partial: &[Option<P::Label>],
+    finisher: &F,
+    policy: &RecoveryPolicy,
+    trace: Option<&Trace>,
+) -> Result<Recovery<P::Label>, Box<DegradedRun>>
+where
+    P: LclProblem,
+    F: Finisher<P>,
+{
+    let (result, trail) = drive(problem, g, partial, finisher, policy, trace);
+    match result {
+        Ok(rec) => Ok(rec),
+        Err(error) => {
+            let verdict = check_partial(problem, g, partial);
+            Err(Box::new(DegradedRun {
+                n: g.n(),
+                labeled: partial.iter().filter(|l| l.is_some()).count(),
+                checked: verdict.checked,
+                valid: verdict.valid,
+                skipped: verdict.skipped,
+                violations: verdict.violations.len(),
+                trail,
+                error,
+            }))
+        }
+    }
+}
+
+/// The escalation loop shared by [`recover_traced`] (which returns the bare
+/// result) and [`recover_report`] (which folds the trail into a
+/// [`DegradedRun`] on failure). Always returns the per-attempt trail, error
+/// or not.
+fn drive<P, F>(
+    problem: &P,
+    g: &Graph,
+    partial: &[Option<P::Label>],
+    finisher: &F,
+    policy: &RecoveryPolicy,
+    trace: Option<&Trace>,
+) -> (
+    Result<Recovery<P::Label>, RecoveryError>,
+    Vec<AttemptRecord>,
+)
+where
+    P: LclProblem,
+    F: Finisher<P>,
+{
     assert_eq!(partial.len(), g.n(), "labeling must cover every vertex");
     let _span = trace.map(|t| t.span("recover"));
     let verdict = check_partial(problem, g, partial);
@@ -194,14 +322,17 @@ where
             .iter()
             .map(|l| l.clone().expect("no holes when the core is empty"))
             .collect();
-        return Ok(Recovery {
-            labels,
-            attempts: 0,
-            radius: 0,
-            core_size: 0,
-            residue_size: 0,
-            extra_rounds: 0,
-        });
+        return (
+            Ok(Recovery {
+                labels,
+                attempts: 0,
+                radius: 0,
+                core_size: 0,
+                residue_size: 0,
+                extra_rounds: 0,
+            }),
+            Vec::new(),
+        );
     }
 
     let emit = |attempt: u32, core_size: usize, residue_size: usize, ok: bool, extra: u32| {
@@ -220,15 +351,59 @@ where
 
     let mut last_violations = verdict.violations.len();
     let mut last_infeasible: Option<RecoveryError> = None;
+    let mut trail: Vec<AttemptRecord> = Vec::new();
+    let record = |trail: &mut Vec<AttemptRecord>,
+                  attempt: u32,
+                  core_size: usize,
+                  residue_size: usize,
+                  violations: usize,
+                  breach: Option<local_model::Breach>,
+                  infeasible: Option<String>| {
+        trail.push(AttemptRecord {
+            attempt,
+            radius: attempt,
+            core_size,
+            residue_size,
+            violations,
+            breach,
+            infeasible,
+        });
+    };
     for attempt in 1..=policy.max_radius {
         let residue = Residue::extract(g, &core, attempt);
         match finisher.finish(g, &residue, partial, &policy.budget, attempt) {
             Err(err @ RecoveryError::Budget { .. }) => {
                 emit(attempt, core_size, residue.len(), false, 0);
-                return Err(err);
+                let breach = match err {
+                    RecoveryError::Budget { breach, .. } => Some(breach),
+                    _ => None,
+                };
+                record(
+                    &mut trail,
+                    attempt,
+                    core_size,
+                    residue.len(),
+                    0,
+                    breach,
+                    None,
+                );
+                return (Err(err), trail);
             }
             Err(err) => {
                 emit(attempt, core_size, residue.len(), false, 0);
+                let reason = match &err {
+                    RecoveryError::Infeasible { reason, .. } => Some(reason.clone()),
+                    _ => None,
+                };
+                record(
+                    &mut trail,
+                    attempt,
+                    core_size,
+                    residue.len(),
+                    0,
+                    None,
+                    reason,
+                );
                 last_infeasible = Some(err);
                 continue;
             }
@@ -255,15 +430,27 @@ where
                     spliced.violations.is_empty(),
                     finish.rounds,
                 );
+                record(
+                    &mut trail,
+                    attempt,
+                    core_size,
+                    residue.len(),
+                    spliced.violations.len(),
+                    None,
+                    None,
+                );
                 if spliced.violations.is_empty() {
-                    return Ok(Recovery {
-                        labels,
-                        attempts: attempt,
-                        radius: attempt,
-                        core_size,
-                        residue_size: residue.len(),
-                        extra_rounds: finish.rounds,
-                    });
+                    return (
+                        Ok(Recovery {
+                            labels,
+                            attempts: attempt,
+                            radius: attempt,
+                            core_size,
+                            residue_size: residue.len(),
+                            extra_rounds: finish.rounds,
+                        }),
+                        trail,
+                    );
                 }
                 // Shattering-style escalation: a defect the splice could not
                 // clear — including one the finisher's own relabeling pushed
@@ -281,11 +468,13 @@ where
             }
         }
     }
-    Err(last_infeasible.unwrap_or(RecoveryError::Exhausted {
+    let err = last_infeasible.unwrap_or(RecoveryError::Exhausted {
         attempts: policy.max_radius,
         max_radius: policy.max_radius,
         violations: last_violations,
-    }))
+        trail: trail.clone(),
+    });
+    (Err(err), trail)
 }
 
 fn infeasible(attempt: u32, reason: impl Into<String>) -> RecoveryError {
@@ -1034,6 +1223,119 @@ mod tests {
                 ..
             }
         ));
+        // Satellite contract: exhaustion carries the full per-attempt trail.
+        let RecoveryError::Exhausted { trail, .. } = err else {
+            unreachable!()
+        };
+        assert_eq!(trail.len(), 3);
+        for (i, rec) in trail.iter().enumerate() {
+            assert_eq!(rec.attempt, i as u32 + 1);
+            assert_eq!(rec.radius, i as u32 + 1);
+            assert!(rec.violations > 0, "every splice stayed monochrome");
+            assert_eq!(rec.breach, None);
+            assert_eq!(rec.infeasible, None);
+        }
+        // The whole cycle is core by attempt 2 (violations absorbed).
+        assert!(trail[1].core_size >= trail[0].core_size);
+
+        // The graceful path shares the identical trail and censuses the
+        // surviving labeling (all holes here: nothing survives).
+        let report = recover_report(
+            &VertexColoring::new(3),
+            &g,
+            &partial,
+            &Hopeless,
+            &RecoveryPolicy::default(),
+            None,
+        )
+        .unwrap_err();
+        assert_eq!(report.trail, trail);
+        assert_eq!(report.n, 6);
+        assert_eq!(report.labeled, 0);
+        assert_eq!(report.checked, 0);
+        assert_eq!(report.valid, 0);
+        assert_eq!(report.violations, 0);
+        assert_eq!(report.surviving_fraction(), 0.0);
+        assert!(matches!(report.error, RecoveryError::Exhausted { .. }));
+    }
+
+    #[test]
+    fn recover_report_passes_successes_through() {
+        let g = gen::path(7);
+        let mut partial: Vec<Option<usize>> = (0..7).map(|v| Some(v % 2)).collect();
+        partial[3] = None;
+        let rec = recover_report(
+            &VertexColoring::new(2),
+            &g,
+            &partial,
+            &GreedyColoringFinisher { palette: 2 },
+            &RecoveryPolicy::default(),
+            None,
+        )
+        .unwrap();
+        assert_eq!(rec.attempts, 1);
+        assert_fully_valid(&VertexColoring::new(2), &g, &rec.labels);
+    }
+
+    #[test]
+    fn recover_report_census_counts_survivors() {
+        // Sinkless on a path is hopeless, but the frozen survivors census
+        // must still be taken: freeze a valid orientation on 0..2, hole the
+        // rest. (Vertex 2's neighbor 3 is unlabeled, so 2 is skipped, 0 and
+        // 1 check; vertex 1 points at 2 so both are valid.)
+        let g = gen::path(6);
+        let mut partial: Vec<Option<Orientation>> = vec![None; 6];
+        partial[0] = Some(Orientation(vec![true]));
+        partial[1] = Some(Orientation(vec![false, true]));
+        partial[2] = Some(Orientation(vec![false, true]));
+        let report = recover_report(
+            &SinklessOrientation::new(2),
+            &g,
+            &partial,
+            &SinklessFinisher,
+            &RecoveryPolicy::default(),
+            None,
+        )
+        .unwrap_err();
+        assert_eq!(report.n, 6);
+        assert_eq!(report.labeled, 3);
+        assert_eq!(report.checked + report.skipped, report.n);
+        assert!(report.checked <= report.labeled);
+        assert!(report.valid <= report.checked);
+        assert!(!report.trail.is_empty());
+        assert!(matches!(report.error, RecoveryError::Infeasible { .. }));
+        let infeasible = report
+            .trail
+            .iter()
+            .filter(|r| r.infeasible.is_some())
+            .count();
+        assert_eq!(infeasible, report.trail.len());
+        // The report serializes flat, with the error kind tagged.
+        let json = serde_json::to_string(&*report).unwrap();
+        assert!(json.contains("\"trail\":["));
+        assert!(json.contains("\"kind\":\"infeasible\""));
+    }
+
+    #[test]
+    fn budget_breach_lands_in_the_trail() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let g = gen::gnp(30, 0.2, &mut rng);
+        let partial: Vec<Option<bool>> = vec![None; 30];
+        let report = recover_report(
+            &Mis::new(),
+            &g,
+            &partial,
+            &LubyRestartFinisher { seed: 1 },
+            &RecoveryPolicy {
+                max_radius: 3,
+                budget: Budget::rounds(0),
+            },
+            None,
+        )
+        .unwrap_err();
+        assert_eq!(report.trail.len(), 1);
+        assert_eq!(report.trail[0].breach, Some(Breach::Rounds));
+        assert!(matches!(report.error, RecoveryError::Budget { .. }));
     }
 
     #[test]

@@ -1,0 +1,152 @@
+//! `adversary_replay`: replay pinned E14 adversary artifacts byte-for-byte.
+//!
+//! Reads every `*.json` under `results/adversaries/` (or the files given as
+//! arguments), re-evaluates each embedded [`FaultPlan`] against its fixed
+//! E14 workload, and re-renders the whole artifact from the fresh
+//! evaluation. Exit status 0 when every artifact reproduces byte-for-byte,
+//! 1 when any pinned objective or report drifted, 2 on unreadable or
+//! malformed input. This is the CI gate that keeps the pinned worst-case
+//! plans honest: a change to the engine, the recovery driver, or the JSON
+//! writers that alters a pinned plan's score fails loudly instead of
+//! silently invalidating EXPERIMENTS.md.
+
+use local_model::FaultPlan;
+use local_separation::adversary::Objective;
+use local_separation::experiments::e14_adversary as e14;
+use serde::Deserialize;
+use std::path::{Path, PathBuf};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("usage: adversary_replay [ARTIFACT.json ...]");
+        println!("(no arguments: replay every *.json under results/adversaries/)");
+        return;
+    }
+    let files = if args.is_empty() {
+        default_artifacts()
+    } else {
+        args.into_iter().map(PathBuf::from).collect()
+    };
+    if files.is_empty() {
+        eprintln!("error: no artifacts to replay (results/adversaries/ is empty or missing)");
+        std::process::exit(2);
+    }
+    let mut drifted = 0usize;
+    for path in &files {
+        match replay(path) {
+            Ok(score) => println!("ok: {} (score {score})", path.display()),
+            Err(ReplayError::Unreadable(msg)) => {
+                eprintln!("error: {}: {msg}", path.display());
+                std::process::exit(2);
+            }
+            Err(ReplayError::Drifted(msg)) => {
+                eprintln!("DRIFT: {}: {msg}", path.display());
+                drifted += 1;
+            }
+        }
+    }
+    if drifted > 0 {
+        eprintln!("{drifted} of {} artifact(s) drifted", files.len());
+        std::process::exit(1);
+    }
+    println!("{} artifact(s) replay byte-identically", files.len());
+}
+
+/// Every `*.json` under the default pin directory, in name order.
+fn default_artifacts() -> Vec<PathBuf> {
+    let dir = Path::new("results/adversaries");
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return Vec::new();
+    };
+    let mut files: Vec<PathBuf> = entries
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "json"))
+        .collect();
+    files.sort();
+    files
+}
+
+enum ReplayError {
+    /// Missing file or malformed artifact: exit 2, not a drift.
+    Unreadable(String),
+    /// The replay disagrees with the pinned bytes: the real failure.
+    Drifted(String),
+}
+
+fn replay(path: &Path) -> Result<u64, ReplayError> {
+    let bad = |msg: String| ReplayError::Unreadable(msg);
+    let text = std::fs::read_to_string(path).map_err(|e| bad(e.to_string()))?;
+    let pinned = text.trim_end_matches('\n');
+    let value: serde::Value =
+        serde_json::from_str(pinned).map_err(|e| bad(format!("not JSON: {e}")))?;
+    let field_str = |name: &str| -> Result<String, ReplayError> {
+        Ok(value
+            .field(name)
+            .and_then(serde::Value::as_str)
+            .map_err(|e| bad(e.to_string()))?
+            .to_string())
+    };
+    let workload = field_str("workload")?;
+    let objective_name = field_str("objective")?;
+    let objective = Objective::from_name(&objective_name)
+        .ok_or_else(|| bad(format!("unknown objective `{objective_name}`")))?;
+    let search = value.field("search").map_err(|e| bad(e.to_string()))?;
+    let restart = search
+        .field("restart")
+        .and_then(u64::from_value)
+        .map_err(|e| bad(e.to_string()))?;
+    let search_seed = search
+        .field("search_seed")
+        .and_then(u64::from_value)
+        .map_err(|e| bad(e.to_string()))?;
+    let pinned_score = value
+        .field("score")
+        .and_then(u64::from_value)
+        .map_err(|e| bad(e.to_string()))?;
+    let plan = value
+        .field("plan")
+        .and_then(FaultPlan::from_value)
+        .map_err(|e| bad(format!("bad plan: {e}")))?;
+
+    // Re-run the pinned plan against the fixed workload and re-render the
+    // artifact from scratch. Artifacts are pinned by `--full` sweeps at the
+    // default restarts/seed, so the full config is the replay config.
+    let cfg = e14::Config::full();
+    let (eval, report_json) = e14::evaluate_plan(&workload, &plan, &cfg.policy)
+        .ok_or_else(|| bad(format!("unknown workload `{workload}`")))?;
+    let score = objective.score(&eval);
+    if score != pinned_score {
+        return Err(ReplayError::Drifted(format!(
+            "objective drifted: pinned {pinned_score}, replayed {score}"
+        )));
+    }
+    let row = e14::Row {
+        workload,
+        objective: objective_name,
+        restarts: cfg.restarts,
+        panicked: 0,
+        panic_messages: Vec::new(),
+        error: None,
+        best_restart: restart,
+        best_search_seed: search_seed,
+        best_objective: score,
+        radius: eval.radius,
+        degraded: eval.degraded,
+        breaches: eval.breaches,
+        violations: eval.violations,
+        crashed: eval.crashed,
+        cut: eval.cut,
+        accepted: 0,
+        evaluations: 0,
+        plan_json: serde_json::to_string(&plan).expect("plan serializes"),
+        report_json,
+    };
+    let rendered = e14::artifact_json(&cfg, &row);
+    if rendered != pinned {
+        return Err(ReplayError::Drifted(
+            "artifact bytes drifted (evaluation or report no longer reproduces)".to_string(),
+        ));
+    }
+    Ok(score)
+}

@@ -1,0 +1,6 @@
+//! E14: adversary — worst-case fault plans found by deterministic tabu
+//! search, with graceful-degradation reports and replayable artifacts.
+
+fn main() {
+    local_bench::registry::main_for("E14");
+}

@@ -117,6 +117,7 @@ fn summarize(path: &str) {
     histograms(&events);
     spans(&events);
     recoveries(&events);
+    search_iters(&events);
 }
 
 fn run_summary(events: &[TraceEvent]) {
@@ -260,5 +261,38 @@ fn recoveries(events: &[TraceEvent]) {
     println!(
         "recovery attempts: {attempts} ({ok} verified ok, max radius {max_radius}); {}",
         by_finisher.join(", ")
+    );
+}
+
+/// Adversary-search trajectory: how many tabu iterations ran, how often a
+/// move was committed, how far the objective climbed, and which move kinds
+/// the search leaned on.
+fn search_iters(events: &[TraceEvent]) {
+    let mut iterations = 0u64;
+    let mut accepted = 0u64;
+    let mut best = 0u64;
+    let mut kinds: BTreeMap<String, u64> = BTreeMap::new();
+    for e in events {
+        if let EventData::SearchIter {
+            best: b,
+            mv,
+            accepted: took,
+            ..
+        } = &e.data
+        {
+            iterations += 1;
+            accepted += u64::from(*took);
+            best = best.max(*b);
+            let kind = mv.split('(').next().unwrap_or(mv).to_string();
+            *kinds.entry(kind).or_default() += 1;
+        }
+    }
+    if iterations == 0 {
+        return;
+    }
+    let by_kind: Vec<String> = kinds.iter().map(|(k, c)| format!("{k}: {c}")).collect();
+    println!(
+        "search iterations: {iterations} ({accepted} moves committed, best objective {best}); moves: {}",
+        by_kind.join(", ")
     );
 }

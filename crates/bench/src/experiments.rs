@@ -1,4 +1,4 @@
-//! The fourteen registered experiments.
+//! The fifteen registered experiments.
 //!
 //! Each entry binds an experiment module from `local-separation` to the
 //! [`Experiment`] trait: id and claim for the banner, capabilities for the
@@ -11,9 +11,9 @@ use crate::Cli;
 use local_obs::TraceSink;
 use local_separation::experiments::{
     a1_ablation as a1, e10_indistinguishability as e10, e11_dichotomy as e11,
-    e12_resilience as e12, e13_recovery as e13, e1_separation as e1, e2_shattering as e2,
-    e3_theorem11 as e3, e4_zero_round as e4, e5_truncation as e5, e6_derand as e6,
-    e7_speedup as e7, e8_linial as e8, e9_mis as e9,
+    e12_resilience as e12, e13_recovery as e13, e14_adversary as e14, e1_separation as e1,
+    e2_shattering as e2, e3_theorem11 as e3, e4_zero_round as e4, e5_truncation as e5,
+    e6_derand as e6, e7_speedup as e7, e8_linial as e8, e9_mis as e9,
 };
 use serde::Serialize;
 
@@ -33,6 +33,7 @@ pub fn all() -> &'static [&'static dyn Experiment] {
         &E11Dichotomy,
         &E12Resilience,
         &E13Recovery,
+        &E14Adversary,
         &A1Ablation,
     ]
 }
@@ -575,6 +576,85 @@ impl Experiment for E13Recovery {
         ExperimentOutput {
             rows: out.rows.to_value(),
             human: format!("{}\n", e13::table(&out)),
+        }
+    }
+}
+
+/// E14: adversary — worst-case fault plans found by deterministic tabu
+/// search.
+pub struct E14Adversary;
+
+impl E14Adversary {
+    fn config(cli: &Cli) -> e14::Config {
+        let mut cfg = if cli.full {
+            e14::Config::full()
+        } else {
+            e14::Config::quick()
+        };
+        if let Some(t) = cli.trials {
+            cfg.restarts = t;
+        }
+        if let Some(s) = cli.seed {
+            cfg.master_seed = s;
+        }
+        cfg
+    }
+
+    /// Pin the best-found plans: one replayable artifact per grid point,
+    /// under `results/adversaries/`. Only full sweeps pin (quick search
+    /// effort is a smoke test, not a record), and only at the default
+    /// restarts/seed (an overridden sweep would silently re-pin different
+    /// plans under the same names).
+    fn pin_artifacts(cli: &Cli, cfg: &e14::Config, out: &e14::Outcome14) {
+        if !cli.full || cli.trials.is_some() || cli.seed.is_some() {
+            return;
+        }
+        let dir = std::path::Path::new("results/adversaries");
+        if let Err(err) = std::fs::create_dir_all(dir) {
+            eprintln!("error: cannot create `{}`: {err}", dir.display());
+            std::process::exit(2);
+        }
+        for row in &out.rows {
+            if row.error.is_some() {
+                continue;
+            }
+            let path = dir.join(format!("e14_{}_{}.json", row.workload, row.objective));
+            let mut text = e14::artifact_json(cfg, row);
+            text.push('\n');
+            if let Err(err) = std::fs::write(&path, text) {
+                eprintln!("error: cannot write `{}`: {err}", path.display());
+                std::process::exit(2);
+            }
+            cli.progress(&format!("pinned {}", path.display()));
+        }
+    }
+}
+
+impl Experiment for E14Adversary {
+    fn id(&self) -> &'static str {
+        "E14"
+    }
+    fn claim(&self) -> &'static str {
+        "worst-case fault plans found by adversary search, replayable"
+    }
+    fn caps(&self) -> Caps {
+        Caps::TRACE_AND_CHECKPOINT
+    }
+    fn default_config(&self, cli: &Cli) -> serde::Value {
+        Self::config(cli).to_value()
+    }
+    fn run(&self, cli: &Cli, sink: Option<&mut dyn TraceSink>) -> ExperimentOutput {
+        let cfg = Self::config(cli);
+        let out = if sink.is_some() {
+            e14::run_traced(&cfg, sink)
+        } else {
+            let checkpoint = cli.open_checkpoint();
+            e14::run_checkpointed(&cfg, checkpoint.as_ref())
+        };
+        Self::pin_artifacts(cli, &cfg, &out);
+        ExperimentOutput {
+            rows: out.rows.to_value(),
+            human: format!("{}\n", e14::table(&out)),
         }
     }
 }

@@ -10,14 +10,17 @@ fn cli(args: &[&str]) -> Cli {
 }
 
 #[test]
-fn registry_lists_all_fourteen_experiments() {
+fn registry_lists_all_fifteen_experiments() {
     let ids: Vec<&str> = local_bench::experiments::all()
         .iter()
         .map(|e| e.id())
         .collect();
     assert_eq!(
         ids,
-        ["E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "A1"]
+        [
+            "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13",
+            "E14", "A1"
+        ]
     );
     for id in &ids {
         assert!(find(id).is_some(), "{id} must resolve through find()");
@@ -35,7 +38,7 @@ fn every_experiment_supports_trace() {
 #[test]
 fn only_the_resumable_sweeps_support_checkpoint() {
     for exp in local_bench::experiments::all() {
-        let expected = matches!(exp.id(), "E12" | "E13");
+        let expected = matches!(exp.id(), "E12" | "E13" | "E14");
         assert_eq!(
             exp.caps().checkpoint,
             expected,

@@ -17,6 +17,7 @@
 //! | E9 | intro survey | MIS: Luby `Θ(log n)` vs Det `O(Δ² + log* n)` vs shattering |
 //! | E12 | model robustness | validity/rounds degradation under message drops and crash-stop nodes |
 //! | E13 | self-healing | recovery of faulty runs to complete valid labelings |
+//! | E14 | adversary | worst-case fault plans found by deterministic tabu search |
 //!
 //! Every driver returns both typed rows (serde-serializable) and a rendered
 //! [`Table`](crate::report::Table); the binaries in `local-bench` print the
@@ -27,6 +28,7 @@ pub mod e10_indistinguishability;
 pub mod e11_dichotomy;
 pub mod e12_resilience;
 pub mod e13_recovery;
+pub mod e14_adversary;
 pub mod e1_separation;
 pub mod e2_shattering;
 pub mod e3_theorem11;

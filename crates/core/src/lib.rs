@@ -9,6 +9,8 @@
 //!   measurement.
 //! * [`invariance`] — the Naor–Stockmeyer order-invariance checker (the
 //!   engine behind the paper's Corollary 1 discussion).
+//! * [`adversary`] — worst-case fault-plan search: the deterministic tabu
+//!   optimizer over [`FaultPlan`](local_model::FaultPlan) space behind E14.
 //! * [`experiments`] — the E1–E9 experiment drivers behind EXPERIMENTS.md.
 //! * [`trials`] — the shared seeded parallel trial harness those drivers
 //!   run their randomized batches through.
@@ -21,6 +23,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod adversary;
 pub mod checkpoint;
 pub mod derand;
 pub mod experiments;

@@ -10,6 +10,11 @@
 //! 3. With a full palette (maxdeg + 1 colors) the greedy finisher can never
 //!    starve, so recovery of an arbitrarily-holed valid coloring always
 //!    succeeds on the first attempt.
+//! 4. Under *arbitrary* fuzzed fault plans — delay-only storms, every
+//!    crash scheduled at round 0, or mixed drop/delay/crash — the recovery
+//!    pipeline never panics and `check_partial` never over-counts, whether
+//!    the engine sweeps serially or across 8 shards (E14's search evaluates
+//!    thousands of such plans and leans on exactly these guarantees).
 
 use local_algorithms::mis::luby::Luby;
 use local_algorithms::orientation::sinkless::SinklessRepair;
@@ -30,6 +35,73 @@ fn arb_graph() -> impl Strategy<Value = Graph> {
         let mut rng = StdRng::seed_from_u64(seed);
         gen::gnp(n, f64::from(pct) / 100.0, &mut rng)
     })
+}
+
+/// The shape of a fuzzed fault plan. The two named corner cases the
+/// adversary plane cares most about get their own variants so proptest
+/// exercises them every run instead of hoping `Mixed` lands on them.
+#[derive(Debug, Clone)]
+enum ArbFaults {
+    /// Every message delayed with probability `pct`/100, nothing else: no
+    /// vertex ever crashes, no edge drops, yet rounds stretch arbitrarily.
+    DelayOnly { pct: u32 },
+    /// The first `count` vertices crash *before their first send* — the
+    /// harshest schedule, leaving radius-1 holes around every casualty.
+    CrashAtZero { count: usize },
+    /// Sampled drop/delay/crash mixture.
+    Mixed {
+        drop_pct: u32,
+        delay_pct: u32,
+        crash_pct: u32,
+        window: u32,
+    },
+}
+
+fn arb_faults() -> impl Strategy<Value = ArbFaults> {
+    prop_oneof![
+        (1u32..=100).prop_map(|pct| ArbFaults::DelayOnly { pct }),
+        (1usize..6).prop_map(|count| ArbFaults::CrashAtZero { count }),
+        (0u32..40, 0u32..40, 0u32..30, 0u32..8).prop_map(
+            |(drop_pct, delay_pct, crash_pct, window)| {
+                ArbFaults::Mixed {
+                    drop_pct,
+                    delay_pct,
+                    crash_pct,
+                    window,
+                }
+            }
+        ),
+    ]
+}
+
+fn build_plan(g: &Graph, shape: &ArbFaults, fault_seed: u64) -> FaultPlan {
+    match *shape {
+        ArbFaults::DelayOnly { pct } => FaultPlan::sample(
+            g,
+            &FaultSpec::none().with_delay(f64::from(pct) / 100.0),
+            fault_seed,
+        ),
+        ArbFaults::CrashAtZero { count } => {
+            let mut plan = FaultPlan::none();
+            for v in 0..count.min(g.n()) {
+                plan.set_crash(g, v, Some(0));
+            }
+            plan
+        }
+        ArbFaults::Mixed {
+            drop_pct,
+            delay_pct,
+            crash_pct,
+            window,
+        } => FaultPlan::sample(
+            g,
+            &FaultSpec::none()
+                .with_drop(f64::from(drop_pct) / 100.0)
+                .with_delay(f64::from(delay_pct) / 100.0)
+                .with_crash(f64::from(crash_pct) / 100.0, window),
+            fault_seed,
+        ),
+    }
 }
 
 proptest! {
@@ -147,6 +219,72 @@ proptest! {
         for (v, slot) in partial.iter().enumerate() {
             if let Some(c) = slot {
                 prop_assert_eq!(rec.labels.get(v), c);
+            }
+        }
+    }
+
+    /// Under fuzzed fault plans — delay-only, crash-at-round-0, or mixed —
+    /// `check_partial` never over-counts: every vertex is checked or
+    /// skipped exactly once, a vertex is never checked beyond the labeled
+    /// set, and each checked vertex contributes exactly one verdict. Holds
+    /// identically whether the run swept serially or across 8 shards.
+    #[test]
+    fn check_partial_never_over_counts_under_fuzzed_faults(
+        g in arb_graph(),
+        shape in arb_faults(),
+        seed in 0u64..100,
+        fault_seed in 0u64..1000,
+    ) {
+        let plan = build_plan(&g, &shape, fault_seed);
+        let mut verdicts = Vec::new();
+        for shards in [1usize, 8] {
+            let spec = ExecSpec::rounds(200).with_faults(&plan).with_shards(shards);
+            let run = run_sync(&g, Mode::randomized(seed), &Luby::new(), &spec);
+            let partial: Vec<Option<bool>> =
+                run.outcomes.iter().map(|o| o.output().copied()).collect();
+            let labeled = partial.iter().filter(|o| o.is_some()).count();
+            let pv = check_partial(&Mis::new(), &g, &partial);
+            prop_assert_eq!(pv.checked + pv.skipped, g.n());
+            prop_assert!(pv.checked <= labeled, "checked {} > labeled {}", pv.checked, labeled);
+            prop_assert_eq!(pv.valid + pv.violations.len(), pv.checked);
+            for violation in &pv.violations {
+                prop_assert!(partial[violation.vertex].is_some(),
+                    "violation charged to unlabeled vertex {}", violation.vertex);
+            }
+            verdicts.push((partial, pv));
+        }
+        let (serial, sharded) = (&verdicts[0], &verdicts[1]);
+        prop_assert_eq!(&serial.0, &sharded.0, "outputs diverged across shard counts");
+        prop_assert_eq!(&serial.1, &sharded.1, "verdicts diverged across shard counts");
+    }
+
+    /// Recovery never panics, whatever fault plan the adversary search
+    /// throws at it: it returns `Ok` with a labeling `check_complete`
+    /// accepts or a clean error — on serial and 8-shard runs alike.
+    #[test]
+    fn recovery_never_panics_under_fuzzed_faults(
+        g in arb_graph(),
+        shape in arb_faults(),
+        seed in 0u64..100,
+        fault_seed in 0u64..1000,
+    ) {
+        let plan = build_plan(&g, &shape, fault_seed);
+        for shards in [1usize, 8] {
+            let spec = ExecSpec::rounds(200).with_faults(&plan).with_shards(shards);
+            let run = run_sync(&g, Mode::randomized(seed), &Luby::new(), &spec);
+            let partial: Vec<Option<bool>> =
+                run.outcomes.iter().map(|o| o.output().copied()).collect();
+            let finisher = LubyRestartFinisher { seed: fault_seed };
+            match recover(&Mis::new(), &g, &partial, &finisher, &RecoveryPolicy::default()) {
+                Ok(rec) => {
+                    let cv = check_complete(&Mis::new(), &g, &rec.labels);
+                    prop_assert_eq!(cv.checked, g.n());
+                    prop_assert!(cv.violations.is_empty(), "{:?}", cv.violations);
+                }
+                Err(err) => {
+                    // A clean refusal is acceptable; a panic is not.
+                    prop_assert!(!err.to_string().is_empty());
+                }
             }
         }
     }

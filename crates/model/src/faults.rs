@@ -58,7 +58,7 @@ pub struct FaultSpec {
 fn checked_probability(knob: &str, p: f64) -> f64 {
     assert!(
         (0.0..=1.0).contains(&p),
-        "FaultSpec::{knob}: probability must be in [0, 1], got {p}"
+        "{knob}: probability must be in [0, 1], got {p}"
     );
     p
 }
@@ -80,7 +80,7 @@ impl FaultSpec {
     ///
     /// Panics if `p` is not in `[0, 1]`.
     pub fn with_drop(mut self, p: f64) -> Self {
-        self.drop_p = checked_probability("with_drop", p);
+        self.drop_p = checked_probability("FaultSpec::with_drop", p);
         self
     }
 
@@ -90,7 +90,7 @@ impl FaultSpec {
     ///
     /// Panics if `p` is not in `[0, 1]`.
     pub fn with_delay(mut self, p: f64) -> Self {
-        self.delay_p = checked_probability("with_delay", p);
+        self.delay_p = checked_probability("FaultSpec::with_delay", p);
         self
     }
 
@@ -100,7 +100,7 @@ impl FaultSpec {
     ///
     /// Panics if `p` is not in `[0, 1]`.
     pub fn with_crash(mut self, p: f64, window: u32) -> Self {
-        self.crash_p = checked_probability("with_crash", p);
+        self.crash_p = checked_probability("FaultSpec::with_crash", p);
         self.crash_window = window;
         self
     }
@@ -191,9 +191,11 @@ impl FaultPlan {
     ///
     /// # Panics
     ///
-    /// Panics if `p >= g.degree(v)`.
+    /// Panics if `p >= g.degree(v)`, or if `drop_p` is not in `[0, 1]`
+    /// (NaN rejected) — the same contract as the [`FaultSpec`] builders.
     pub fn set_edge_drop(&mut self, g: &Graph, v: NodeId, p: PortId, drop_p: f64) {
         assert!(p < g.degree(v), "port {p} out of range for vertex {v}");
+        let drop_p = checked_probability("FaultPlan::set_edge_drop", drop_p);
         let total: usize = g.vertices().map(|u| g.degree(u)).sum();
         if self.drop.is_empty() {
             self.drop = vec![0.0; total];
@@ -217,6 +219,99 @@ impl FaultPlan {
     /// The per-node crash schedule (empty if no crashes are planned).
     pub fn crash_schedule(&self) -> &[Option<u32>] {
         &self.crash_round
+    }
+
+    /// Set (or clear, with `None`) the crash round of vertex `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v >= g.n()`.
+    pub fn set_crash(&mut self, g: &Graph, v: NodeId, round: Option<u32>) {
+        assert!(v < g.n(), "vertex {v} out of range (n = {})", g.n());
+        if self.crash_round.is_empty() {
+            if round.is_none() {
+                return;
+            }
+            self.crash_round = vec![None; g.n()];
+        }
+        self.crash_round[v] = round;
+    }
+
+    /// Number of nodes with a scheduled crash.
+    pub fn crash_count(&self) -> usize {
+        self.crash_round.iter().filter(|r| r.is_some()).count()
+    }
+
+    /// Number of directed-edge slots with a nonzero drop probability.
+    pub fn dropped_edge_count(&self) -> usize {
+        self.drop.iter().filter(|&&p| p > 0.0).count()
+    }
+
+    /// The nonzero per-directed-edge drop probabilities, as
+    /// `(CSR slot, probability)` pairs in slot order.
+    pub fn edge_drops(&self) -> impl Iterator<Item = (usize, f64)> + '_ {
+        self.drop
+            .iter()
+            .enumerate()
+            .filter(|(_, &p)| p > 0.0)
+            .map(|(slot, &p)| (slot, p))
+    }
+
+    /// The delay probability of this plan.
+    pub fn delay_probability(&self) -> f64 {
+        self.delay_p
+    }
+
+    /// The drop probability of directed-edge `slot` (0.0 when unset).
+    pub fn edge_drop(&self, slot: usize) -> f64 {
+        self.drop.get(slot).copied().unwrap_or(0.0)
+    }
+
+    /// Propose the neighborhood move derived from `move_seed` (see
+    /// [`FaultMove::seed`]): a uniformly chosen crash-round set/clear or
+    /// directed-edge drop toggle. Crash rounds are drawn from
+    /// `0..crash_window.max(1)`. The proposal depends only on
+    /// `(g, move_seed, crash_window)` — not on the plan's current state — so
+    /// a search trajectory replays exactly from its seed.
+    pub fn propose(&self, g: &Graph, move_seed: u64, crash_window: u32) -> FaultMove {
+        let total: usize = g.vertices().map(|u| g.degree(u)).sum();
+        let r0 = splitmix64(move_seed);
+        let r1 = splitmix64(r0);
+        let r2 = splitmix64(r1);
+        match r0 % 4 {
+            0 | 1 => FaultMove::SetCrash {
+                v: (r1 % g.n() as u64) as NodeId,
+                round: (r2 % u64::from(crash_window.max(1))) as u32,
+            },
+            2 => FaultMove::ClearCrash {
+                v: (r1 % g.n() as u64) as NodeId,
+            },
+            _ => FaultMove::ToggleDrop {
+                slot: (r1 % total.max(1) as u64) as usize,
+            },
+        }
+    }
+
+    /// Apply `mv` to this plan. Drop toggles flip the slot between 0.0 and
+    /// 1.0 (adversary plans are hard-fault plans: an edge either always
+    /// delivers or never does, which also keeps their JSON artifacts exact).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the move's vertex or slot is out of range for `g`.
+    pub fn apply(&mut self, g: &Graph, mv: &FaultMove) {
+        match *mv {
+            FaultMove::SetCrash { v, round } => self.set_crash(g, v, Some(round)),
+            FaultMove::ClearCrash { v } => self.set_crash(g, v, None),
+            FaultMove::ToggleDrop { slot } => {
+                let total: usize = g.vertices().map(|u| g.degree(u)).sum();
+                assert!(slot < total, "slot {slot} out of range ({total} ports)");
+                if self.drop.is_empty() {
+                    self.drop = vec![0.0; total];
+                }
+                self.drop[slot] = if self.drop[slot] > 0.0 { 0.0 } else { 1.0 };
+            }
+        }
     }
 
     pub(crate) fn has_drops(&self) -> bool {
@@ -250,6 +345,141 @@ impl FaultPlan {
         ChaCha8Rng::seed_from_u64(splitmix64(
             self.seed ^ splitmix64(ROUND_STREAM.wrapping_add(u64::from(round))),
         ))
+    }
+}
+
+/// Stream tag base for adversary-search move seeds.
+const MOVE_STREAM: u64 = 0xAD5E;
+
+/// One local move in the adversary-search neighborhood of a [`FaultPlan`].
+///
+/// Moves are the unit of the worst-case fault search: each search step
+/// proposes candidate moves via [`FaultPlan::propose`], scores the mutated
+/// plans, and applies the winner with [`FaultPlan::apply`]. A move is plain
+/// data, so an accepted trajectory is fully described by
+/// `(search_seed, step)` pairs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultMove {
+    /// Schedule (or reschedule) vertex `v` to crash at sweep `round`.
+    SetCrash {
+        /// The vertex to crash.
+        v: NodeId,
+        /// The sweep from which it falls silent.
+        round: u32,
+    },
+    /// Remove vertex `v`'s scheduled crash.
+    ClearCrash {
+        /// The vertex to revive.
+        v: NodeId,
+    },
+    /// Flip directed-edge `slot` between never-drop (0.0) and always-drop
+    /// (1.0).
+    ToggleDrop {
+        /// The CSR slot of the directed edge (vertex `v`'s port `p` is slot
+        /// `offset(v) + p`).
+        slot: usize,
+    },
+}
+
+impl FaultMove {
+    /// The move seed for step `step` of a search started from `search_seed`,
+    /// split with the engine's `splitmix64` convention. Feeding this to
+    /// [`FaultPlan::propose`] replays the exact proposal, so a search
+    /// trajectory is a pure function of its `(search_seed, step)` sequence.
+    pub fn seed(search_seed: u64, step: u64) -> u64 {
+        splitmix64(search_seed ^ splitmix64(MOVE_STREAM.wrapping_add(step)))
+    }
+
+    /// The tabu attribute this move touches: crash moves key on the vertex,
+    /// drop toggles on the slot. A tabu list bans *attributes* for a tenure,
+    /// so a just-crashed vertex cannot be immediately revived (and vice
+    /// versa), the classic PARTIALCOL-style anti-cycling rule.
+    pub fn key(&self) -> u64 {
+        match *self {
+            FaultMove::SetCrash { v, .. } | FaultMove::ClearCrash { v } => v as u64,
+            FaultMove::ToggleDrop { slot } => (1 << 63) | slot as u64,
+        }
+    }
+
+    /// A short human/trace label, e.g. `crash(v3@r1)`, `revive(v3)`,
+    /// `toggle(e17)`.
+    pub fn describe(&self) -> String {
+        match *self {
+            FaultMove::SetCrash { v, round } => format!("crash(v{v}@r{round})"),
+            FaultMove::ClearCrash { v } => format!("revive(v{v})"),
+            FaultMove::ToggleDrop { slot } => format!("toggle(e{slot})"),
+        }
+    }
+}
+
+impl serde::Serialize for FaultMove {
+    fn to_value(&self) -> serde::Value {
+        let (kind, fields) = match *self {
+            FaultMove::SetCrash { v, round } => (
+                "set_crash",
+                vec![
+                    ("v".to_string(), serde::Value::U64(v as u64)),
+                    ("round".to_string(), serde::Value::U64(u64::from(round))),
+                ],
+            ),
+            FaultMove::ClearCrash { v } => (
+                "clear_crash",
+                vec![("v".to_string(), serde::Value::U64(v as u64))],
+            ),
+            FaultMove::ToggleDrop { slot } => (
+                "toggle_drop",
+                vec![("slot".to_string(), serde::Value::U64(slot as u64))],
+            ),
+        };
+        let mut entries = vec![("move".to_string(), serde::Value::String(kind.to_string()))];
+        entries.extend(fields);
+        serde::Value::Object(entries)
+    }
+}
+
+impl serde::Deserialize for FaultMove {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        let kind = String::from_value(v.field("move")?)?;
+        match kind.as_str() {
+            "set_crash" => Ok(FaultMove::SetCrash {
+                v: usize::from_value(v.field("v")?)?,
+                round: u32::from_value(v.field("round")?)?,
+            }),
+            "clear_crash" => Ok(FaultMove::ClearCrash {
+                v: usize::from_value(v.field("v")?)?,
+            }),
+            "toggle_drop" => Ok(FaultMove::ToggleDrop {
+                slot: usize::from_value(v.field("slot")?)?,
+            }),
+            other => Err(serde::DeError(format!("unknown fault move `{other}`"))),
+        }
+    }
+}
+
+// Hand-written (the derive macro covers plain structs, not private-field
+// invariants we want to keep): a plan serializes to a flat object whose
+// `drop` entries are exact under the JSON writer when they are the
+// adversary's 0.0/1.0 hard faults, so pinned artifacts round-trip
+// byte-for-byte.
+impl serde::Serialize for FaultPlan {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Object(vec![
+            ("drop".to_string(), self.drop.to_value()),
+            ("delay_p".to_string(), self.delay_p.to_value()),
+            ("crash_round".to_string(), self.crash_round.to_value()),
+            ("seed".to_string(), self.seed.to_value()),
+        ])
+    }
+}
+
+impl serde::Deserialize for FaultPlan {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        Ok(FaultPlan {
+            drop: Vec::<f64>::from_value(v.field("drop")?)?,
+            delay_p: f64::from_value(v.field("delay_p")?)?,
+            crash_round: Vec::<Option<u32>>::from_value(v.field("crash_round")?)?,
+            seed: u64::from_value(v.field("seed")?)?,
+        })
     }
 }
 
@@ -395,6 +625,7 @@ impl<O> FaultyRun<O> {
 mod tests {
     use super::*;
     use local_graphs::gen;
+    use serde::{Deserialize, Serialize};
 
     #[test]
     fn trivial_plans_are_trivial() {
@@ -464,6 +695,144 @@ mod tests {
         assert_eq!(plan.drop_p(0), 0.0);
         assert_eq!(plan.drop_p(2), 0.75);
         assert!(plan.has_drops());
+    }
+
+    #[test]
+    #[should_panic(expected = "FaultPlan::set_edge_drop: probability must be in [0, 1]")]
+    fn negative_edge_drop_panics() {
+        let g = gen::path(3);
+        let mut plan = FaultPlan::none();
+        plan.set_edge_drop(&g, 1, 0, -0.25);
+    }
+
+    #[test]
+    #[should_panic(expected = "FaultPlan::set_edge_drop: probability must be in [0, 1]")]
+    fn oversized_edge_drop_panics() {
+        let g = gen::path(3);
+        let mut plan = FaultPlan::none();
+        plan.set_edge_drop(&g, 1, 0, 1.0 + 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "FaultPlan::set_edge_drop: probability must be in [0, 1]")]
+    fn nan_edge_drop_panics() {
+        let g = gen::path(3);
+        let mut plan = FaultPlan::none();
+        plan.set_edge_drop(&g, 1, 0, f64::NAN);
+    }
+
+    #[test]
+    fn edge_drop_boundaries_are_accepted() {
+        let g = gen::path(3);
+        let mut plan = FaultPlan::none();
+        plan.set_edge_drop(&g, 0, 0, 0.0);
+        plan.set_edge_drop(&g, 2, 0, 1.0);
+        assert_eq!(plan.drop_p(3), 1.0);
+        assert!(!plan.is_trivial());
+    }
+
+    #[test]
+    fn set_crash_and_counts() {
+        let g = gen::cycle(5);
+        let mut plan = FaultPlan::none();
+        plan.set_crash(&g, 3, None); // clearing a crash on the empty plan is a no-op
+        assert!(plan.is_trivial());
+        plan.set_crash(&g, 3, Some(2));
+        plan.set_crash(&g, 0, Some(0));
+        assert_eq!(plan.crash_count(), 2);
+        assert_eq!(plan.crash_schedule()[3], Some(2));
+        plan.set_crash(&g, 3, None);
+        assert_eq!(plan.crash_count(), 1);
+    }
+
+    #[test]
+    fn move_proposals_replay_from_seed() {
+        let g = gen::cycle(8);
+        let plan = FaultPlan::none();
+        for step in 0..64 {
+            let seed = FaultMove::seed(99, step);
+            assert_eq!(plan.propose(&g, seed, 4), plan.propose(&g, seed, 4));
+        }
+        // Different steps should not all collapse to one move.
+        let moves: std::collections::BTreeSet<String> = (0..64)
+            .map(|s| plan.propose(&g, FaultMove::seed(99, s), 4).describe())
+            .collect();
+        assert!(moves.len() > 8, "degenerate neighborhood: {moves:?}");
+    }
+
+    #[test]
+    fn proposals_stay_in_range() {
+        let g = gen::path(4); // 6 directed slots
+        let plan = FaultPlan::none();
+        let mut checked = plan.clone();
+        for step in 0..256 {
+            let mv = plan.propose(&g, FaultMove::seed(7, step), 3);
+            match mv {
+                FaultMove::SetCrash { v, round } => {
+                    assert!(v < g.n());
+                    assert!(round < 3);
+                }
+                FaultMove::ClearCrash { v } => assert!(v < g.n()),
+                FaultMove::ToggleDrop { slot } => assert!(slot < 6),
+            }
+            checked.apply(&g, &mv); // must never panic for in-range moves
+        }
+    }
+
+    #[test]
+    fn toggle_drop_flips_between_hard_faults() {
+        let g = gen::path(3);
+        let mut plan = FaultPlan::none();
+        let mv = FaultMove::ToggleDrop { slot: 2 };
+        plan.apply(&g, &mv);
+        assert_eq!(plan.drop_p(2), 1.0);
+        plan.apply(&g, &mv);
+        assert_eq!(plan.drop_p(2), 0.0);
+        // Toggling a sampled soft fault lands on 0.0 first.
+        let mut soft = FaultPlan::sample(&g, &FaultSpec::none().with_drop(0.3), 1);
+        soft.apply(&g, &mv);
+        assert_eq!(soft.drop_p(2), 0.0);
+    }
+
+    #[test]
+    fn move_keys_distinguish_attributes() {
+        let crash = FaultMove::SetCrash { v: 5, round: 1 };
+        let revive = FaultMove::ClearCrash { v: 5 };
+        let toggle = FaultMove::ToggleDrop { slot: 5 };
+        assert_eq!(crash.key(), revive.key());
+        assert_ne!(crash.key(), toggle.key());
+        assert_ne!(toggle.key(), FaultMove::ToggleDrop { slot: 6 }.key());
+    }
+
+    #[test]
+    fn fault_move_serde_round_trips() {
+        for mv in [
+            FaultMove::SetCrash { v: 3, round: 2 },
+            FaultMove::ClearCrash { v: 0 },
+            FaultMove::ToggleDrop { slot: 17 },
+        ] {
+            let back = FaultMove::from_value(&mv.to_value()).unwrap();
+            assert_eq!(mv, back);
+        }
+        assert!(FaultMove::from_value(&serde::Value::Object(vec![(
+            "move".to_string(),
+            serde::Value::String("warp".to_string()),
+        )]))
+        .is_err());
+    }
+
+    #[test]
+    fn fault_plan_serde_round_trips() {
+        let g = gen::cycle(6);
+        let mut plan = FaultPlan::sample(&g, &FaultSpec::none().with_crash(0.5, 4), 11);
+        plan.apply(&g, &FaultMove::ToggleDrop { slot: 4 });
+        plan.set_crash(&g, 2, Some(0));
+        let json = serde_json::to_string(&plan).unwrap();
+        let back: FaultPlan = serde_json::from_str(&json).unwrap();
+        assert_eq!(plan, back);
+        // Hard-fault plans must survive a second trip byte-for-byte: the
+        // pinned-artifact replay gate depends on this.
+        assert_eq!(json, serde_json::to_string(&back).unwrap());
     }
 
     #[test]

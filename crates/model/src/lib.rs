@@ -72,9 +72,9 @@ mod spec;
 
 pub use engine::{derived_rng, derived_u64, Engine, Mode, Run, RunStats};
 pub use error::SimError;
-pub use faults::{FaultPlan, FaultSpec, FaultyRun, Outcome};
+pub use faults::{FaultMove, FaultPlan, FaultSpec, FaultyRun, Outcome};
 pub use ids::{id_bits, IdAssignment};
 pub use node::{Action, NodeInit, NodeIo, NodeProgram, Protocol};
 pub use params::{GlobalParams, HorizonOverflow};
-pub use recover::{faulty_core, Breach, Budget, RecoveryError, Residue};
+pub use recover::{faulty_core, AttemptRecord, Breach, Budget, RecoveryError, Residue};
 pub use spec::ExecSpec;

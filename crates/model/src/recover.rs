@@ -110,6 +110,62 @@ impl fmt::Display for Breach {
     }
 }
 
+// Hand-written: the derive macro does not cover unit-variant enums; a breach
+// serializes as its snake_case name.
+impl serde::Serialize for Breach {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::String(
+            match self {
+                Breach::Rounds => "rounds",
+                Breach::Messages => "messages",
+                Breach::WallClock => "wall_clock",
+            }
+            .to_string(),
+        )
+    }
+}
+
+/// One rung of the recovery escalation ladder, as recorded by the driver.
+///
+/// The trail is the shared currency of the degradation plane: a failed
+/// recovery carries it on [`RecoveryError::Exhausted`], and the graceful
+/// `DegradedRun` report (in the algorithms crate) embeds the same records —
+/// one struct, two consumers, so the two views can never drift apart.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AttemptRecord {
+    /// The 1-based attempt number (attempt `k` dilates to radius `k`).
+    pub attempt: u32,
+    /// The boundary radius this attempt dilated the core by.
+    pub radius: u32,
+    /// Core vertices the residue was grown from (grows as failed splices
+    /// absorb their violations).
+    pub core_size: usize,
+    /// Residue members relabeled by this attempt.
+    pub residue_size: usize,
+    /// Violations remaining after this attempt's splice (0 if the attempt
+    /// never reached the splice).
+    pub violations: usize,
+    /// The budget axis this attempt breached, if any.
+    pub breach: Option<Breach>,
+    /// Why the finisher refused at this radius, if it did.
+    pub infeasible: Option<String>,
+}
+
+// Hand-written because `Breach` is.
+impl serde::Serialize for AttemptRecord {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Object(vec![
+            ("attempt".to_string(), self.attempt.to_value()),
+            ("radius".to_string(), self.radius.to_value()),
+            ("core_size".to_string(), self.core_size.to_value()),
+            ("residue_size".to_string(), self.residue_size.to_value()),
+            ("violations".to_string(), self.violations.to_value()),
+            ("breach".to_string(), self.breach.to_value()),
+            ("infeasible".to_string(), self.infeasible.to_value()),
+        ])
+    }
+}
+
 /// Why a recovery attempt (or the whole escalation ladder) failed.
 #[derive(Debug, Clone, PartialEq, Eq)]
 #[non_exhaustive]
@@ -123,6 +179,9 @@ pub enum RecoveryError {
         max_radius: u32,
         /// Violations remaining after the last attempt's splice.
         violations: usize,
+        /// The per-attempt history (one [`AttemptRecord`] per radius tried),
+        /// shared verbatim with the graceful `DegradedRun` report.
+        trail: Vec<AttemptRecord>,
     },
     /// A finisher attempt breached its [`Budget`].
     Budget {
@@ -149,6 +208,7 @@ impl fmt::Display for RecoveryError {
                 attempts,
                 max_radius,
                 violations,
+                ..
             } => write!(
                 f,
                 "recovery exhausted after {attempts} attempt(s) up to radius \
@@ -165,6 +225,38 @@ impl fmt::Display for RecoveryError {
 }
 
 impl Error for RecoveryError {}
+
+// Hand-written (data-carrying enum): a `kind`-tagged flat object. The
+// `Exhausted` trail is deliberately omitted — the `DegradedRun` report that
+// embeds this error serializes the shared trail exactly once, at top level.
+impl serde::Serialize for RecoveryError {
+    fn to_value(&self) -> serde::Value {
+        let kind = |k: &str| ("kind".to_string(), serde::Value::String(k.to_string()));
+        match self {
+            RecoveryError::Exhausted {
+                attempts,
+                max_radius,
+                violations,
+                ..
+            } => serde::Value::Object(vec![
+                kind("exhausted"),
+                ("attempts".to_string(), attempts.to_value()),
+                ("max_radius".to_string(), max_radius.to_value()),
+                ("violations".to_string(), violations.to_value()),
+            ]),
+            RecoveryError::Budget { attempt, breach } => serde::Value::Object(vec![
+                kind("budget"),
+                ("attempt".to_string(), attempt.to_value()),
+                ("breach".to_string(), breach.to_value()),
+            ]),
+            RecoveryError::Infeasible { attempt, reason } => serde::Value::Object(vec![
+                kind("infeasible"),
+                ("attempt".to_string(), attempt.to_value()),
+                ("reason".to_string(), reason.to_value()),
+            ]),
+        }
+    }
+}
 
 /// Mark the vertices a recovery must relabel: `true` for every non-`Halted`
 /// vertex of a faulty run. (Recovery drivers typically also add vertices
@@ -321,6 +413,7 @@ mod tests {
             attempts: 3,
             max_radius: 3,
             violations: 2,
+            trail: Vec::new(),
         };
         assert!(e.to_string().contains("3 attempt"));
         assert!(e.to_string().contains("radius"));
@@ -334,6 +427,33 @@ mod tests {
             reason: "no free color".into(),
         };
         assert!(e.to_string().contains("no free color"));
+    }
+
+    #[test]
+    fn attempt_record_serializes_flat() {
+        let rec = AttemptRecord {
+            attempt: 2,
+            radius: 2,
+            core_size: 5,
+            residue_size: 12,
+            violations: 1,
+            breach: None,
+            infeasible: Some("no free color".to_string()),
+        };
+        let json = serde_json::to_string(&rec).unwrap();
+        assert_eq!(
+            json,
+            "{\"attempt\":2,\"radius\":2,\"core_size\":5,\"residue_size\":12,\
+             \"violations\":1,\"breach\":null,\"infeasible\":\"no free color\"}"
+        );
+        let breached = AttemptRecord {
+            breach: Some(Breach::WallClock),
+            infeasible: None,
+            ..rec
+        };
+        assert!(serde_json::to_string(&breached)
+            .unwrap()
+            .contains("\"breach\":\"wall_clock\""));
     }
 
     #[test]

@@ -103,6 +103,24 @@ pub enum EventData {
         /// Rounds the finisher consumed on top of the base run.
         extra_rounds: u32,
     },
+    /// One iteration of the adversary plane's worst-case fault-plan search.
+    SearchIter {
+        /// Search iteration (0-based within one restart).
+        iteration: u64,
+        /// Objective value of the move chosen this iteration.
+        objective: u64,
+        /// Best objective seen so far, after this iteration.
+        best: u64,
+        /// The chosen move's label (`crash(v3@r1)`, `toggle(e17)`, …),
+        /// encoded under the JSON field `"move"`.
+        mv: String,
+        /// Whether the move was accepted (improved or non-tabu best
+        /// candidate) or rejected (all candidates tabu and non-improving).
+        accepted: bool,
+        /// The tabu tenure in effect (iterations a touched attribute stays
+        /// banned).
+        tenure: u32,
+    },
     /// A named distribution snapshot.
     Histogram {
         /// What was measured (`messages_per_vertex`, `halt_round`,
@@ -124,6 +142,7 @@ impl EventData {
             EventData::SpanStart { .. } => "span_start",
             EventData::SpanEnd { .. } => "span_end",
             EventData::Recovery { .. } => "recovery",
+            EventData::SearchIter { .. } => "search_iter",
             EventData::Histogram { .. } => "histogram",
         }
     }
@@ -232,6 +251,21 @@ impl Serialize for TraceEvent {
                 fields.push(("ok".into(), ok.to_value()));
                 fields.push(("extra_rounds".into(), extra_rounds.to_value()));
             }
+            EventData::SearchIter {
+                iteration,
+                objective,
+                best,
+                mv,
+                accepted,
+                tenure,
+            } => {
+                fields.push(("iteration".into(), iteration.to_value()));
+                fields.push(("objective".into(), objective.to_value()));
+                fields.push(("best".into(), best.to_value()));
+                fields.push(("move".into(), mv.to_value()));
+                fields.push(("accepted".into(), accepted.to_value()));
+                fields.push(("tenure".into(), tenure.to_value()));
+            }
             EventData::Histogram { name, hist } => {
                 fields.push(("name".into(), name.to_value()));
                 // Splice the histogram's fields flat into the event object.
@@ -288,6 +322,14 @@ impl Deserialize for TraceEvent {
                 finisher: field_string(v, "finisher")?,
                 ok: bool::from_value(v.field("ok")?)?,
                 extra_rounds: field_u32(v, "extra_rounds")?,
+            },
+            "search_iter" => EventData::SearchIter {
+                iteration: field_u64(v, "iteration")?,
+                objective: field_u64(v, "objective")?,
+                best: field_u64(v, "best")?,
+                mv: field_string(v, "move")?,
+                accepted: bool::from_value(v.field("accepted")?)?,
+                tenure: field_u32(v, "tenure")?,
             },
             "histogram" => EventData::Histogram {
                 name: field_string(v, "name")?,
@@ -363,6 +405,18 @@ mod tests {
                     finisher: "greedy-coloring".into(),
                     ok: true,
                     extra_rounds: 3,
+                },
+            },
+            TraceEvent {
+                trial: 1,
+                seq: 3,
+                data: EventData::SearchIter {
+                    iteration: 42,
+                    objective: 7,
+                    best: 9,
+                    mv: "crash(v3@r1)".into(),
+                    accepted: false,
+                    tenure: 8,
                 },
             },
             TraceEvent {

@@ -111,6 +111,44 @@ impl<T: Clone> Strategy for Just<T> {
     }
 }
 
+/// A strategy choosing uniformly among same-valued alternatives; the
+/// result of [`prop_oneof!`]. The real proptest supports per-arm weights;
+/// this subset picks each arm with equal probability.
+pub struct Union<T> {
+    options: Vec<Box<dyn Strategy<Value = T>>>,
+}
+
+impl<T> Union<T> {
+    /// A union over `options`; used by [`prop_oneof!`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `options` is empty.
+    pub fn new(options: Vec<Box<dyn Strategy<Value = T>>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+        Union { options }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let arm = rng.gen_range(0..self.options.len());
+        self.options[arm].generate(rng)
+    }
+}
+
+/// Choose uniformly among the listed strategies (`proptest::prop_oneof!`,
+/// minus per-arm weights).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![
+            $(Box::new($strat) as Box<dyn $crate::Strategy<Value = _>>,)+
+        ])
+    };
+}
+
 macro_rules! impl_tuple_strategy {
     ($(($($s:ident),+)),*) => {$(
         #[allow(non_snake_case)]
@@ -152,7 +190,8 @@ pub mod collection {
 pub mod prelude {
     //! Glob-import target mirroring `proptest::prelude`.
     pub use crate::{
-        prop_assert, prop_assert_eq, prop_assert_ne, proptest, Just, ProptestConfig, Strategy,
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Just, ProptestConfig,
+        Strategy, Union,
     };
 }
 
@@ -236,6 +275,11 @@ mod tests {
         fn vec_strategy_has_exact_len(xs in crate::collection::vec(0usize..4, 7)) {
             prop_assert_eq!(xs.len(), 7);
             prop_assert!(xs.iter().all(|&x| x < 4));
+        }
+
+        #[test]
+        fn oneof_draws_from_every_arm(x in prop_oneof![0u32..10, 100u32..110, Just(7u32)]) {
+            prop_assert!((0u32..10).contains(&x) || (100u32..110).contains(&x));
         }
     }
 
