@@ -1,0 +1,55 @@
+//! `sweep_fabric EXPERIMENT [flags]` — run a fabric-capable experiment's
+//! sweep through the crash-tolerant coordinator/worker fabric.
+//!
+//! A thin multiplexer over the registry: `sweep_fabric E13 --workers 4`
+//! behaves exactly like `exp_e13_recovery --workers 4`, but one binary
+//! serves every fabric-capable experiment, which is what the chaos CI job
+//! and the kill-a-worker walkthrough drive. The experiment id is also the
+//! spawn prefix, so respawned workers re-enter the same experiment.
+
+use local_bench::{registry, Cli, CliError};
+
+fn usage(program: &str) -> String {
+    format!(
+        "usage: {program} EXPERIMENT [--workers N] [--full] [--json] [--quiet] \
+         [--trials N] [--seed N] [--trace PATH] [--fabric-dir DIR]\n\
+         \n\
+         EXPERIMENT is a fabric-capable id (E12, E13, E14).\n\
+         Without --workers the sweep runs serially in this process."
+    )
+}
+
+fn main() {
+    let mut args = std::env::args();
+    let program = args.next().unwrap_or_else(|| "sweep_fabric".to_string());
+    let id = match args.next() {
+        Some(arg) if arg == "--help" || arg == "-h" => {
+            println!("{}", usage(&program));
+            std::process::exit(0);
+        }
+        Some(arg) if !arg.starts_with('-') => arg.to_uppercase(),
+        _ => {
+            eprintln!("error: expected an experiment id as the first argument");
+            eprintln!("{}", usage(&program));
+            std::process::exit(2);
+        }
+    };
+    let Some(experiment) = registry::find(&id) else {
+        eprintln!("error: unknown experiment `{id}`");
+        eprintln!("{}", usage(&program));
+        std::process::exit(2);
+    };
+    let cli = match Cli::try_parse(args) {
+        Ok(cli) => cli,
+        Err(CliError::Help) => {
+            println!("{}", usage(&program));
+            std::process::exit(0);
+        }
+        Err(CliError::Bad(msg)) => {
+            eprintln!("error: {msg}");
+            eprintln!("{}", usage(&program));
+            std::process::exit(2);
+        }
+    };
+    registry::run_with_prefix(experiment, &cli, &[id]);
+}

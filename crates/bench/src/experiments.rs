@@ -6,7 +6,7 @@
 //! the CLI onto the module's `run_traced`/`run_checkpointed` entry points.
 //! The binaries in `src/bin/` are one-line shims over this table.
 
-use crate::registry::{Caps, Experiment, ExperimentOutput};
+use crate::registry::{Caps, Experiment, ExperimentOutput, FabricJob};
 use crate::Cli;
 use local_obs::TraceSink;
 use local_separation::experiments::{
@@ -15,6 +15,7 @@ use local_separation::experiments::{
     e2_shattering as e2, e3_theorem11 as e3, e4_zero_round as e4, e5_truncation as e5,
     e6_derand as e6, e7_speedup as e7, e8_linial as e8, e9_mis as e9,
 };
+use local_separation::fabric::Sweep;
 use serde::Serialize;
 
 /// Every registered experiment, in EXPERIMENTS.md order.
@@ -530,6 +531,29 @@ impl Experiment for E12Resilience {
             human: format!("{}\n", e12::table(&out)),
         }
     }
+    fn fabric(&self, cli: &Cli) -> Option<Box<dyn FabricJob>> {
+        Some(Box::new(Fabric12 {
+            sweep: e12::fabric_sweep(&Self::config(cli)),
+        }))
+    }
+}
+
+/// E12's fabric decomposition: the core sweep plus the table rendering.
+struct Fabric12 {
+    sweep: e12::FabricSweep,
+}
+
+impl FabricJob for Fabric12 {
+    fn sweep(&self) -> &dyn Sweep {
+        &self.sweep
+    }
+    fn fold(&self, per_point: Vec<Vec<serde::Value>>) -> ExperimentOutput {
+        let out = self.sweep.fold_units(per_point);
+        ExperimentOutput {
+            rows: out.rows.to_value(),
+            human: format!("{}\n", e12::table(&out)),
+        }
+    }
 }
 
 /// E13: self-healing — recovering faulty runs to complete valid labelings.
@@ -573,6 +597,29 @@ impl Experiment for E13Recovery {
             let checkpoint = cli.open_checkpoint();
             e13::run_checkpointed(&cfg, checkpoint.as_ref())
         };
+        ExperimentOutput {
+            rows: out.rows.to_value(),
+            human: format!("{}\n", e13::table(&out)),
+        }
+    }
+    fn fabric(&self, cli: &Cli) -> Option<Box<dyn FabricJob>> {
+        Some(Box::new(Fabric13 {
+            sweep: e13::fabric_sweep(&Self::config(cli)),
+        }))
+    }
+}
+
+/// E13's fabric decomposition: the core sweep plus the table rendering.
+struct Fabric13 {
+    sweep: e13::FabricSweep,
+}
+
+impl FabricJob for Fabric13 {
+    fn sweep(&self) -> &dyn Sweep {
+        &self.sweep
+    }
+    fn fold(&self, per_point: Vec<Vec<serde::Value>>) -> ExperimentOutput {
+        let out = self.sweep.fold_units(per_point);
         ExperimentOutput {
             rows: out.rows.to_value(),
             human: format!("{}\n", e13::table(&out)),
@@ -652,6 +699,36 @@ impl Experiment for E14Adversary {
             e14::run_checkpointed(&cfg, checkpoint.as_ref())
         };
         Self::pin_artifacts(cli, &cfg, &out);
+        ExperimentOutput {
+            rows: out.rows.to_value(),
+            human: format!("{}\n", e14::table(&out)),
+        }
+    }
+    fn fabric(&self, cli: &Cli) -> Option<Box<dyn FabricJob>> {
+        let cfg = Self::config(cli);
+        Some(Box::new(Fabric14 {
+            sweep: e14::fabric_sweep(&cfg),
+            cfg,
+            cli: cli.clone(),
+        }))
+    }
+}
+
+/// E14's fabric decomposition. Keeps the resolved config and CLI around so
+/// the fold can pin best-found plans exactly like the serial run does.
+struct Fabric14 {
+    sweep: e14::FabricSweep,
+    cfg: e14::Config,
+    cli: Cli,
+}
+
+impl FabricJob for Fabric14 {
+    fn sweep(&self) -> &dyn Sweep {
+        &self.sweep
+    }
+    fn fold(&self, per_point: Vec<Vec<serde::Value>>) -> ExperimentOutput {
+        let out = self.sweep.fold_units(per_point);
+        E14Adversary::pin_artifacts(&self.cli, &self.cfg, &out);
         ExperimentOutput {
             rows: out.rows.to_value(),
             human: format!("{}\n", e14::table(&out)),

@@ -1,4 +1,4 @@
-//! The experiment registry: one trait, one driver, fourteen entries.
+//! The experiment registry: one trait, one driver, fifteen entries.
 //!
 //! Every `exp_*` binary is a one-line shim over [`main_for`]. The shared
 //! driver owns everything the binaries used to copy-paste: CLI parsing,
@@ -7,20 +7,35 @@
 //! and the choice between the human tables and the JSON envelope. An
 //! [`Experiment`] implementation only declares what it *is* — id, claim,
 //! capabilities, resolved configuration — and how to produce rows.
+//!
+//! Experiments with `caps().fabric` additionally expose a [`FabricJob`]:
+//! the sweep decomposition the crash-tolerant fabric shards across worker
+//! processes (`--workers N`; see [`local_separation::fabric`]). The driver
+//! then runs one of three paths: the serial sweep (no fabric flags), the
+//! fabric coordinator (`--workers`), or a fabric worker (`--fabric-worker`,
+//! appended by the coordinator when spawning).
 
 use crate::Cli;
 use local_obs::TraceSink;
+use local_separation::checkpoint::Checkpoint;
+use local_separation::fabric::{
+    journal_scope, run_fabric, worker_serve, FabricConfig, Sweep, UnitMap, WorkerCommand, WorkerEnv,
+};
+use std::path::PathBuf;
 
 /// Which optional planes an experiment's run path supports.
 ///
 /// Declared once on the [`Experiment`] impl; the driver turns an
-/// unsupported `--trace`/`--checkpoint` into the uniform exit-2 rejection.
+/// unsupported `--trace`/`--checkpoint`/`--workers` into the uniform
+/// exit-2 rejection.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct Caps {
     /// `--trace PATH` streams JSON-lines trace events.
     pub trace: bool,
     /// `--checkpoint PATH` makes the sweep resumable.
     pub checkpoint: bool,
+    /// `--workers N` runs the sweep through the crash-tolerant fabric.
+    pub fabric: bool,
 }
 
 impl Caps {
@@ -28,11 +43,13 @@ impl Caps {
     pub const TRACE_ONLY: Caps = Caps {
         trace: true,
         checkpoint: false,
+        fabric: false,
     };
-    /// Traced and resumable (E12/E13).
+    /// Traced, resumable, and fabric-shardable (E12/E13/E14).
     pub const TRACE_AND_CHECKPOINT: Caps = Caps {
         trace: true,
         checkpoint: true,
+        fabric: true,
     };
 }
 
@@ -44,6 +61,20 @@ pub struct ExperimentOutput {
     pub rows: serde::Value,
     /// The human-readable report.
     pub human: String,
+}
+
+/// An experiment's fabric decomposition: the sweep the workers execute
+/// unit-by-unit and the fold that turns the merged unit values back into
+/// the experiment's output. The fold must reproduce the serial run's rows
+/// byte-for-byte — that is the fabric's whole contract.
+pub trait FabricJob {
+    /// The sweep: grid points (scopes + trial counts) and the unit
+    /// executor.
+    fn sweep(&self) -> &dyn Sweep;
+
+    /// Fold merged per-point unit values (see
+    /// [`local_separation::fabric::UnitMap::group`]) into the final output.
+    fn fold(&self, per_point: Vec<Vec<serde::Value>>) -> ExperimentOutput;
 }
 
 /// One registered experiment.
@@ -66,6 +97,14 @@ pub trait Experiment: Sync {
     /// Run the sweep. `sink` is `Some` exactly when `--trace` was given
     /// (the driver has already opened the file and checked capabilities).
     fn run(&self, cli: &Cli, sink: Option<&mut dyn TraceSink>) -> ExperimentOutput;
+
+    /// The experiment's fabric decomposition, present exactly when
+    /// `caps().fabric`. The driver uses it for both the coordinator and
+    /// worker paths.
+    fn fabric(&self, cli: &Cli) -> Option<Box<dyn FabricJob>> {
+        let _ = cli;
+        None
+    }
 }
 
 /// The uniform capability check: THE one place that produces rejection
@@ -75,8 +114,9 @@ pub trait Experiment: Sync {
 /// # Errors
 ///
 /// A human-readable message when the command line asks for a plane the
-/// experiment does not support, or for `--trace` and `--checkpoint`
-/// together (the journal formats are not yet unified).
+/// experiment does not support, combines planes that exclude each other
+/// (`--trace`/`--checkpoint`, `--workers`/`--checkpoint`), or misuses the
+/// fabric flags (`--workers 0`, worker flags without their prerequisites).
 pub fn check_flags(cli: &Cli, id: &str, caps: Caps) -> Result<(), String> {
     if cli.trace.is_some() && !caps.trace {
         return Err(format!(
@@ -93,23 +133,188 @@ pub fn check_flags(cli: &Cli, id: &str, caps: Caps) -> Result<(), String> {
             "--trace and --checkpoint are mutually exclusive on {id}"
         ));
     }
+    if (cli.workers.is_some() || cli.fabric_worker.is_some()) && !caps.fabric {
+        return Err(format!(
+            "{id} does not support --workers (no fabric sweep decomposition)"
+        ));
+    }
+    if cli.workers == Some(0) {
+        return Err("--workers needs at least one worker".to_string());
+    }
+    if cli.workers.is_some() && cli.checkpoint.is_some() {
+        return Err(format!(
+            "--workers and --checkpoint are mutually exclusive on {id} \
+             (the fabric journals per worker)"
+        ));
+    }
+    if cli.workers.is_some() && cli.fabric_worker.is_some() {
+        return Err("--workers and --fabric-worker are mutually exclusive".to_string());
+    }
+    if cli.fabric_worker.is_some() {
+        if cli.fabric_dir.is_none() {
+            return Err("--fabric-worker requires --fabric-dir".to_string());
+        }
+        if cli.json || cli.trace.is_some() || cli.checkpoint.is_some() {
+            return Err(
+                "--fabric-worker is a fabric-internal mode and takes no output flags".to_string(),
+            );
+        }
+    }
+    if cli.fabric_dir.is_some() && cli.workers.is_none() && cli.fabric_worker.is_none() {
+        return Err("--fabric-dir requires --workers or --fabric-worker".to_string());
+    }
+    if cli.fabric_attempt != 0 && cli.fabric_worker.is_none() {
+        return Err("--fabric-attempt requires --fabric-worker".to_string());
+    }
     Ok(())
 }
 
 /// Run `experiment` under `cli`: capability check, banner, trace plumbing,
 /// then either the JSON envelope (stdout) or the human report.
 pub fn run_with(experiment: &dyn Experiment, cli: &Cli) {
+    run_with_prefix(experiment, cli, &[]);
+}
+
+/// [`run_with`], with the extra argv prefix fabric workers need when the
+/// binary is a multiplexer (e.g. `sweep_fabric E13 …` re-spawns itself with
+/// the experiment id in front of the flags). Single-experiment shims pass
+/// an empty prefix.
+pub fn run_with_prefix(experiment: &dyn Experiment, cli: &Cli, spawn_prefix: &[String]) {
     if let Err(msg) = check_flags(cli, experiment.id(), experiment.caps()) {
         eprintln!("error: {msg}");
         std::process::exit(2);
     }
+    if let Some(slot) = cli.fabric_worker {
+        worker_main(experiment, cli, slot);
+        return;
+    }
+    if let Some(workers) = cli.workers {
+        coordinator_main(experiment, cli, workers, spawn_prefix);
+        return;
+    }
     cli.banner(experiment.id(), experiment.claim());
+    // A resumable sweep must fail loudly — not silently recompute — when
+    // the checkpoint on disk was written by a different configuration or
+    // seed: validate its scopes against the experiment's own before the
+    // run opens it for real.
+    if let (Some(path), Some(job)) = (cli.checkpoint.as_deref(), experiment.fabric(cli)) {
+        if std::path::Path::new(path).exists() {
+            let expected: Vec<String> = job
+                .sweep()
+                .points()
+                .iter()
+                .map(|p| p.scope.clone())
+                .collect();
+            let checked = Checkpoint::open(path).and_then(|ckpt| ckpt.check_scope(&expected));
+            if let Err(err) = checked {
+                cli.fail(experiment.id(), err.kind(), &err.to_string());
+            }
+        }
+    }
     let mut sink = cli.open_trace();
     let out = experiment.run(cli, sink.as_mut().map(|s| s as &mut dyn TraceSink));
     if cli.json {
         cli.emit_json(experiment.id(), &out.rows);
     } else {
         print!("{}", out.human);
+    }
+}
+
+/// The fabric coordinator path: shard the sweep into leases, drive the
+/// worker pool, merge the journals, fold, report.
+fn coordinator_main(experiment: &dyn Experiment, cli: &Cli, workers: u64, spawn_prefix: &[String]) {
+    let job = experiment
+        .fabric(cli)
+        .expect("caps().fabric implies a FabricJob");
+    cli.banner(experiment.id(), experiment.claim());
+    let points = job.sweep().points();
+    let map = UnitMap::new(points);
+    let scope = journal_scope(points);
+
+    let (dir, ephemeral) = match &cli.fabric_dir {
+        Some(d) => (PathBuf::from(d), false),
+        None => {
+            let mut d = std::env::temp_dir();
+            d.push(format!(
+                "local-fabric-{}-{}",
+                experiment.id().to_lowercase(),
+                std::process::id()
+            ));
+            (d, true)
+        }
+    };
+
+    let mut cfg = FabricConfig::from_env(workers);
+    cfg.verbose = !cli.quiet;
+    let program = match std::env::current_exe() {
+        Ok(p) => p,
+        Err(err) => {
+            cli.fail(
+                experiment.id(),
+                "io",
+                &format!("cannot locate own executable: {err}"),
+            );
+        }
+    };
+    let mut args: Vec<String> = spawn_prefix.to_vec();
+    args.extend(cli.worker_args());
+    args.push(format!("--fabric-dir={}", dir.display()));
+    let cmd = WorkerCommand { program, args };
+
+    let mut sink = cli.open_trace();
+    let result = run_fabric(
+        map.total(),
+        &cmd,
+        &dir,
+        &scope,
+        &cfg,
+        sink.as_mut().map(|s| s as &mut dyn TraceSink),
+    );
+    match result {
+        Ok(report) => {
+            cli.progress(&report.summary(workers));
+            let out = job.fold(map.group(report.values));
+            if cli.json {
+                cli.emit_json(experiment.id(), &out.rows);
+            } else {
+                print!("{}", out.human);
+            }
+            if ephemeral {
+                let _ = std::fs::remove_dir_all(&dir);
+            }
+        }
+        Err(err) => {
+            cli.fail(experiment.id(), err.kind(), &err.to_string());
+        }
+    }
+}
+
+/// The fabric worker path: serve leases from stdin, journal every unit,
+/// exit when told to. Exit status 3 (not the flag-rejection 2) on runtime
+/// failure, so the coordinator's exit census distinguishes the two.
+fn worker_main(experiment: &dyn Experiment, cli: &Cli, slot: u64) {
+    let job = experiment
+        .fabric(cli)
+        .expect("caps().fabric implies a FabricJob");
+    let dir = cli
+        .fabric_dir
+        .as_deref()
+        .expect("check_flags: --fabric-worker requires --fabric-dir");
+    let points = job.sweep().points();
+    let map = UnitMap::new(points);
+    let scope = journal_scope(points);
+    let env = WorkerEnv {
+        dir: PathBuf::from(dir),
+        worker: slot,
+        attempt: cli.fabric_attempt,
+    };
+    let sweep = job.sweep();
+    if let Err(err) = worker_serve(&env, &scope, |unit| {
+        let (point, index) = map.locate(unit);
+        sweep.run_unit(point, index)
+    }) {
+        eprintln!("error: fabric worker {slot}: {err}");
+        std::process::exit(3);
     }
 }
 

@@ -1,0 +1,263 @@
+//! Process-level contracts of the sweep fabric: `--workers N` produces the
+//! byte-identical envelope of the serial run — including when workers are
+//! killed mid-sweep — and the fabric flags reject misuse with status 2.
+//!
+//! E13's quick config at `--trials 1` is the probe sweep: 18 grid points,
+//! a couple of seconds even unoptimized, and every workload exercised.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn e13() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_exp_e13_recovery"))
+}
+
+fn sweep_fabric() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_sweep_fabric"))
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("bench-fabric-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    dir
+}
+
+/// The serial `--json` envelope for E13 quick at one trial per cell.
+fn serial_envelope() -> Vec<u8> {
+    let out = e13()
+        .args(["--json", "--quiet", "--trials", "1"])
+        .output()
+        .expect("spawn serial");
+    assert!(out.status.success(), "serial status: {:?}", out.status);
+    out.stdout
+}
+
+/// THE acceptance contract: the fabric-run sweep is byte-identical to the
+/// serial run, through both the dedicated shim and the multiplexer binary.
+#[test]
+fn fabric_envelope_is_byte_identical_to_serial() {
+    let serial = serial_envelope();
+
+    let shim = e13()
+        .args(["--json", "--quiet", "--trials", "1", "--workers", "2"])
+        .output()
+        .expect("spawn fabric shim");
+    assert!(shim.status.success(), "shim status: {:?}", shim.status);
+    assert_eq!(shim.stdout, serial, "shim --workers 2 must match serial");
+
+    let mux = sweep_fabric()
+        .args([
+            "E13",
+            "--json",
+            "--quiet",
+            "--trials",
+            "1",
+            "--workers",
+            "2",
+        ])
+        .output()
+        .expect("spawn sweep_fabric");
+    assert!(mux.status.success(), "mux status: {:?}", mux.status);
+    assert_eq!(mux.stdout, serial, "sweep_fabric E13 must match serial");
+}
+
+/// Kill-tolerance, end to end: one worker aborts mid-lease, another stalls
+/// (heartbeats stop, the deadline reaps it) — the sweep still completes
+/// with status 0 and the byte-identical envelope.
+#[test]
+fn killed_and_stalled_workers_do_not_change_the_envelope() {
+    let serial = serial_envelope();
+    let out = e13()
+        .args(["--json", "--quiet", "--trials", "1", "--workers", "2"])
+        .env("LOCAL_FABRIC_CHAOS", "0:abort@2,1:stall@3")
+        .env("LOCAL_FABRIC_HEARTBEAT_MS", "100")
+        .env("LOCAL_FABRIC_DEADLINE_MS", "1500")
+        .output()
+        .expect("spawn chaos fabric");
+    assert!(out.status.success(), "chaos status: {:?}", out.status);
+    assert_eq!(out.stdout, serial, "chaos sweep must still match serial");
+}
+
+/// Worker journals persist in `--fabric-dir`, and a rerun over the same
+/// directory resumes from them (every unit already journaled, nothing
+/// re-executed) to the same envelope.
+#[test]
+fn fabric_dir_journals_survive_and_resume() {
+    let serial = serial_envelope();
+    let dir = temp_dir("resume");
+    let dir_arg = format!("--fabric-dir={}", dir.display());
+    let first = e13()
+        .args([
+            "--json",
+            "--quiet",
+            "--trials",
+            "1",
+            "--workers",
+            "2",
+            &dir_arg,
+        ])
+        .output()
+        .expect("spawn first");
+    assert!(first.status.success(), "first status: {:?}", first.status);
+    assert_eq!(first.stdout, serial);
+    assert!(
+        dir.join("worker-0.jsonl").exists(),
+        "journal must persist in --fabric-dir"
+    );
+    let second = e13()
+        .args([
+            "--json",
+            "--quiet",
+            "--trials",
+            "1",
+            "--workers",
+            "2",
+            &dir_arg,
+        ])
+        .output()
+        .expect("spawn second");
+    assert!(
+        second.status.success(),
+        "second status: {:?}",
+        second.status
+    );
+    assert_eq!(second.stdout, serial, "resumed sweep must match serial");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A checkpoint written by a different config/seed must die loudly: exit 2
+/// and a typed `scope_mismatch` error in the `--json` envelope, never a
+/// silent recompute.
+#[test]
+fn scope_mismatched_checkpoint_fails_with_typed_json_error() {
+    let dir = temp_dir("scope");
+    let ckpt = dir.join("e13.ckpt");
+    let ckpt_str = ckpt.to_str().expect("utf-8 path");
+    let first = e13()
+        .args(["--quiet", "--trials", "1", "--checkpoint", ckpt_str])
+        .output()
+        .expect("spawn first");
+    assert!(first.status.success(), "first status: {:?}", first.status);
+
+    let drifted = e13()
+        .args([
+            "--quiet",
+            "--json",
+            "--trials",
+            "1",
+            "--seed",
+            "999",
+            "--checkpoint",
+            ckpt_str,
+        ])
+        .output()
+        .expect("spawn drifted");
+    assert_eq!(drifted.status.code(), Some(2), "drift must exit 2");
+    let stdout = String::from_utf8(drifted.stdout).expect("utf-8 stdout");
+    let envelope: serde::Value = serde_json::from_str(&stdout).expect("stdout is one JSON value");
+    let error = envelope.field("error").expect("error field");
+    assert_eq!(
+        error.field("kind").unwrap().as_str().unwrap(),
+        "scope_mismatch"
+    );
+    assert!(
+        error
+            .field("message")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .contains("config or seed drift"),
+        "message must explain the drift"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Fabric-flag misuse dies at the uniform rejection site with status 2.
+#[test]
+fn fabric_flag_misuse_exits_2() {
+    let cases: &[(&[&str], &str)] = &[
+        (&["--workers", "0"], "--workers needs at least one worker"),
+        (
+            &["--workers", "2", "--checkpoint", "c.ckpt"],
+            "--workers and --checkpoint are mutually exclusive on E13",
+        ),
+        (
+            &["--fabric-worker", "0"],
+            "--fabric-worker requires --fabric-dir",
+        ),
+        (
+            &["--fabric-dir", "d"],
+            "--fabric-dir requires --workers or --fabric-worker",
+        ),
+    ];
+    for (args, needle) in cases {
+        let out = e13().args(*args).output().expect("spawn");
+        assert_eq!(out.status.code(), Some(2), "args {args:?}");
+        let stderr = String::from_utf8(out.stderr).expect("utf-8 stderr");
+        assert!(stderr.contains(needle), "args {args:?}: {stderr:?}");
+    }
+
+    let no_fabric = Command::new(env!("CARGO_BIN_EXE_exp_e6_derand"))
+        .args(["--workers", "2"])
+        .output()
+        .expect("spawn e6");
+    assert_eq!(no_fabric.status.code(), Some(2));
+    let stderr = String::from_utf8(no_fabric.stderr).expect("utf-8 stderr");
+    assert_eq!(
+        stderr,
+        "error: E6 does not support --workers (no fabric sweep decomposition)\n"
+    );
+}
+
+/// The multiplexer rejects unknown or missing experiment ids.
+#[test]
+fn sweep_fabric_rejects_unknown_experiments() {
+    let unknown = sweep_fabric().arg("E99").output().expect("spawn");
+    assert_eq!(unknown.status.code(), Some(2));
+    let stderr = String::from_utf8(unknown.stderr).expect("utf-8 stderr");
+    assert!(stderr.contains("unknown experiment `E99`"), "{stderr:?}");
+
+    let missing = sweep_fabric().output().expect("spawn");
+    assert_eq!(missing.status.code(), Some(2));
+    let stderr = String::from_utf8(missing.stderr).expect("utf-8 stderr");
+    assert!(stderr.contains("expected an experiment id"), "{stderr:?}");
+}
+
+/// `--workers` composes with `--trace`: the trace carries the worker
+/// lifecycle (spawns, grants, completions), one JSON value per line.
+#[test]
+fn fabric_trace_records_the_worker_lifecycle() {
+    let dir = temp_dir("trace");
+    let path = dir.join("fabric.jsonl");
+    let out = e13()
+        .args([
+            "--quiet",
+            "--trials",
+            "1",
+            "--workers",
+            "2",
+            "--trace",
+            path.to_str().expect("utf-8 path"),
+        ])
+        .output()
+        .expect("spawn traced fabric");
+    assert!(out.status.success(), "status: {:?}", out.status);
+    let trace = std::fs::read_to_string(&path).expect("trace file exists");
+    let mut tags: std::collections::BTreeSet<String> = std::collections::BTreeSet::new();
+    for line in trace.lines() {
+        let event: serde::Value = serde_json::from_str(line).expect("trace line is JSON");
+        tags.insert(
+            event
+                .field("event")
+                .expect("event tag")
+                .as_str()
+                .expect("tag is a string")
+                .to_string(),
+        );
+    }
+    for tag in ["worker_spawn", "lease_grant", "lease_done"] {
+        assert!(tags.contains(tag), "trace must contain {tag}: {tags:?}");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

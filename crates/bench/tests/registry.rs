@@ -48,6 +48,28 @@ fn only_the_resumable_sweeps_support_checkpoint() {
     }
 }
 
+/// `caps().fabric` and `fabric()` must agree: the driver unwraps the job
+/// whenever the capability is declared, so a mismatch is a panic at run
+/// time — pin it here instead.
+#[test]
+fn the_fabric_capability_matches_the_decomposition() {
+    for exp in local_bench::experiments::all() {
+        let expected = matches!(exp.id(), "E12" | "E13" | "E14");
+        assert_eq!(
+            exp.caps().fabric,
+            expected,
+            "{} fabric capability",
+            exp.id()
+        );
+        assert_eq!(
+            exp.fabric(&cli(&[])).is_some(),
+            expected,
+            "{} fabric() presence",
+            exp.id()
+        );
+    }
+}
+
 #[test]
 fn every_default_config_is_an_object() {
     for exp in local_bench::experiments::all() {
@@ -85,6 +107,102 @@ fn rejection_messages_name_the_experiment_and_the_gap() {
     );
 }
 
+/// The fabric-flag rejection messages, pinned like the rest.
+#[test]
+fn fabric_flag_misuse_is_rejected_with_pinned_messages() {
+    let fab = Caps::TRACE_AND_CHECKPOINT;
+    assert_eq!(
+        check_flags(&cli(&["--workers", "2"]), "E6", Caps::TRACE_ONLY),
+        Err("E6 does not support --workers (no fabric sweep decomposition)".to_string())
+    );
+    assert_eq!(
+        check_flags(&cli(&["--workers", "0"]), "E13", fab),
+        Err("--workers needs at least one worker".to_string())
+    );
+    assert_eq!(
+        check_flags(
+            &cli(&["--workers", "2", "--checkpoint", "c.ckpt"]),
+            "E13",
+            fab
+        ),
+        Err("--workers and --checkpoint are mutually exclusive on E13 \
+             (the fabric journals per worker)"
+            .to_string())
+    );
+    assert_eq!(
+        check_flags(
+            &cli(&[
+                "--workers",
+                "2",
+                "--fabric-worker",
+                "0",
+                "--fabric-dir",
+                "d"
+            ]),
+            "E13",
+            fab,
+        ),
+        Err("--workers and --fabric-worker are mutually exclusive".to_string())
+    );
+    assert_eq!(
+        check_flags(&cli(&["--fabric-worker", "0"]), "E13", fab),
+        Err("--fabric-worker requires --fabric-dir".to_string())
+    );
+    assert_eq!(
+        check_flags(
+            &cli(&["--fabric-worker", "0", "--fabric-dir", "d", "--json"]),
+            "E13",
+            fab,
+        ),
+        Err("--fabric-worker is a fabric-internal mode and takes no output flags".to_string())
+    );
+    assert_eq!(
+        check_flags(&cli(&["--fabric-dir", "d"]), "E13", fab),
+        Err("--fabric-dir requires --workers or --fabric-worker".to_string())
+    );
+    assert_eq!(
+        check_flags(&cli(&["--fabric-attempt", "1"]), "E13", fab),
+        Err("--fabric-attempt requires --fabric-worker".to_string())
+    );
+}
+
+#[test]
+fn fabric_flags_pass_when_used_correctly() {
+    let fab = Caps::TRACE_AND_CHECKPOINT;
+    assert_eq!(check_flags(&cli(&["--workers", "4"]), "E13", fab), Ok(()));
+    assert_eq!(
+        check_flags(&cli(&["--workers", "4", "--trace", "t.jsonl"]), "E13", fab),
+        Ok(())
+    );
+    assert_eq!(
+        check_flags(&cli(&["--workers", "4", "--fabric-dir", "d"]), "E13", fab),
+        Ok(())
+    );
+    assert_eq!(
+        check_flags(
+            &cli(&["--fabric-worker", "0", "--fabric-dir", "d", "--quiet"]),
+            "E13",
+            fab,
+        ),
+        Ok(())
+    );
+    assert_eq!(
+        check_flags(
+            &cli(&[
+                "--fabric-worker",
+                "1",
+                "--fabric-attempt",
+                "2",
+                "--fabric-dir",
+                "d"
+            ]),
+            "E13",
+            fab,
+        ),
+        Ok(())
+    );
+}
+
 #[test]
 fn supported_flags_pass_the_capability_check() {
     assert_eq!(check_flags(&cli(&[]), "E1", Caps::default()), Ok(()));
@@ -113,14 +231,23 @@ fn flag_pool() -> Vec<(Vec<String>, &'static str)> {
         (vec!["--seed".into(), "42".into()], "--seed"),
         (vec!["--checkpoint".into(), "c.ckpt".into()], "--checkpoint"),
         (vec!["--trace".into(), "t.jsonl".into()], "--trace"),
+        (vec!["--workers".into(), "3".into()], "--workers"),
+        (vec!["--fabric-dir".into(), "d".into()], "--fabric-dir"),
     ]
 }
 
-/// A seed-driven permutation of `0..7` (Fisher–Yates with a tiny LCG).
-fn permutation(seed: u64) -> [usize; 7] {
-    let mut order = [0usize, 1, 2, 3, 4, 5, 6];
+/// The flag-pool size ([`flag_pool`] entries; the permutation and the
+/// subset mask both range over it).
+const POOL: usize = 9;
+
+/// A seed-driven permutation of `0..POOL` (Fisher–Yates with a tiny LCG).
+fn permutation(seed: u64) -> [usize; POOL] {
+    let mut order = [0usize; POOL];
+    for (i, slot) in order.iter_mut().enumerate() {
+        *slot = i;
+    }
     let mut state = seed.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
-    for i in (1..7).rev() {
+    for i in (1..POOL).rev() {
         state = state
             .wrapping_mul(6_364_136_223_846_793_005)
             .wrapping_add(1_442_695_040_888_963_407);
@@ -134,7 +261,7 @@ proptest! {
     /// Any subset of the flag vocabulary parses to the same [`Cli`] no
     /// matter the order the flags appear in.
     #[test]
-    fn try_parse_is_flag_order_invariant(mask in 0usize..(1 << 7), seed in 0u64..1 << 32) {
+    fn try_parse_is_flag_order_invariant(mask in 0usize..(1 << POOL), seed in 0u64..1 << 32) {
         let pool = flag_pool();
         let forward: Vec<String> = pool
             .iter()

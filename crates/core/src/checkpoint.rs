@@ -12,22 +12,107 @@
 //! a truncated record, which [`Checkpoint::open`] silently drops (that trial
 //! is simply recomputed). Every complete line is flushed before
 //! [`Checkpoint::record`] returns, so at most one in-flight record can ever
-//! be lost.
+//! be lost. [`Checkpoint::with_fsync_every`] additionally `fdatasync`s the
+//! file on a configurable cadence for durability against power loss, not
+//! just process death.
+//!
+//! Single-writer discipline is enforced, not assumed: `open` takes an OS
+//! advisory lock on the file and a second concurrent `open` fails with
+//! [`CheckpointError::Locked`] instead of interleaving half-lines into the
+//! journal. The lock is released when the `Checkpoint` drops (or the
+//! process dies — a SIGKILLed worker never wedges the file).
 //!
 //! The `scope` string namespaces trial indices: experiments embed the
 //! workload and grid coordinates (and the master seed) so that resuming with
-//! different parameters never reuses stale results.
+//! different parameters never reuses stale results. [`Checkpoint::check_scope`]
+//! turns drift into a typed [`CheckpointError::ScopeMismatch`] so callers can
+//! refuse a stale journal loudly instead of silently recomputing everything.
 
 use std::collections::HashMap;
-use std::fs::{File, OpenOptions};
+use std::fmt;
+use std::fs::{File, OpenOptions, TryLockError};
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::path::{Path, PathBuf};
 use std::sync::Mutex;
 
 use serde::Value;
 
+/// Why a checkpoint operation failed.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// The underlying file could not be read, locked, or appended.
+    Io(std::io::Error),
+    /// Another live process holds the advisory lock on this journal.
+    Locked {
+        /// The contested journal path.
+        path: PathBuf,
+    },
+    /// The journal holds records for a scope the caller did not expect —
+    /// config or seed drift since the journal was written.
+    ScopeMismatch {
+        /// The journal path.
+        path: PathBuf,
+        /// The first unexpected scope found in the journal.
+        found: String,
+        /// Every scope the caller considers valid.
+        expected: Vec<String>,
+    },
+}
+
+impl CheckpointError {
+    /// A short machine-readable tag (`"io"`, `"locked"`, `"scope_mismatch"`)
+    /// for JSON error surfaces.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            CheckpointError::Io(_) => "io",
+            CheckpointError::Locked { .. } => "locked",
+            CheckpointError::ScopeMismatch { .. } => "scope_mismatch",
+        }
+    }
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::Io(err) => write!(f, "checkpoint I/O error: {err}"),
+            CheckpointError::Locked { path } => write!(
+                f,
+                "checkpoint {} is locked by another process (concurrent open)",
+                path.display()
+            ),
+            CheckpointError::ScopeMismatch {
+                path,
+                found,
+                expected,
+            } => write!(
+                f,
+                "checkpoint {} holds records for scope {found:?}, which matches none of the {} \
+                 scope(s) of this run — config or seed drift; use a fresh checkpoint path",
+                path.display(),
+                expected.len()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CheckpointError::Io(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for CheckpointError {
+    fn from(err: std::io::Error) -> CheckpointError {
+        CheckpointError::Io(err)
+    }
+}
+
 /// An append-only JSON-lines store of per-trial results, safe to share
-/// across rayon workers.
+/// across rayon workers. Holds an OS advisory lock for its lifetime, so at
+/// most one process writes a given journal at a time.
 #[derive(Debug)]
 pub struct Checkpoint {
     path: PathBuf,
@@ -38,6 +123,10 @@ pub struct Checkpoint {
 struct Inner {
     entries: HashMap<(String, u64), Value>,
     writer: BufWriter<File>,
+    /// `sync_data` after every `fsync_every` appends; 0 disables fsync
+    /// (flush-only, the historical behavior).
+    fsync_every: u64,
+    appends_since_sync: u64,
 }
 
 impl Checkpoint {
@@ -48,38 +137,48 @@ impl Checkpoint {
     /// are skipped, not errors: the corresponding trials are recomputed. A
     /// later record for the same `(scope, index)` supersedes an earlier one.
     ///
+    /// The append handle is advisory-locked *before* any record is read, so
+    /// two processes can never interleave writes (or read a journal the
+    /// other is mid-append on): the loser gets [`CheckpointError::Locked`].
+    ///
     /// # Errors
     ///
-    /// [`std::io::Error`] if the file cannot be read or opened for append.
-    pub fn open<P: AsRef<Path>>(path: P) -> std::io::Result<Checkpoint> {
+    /// [`CheckpointError::Locked`] if another process holds the journal;
+    /// [`CheckpointError::Io`] if the file cannot be read or opened for
+    /// append.
+    pub fn open<P: AsRef<Path>>(path: P) -> Result<Checkpoint, CheckpointError> {
         use std::io::{Read, Seek, SeekFrom};
 
         let path = path.as_ref().to_path_buf();
+        // Lock first, read second: once `try_lock` succeeds no other
+        // Checkpoint can append, so the load below sees a quiescent file.
+        let file = OpenOptions::new().create(true).append(true).open(&path)?;
+        match file.try_lock() {
+            Ok(()) => {}
+            Err(TryLockError::WouldBlock) => return Err(CheckpointError::Locked { path }),
+            Err(TryLockError::Error(err)) => return Err(CheckpointError::Io(err)),
+        }
         let mut entries = HashMap::new();
         // A killed writer can leave the file without a trailing newline; a
         // fresh append would then glue onto the torn fragment and corrupt
         // the new record too. Detect that and terminate the torn line first.
         let mut needs_newline = false;
-        match File::open(&path) {
-            Ok(mut file) => {
-                if file.metadata()?.len() > 0 {
-                    file.seek(SeekFrom::End(-1))?;
-                    let mut last = [0u8; 1];
-                    file.read_exact(&mut last)?;
-                    needs_newline = last[0] != b'\n';
-                    file.seek(SeekFrom::Start(0))?;
-                }
-                for line in BufReader::new(file).lines() {
-                    let line = line?;
-                    if let Some((scope, index, value)) = parse_line(&line) {
-                        entries.insert((scope, index), value);
-                    }
+        {
+            let mut reader = File::open(&path)?;
+            if reader.metadata()?.len() > 0 {
+                reader.seek(SeekFrom::End(-1))?;
+                let mut last = [0u8; 1];
+                reader.read_exact(&mut last)?;
+                needs_newline = last[0] != b'\n';
+                reader.seek(SeekFrom::Start(0))?;
+            }
+            for line in BufReader::new(reader).lines() {
+                let line = line?;
+                if let Some((scope, index, value)) = parse_line(&line) {
+                    entries.insert((scope, index), value);
                 }
             }
-            Err(err) if err.kind() == std::io::ErrorKind::NotFound => {}
-            Err(err) => return Err(err),
         }
-        let file = OpenOptions::new().create(true).append(true).open(&path)?;
         let mut writer = BufWriter::new(file);
         if needs_newline {
             writer.write_all(b"\n")?;
@@ -87,8 +186,22 @@ impl Checkpoint {
         }
         Ok(Checkpoint {
             path,
-            inner: Mutex::new(Inner { entries, writer }),
+            inner: Mutex::new(Inner {
+                entries,
+                writer,
+                fsync_every: 0,
+                appends_since_sync: 0,
+            }),
         })
+    }
+
+    /// Enable `fdatasync` on a cadence: every `every`-th append additionally
+    /// syncs file data to disk. `0` disables fsync (the default): records
+    /// are still flushed to the OS, which survives process death but not
+    /// power loss.
+    pub fn with_fsync_every(self, every: u64) -> Checkpoint {
+        self.inner.lock().expect("checkpoint lock").fsync_every = every;
+        self
     }
 
     /// The path this store appends to.
@@ -116,12 +229,51 @@ impl Checkpoint {
             .cloned()
     }
 
-    /// Append one record and flush it to disk before returning, so a kill
-    /// after `record` never loses the trial.
+    /// Every distinct scope recorded in the journal, sorted.
+    pub fn scopes(&self) -> Vec<String> {
+        let inner = self.inner.lock().expect("checkpoint lock");
+        let mut scopes: Vec<String> = inner
+            .entries
+            .keys()
+            .map(|(scope, _)| scope.clone())
+            .collect();
+        scopes.sort();
+        scopes.dedup();
+        scopes
+    }
+
+    /// Verify that every scope in the journal is one the caller expects.
+    ///
+    /// A resumable sweep passes the full set of scopes it can produce; a
+    /// journal written by a run with different config or master seed then
+    /// fails loudly instead of being silently ignored record-by-record.
+    /// (A *subset* of expected scopes is fine — that is exactly what an
+    /// interrupted run leaves behind.)
     ///
     /// # Errors
     ///
-    /// [`std::io::Error`] if the append or flush fails.
+    /// [`CheckpointError::ScopeMismatch`] naming the first stray scope.
+    pub fn check_scope(&self, expected: &[String]) -> Result<(), CheckpointError> {
+        for found in self.scopes() {
+            if !expected.contains(&found) {
+                return Err(CheckpointError::ScopeMismatch {
+                    path: self.path.clone(),
+                    found,
+                    expected: expected.to_vec(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Append one record and flush it to disk before returning, so a kill
+    /// after `record` never loses the trial. When a fsync cadence is set
+    /// (see [`Checkpoint::with_fsync_every`]), every `every`-th append also
+    /// syncs file data.
+    ///
+    /// # Errors
+    ///
+    /// [`std::io::Error`] if the append, flush, or sync fails.
     pub fn record(&self, scope: &str, index: u64, value: Value) -> std::io::Result<()> {
         let line = serde_json::to_string(&Value::Object(vec![
             ("scope".to_string(), Value::String(scope.to_string())),
@@ -133,6 +285,13 @@ impl Checkpoint {
         inner.writer.write_all(line.as_bytes())?;
         inner.writer.write_all(b"\n")?;
         inner.writer.flush()?;
+        if inner.fsync_every > 0 {
+            inner.appends_since_sync += 1;
+            if inner.appends_since_sync >= inner.fsync_every {
+                inner.writer.get_ref().sync_data()?;
+                inner.appends_since_sync = 0;
+            }
+        }
         inner.entries.insert((scope.to_string(), index), value);
         Ok(())
     }
@@ -246,6 +405,79 @@ mod tests {
         let ckpt = Checkpoint::open(&path).expect("open");
         assert_eq!(ckpt.len(), 1);
         assert_eq!(ckpt.lookup("s", 1), Some(Value::U64(4)));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn concurrent_open_is_a_typed_locked_error() {
+        let path = temp_path("flock");
+        let _ = std::fs::remove_file(&path);
+        let first = Checkpoint::open(&path).expect("first open");
+        match Checkpoint::open(&path) {
+            Err(CheckpointError::Locked { path: p }) => assert_eq!(p, path),
+            other => panic!("expected Locked, got {other:?}"),
+        }
+        // Releasing the first handle releases the lock.
+        drop(first);
+        let again = Checkpoint::open(&path).expect("open after release");
+        again.record("s", 0, Value::U64(1)).expect("rec");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn fsync_cadence_preserves_records_and_behavior() {
+        let path = temp_path("fsync");
+        let _ = std::fs::remove_file(&path);
+        {
+            let ckpt = Checkpoint::open(&path).expect("open").with_fsync_every(2);
+            for i in 0..5 {
+                ckpt.record("s", i, Value::U64(i * 10)).expect("rec");
+            }
+            assert_eq!(ckpt.len(), 5);
+        }
+        let again = Checkpoint::open(&path).expect("reopen");
+        for i in 0..5 {
+            assert_eq!(again.lookup("s", i), Some(Value::U64(i * 10)));
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn scopes_are_sorted_and_deduped() {
+        let path = temp_path("scopes");
+        let _ = std::fs::remove_file(&path);
+        let ckpt = Checkpoint::open(&path).expect("open");
+        ckpt.record("b", 0, Value::U64(1)).expect("rec");
+        ckpt.record("a", 0, Value::U64(2)).expect("rec");
+        ckpt.record("b", 1, Value::U64(3)).expect("rec");
+        assert_eq!(ckpt.scopes(), vec!["a".to_string(), "b".to_string()]);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn check_scope_accepts_subsets_and_rejects_drift() {
+        let path = temp_path("scopecheck");
+        let _ = std::fs::remove_file(&path);
+        let ckpt = Checkpoint::open(&path).expect("open");
+        assert!(ckpt.check_scope(&[]).is_ok(), "empty journal matches all");
+        ckpt.record("run/seed=1/p=0.1", 0, Value::U64(1))
+            .expect("rec");
+        let expected = vec![
+            "run/seed=1/p=0.1".to_string(),
+            "run/seed=1/p=0.2".to_string(),
+        ];
+        assert!(
+            ckpt.check_scope(&expected).is_ok(),
+            "partial journal is a valid resume"
+        );
+        // Same journal against a different seed's scope set: typed error.
+        let drifted = vec!["run/seed=2/p=0.1".to_string()];
+        match ckpt.check_scope(&drifted) {
+            Err(CheckpointError::ScopeMismatch { found, .. }) => {
+                assert_eq!(found, "run/seed=1/p=0.1");
+            }
+            other => panic!("expected ScopeMismatch, got {other:?}"),
+        }
         let _ = std::fs::remove_file(&path);
     }
 }

@@ -29,6 +29,7 @@
 //! [`Checkpoint`] store.
 
 use crate::checkpoint::Checkpoint;
+use crate::fabric::{decode_unit, run_unit_isolated, Sweep, SweepPoint};
 use crate::report::Table;
 use crate::trials::{TrialOutcome, TrialPlan, TrialSpec};
 use local_algorithms::mis::luby::Luby;
@@ -42,7 +43,7 @@ use local_model::{Budget, ExecSpec, FaultPlan, FaultSpec, Mode, Outcome};
 use local_obs::{Trace, TraceSink};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Serialize, Value};
 
 /// Sweep configuration.
 #[derive(Debug, Clone, serde::Serialize)]
@@ -463,6 +464,94 @@ pub fn run_traced(cfg: &Config, mut sink: Option<&mut dyn TraceSink>) -> Outcome
     Outcome12 { rows }
 }
 
+/// The fabric view of the sweep (see [`crate::fabric`]): one
+/// [`SweepPoint`] per grid cell in the exact serial fold order, with failed
+/// workload slots contributing zero-trial points so the grid shape (and the
+/// error rows) survive the round trip.
+pub struct FabricSweep {
+    cfg: Config,
+    slots: Vec<Result<Workload<'static>, (&'static str, GraphError)>>,
+    points: Vec<SweepPoint>,
+}
+
+/// Build the fabric view of `cfg`'s sweep.
+pub fn fabric_sweep(cfg: &Config) -> FabricSweep {
+    let slots = workloads(cfg);
+    let mut points = Vec::new();
+    for slot in &slots {
+        let (name, trials) = match slot {
+            Ok(w) => (w.name, cfg.trials),
+            Err((name, _)) => (*name, 0),
+        };
+        for &drop_p in &cfg.drop_ps {
+            for &crash_p in &cfg.crash_ps {
+                points.push(SweepPoint {
+                    scope: scope("e12", cfg, name, drop_p, crash_p),
+                    trials,
+                });
+            }
+        }
+    }
+    FabricSweep {
+        cfg: cfg.clone(),
+        slots,
+        points,
+    }
+}
+
+impl Sweep for FabricSweep {
+    fn points(&self) -> &[SweepPoint] {
+        &self.points
+    }
+
+    fn run_unit(&self, point: usize, index: u64) -> Value {
+        let pps = self.cfg.drop_ps.len() * self.cfg.crash_ps.len();
+        let drop_p = self.cfg.drop_ps[(point % pps) / self.cfg.crash_ps.len()];
+        let crash_p = self.cfg.crash_ps[point % self.cfg.crash_ps.len()];
+        let w = self.slots[point / pps]
+            .as_ref()
+            .expect("zero-trial error points receive no units");
+        let seed = TrialPlan::new(self.cfg.trials, self.cfg.master_seed).seed(index);
+        let spec = FaultSpec::none()
+            .with_drop(drop_p)
+            .with_crash(crash_p, w.crash_window);
+        run_unit_isolated(|| {
+            let faults = FaultPlan::sample(&w.graph, &spec, seed);
+            (w.run)(&w.graph, seed, &faults, None)
+        })
+    }
+}
+
+impl FabricSweep {
+    /// Fold merged per-point unit values (grouped by
+    /// [`crate::fabric::UnitMap::group`]) back into the same [`Outcome12`]
+    /// a serial [`run`] produces — byte-identical once serialized.
+    pub fn fold_units(&self, per_point: Vec<Vec<Value>>) -> Outcome12 {
+        let mut rows = Vec::new();
+        let mut groups = per_point.into_iter();
+        for slot in &self.slots {
+            for &drop_p in &self.cfg.drop_ps {
+                for &crash_p in &self.cfg.crash_ps {
+                    let values = groups.next().expect("one group per grid point");
+                    match slot {
+                        Err((name, err)) => {
+                            rows.push(error_row(name, drop_p, crash_p, err));
+                        }
+                        Ok(w) => {
+                            let outcomes = values
+                                .iter()
+                                .map(|v| decode_unit(v).expect("fabric journal record shape"))
+                                .collect();
+                            rows.push(fold_row(w.name, drop_p, crash_p, self.cfg.trials, outcomes));
+                        }
+                    }
+                }
+            }
+        }
+        Outcome12 { rows }
+    }
+}
+
 /// Render the EXPERIMENTS.md table.
 pub fn table(out: &Outcome12) -> Table {
     let mut t = Table::new(
@@ -606,6 +695,27 @@ mod tests {
         assert!(events
             .iter()
             .any(|e| matches!(e.data, local_obs::EventData::Round { crashes, .. } if crashes > 0)));
+    }
+
+    #[test]
+    fn fabric_units_fold_identically_to_serial() {
+        use crate::fabric::UnitMap;
+        let cfg = tiny();
+        let serial = run(&cfg);
+        let sweep = fabric_sweep(&cfg);
+        let map = UnitMap::new(sweep.points());
+        // Reverse unit order: execution order must not matter.
+        let mut values = vec![Value::Null; map.total() as usize];
+        for unit in (0..map.total()).rev() {
+            let (point, index) = map.locate(unit);
+            values[unit as usize] = sweep.run_unit(point, index);
+        }
+        let fabric = sweep.fold_units(map.group(values));
+        assert_eq!(
+            serde_json::to_string(&serial.rows).unwrap(),
+            serde_json::to_string(&fabric.rows).unwrap(),
+            "fabric decomposition must be invisible in the folded rows"
+        );
     }
 
     #[test]

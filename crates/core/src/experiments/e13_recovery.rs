@@ -19,6 +19,7 @@
 //! reproduces the uninterrupted JSON byte-for-byte.
 
 use crate::checkpoint::Checkpoint;
+use crate::fabric::{decode_unit, run_unit_isolated, Sweep, SweepPoint};
 use crate::report::Table;
 use crate::trials::{TrialOutcome, TrialPlan, TrialSpec};
 use local_algorithms::mis::luby::Luby;
@@ -35,7 +36,7 @@ use local_model::{derived_u64, Budget, ExecSpec, FaultPlan, FaultSpec, Mode, Out
 use local_obs::{Trace, TraceSink};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Serialize, Value};
 
 pub use super::e12_resilience::OutcomeCounts;
 
@@ -550,6 +551,94 @@ pub fn run_traced(cfg: &Config, mut sink: Option<&mut dyn TraceSink>) -> Outcome
     Outcome13 { rows }
 }
 
+/// The fabric view of the sweep (see [`crate::fabric`]): one
+/// [`SweepPoint`] per grid cell in the exact serial fold order, with failed
+/// workload slots contributing zero-trial points so the grid shape (and the
+/// error rows) survive the round trip.
+pub struct FabricSweep {
+    cfg: Config,
+    slots: Vec<Result<Workload<'static>, (&'static str, GraphError)>>,
+    points: Vec<SweepPoint>,
+}
+
+/// Build the fabric view of `cfg`'s sweep.
+pub fn fabric_sweep(cfg: &Config) -> FabricSweep {
+    let slots = workloads(cfg);
+    let mut points = Vec::new();
+    for slot in &slots {
+        let (name, trials) = match slot {
+            Ok(w) => (w.name, cfg.trials),
+            Err((name, _)) => (*name, 0),
+        };
+        for &drop_p in &cfg.drop_ps {
+            for &crash_p in &cfg.crash_ps {
+                points.push(SweepPoint {
+                    scope: scope(cfg, name, drop_p, crash_p),
+                    trials,
+                });
+            }
+        }
+    }
+    FabricSweep {
+        cfg: cfg.clone(),
+        slots,
+        points,
+    }
+}
+
+impl Sweep for FabricSweep {
+    fn points(&self) -> &[SweepPoint] {
+        &self.points
+    }
+
+    fn run_unit(&self, point: usize, index: u64) -> Value {
+        let pps = self.cfg.drop_ps.len() * self.cfg.crash_ps.len();
+        let drop_p = self.cfg.drop_ps[(point % pps) / self.cfg.crash_ps.len()];
+        let crash_p = self.cfg.crash_ps[point % self.cfg.crash_ps.len()];
+        let w = self.slots[point / pps]
+            .as_ref()
+            .expect("zero-trial error points receive no units");
+        let seed = TrialPlan::new(self.cfg.trials, self.cfg.master_seed).seed(index);
+        let spec = FaultSpec::none()
+            .with_drop(drop_p)
+            .with_crash(crash_p, w.crash_window);
+        run_unit_isolated(|| {
+            let faults = FaultPlan::sample(&w.graph, &spec, seed);
+            (w.run)(&w.graph, seed, &faults, &self.cfg.policy, None)
+        })
+    }
+}
+
+impl FabricSweep {
+    /// Fold merged per-point unit values (grouped by
+    /// [`crate::fabric::UnitMap::group`]) back into the same [`Outcome13`]
+    /// a serial [`run`] produces — byte-identical once serialized.
+    pub fn fold_units(&self, per_point: Vec<Vec<Value>>) -> Outcome13 {
+        let mut rows = Vec::new();
+        let mut groups = per_point.into_iter();
+        for slot in &self.slots {
+            for &drop_p in &self.cfg.drop_ps {
+                for &crash_p in &self.cfg.crash_ps {
+                    let values = groups.next().expect("one group per grid point");
+                    match slot {
+                        Err((name, err)) => {
+                            rows.push(error_row(name, drop_p, crash_p, &self.cfg, err));
+                        }
+                        Ok(w) => {
+                            let outcomes = values
+                                .iter()
+                                .map(|v| decode_unit(v).expect("fabric journal record shape"))
+                                .collect();
+                            rows.push(fold_row(w.name, drop_p, crash_p, &self.cfg, outcomes));
+                        }
+                    }
+                }
+            }
+        }
+        Outcome13 { rows }
+    }
+}
+
 /// Render the EXPERIMENTS.md table.
 pub fn table(out: &Outcome13) -> Table {
     let mut t = Table::new(
@@ -722,6 +811,48 @@ mod tests {
         assert!(events
             .iter()
             .any(|e| matches!(&e.data, EventData::SpanStart { name } if name == "recover")));
+    }
+
+    /// Run a fabric sweep in-process (no subprocesses): execute every unit
+    /// through the `Sweep` interface in an arbitrary order, then fold.
+    fn fabric_in_process(cfg: &Config) -> Outcome13 {
+        use crate::fabric::UnitMap;
+        let sweep = fabric_sweep(cfg);
+        let map = UnitMap::new(sweep.points());
+        // Reverse unit order: execution order must not matter.
+        let mut values = vec![Value::Null; map.total() as usize];
+        for unit in (0..map.total()).rev() {
+            let (point, index) = map.locate(unit);
+            values[unit as usize] = sweep.run_unit(point, index);
+        }
+        sweep.fold_units(map.group(values))
+    }
+
+    #[test]
+    fn fabric_units_fold_identically_to_serial() {
+        let cfg = tiny();
+        let serial = run(&cfg);
+        let fabric = fabric_in_process(&cfg);
+        assert_eq!(
+            serde_json::to_string(&serial.rows).unwrap(),
+            serde_json::to_string(&fabric.rows).unwrap(),
+            "fabric decomposition must be invisible in the folded rows"
+        );
+    }
+
+    #[test]
+    fn fabric_preserves_error_rows() {
+        let cfg = Config {
+            sinkless_n: 61, // n·d odd: no 3-regular graph
+            ..tiny()
+        };
+        let serial = run(&cfg);
+        let fabric = fabric_in_process(&cfg);
+        assert_eq!(
+            serde_json::to_string(&serial.rows).unwrap(),
+            serde_json::to_string(&fabric.rows).unwrap(),
+            "zero-trial error points must fold to the same error rows"
+        );
     }
 
     #[test]

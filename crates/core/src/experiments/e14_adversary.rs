@@ -26,6 +26,7 @@
 
 use crate::adversary::{search, Evaluation, Objective, SearchConfig};
 use crate::checkpoint::Checkpoint;
+use crate::fabric::{decode_unit, run_unit_isolated, Sweep, SweepPoint};
 use crate::report::Table;
 use crate::trials::{TrialOutcome, TrialPlan, TrialSpec};
 use local_algorithms::mis::luby::Luby;
@@ -42,7 +43,7 @@ use local_model::{derived_u64, Budget, ExecSpec, FaultPlan, Mode, Outcome};
 use local_obs::{Trace, TraceSink};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Serialize, Value};
 
 /// Vertices in the tree-coloring workload (fixed; see the module docs).
 pub const TREE_N: usize = 64;
@@ -599,6 +600,81 @@ pub fn run_traced(cfg: &Config, mut sink: Option<&mut dyn TraceSink>) -> Outcome
     Outcome14 { rows }
 }
 
+/// The fabric view of the sweep (see [`crate::fabric`]): one
+/// [`SweepPoint`] per workload × objective grid cell in the exact serial
+/// fold order, with failed workload slots contributing zero-trial points so
+/// the grid shape (and the error rows) survive the round trip.
+pub struct FabricSweep {
+    cfg: Config,
+    slots: Vec<Result<Workload<'static>, (&'static str, GraphError)>>,
+    points: Vec<SweepPoint>,
+}
+
+/// Build the fabric view of `cfg`'s sweep.
+pub fn fabric_sweep(cfg: &Config) -> FabricSweep {
+    let slots = workloads();
+    let mut points = Vec::new();
+    for slot in &slots {
+        let (name, trials) = match slot {
+            Ok(w) => (w.name, cfg.restarts),
+            Err((name, _)) => (*name, 0),
+        };
+        for objective in Objective::ALL {
+            points.push(SweepPoint {
+                scope: scope(cfg, name, objective),
+                trials,
+            });
+        }
+    }
+    FabricSweep {
+        cfg: cfg.clone(),
+        slots,
+        points,
+    }
+}
+
+impl Sweep for FabricSweep {
+    fn points(&self) -> &[SweepPoint] {
+        &self.points
+    }
+
+    fn run_unit(&self, point: usize, index: u64) -> Value {
+        let pps = Objective::ALL.len();
+        let objective = Objective::ALL[point % pps];
+        let w = self.slots[point / pps]
+            .as_ref()
+            .expect("zero-trial error points receive no units");
+        let seed = TrialPlan::new(self.cfg.restarts, self.cfg.master_seed).seed(index);
+        run_unit_isolated(|| restart(w, objective, &self.cfg, seed, None))
+    }
+}
+
+impl FabricSweep {
+    /// Fold merged per-point unit values (grouped by
+    /// [`crate::fabric::UnitMap::group`]) back into the same [`Outcome14`]
+    /// a serial [`run`] produces — byte-identical once serialized.
+    pub fn fold_units(&self, per_point: Vec<Vec<Value>>) -> Outcome14 {
+        let mut rows = Vec::new();
+        let mut groups = per_point.into_iter();
+        for slot in &self.slots {
+            for objective in Objective::ALL {
+                let values = groups.next().expect("one group per grid point");
+                match slot {
+                    Err((name, err)) => rows.push(error_row(name, objective, err)),
+                    Ok(w) => {
+                        let outcomes = values
+                            .iter()
+                            .map(|v| decode_unit(v).expect("fabric journal record shape"))
+                            .collect();
+                        rows.push(fold_row(w.name, objective, &self.cfg, outcomes));
+                    }
+                }
+            }
+        }
+        Outcome14 { rows }
+    }
+}
+
 /// Render one row's pinned replay artifact: the best-found plan, its seed
 /// lineage, and its damage census, in one self-contained JSON object. The
 /// CI replay gate re-evaluates the embedded plan and asserts the re-rendered
@@ -821,6 +897,27 @@ mod tests {
                 .unwrap()
             );
         }
+    }
+
+    #[test]
+    fn fabric_units_fold_identically_to_serial() {
+        use crate::fabric::UnitMap;
+        let cfg = tiny();
+        let serial = run(&cfg);
+        let sweep = fabric_sweep(&cfg);
+        let map = UnitMap::new(sweep.points());
+        // Reverse unit order: execution order must not matter.
+        let mut values = vec![Value::Null; map.total() as usize];
+        for unit in (0..map.total()).rev() {
+            let (point, index) = map.locate(unit);
+            values[unit as usize] = sweep.run_unit(point, index);
+        }
+        let fabric = sweep.fold_units(map.group(values));
+        assert_eq!(
+            serde_json::to_string(&serial.rows).unwrap(),
+            serde_json::to_string(&fabric.rows).unwrap(),
+            "fabric decomposition must be invisible in the folded rows"
+        );
     }
 
     #[test]

@@ -22,6 +22,13 @@
 //! Every driver returns both typed rows (serde-serializable) and a rendered
 //! [`Table`](crate::report::Table); the binaries in `local-bench` print the
 //! tables that EXPERIMENTS.md records.
+//!
+//! The trial-grid sweeps (E12/E13/E14) additionally expose a
+//! `fabric_sweep` decomposition — the same grid as a flat
+//! [`Sweep`](crate::fabric::Sweep) unit space plus a `fold_units` inverse —
+//! which is what `--workers N` shards across the crash-tolerant process
+//! fabric ([`crate::fabric`]); the fold is pinned byte-identical to the
+//! serial driver by in-process tests in each module.
 
 pub mod a1_ablation;
 pub mod e10_indistinguishability;

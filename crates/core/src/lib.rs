@@ -16,6 +16,11 @@
 //!   run their randomized batches through.
 //! * [`checkpoint`] — the JSON-lines checkpoint store behind the binaries'
 //!   `--checkpoint` flag (kill-and-resume sweeps).
+//! * [`fabric`] — the crash-tolerant sweep fabric: a coordinator/worker
+//!   process pool with lease-based work stealing, heartbeat deadlines,
+//!   supervised respawn, and a bit-identical journal merge.
+//! * [`retry`] — jittered exponential backoff with a cap and budget (paces
+//!   the fabric's worker respawns; injectable clock for tests).
 //! * [`fit`] — model-function fitting used to classify measured round
 //!   complexities (`log n` vs `log log n` vs `log* n` …).
 //! * [`report`] — aligned text tables for experiment output.
@@ -27,9 +32,11 @@ pub mod adversary;
 pub mod checkpoint;
 pub mod derand;
 pub mod experiments;
+pub mod fabric;
 pub mod fit;
 pub mod invariance;
 pub mod report;
+pub mod retry;
 pub mod shatter;
 pub mod speedup;
 pub mod trials;

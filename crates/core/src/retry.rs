@@ -1,0 +1,273 @@
+//! Reusable retry/backoff policy: jittered exponential delays with a cap
+//! and a hard attempt budget.
+//!
+//! The sweep fabric's coordinator uses this to pace worker respawns, but the
+//! policy is deliberately generic: anything that needs "try again, later,
+//! but not forever" builds a [`RetryPolicy`] and either walks the
+//! [`Backoff`] iterator itself (non-blocking schedulers) or calls
+//! [`with_backoff`] with a [`Clock`] (blocking callers).
+//!
+//! Determinism: the jitter stream is derived from `jitter_seed` via the
+//! engine's own stream-splitting ([`local_model::derived_u64`]), so a policy
+//! with a fixed seed produces the same delay sequence on every run — tests
+//! inject a [`RecordingClock`] and assert the exact schedule.
+
+use local_model::derived_u64;
+
+/// A jittered exponential backoff policy.
+///
+/// Attempt `k` (zero-based) draws its delay uniformly from
+/// `[d/2, d]` where `d = min(cap_ms, base_ms << k)` — "equal jitter", so a
+/// delay is never shorter than half its nominal value and herds of retriers
+/// still decorrelate. After `budget` attempts the iterator is exhausted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Nominal delay of the first retry, in milliseconds.
+    pub base_ms: u64,
+    /// Ceiling on the nominal delay, in milliseconds.
+    pub cap_ms: u64,
+    /// Maximum number of retries before giving up.
+    pub budget: u32,
+    /// Seed of the deterministic jitter stream.
+    pub jitter_seed: u64,
+}
+
+impl RetryPolicy {
+    /// A policy with the given shape and a zero jitter seed.
+    pub fn new(base_ms: u64, cap_ms: u64, budget: u32) -> RetryPolicy {
+        RetryPolicy {
+            base_ms,
+            cap_ms,
+            budget,
+            jitter_seed: 0,
+        }
+    }
+
+    /// The same policy with its jitter stream re-keyed (e.g. per worker
+    /// slot, so simultaneous respawns spread out).
+    pub fn with_jitter_seed(mut self, seed: u64) -> RetryPolicy {
+        self.jitter_seed = seed;
+        self
+    }
+
+    /// The nominal (un-jittered) delay of attempt `attempt`, in ms.
+    fn nominal_ms(&self, attempt: u32) -> u64 {
+        // saturating_mul (not a shift): a shift silently drops high bits
+        // instead of saturating, which would *shrink* late delays.
+        let doubled = self.base_ms.saturating_mul(1u64 << attempt.min(63));
+        doubled.min(self.cap_ms)
+    }
+
+    /// The jittered delay of attempt `attempt`, in ms — deterministic in
+    /// `(jitter_seed, attempt)`.
+    pub fn delay_ms(&self, attempt: u32) -> u64 {
+        let nominal = self.nominal_ms(attempt);
+        let half = nominal / 2;
+        let span = nominal - half + 1;
+        half + derived_u64(self.jitter_seed, u64::from(attempt)) % span
+    }
+
+    /// Iterator over the policy's delay schedule: `budget` jittered delays,
+    /// then `None`.
+    pub fn delays(&self) -> Backoff {
+        Backoff {
+            policy: *self,
+            attempt: 0,
+        }
+    }
+}
+
+/// The delay schedule of a [`RetryPolicy`]; see [`RetryPolicy::delays`].
+#[derive(Debug, Clone)]
+pub struct Backoff {
+    policy: RetryPolicy,
+    attempt: u32,
+}
+
+impl Backoff {
+    /// Number of retries already scheduled.
+    pub fn attempts(&self) -> u32 {
+        self.attempt
+    }
+
+    /// Is the budget exhausted?
+    pub fn exhausted(&self) -> bool {
+        self.attempt >= self.policy.budget
+    }
+}
+
+impl Iterator for Backoff {
+    type Item = u64;
+
+    fn next(&mut self) -> Option<u64> {
+        if self.attempt >= self.policy.budget {
+            return None;
+        }
+        let delay = self.policy.delay_ms(self.attempt);
+        self.attempt += 1;
+        Some(delay)
+    }
+}
+
+/// A source of sleep, injectable so backoff schedules are testable without
+/// wall-clock time.
+pub trait Clock {
+    /// Block for `ms` milliseconds.
+    fn sleep_ms(&mut self, ms: u64);
+}
+
+/// The real clock: [`std::thread::sleep`].
+#[derive(Debug, Default, Clone, Copy)]
+pub struct SystemClock;
+
+impl Clock for SystemClock {
+    fn sleep_ms(&mut self, ms: u64) {
+        std::thread::sleep(std::time::Duration::from_millis(ms));
+    }
+}
+
+/// A test clock that records every requested sleep and never blocks.
+#[derive(Debug, Default, Clone)]
+pub struct RecordingClock {
+    /// Every sleep requested so far, in ms, in order.
+    pub slept_ms: Vec<u64>,
+}
+
+impl Clock for RecordingClock {
+    fn sleep_ms(&mut self, ms: u64) {
+        self.slept_ms.push(ms);
+    }
+}
+
+/// Run `op` until it succeeds, sleeping the policy's jittered delay between
+/// failures. `op` receives the zero-based attempt number. After the budget
+/// is exhausted the last error comes back along with the total number of
+/// attempts made (`budget + 1`: the initial try plus every retry).
+///
+/// # Errors
+///
+/// The final `op` error, if every attempt failed.
+pub fn with_backoff<T, E, C, F>(
+    policy: &RetryPolicy,
+    clock: &mut C,
+    mut op: F,
+) -> Result<T, (E, u32)>
+where
+    C: Clock,
+    F: FnMut(u32) -> Result<T, E>,
+{
+    let mut attempt = 0u32;
+    loop {
+        match op(attempt) {
+            Ok(value) => return Ok(value),
+            Err(err) => {
+                if attempt >= policy.budget {
+                    return Err((err, attempt + 1));
+                }
+                clock.sleep_ms(policy.delay_ms(attempt));
+                attempt += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delays_are_deterministic_and_bounded() {
+        let policy = RetryPolicy::new(100, 2_000, 8).with_jitter_seed(42);
+        let a: Vec<u64> = policy.delays().collect();
+        let b: Vec<u64> = policy.delays().collect();
+        assert_eq!(a, b, "same seed, same schedule");
+        assert_eq!(a.len(), 8, "budget bounds the schedule");
+        for (attempt, &delay) in a.iter().enumerate() {
+            let nominal = (100u64 << attempt).min(2_000);
+            assert!(
+                delay >= nominal / 2 && delay <= nominal,
+                "attempt {attempt}: {delay} outside [{}, {nominal}]",
+                nominal / 2
+            );
+        }
+    }
+
+    #[test]
+    fn delays_grow_then_saturate_at_cap() {
+        // Zero out jitter variance by checking nominal bounds: once
+        // base << k passes the cap every delay lands in [cap/2, cap].
+        let policy = RetryPolicy::new(50, 400, 10).with_jitter_seed(7);
+        let tail: Vec<u64> = policy.delays().skip(3).collect();
+        for &delay in &tail {
+            assert!((200..=400).contains(&delay), "capped delay, got {delay}");
+        }
+    }
+
+    #[test]
+    fn jitter_seed_changes_the_schedule() {
+        let a: Vec<u64> = RetryPolicy::new(100, 10_000, 6)
+            .with_jitter_seed(1)
+            .delays()
+            .collect();
+        let b: Vec<u64> = RetryPolicy::new(100, 10_000, 6)
+            .with_jitter_seed(2)
+            .delays()
+            .collect();
+        assert_ne!(a, b, "different seeds should decorrelate");
+    }
+
+    #[test]
+    fn huge_attempt_counts_do_not_overflow() {
+        let policy = RetryPolicy::new(u64::MAX / 2, u64::MAX, 200).with_jitter_seed(3);
+        // base << k overflows u64 well before k = 199; the nominal delay
+        // must saturate at the cap instead of wrapping.
+        let last = policy.delay_ms(199);
+        assert!(last >= u64::MAX / 2);
+    }
+
+    #[test]
+    fn zero_budget_schedules_nothing() {
+        let policy = RetryPolicy::new(100, 1_000, 0);
+        assert_eq!(policy.delays().count(), 0);
+        let mut backoff = policy.delays();
+        assert!(backoff.exhausted());
+        assert_eq!(backoff.next(), None);
+    }
+
+    #[test]
+    fn with_backoff_retries_until_success() {
+        let policy = RetryPolicy::new(100, 1_000, 5).with_jitter_seed(9);
+        let mut clock = RecordingClock::default();
+        let result: Result<u32, (&str, u32)> = with_backoff(&policy, &mut clock, |attempt| {
+            if attempt < 3 {
+                Err("not yet")
+            } else {
+                Ok(attempt)
+            }
+        });
+        assert_eq!(result, Ok(3));
+        // Exactly the first three delays of the deterministic schedule.
+        let expected: Vec<u64> = policy.delays().take(3).collect();
+        assert_eq!(clock.slept_ms, expected);
+    }
+
+    #[test]
+    fn with_backoff_exhausts_budget_and_reports_attempts() {
+        let policy = RetryPolicy::new(10, 80, 4).with_jitter_seed(11);
+        let mut clock = RecordingClock::default();
+        let result: Result<(), (&str, u32)> =
+            with_backoff(&policy, &mut clock, |_| Err("still broken"));
+        assert_eq!(result, Err(("still broken", 5)), "1 try + 4 retries");
+        let expected: Vec<u64> = policy.delays().collect();
+        assert_eq!(clock.slept_ms, expected, "slept the whole schedule");
+    }
+
+    #[test]
+    fn with_backoff_zero_budget_tries_once() {
+        let policy = RetryPolicy::new(10, 80, 0);
+        let mut clock = RecordingClock::default();
+        let result: Result<(), (&str, u32)> = with_backoff(&policy, &mut clock, |_| Err("no"));
+        assert_eq!(result, Err(("no", 1)));
+        assert!(clock.slept_ms.is_empty(), "no sleeps without retries");
+    }
+}

@@ -272,8 +272,9 @@ impl TrialPlan {
 
 /// Encode a trial outcome as a checkpoint value: `{"ok": R}` or
 /// `{"panicked": "message"}`. (Hand-written — the derive macro does not
-/// cover data-carrying enums.)
-fn encode_outcome<R: Serialize>(outcome: &TrialOutcome<R>) -> serde::Value {
+/// cover data-carrying enums.) Shared with the fabric worker, which journals
+/// outcomes in exactly this shape so merged sweeps decode identically.
+pub(crate) fn encode_outcome<R: Serialize>(outcome: &TrialOutcome<R>) -> serde::Value {
     match outcome {
         TrialOutcome::Ok(value) => serde::Value::Object(vec![("ok".to_string(), value.to_value())]),
         TrialOutcome::Panicked { message } => serde::Value::Object(vec![(
@@ -285,7 +286,7 @@ fn encode_outcome<R: Serialize>(outcome: &TrialOutcome<R>) -> serde::Value {
 
 /// Decode a checkpoint value recorded by [`encode_outcome`]; `None` for any
 /// shape mismatch (the trial is then recomputed).
-fn decode_outcome<R: Deserialize>(v: &serde::Value) -> Option<TrialOutcome<R>> {
+pub(crate) fn decode_outcome<R: Deserialize>(v: &serde::Value) -> Option<TrialOutcome<R>> {
     if let Some(ok) = v.get("ok") {
         return R::from_value(ok).ok().map(TrialOutcome::Ok);
     }
@@ -342,7 +343,7 @@ impl<R> TrialOutcome<R> {
     }
 }
 
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {

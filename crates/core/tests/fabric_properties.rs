@@ -1,0 +1,171 @@
+//! Property tests of the sweep fabric's determinism contract.
+//!
+//! The fabric's promise is that *no* crash/respawn/steal schedule can change
+//! the merged output: the sweep run through any number of workers, with any
+//! pattern of deaths, duplicated work, and torn journal tails, folds to the
+//! byte-identical result of the serial run. Two angles:
+//!
+//! 1. **Merge**: for an arbitrary assignment of units to worker journals —
+//!    every unit covered at least once, many covered several times (the
+//!    signature of a reclaimed lease re-executed elsewhere), possibly with a
+//!    torn final line from a mid-write SIGKILL — [`merge_journals`] returns
+//!    exactly the unit-ordered serial value list.
+//! 2. **Ledger**: under an arbitrary interleaving of grant / complete /
+//!    reclaim operations, [`LeaseLedger`] never double-counts a unit, never
+//!    loses one, and always drains to completion once a live worker remains.
+
+use local_separation::checkpoint::Checkpoint;
+use local_separation::fabric::{journal_path, merge_journals, Lease, LeaseLedger};
+use proptest::prelude::*;
+use serde::Value;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A fresh per-case scratch directory (proptest runs many cases per thread,
+/// so the thread id alone is not unique).
+fn temp_dir(tag: &str) -> PathBuf {
+    static CASE: AtomicU64 = AtomicU64::new(0);
+    let mut p = std::env::temp_dir();
+    p.push(format!(
+        "lcl-fabric-prop-{tag}-{}-{}",
+        std::process::id(),
+        CASE.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&p);
+    std::fs::create_dir_all(&p).expect("mkdir");
+    p
+}
+
+/// The pure unit function the journals record: what the serial run would
+/// have produced for global unit `u`.
+fn unit_value(u: u64) -> Value {
+    Value::U64(u.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ 0xabcd)
+}
+
+const MAX_WORKERS: u64 = 5;
+
+proptest! {
+    /// Any journal coverage — each unit owned by one worker, arbitrarily
+    /// duplicated into others, with an optional torn tail — merges to the
+    /// serial unit order. `assign[u] = (owner, duplicate bitmask)`; the
+    /// pool is generated at full width and truncated to `total` (the
+    /// vendored proptest's `collection::vec` is fixed-length).
+    #[test]
+    fn arbitrary_journal_coverage_merges_to_serial_order(
+        pool in proptest::collection::vec(
+            (0u64..MAX_WORKERS, 0u32..(1 << MAX_WORKERS)),
+            48,
+        ),
+        total in 1usize..48,
+        torn_slot in 0u64..MAX_WORKERS,
+        torn in 0u8..2,
+    ) {
+        let assign = &pool[..total];
+        let torn = torn == 1;
+        let dir = temp_dir("merge");
+        let scope = "fabric/prop/merge";
+        let total = assign.len() as u64;
+        // Write each worker's journal: the units it owns plus the units
+        // duplicated into it (a reclaimed lease, re-run elsewhere, leaves
+        // exactly this shape behind).
+        for slot in 0..MAX_WORKERS {
+            let units: Vec<u64> = assign
+                .iter()
+                .enumerate()
+                .filter(|(_, (owner, dup))| {
+                    *owner == slot || dup & (1 << slot) != 0
+                })
+                .map(|(u, _)| u as u64)
+                .collect();
+            if units.is_empty() {
+                continue;
+            }
+            let journal =
+                Checkpoint::open(journal_path(&dir, slot)).expect("open journal");
+            for u in units {
+                journal
+                    .record(scope, u, unit_value(u))
+                    .expect("record unit");
+            }
+        }
+        if torn {
+            // A SIGKILL mid-append leaves a partial, newline-less line; the
+            // merge must shrug it off.
+            use std::io::Write;
+            let path = journal_path(&dir, torn_slot);
+            if path.exists() {
+                let mut f = std::fs::OpenOptions::new()
+                    .append(true)
+                    .open(&path)
+                    .expect("append");
+                f.write_all(b"{\"scope\":\"fabric/prop/merge\",\"ind")
+                    .expect("torn tail");
+            }
+        }
+        let merged = merge_journals(&dir, MAX_WORKERS, scope, total).expect("merge");
+        let expected: Vec<Value> = (0..total).map(unit_value).collect();
+        prop_assert_eq!(merged, expected);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// An arbitrary interleaving of grant / complete / reclaim never loses
+    /// or double-counts a unit, and the ledger always drains afterwards.
+    /// `ops[i] = (kind, slot)`: 0 grants, 1 completes the slot's
+    /// outstanding lease, 2 reclaims it (a simulated death).
+    #[test]
+    fn ledger_interleavings_cover_every_unit_exactly_once(
+        total in 1u64..80,
+        lease_len in 1u64..9,
+        slots in 1usize..5,
+        op_pool in proptest::collection::vec((0u8..3, 0usize..5), 200),
+        op_len in 0usize..=200,
+    ) {
+        let ops = op_pool[..op_len].to_vec();
+        let mut ledger = LeaseLedger::new(total, lease_len, slots);
+        let mut done = vec![false; usize::try_from(total).expect("small")];
+        let mark = |lease: Lease, done: &mut Vec<bool>| {
+            for u in lease.start..lease.start + lease.len {
+                let cell = &mut done[usize::try_from(u).expect("small")];
+                assert!(!*cell, "unit {u} completed twice");
+                *cell = true;
+            }
+        };
+        for (kind, slot_raw) in ops {
+            let slot = slot_raw % slots;
+            match kind {
+                0 => {
+                    ledger.grant(slot);
+                }
+                1 => {
+                    if let Some(lease) = ledger.outstanding(slot).copied() {
+                        prop_assert!(ledger.complete(slot, lease.start, lease.len));
+                        mark(lease, &mut done);
+                    }
+                }
+                _ => {
+                    ledger.reclaim(slot);
+                }
+            }
+        }
+        // Drain on slot 0 — the "one surviving worker" the fabric's
+        // graceful-degradation path guarantees. Leases stranded on other
+        // (dead) slots get reclaimed exactly as the coordinator would.
+        while !ledger.is_done() {
+            if let Some(lease) = ledger.outstanding(0).copied() {
+                prop_assert!(ledger.complete(0, lease.start, lease.len));
+                mark(lease, &mut done);
+            } else if let Some(lease) = ledger.grant(0) {
+                prop_assert!(ledger.complete(0, lease.start, lease.len));
+                mark(lease, &mut done);
+            } else {
+                let mut reclaimed_any = false;
+                for s in 1..slots {
+                    reclaimed_any |= ledger.reclaim(s).is_some();
+                }
+                prop_assert!(reclaimed_any, "ledger wedged: no grants, nothing to reclaim");
+            }
+        }
+        prop_assert!(done.iter().all(|&c| c), "some unit never completed");
+        prop_assert_eq!(ledger.remaining(), 0);
+    }
+}

@@ -6,8 +6,10 @@
 //! could not previously *watch happen*. This crate provides the pieces:
 //!
 //! * [`TraceEvent`] / [`EventData`]: structured events (run lifecycle,
-//!   per-round progress, phase spans, recovery attempts, histograms) with a
-//!   flat JSON-lines encoding, ordered by `(trial, seq)`.
+//!   per-round progress, phase spans, recovery attempts, adversary-search
+//!   iterations, histograms, and the sweep fabric's worker lifecycle —
+//!   spawns, deaths, lease grants/completions/reclaims) with a flat
+//!   JSON-lines encoding, ordered by `(trial, seq)`.
 //! * [`Trace`]: a per-trial event buffer with a monotonically increasing
 //!   sequence number and RAII [`Span`](trace::Span)s carrying monotonic
 //!   wall-clock timings. Producers hold an `Option<&Trace>`, so the disabled
