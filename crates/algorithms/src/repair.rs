@@ -34,7 +34,7 @@ use local_lcl::{check_complete, check_partial, Labeling, LclProblem};
 use local_model::{
     derived_u64, AttemptRecord, Breach, Budget, ExecSpec, FaultPlan, Mode, RecoveryError, Residue,
 };
-use local_obs::{EventData, Trace};
+use local_obs::{EventData, MetricId, MetricSet, Trace};
 use std::collections::VecDeque;
 
 /// How hard [`recover`] tries: the escalation ladder and the per-attempt
@@ -174,7 +174,35 @@ where
     P: LclProblem,
     F: Finisher<P>,
 {
-    drive(problem, g, partial, finisher, policy, trace).0
+    drive(problem, g, partial, finisher, policy, trace, None).0
+}
+
+/// [`recover_traced`] with an optional per-trial metric recorder: every
+/// escalation attempt adds to the `recovery_*` counters (attempts, core and
+/// residue sizes, ok/failed verdicts, extra rounds) and raises the
+/// `recovery_radius_max` gauge.
+///
+/// # Errors
+///
+/// Same contract as [`recover`].
+///
+/// # Panics
+///
+/// Panics if `partial.len() != g.n()`.
+pub fn recover_metered<P, F>(
+    problem: &P,
+    g: &Graph,
+    partial: &[Option<P::Label>],
+    finisher: &F,
+    policy: &RecoveryPolicy,
+    trace: Option<&Trace>,
+    metrics: Option<&MetricSet>,
+) -> Result<Recovery<P::Label>, RecoveryError>
+where
+    P: LclProblem,
+    F: Finisher<P>,
+{
+    drive(problem, g, partial, finisher, policy, trace, metrics).0
 }
 
 /// The graceful end of a failed recovery: a typed census of what survived
@@ -262,7 +290,7 @@ where
     P: LclProblem,
     F: Finisher<P>,
 {
-    let (result, trail) = drive(problem, g, partial, finisher, policy, trace);
+    let (result, trail) = drive(problem, g, partial, finisher, policy, trace, None);
     match result {
         Ok(rec) => Ok(rec),
         Err(error) => {
@@ -292,6 +320,7 @@ fn drive<P, F>(
     finisher: &F,
     policy: &RecoveryPolicy,
     trace: Option<&Trace>,
+    metrics: Option<&MetricSet>,
 ) -> (
     Result<Recovery<P::Label>, RecoveryError>,
     Vec<AttemptRecord>,
@@ -336,6 +365,18 @@ where
     }
 
     let emit = |attempt: u32, core_size: usize, residue_size: usize, ok: bool, extra: u32| {
+        if let Some(ms) = metrics {
+            ms.incr(MetricId::RecoveryAttempts);
+            ms.incr(if ok {
+                MetricId::RecoveryOk
+            } else {
+                MetricId::RecoveryFailed
+            });
+            ms.add(MetricId::RecoveryCore, core_size as u64);
+            ms.add(MetricId::RecoveryResidue, residue_size as u64);
+            ms.add(MetricId::RecoveryExtraRounds, u64::from(extra));
+            ms.gauge_max(MetricId::RecoveryRadiusMax, u64::from(attempt));
+        }
         if let Some(tr) = trace {
             tr.emit(EventData::Recovery {
                 attempt,

@@ -455,6 +455,7 @@ pub fn run_sync<A: SyncAlgorithm>(
         budget: Some(engine_budget),
         faults: spec.faults,
         trace: spec.trace,
+        metrics: spec.metrics,
         shards: spec.shards,
     };
     let engine = Engine::new(g, mode.clone());

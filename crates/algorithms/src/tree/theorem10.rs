@@ -27,7 +27,7 @@ use local_lcl::Labeling;
 use local_model::{
     derived_rng, Budget, ExecSpec, FaultPlan, GlobalParams, Mode, NodeInit, SimError,
 };
-use local_obs::Trace;
+use local_obs::{MetricSet, Trace};
 use rand::Rng;
 
 /// Tunable constants of the Phase-1 schedule.
@@ -327,7 +327,26 @@ pub fn theorem10_phase1_faulty_traced(
     faults: &FaultPlan,
     trace: Option<&Trace>,
 ) -> SyncRun<Option<usize>> {
-    phase1_faulty_inner(g, delta, seed, config, faults, trace, None)
+    phase1_faulty_inner(g, delta, seed, config, faults, trace, None, None)
+}
+
+/// [`theorem10_phase1_faulty_traced`] with an optional metric set: the
+/// engine additionally accumulates its `engine_*` counters and histograms
+/// into `metrics`. Metering never changes the run itself.
+///
+/// # Panics
+///
+/// Same preconditions as [`theorem10_phase1`].
+pub fn theorem10_phase1_faulty_metered(
+    g: &Graph,
+    delta: usize,
+    seed: u64,
+    config: Theorem10Config,
+    faults: &FaultPlan,
+    trace: Option<&Trace>,
+    metrics: Option<&MetricSet>,
+) -> SyncRun<Option<usize>> {
+    phase1_faulty_inner(g, delta, seed, config, faults, trace, metrics, None)
 }
 
 /// [`theorem10_phase1_faulty`] with an explicit engine shard count — the
@@ -345,9 +364,10 @@ pub fn theorem10_phase1_faulty_sharded(
     faults: &FaultPlan,
     shards: usize,
 ) -> SyncRun<Option<usize>> {
-    phase1_faulty_inner(g, delta, seed, config, faults, None, Some(shards))
+    phase1_faulty_inner(g, delta, seed, config, faults, None, None, Some(shards))
 }
 
+#[allow(clippy::too_many_arguments)]
 fn phase1_faulty_inner(
     g: &Graph,
     delta: usize,
@@ -355,6 +375,7 @@ fn phase1_faulty_inner(
     config: Theorem10Config,
     faults: &FaultPlan,
     trace: Option<&Trace>,
+    metrics: Option<&MetricSet>,
     shards: Option<usize>,
 ) -> SyncRun<Option<usize>> {
     assert!(
@@ -379,7 +400,8 @@ fn phase1_faulty_inner(
     let mut spec = ExecSpec::default()
         .with_budget(Budget::rounds(budget))
         .with_faults(faults)
-        .traced(trace);
+        .traced(trace)
+        .metered(metrics);
     if let Some(k) = shards {
         spec = spec.with_shards(k);
     }

@@ -8,7 +8,7 @@
 
 use crate::registry::{Caps, Experiment, ExperimentOutput, FabricJob};
 use crate::Cli;
-use local_obs::TraceSink;
+use local_obs::{MetricsRegistry, TraceSink};
 use local_separation::experiments::{
     a1_ablation as a1, e10_indistinguishability as e10, e11_dichotomy as e11,
     e12_resilience as e12, e13_recovery as e13, e14_adversary as e14, e1_separation as e1,
@@ -88,6 +88,7 @@ impl Experiment for E1Separation {
         ExperimentOutput {
             rows: out.rows.to_value(),
             human,
+            metrics: MetricsRegistry::default(),
         }
     }
 }
@@ -128,6 +129,7 @@ impl Experiment for E2Shattering {
         ExperimentOutput {
             rows: rows.to_value(),
             human: format!("{}\n", e2::table(&rows, cfg.delta)),
+            metrics: MetricsRegistry::default(),
         }
     }
 }
@@ -168,6 +170,7 @@ impl Experiment for E3Theorem11 {
         ExperimentOutput {
             rows: rows.to_value(),
             human: format!("{}\n", e3::table(&rows, cfg.delta)),
+            metrics: MetricsRegistry::default(),
         }
     }
 }
@@ -207,6 +210,7 @@ impl Experiment for E4ZeroRound {
         ExperimentOutput {
             rows: rows.to_value(),
             human: format!("{}\n", e4::table(&rows)),
+            metrics: MetricsRegistry::default(),
         }
     }
 }
@@ -247,6 +251,7 @@ impl Experiment for E5Truncation {
         ExperimentOutput {
             rows: rows.to_value(),
             human: format!("{}\n", e5::table(&rows, cfg.delta)),
+            metrics: MetricsRegistry::default(),
         }
     }
 }
@@ -282,6 +287,7 @@ impl Experiment for E6Derand {
         ExperimentOutput {
             rows: rows.to_value(),
             human: format!("{}\n", e6::table(&rows)),
+            metrics: MetricsRegistry::default(),
         }
     }
 }
@@ -317,6 +323,7 @@ impl Experiment for E7Speedup {
         ExperimentOutput {
             rows: rows.to_value(),
             human: format!("{}\n", e7::table(&rows)),
+            metrics: MetricsRegistry::default(),
         }
     }
 }
@@ -360,6 +367,7 @@ impl Experiment for E8Linial {
                 e8::shrink_table(&shrink),
                 e8::convergence_table(&conv)
             ),
+            metrics: MetricsRegistry::default(),
         }
     }
 }
@@ -405,6 +413,7 @@ impl Experiment for E9Mis {
                 out.luby_fit.name(),
                 out.det_fit.name()
             ),
+            metrics: MetricsRegistry::default(),
         }
     }
 }
@@ -441,6 +450,7 @@ impl Experiment for E10Indistinguishability {
         ExperimentOutput {
             rows: rows.to_value(),
             human: format!("{}\n", e10::table(&rows, cfg.delta, girth)),
+            metrics: MetricsRegistry::default(),
         }
     }
 }
@@ -481,6 +491,7 @@ impl Experiment for E11Dichotomy {
                 out.fast_fit.name(),
                 out.slow_fit.name()
             ),
+            metrics: MetricsRegistry::default(),
         }
     }
 }
@@ -529,6 +540,7 @@ impl Experiment for E12Resilience {
         ExperimentOutput {
             rows: out.rows.to_value(),
             human: format!("{}\n", e12::table(&out)),
+            metrics: out.metrics,
         }
     }
     fn fabric(&self, cli: &Cli) -> Option<Box<dyn FabricJob>> {
@@ -552,6 +564,7 @@ impl FabricJob for Fabric12 {
         ExperimentOutput {
             rows: out.rows.to_value(),
             human: format!("{}\n", e12::table(&out)),
+            metrics: out.metrics,
         }
     }
 }
@@ -600,6 +613,7 @@ impl Experiment for E13Recovery {
         ExperimentOutput {
             rows: out.rows.to_value(),
             human: format!("{}\n", e13::table(&out)),
+            metrics: out.metrics,
         }
     }
     fn fabric(&self, cli: &Cli) -> Option<Box<dyn FabricJob>> {
@@ -623,6 +637,7 @@ impl FabricJob for Fabric13 {
         ExperimentOutput {
             rows: out.rows.to_value(),
             human: format!("{}\n", e13::table(&out)),
+            metrics: out.metrics,
         }
     }
 }
@@ -702,6 +717,7 @@ impl Experiment for E14Adversary {
         ExperimentOutput {
             rows: out.rows.to_value(),
             human: format!("{}\n", e14::table(&out)),
+            metrics: out.metrics,
         }
     }
     fn fabric(&self, cli: &Cli) -> Option<Box<dyn FabricJob>> {
@@ -732,6 +748,7 @@ impl FabricJob for Fabric14 {
         ExperimentOutput {
             rows: out.rows.to_value(),
             human: format!("{}\n", e14::table(&out)),
+            metrics: out.metrics,
         }
     }
 }
@@ -772,6 +789,7 @@ impl Experiment for A1Ablation {
         ExperimentOutput {
             rows: rows.to_value(),
             human: format!("{}\n", a1::table(&rows, cfg.n, cfg.delta)),
+            metrics: MetricsRegistry::default(),
         }
     }
 }

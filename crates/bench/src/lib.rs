@@ -23,7 +23,7 @@
 pub mod experiments;
 pub mod registry;
 
-use local_obs::FileSink;
+use local_obs::{FileSink, MetricsDoc, MetricsRegistry};
 use local_separation::checkpoint::Checkpoint;
 use local_separation::trials::TrialReport;
 use serde::{Serialize, Value};
@@ -43,6 +43,12 @@ pub struct Cli {
     pub checkpoint: Option<String>,
     /// Path of the JSON-lines trace file (`--trace`).
     pub trace: Option<String>,
+    /// Path of the canonical metrics document (`--metrics`). The run's
+    /// merged [`local_obs::MetricsRegistry`] is written there as a
+    /// `metrics/v1` JSON document, with per-run telemetry (resource sample,
+    /// fabric worker census) in a `.telemetry.json` sibling so the
+    /// canonical document stays byte-identical across thread counts.
+    pub metrics: Option<String>,
     /// Suppress progress lines on stderr (`--quiet`).
     pub quiet: bool,
     /// Run the sweep through the crash-tolerant fabric with this many
@@ -71,7 +77,8 @@ pub enum CliError {
 fn usage(program: &str) -> String {
     format!(
         "usage: {program} [--full] [--json] [--quiet] [--trials N] [--seed N] \
-         [--checkpoint PATH] [--trace PATH] [--workers N] [--fabric-dir DIR]"
+         [--checkpoint PATH] [--trace PATH] [--metrics PATH] [--workers N] \
+         [--fabric-dir DIR]"
     )
 }
 
@@ -118,6 +125,7 @@ impl Cli {
                     cli.checkpoint = Some(parse_path("--checkpoint", args.next())?);
                 }
                 "--trace" => cli.trace = Some(parse_path("--trace", args.next())?),
+                "--metrics" => cli.metrics = Some(parse_path("--metrics", args.next())?),
                 "--quiet" => cli.quiet = true,
                 "--workers" => cli.workers = Some(parse_count("--workers", args.next())?),
                 "--fabric-dir" => {
@@ -140,6 +148,8 @@ impl Cli {
                         cli.checkpoint = Some(parse_path("--checkpoint", Some(v.to_string()))?);
                     } else if let Some(v) = other.strip_prefix("--trace=") {
                         cli.trace = Some(parse_path("--trace", Some(v.to_string()))?);
+                    } else if let Some(v) = other.strip_prefix("--metrics=") {
+                        cli.metrics = Some(parse_path("--metrics", Some(v.to_string()))?);
                     } else if let Some(v) = other.strip_prefix("--workers=") {
                         cli.workers = Some(parse_count("--workers", Some(v.to_string()))?);
                     } else if let Some(v) = other.strip_prefix("--fabric-dir=") {
@@ -225,6 +235,61 @@ impl Cli {
         local_obs::progress(self.quiet, message);
     }
 
+    /// Write the canonical metrics document to the path named by
+    /// `--metrics` (no-op without the flag), plus a `.telemetry.json`
+    /// sibling carrying the run's non-deterministic extras (`telemetry`
+    /// key/value pairs — resource sample, fabric worker census). Keeping
+    /// telemetry out of the canonical document is what lets CI compare the
+    /// documents of serial, multi-threaded, and fabric runs byte-for-byte.
+    ///
+    /// Exits with status 2 if either file cannot be written — a run asked
+    /// to record metrics must not silently drop them.
+    pub fn emit_metrics(
+        &self,
+        experiment: &str,
+        registry: &MetricsRegistry,
+        telemetry: Vec<(String, Value)>,
+    ) {
+        let Some(path) = self.metrics.as_deref() else {
+            return;
+        };
+        let doc = MetricsDoc {
+            experiment: experiment.to_string(),
+            mode: self.mode_name().to_string(),
+            metrics: registry.clone(),
+        };
+        let text = format!(
+            "{}\n",
+            serde_json::to_string_pretty(&doc).expect("metrics doc serializes infallibly")
+        );
+        if let Err(err) = std::fs::write(path, text) {
+            eprintln!("error: cannot write metrics file `{path}`: {err}");
+            std::process::exit(2);
+        }
+        let mut fields = vec![
+            (
+                "schema".to_string(),
+                Value::String("telemetry/v1".to_string()),
+            ),
+            (
+                "experiment".to_string(),
+                Value::String(experiment.to_string()),
+            ),
+            ("mode".to_string(), Value::String(self.mode_name().into())),
+        ];
+        fields.extend(telemetry);
+        let sibling = telemetry_sibling(path);
+        let text = format!(
+            "{}\n",
+            serde_json::to_string_pretty(&Value::Object(fields))
+                .expect("telemetry doc serializes infallibly")
+        );
+        if let Err(err) = std::fs::write(&sibling, text) {
+            eprintln!("error: cannot write telemetry file `{sibling}`: {err}");
+            std::process::exit(2);
+        }
+    }
+
     /// Print the experiment's measured rows as the standard JSON envelope.
     pub fn emit_json<R: Serialize + ?Sized>(&self, experiment: &str, rows: &R) {
         println!(
@@ -240,8 +305,9 @@ impl Cli {
 
     /// The argument list a fabric coordinator forwards to its workers so
     /// they rebuild the identical experiment configuration. Orchestration
-    /// flags (`--json`, `--workers`, `--checkpoint`, `--trace`) deliberately
-    /// stay behind — workers journal raw units, they do not report.
+    /// flags (`--json`, `--workers`, `--checkpoint`, `--trace`,
+    /// `--metrics`) deliberately stay behind — workers journal raw units,
+    /// they do not report.
     pub fn worker_args(&self) -> Vec<String> {
         let mut args = vec!["--quiet".to_string()];
         if self.full {
@@ -284,6 +350,16 @@ impl Cli {
         }
         eprintln!("error: {message}");
         std::process::exit(2);
+    }
+}
+
+/// The telemetry sibling of a metrics document path: `foo.json` →
+/// `foo.telemetry.json`, anything without the `.json` suffix gets
+/// `.telemetry.json` appended.
+pub fn telemetry_sibling(path: &str) -> String {
+    match path.strip_suffix(".json") {
+        Some(stem) => format!("{stem}.telemetry.json"),
+        None => format!("{path}.telemetry.json"),
     }
 }
 
@@ -389,6 +465,33 @@ mod tests {
     }
 
     #[test]
+    fn metrics_path_parses_in_both_spellings() {
+        let cli = parse(&["--metrics", "m.json"]).unwrap();
+        assert_eq!(cli.metrics.as_deref(), Some("m.json"));
+        let cli = parse(&["--metrics=out/e13.metrics.json"]).unwrap();
+        assert_eq!(cli.metrics.as_deref(), Some("out/e13.metrics.json"));
+        assert_eq!(parse(&[]).unwrap().metrics, None);
+        assert!(matches!(parse(&["--metrics"]), Err(CliError::Bad(_))));
+        assert!(matches!(parse(&["--metrics="]), Err(CliError::Bad(_))));
+    }
+
+    #[test]
+    fn telemetry_sibling_replaces_the_json_suffix() {
+        assert_eq!(telemetry_sibling("m.json"), "m.telemetry.json");
+        assert_eq!(
+            telemetry_sibling("out/e13.metrics.json"),
+            "out/e13.metrics.telemetry.json"
+        );
+        assert_eq!(telemetry_sibling("metrics"), "metrics.telemetry.json");
+    }
+
+    #[test]
+    fn emit_metrics_without_the_flag_is_a_no_op() {
+        // No path: must not write anywhere or exit.
+        Cli::default().emit_metrics("E13", &MetricsRegistry::new(), Vec::new());
+    }
+
+    #[test]
     fn help_is_distinguished_from_errors() {
         assert_eq!(parse(&["--help"]), Err(CliError::Help));
         assert_eq!(parse(&["-h"]), Err(CliError::Help));
@@ -439,6 +542,7 @@ mod tests {
             "--seed=3",
             "--workers=4",
             "--trace=t.jsonl",
+            "--metrics=m.json",
         ])
         .unwrap();
         let args = cli.worker_args();

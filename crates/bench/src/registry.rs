@@ -16,11 +16,12 @@
 //! appended by the coordinator when spawning).
 
 use crate::Cli;
-use local_obs::TraceSink;
+use local_obs::{MetricsRegistry, ResourceSample, TraceSink};
 use local_separation::checkpoint::Checkpoint;
 use local_separation::fabric::{
     journal_scope, run_fabric, worker_serve, FabricConfig, Sweep, UnitMap, WorkerCommand, WorkerEnv,
 };
+use serde::{Serialize, Value};
 use std::path::PathBuf;
 
 /// Which optional planes an experiment's run path supports.
@@ -61,6 +62,10 @@ pub struct ExperimentOutput {
     pub rows: serde::Value,
     /// The human-readable report.
     pub human: String,
+    /// The run's merged metrics registry, written to `--metrics PATH` as a
+    /// canonical `metrics/v1` document. Experiments without metering leave
+    /// it empty (the document then carries an empty `metrics` object).
+    pub metrics: MetricsRegistry,
 }
 
 /// An experiment's fabric decomposition: the sweep the workers execute
@@ -154,7 +159,7 @@ pub fn check_flags(cli: &Cli, id: &str, caps: Caps) -> Result<(), String> {
         if cli.fabric_dir.is_none() {
             return Err("--fabric-worker requires --fabric-dir".to_string());
         }
-        if cli.json || cli.trace.is_some() || cli.checkpoint.is_some() {
+        if cli.json || cli.trace.is_some() || cli.checkpoint.is_some() || cli.metrics.is_some() {
             return Err(
                 "--fabric-worker is a fabric-internal mode and takes no output flags".to_string(),
             );
@@ -213,11 +218,20 @@ pub fn run_with_prefix(experiment: &dyn Experiment, cli: &Cli, spawn_prefix: &[S
     }
     let mut sink = cli.open_trace();
     let out = experiment.run(cli, sink.as_mut().map(|s| s as &mut dyn TraceSink));
+    cli.emit_metrics(experiment.id(), &out.metrics, resource_telemetry());
     if cli.json {
         cli.emit_json(experiment.id(), &out.rows);
     } else {
         print!("{}", out.human);
     }
+}
+
+/// The telemetry fields every run records alongside its metrics document:
+/// the process resource sample (peak/current RSS), or `null` where
+/// `/proc/self/status` is unavailable.
+fn resource_telemetry() -> Vec<(String, Value)> {
+    let resource = ResourceSample::capture().map_or(Value::Null, |r| r.to_value());
+    vec![("resource".to_string(), resource)]
 }
 
 /// The fabric coordinator path: shard the sweep into leases, drive the
@@ -273,7 +287,11 @@ fn coordinator_main(experiment: &dyn Experiment, cli: &Cli, workers: u64, spawn_
     match result {
         Ok(report) => {
             cli.progress(&report.summary(workers));
+            let census = Value::Array(report.workers.iter().map(Serialize::to_value).collect());
             let out = job.fold(map.group(report.values));
+            let mut telemetry = resource_telemetry();
+            telemetry.push(("workers".to_string(), census));
+            cli.emit_metrics(experiment.id(), &out.metrics, telemetry);
             if cli.json {
                 cli.emit_json(experiment.id(), &out.rows);
             } else {

@@ -25,7 +25,7 @@
 
 use local_graphs::Graph;
 use local_model::{FaultMove, FaultPlan};
-use local_obs::{EventData, Trace};
+use local_obs::{EventData, MetricId, MetricSet, Trace};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
@@ -184,7 +184,10 @@ fn admissible(plan: &FaultPlan, mv: &FaultMove, cfg: &SearchConfig) -> bool {
 ///
 /// With a trace attached, every iteration emits one `search_iter` event
 /// carrying the committed move (or `stuck` when no candidate was
-/// admissible), the committed score, and the running best.
+/// admissible), the committed score, and the running best. With a metric
+/// recorder attached, the search adds its iteration/acceptance/evaluation
+/// totals to the `search_*` counters and raises the `search_best_objective`
+/// gauge to the best score found.
 pub fn search<F>(
     g: &Graph,
     start: FaultPlan,
@@ -192,6 +195,7 @@ pub fn search<F>(
     cfg: &SearchConfig,
     evaluate: F,
     trace: Option<&Trace>,
+    metrics: Option<&MetricSet>,
 ) -> SearchOutcome
 where
     F: Fn(&FaultPlan) -> Evaluation,
@@ -259,6 +263,12 @@ where
         }
     }
 
+    if let Some(ms) = metrics {
+        ms.add(MetricId::SearchIterations, cfg.iterations);
+        ms.add(MetricId::SearchAccepted, accepted);
+        ms.add(MetricId::SearchEvaluations, evaluations);
+        ms.gauge_max(MetricId::SearchBestObjective, best_score);
+    }
     SearchOutcome {
         best_plan,
         best_objective: best_score,
@@ -309,6 +319,7 @@ mod tests {
             &cfg(),
             census,
             None,
+            None,
         );
         let b = search(
             &g,
@@ -316,6 +327,7 @@ mod tests {
             Objective::CrashedCut,
             &cfg(),
             census,
+            None,
             None,
         );
         assert_eq!(a.best_objective, b.best_objective);
@@ -339,6 +351,7 @@ mod tests {
             Objective::CrashedCut,
             &c,
             census,
+            None,
             None,
         );
         assert!(out.best_plan.crash_count() <= c.crash_budget);
@@ -365,6 +378,7 @@ mod tests {
             &cfg(),
             census,
             None,
+            None,
         );
         let other = SearchConfig {
             search_seed: 0xBEEF,
@@ -376,6 +390,7 @@ mod tests {
             Objective::CrashedCut,
             &other,
             census,
+            None,
             None,
         );
         // Same optimum score (the evaluator is plan-count symmetric), but the
@@ -439,6 +454,7 @@ mod tests {
             &c,
             census,
             Some(&trace),
+            None,
         );
         trace.drain_into(&mut sink);
         let iters: Vec<_> = sink

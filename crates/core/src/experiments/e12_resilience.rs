@@ -34,13 +34,13 @@ use crate::report::Table;
 use crate::trials::{TrialOutcome, TrialPlan, TrialSpec};
 use local_algorithms::mis::luby::Luby;
 use local_algorithms::orientation::sinkless::SinklessRepair;
-use local_algorithms::tree::theorem10::{theorem10_phase1_faulty_traced, Theorem10Config};
+use local_algorithms::tree::theorem10::{theorem10_phase1_faulty_metered, Theorem10Config};
 use local_algorithms::{run_sync, SyncRun};
 use local_graphs::{gen, Graph, GraphError};
 use local_lcl::problems::{Mis, Orientation, SinklessOrientation, VertexColoring};
 use local_lcl::{check_partial, PartialValidity};
 use local_model::{Budget, ExecSpec, FaultPlan, FaultSpec, Mode, Outcome};
-use local_obs::{Trace, TraceSink};
+use local_obs::{MetricSet, MetricsRegistry, Trace, TraceSink};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize, Value};
@@ -138,6 +138,11 @@ pub struct Row {
 pub struct Outcome12 {
     /// Measured grid points, in workload-major, drop-then-crash order.
     pub rows: Vec<Row>,
+    /// Run-wide engine metrics merged over completed trials in grid/trial
+    /// order. Deterministic: the same config produces byte-identical
+    /// serialized metrics regardless of thread count or fabric
+    /// decomposition.
+    pub metrics: MetricsRegistry,
 }
 
 impl Outcome12 {
@@ -162,10 +167,13 @@ struct TrialRecord {
     valid: usize,
     skipped: usize,
     max_round: u32,
+    metrics: MetricsRegistry,
 }
 
-fn record<O>(run: &SyncRun<O>, pv: &PartialValidity) -> TrialRecord {
+fn record<O>(run: &SyncRun<O>, pv: &PartialValidity, set: &MetricSet) -> TrialRecord {
     let (halted, crashed, cut) = run.counts();
+    let mut metrics = MetricsRegistry::new();
+    metrics.absorb(set);
     TrialRecord {
         halted,
         crashed,
@@ -174,6 +182,7 @@ fn record<O>(run: &SyncRun<O>, pv: &PartialValidity) -> TrialRecord {
         valid: pv.valid,
         skipped: pv.skipped,
         max_round: run.max_decided_round(),
+        metrics,
     }
 }
 
@@ -218,13 +227,15 @@ fn workloads(cfg: &Config) -> Vec<Result<Workload<'static>, (&'static str, Graph
             graph: tree,
             crash_window: tree_budget,
             run: Box::new(move |g, seed, plan, trace| {
-                let out = theorem10_phase1_faulty_traced(
+                let set = MetricSet::new();
+                let out = theorem10_phase1_faulty_metered(
                     g,
                     TREE_DELTA,
                     seed,
                     Theorem10Config::default(),
                     plan,
                     trace,
+                    Some(&set),
                 );
                 // A decided vertex carries Some(color) or None (filtered
                 // bad) — both are decisions, but only colors are checkable.
@@ -237,7 +248,7 @@ fn workloads(cfg: &Config) -> Vec<Result<Workload<'static>, (&'static str, Graph
                     })
                     .collect();
                 let pv = check_partial(&VertexColoring::new(TREE_DELTA - reserved), g, &labels);
-                record(&out, &pv)
+                record(&out, &pv, &set)
             }),
         }),
         cubic.map_err(|e| ("sinkless", e)).map(|graph| Workload {
@@ -248,6 +259,7 @@ fn workloads(cfg: &Config) -> Vec<Result<Workload<'static>, (&'static str, Graph
                 let algo = SinklessRepair {
                     phases: SINKLESS_PHASES,
                 };
+                let set = MetricSet::new();
                 let out = run_sync(
                     g,
                     Mode::randomized(seed),
@@ -255,11 +267,12 @@ fn workloads(cfg: &Config) -> Vec<Result<Workload<'static>, (&'static str, Graph
                     &ExecSpec::default()
                         .with_budget(Budget::rounds(2 * SINKLESS_PHASES + 6))
                         .with_faults(plan)
-                        .traced(trace),
+                        .traced(trace)
+                        .metered(Some(&set)),
                 );
                 let labels: Vec<Option<Orientation>> = decided_labels(&out);
                 let pv = check_partial(&SinklessOrientation::new(SINKLESS_DELTA), g, &labels);
-                record(&out, &pv)
+                record(&out, &pv, &set)
             }),
         }),
         quartic.map_err(|e| ("mis", e)).map(|graph| Workload {
@@ -267,6 +280,7 @@ fn workloads(cfg: &Config) -> Vec<Result<Workload<'static>, (&'static str, Graph
             graph,
             crash_window: MIS_BUDGET,
             run: Box::new(|g, seed, plan, trace| {
+                let set = MetricSet::new();
                 let out = run_sync(
                     g,
                     Mode::randomized(seed),
@@ -274,11 +288,12 @@ fn workloads(cfg: &Config) -> Vec<Result<Workload<'static>, (&'static str, Graph
                     &ExecSpec::default()
                         .with_budget(Budget::rounds(MIS_BUDGET))
                         .with_faults(plan)
-                        .traced(trace),
+                        .traced(trace)
+                        .metered(Some(&set)),
                 );
                 let labels: Vec<Option<bool>> = decided_labels(&out);
                 let pv = check_partial(&Mis::new(), g, &labels);
-                record(&out, &pv)
+                record(&out, &pv, &set)
             }),
         }),
     ]
@@ -294,13 +309,15 @@ fn scope(experiment: &str, cfg: &Config, workload: &str, drop_p: f64, crash_p: f
     )
 }
 
-/// Fold one grid point's trial outcomes into a [`Row`].
+/// Fold one grid point's trial outcomes into a [`Row`], merging each
+/// completed trial's metrics into the sweep-wide registry in trial order.
 fn fold_row(
     workload: &str,
     drop_p: f64,
     crash_p: f64,
     trials: u64,
     outcomes: Vec<TrialOutcome<TrialRecord>>,
+    metrics: &mut MetricsRegistry,
 ) -> Row {
     let mut panicked = 0u64;
     let mut panic_messages = Vec::new();
@@ -322,6 +339,7 @@ fn fold_row(
             }
             TrialOutcome::Ok(r) => {
                 completed += 1;
+                metrics.merge(&r.metrics);
                 counts.halted += r.halted as u64;
                 counts.crashed += r.crashed as u64;
                 counts.cut += r.cut as u64;
@@ -388,6 +406,7 @@ pub fn run(cfg: &Config) -> Outcome12 {
 /// finishes the remaining work and emits identical rows.
 pub fn run_checkpointed(cfg: &Config, checkpoint: Option<&Checkpoint>) -> Outcome12 {
     let mut rows = Vec::new();
+    let mut metrics = MetricsRegistry::new();
     for slot in workloads(cfg) {
         match slot {
             Err((name, err)) => {
@@ -412,13 +431,20 @@ pub fn run_checkpointed(cfg: &Config, checkpoint: Option<&Checkpoint>) -> Outcom
                             let faults = FaultPlan::sample(&w.graph, &spec, trial.seed);
                             (w.run)(&w.graph, trial.seed, &faults, None)
                         });
-                        rows.push(fold_row(w.name, drop_p, crash_p, cfg.trials, outcomes));
+                        rows.push(fold_row(
+                            w.name,
+                            drop_p,
+                            crash_p,
+                            cfg.trials,
+                            outcomes,
+                            &mut metrics,
+                        ));
                     }
                 }
             }
         }
     }
-    Outcome12 { rows }
+    Outcome12 { rows, metrics }
 }
 
 /// [`run`] with an optional trace sink: each trial's engine run emits its
@@ -430,6 +456,7 @@ pub fn run_checkpointed(cfg: &Config, checkpoint: Option<&Checkpoint>) -> Outcom
 /// sweep mode.
 pub fn run_traced(cfg: &Config, mut sink: Option<&mut dyn TraceSink>) -> Outcome12 {
     let mut rows = Vec::new();
+    let mut metrics = MetricsRegistry::new();
     let mut base = 0u64;
     for slot in workloads(cfg) {
         match slot {
@@ -455,13 +482,20 @@ pub fn run_traced(cfg: &Config, mut sink: Option<&mut dyn TraceSink>) -> Outcome
                             (w.run)(&w.graph, trial.seed, &faults, trace)
                         });
                         base += cfg.trials;
-                        rows.push(fold_row(w.name, drop_p, crash_p, cfg.trials, outcomes));
+                        rows.push(fold_row(
+                            w.name,
+                            drop_p,
+                            crash_p,
+                            cfg.trials,
+                            outcomes,
+                            &mut metrics,
+                        ));
                     }
                 }
             }
         }
     }
-    Outcome12 { rows }
+    Outcome12 { rows, metrics }
 }
 
 /// The fabric view of the sweep (see [`crate::fabric`]): one
@@ -528,6 +562,7 @@ impl FabricSweep {
     /// a serial [`run`] produces — byte-identical once serialized.
     pub fn fold_units(&self, per_point: Vec<Vec<Value>>) -> Outcome12 {
         let mut rows = Vec::new();
+        let mut metrics = MetricsRegistry::new();
         let mut groups = per_point.into_iter();
         for slot in &self.slots {
             for &drop_p in &self.cfg.drop_ps {
@@ -542,13 +577,20 @@ impl FabricSweep {
                                 .iter()
                                 .map(|v| decode_unit(v).expect("fabric journal record shape"))
                                 .collect();
-                            rows.push(fold_row(w.name, drop_p, crash_p, self.cfg.trials, outcomes));
+                            rows.push(fold_row(
+                                w.name,
+                                drop_p,
+                                crash_p,
+                                self.cfg.trials,
+                                outcomes,
+                                &mut metrics,
+                            ));
                         }
                     }
                 }
             }
         }
-        Outcome12 { rows }
+        Outcome12 { rows, metrics }
     }
 }
 

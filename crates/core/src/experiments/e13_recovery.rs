@@ -24,16 +24,16 @@ use crate::report::Table;
 use crate::trials::{TrialOutcome, TrialPlan, TrialSpec};
 use local_algorithms::mis::luby::Luby;
 use local_algorithms::orientation::sinkless::SinklessRepair;
-use local_algorithms::tree::theorem10::{theorem10_phase1_faulty_traced, Theorem10Config};
+use local_algorithms::tree::theorem10::{theorem10_phase1_faulty_metered, Theorem10Config};
 use local_algorithms::{
-    recover_traced, run_sync, Finisher, GreedyColoringFinisher, LubyRestartFinisher,
+    recover_metered, run_sync, Finisher, GreedyColoringFinisher, LubyRestartFinisher,
     RecoveryPolicy, SinklessFinisher, SyncRun,
 };
 use local_graphs::{gen, Graph, GraphError};
 use local_lcl::problems::{Mis, Orientation, SinklessOrientation, VertexColoring};
 use local_lcl::LclProblem;
 use local_model::{derived_u64, Budget, ExecSpec, FaultPlan, FaultSpec, Mode, Outcome};
-use local_obs::{Trace, TraceSink};
+use local_obs::{MetricSet, MetricsRegistry, Trace, TraceSink};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize, Value};
@@ -139,6 +139,11 @@ pub struct Row {
 pub struct Outcome13 {
     /// Measured grid points, in workload-major, drop-then-crash order.
     pub rows: Vec<Row>,
+    /// Run-wide metrics (engine + recovery counters and histograms), merged
+    /// over completed trials in grid/trial order. Deterministic: the same
+    /// config produces byte-identical serialized metrics regardless of
+    /// thread count or fabric decomposition.
+    pub metrics: MetricsRegistry,
 }
 
 impl Outcome13 {
@@ -166,10 +171,13 @@ struct TrialResult {
     crashed: usize,
     cut: usize,
     failure: Option<String>,
+    metrics: MetricsRegistry,
 }
 
 /// Run recovery on one faulty base run and fold the result into a
-/// [`TrialResult`].
+/// [`TrialResult`]. The caller owns the trial's [`MetricSet`] and absorbs
+/// it into the record afterwards — `heal` only feeds the recovery counters.
+#[allow(clippy::too_many_arguments)]
 fn heal<P, F, O>(
     g: &Graph,
     run: &SyncRun<O>,
@@ -178,6 +186,7 @@ fn heal<P, F, O>(
     finisher: &F,
     policy: &RecoveryPolicy,
     trace: Option<&Trace>,
+    metrics: Option<&MetricSet>,
 ) -> TrialResult
 where
     P: LclProblem,
@@ -185,7 +194,7 @@ where
 {
     let (halted, crashed, cut) = run.counts();
     let base_rounds = run.max_decided_round();
-    match recover_traced(problem, g, partial, finisher, policy, trace) {
+    match recover_metered(problem, g, partial, finisher, policy, trace, metrics) {
         Ok(rec) => TrialResult {
             recovered: true,
             attempts: rec.attempts,
@@ -197,6 +206,7 @@ where
             crashed,
             cut,
             failure: None,
+            metrics: MetricsRegistry::new(),
         },
         Err(err) => TrialResult {
             recovered: false,
@@ -209,6 +219,7 @@ where
             crashed,
             cut,
             failure: Some(err.to_string()),
+            metrics: MetricsRegistry::new(),
         },
     }
 }
@@ -253,13 +264,15 @@ fn workloads(cfg: &Config) -> Vec<Result<Workload<'static>, (&'static str, Graph
             graph: tree,
             crash_window: tree_budget,
             run: Box::new(move |g, seed, plan, policy, trace| {
-                let out = theorem10_phase1_faulty_traced(
+                let set = MetricSet::new();
+                let out = theorem10_phase1_faulty_metered(
                     g,
                     TREE_DELTA,
                     seed,
                     Theorem10Config::default(),
                     plan,
                     trace,
+                    Some(&set),
                 );
                 // Phase 1 leaves filtered-bad vertices decided-but-unlabeled
                 // (`Some(None)`); flattening folds them into the damaged
@@ -274,7 +287,7 @@ fn workloads(cfg: &Config) -> Vec<Result<Workload<'static>, (&'static str, Graph
                         _ => None,
                     })
                     .collect();
-                heal(
+                let mut r = heal(
                     g,
                     &out,
                     &labels,
@@ -284,7 +297,10 @@ fn workloads(cfg: &Config) -> Vec<Result<Workload<'static>, (&'static str, Graph
                     },
                     policy,
                     trace,
-                )
+                    Some(&set),
+                );
+                r.metrics.absorb(&set);
+                r
             }),
         }),
         cubic.map_err(|e| ("sinkless", e)).map(|graph| Workload {
@@ -295,6 +311,7 @@ fn workloads(cfg: &Config) -> Vec<Result<Workload<'static>, (&'static str, Graph
                 let algo = SinklessRepair {
                     phases: SINKLESS_PHASES,
                 };
+                let set = MetricSet::new();
                 let out = run_sync(
                     g,
                     Mode::randomized(seed),
@@ -302,10 +319,11 @@ fn workloads(cfg: &Config) -> Vec<Result<Workload<'static>, (&'static str, Graph
                     &ExecSpec::default()
                         .with_budget(Budget::rounds(2 * SINKLESS_PHASES + 6))
                         .with_faults(plan)
-                        .traced(trace),
+                        .traced(trace)
+                        .metered(Some(&set)),
                 );
                 let labels: Vec<Option<Orientation>> = decided_labels(&out);
-                heal(
+                let mut r = heal(
                     g,
                     &out,
                     &labels,
@@ -313,7 +331,10 @@ fn workloads(cfg: &Config) -> Vec<Result<Workload<'static>, (&'static str, Graph
                     &SinklessFinisher,
                     policy,
                     trace,
-                )
+                    Some(&set),
+                );
+                r.metrics.absorb(&set);
+                r
             }),
         }),
         quartic.map_err(|e| ("mis", e)).map(|graph| Workload {
@@ -321,6 +342,7 @@ fn workloads(cfg: &Config) -> Vec<Result<Workload<'static>, (&'static str, Graph
             graph,
             crash_window: MIS_BUDGET,
             run: Box::new(|g, seed, plan, policy, trace| {
+                let set = MetricSet::new();
                 let out = run_sync(
                     g,
                     Mode::randomized(seed),
@@ -328,10 +350,11 @@ fn workloads(cfg: &Config) -> Vec<Result<Workload<'static>, (&'static str, Graph
                     &ExecSpec::default()
                         .with_budget(Budget::rounds(MIS_BUDGET))
                         .with_faults(plan)
-                        .traced(trace),
+                        .traced(trace)
+                        .metered(Some(&set)),
                 );
                 let labels: Vec<Option<bool>> = decided_labels(&out);
-                heal(
+                let mut r = heal(
                     g,
                     &out,
                     &labels,
@@ -341,7 +364,10 @@ fn workloads(cfg: &Config) -> Vec<Result<Workload<'static>, (&'static str, Graph
                     },
                     policy,
                     trace,
-                )
+                    Some(&set),
+                );
+                r.metrics.absorb(&set);
+                r
             }),
         }),
     ]
@@ -356,13 +382,15 @@ fn scope(cfg: &Config, workload: &str, drop_p: f64, crash_p: f64) -> String {
     )
 }
 
-/// Fold one grid point's trial outcomes into a [`Row`].
+/// Fold one grid point's trial outcomes into a [`Row`], merging each
+/// completed trial's metrics into the sweep-wide registry in trial order.
 fn fold_row(
     workload: &str,
     drop_p: f64,
     crash_p: f64,
     cfg: &Config,
     outcomes: Vec<TrialOutcome<TrialResult>>,
+    metrics: &mut MetricsRegistry,
 ) -> Row {
     let mut panicked = 0u64;
     let mut panic_messages = Vec::new();
@@ -388,6 +416,7 @@ fn fold_row(
             }
             TrialOutcome::Ok(r) => {
                 completed += 1;
+                metrics.merge(&r.metrics);
                 counts.halted += r.halted as u64;
                 counts.crashed += r.crashed as u64;
                 counts.cut += r.cut as u64;
@@ -476,6 +505,7 @@ pub fn run(cfg: &Config) -> Outcome13 {
 /// [`crate::checkpoint`]).
 pub fn run_checkpointed(cfg: &Config, checkpoint: Option<&Checkpoint>) -> Outcome13 {
     let mut rows = Vec::new();
+    let mut metrics = MetricsRegistry::new();
     for slot in workloads(cfg) {
         match slot {
             Err((name, err)) => {
@@ -500,13 +530,20 @@ pub fn run_checkpointed(cfg: &Config, checkpoint: Option<&Checkpoint>) -> Outcom
                             let faults = FaultPlan::sample(&w.graph, &spec, trial.seed);
                             (w.run)(&w.graph, trial.seed, &faults, &cfg.policy, None)
                         });
-                        rows.push(fold_row(w.name, drop_p, crash_p, cfg, outcomes));
+                        rows.push(fold_row(
+                            w.name,
+                            drop_p,
+                            crash_p,
+                            cfg,
+                            outcomes,
+                            &mut metrics,
+                        ));
                     }
                 }
             }
         }
     }
-    Outcome13 { rows }
+    Outcome13 { rows, metrics }
 }
 
 /// [`run`] with an optional trace sink: each trial's base engine run emits
@@ -517,6 +554,7 @@ pub fn run_checkpointed(cfg: &Config, checkpoint: Option<&Checkpoint>) -> Outcom
 /// mode, not a production sweep mode.
 pub fn run_traced(cfg: &Config, mut sink: Option<&mut dyn TraceSink>) -> Outcome13 {
     let mut rows = Vec::new();
+    let mut metrics = MetricsRegistry::new();
     let mut base = 0u64;
     for slot in workloads(cfg) {
         match slot {
@@ -542,13 +580,20 @@ pub fn run_traced(cfg: &Config, mut sink: Option<&mut dyn TraceSink>) -> Outcome
                             (w.run)(&w.graph, trial.seed, &faults, &cfg.policy, trace)
                         });
                         base += cfg.trials;
-                        rows.push(fold_row(w.name, drop_p, crash_p, cfg, outcomes));
+                        rows.push(fold_row(
+                            w.name,
+                            drop_p,
+                            crash_p,
+                            cfg,
+                            outcomes,
+                            &mut metrics,
+                        ));
                     }
                 }
             }
         }
     }
-    Outcome13 { rows }
+    Outcome13 { rows, metrics }
 }
 
 /// The fabric view of the sweep (see [`crate::fabric`]): one
@@ -615,6 +660,7 @@ impl FabricSweep {
     /// a serial [`run`] produces — byte-identical once serialized.
     pub fn fold_units(&self, per_point: Vec<Vec<Value>>) -> Outcome13 {
         let mut rows = Vec::new();
+        let mut metrics = MetricsRegistry::new();
         let mut groups = per_point.into_iter();
         for slot in &self.slots {
             for &drop_p in &self.cfg.drop_ps {
@@ -629,13 +675,20 @@ impl FabricSweep {
                                 .iter()
                                 .map(|v| decode_unit(v).expect("fabric journal record shape"))
                                 .collect();
-                            rows.push(fold_row(w.name, drop_p, crash_p, &self.cfg, outcomes));
+                            rows.push(fold_row(
+                                w.name,
+                                drop_p,
+                                crash_p,
+                                &self.cfg,
+                                outcomes,
+                                &mut metrics,
+                            ));
                         }
                     }
                 }
             }
         }
-        Outcome13 { rows }
+        Outcome13 { rows, metrics }
     }
 }
 

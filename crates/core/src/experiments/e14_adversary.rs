@@ -40,7 +40,7 @@ use local_graphs::{gen, Graph, GraphError};
 use local_lcl::problems::{Mis, Orientation, SinklessOrientation, VertexColoring};
 use local_lcl::LclProblem;
 use local_model::{derived_u64, Budget, ExecSpec, FaultPlan, Mode, Outcome};
-use local_obs::{Trace, TraceSink};
+use local_obs::{MetricSet, MetricsRegistry, Trace, TraceSink};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize, Value};
@@ -174,6 +174,9 @@ pub struct Row {
 pub struct Outcome14 {
     /// Measured grid points, workload-major in [`Objective::ALL`] order.
     pub rows: Vec<Row>,
+    /// The run-wide metric aggregate (`search_*` counters and gauges),
+    /// folded from every restart in trial order.
+    pub metrics: MetricsRegistry,
 }
 
 impl Outcome14 {
@@ -201,6 +204,7 @@ struct TrialResult {
     evaluations: u64,
     plan_json: String,
     report_json: String,
+    metrics: MetricsRegistry,
 }
 
 /// Score one plan's base run + recovery attempt: the common tail of every
@@ -400,6 +404,7 @@ fn restart(
         crash_window: w.crash_window,
         search_seed,
     };
+    let set = MetricSet::new();
     let out = search(
         &w.graph,
         FaultPlan::none(),
@@ -407,9 +412,12 @@ fn restart(
         &scfg,
         |p| (w.eval)(&w.graph, p, &cfg.policy, None).0,
         trace,
+        Some(&set),
     );
     let (eval, report_json) = (w.eval)(&w.graph, &out.best_plan, &cfg.policy, None);
     debug_assert_eq!(out.best_objective, objective.score(&eval));
+    let mut metrics = MetricsRegistry::new();
+    metrics.absorb(&set);
     TrialResult {
         search_seed,
         objective: objective.score(&eval),
@@ -423,6 +431,7 @@ fn restart(
         evaluations: out.evaluations + 1,
         plan_json: serde_json::to_string(&out.best_plan).expect("plan serializes"),
         report_json,
+        metrics,
     }
 }
 
@@ -443,12 +452,14 @@ fn scope(cfg: &Config, workload: &str, objective: Objective) -> String {
 }
 
 /// Fold one grid point's restart outcomes into a [`Row`]: the best restart
-/// wins, ties on the lowest index.
+/// wins, ties on the lowest index. Every restart's metric registry — not
+/// just the winner's — merges into `metrics`, in restart order.
 fn fold_row(
     workload: &str,
     objective: Objective,
     cfg: &Config,
     outcomes: Vec<TrialOutcome<TrialResult>>,
+    metrics: &mut MetricsRegistry,
 ) -> Row {
     let mut panicked = 0u64;
     let mut panic_messages = Vec::new();
@@ -461,6 +472,7 @@ fn fold_row(
                 panic_messages.push(message);
             }
             TrialOutcome::Ok(r) => {
+                metrics.merge(&r.metrics);
                 evaluations += r.evaluations;
                 if best.as_ref().is_none_or(|(_, b)| r.objective > b.objective) {
                     best = Some((i as u64, r));
@@ -483,6 +495,7 @@ fn fold_row(
             evaluations: 0,
             plan_json: String::new(),
             report_json: "null".to_string(),
+            metrics: MetricsRegistry::new(),
         },
     ));
     Row {
@@ -542,6 +555,7 @@ pub fn run(cfg: &Config) -> Outcome14 {
 /// [`crate::checkpoint`]).
 pub fn run_checkpointed(cfg: &Config, checkpoint: Option<&Checkpoint>) -> Outcome14 {
     let mut rows = Vec::new();
+    let mut metrics = MetricsRegistry::new();
     for slot in workloads() {
         match slot {
             Err((name, err)) => {
@@ -559,12 +573,12 @@ pub fn run_checkpointed(cfg: &Config, checkpoint: Option<&Checkpoint>) -> Outcom
                     let outcomes = plan.execute(tspec, |trial, _| {
                         restart(&w, objective, cfg, trial.seed, None)
                     });
-                    rows.push(fold_row(w.name, objective, cfg, outcomes));
+                    rows.push(fold_row(w.name, objective, cfg, outcomes, &mut metrics));
                 }
             }
         }
     }
-    Outcome14 { rows }
+    Outcome14 { rows, metrics }
 }
 
 /// [`run`] with an optional trace sink: every restart emits one
@@ -574,6 +588,7 @@ pub fn run_checkpointed(cfg: &Config, checkpoint: Option<&Checkpoint>) -> Outcom
 /// is an observability mode, not a production sweep mode.
 pub fn run_traced(cfg: &Config, mut sink: Option<&mut dyn TraceSink>) -> Outcome14 {
     let mut rows = Vec::new();
+    let mut metrics = MetricsRegistry::new();
     let mut base = 0u64;
     for slot in workloads() {
         match slot {
@@ -592,12 +607,12 @@ pub fn run_traced(cfg: &Config, mut sink: Option<&mut dyn TraceSink>) -> Outcome
                         restart(&w, objective, cfg, trial.seed, trace)
                     });
                     base += cfg.restarts;
-                    rows.push(fold_row(w.name, objective, cfg, outcomes));
+                    rows.push(fold_row(w.name, objective, cfg, outcomes, &mut metrics));
                 }
             }
         }
     }
-    Outcome14 { rows }
+    Outcome14 { rows, metrics }
 }
 
 /// The fabric view of the sweep (see [`crate::fabric`]): one
@@ -655,6 +670,7 @@ impl FabricSweep {
     /// a serial [`run`] produces — byte-identical once serialized.
     pub fn fold_units(&self, per_point: Vec<Vec<Value>>) -> Outcome14 {
         let mut rows = Vec::new();
+        let mut metrics = MetricsRegistry::new();
         let mut groups = per_point.into_iter();
         for slot in &self.slots {
             for objective in Objective::ALL {
@@ -666,12 +682,18 @@ impl FabricSweep {
                             .iter()
                             .map(|v| decode_unit(v).expect("fabric journal record shape"))
                             .collect();
-                        rows.push(fold_row(w.name, objective, &self.cfg, outcomes));
+                        rows.push(fold_row(
+                            w.name,
+                            objective,
+                            &self.cfg,
+                            outcomes,
+                            &mut metrics,
+                        ));
                     }
                 }
             }
         }
-        Outcome14 { rows }
+        Outcome14 { rows, metrics }
     }
 }
 

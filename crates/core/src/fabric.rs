@@ -45,14 +45,14 @@
 
 use crate::checkpoint::{Checkpoint, CheckpointError};
 use crate::retry::{Backoff, RetryPolicy};
-use local_obs::{EventData, Trace, TraceSink};
+use local_obs::{EventData, ProgressMeter, Trace, TraceSink};
 use serde::{DeError, Deserialize, Serialize, Value};
 use std::collections::VecDeque;
 use std::fmt;
 use std::io::{BufRead, BufReader, Write};
 use std::path::{Path, PathBuf};
 use std::process::{Child, ChildStdin, Command, Stdio};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -268,6 +268,16 @@ impl LeaseLedger {
         self.total - self.completed
     }
 
+    /// Units completed so far.
+    pub fn done(&self) -> u64 {
+        self.completed
+    }
+
+    /// Total units in the sweep.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
     /// Has every unit been completed?
     pub fn is_done(&self) -> bool {
         self.completed == self.total
@@ -289,6 +299,9 @@ pub enum WorkerMsg {
     Heartbeat {
         /// Worker slot.
         worker: u64,
+        /// Units this attempt has journaled so far — the coordinator's live
+        /// telemetry snapshot (progress line, final census).
+        units: u64,
     },
     /// A lease is fully journaled.
     Done {
@@ -316,9 +329,13 @@ impl Serialize for WorkerMsg {
                     ("attempt".into(), Value::U64(u64::from(*attempt))),
                 ],
             ),
-            WorkerMsg::Heartbeat { worker } => {
-                ("heartbeat", vec![("worker".into(), Value::U64(*worker))])
-            }
+            WorkerMsg::Heartbeat { worker, units } => (
+                "heartbeat",
+                vec![
+                    ("worker".into(), Value::U64(*worker)),
+                    ("units".into(), Value::U64(*units)),
+                ],
+            ),
             WorkerMsg::Done { worker, start, len } => (
                 "done",
                 vec![
@@ -344,7 +361,10 @@ impl Deserialize for WorkerMsg {
                 worker,
                 attempt: u32::from_value(v.field("attempt")?)?,
             }),
-            "heartbeat" => Ok(WorkerMsg::Heartbeat { worker }),
+            "heartbeat" => Ok(WorkerMsg::Heartbeat {
+                worker,
+                units: u64::from_value(v.field("units")?)?,
+            }),
             "done" => Ok(WorkerMsg::Done {
                 worker,
                 start: u64::from_value(v.field("start")?)?,
@@ -614,6 +634,23 @@ impl FabricError {
     }
 }
 
+/// Per-slot telemetry from a completed fabric run: how many processes the
+/// slot spawned, the units it completed, and its abnormal exits. Unit
+/// counts are exact — they come from the coordinator's confirmed lease
+/// completions, not worker self-reports — but work a dead attempt did on a
+/// reclaimed lease is credited to whichever slot re-executes it.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct WorkerCensus {
+    /// Worker slot.
+    pub worker: u64,
+    /// Processes spawned for the slot (1 + respawns); 0 for an empty sweep.
+    pub spawns: u64,
+    /// Units the slot completed via confirmed leases, across all attempts.
+    pub units: u64,
+    /// Exit-cause labels of the slot's abnormal deaths, in order.
+    pub exits: Vec<String>,
+}
+
 /// What a completed fabric sweep reports alongside its merged values.
 #[derive(Debug)]
 pub struct FabricReport {
@@ -631,6 +668,8 @@ pub struct FabricReport {
     /// Whether any slot retired early (respawn budget exhausted) and the
     /// sweep finished on fewer workers.
     pub degraded: bool,
+    /// The per-worker telemetry census, one entry per slot.
+    pub workers: Vec<WorkerCensus>,
 }
 
 impl FabricReport {
@@ -722,6 +761,13 @@ struct Slot {
     backoff: Backoff,
     respawn_at: Option<Instant>,
     retired: bool,
+    /// Units completed via confirmed leases, across all attempts.
+    units: u64,
+    /// Units completed by the *current* attempt (resets on death).
+    attempt_done: u64,
+    /// Cumulative units the current attempt last reported via heartbeat;
+    /// `hb_units - attempt_done` is its progress on the outstanding lease.
+    hb_units: u64,
 }
 
 struct Coordinator<'a> {
@@ -736,11 +782,34 @@ struct Coordinator<'a> {
     respawns: u64,
     reclaimed: u64,
     degraded: bool,
+    meter: ProgressMeter,
 }
 
 impl Coordinator<'_> {
     fn note(&self, message: &str) {
         local_obs::progress(!self.cfg.verbose, &format!("fabric: {message}"));
+    }
+
+    /// Emit the rate-limited live progress line: completed units from the
+    /// ledger plus heartbeat-reported progress on outstanding leases, the
+    /// live worker count, and the worst per-worker heartbeat lag.
+    fn tick_progress(&mut self) {
+        let now = Instant::now();
+        let live = self.slots.iter().filter(|s| s.child.is_some()).count();
+        let lag = self
+            .slots
+            .iter()
+            .filter(|s| s.child.is_some())
+            .map(|s| now.duration_since(s.last_heard).as_secs_f64())
+            .fold(0.0_f64, f64::max);
+        let inflight: u64 = self
+            .slots
+            .iter()
+            .filter(|s| s.child.is_some())
+            .map(|s| s.hb_units.saturating_sub(s.attempt_done))
+            .sum();
+        let extra = format!("[{live} worker(s), max lag {lag:.1}s]");
+        self.meter.update(self.ledger.done() + inflight, &extra);
     }
 
     fn spawn(&mut self, slot: usize) -> std::io::Result<()> {
@@ -823,9 +892,14 @@ impl Coordinator<'_> {
         };
         match msg {
             WorkerMsg::Hello { .. } => self.try_grant(slot),
-            WorkerMsg::Heartbeat { .. } => self.try_grant(slot),
+            WorkerMsg::Heartbeat { units, .. } => {
+                self.slots[slot].hb_units = units;
+                self.try_grant(slot);
+            }
             WorkerMsg::Done { start, len, .. } => {
                 if self.ledger.complete(slot, start, len) {
+                    self.slots[slot].units += len;
+                    self.slots[slot].attempt_done += len;
                     self.trace.emit(EventData::LeaseDone {
                         worker: slot as u64,
                         start,
@@ -847,6 +921,8 @@ impl Coordinator<'_> {
             let _ = child.wait();
         }
         self.slots[slot].stdin = None;
+        self.slots[slot].attempt_done = 0;
+        self.slots[slot].hb_units = 0;
         let lost = self.ledger.reclaim(slot);
         if let Some(lease) = &lost {
             self.reclaimed += 1;
@@ -967,7 +1043,9 @@ impl Coordinator<'_> {
                     }
                 }
             }
+            self.tick_progress();
         }
+        self.meter.finish(self.ledger.done(), "");
         Ok(())
     }
 
@@ -1064,6 +1142,9 @@ pub fn run_fabric(
                     .delays(),
                 respawn_at: None,
                 retired: false,
+                units: 0,
+                attempt_done: 0,
+                hb_units: 0,
             })
             .collect(),
         ledger: LeaseLedger::new(total, cfg.lease_len_for(total), cfg.workers as usize),
@@ -1074,6 +1155,7 @@ pub fn run_fabric(
         respawns: 0,
         reclaimed: 0,
         degraded: false,
+        meter: ProgressMeter::new(!cfg.verbose, "fabric", total),
     };
 
     let result = if total == 0 {
@@ -1099,6 +1181,26 @@ pub fn run_fabric(
     result?;
 
     let values = merge_journals(dir, cfg.workers, scope, total)?;
+    let workers = coordinator
+        .slots
+        .iter()
+        .enumerate()
+        .map(|(slot, s)| WorkerCensus {
+            worker: slot as u64,
+            spawns: if total == 0 {
+                0
+            } else {
+                u64::from(s.attempt) + 1
+            },
+            units: s.units,
+            exits: coordinator
+                .exits
+                .iter()
+                .filter(|e| e.worker == slot as u64)
+                .map(|e| e.cause.label())
+                .collect(),
+        })
+        .collect();
     Ok(FabricReport {
         values,
         exits: coordinator.exits,
@@ -1106,6 +1208,7 @@ pub fn run_fabric(
         respawns: coordinator.respawns,
         reclaimed: coordinator.reclaimed,
         degraded: coordinator.degraded,
+        workers,
     })
 }
 
@@ -1218,12 +1321,20 @@ where
     let chaos = Chaos::from_env(env.worker, env.attempt);
 
     let heartbeats = Arc::new(AtomicBool::new(true));
+    // The heartbeat thread snapshots this counter so every liveness signal
+    // doubles as a progress report — the coordinator's live telemetry.
+    let units_done = Arc::new(AtomicU64::new(0));
     let hb_flag = Arc::clone(&heartbeats);
+    let hb_units = Arc::clone(&units_done);
     let hb_worker = env.worker;
     let hb_cadence = Duration::from_millis(cfg.heartbeat_ms);
     let hb_thread = std::thread::spawn(move || {
         while hb_flag.load(Ordering::Relaxed) {
-            if send_msg(&WorkerMsg::Heartbeat { worker: hb_worker }).is_err() {
+            let beat = WorkerMsg::Heartbeat {
+                worker: hb_worker,
+                units: hb_units.load(Ordering::Relaxed),
+            };
+            if send_msg(&beat).is_err() {
                 return; // coordinator is gone; the main loop will see EOF
             }
             std::thread::sleep(hb_cadence);
@@ -1236,7 +1347,6 @@ where
             attempt: env.attempt,
         })
         .map_err(|e| FabricError::io("sending hello", &e))?;
-        let mut executed = 0u64;
         for line in BufReader::new(std::io::stdin()).lines() {
             let line = line.map_err(|e| FabricError::io("reading coordinator message", &e))?;
             if line.trim().is_empty() {
@@ -1253,7 +1363,7 @@ where
                             journal
                                 .record(scope, unit, value)
                                 .map_err(|e| FabricError::io("journaling unit", &e))?;
-                            executed += 1;
+                            let executed = units_done.fetch_add(1, Ordering::Relaxed) + 1;
                             if let Some(chaos) = &chaos {
                                 chaos.tick(executed, &heartbeats);
                             }
@@ -1396,7 +1506,10 @@ mod tests {
                 worker: 3,
                 attempt: 2,
             },
-            WorkerMsg::Heartbeat { worker: 0 },
+            WorkerMsg::Heartbeat {
+                worker: 0,
+                units: 42,
+            },
             WorkerMsg::Done {
                 worker: 1,
                 start: 16,

@@ -7,7 +7,7 @@ use crate::params::GlobalParams;
 use crate::recover::{Breach, Budget};
 use crate::spec::ExecSpec;
 use local_graphs::Graph;
-use local_obs::{EventData, PowHistogram, Trace};
+use local_obs::{EventData, MetricId, MetricSet, PowHistogram, Trace};
 use rand::{Rng, RngCore, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use serde::{DeError, Deserialize, Serialize, Value};
@@ -453,10 +453,12 @@ impl<'g> Engine<'g> {
             spec.budget.as_ref().unwrap_or(&self.budget),
             faults,
             spec.trace.or(self.trace),
+            spec.metrics,
             spec.shards,
         )
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn execute_inner<P>(
         &self,
         protocol: &P,
@@ -464,6 +466,7 @@ impl<'g> Engine<'g> {
         budget: &Budget,
         faults: &FaultPlan,
         trace: Option<&Trace>,
+        metrics: Option<&MetricSet>,
         spec_shards: Option<std::num::NonZeroUsize>,
     ) -> FaultyRun<<P::Node as NodeProgram>::Output>
     where
@@ -761,8 +764,9 @@ impl<'g> Engine<'g> {
         let mut outcomes = Vec::with_capacity(n);
         let mut rounds = 0;
         let mut messages_sent = 0u64;
-        let mut messages_hist = trace.map(|_| PowHistogram::new());
-        let mut halt_hist = trace.map(|_| PowHistogram::new());
+        let observed = trace.is_some() || metrics.is_some();
+        let mut messages_hist = observed.then(PowHistogram::new);
+        let mut halt_hist = observed.then(PowHistogram::new);
         for (v, (done, sent)) in cols.done.into_iter().zip(cols.sent).enumerate() {
             messages_sent += sent;
             if let Some(h) = messages_hist.as_mut() {
@@ -801,6 +805,25 @@ impl<'g> Engine<'g> {
             delayed,
             breach,
         };
+        if let Some(ms) = metrics {
+            ms.incr(MetricId::EngineRuns);
+            ms.add(MetricId::EngineRounds, u64::from(fr.rounds));
+            ms.add(MetricId::EngineSweeps, u64::from(fr.stats.sweeps));
+            ms.add(MetricId::EngineMessages, fr.stats.messages_sent);
+            ms.add(MetricId::EngineHalted, fr.halted() as u64);
+            ms.add(MetricId::EngineCrashed, fr.crashed() as u64);
+            ms.add(MetricId::EngineCut, fr.cut() as u64);
+            ms.add(MetricId::EngineDropped, fr.dropped);
+            ms.add(MetricId::EngineDelayed, fr.delayed);
+            for (hist, id) in [
+                (&messages_hist, MetricId::EngineMessagesPerVertex),
+                (&halt_hist, MetricId::EngineHaltRound),
+            ] {
+                for (bin, count) in hist.iter().flat_map(PowHistogram::nonzero) {
+                    ms.observe_n(id, PowHistogram::bin_bounds(bin).0, count);
+                }
+            }
+        }
         if let Some(tr) = trace {
             tr.emit(EventData::Histogram {
                 name: "messages_per_vertex".into(),

@@ -16,7 +16,7 @@
 use crate::faults::FaultPlan;
 use crate::params::GlobalParams;
 use crate::recover::Budget;
-use local_obs::Trace;
+use local_obs::{MetricSet, Trace};
 use std::num::NonZeroUsize;
 
 /// How one simulation executes: fault plan, watchdog budget, trace
@@ -40,6 +40,10 @@ pub struct ExecSpec<'a> {
     /// Trace buffer receiving run lifecycle events; `None` traces nothing
     /// (the disabled path is a single branch per sweep).
     pub trace: Option<&'a Trace>,
+    /// Metric recorder receiving end-of-run aggregates (rounds, messages,
+    /// halt/crash/cut counts, the two engine histograms); `None` records
+    /// nothing — like tracing, the disabled path is a single branch.
+    pub metrics: Option<&'a MetricSet>,
     /// Number of vertex shards the engine sweeps in parallel; `None` lets the
     /// engine choose (its own setting, or an automatic choice by graph size).
     /// Output is bit-identical across shard counts, so this is purely a
@@ -99,6 +103,20 @@ impl<'a> ExecSpec<'a> {
         self
     }
 
+    /// Attach `metrics`: the run records its end-of-run aggregates into the
+    /// per-trial recorder.
+    pub fn with_metrics(mut self, metrics: &'a MetricSet) -> Self {
+        self.metrics = Some(metrics);
+        self
+    }
+
+    /// [`with_metrics`](Self::with_metrics) accepting the `Option` producers
+    /// thread around — `None` leaves the spec unmetered.
+    pub fn metered(mut self, metrics: Option<&'a MetricSet>) -> Self {
+        self.metrics = metrics;
+        self
+    }
+
     /// Sweep with exactly `shards` vertex shards (clamped to `n` by the
     /// engine). Forces the sharded path even below the engine's automatic
     /// parallelism threshold, which the shard-invariance tests rely on.
@@ -123,6 +141,7 @@ mod tests {
         assert!(spec.budget.is_none());
         assert!(spec.faults.is_none());
         assert!(spec.trace.is_none());
+        assert!(spec.metrics.is_none());
         assert!(spec.shards.is_none());
     }
 
@@ -165,5 +184,14 @@ mod tests {
     fn traced_none_is_untraced() {
         let spec = ExecSpec::default().traced(None);
         assert!(spec.trace.is_none());
+    }
+
+    #[test]
+    fn metered_none_is_unmetered() {
+        let spec = ExecSpec::default().metered(None);
+        assert!(spec.metrics.is_none());
+        let set = MetricSet::new();
+        assert!(ExecSpec::default().with_metrics(&set).metrics.is_some());
+        assert!(ExecSpec::default().metered(Some(&set)).metrics.is_some());
     }
 }

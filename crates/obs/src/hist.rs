@@ -88,6 +88,29 @@ impl PowHistogram {
     pub fn max_bin(&self) -> Option<usize> {
         self.nonzero().last().map(|(b, _)| b)
     }
+
+    /// An upper-bound quantile estimate: the high bound of the first bin
+    /// whose cumulative count reaches rank `⌈q·total⌉`.
+    ///
+    /// Bins only know their `[lo, hi]` range, so the estimate is exact for
+    /// bin 0 (zeros) and otherwise conservative by at most the bin's width
+    /// (a factor `< 2`). `None` when the histogram is empty; `q` is clamped
+    /// to `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        let total = self.total();
+        if total == 0 {
+            return None;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut cumulative = 0;
+        for (bin, count) in self.nonzero() {
+            cumulative += count;
+            if cumulative >= rank {
+                return Some(Self::bin_bounds(bin).1);
+            }
+        }
+        None
+    }
 }
 
 impl Serialize for PowHistogram {
@@ -173,6 +196,38 @@ mod tests {
         let e = PowHistogram::new();
         let back: PowHistogram = serde_json::from_str(&serde_json::to_string(&e).unwrap()).unwrap();
         assert_eq!(back, e);
+    }
+
+    #[test]
+    fn quantiles_come_from_bin_bounds() {
+        assert_eq!(PowHistogram::new().quantile(0.5), None);
+        let mut zeros = PowHistogram::new();
+        zeros.record_n(0, 10);
+        assert_eq!(zeros.quantile(0.5), Some(0));
+        assert_eq!(zeros.quantile(0.99), Some(0));
+        let mut h = PowHistogram::new();
+        h.record_n(1, 50); // bin 1: [1, 1]
+        h.record_n(6, 40); // bin 3: [4, 7]
+        h.record_n(1000, 10); // bin 10: [512, 1023]
+        assert_eq!(h.quantile(0.0), Some(1));
+        assert_eq!(h.quantile(0.5), Some(1));
+        assert_eq!(h.quantile(0.9), Some(7));
+        assert_eq!(h.quantile(0.99), Some(1023));
+        assert_eq!(h.quantile(1.0), Some(1023));
+        // Out-of-range arguments clamp instead of panicking.
+        assert_eq!(h.quantile(7.0), Some(1023));
+        assert_eq!(h.quantile(-1.0), Some(1));
+    }
+
+    #[test]
+    fn single_bin_serde_round_trips_exactly() {
+        let mut h = PowHistogram::new();
+        h.record_n(42, 7); // one bin (bin 6) populated, nothing else
+        let text = serde_json::to_string(&h).unwrap();
+        assert_eq!(text, r#"{"total":7,"bins":[[6,7]]}"#);
+        let back: PowHistogram = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, h);
+        assert_eq!(serde_json::to_string(&back).unwrap(), text);
     }
 
     #[test]

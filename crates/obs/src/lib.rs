@@ -17,24 +17,41 @@
 //! * [`TraceSink`]: where completed trials' events go — [`NullSink`],
 //!   in-memory [`MemorySink`], or a buffered JSON-lines [`FileSink`].
 //! * [`PowHistogram`]: fixed-bin power-of-two histograms with exact serde
-//!   round-tripping (messages per vertex, halt rounds, component sizes).
-//! * [`progress`]: the single stderr progress helper behind `--quiet`.
+//!   round-tripping and quantile estimates (messages per vertex, halt
+//!   rounds, component sizes).
+//! * [`MetricSet`] / [`MetricsRegistry`]: the metrics plane — typed
+//!   counters, gauges, and histograms keyed by the static [`MetricId`]
+//!   table, recorded per trial and folded in trial order into one mergeable
+//!   [`MetricsDoc`] whose bytes are thread-count- and
+//!   process-count-invariant.
+//! * [`SpanProfile`] / [`ResourceSample`]: profiling — span events folded
+//!   into per-phase self-time/total-time call-path profiles with a
+//!   flamegraph-compatible folded export, plus peak-RSS samples.
+//! * [`progress`] / [`ProgressMeter`]: stderr progress behind `--quiet`,
+//!   from one-shot notes to a rate-limited meter with throughput and ETA.
 //!
-//! Everything except span timings (`micros` on `span_end` events) is
-//! deterministic: two runs with the same seeds produce byte-identical traces
-//! after [`TraceEvent::scrubbed`], regardless of thread count.
+//! Everything except span timings (`micros` on `span_end` events) and
+//! resource samples is deterministic: two runs with the same seeds produce
+//! byte-identical traces after [`TraceEvent::scrubbed`] and byte-identical
+//! metrics documents, regardless of thread count.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod event;
 mod hist;
+mod metrics;
+mod profile;
 mod progress;
 mod sink;
 mod trace;
 
 pub use event::{EventData, TraceEvent};
 pub use hist::PowHistogram;
-pub use progress::progress;
+pub use metrics::{
+    MetricDef, MetricId, MetricKind, MetricSet, MetricsDoc, MetricsRegistry, METRICS_SCHEMA,
+};
+pub use profile::{ProfileEntry, ResourceSample, SpanProfile};
+pub use progress::{progress, render_progress, ProgressMeter};
 pub use sink::{read_trace, FileSink, MemorySink, NullSink, TraceReadError, TraceSink};
 pub use trace::{Span, Trace};

@@ -1,0 +1,308 @@
+//! Span profiles and resource samples built from trace events.
+//!
+//! The trace plane already records `span_start`/`span_end` pairs with
+//! monotonic wall-clock durations; this module folds them into per-phase
+//! profiles. Spans nest, so each occurrence gets a **call path** — the
+//! `;`-joined names of the enclosing spans plus its own — and two times:
+//! *total* (the span's own duration) and *self* (total minus the time spent
+//! in direct children). Self-times partition wall-clock exactly: summed over
+//! every path of a trial they equal the trial's root-span totals, which is
+//! what makes the folded-stack export (`path weight` lines, one per call
+//! path) render as a well-formed flamegraph.
+
+use crate::event::{EventData, TraceEvent};
+use serde::{Serialize, Value};
+use std::collections::BTreeMap;
+
+/// One call path's aggregated timings.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProfileEntry {
+    /// The `;`-joined span names from root to this span.
+    pub path: String,
+    /// How many spans closed on this path.
+    pub count: u64,
+    /// Summed span durations in microseconds.
+    pub total_micros: u64,
+    /// Summed durations minus time in direct children.
+    pub self_micros: u64,
+}
+
+/// A per-phase self-time/total-time profile aggregated from span events.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SpanProfile {
+    entries: Vec<ProfileEntry>,
+    root_micros: u64,
+    orphan_ends: u64,
+    unclosed_starts: u64,
+}
+
+/// A span frame still open while scanning one trial's events.
+struct Frame {
+    name: String,
+    child_micros: u64,
+}
+
+impl SpanProfile {
+    /// Aggregate every span in `events` into a profile.
+    ///
+    /// Events are grouped by trial (span stacks never cross trials) and
+    /// scanned in order. A `span_end` whose name does not match the
+    /// innermost open span is counted as an orphan and skipped; spans still
+    /// open when their trial's events run out are counted as unclosed.
+    /// Both counts are zero for any trace the workspace's producers write.
+    pub fn from_events(events: &[TraceEvent]) -> SpanProfile {
+        let mut by_trial: BTreeMap<u64, Vec<&TraceEvent>> = BTreeMap::new();
+        for e in events {
+            by_trial.entry(e.trial).or_default().push(e);
+        }
+        let mut paths: BTreeMap<String, (u64, u64, u64)> = BTreeMap::new();
+        let mut profile = SpanProfile::default();
+        for (_, trial_events) in by_trial {
+            let mut stack: Vec<Frame> = Vec::new();
+            for e in trial_events {
+                match &e.data {
+                    EventData::SpanStart { name } => stack.push(Frame {
+                        name: name.clone(),
+                        child_micros: 0,
+                    }),
+                    EventData::SpanEnd { name, micros } => {
+                        if stack.last().is_none_or(|f| f.name != *name) {
+                            profile.orphan_ends += 1;
+                            continue;
+                        }
+                        let frame = stack.pop().expect("matched above");
+                        let path = stack
+                            .iter()
+                            .map(|f| f.name.as_str())
+                            .chain([name.as_str()])
+                            .collect::<Vec<_>>()
+                            .join(";");
+                        // Span timings come from one monotonic clock, so a
+                        // child's window is contained in its parent's; the
+                        // saturation only guards rounding of truncated
+                        // microsecond readings.
+                        let self_micros = micros.saturating_sub(frame.child_micros);
+                        let slot = paths.entry(path).or_insert((0, 0, 0));
+                        slot.0 += 1;
+                        slot.1 += micros;
+                        slot.2 += self_micros;
+                        match stack.last_mut() {
+                            Some(parent) => parent.child_micros += micros,
+                            None => profile.root_micros += micros,
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            profile.unclosed_starts += stack.len() as u64;
+        }
+        profile.entries = paths
+            .into_iter()
+            .map(|(path, (count, total_micros, self_micros))| ProfileEntry {
+                path,
+                count,
+                total_micros,
+                self_micros,
+            })
+            .collect();
+        profile
+    }
+
+    /// The aggregated call paths, sorted by path.
+    pub fn entries(&self) -> &[ProfileEntry] {
+        &self.entries
+    }
+
+    /// Summed duration of all root (depth-1) spans. Equals the sum of every
+    /// entry's `self_micros` when the trace had no orphan or unclosed spans.
+    pub fn root_micros(&self) -> u64 {
+        self.root_micros
+    }
+
+    /// `span_end` events with no matching open span.
+    pub fn orphan_ends(&self) -> u64 {
+        self.orphan_ends
+    }
+
+    /// Spans still open at the end of their trial's events.
+    pub fn unclosed_starts(&self) -> u64 {
+        self.unclosed_starts
+    }
+
+    /// Whether no span was aggregated.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The folded-stack export: one `path self_micros` line per call path,
+    /// sorted by path — the format flamegraph renderers consume.
+    pub fn folded(&self) -> String {
+        let mut out = String::new();
+        for e in &self.entries {
+            out.push_str(&e.path);
+            out.push(' ');
+            out.push_str(&e.self_micros.to_string());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// A point-in-time memory sample read from `/proc/self/status`.
+///
+/// Allocation counts would need a global allocator hook, which the
+/// workspace's `forbid(unsafe_code)` rules out, so the resident-set numbers
+/// are the resource sample. Wall-clock-adjacent and inherently
+/// nondeterministic: reported through telemetry files, never through the
+/// canonical metrics document.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResourceSample {
+    /// Peak resident set size (`VmHWM`) in bytes.
+    pub peak_rss_bytes: u64,
+    /// Current resident set size (`VmRSS`) in bytes.
+    pub current_rss_bytes: u64,
+}
+
+impl ResourceSample {
+    /// Sample the current process, or `None` where `/proc` is unavailable.
+    pub fn capture() -> Option<ResourceSample> {
+        let status = std::fs::read_to_string("/proc/self/status").ok()?;
+        Some(ResourceSample {
+            peak_rss_bytes: read_kb_line(&status, "VmHWM:")?,
+            current_rss_bytes: read_kb_line(&status, "VmRSS:")?,
+        })
+    }
+}
+
+fn read_kb_line(status: &str, key: &str) -> Option<u64> {
+    let line = status.lines().find(|l| l.starts_with(key))?;
+    let kb: u64 = line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|v| v.parse().ok())?;
+    Some(kb * 1024)
+}
+
+impl Serialize for ResourceSample {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("peak_rss_bytes".into(), Value::U64(self.peak_rss_bytes)),
+            (
+                "current_rss_bytes".into(),
+                Value::U64(self.current_rss_bytes),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(trial: u64, seq: u64, data: EventData) -> TraceEvent {
+        TraceEvent { trial, seq, data }
+    }
+
+    fn start(trial: u64, seq: u64, name: &str) -> TraceEvent {
+        ev(trial, seq, EventData::SpanStart { name: name.into() })
+    }
+
+    fn end(trial: u64, seq: u64, name: &str, micros: u64) -> TraceEvent {
+        ev(
+            trial,
+            seq,
+            EventData::SpanEnd {
+                name: name.into(),
+                micros,
+            },
+        )
+    }
+
+    #[test]
+    fn nested_spans_get_call_paths_and_self_times() {
+        let events = vec![
+            start(0, 0, "trial"),
+            start(0, 1, "phase1"),
+            end(0, 2, "phase1", 30),
+            start(0, 3, "phase2"),
+            end(0, 4, "phase2", 50),
+            end(0, 5, "trial", 100),
+        ];
+        let p = SpanProfile::from_events(&events);
+        let by_path: BTreeMap<&str, &ProfileEntry> =
+            p.entries().iter().map(|e| (e.path.as_str(), e)).collect();
+        assert_eq!(by_path.len(), 3);
+        assert_eq!(by_path["trial"].total_micros, 100);
+        assert_eq!(by_path["trial"].self_micros, 20);
+        assert_eq!(by_path["trial;phase1"].self_micros, 30);
+        assert_eq!(by_path["trial;phase2"].self_micros, 50);
+        assert_eq!(p.root_micros(), 100);
+        let self_sum: u64 = p.entries().iter().map(|e| e.self_micros).sum();
+        assert_eq!(self_sum, p.root_micros());
+        assert_eq!(p.orphan_ends(), 0);
+        assert_eq!(p.unclosed_starts(), 0);
+    }
+
+    #[test]
+    fn repeated_paths_aggregate_and_trials_are_independent() {
+        let events = vec![
+            start(0, 0, "trial"),
+            end(0, 1, "trial", 10),
+            start(1, 0, "trial"),
+            start(1, 1, "inner"),
+            end(1, 2, "inner", 4),
+            end(1, 3, "trial", 9),
+        ];
+        let p = SpanProfile::from_events(&events);
+        let trial = p.entries().iter().find(|e| e.path == "trial").unwrap();
+        assert_eq!(trial.count, 2);
+        assert_eq!(trial.total_micros, 19);
+        assert_eq!(trial.self_micros, 15);
+        assert_eq!(p.root_micros(), 19);
+    }
+
+    #[test]
+    fn malformed_traces_are_counted_not_crashed() {
+        let events = vec![
+            end(0, 0, "never-opened", 5),
+            start(0, 1, "left-open"),
+            start(1, 0, "outer"),
+            end(1, 1, "mismatched", 5),
+            end(1, 2, "outer", 7),
+        ];
+        let p = SpanProfile::from_events(&events);
+        assert_eq!(p.orphan_ends(), 2);
+        assert_eq!(p.unclosed_starts(), 1);
+        assert_eq!(p.root_micros(), 7);
+    }
+
+    #[test]
+    fn folded_output_is_sorted_lines() {
+        let events = vec![
+            start(0, 0, "b"),
+            end(0, 1, "b", 2),
+            start(0, 2, "a"),
+            end(0, 3, "a", 1),
+        ];
+        let p = SpanProfile::from_events(&events);
+        assert_eq!(p.folded(), "a 1\nb 2\n");
+        assert!(SpanProfile::default().folded().is_empty());
+        assert!(SpanProfile::default().is_empty());
+    }
+
+    #[test]
+    fn resource_sample_reads_proc() {
+        // /proc is always present on the platforms CI runs on.
+        let s = ResourceSample::capture().expect("/proc/self/status");
+        assert!(s.peak_rss_bytes > 0);
+        assert!(s.peak_rss_bytes >= s.current_rss_bytes);
+    }
+
+    #[test]
+    fn kb_lines_parse() {
+        let status = "Name:\tx\nVmHWM:\t  1234 kB\nVmRSS:\t  1000 kB\n";
+        assert_eq!(read_kb_line(status, "VmHWM:"), Some(1234 * 1024));
+        assert_eq!(read_kb_line(status, "VmRSS:"), Some(1024000));
+        assert_eq!(read_kb_line(status, "VmPeak:"), None);
+    }
+}
