@@ -1,0 +1,202 @@
+//! Randomized defective coloring by symmetric local search.
+//!
+//! Every vertex draws a uniform color, then alternates two-round cycles:
+//! overfull vertices (more than `defect` same-colored neighbors) draw a
+//! random bid, and strict-minimum bidders flip to their least-crowded color.
+//! Strict-minimum bidders are pairwise non-adjacent, so concurrent flips are
+//! computed against unchanged neighborhoods and the number of monochromatic
+//! edges strictly decreases whenever any vertex is overfull and can improve
+//! — on subcubic graphs with 2 colors and defect 1 an improving flip always
+//! exists, so the search settles within `m` cycles. A fixed `horizon` round
+//! makes every vertex decide, which keeps the algorithm's fault behavior
+//! analyzable: crashed neighbors freeze at stale colors and simply bias the
+//! counts the survivors see.
+
+use crate::sync::{SyncAlgorithm, SyncCtx, SyncStep};
+use local_model::NodeInit;
+use rand::Rng;
+
+/// Public state of [`DefectiveLocalSearch`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DefectiveState {
+    /// Current color (`usize::MAX` before the round-1 draw, so undrawn or
+    /// crashed-at-init neighbors never collide with a real color).
+    pub color: usize,
+    /// This cycle's flip bid, present iff the vertex was overfull.
+    pub bid: Option<u64>,
+}
+
+/// Randomized local search for `defect`-defective `colors`-coloring.
+#[derive(Debug, Clone, Copy)]
+pub struct DefectiveLocalSearch {
+    colors: usize,
+    defect: usize,
+    horizon: u32,
+}
+
+impl DefectiveLocalSearch {
+    /// Local search over `colors` colors tolerating `defect` monochromatic
+    /// neighbors, deciding at round `horizon`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `colors == 0` or `horizon == 0`.
+    pub fn new(colors: usize, defect: usize, horizon: u32) -> Self {
+        assert!(colors > 0, "palette must be nonempty");
+        assert!(horizon >= 1, "the settle horizon must be positive");
+        DefectiveLocalSearch {
+            colors,
+            defect,
+            horizon,
+        }
+    }
+
+    /// Palette size.
+    pub fn colors(&self) -> usize {
+        self.colors
+    }
+
+    /// Tolerated monochromatic degree.
+    pub fn defect(&self) -> usize {
+        self.defect
+    }
+
+    /// The round at which every vertex decides its current color.
+    pub fn horizon(&self) -> u32 {
+        self.horizon
+    }
+}
+
+impl SyncAlgorithm for DefectiveLocalSearch {
+    type State = DefectiveState;
+    type Output = usize;
+
+    fn init(&self, _init: &NodeInit<'_>) -> DefectiveState {
+        DefectiveState {
+            color: usize::MAX,
+            bid: None,
+        }
+    }
+
+    fn update(
+        &self,
+        round: u32,
+        ctx: &mut SyncCtx<'_>,
+        state: &DefectiveState,
+        neighbors: &[DefectiveState],
+    ) -> SyncStep<DefectiveState, usize> {
+        let mut st = state.clone();
+        if round == 1 {
+            st.color = ctx.rng().gen_range(0..self.colors as u64) as usize;
+            st.bid = None;
+            return SyncStep::Continue(st);
+        }
+        if round >= self.horizon {
+            let color = st.color;
+            return SyncStep::Decide(st, color);
+        }
+        if round.is_multiple_of(2) {
+            // Bid iff overfull.
+            let mono = neighbors.iter().filter(|nb| nb.color == st.color).count();
+            st.bid = (mono > self.defect).then(|| ctx.rng().gen::<u64>());
+        } else {
+            // Strict-minimum bidders flip to their least-crowded color, but
+            // only when that strictly improves: the monochromatic edge count
+            // is then a potential function.
+            if let Some(b) = st.bid {
+                let wins = neighbors
+                    .iter()
+                    .all(|nb| nb.bid.is_none_or(|theirs| b < theirs));
+                if wins {
+                    let mono = neighbors.iter().filter(|nb| nb.color == st.color).count();
+                    let (best_count, best) = (0..self.colors)
+                        .map(|c| (neighbors.iter().filter(|nb| nb.color == c).count(), c))
+                        .min()
+                        .expect("palette is nonempty");
+                    if best_count < mono {
+                        st.color = best;
+                    }
+                }
+                st.bid = None;
+            }
+        }
+        SyncStep::Continue(st)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sync::run_sync;
+    use local_graphs::gen;
+    use local_lcl::problems::DefectiveColoring;
+    use local_lcl::{check_complete, Labeling};
+    use local_model::{ExecSpec, Mode};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn run_and_check(
+        g: &local_graphs::Graph,
+        colors: usize,
+        defect: usize,
+        seed: u64,
+    ) -> Labeling<usize> {
+        let algo = DefectiveLocalSearch::new(colors, defect, 2 * g.m() as u32 + 3);
+        let out = run_sync(
+            g,
+            Mode::randomized(seed),
+            &algo,
+            &ExecSpec::rounds(algo.horizon()),
+        )
+        .strict()
+        .unwrap();
+        let labels: Labeling<usize> = out.outputs.into();
+        let verdict = check_complete(&DefectiveColoring::new(colors, defect), g, &labels);
+        assert!(
+            verdict.violations.is_empty(),
+            "settled coloring must satisfy the defect bound, got {:?}",
+            verdict.violations.first()
+        );
+        labels
+    }
+
+    #[test]
+    fn two_colors_defect_one_on_random_cubic_graphs() {
+        let mut rng = StdRng::seed_from_u64(0xDEF1);
+        for trial in 0..3 {
+            let g = gen::random_regular(48, 3, &mut rng).expect("feasible");
+            run_and_check(&g, 2, 1, trial);
+        }
+    }
+
+    #[test]
+    fn zero_defect_is_proper_coloring() {
+        // Four colors, defect 0, Δ = 3: an overfull vertex always has a
+        // strictly less crowded color, so the search settles properly.
+        let mut rng = StdRng::seed_from_u64(0xDEF2);
+        let g = gen::random_regular(24, 3, &mut rng).expect("feasible");
+        run_and_check(&g, 4, 0, 9);
+    }
+
+    #[test]
+    fn reproducible_given_seed() {
+        let g = gen::cycle(32);
+        let a = run_and_check(&g, 2, 1, 3);
+        let b = run_and_check(&g, 2, 1, 3);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn accessors() {
+        let algo = DefectiveLocalSearch::new(2, 1, 99);
+        assert_eq!(algo.colors(), 2);
+        assert_eq!(algo.defect(), 1);
+        assert_eq!(algo.horizon(), 99);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonempty")]
+    fn rejects_empty_palette() {
+        let _ = DefectiveLocalSearch::new(0, 1, 10);
+    }
+}

@@ -7,11 +7,14 @@
 //! * [`cole_vishkin`] — 3-coloring oriented rings in `log* n + O(1)` rounds.
 //! * [`rand_greedy`] — randomized `(Δ+1)`-coloring by trial coloring,
 //!   `O(log n)` rounds w.h.p.
+//! * [`defective`] — randomized defective coloring by bid-arbitrated local
+//!   search, settling at a fixed horizon.
 //! * [`tree_be`] — Barenboim–Elkin `q`-coloring of forests (Theorem 9),
 //!   `O(log_q n)`-layer H-partition plus a Linial-scheduled sweep.
 
 pub mod cole_vishkin;
 pub mod cover_free;
+pub mod defective;
 pub mod edge_distributed;
 pub mod grouped;
 pub mod linial;
@@ -21,6 +24,7 @@ pub mod reduce;
 pub mod tree_be;
 
 pub use cover_free::PolyFamily;
+pub use defective::{DefectiveLocalSearch, DefectiveState};
 pub use edge_distributed::edge_color_distributed;
 pub use linial::{linial_color, LinialSchedule};
 pub use rand_greedy::rand_greedy_color;

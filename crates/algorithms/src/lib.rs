@@ -29,7 +29,8 @@ pub mod tree;
 pub mod util;
 
 pub use repair::{
-    recover, recover_metered, recover_report, recover_traced, DegradedRun, Finish, Finisher,
-    GreedyColoringFinisher, LubyRestartFinisher, Recovery, RecoveryPolicy, SinklessFinisher,
+    recover, recover_metered, recover_report, recover_traced, DefectiveGreedyFinisher, DegradedRun,
+    EdgeGreedyFinisher, Finish, Finisher, GreedyColoringFinisher, LubyRestartFinisher, Recovery,
+    RecoveryPolicy, RulingSetFinisher, SinklessFinisher,
 };
 pub use sync::{run_sync, SyncAlgorithm, SyncCtx, SyncOutcome, SyncRun, SyncStep};

@@ -8,7 +8,9 @@
 //!   on the (w.h.p. small) undecided components — the paper's graph
 //!   shattering pattern in action for MIS.
 //! * [`ruling_set`] — `(2, k+1)`-ruling sets as MIS of the power graph
-//!   `G^k`, simulated `k`-for-1.
+//!   `G^k`, simulated `k`-for-1; plus [`ruling_set::DilatedLuby`], the
+//!   message-passing dilated lottery the workload catalog runs under
+//!   faults.
 
 pub mod by_color;
 pub mod ghaffari;
@@ -18,8 +20,8 @@ pub mod ruling_set;
 pub use by_color::{det_mis, mis_by_color};
 pub use ghaffari::ghaffari_mis;
 pub use luby::{luby_mis, luby_mis_with_shards};
-pub use ruling_set::is_ruling_set;
 pub use ruling_set::ruling_set as compute_ruling_set;
+pub use ruling_set::{is_ruling_set, DilatedLuby, DilatedState};
 
 /// The outcome of an MIS pipeline.
 #[derive(Debug, Clone)]

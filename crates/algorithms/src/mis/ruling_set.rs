@@ -1,4 +1,5 @@
-//! Ruling sets via power-graph simulation.
+//! Ruling sets via power-graph simulation — and a genuinely message-passing
+//! dilated lottery.
 //!
 //! A `(2, k+1)`-ruling set — vertices pairwise at distance > k, every vertex
 //! within distance k of the set — is exactly an MIS of the power graph
@@ -6,11 +7,21 @@
 //! device Theorems 5/6/8 use for ID shortening). The paper's survey cites
 //! the ruling-set line of work (Bisht–Kothapalli–Pemmaraju,
 //! Kothapalli–Pemmaraju) as part of the shattering-era landscape.
+//!
+//! [`ruling_set`] materializes `G^k` centrally, which is fine for a
+//! baseline but invisible to the fault model: crashes on `G` do not map to
+//! crashes on `G^k`. [`DilatedLuby`] instead runs the lottery directly on
+//! `G` as a [`SyncAlgorithm`], aggregating the radius-`k` minimum through
+//! `k` relay rounds per phase — so drops and crashes hit the actual
+//! messages, and the sweep/recovery/adversary planes can exercise ruling
+//! sets like any other workload.
 
 use crate::mis::luby::luby_mis;
 use crate::mis::MisOutcome;
+use crate::sync::{SyncAlgorithm, SyncCtx, SyncStep};
 use local_graphs::{analysis, Graph};
-use local_model::SimError;
+use local_model::{NodeInit, SimError};
+use rand::Rng;
 
 /// Compute a `(2, k+1)`-ruling set: an MIS of `G^k`, with the `×k`
 /// simulation overhead included in the reported rounds.
@@ -59,10 +70,205 @@ pub fn is_ruling_set(g: &Graph, in_set: &[bool], k: usize) -> bool {
     true
 }
 
+/// Public state of [`DilatedLuby`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DilatedState {
+    /// Permanently a ruling-set member.
+    InSet,
+    /// Still live: a candidate (drew a `value` this phase) or a covered
+    /// relay (`value == None`) forwarding aggregation for its neighbors.
+    Live {
+        /// Phase index (`(round − 1) / (2k+1)`).
+        phase: u32,
+        /// Step inside the phase (`(round − 1) % (2k+1)`).
+        step: u32,
+        /// This phase's lottery draw (`None` for covered relays).
+        value: Option<u64>,
+        /// Running minimum over candidate draws within `step` hops.
+        agg: Option<u64>,
+        /// Aggregation was fed by a stale or out-of-phase neighbor, so the
+        /// radius-`k` minimum cannot be certified this phase.
+        tainted: bool,
+        /// Distance to the nearest known member, when `<= k`.
+        covered: Option<u32>,
+    },
+}
+
+/// Luby's lottery dilated to ruling distance `k`, as a fault-exposed
+/// [`SyncAlgorithm`] computing a `(2, k)`-ruling set.
+///
+/// Each phase spans `2k+1` rounds: every uncovered vertex draws a random
+/// ticket (round 0 of the phase), `k` aggregation rounds spread the minimum
+/// ticket through the radius-`k` ball (covered vertices stay live as
+/// relays), and a vertex holding the strict ball minimum joins the set.
+/// `k` cool-down rounds then propagate the new coverage before the next
+/// draw. At the fixed `horizon` round every still-live vertex settles for
+/// `false`.
+///
+/// Fault-free on a graph of minimum degree ≥ 3 with `k = 2`, members'
+/// radius-1 balls are disjoint with ≥ 4 vertices each, so at most `n/4`
+/// members exist and `horizon = (2k+1)·(n/4 + 1)` suffices: each phase
+/// admits the globally minimal uncovered ticket. Under faults a vertex
+/// whose aggregation saw a stale neighbor is `tainted` and abstains — the
+/// algorithm degrades toward under-coverage (checkable) rather than
+/// adjacent members.
+#[derive(Debug, Clone, Copy)]
+pub struct DilatedLuby {
+    k: u32,
+    horizon: u32,
+}
+
+impl DilatedLuby {
+    /// A dilated lottery at ruling distance `k` that settles at `horizon`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0` or `horizon == 0`.
+    pub fn new(k: u32, horizon: u32) -> Self {
+        assert!(k >= 1, "ruling distance must be at least 1");
+        assert!(horizon >= 1, "the settle horizon must be positive");
+        DilatedLuby { k, horizon }
+    }
+
+    /// Ruling distance `k`.
+    pub fn k(&self) -> u32 {
+        self.k
+    }
+
+    /// The round at which still-live vertices settle for `false`.
+    pub fn horizon(&self) -> u32 {
+        self.horizon
+    }
+
+    /// Rounds per phase: draw + `k` aggregation + `k` cool-down.
+    pub fn phase_len(&self) -> u32 {
+        2 * self.k + 1
+    }
+}
+
+impl SyncAlgorithm for DilatedLuby {
+    type State = DilatedState;
+    type Output = bool;
+
+    fn init(&self, _init: &NodeInit<'_>) -> DilatedState {
+        DilatedState::Live {
+            phase: 0,
+            step: 0,
+            value: None,
+            agg: None,
+            tainted: false,
+            covered: None,
+        }
+    }
+
+    fn update(
+        &self,
+        round: u32,
+        ctx: &mut SyncCtx<'_>,
+        state: &DilatedState,
+        neighbors: &[DilatedState],
+    ) -> SyncStep<DilatedState, bool> {
+        let DilatedState::Live {
+            value,
+            agg,
+            tainted,
+            covered,
+            ..
+        } = state
+        else {
+            // Defensive: the engine never calls update on decided vertices.
+            return SyncStep::Decide(DilatedState::InSet, true);
+        };
+        let idx = (round - 1) % self.phase_len();
+        let phase = (round - 1) / self.phase_len();
+
+        // Coverage scan, every round: adopt the closest known member.
+        let mut covered = *covered;
+        for nb in neighbors {
+            let d = match nb {
+                DilatedState::InSet => 1,
+                DilatedState::Live {
+                    covered: Some(h), ..
+                } => h + 1,
+                DilatedState::Live { covered: None, .. } => continue,
+            };
+            if d <= self.k && covered.is_none_or(|c| d < c) {
+                covered = Some(d);
+            }
+        }
+
+        // The fixed horizon: every still-live vertex settles for `false`.
+        if round >= self.horizon {
+            return SyncStep::Decide(
+                DilatedState::Live {
+                    phase,
+                    step: idx,
+                    value: *value,
+                    agg: *agg,
+                    tainted: *tainted,
+                    covered,
+                },
+                false,
+            );
+        }
+
+        let (mut value, mut agg, mut tainted) = (*value, *agg, *tainted);
+        if idx == 0 {
+            // Phase start: covered vertices relay, the rest draw a ticket.
+            tainted = false;
+            if covered.is_some() {
+                value = None;
+                agg = None;
+            } else {
+                let draw = ctx.rng().gen::<u64>();
+                value = Some(draw);
+                agg = Some(draw);
+            }
+        } else if idx <= self.k {
+            // Aggregation: fold neighbors' step-(idx−1) minima of this phase.
+            for nb in neighbors {
+                match nb {
+                    DilatedState::InSet => {}
+                    DilatedState::Live {
+                        phase: p,
+                        step: s,
+                        agg: a,
+                        tainted: t,
+                        ..
+                    } => {
+                        if *p == phase && *s == idx - 1 {
+                            tainted |= *t;
+                            if let Some(a) = a {
+                                agg = Some(agg.map_or(*a, |cur| cur.min(*a)));
+                            }
+                        } else {
+                            tainted = true;
+                        }
+                    }
+                }
+            }
+            if idx == self.k && !tainted && covered.is_none() && value.is_some() && value == agg {
+                return SyncStep::Decide(DilatedState::InSet, true);
+            }
+        }
+        // idx > k: cool-down; coverage keeps propagating toward the next draw.
+        SyncStep::Continue(DilatedState::Live {
+            phase,
+            step: idx,
+            value,
+            agg,
+            tainted,
+            covered,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::sync::run_sync;
     use local_graphs::gen;
+    use local_model::{ExecSpec, Mode};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -122,5 +328,71 @@ mod tests {
     fn rejects_k_zero() {
         let g = gen::path(3);
         let _ = ruling_set(&g, 0, 0, 100);
+    }
+
+    /// A generous horizon for arbitrary test graphs: at most `n` members.
+    fn lazy_horizon(k: u32, n: usize) -> u32 {
+        (2 * k + 1) * (n as u32 + 1)
+    }
+
+    #[test]
+    fn dilated_luby_rules_cycles() {
+        for k in [1u32, 2, 3] {
+            let g = gen::cycle(30);
+            let algo = DilatedLuby::new(k, lazy_horizon(k, 30));
+            let out = run_sync(
+                &g,
+                Mode::randomized(7),
+                &algo,
+                &ExecSpec::rounds(algo.horizon()),
+            )
+            .strict()
+            .unwrap();
+            assert!(is_ruling_set(&g, &out.outputs, k as usize), "k = {k}");
+        }
+    }
+
+    #[test]
+    fn dilated_luby_rules_random_cubic_graphs_within_packing_horizon() {
+        let mut rng = StdRng::seed_from_u64(0xD11);
+        for trial in 0..3 {
+            let n = 48;
+            let g = gen::random_regular(n, 3, &mut rng).expect("feasible");
+            // Min degree 3 and k = 2: members' radius-1 balls are disjoint
+            // 4-vertex sets, so at most n/4 members and n/4 + 1 phases.
+            let algo = DilatedLuby::new(2, 5 * (n as u32 / 4 + 1));
+            let out = run_sync(
+                &g,
+                Mode::randomized(trial),
+                &algo,
+                &ExecSpec::rounds(algo.horizon()),
+            )
+            .strict()
+            .unwrap();
+            assert!(is_ruling_set(&g, &out.outputs, 2), "trial {trial}");
+        }
+    }
+
+    #[test]
+    fn dilated_luby_reproducible_given_seed() {
+        let g = gen::cycle(24);
+        let algo = DilatedLuby::new(2, lazy_horizon(2, 24));
+        let spec = ExecSpec::rounds(algo.horizon());
+        let a = run_sync(&g, Mode::randomized(5), &algo, &spec)
+            .strict()
+            .unwrap();
+        let b = run_sync(&g, Mode::randomized(5), &algo, &spec)
+            .strict()
+            .unwrap();
+        assert_eq!(a.outputs, b.outputs);
+        assert_eq!(a.rounds, b.rounds);
+    }
+
+    #[test]
+    fn dilated_luby_accessors() {
+        let algo = DilatedLuby::new(2, 65);
+        assert_eq!(algo.k(), 2);
+        assert_eq!(algo.horizon(), 65);
+        assert_eq!(algo.phase_len(), 5);
     }
 }

@@ -21,10 +21,14 @@
 //!    attempt rather than chased by radius alone. Exhaustion reports a
 //!    typed [`RecoveryError`].
 //!
-//! Three finishers cover the repo's flagship problems: [`SinklessFinisher`]
+//! Six finishers cover the workload catalog: [`SinklessFinisher`]
 //! (cycle-seeded BFS orientation), [`GreedyColoringFinisher`] (boundary-first
-//! greedy Δ-coloring), and [`LubyRestartFinisher`] (a fresh Luby run on the
-//! residue, restricted away from frozen MIS members).
+//! greedy Δ-coloring), [`LubyRestartFinisher`] (a fresh Luby run on the
+//! residue, restricted away from frozen MIS members),
+//! [`EdgeGreedyFinisher`] (edge recoloring against frozen port
+//! announcements), [`RulingSetFinisher`] (retain-then-join sweeps at ruling
+//! distance `k`), and [`DefectiveGreedyFinisher`] (defect-budgeted greedy
+//! recoloring with an improving-flip cleanup).
 
 use crate::mis::luby::Luby;
 use crate::sync::run_sync;
@@ -980,12 +984,304 @@ impl Finisher<local_lcl::problems::Mis> for LubyRestartFinisher {
     }
 }
 
+/// Greedy edge recoloring of the residue against the frozen boundary.
+///
+/// Boundary edges are pinned: the frozen endpoint cannot change its
+/// announcement, and edge consistency forces the residue endpoint to copy
+/// it (a duplicated or out-of-palette pin is
+/// [`RecoveryError::Infeasible`], escalating the radius). Interior edges
+/// are then colored in ascending `(vertex, port)` order with the smallest
+/// palette color free at both endpoints — on a graph of maximum degree Δ
+/// an interior edge sees at most `2(Δ−1)` constraints, so any palette
+/// `> 2(Δ−1)` never starves.
+#[derive(Debug, Clone, Copy)]
+pub struct EdgeGreedyFinisher {
+    /// Palette size (colors `0..palette`).
+    pub palette: usize,
+}
+
+impl Finisher<local_lcl::problems::EdgeKColoring> for EdgeGreedyFinisher {
+    fn name(&self) -> &'static str {
+        "edge-greedy"
+    }
+
+    fn finish(
+        &self,
+        g: &Graph,
+        residue: &Residue,
+        partial: &[Option<local_lcl::problems::PortColors>],
+        _budget: &Budget,
+        attempt: u32,
+    ) -> Result<Finish<local_lcl::problems::PortColors>, RecoveryError> {
+        let members = residue.members();
+        let mut out: Vec<Vec<Option<usize>>> = members
+            .iter()
+            .map(|&v| vec![None; g.neighbors(v).len()])
+            .collect();
+        // Boundary edges copy the frozen side's announcement.
+        for (i, &v) in members.iter().enumerate() {
+            for (p, nb) in g.neighbors(v).iter().enumerate() {
+                if residue.contains(nb.node) {
+                    continue;
+                }
+                let frozen = partial[nb.node]
+                    .as_ref()
+                    .ok_or_else(|| infeasible(attempt, "unlabeled vertex outside the residue"))?;
+                let &c = frozen.0.get(nb.back_port).ok_or_else(|| {
+                    infeasible(
+                        attempt,
+                        format!("frozen neighbor {} mislabeled its ports", nb.node),
+                    )
+                })?;
+                if c >= self.palette {
+                    return Err(infeasible(
+                        attempt,
+                        format!("frozen edge color {c} outside palette {}", self.palette),
+                    ));
+                }
+                if out[i].iter().flatten().any(|&c2| c2 == c) {
+                    return Err(infeasible(
+                        attempt,
+                        format!("frozen boundary forces duplicate color {c} at vertex {v}"),
+                    ));
+                }
+                out[i][p] = Some(c);
+            }
+        }
+        // Interior edges: ascending (vertex, port), smallest color free at
+        // both endpoints; each edge is colored at its first encounter.
+        for i in 0..members.len() {
+            let v = members[i];
+            for p in 0..g.neighbors(v).len() {
+                if out[i][p].is_some() {
+                    continue;
+                }
+                let nb = &g.neighbors(v)[p];
+                let j = residue
+                    .local(nb.node)
+                    .expect("interior edges keep both endpoints in the residue");
+                let free = (0..self.palette).find(|c| {
+                    !out[i].iter().flatten().any(|u| u == c)
+                        && !out[j].iter().flatten().any(|u| u == c)
+                });
+                let Some(c) = free else {
+                    return Err(infeasible(
+                        attempt,
+                        format!(
+                            "no free color on edge {v}–{}: all {} palette colors used",
+                            nb.node, self.palette
+                        ),
+                    ));
+                };
+                let back = nb.back_port;
+                out[i][p] = Some(c);
+                out[j][back] = Some(c);
+            }
+        }
+        let labels = out
+            .into_iter()
+            .map(|ports| {
+                local_lcl::problems::PortColors(
+                    ports
+                        .into_iter()
+                        .map(|c| c.expect("every port is boundary-pinned or edge-colored"))
+                        .collect(),
+                )
+            })
+            .collect();
+        Ok(Finish { labels, rounds: 0 })
+    }
+}
+
+/// Deterministic ruling-set repair at ruling distance `k`: prior members
+/// inside the residue are retained in ascending order wherever no member
+/// (kept or frozen) is already within distance `k`, then a second ascending
+/// sweep joins any residue vertex still lacking a member in its radius-`k`
+/// ball. Both sweeps preserve pairwise distance `> k` by construction, so
+/// the splice can only fail at frozen vertices whose former witness was
+/// dropped — which the violation-absorption loop then pulls into the core.
+#[derive(Debug, Clone, Copy)]
+pub struct RulingSetFinisher {
+    /// Ruling distance `k`.
+    pub k: usize,
+}
+
+impl Finisher<local_lcl::problems::RulingSet> for RulingSetFinisher {
+    fn name(&self) -> &'static str {
+        "ruling-sweep"
+    }
+
+    fn finish(
+        &self,
+        g: &Graph,
+        residue: &Residue,
+        partial: &[Option<bool>],
+        _budget: &Budget,
+        _attempt: u32,
+    ) -> Result<Finish<bool>, RecoveryError> {
+        let members = residue.members();
+        let mut labels = vec![false; members.len()];
+        // Is any member (tentative residue labels or frozen) within
+        // distance k of v?
+        let covered = |labels: &[bool], v: usize| -> bool {
+            let mut dist = vec![usize::MAX; g.n()];
+            let mut queue = VecDeque::new();
+            dist[v] = 0;
+            queue.push_back(v);
+            while let Some(u) = queue.pop_front() {
+                if dist[u] == self.k {
+                    continue;
+                }
+                for nb in g.neighbors(u) {
+                    if dist[nb.node] != usize::MAX {
+                        continue;
+                    }
+                    dist[nb.node] = dist[u] + 1;
+                    let member = match residue.local(nb.node) {
+                        Some(j) => labels[j],
+                        None => partial[nb.node] == Some(true),
+                    };
+                    if member {
+                        return true;
+                    }
+                    queue.push_back(nb.node);
+                }
+            }
+            false
+        };
+        // Retain prior members first — they are what the frozen boundary's
+        // non-members may be counting on as witnesses.
+        for (i, &v) in members.iter().enumerate() {
+            if partial[v] == Some(true) && !covered(&labels, v) {
+                labels[i] = true;
+            }
+        }
+        // Then rule everything still bare.
+        for (i, &v) in members.iter().enumerate() {
+            if !labels[i] && !covered(&labels, v) {
+                labels[i] = true;
+            }
+        }
+        Ok(Finish { labels, rounds: 0 })
+    }
+}
+
+/// Defect-budgeted greedy recoloring: each residue vertex (ascending) takes
+/// the color minimizing its monochromatic degree against frozen and
+/// already-assigned neighbors, skipping colors that would push a frozen
+/// neighbor past its defect budget; an improving-flip loop then settles any
+/// members the later assignments made overfull. Every flip strictly
+/// decreases the spliced monochromatic edge count, so the loop terminates
+/// within `m` sweeps.
+#[derive(Debug, Clone, Copy)]
+pub struct DefectiveGreedyFinisher {
+    /// Palette size (colors `0..colors`).
+    pub colors: usize,
+    /// Tolerated monochromatic degree.
+    pub defect: usize,
+}
+
+impl Finisher<local_lcl::problems::DefectiveColoring> for DefectiveGreedyFinisher {
+    fn name(&self) -> &'static str {
+        "defective-greedy"
+    }
+
+    fn finish(
+        &self,
+        g: &Graph,
+        residue: &Residue,
+        partial: &[Option<usize>],
+        _budget: &Budget,
+        attempt: u32,
+    ) -> Result<Finish<usize>, RecoveryError> {
+        let members = residue.members();
+        let mut assigned: Vec<Option<usize>> = vec![None; members.len()];
+        let color_of = |assigned: &[Option<usize>], u: usize| -> Option<usize> {
+            match residue.local(u) {
+                Some(j) => assigned[j],
+                None => partial[u],
+            }
+        };
+        let mono = |assigned: &[Option<usize>], u: usize, c: usize| -> usize {
+            g.neighbors(u)
+                .iter()
+                .filter(|nb| color_of(assigned, nb.node) == Some(c))
+                .count()
+        };
+        // Would giving v color c push a frozen neighbor past its budget?
+        let safe = |assigned: &[Option<usize>], v: usize, c: usize| -> bool {
+            g.neighbors(v).iter().all(|nb| {
+                residue.contains(nb.node)
+                    || partial[nb.node] != Some(c)
+                    || mono(assigned, nb.node, c) < self.defect
+            })
+        };
+        for i in 0..members.len() {
+            let v = members[i];
+            let choice = (0..self.colors)
+                .filter(|&c| safe(&assigned, v, c))
+                .map(|c| (mono(&assigned, v, c), c))
+                .min();
+            let Some((_, c)) = choice else {
+                return Err(infeasible(
+                    attempt,
+                    format!("no defect-safe color at vertex {v}"),
+                ));
+            };
+            assigned[i] = Some(c);
+        }
+        // Improving flips until the defect bound holds on every member.
+        let mut sweeps = g.m() + 2;
+        loop {
+            let mut flipped = false;
+            let mut done = true;
+            for i in 0..members.len() {
+                let v = members[i];
+                let c = assigned[i].expect("the greedy pass assigned every member");
+                let cur = mono(&assigned, v, c);
+                if cur <= self.defect {
+                    continue;
+                }
+                done = false;
+                let best = (0..self.colors)
+                    .filter(|&cc| cc != c && safe(&assigned, v, cc))
+                    .map(|cc| (mono(&assigned, v, cc), cc))
+                    .min();
+                if let Some((cnt, cc)) = best {
+                    if cnt < cur {
+                        assigned[i] = Some(cc);
+                        flipped = true;
+                    }
+                }
+            }
+            if done {
+                break;
+            }
+            if !flipped || sweeps == 0 {
+                return Err(infeasible(
+                    attempt,
+                    "defective recoloring stalled above the defect bound",
+                ));
+            }
+            sweeps -= 1;
+        }
+        let labels = assigned
+            .into_iter()
+            .map(|c| c.expect("the greedy pass assigned every member"))
+            .collect();
+        Ok(Finish { labels, rounds: 0 })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::orientation::sinkless::SinklessRepair;
     use local_graphs::gen;
-    use local_lcl::problems::{Mis, SinklessOrientation, VertexColoring};
+    use local_lcl::problems::{
+        DefectiveColoring, EdgeKColoring, Mis, PortColors, RulingSet, SinklessOrientation,
+        VertexColoring,
+    };
     use local_model::{FaultSpec, Outcome};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
@@ -1401,5 +1697,240 @@ mod tests {
         )
         .unwrap();
         assert_fully_valid(&Mis::new(), &g, &rec.labels);
+    }
+
+    #[test]
+    fn edge_holes_are_repaired_against_frozen_ports() {
+        // Path edges alternate colors 0/1; hole out the middle vertex. The
+        // finisher must copy the frozen announcements on boundary edges.
+        let g = gen::path(5);
+        let colors: Vec<usize> = (0..g.m()).map(|e| e % 2).collect();
+        let full = EdgeKColoring::labels_from_edge_colors(&g, &colors);
+        let mut partial: Vec<Option<PortColors>> =
+            full.as_slice().iter().cloned().map(Some).collect();
+        partial[2] = None;
+        let rec = recover(
+            &EdgeKColoring::new(3),
+            &g,
+            &partial,
+            &EdgeGreedyFinisher { palette: 3 },
+            &RecoveryPolicy::default(),
+        )
+        .unwrap();
+        assert_eq!(rec.core_size, 1);
+        assert_fully_valid(&EdgeKColoring::new(3), &g, &rec.labels);
+        // Frozen vertices keep their announcements.
+        assert_eq!(rec.labels.as_slice()[0], PortColors(vec![0]));
+    }
+
+    #[test]
+    fn edge_palette_starvation_surfaces_typed() {
+        // A star center has degree 3: palette 2 cannot edge-color it at any
+        // radius, so every attempt's greedy pass starves and the last typed
+        // infeasibility surfaces. Palette 3 succeeds from all-holes.
+        let g = gen::star(4);
+        let partial: Vec<Option<PortColors>> = vec![None; 4];
+        let err = recover(
+            &EdgeKColoring::new(2),
+            &g,
+            &partial,
+            &EdgeGreedyFinisher { palette: 2 },
+            &RecoveryPolicy::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, RecoveryError::Infeasible { .. }));
+        assert!(err.to_string().contains("no free color"));
+        let rec = recover(
+            &EdgeKColoring::new(3),
+            &g,
+            &partial,
+            &EdgeGreedyFinisher { palette: 3 },
+            &RecoveryPolicy::default(),
+        )
+        .unwrap();
+        assert_fully_valid(&EdgeKColoring::new(3), &g, &rec.labels);
+    }
+
+    #[test]
+    fn ruling_set_holes_are_rejoined() {
+        // C9 ruled by {0, 3, 6} at k = 2; hole out member 3. The sweep must
+        // re-rule vertices 2..4 without crowding the frozen members.
+        let g = gen::cycle(9);
+        let mut partial: Vec<Option<bool>> = (0..9).map(|v| Some(v % 3 == 0)).collect();
+        partial[3] = None;
+        let rec = recover(
+            &RulingSet::new(2),
+            &g,
+            &partial,
+            &RulingSetFinisher { k: 2 },
+            &RecoveryPolicy::default(),
+        )
+        .unwrap();
+        assert_fully_valid(&RulingSet::new(2), &g, &rec.labels);
+    }
+
+    #[test]
+    fn ruling_set_finisher_handles_all_holes() {
+        let g = gen::cycle(11);
+        let partial: Vec<Option<bool>> = vec![None; 11];
+        let rec = recover(
+            &RulingSet::new(2),
+            &g,
+            &partial,
+            &RulingSetFinisher { k: 2 },
+            &RecoveryPolicy::default(),
+        )
+        .unwrap();
+        assert_eq!(rec.core_size, 11);
+        assert_fully_valid(&RulingSet::new(2), &g, &rec.labels);
+    }
+
+    #[test]
+    fn defective_holes_are_repaired_against_frozen_neighbors() {
+        // Hole at cycle vertex 3: the radius-1 residue is {2,3,4}; the
+        // frozen vertices 1 and 5 are each already at their defect budget,
+        // so the finisher's safety check steers the boundary members away
+        // from overflowing them.
+        let g = gen::cycle(6);
+        let partial: Vec<Option<usize>> = vec![Some(0), Some(0), Some(1), None, Some(1), Some(1)];
+        let rec = recover(
+            &DefectiveColoring::new(2, 1),
+            &g,
+            &partial,
+            &DefectiveGreedyFinisher {
+                colors: 2,
+                defect: 1,
+            },
+            &RecoveryPolicy::default(),
+        )
+        .unwrap();
+        assert_eq!(rec.attempts, 1);
+        assert_fully_valid(&DefectiveColoring::new(2, 1), &g, &rec.labels);
+        // Frozen vertices keep their labels.
+        assert_eq!(rec.labels.as_slice()[0], 0);
+        assert_eq!(rec.labels.as_slice()[1], 0);
+        assert_eq!(rec.labels.as_slice()[5], 1);
+    }
+
+    #[test]
+    fn defective_finisher_handles_all_holes() {
+        let mut rng = StdRng::seed_from_u64(31);
+        let g = gen::random_regular(20, 3, &mut rng).expect("feasible");
+        let partial: Vec<Option<usize>> = vec![None; 20];
+        let rec = recover(
+            &DefectiveColoring::new(2, 1),
+            &g,
+            &partial,
+            &DefectiveGreedyFinisher {
+                colors: 2,
+                defect: 1,
+            },
+            &RecoveryPolicy::default(),
+        )
+        .unwrap();
+        assert_fully_valid(&DefectiveColoring::new(2, 1), &g, &rec.labels);
+    }
+
+    // Satellite contract for the three new catalog families: a faulty run at
+    // drop 0.1 × crash 0.05 recovers within the default radius ladder (≤ 3).
+
+    fn generality_plan(g: &Graph, window: u32, seed: u64) -> FaultPlan {
+        FaultPlan::sample(
+            g,
+            &FaultSpec::none().with_drop(0.1).with_crash(0.05, window),
+            seed,
+        )
+    }
+
+    #[test]
+    fn edge_coloring_recovers_under_generality_faults() {
+        let mut rng = StdRng::seed_from_u64(0xEC0);
+        let base = gen::random_regular(30, 3, &mut rng).expect("feasible");
+        let lg = local_graphs::analysis::line_graph(&base);
+        let plan = generality_plan(&lg, 12, 4);
+        let run = run_sync(
+            &lg,
+            Mode::randomized(6),
+            &crate::color::rand_greedy::RandGreedy::new(5),
+            &ExecSpec::rounds(120).with_faults(&plan),
+        );
+        // Translate per-edge colors (line-graph outputs) to per-port labels:
+        // a base vertex is labeled iff all its incident edges decided.
+        let edge_color: Vec<Option<usize>> =
+            run.outcomes.iter().map(|o| o.output().copied()).collect();
+        let partial: Vec<Option<PortColors>> = base
+            .vertices()
+            .map(|v| {
+                base.neighbors(v)
+                    .iter()
+                    .map(|nb| edge_color[nb.edge])
+                    .collect::<Option<Vec<usize>>>()
+                    .map(PortColors)
+            })
+            .collect();
+        let rec = recover(
+            &EdgeKColoring::new(5),
+            &base,
+            &partial,
+            &EdgeGreedyFinisher { palette: 5 },
+            &RecoveryPolicy::default(),
+        )
+        .unwrap();
+        assert!(rec.radius <= 3);
+        assert_fully_valid(&EdgeKColoring::new(5), &base, &rec.labels);
+    }
+
+    #[test]
+    fn ruling_set_recovers_under_generality_faults() {
+        let mut rng = StdRng::seed_from_u64(0xD2);
+        let g = gen::random_regular(48, 3, &mut rng).expect("feasible");
+        let algo = crate::mis::DilatedLuby::new(2, 5 * (48 / 4 + 1));
+        let plan = generality_plan(&g, algo.horizon(), 2);
+        let run = run_sync(
+            &g,
+            Mode::randomized(9),
+            &algo,
+            &ExecSpec::rounds(algo.horizon() + 4).with_faults(&plan),
+        );
+        let partial: Vec<Option<bool>> = run.outcomes.iter().map(|o| o.output().copied()).collect();
+        let rec = recover(
+            &RulingSet::new(2),
+            &g,
+            &partial,
+            &RulingSetFinisher { k: 2 },
+            &RecoveryPolicy::default(),
+        )
+        .unwrap();
+        assert!(rec.radius <= 3);
+        assert_fully_valid(&RulingSet::new(2), &g, &rec.labels);
+    }
+
+    #[test]
+    fn defective_coloring_recovers_under_generality_faults() {
+        let mut rng = StdRng::seed_from_u64(0xDC0);
+        let g = gen::random_regular(48, 3, &mut rng).expect("feasible");
+        let horizon = 2 * g.m() as u32 + 3;
+        let plan = generality_plan(&g, horizon, 7);
+        let run = run_sync(
+            &g,
+            Mode::randomized(3),
+            &crate::color::DefectiveLocalSearch::new(2, 1, horizon),
+            &ExecSpec::rounds(horizon + 4).with_faults(&plan),
+        );
+        let partial: Vec<Option<usize>> =
+            run.outcomes.iter().map(|o| o.output().copied()).collect();
+        let rec = recover(
+            &DefectiveColoring::new(2, 1),
+            &g,
+            &partial,
+            &DefectiveGreedyFinisher {
+                colors: 2,
+                defect: 1,
+            },
+            &RecoveryPolicy::default(),
+        )
+        .unwrap();
+        assert!(rec.radius <= 3);
+        assert_fully_valid(&DefectiveColoring::new(2, 1), &g, &rec.labels);
     }
 }

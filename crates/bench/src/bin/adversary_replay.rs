@@ -13,14 +13,22 @@
 use local_model::FaultPlan;
 use local_separation::adversary::Objective;
 use local_separation::experiments::e14_adversary as e14;
+use local_separation::workloads::static_name;
 use serde::Deserialize;
 use std::path::{Path, PathBuf};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--help" || a == "-h") {
-        println!("usage: adversary_replay [ARTIFACT.json ...]");
+        println!("usage: adversary_replay [--list-workloads] [ARTIFACT.json ...]");
         println!("(no arguments: replay every *.json under results/adversaries/)");
+        return;
+    }
+    // CI iterates the catalog through this instead of hardcoding names.
+    if args.iter().any(|a| a == "--list-workloads") {
+        for name in local_separation::workloads::NAMES {
+            println!("{name}");
+        }
         return;
     }
     let files = if args.is_empty() {
@@ -88,6 +96,8 @@ fn replay(path: &Path) -> Result<u64, ReplayError> {
             .to_string())
     };
     let workload = field_str("workload")?;
+    let workload =
+        static_name(&workload).ok_or_else(|| bad(format!("unknown workload `{workload}`")))?;
     let objective_name = field_str("objective")?;
     let objective = Objective::from_name(&objective_name)
         .ok_or_else(|| bad(format!("unknown objective `{objective_name}`")))?;
@@ -113,7 +123,7 @@ fn replay(path: &Path) -> Result<u64, ReplayError> {
     // artifact from scratch. Artifacts are pinned by `--full` sweeps at the
     // default restarts/seed, so the full config is the replay config.
     let cfg = e14::Config::full();
-    let (eval, report_json) = e14::evaluate_plan(&workload, &plan, &cfg.policy)
+    let (eval, report_json) = e14::evaluate_plan(workload, &plan, &cfg.policy)
         .ok_or_else(|| bad(format!("unknown workload `{workload}`")))?;
     let score = objective.score(&eval);
     if score != pinned_score {

@@ -2,13 +2,10 @@
 //!
 //! The paper's model is fault-free; this experiment asks how gracefully its
 //! algorithms *degrade* when the model is weakened to crash-stop nodes and
-//! lossy/laggy links ([`FaultPlan`]). Three single-protocol cores run under
-//! a grid of drop/crash rates:
-//!
-//! * `tree-coloring` — Theorem 10's Phase-1 ColorBidding (the randomized
-//!   core of the tree Δ-coloring),
-//! * `sinkless` — the sinkless-orientation repair algorithm (E5's subject),
-//! * `mis` — Luby's MIS.
+//! lossy/laggy links ([`FaultPlan`]). Every entry of the workload catalog
+//! ([`crate::workloads`]) runs under a grid of drop/crash rates — the three
+//! legacy cores (`tree-coloring`, `sinkless`, `mis`) plus the extended LCL
+//! menu (`edge-coloring`, `ruling-set`, `defective-coloring`).
 //!
 //! (The full Theorem 10/11 pipelines splice a *centralized* deterministic
 //! finisher onto the randomized phase; faults are injected in the
@@ -16,14 +13,14 @@
 //! as a substitution in EXPERIMENTS.md.)
 //!
 //! Each surviving output is scored by the matching LCL verifier over the
-//! vertices whose radius-1 view survived ([`check_partial`]); a silenced
-//! vertex makes its whole neighborhood uncheckable and counts *against*
-//! validity. Trials run through the isolated trial harness, so a panicking
-//! configuration is recorded as `panicked` (with its panic messages carried
-//! into the JSON report) instead of taking the sweep down, and every
-//! aggregate folds in trial order — the emitted JSON is byte-identical
-//! regardless of worker-thread count. A workload whose graph generator
-//! fails (infeasible parameters, exhausted retries) contributes
+//! vertices whose checking ball survived ([`Workload::measure`]); a
+//! silenced vertex makes its whole neighborhood uncheckable and counts
+//! *against* validity. Trials run through the isolated trial harness, so a
+//! panicking configuration is recorded as `panicked` (with its panic
+//! messages carried into the JSON report) instead of taking the sweep down,
+//! and every aggregate folds in trial order — the emitted JSON is
+//! byte-identical regardless of worker-thread count. A workload whose graph
+//! generator fails (infeasible parameters, exhausted retries) contributes
 //! grid-shaped rows carrying the typed error instead of panicking the
 //! sweep. [`run_checkpointed`] adds kill-and-resume support through the
 //! [`Checkpoint`] store.
@@ -32,27 +29,25 @@ use crate::checkpoint::Checkpoint;
 use crate::fabric::{decode_unit, run_unit_isolated, Sweep, SweepPoint};
 use crate::report::Table;
 use crate::trials::{TrialOutcome, TrialPlan, TrialSpec};
-use local_algorithms::mis::luby::Luby;
-use local_algorithms::orientation::sinkless::SinklessRepair;
-use local_algorithms::tree::theorem10::{theorem10_phase1_faulty_metered, Theorem10Config};
-use local_algorithms::{run_sync, SyncRun};
-use local_graphs::{gen, Graph, GraphError};
-use local_lcl::problems::{Mis, Orientation, SinklessOrientation, VertexColoring};
-use local_lcl::{check_partial, PartialValidity};
-use local_model::{Budget, ExecSpec, FaultPlan, FaultSpec, Mode, Outcome};
-use local_obs::{MetricSet, MetricsRegistry, Trace, TraceSink};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use crate::workloads::{find_row, workloads, MeasureRecord, Sizes, WorkloadSlot};
+use local_graphs::GraphError;
+use local_model::{FaultPlan, FaultSpec};
+use local_obs::{MetricsRegistry, TraceSink};
 use serde::{Deserialize, Serialize, Value};
+
+/// Seed of the workload graph generators.
+const GRAPH_SEED: u64 = 0xE12F;
 
 /// Sweep configuration.
 #[derive(Debug, Clone, serde::Serialize)]
 pub struct Config {
     /// Vertices in the tree-coloring workload (Δ = 16 tree).
     pub tree_n: usize,
-    /// Vertices in the sinkless-orientation workload (3-regular).
+    /// Vertices in the sinkless-orientation and edge-coloring base
+    /// workloads (3-regular).
     pub sinkless_n: usize,
-    /// Vertices in the MIS workload (4-regular).
+    /// Vertices in the MIS (4-regular), ruling-set, and defective-coloring
+    /// (3-regular) workloads.
     pub mis_n: usize,
     /// Per-directed-edge per-round message-drop probabilities to sweep.
     pub drop_ps: Vec<f64>,
@@ -90,6 +85,15 @@ impl Config {
             master_seed: 0xE12,
         }
     }
+
+    /// The catalog sizes this configuration sweeps.
+    fn sizes(&self) -> Sizes {
+        Sizes {
+            tree_n: self.tree_n,
+            sinkless_n: self.sinkless_n,
+            mis_n: self.mis_n,
+        }
+    }
 }
 
 /// Per-vertex fate counts, summed over a grid point's completed trials.
@@ -104,10 +108,10 @@ pub struct OutcomeCounts {
 }
 
 /// One measured grid point.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize)]
 pub struct Row {
-    /// Workload name (`tree-coloring`, `sinkless`, `mis`).
-    pub workload: String,
+    /// Workload name (a [`crate::workloads::NAMES`] catalog entry).
+    pub workload: &'static str,
     /// Message-drop probability of this point.
     pub drop_p: f64,
     /// Node-crash probability of this point.
@@ -125,7 +129,7 @@ pub struct Row {
     /// Per-vertex fates summed over completed trials.
     pub outcomes: OutcomeCounts,
     /// Fraction of vertices that were both checkable and acceptable
-    /// (see [`PartialValidity::validity_rate`]), pooled over trials.
+    /// (see `PartialValidity::validity_rate`), pooled over trials.
     pub validity_rate: f64,
     /// Mean over trials of the largest decided round.
     pub rounds_mean: f64,
@@ -148,155 +152,13 @@ pub struct Outcome12 {
 impl Outcome12 {
     /// The row of one grid point, if measured.
     pub fn get(&self, workload: &str, drop_p: f64, crash_p: f64) -> Option<&Row> {
-        self.rows
-            .iter()
-            .find(|r| r.workload == workload && r.drop_p == drop_p && r.crash_p == crash_p)
+        find_row(
+            &self.rows,
+            workload,
+            |r| r.workload,
+            |r| r.drop_p == drop_p && r.crash_p == crash_p,
+        )
     }
-}
-
-/// What one completed trial contributes to its grid point.
-///
-/// Integer-only so checkpointed records round-trip exactly and a resumed
-/// sweep reproduces the uninterrupted JSON byte-for-byte.
-#[derive(Debug, Clone, Serialize, Deserialize)]
-struct TrialRecord {
-    halted: usize,
-    crashed: usize,
-    cut: usize,
-    checked: usize,
-    valid: usize,
-    skipped: usize,
-    max_round: u32,
-    metrics: MetricsRegistry,
-}
-
-fn record<O>(run: &SyncRun<O>, pv: &PartialValidity, set: &MetricSet) -> TrialRecord {
-    let (halted, crashed, cut) = run.counts();
-    let mut metrics = MetricsRegistry::new();
-    metrics.absorb(set);
-    TrialRecord {
-        halted,
-        crashed,
-        cut,
-        checked: pv.checked,
-        valid: pv.valid,
-        skipped: pv.skipped,
-        max_round: run.max_decided_round(),
-        metrics,
-    }
-}
-
-/// Partial labels of the vertices that decided.
-fn decided_labels<O: Clone>(run: &SyncRun<O>) -> Vec<Option<O>> {
-    run.outcomes.iter().map(|o| o.output().cloned()).collect()
-}
-
-const TREE_DELTA: usize = 16;
-const SINKLESS_DELTA: usize = 3;
-const SINKLESS_PHASES: u32 = 20;
-const MIS_DELTA: usize = 4;
-const MIS_BUDGET: u32 = 400;
-
-/// Runner signature shared by every workload: trial seed + fault plan (and
-/// an optional per-trial trace buffer) in, [`TrialRecord`] out.
-type Runner<'a> = Box<dyn Fn(&Graph, u64, &FaultPlan, Option<&Trace>) -> TrialRecord + Sync + 'a>;
-
-/// One workload: a graph plus a fault-tolerant runner producing a
-/// [`TrialRecord`] from a trial seed and a fault spec.
-struct Workload<'a> {
-    name: &'static str,
-    graph: Graph,
-    crash_window: u32,
-    run: Runner<'a>,
-}
-
-/// Build the three workloads. A failing graph generator yields
-/// `Err((name, error))` for its slot instead of panicking — the sweep turns
-/// that into grid-shaped error rows.
-fn workloads(cfg: &Config) -> Vec<Result<Workload<'static>, (&'static str, GraphError)>> {
-    let mut rng = StdRng::seed_from_u64(0xE12F);
-    let tree = gen::random_tree_max_degree(cfg.tree_n, TREE_DELTA, &mut rng);
-    let cubic = gen::random_regular(cfg.sinkless_n, SINKLESS_DELTA, &mut rng);
-    let quartic = gen::random_regular(cfg.mis_n, MIS_DELTA, &mut rng);
-
-    let tree_budget = 2 * Theorem10Config::default().schedule(TREE_DELTA).len() as u32 + 4;
-    let reserved = (TREE_DELTA as f64).sqrt().ceil() as usize;
-    vec![
-        Ok(Workload {
-            name: "tree-coloring",
-            graph: tree,
-            crash_window: tree_budget,
-            run: Box::new(move |g, seed, plan, trace| {
-                let set = MetricSet::new();
-                let out = theorem10_phase1_faulty_metered(
-                    g,
-                    TREE_DELTA,
-                    seed,
-                    Theorem10Config::default(),
-                    plan,
-                    trace,
-                    Some(&set),
-                );
-                // A decided vertex carries Some(color) or None (filtered
-                // bad) — both are decisions, but only colors are checkable.
-                let labels: Vec<Option<usize>> = out
-                    .outcomes
-                    .iter()
-                    .map(|o| match o {
-                        Outcome::Halted { output, .. } => *output,
-                        _ => None,
-                    })
-                    .collect();
-                let pv = check_partial(&VertexColoring::new(TREE_DELTA - reserved), g, &labels);
-                record(&out, &pv, &set)
-            }),
-        }),
-        cubic.map_err(|e| ("sinkless", e)).map(|graph| Workload {
-            name: "sinkless",
-            graph,
-            crash_window: 2 * SINKLESS_PHASES + 6,
-            run: Box::new(|g, seed, plan, trace| {
-                let algo = SinklessRepair {
-                    phases: SINKLESS_PHASES,
-                };
-                let set = MetricSet::new();
-                let out = run_sync(
-                    g,
-                    Mode::randomized(seed),
-                    &algo,
-                    &ExecSpec::default()
-                        .with_budget(Budget::rounds(2 * SINKLESS_PHASES + 6))
-                        .with_faults(plan)
-                        .traced(trace)
-                        .metered(Some(&set)),
-                );
-                let labels: Vec<Option<Orientation>> = decided_labels(&out);
-                let pv = check_partial(&SinklessOrientation::new(SINKLESS_DELTA), g, &labels);
-                record(&out, &pv, &set)
-            }),
-        }),
-        quartic.map_err(|e| ("mis", e)).map(|graph| Workload {
-            name: "mis",
-            graph,
-            crash_window: MIS_BUDGET,
-            run: Box::new(|g, seed, plan, trace| {
-                let set = MetricSet::new();
-                let out = run_sync(
-                    g,
-                    Mode::randomized(seed),
-                    &Luby::new(),
-                    &ExecSpec::default()
-                        .with_budget(Budget::rounds(MIS_BUDGET))
-                        .with_faults(plan)
-                        .traced(trace)
-                        .metered(Some(&set)),
-                );
-                let labels: Vec<Option<bool>> = decided_labels(&out);
-                let pv = check_partial(&Mis::new(), g, &labels);
-                record(&out, &pv, &set)
-            }),
-        }),
-    ]
 }
 
 /// The checkpoint scope of one grid point: everything a trial's result
@@ -312,11 +174,11 @@ fn scope(experiment: &str, cfg: &Config, workload: &str, drop_p: f64, crash_p: f
 /// Fold one grid point's trial outcomes into a [`Row`], merging each
 /// completed trial's metrics into the sweep-wide registry in trial order.
 fn fold_row(
-    workload: &str,
+    workload: &'static str,
     drop_p: f64,
     crash_p: f64,
     trials: u64,
-    outcomes: Vec<TrialOutcome<TrialRecord>>,
+    outcomes: Vec<TrialOutcome<MeasureRecord>>,
     metrics: &mut MetricsRegistry,
 ) -> Row {
     let mut panicked = 0u64;
@@ -351,7 +213,7 @@ fn fold_row(
         }
     }
     Row {
-        workload: workload.to_string(),
+        workload,
         drop_p,
         crash_p,
         trials,
@@ -375,9 +237,9 @@ fn fold_row(
 
 /// A grid point whose workload failed to construct: zeroed aggregates plus
 /// the typed error, so the JSON report shows *why* the numbers are missing.
-fn error_row(workload: &str, drop_p: f64, crash_p: f64, err: &GraphError) -> Row {
+fn error_row(workload: &'static str, drop_p: f64, crash_p: f64, err: &GraphError) -> Row {
     Row {
-        workload: workload.to_string(),
+        workload,
         drop_p,
         crash_p,
         trials: 0,
@@ -407,7 +269,7 @@ pub fn run(cfg: &Config) -> Outcome12 {
 pub fn run_checkpointed(cfg: &Config, checkpoint: Option<&Checkpoint>) -> Outcome12 {
     let mut rows = Vec::new();
     let mut metrics = MetricsRegistry::new();
-    for slot in workloads(cfg) {
+    for slot in workloads(&cfg.sizes(), GRAPH_SEED) {
         match slot {
             Err((name, err)) => {
                 for &drop_p in &cfg.drop_ps {
@@ -421,18 +283,18 @@ pub fn run_checkpointed(cfg: &Config, checkpoint: Option<&Checkpoint>) -> Outcom
                     for &crash_p in &cfg.crash_ps {
                         let spec = FaultSpec::none()
                             .with_drop(drop_p)
-                            .with_crash(crash_p, w.crash_window);
+                            .with_crash(crash_p, w.crash_window());
                         let plan = TrialPlan::new(cfg.trials, cfg.master_seed);
-                        let scope = scope("e12", cfg, w.name, drop_p, crash_p);
+                        let scope = scope("e12", cfg, w.name(), drop_p, crash_p);
                         let tspec = TrialSpec::new()
                             .isolated()
                             .checkpointed(checkpoint.map(|c| (c, scope.as_str())));
                         let outcomes = plan.execute(tspec, |trial, _| {
-                            let faults = FaultPlan::sample(&w.graph, &spec, trial.seed);
-                            (w.run)(&w.graph, trial.seed, &faults, None)
+                            let faults = FaultPlan::sample(w.graph(), &spec, trial.seed);
+                            w.measure(trial.seed, &faults, None)
                         });
                         rows.push(fold_row(
-                            w.name,
+                            w.name(),
                             drop_p,
                             crash_p,
                             cfg.trials,
@@ -458,7 +320,7 @@ pub fn run_traced(cfg: &Config, mut sink: Option<&mut dyn TraceSink>) -> Outcome
     let mut rows = Vec::new();
     let mut metrics = MetricsRegistry::new();
     let mut base = 0u64;
-    for slot in workloads(cfg) {
+    for slot in workloads(&cfg.sizes(), GRAPH_SEED) {
         match slot {
             Err((name, err)) => {
                 for &drop_p in &cfg.drop_ps {
@@ -472,18 +334,18 @@ pub fn run_traced(cfg: &Config, mut sink: Option<&mut dyn TraceSink>) -> Outcome
                     for &crash_p in &cfg.crash_ps {
                         let spec = FaultSpec::none()
                             .with_drop(drop_p)
-                            .with_crash(crash_p, w.crash_window);
+                            .with_crash(crash_p, w.crash_window());
                         let plan = TrialPlan::new(cfg.trials, cfg.master_seed);
                         let tspec = TrialSpec::new()
                             .traced(sink.as_deref_mut())
                             .trace_base(base);
                         let outcomes = plan.execute(tspec, |trial, trace| {
-                            let faults = FaultPlan::sample(&w.graph, &spec, trial.seed);
-                            (w.run)(&w.graph, trial.seed, &faults, trace)
+                            let faults = FaultPlan::sample(w.graph(), &spec, trial.seed);
+                            w.measure(trial.seed, &faults, trace)
                         });
                         base += cfg.trials;
                         rows.push(fold_row(
-                            w.name,
+                            w.name(),
                             drop_p,
                             crash_p,
                             cfg.trials,
@@ -504,17 +366,17 @@ pub fn run_traced(cfg: &Config, mut sink: Option<&mut dyn TraceSink>) -> Outcome
 /// error rows) survive the round trip.
 pub struct FabricSweep {
     cfg: Config,
-    slots: Vec<Result<Workload<'static>, (&'static str, GraphError)>>,
+    slots: Vec<WorkloadSlot>,
     points: Vec<SweepPoint>,
 }
 
 /// Build the fabric view of `cfg`'s sweep.
 pub fn fabric_sweep(cfg: &Config) -> FabricSweep {
-    let slots = workloads(cfg);
+    let slots = workloads(&cfg.sizes(), GRAPH_SEED);
     let mut points = Vec::new();
     for slot in &slots {
         let (name, trials) = match slot {
-            Ok(w) => (w.name, cfg.trials),
+            Ok(w) => (w.name(), cfg.trials),
             Err((name, _)) => (*name, 0),
         };
         for &drop_p in &cfg.drop_ps {
@@ -548,10 +410,10 @@ impl Sweep for FabricSweep {
         let seed = TrialPlan::new(self.cfg.trials, self.cfg.master_seed).seed(index);
         let spec = FaultSpec::none()
             .with_drop(drop_p)
-            .with_crash(crash_p, w.crash_window);
+            .with_crash(crash_p, w.crash_window());
         run_unit_isolated(|| {
-            let faults = FaultPlan::sample(&w.graph, &spec, seed);
-            (w.run)(&w.graph, seed, &faults, None)
+            let faults = FaultPlan::sample(w.graph(), &spec, seed);
+            w.measure(seed, &faults, None)
         })
     }
 }
@@ -578,7 +440,7 @@ impl FabricSweep {
                                 .map(|v| decode_unit(v).expect("fabric journal record shape"))
                                 .collect();
                             rows.push(fold_row(
-                                w.name,
+                                w.name(),
                                 drop_p,
                                 crash_p,
                                 self.cfg.trials,
@@ -611,7 +473,7 @@ pub fn table(out: &Outcome12) -> Table {
             ),
         };
         t.push(vec![
-            r.workload.clone(),
+            r.workload.to_string(),
             format!("{:.2}", r.drop_p),
             format!("{:.2}", r.crash_p),
             r.outcomes.halted.to_string(),
@@ -628,6 +490,7 @@ pub fn table(out: &Outcome12) -> Table {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::workloads::NAMES;
 
     fn tiny() -> Config {
         Config {
@@ -644,7 +507,7 @@ mod tests {
     #[test]
     fn faults_degrade_validity_but_never_crash_the_sweep() {
         let out = run(&tiny());
-        assert_eq!(out.rows.len(), 3 * 2 * 2);
+        assert_eq!(out.rows.len(), NAMES.len() * 2 * 2);
         for r in &out.rows {
             assert_eq!(r.panicked, 0, "{}: no workload should panic", r.workload);
             assert!(
@@ -654,8 +517,9 @@ mod tests {
                 r.validity_rate
             );
         }
-        // Fault-free baselines dominate the heavily-faulted points.
-        for w in ["tree-coloring", "sinkless", "mis"] {
+        // Every catalog entry's fault-free baseline dominates its heavily-
+        // faulted point.
+        for w in NAMES {
             let rate = |d: f64, c: f64| {
                 out.get(w, d, c)
                     .unwrap_or_else(|| panic!("{w}: grid point ({d}, {c}) missing"))
@@ -726,13 +590,14 @@ mod tests {
         let events = sink.into_events();
         // Every grid point contributed cfg.trials engine runs, each with a
         // run_start/run_end pair, under globally unique trial numbers.
+        let grid = (NAMES.len() * 2 * 2) as u64;
         let starts = events
             .iter()
             .filter(|e| e.data.tag() == "run_start")
             .count();
-        assert_eq!(starts as u64, 3 * 2 * 2 * cfg.trials);
+        assert_eq!(starts as u64, grid * cfg.trials);
         let trials: std::collections::HashSet<u64> = events.iter().map(|e| e.trial).collect();
-        assert_eq!(trials, (0..3 * 2 * 2 * cfg.trials).collect());
+        assert_eq!(trials, (0..grid * cfg.trials).collect());
         // Crashy grid points actually show crashes in the round events.
         assert!(events
             .iter()
@@ -762,20 +627,30 @@ mod tests {
 
     #[test]
     fn infeasible_generator_parameters_become_error_rows() {
-        // n·d odd for the 3-regular sinkless workload: no such graph.
+        // n·d odd for the 3-regular generators: both the sinkless workload
+        // and the edge-coloring base graph become infeasible.
         let cfg = Config {
             sinkless_n: 61,
             ..tiny()
         };
         let out = run(&cfg);
-        assert_eq!(out.rows.len(), 3 * 2 * 2, "error rows keep the grid shape");
-        for r in out.rows.iter().filter(|r| r.workload == "sinkless") {
-            let err = r.error.as_deref().expect("sinkless rows carry the error");
+        assert_eq!(
+            out.rows.len(),
+            NAMES.len() * 2 * 2,
+            "error rows keep the grid shape"
+        );
+        let infeasible = ["sinkless", "edge-coloring"];
+        for r in out.rows.iter().filter(|r| infeasible.contains(&r.workload)) {
+            let err = r.error.as_deref().expect("cubic rows carry the error");
             assert!(err.contains("infeasible"), "typed error surfaced: {err}");
             assert_eq!(r.trials, 0);
             assert_eq!(r.outcomes.halted, 0);
         }
-        for r in out.rows.iter().filter(|r| r.workload != "sinkless") {
+        for r in out
+            .rows
+            .iter()
+            .filter(|r| !infeasible.contains(&r.workload))
+        {
             assert!(
                 r.error.is_none(),
                 "{}: other workloads still run",

@@ -7,7 +7,9 @@
 //! ([`local_algorithms::recover`]): extract the residual subgraph around the
 //! damaged core, run a deterministic finisher on it against the frozen
 //! boundary, splice, and verify with `check_complete` — escalating the
-//! boundary radius 1 → 2 → 3 when the residue is locally infeasible.
+//! boundary radius 1 → 2 → 3 when the residue is locally infeasible. Every
+//! workload-catalog entry ([`crate::workloads`]) heals with its own
+//! finisher, through [`Workload::heal`].
 //!
 //! Reported per grid point: the recovery rate (fraction of trials reaching
 //! a *complete valid* labeling), the escalation histogram (how many trials
@@ -22,23 +24,17 @@ use crate::checkpoint::Checkpoint;
 use crate::fabric::{decode_unit, run_unit_isolated, Sweep, SweepPoint};
 use crate::report::Table;
 use crate::trials::{TrialOutcome, TrialPlan, TrialSpec};
-use local_algorithms::mis::luby::Luby;
-use local_algorithms::orientation::sinkless::SinklessRepair;
-use local_algorithms::tree::theorem10::{theorem10_phase1_faulty_metered, Theorem10Config};
-use local_algorithms::{
-    recover_metered, run_sync, Finisher, GreedyColoringFinisher, LubyRestartFinisher,
-    RecoveryPolicy, SinklessFinisher, SyncRun,
-};
-use local_graphs::{gen, Graph, GraphError};
-use local_lcl::problems::{Mis, Orientation, SinklessOrientation, VertexColoring};
-use local_lcl::LclProblem;
-use local_model::{derived_u64, Budget, ExecSpec, FaultPlan, FaultSpec, Mode, Outcome};
-use local_obs::{MetricSet, MetricsRegistry, Trace, TraceSink};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use serde::{Deserialize, Serialize, Value};
+use crate::workloads::{find_row, workloads, HealRecord, Sizes, WorkloadSlot};
+use local_algorithms::RecoveryPolicy;
+use local_graphs::GraphError;
+use local_model::{FaultPlan, FaultSpec};
+use local_obs::{MetricsRegistry, TraceSink};
+use serde::{Serialize, Value};
 
 pub use super::e12_resilience::OutcomeCounts;
+
+/// Seed of the workload graph generators.
+const GRAPH_SEED: u64 = 0xE13F;
 
 /// Sweep configuration. The fault grid deliberately stays inside the range
 /// the recovery subsystem promises to heal (drops ≤ 0.2, crashes ≤ 0.1).
@@ -46,9 +42,11 @@ pub use super::e12_resilience::OutcomeCounts;
 pub struct Config {
     /// Vertices in the tree-coloring workload (Δ = 16 tree).
     pub tree_n: usize,
-    /// Vertices in the sinkless-orientation workload (3-regular).
+    /// Vertices in the sinkless-orientation and edge-coloring base
+    /// workloads (3-regular).
     pub sinkless_n: usize,
-    /// Vertices in the MIS workload (4-regular).
+    /// Vertices in the MIS (4-regular), ruling-set, and defective-coloring
+    /// (3-regular) workloads.
     pub mis_n: usize,
     /// Per-directed-edge per-round message-drop probabilities to sweep.
     pub drop_ps: Vec<f64>,
@@ -91,13 +89,22 @@ impl Config {
             policy: RecoveryPolicy::default(),
         }
     }
+
+    /// The catalog sizes this configuration sweeps.
+    fn sizes(&self) -> Sizes {
+        Sizes {
+            tree_n: self.tree_n,
+            sinkless_n: self.sinkless_n,
+            mis_n: self.mis_n,
+        }
+    }
 }
 
 /// One measured grid point.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize)]
 pub struct Row {
-    /// Workload name (`tree-coloring`, `sinkless`, `mis`).
-    pub workload: String,
+    /// Workload name (a [`crate::workloads::NAMES`] catalog entry).
+    pub workload: &'static str,
     /// Message-drop probability of this point.
     pub drop_p: f64,
     /// Node-crash probability of this point.
@@ -149,228 +156,13 @@ pub struct Outcome13 {
 impl Outcome13 {
     /// The row of one grid point, if measured.
     pub fn get(&self, workload: &str, drop_p: f64, crash_p: f64) -> Option<&Row> {
-        self.rows
-            .iter()
-            .find(|r| r.workload == workload && r.drop_p == drop_p && r.crash_p == crash_p)
+        find_row(
+            &self.rows,
+            workload,
+            |r| r.workload,
+            |r| r.drop_p == drop_p && r.crash_p == crash_p,
+        )
     }
-}
-
-/// What one completed trial contributes to its grid point.
-///
-/// Integer-only (plus strings) so checkpointed records round-trip exactly
-/// and a resumed sweep reproduces the uninterrupted JSON byte-for-byte.
-#[derive(Debug, Clone, Serialize, Deserialize)]
-struct TrialResult {
-    recovered: bool,
-    attempts: u32,
-    core: usize,
-    residue: usize,
-    base_rounds: u32,
-    extra_rounds: u32,
-    halted: usize,
-    crashed: usize,
-    cut: usize,
-    failure: Option<String>,
-    metrics: MetricsRegistry,
-}
-
-/// Run recovery on one faulty base run and fold the result into a
-/// [`TrialResult`]. The caller owns the trial's [`MetricSet`] and absorbs
-/// it into the record afterwards — `heal` only feeds the recovery counters.
-#[allow(clippy::too_many_arguments)]
-fn heal<P, F, O>(
-    g: &Graph,
-    run: &SyncRun<O>,
-    partial: &[Option<P::Label>],
-    problem: &P,
-    finisher: &F,
-    policy: &RecoveryPolicy,
-    trace: Option<&Trace>,
-    metrics: Option<&MetricSet>,
-) -> TrialResult
-where
-    P: LclProblem,
-    F: Finisher<P>,
-{
-    let (halted, crashed, cut) = run.counts();
-    let base_rounds = run.max_decided_round();
-    match recover_metered(problem, g, partial, finisher, policy, trace, metrics) {
-        Ok(rec) => TrialResult {
-            recovered: true,
-            attempts: rec.attempts,
-            core: rec.core_size,
-            residue: rec.residue_size,
-            base_rounds,
-            extra_rounds: rec.extra_rounds,
-            halted,
-            crashed,
-            cut,
-            failure: None,
-            metrics: MetricsRegistry::new(),
-        },
-        Err(err) => TrialResult {
-            recovered: false,
-            attempts: policy.max_radius,
-            core: 0,
-            residue: 0,
-            base_rounds,
-            extra_rounds: 0,
-            halted,
-            crashed,
-            cut,
-            failure: Some(err.to_string()),
-            metrics: MetricsRegistry::new(),
-        },
-    }
-}
-
-/// Partial labels of the vertices that decided.
-fn decided_labels<O: Clone>(run: &SyncRun<O>) -> Vec<Option<O>> {
-    run.outcomes.iter().map(|o| o.output().cloned()).collect()
-}
-
-const TREE_DELTA: usize = 16;
-const SINKLESS_DELTA: usize = 3;
-const SINKLESS_PHASES: u32 = 20;
-const MIS_DELTA: usize = 4;
-const MIS_BUDGET: u32 = 400;
-/// Stream tag separating the MIS finisher's restart seed from every other
-/// consumer of the trial seed.
-const MIS_FINISHER_STREAM: u64 = 0xE13;
-
-type Runner<'a> = Box<
-    dyn Fn(&Graph, u64, &FaultPlan, &RecoveryPolicy, Option<&Trace>) -> TrialResult + Sync + 'a,
->;
-
-struct Workload<'a> {
-    name: &'static str,
-    graph: Graph,
-    crash_window: u32,
-    run: Runner<'a>,
-}
-
-/// Build the three workloads; a failing graph generator yields its slot's
-/// typed error instead of panicking.
-fn workloads(cfg: &Config) -> Vec<Result<Workload<'static>, (&'static str, GraphError)>> {
-    let mut rng = StdRng::seed_from_u64(0xE13F);
-    let tree = gen::random_tree_max_degree(cfg.tree_n, TREE_DELTA, &mut rng);
-    let cubic = gen::random_regular(cfg.sinkless_n, SINKLESS_DELTA, &mut rng);
-    let quartic = gen::random_regular(cfg.mis_n, MIS_DELTA, &mut rng);
-
-    let tree_budget = 2 * Theorem10Config::default().schedule(TREE_DELTA).len() as u32 + 4;
-    vec![
-        Ok(Workload {
-            name: "tree-coloring",
-            graph: tree,
-            crash_window: tree_budget,
-            run: Box::new(move |g, seed, plan, policy, trace| {
-                let set = MetricSet::new();
-                let out = theorem10_phase1_faulty_metered(
-                    g,
-                    TREE_DELTA,
-                    seed,
-                    Theorem10Config::default(),
-                    plan,
-                    trace,
-                    Some(&set),
-                );
-                // Phase 1 leaves filtered-bad vertices decided-but-unlabeled
-                // (`Some(None)`); flattening folds them into the damaged
-                // core, so recovery colors them too — the finisher plays the
-                // role of Theorem 10's deterministic Phase 2, bounded to the
-                // residue instead of centralized.
-                let labels: Vec<Option<usize>> = out
-                    .outcomes
-                    .iter()
-                    .map(|o| match o {
-                        Outcome::Halted { output, .. } => *output,
-                        _ => None,
-                    })
-                    .collect();
-                let mut r = heal(
-                    g,
-                    &out,
-                    &labels,
-                    &VertexColoring::new(TREE_DELTA),
-                    &GreedyColoringFinisher {
-                        palette: TREE_DELTA,
-                    },
-                    policy,
-                    trace,
-                    Some(&set),
-                );
-                r.metrics.absorb(&set);
-                r
-            }),
-        }),
-        cubic.map_err(|e| ("sinkless", e)).map(|graph| Workload {
-            name: "sinkless",
-            graph,
-            crash_window: 2 * SINKLESS_PHASES + 6,
-            run: Box::new(|g, seed, plan, policy, trace| {
-                let algo = SinklessRepair {
-                    phases: SINKLESS_PHASES,
-                };
-                let set = MetricSet::new();
-                let out = run_sync(
-                    g,
-                    Mode::randomized(seed),
-                    &algo,
-                    &ExecSpec::default()
-                        .with_budget(Budget::rounds(2 * SINKLESS_PHASES + 6))
-                        .with_faults(plan)
-                        .traced(trace)
-                        .metered(Some(&set)),
-                );
-                let labels: Vec<Option<Orientation>> = decided_labels(&out);
-                let mut r = heal(
-                    g,
-                    &out,
-                    &labels,
-                    &SinklessOrientation::new(SINKLESS_DELTA),
-                    &SinklessFinisher,
-                    policy,
-                    trace,
-                    Some(&set),
-                );
-                r.metrics.absorb(&set);
-                r
-            }),
-        }),
-        quartic.map_err(|e| ("mis", e)).map(|graph| Workload {
-            name: "mis",
-            graph,
-            crash_window: MIS_BUDGET,
-            run: Box::new(|g, seed, plan, policy, trace| {
-                let set = MetricSet::new();
-                let out = run_sync(
-                    g,
-                    Mode::randomized(seed),
-                    &Luby::new(),
-                    &ExecSpec::default()
-                        .with_budget(Budget::rounds(MIS_BUDGET))
-                        .with_faults(plan)
-                        .traced(trace)
-                        .metered(Some(&set)),
-                );
-                let labels: Vec<Option<bool>> = decided_labels(&out);
-                let mut r = heal(
-                    g,
-                    &out,
-                    &labels,
-                    &Mis::new(),
-                    &LubyRestartFinisher {
-                        seed: derived_u64(seed, MIS_FINISHER_STREAM),
-                    },
-                    policy,
-                    trace,
-                    Some(&set),
-                );
-                r.metrics.absorb(&set);
-                r
-            }),
-        }),
-    ]
 }
 
 /// The checkpoint scope of one grid point (everything a trial depends on
@@ -385,11 +177,11 @@ fn scope(cfg: &Config, workload: &str, drop_p: f64, crash_p: f64) -> String {
 /// Fold one grid point's trial outcomes into a [`Row`], merging each
 /// completed trial's metrics into the sweep-wide registry in trial order.
 fn fold_row(
-    workload: &str,
+    workload: &'static str,
     drop_p: f64,
     crash_p: f64,
     cfg: &Config,
-    outcomes: Vec<TrialOutcome<TrialResult>>,
+    outcomes: Vec<TrialOutcome<HealRecord>>,
     metrics: &mut MetricsRegistry,
 ) -> Row {
     let mut panicked = 0u64;
@@ -445,7 +237,7 @@ fn fold_row(
         }
     };
     Row {
-        workload: workload.to_string(),
+        workload,
         drop_p,
         crash_p,
         trials: cfg.trials,
@@ -470,9 +262,15 @@ fn fold_row(
 }
 
 /// A grid point whose workload failed to construct.
-fn error_row(workload: &str, drop_p: f64, crash_p: f64, cfg: &Config, err: &GraphError) -> Row {
+fn error_row(
+    workload: &'static str,
+    drop_p: f64,
+    crash_p: f64,
+    cfg: &Config,
+    err: &GraphError,
+) -> Row {
     Row {
-        workload: workload.to_string(),
+        workload,
         drop_p,
         crash_p,
         trials: 0,
@@ -506,7 +304,7 @@ pub fn run(cfg: &Config) -> Outcome13 {
 pub fn run_checkpointed(cfg: &Config, checkpoint: Option<&Checkpoint>) -> Outcome13 {
     let mut rows = Vec::new();
     let mut metrics = MetricsRegistry::new();
-    for slot in workloads(cfg) {
+    for slot in workloads(&cfg.sizes(), GRAPH_SEED) {
         match slot {
             Err((name, err)) => {
                 for &drop_p in &cfg.drop_ps {
@@ -520,18 +318,18 @@ pub fn run_checkpointed(cfg: &Config, checkpoint: Option<&Checkpoint>) -> Outcom
                     for &crash_p in &cfg.crash_ps {
                         let spec = FaultSpec::none()
                             .with_drop(drop_p)
-                            .with_crash(crash_p, w.crash_window);
+                            .with_crash(crash_p, w.crash_window());
                         let plan = TrialPlan::new(cfg.trials, cfg.master_seed);
-                        let scope = scope(cfg, w.name, drop_p, crash_p);
+                        let scope = scope(cfg, w.name(), drop_p, crash_p);
                         let tspec = TrialSpec::new()
                             .isolated()
                             .checkpointed(checkpoint.map(|c| (c, scope.as_str())));
                         let outcomes = plan.execute(tspec, |trial, _| {
-                            let faults = FaultPlan::sample(&w.graph, &spec, trial.seed);
-                            (w.run)(&w.graph, trial.seed, &faults, &cfg.policy, None)
+                            let faults = FaultPlan::sample(w.graph(), &spec, trial.seed);
+                            w.heal(trial.seed, &faults, &cfg.policy, None)
                         });
                         rows.push(fold_row(
-                            w.name,
+                            w.name(),
                             drop_p,
                             crash_p,
                             cfg,
@@ -556,7 +354,7 @@ pub fn run_traced(cfg: &Config, mut sink: Option<&mut dyn TraceSink>) -> Outcome
     let mut rows = Vec::new();
     let mut metrics = MetricsRegistry::new();
     let mut base = 0u64;
-    for slot in workloads(cfg) {
+    for slot in workloads(&cfg.sizes(), GRAPH_SEED) {
         match slot {
             Err((name, err)) => {
                 for &drop_p in &cfg.drop_ps {
@@ -570,18 +368,18 @@ pub fn run_traced(cfg: &Config, mut sink: Option<&mut dyn TraceSink>) -> Outcome
                     for &crash_p in &cfg.crash_ps {
                         let spec = FaultSpec::none()
                             .with_drop(drop_p)
-                            .with_crash(crash_p, w.crash_window);
+                            .with_crash(crash_p, w.crash_window());
                         let plan = TrialPlan::new(cfg.trials, cfg.master_seed);
                         let tspec = TrialSpec::new()
                             .traced(sink.as_deref_mut())
                             .trace_base(base);
                         let outcomes = plan.execute(tspec, |trial, trace| {
-                            let faults = FaultPlan::sample(&w.graph, &spec, trial.seed);
-                            (w.run)(&w.graph, trial.seed, &faults, &cfg.policy, trace)
+                            let faults = FaultPlan::sample(w.graph(), &spec, trial.seed);
+                            w.heal(trial.seed, &faults, &cfg.policy, trace)
                         });
                         base += cfg.trials;
                         rows.push(fold_row(
-                            w.name,
+                            w.name(),
                             drop_p,
                             crash_p,
                             cfg,
@@ -602,17 +400,17 @@ pub fn run_traced(cfg: &Config, mut sink: Option<&mut dyn TraceSink>) -> Outcome
 /// error rows) survive the round trip.
 pub struct FabricSweep {
     cfg: Config,
-    slots: Vec<Result<Workload<'static>, (&'static str, GraphError)>>,
+    slots: Vec<WorkloadSlot>,
     points: Vec<SweepPoint>,
 }
 
 /// Build the fabric view of `cfg`'s sweep.
 pub fn fabric_sweep(cfg: &Config) -> FabricSweep {
-    let slots = workloads(cfg);
+    let slots = workloads(&cfg.sizes(), GRAPH_SEED);
     let mut points = Vec::new();
     for slot in &slots {
         let (name, trials) = match slot {
-            Ok(w) => (w.name, cfg.trials),
+            Ok(w) => (w.name(), cfg.trials),
             Err((name, _)) => (*name, 0),
         };
         for &drop_p in &cfg.drop_ps {
@@ -646,10 +444,10 @@ impl Sweep for FabricSweep {
         let seed = TrialPlan::new(self.cfg.trials, self.cfg.master_seed).seed(index);
         let spec = FaultSpec::none()
             .with_drop(drop_p)
-            .with_crash(crash_p, w.crash_window);
+            .with_crash(crash_p, w.crash_window());
         run_unit_isolated(|| {
-            let faults = FaultPlan::sample(&w.graph, &spec, seed);
-            (w.run)(&w.graph, seed, &faults, &self.cfg.policy, None)
+            let faults = FaultPlan::sample(w.graph(), &spec, seed);
+            w.heal(seed, &faults, &self.cfg.policy, None)
         })
     }
 }
@@ -676,7 +474,7 @@ impl FabricSweep {
                                 .map(|v| decode_unit(v).expect("fabric journal record shape"))
                                 .collect();
                             rows.push(fold_row(
-                                w.name,
+                                w.name(),
                                 drop_p,
                                 crash_p,
                                 &self.cfg,
@@ -723,7 +521,7 @@ pub fn table(out: &Outcome13) -> Table {
             .collect::<Vec<_>>()
             .join("/");
         t.push(vec![
-            r.workload.clone(),
+            r.workload.to_string(),
             format!("{:.2}", r.drop_p),
             format!("{:.2}", r.crash_p),
             format!("{}/{}", r.recovered, r.trials),
@@ -740,6 +538,7 @@ pub fn table(out: &Outcome13) -> Table {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::workloads::NAMES;
 
     fn tiny() -> Config {
         Config {
@@ -757,7 +556,7 @@ mod tests {
     #[test]
     fn every_grid_point_recovers_completely() {
         let out = run(&tiny());
-        assert_eq!(out.rows.len(), 3 * 2 * 2);
+        assert_eq!(out.rows.len(), NAMES.len() * 2 * 2);
         for r in &out.rows {
             assert!(r.error.is_none(), "{}: {:?}", r.workload, r.error);
             assert_eq!(r.panicked, 0, "{}: no trial should panic", r.workload);
@@ -855,7 +654,15 @@ mod tests {
         for (core, residue, finisher, _) in &recoveries {
             assert!(core <= residue, "core {core} ≤ residue {residue}");
             assert!(
-                ["greedy-coloring", "sinkless", "luby-restart"].contains(&finisher.as_str()),
+                [
+                    "greedy-coloring",
+                    "sinkless",
+                    "luby-restart",
+                    "edge-greedy",
+                    "ruling-sweep",
+                    "defective-greedy"
+                ]
+                .contains(&finisher.as_str()),
                 "unexpected finisher {finisher}"
             );
         }
@@ -915,16 +722,21 @@ mod tests {
             ..tiny()
         };
         let out = run(&cfg);
-        assert_eq!(out.rows.len(), 3 * 2 * 2, "error rows keep the grid shape");
-        for r in out.rows.iter().filter(|r| r.workload == "sinkless") {
-            let err = r.error.as_deref().expect("sinkless rows carry the error");
+        assert_eq!(
+            out.rows.len(),
+            NAMES.len() * 2 * 2,
+            "error rows keep the grid shape"
+        );
+        let infeasible = ["sinkless", "edge-coloring"];
+        for r in out.rows.iter().filter(|r| infeasible.contains(&r.workload)) {
+            let err = r.error.as_deref().expect("cubic rows carry the error");
             assert!(err.contains("infeasible"), "{err}");
             assert_eq!(r.trials, 0);
         }
         assert!(out
             .rows
             .iter()
-            .filter(|r| r.workload != "sinkless")
+            .filter(|r| !infeasible.contains(&r.workload))
             .all(|r| r.error.is_none()));
     }
 }

@@ -3,15 +3,14 @@
 //! E13 samples fault plans *randomly* and shows the recovery subsystem heals
 //! them (its full grid recovers 100% of trials at boundary radius ≤ 1). This
 //! experiment asks the complementary question: how much damage can a
-//! *searched* plan do under the same fault budget? For each workload ×
-//! [`Objective`] grid point it runs several restarts of the deterministic
-//! tabu search ([`crate::adversary::search`]) over [`FaultPlan`] space; every
-//! candidate plan is scored by replaying the workload at a **fixed**
-//! evaluation seed and attempting recovery via
-//! [`recover_report`](local_algorithms::recover_report) — a plan that defeats
-//! recovery outright comes back as a scored
-//! [`DegradedRun`](local_algorithms::DegradedRun) census instead of an
-//! error.
+//! *searched* plan do under the same fault budget? For each workload-catalog
+//! entry ([`crate::workloads`]) × [`Objective`] grid point it runs several
+//! restarts of the deterministic tabu search ([`crate::adversary::search`])
+//! over [`FaultPlan`] space; every candidate plan is scored by replaying the
+//! workload at a **fixed** evaluation seed and attempting recovery
+//! ([`Workload::assess`]) — a plan that defeats recovery outright comes back
+//! as a scored [`DegradedRun`](local_algorithms::DegradedRun) census instead
+//! of an error.
 //!
 //! Workload sizes are fixed constants — deliberately *not* scaled by
 //! `--full` — so a pinned best-found plan replays against the identical
@@ -29,46 +28,37 @@ use crate::checkpoint::Checkpoint;
 use crate::fabric::{decode_unit, run_unit_isolated, Sweep, SweepPoint};
 use crate::report::Table;
 use crate::trials::{TrialOutcome, TrialPlan, TrialSpec};
-use local_algorithms::mis::luby::Luby;
-use local_algorithms::orientation::sinkless::SinklessRepair;
-use local_algorithms::tree::theorem10::{theorem10_phase1_faulty_traced, Theorem10Config};
-use local_algorithms::{
-    recover_report, run_sync, Finisher, GreedyColoringFinisher, LubyRestartFinisher,
-    RecoveryPolicy, SinklessFinisher, SyncRun,
-};
-use local_graphs::{gen, Graph, GraphError};
-use local_lcl::problems::{Mis, Orientation, SinklessOrientation, VertexColoring};
-use local_lcl::LclProblem;
-use local_model::{derived_u64, Budget, ExecSpec, FaultPlan, Mode, Outcome};
-use local_obs::{MetricSet, MetricsRegistry, Trace, TraceSink};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use crate::workloads::{find_row, workloads, Sizes, Workload, WorkloadSlot};
+use local_algorithms::RecoveryPolicy;
+use local_graphs::GraphError;
+use local_model::FaultPlan;
+use local_obs::{MetricsRegistry, Trace, TraceSink};
 use serde::{Deserialize, Serialize, Value};
 
 /// Vertices in the tree-coloring workload (fixed; see the module docs).
 pub const TREE_N: usize = 64;
-/// Vertices in the sinkless-orientation workload (fixed, 3-regular).
+/// Vertices in the sinkless-orientation and edge-coloring base workloads
+/// (fixed, 3-regular).
 pub const SINKLESS_N: usize = 48;
-/// Vertices in the MIS workload (fixed, 4-regular).
+/// Vertices in the MIS, ruling-set, and defective-coloring workloads
+/// (fixed).
 pub const MIS_N: usize = 48;
 
-const TREE_DELTA: usize = 16;
-const SINKLESS_DELTA: usize = 3;
-const SINKLESS_PHASES: u32 = 20;
-const MIS_DELTA: usize = 4;
-const MIS_BUDGET: u32 = 60;
-/// Crash rounds proposed for the MIS workload stay inside Luby's active
-/// prefix (a crash scheduled after every node halted changes nothing).
-const MIS_CRASH_WINDOW: u32 = 12;
 /// Seed of the workload graph generators.
 const GRAPH_SEED: u64 = 0xE14F;
 /// The fixed base-run seed every evaluation replays: the fault plan is the
 /// *only* variable the search moves, which is what makes a pinned plan's
 /// score reproducible.
 const EVAL_SEED: u64 = 0xE14D;
-/// Stream tag separating the MIS finisher's restart seed from every other
-/// consumer of the evaluation seed.
-const MIS_FINISHER_STREAM: u64 = 0xE14;
+
+/// The fixed catalog sizes of this experiment.
+fn sizes() -> Sizes {
+    Sizes {
+        tree_n: TREE_N,
+        sinkless_n: SINKLESS_N,
+        mis_n: MIS_N,
+    }
+}
 
 /// Sweep configuration: search effort only (workload sizes are fixed).
 #[derive(Debug, Clone, serde::Serialize)]
@@ -124,10 +114,10 @@ impl Config {
 
 /// One measured grid point: the best plan a workload × objective search
 /// found, with its full damage census.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize)]
 pub struct Row {
-    /// Workload name (`tree-coloring`, `sinkless`, `mis`).
-    pub workload: String,
+    /// Workload name (a [`crate::workloads::NAMES`] catalog entry).
+    pub workload: &'static str,
     /// Objective name (see [`Objective::name`]).
     pub objective: String,
     /// Search restarts attempted.
@@ -182,9 +172,12 @@ pub struct Outcome14 {
 impl Outcome14 {
     /// The row of one grid point, if measured.
     pub fn get(&self, workload: &str, objective: Objective) -> Option<&Row> {
-        self.rows
-            .iter()
-            .find(|r| r.workload == workload && r.objective == objective.name())
+        find_row(
+            &self.rows,
+            workload,
+            |r| r.workload,
+            |r| r.objective == objective.name(),
+        )
     }
 }
 
@@ -207,168 +200,6 @@ struct TrialResult {
     metrics: MetricsRegistry,
 }
 
-/// Score one plan's base run + recovery attempt: the common tail of every
-/// workload evaluator. Returns the [`Evaluation`] the objectives fold and
-/// the degradation report JSON (`"null"` when recovery succeeded).
-fn assess<P, F, O>(
-    g: &Graph,
-    run: &SyncRun<O>,
-    partial: &[Option<P::Label>],
-    problem: &P,
-    finisher: &F,
-    policy: &RecoveryPolicy,
-    trace: Option<&Trace>,
-) -> (Evaluation, String)
-where
-    P: LclProblem,
-    F: Finisher<P>,
-{
-    let (_, crashed, cut) = run.counts();
-    match recover_report(problem, g, partial, finisher, policy, trace) {
-        Ok(rec) => (
-            Evaluation {
-                radius: rec.radius,
-                degraded: false,
-                breaches: 0,
-                violations: 0,
-                crashed: crashed as u64,
-                cut: cut as u64,
-            },
-            "null".to_string(),
-        ),
-        Err(report) => {
-            let breaches = report.trail.iter().filter(|a| a.breach.is_some()).count();
-            let eval = Evaluation {
-                radius: policy.max_radius + 1,
-                degraded: true,
-                breaches: breaches as u64,
-                violations: report.violations as u64,
-                crashed: crashed as u64,
-                cut: cut as u64,
-            };
-            let json = serde_json::to_string(&*report).expect("degraded run serializes");
-            (eval, json)
-        }
-    }
-}
-
-type Evaluator<'a> = Box<
-    dyn Fn(&Graph, &FaultPlan, &RecoveryPolicy, Option<&Trace>) -> (Evaluation, String) + Sync + 'a,
->;
-
-struct Workload<'a> {
-    name: &'static str,
-    graph: Graph,
-    crash_window: u32,
-    eval: Evaluator<'a>,
-}
-
-/// Build the three fixed workloads; a failing graph generator yields its
-/// slot's typed error instead of panicking.
-fn workloads() -> Vec<Result<Workload<'static>, (&'static str, GraphError)>> {
-    let mut rng = StdRng::seed_from_u64(GRAPH_SEED);
-    let tree = gen::random_tree_max_degree(TREE_N, TREE_DELTA, &mut rng);
-    let cubic = gen::random_regular(SINKLESS_N, SINKLESS_DELTA, &mut rng);
-    let quartic = gen::random_regular(MIS_N, MIS_DELTA, &mut rng);
-
-    let tree_budget = 2 * Theorem10Config::default().schedule(TREE_DELTA).len() as u32 + 4;
-    vec![
-        Ok(Workload {
-            name: "tree-coloring",
-            graph: tree,
-            crash_window: tree_budget,
-            eval: Box::new(move |g, plan, policy, trace| {
-                let out = theorem10_phase1_faulty_traced(
-                    g,
-                    TREE_DELTA,
-                    EVAL_SEED,
-                    Theorem10Config::default(),
-                    plan,
-                    trace,
-                );
-                let labels: Vec<Option<usize>> = out
-                    .outcomes
-                    .iter()
-                    .map(|o| match o {
-                        Outcome::Halted { output, .. } => *output,
-                        _ => None,
-                    })
-                    .collect();
-                assess(
-                    g,
-                    &out,
-                    &labels,
-                    &VertexColoring::new(TREE_DELTA),
-                    &GreedyColoringFinisher {
-                        palette: TREE_DELTA,
-                    },
-                    policy,
-                    trace,
-                )
-            }),
-        }),
-        cubic.map_err(|e| ("sinkless", e)).map(|graph| Workload {
-            name: "sinkless",
-            graph,
-            crash_window: 2 * SINKLESS_PHASES + 6,
-            eval: Box::new(|g, plan, policy, trace| {
-                let algo = SinklessRepair {
-                    phases: SINKLESS_PHASES,
-                };
-                let out = run_sync(
-                    g,
-                    Mode::randomized(EVAL_SEED),
-                    &algo,
-                    &ExecSpec::default()
-                        .with_budget(Budget::rounds(2 * SINKLESS_PHASES + 6))
-                        .with_faults(plan)
-                        .traced(trace),
-                );
-                let labels: Vec<Option<Orientation>> =
-                    out.outcomes.iter().map(|o| o.output().cloned()).collect();
-                assess(
-                    g,
-                    &out,
-                    &labels,
-                    &SinklessOrientation::new(SINKLESS_DELTA),
-                    &SinklessFinisher,
-                    policy,
-                    trace,
-                )
-            }),
-        }),
-        quartic.map_err(|e| ("mis", e)).map(|graph| Workload {
-            name: "mis",
-            graph,
-            crash_window: MIS_CRASH_WINDOW,
-            eval: Box::new(|g, plan, policy, trace| {
-                let out = run_sync(
-                    g,
-                    Mode::randomized(EVAL_SEED),
-                    &Luby::new(),
-                    &ExecSpec::default()
-                        .with_budget(Budget::rounds(MIS_BUDGET))
-                        .with_faults(plan)
-                        .traced(trace),
-                );
-                let labels: Vec<Option<bool>> =
-                    out.outcomes.iter().map(|o| o.output().cloned()).collect();
-                assess(
-                    g,
-                    &out,
-                    &labels,
-                    &Mis::new(),
-                    &LubyRestartFinisher {
-                        seed: derived_u64(EVAL_SEED, MIS_FINISHER_STREAM),
-                    },
-                    policy,
-                    trace,
-                )
-            }),
-        }),
-    ]
-}
-
 /// Re-evaluate a plan against the named fixed workload: the entry point the
 /// `adversary_replay` gate uses to re-score a pinned artifact. Returns
 /// `None` for an unknown workload name (or one whose generator failed).
@@ -377,11 +208,11 @@ pub fn evaluate_plan(
     plan: &FaultPlan,
     policy: &RecoveryPolicy,
 ) -> Option<(Evaluation, String)> {
-    workloads()
+    workloads(&sizes(), GRAPH_SEED)
         .into_iter()
         .flatten()
-        .find(|w| w.name == workload)
-        .map(|w| (w.eval)(&w.graph, plan, policy, None))
+        .find(|w| w.name() == workload)
+        .map(|w| w.assess(EVAL_SEED, plan, policy, None))
 }
 
 /// One tabu-search restart: search, then re-evaluate the best plan once to
@@ -389,7 +220,7 @@ pub fn evaluate_plan(
 /// a traced sweep records the `search_iter` trajectory, not every
 /// candidate's engine run.
 fn restart(
-    w: &Workload<'_>,
+    w: &dyn Workload,
     objective: Objective,
     cfg: &Config,
     search_seed: u64,
@@ -401,20 +232,20 @@ fn restart(
         tenure: cfg.tenure,
         crash_budget: cfg.crash_budget,
         drop_budget: cfg.drop_budget,
-        crash_window: w.crash_window,
+        crash_window: w.adversary_crash_window(),
         search_seed,
     };
-    let set = MetricSet::new();
+    let set = local_obs::MetricSet::new();
     let out = search(
-        &w.graph,
+        w.graph(),
         FaultPlan::none(),
         objective,
         &scfg,
-        |p| (w.eval)(&w.graph, p, &cfg.policy, None).0,
+        |p| w.assess(EVAL_SEED, p, &cfg.policy, None).0,
         trace,
         Some(&set),
     );
-    let (eval, report_json) = (w.eval)(&w.graph, &out.best_plan, &cfg.policy, None);
+    let (eval, report_json) = w.assess(EVAL_SEED, &out.best_plan, &cfg.policy, None);
     debug_assert_eq!(out.best_objective, objective.score(&eval));
     let mut metrics = MetricsRegistry::new();
     metrics.absorb(&set);
@@ -455,7 +286,7 @@ fn scope(cfg: &Config, workload: &str, objective: Objective) -> String {
 /// wins, ties on the lowest index. Every restart's metric registry — not
 /// just the winner's — merges into `metrics`, in restart order.
 fn fold_row(
-    workload: &str,
+    workload: &'static str,
     objective: Objective,
     cfg: &Config,
     outcomes: Vec<TrialOutcome<TrialResult>>,
@@ -499,7 +330,7 @@ fn fold_row(
         },
     ));
     Row {
-        workload: workload.to_string(),
+        workload,
         objective: objective.name().to_string(),
         restarts: cfg.restarts,
         panicked,
@@ -522,9 +353,9 @@ fn fold_row(
 }
 
 /// A grid point whose workload failed to construct.
-fn error_row(workload: &str, objective: Objective, err: &GraphError) -> Row {
+fn error_row(workload: &'static str, objective: Objective, err: &GraphError) -> Row {
     Row {
-        workload: workload.to_string(),
+        workload,
         objective: objective.name().to_string(),
         restarts: 0,
         panicked: 0,
@@ -556,7 +387,7 @@ pub fn run(cfg: &Config) -> Outcome14 {
 pub fn run_checkpointed(cfg: &Config, checkpoint: Option<&Checkpoint>) -> Outcome14 {
     let mut rows = Vec::new();
     let mut metrics = MetricsRegistry::new();
-    for slot in workloads() {
+    for slot in workloads(&sizes(), GRAPH_SEED) {
         match slot {
             Err((name, err)) => {
                 for objective in Objective::ALL {
@@ -566,14 +397,14 @@ pub fn run_checkpointed(cfg: &Config, checkpoint: Option<&Checkpoint>) -> Outcom
             Ok(w) => {
                 for objective in Objective::ALL {
                     let plan = TrialPlan::new(cfg.restarts, cfg.master_seed);
-                    let scope = scope(cfg, w.name, objective);
+                    let scope = scope(cfg, w.name(), objective);
                     let tspec = TrialSpec::new()
                         .isolated()
                         .checkpointed(checkpoint.map(|c| (c, scope.as_str())));
                     let outcomes = plan.execute(tspec, |trial, _| {
-                        restart(&w, objective, cfg, trial.seed, None)
+                        restart(w.as_ref(), objective, cfg, trial.seed, None)
                     });
-                    rows.push(fold_row(w.name, objective, cfg, outcomes, &mut metrics));
+                    rows.push(fold_row(w.name(), objective, cfg, outcomes, &mut metrics));
                 }
             }
         }
@@ -590,7 +421,7 @@ pub fn run_traced(cfg: &Config, mut sink: Option<&mut dyn TraceSink>) -> Outcome
     let mut rows = Vec::new();
     let mut metrics = MetricsRegistry::new();
     let mut base = 0u64;
-    for slot in workloads() {
+    for slot in workloads(&sizes(), GRAPH_SEED) {
         match slot {
             Err((name, err)) => {
                 for objective in Objective::ALL {
@@ -604,10 +435,10 @@ pub fn run_traced(cfg: &Config, mut sink: Option<&mut dyn TraceSink>) -> Outcome
                         .traced(sink.as_deref_mut())
                         .trace_base(base);
                     let outcomes = plan.execute(tspec, |trial, trace| {
-                        restart(&w, objective, cfg, trial.seed, trace)
+                        restart(w.as_ref(), objective, cfg, trial.seed, trace)
                     });
                     base += cfg.restarts;
-                    rows.push(fold_row(w.name, objective, cfg, outcomes, &mut metrics));
+                    rows.push(fold_row(w.name(), objective, cfg, outcomes, &mut metrics));
                 }
             }
         }
@@ -621,17 +452,17 @@ pub fn run_traced(cfg: &Config, mut sink: Option<&mut dyn TraceSink>) -> Outcome
 /// the grid shape (and the error rows) survive the round trip.
 pub struct FabricSweep {
     cfg: Config,
-    slots: Vec<Result<Workload<'static>, (&'static str, GraphError)>>,
+    slots: Vec<WorkloadSlot>,
     points: Vec<SweepPoint>,
 }
 
 /// Build the fabric view of `cfg`'s sweep.
 pub fn fabric_sweep(cfg: &Config) -> FabricSweep {
-    let slots = workloads();
+    let slots = workloads(&sizes(), GRAPH_SEED);
     let mut points = Vec::new();
     for slot in &slots {
         let (name, trials) = match slot {
-            Ok(w) => (w.name, cfg.restarts),
+            Ok(w) => (w.name(), cfg.restarts),
             Err((name, _)) => (*name, 0),
         };
         for objective in Objective::ALL {
@@ -660,7 +491,7 @@ impl Sweep for FabricSweep {
             .as_ref()
             .expect("zero-trial error points receive no units");
         let seed = TrialPlan::new(self.cfg.restarts, self.cfg.master_seed).seed(index);
-        run_unit_isolated(|| restart(w, objective, &self.cfg, seed, None))
+        run_unit_isolated(|| restart(w.as_ref(), objective, &self.cfg, seed, None))
     }
 }
 
@@ -683,7 +514,7 @@ impl FabricSweep {
                             .map(|v| decode_unit(v).expect("fabric journal record shape"))
                             .collect();
                         rows.push(fold_row(
-                            w.name,
+                            w.name(),
                             objective,
                             &self.cfg,
                             outcomes,
@@ -719,7 +550,7 @@ pub fn artifact_json(cfg: &Config, row: &Row) -> String {
         ),
         (
             "workload".to_string(),
-            serde::Value::String(row.workload.clone()),
+            serde::Value::String(row.workload.to_string()),
         ),
         (
             "objective".to_string(),
@@ -785,7 +616,7 @@ pub fn table(out: &Outcome14) -> Table {
             None => (r.best_objective.to_string(), r.radius.to_string()),
         };
         t.push(vec![
-            r.workload.clone(),
+            r.workload.to_string(),
             r.objective.clone(),
             score,
             radius,
@@ -803,6 +634,7 @@ pub fn table(out: &Outcome14) -> Table {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::workloads::NAMES;
 
     fn tiny() -> Config {
         Config {
@@ -820,7 +652,7 @@ mod tests {
     #[test]
     fn grid_is_complete_and_budgets_hold() {
         let out = run(&tiny());
-        assert_eq!(out.rows.len(), 3 * Objective::ALL.len());
+        assert_eq!(out.rows.len(), NAMES.len() * Objective::ALL.len());
         for r in &out.rows {
             assert!(r.error.is_none(), "{}: {:?}", r.workload, r.error);
             assert_eq!(
@@ -885,7 +717,7 @@ mod tests {
         // One search_iter per iteration per restart per grid point.
         assert_eq!(
             iters,
-            cfg.iterations * cfg.restarts * 3 * Objective::ALL.len() as u64
+            cfg.iterations * cfg.restarts * (NAMES.len() * Objective::ALL.len()) as u64
         );
     }
 
@@ -902,7 +734,7 @@ mod tests {
             // Re-evaluating the embedded plan reproduces the pinned census.
             let plan: FaultPlan = serde_json::from_str(&row.plan_json).unwrap();
             let (eval, report) =
-                evaluate_plan(&row.workload, &plan, &cfg.policy).expect("known workload");
+                evaluate_plan(row.workload, &plan, &cfg.policy).expect("known workload");
             let objective = Objective::from_name(&row.objective).unwrap();
             assert_eq!(objective.score(&eval), row.best_objective);
             assert_eq!(report, row.report_json);

@@ -11,6 +11,9 @@
 //!   engine behind the paper's Corollary 1 discussion).
 //! * [`adversary`] — worst-case fault-plan search: the deterministic tabu
 //!   optimizer over [`FaultPlan`](local_model::FaultPlan) space behind E14.
+//! * [`workloads`] — the workload catalog: the graph × protocol × checker
+//!   × finisher quadruples E12/E13/E14 sweep, heal, and attack, behind one
+//!   object-safe trait.
 //! * [`experiments`] — the E1–E9 experiment drivers behind EXPERIMENTS.md.
 //! * [`trials`] — the shared seeded parallel trial harness those drivers
 //!   run their randomized batches through.
@@ -40,3 +43,4 @@ pub mod retry;
 pub mod shatter;
 pub mod speedup;
 pub mod trials;
+pub mod workloads;

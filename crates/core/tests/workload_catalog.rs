@@ -1,0 +1,107 @@
+//! Catalog self-consistency properties (satellite of the workload-plane
+//! unification).
+//!
+//! For **every** registered workload — present and future, since the loops
+//! iterate [`workloads`] rather than naming families — three guarantees the
+//! experiment plane leans on:
+//!
+//! 1. A fault-free run passes the workload's own complete checker:
+//!    [`Workload::heal`] validates with **zero** escalation attempts, which
+//!    is exactly "the base labeling passed `check_complete` as-is".
+//! 2. The partial checker reports zero violations on a fault-free run:
+//!    [`Workload::measure`] sees every vertex checked and valid, none
+//!    skipped.
+//! 3. The finisher applied to an empty core is a no-op: the fault-free
+//!    heal extracts a zero-vertex core and pays zero extra rounds.
+//!
+//! Sizes and seeds are fuzzed (within the generators' feasibility
+//! envelope: the 3-regular families need an even vertex count), so the
+//! properties hold across the whole configuration space E12/E13 sweep,
+//! not just the pinned defaults.
+
+use local_algorithms::RecoveryPolicy;
+use local_model::FaultPlan;
+use local_separation::workloads::{workloads, Sizes, NAMES};
+use proptest::prelude::*;
+
+/// Catalog sizes inside every generator's feasibility envelope. The
+/// 3-regular draws (sinkless, edge-coloring base, ruling-set, defective)
+/// need `n * 3` even, so those dimensions sample even values only.
+fn arb_sizes() -> impl Strategy<Value = Sizes> {
+    (8usize..32, 4usize..14, 4usize..14).prop_map(|(tree_n, s, m)| Sizes {
+        tree_n,
+        sinkless_n: 2 * s,
+        mis_n: 2 * m,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Every catalog entry builds at feasible sizes, and a fault-free run
+    /// passes its own partial checker with nothing skipped and nothing
+    /// invalid.
+    #[test]
+    fn fault_free_partial_check_is_clean(
+        sizes in arb_sizes(),
+        graph_seed in 0u64..1000,
+        run_seed in 0u64..1000,
+    ) {
+        let mut seen = Vec::new();
+        for slot in workloads(&sizes, graph_seed) {
+            let w = slot.unwrap_or_else(|(name, e)| panic!("{name}: {e}"));
+            seen.push(w.name());
+            let r = w.measure(run_seed, &FaultPlan::none(), None);
+            prop_assert_eq!(r.crashed, 0, "{}: no crashes without faults", w.name());
+            prop_assert_eq!(r.cut, 0, "{}: no budget cuts without faults", w.name());
+            prop_assert_eq!(r.skipped, 0, "{}: every vertex checkable", w.name());
+            prop_assert!(r.checked > 0, "{}: checker saw the graph", w.name());
+            prop_assert_eq!(
+                r.valid, r.checked,
+                "{}: zero violations on a fault-free run", w.name()
+            );
+        }
+        prop_assert_eq!(seen, NAMES.to_vec(), "catalog is complete and ordered");
+    }
+
+    /// A fault-free run passes its own complete checker as-is (zero
+    /// escalation attempts), and the finisher applied to the resulting
+    /// empty core is a no-op (zero residue, zero extra rounds).
+    #[test]
+    fn fault_free_heal_validates_without_escalation(
+        sizes in arb_sizes(),
+        graph_seed in 0u64..1000,
+        run_seed in 0u64..1000,
+    ) {
+        let policy = RecoveryPolicy::default();
+        for slot in workloads(&sizes, graph_seed) {
+            let w = slot.unwrap_or_else(|(name, e)| panic!("{name}: {e}"));
+            let r = w.heal(run_seed, &FaultPlan::none(), &policy, None);
+            prop_assert!(r.recovered, "{}: {:?}", w.name(), r.failure);
+            prop_assert_eq!(r.attempts, 0, "{}: check_complete passes as-is", w.name());
+            prop_assert_eq!(r.core, 0, "{}: empty damaged core", w.name());
+            prop_assert_eq!(r.residue, 0, "{}: empty residue", w.name());
+            prop_assert_eq!(r.extra_rounds, 0, "{}: finisher no-op on empty core", w.name());
+        }
+    }
+
+    /// The adversary evaluator agrees: the trivial fault plan never
+    /// degrades any catalog entry, and its damage census is all zeros.
+    #[test]
+    fn trivial_plan_never_degrades(
+        sizes in arb_sizes(),
+        graph_seed in 0u64..1000,
+        eval_seed in 0u64..1000,
+    ) {
+        let policy = RecoveryPolicy::default();
+        for slot in workloads(&sizes, graph_seed) {
+            let w = slot.unwrap_or_else(|(name, e)| panic!("{name}: {e}"));
+            let (eval, report) = w.assess(eval_seed, &FaultPlan::none(), &policy, None);
+            prop_assert!(!eval.degraded, "{}", w.name());
+            prop_assert_eq!(eval.breaches, 0, "{}", w.name());
+            prop_assert_eq!(eval.violations, 0, "{}", w.name());
+            prop_assert_eq!(eval.crashed + eval.cut, 0, "{}", w.name());
+            prop_assert_eq!(report.as_str(), "null", "{}", w.name());
+        }
+    }
+}

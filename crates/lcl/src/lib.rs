@@ -14,6 +14,12 @@
 //!   (`r = 1`).
 //! * [`problems::SinklessColoring`] — on Δ-regular edge-colored graphs
 //!   (`r = 1`).
+//! * [`problems::EdgeKColoring`] — proper `k`-edge-coloring with per-port
+//!   labels (`r = 1`).
+//! * [`problems::DefectiveColoring`] — `d`-defective `k`-coloring (`r = 1`).
+//! * [`problems::RulingSet`] — `(2,k)`-ruling sets (`r = k`), the crate's
+//!   radius-`k` exemplar: it overrides [`LclProblem::check_ball`] instead of
+//!   `check_view`.
 //!
 //! Every problem implements [`LclProblem`], whose `validate` is a
 //! *centralized* checker used to verify algorithm outputs, and exposes its
@@ -32,4 +38,4 @@ pub mod verifier;
 
 pub use labeling::Labeling;
 pub use partial::{check_complete, check_partial, PartialValidity};
-pub use problem::{LclProblem, LocalView, NeighborView, Violation};
+pub use problem::{LclProblem, LocalView, NeighborView, Reason, Violation};

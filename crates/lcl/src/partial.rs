@@ -10,6 +10,7 @@
 use crate::labeling::Labeling;
 use crate::problem::{LclProblem, LocalView, NeighborView, Violation};
 use local_graphs::Graph;
+use std::collections::VecDeque;
 
 /// The verdict of [`check_partial`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -44,9 +45,10 @@ impl PartialValidity {
     }
 }
 
-/// Check `problem`'s radius-1 predicate at every vertex whose full view
-/// survived: the vertex and all of its neighbors are labeled. Vertices with
-/// a hole anywhere in the view are skipped, never failed.
+/// Check `problem`'s radius-`r` predicate at every vertex whose full ball
+/// survived: the vertex and everything within distance `problem.radius()`
+/// is labeled. Vertices with a hole anywhere in the ball are skipped, never
+/// failed.
 ///
 /// A complete labeling (`labels.iter().all(Option::is_some)`) checks every
 /// vertex and agrees with [`LclProblem::validate`].
@@ -60,6 +62,9 @@ pub fn check_partial<P: LclProblem>(
     labels: &[Option<P::Label>],
 ) -> PartialValidity {
     assert_eq!(labels.len(), g.n(), "labeling must cover every vertex");
+    if problem.radius() != 1 {
+        return check_partial_ball(problem, g, labels);
+    }
     let mut out = PartialValidity {
         checked: 0,
         valid: 0,
@@ -94,6 +99,70 @@ pub fn check_partial<P: LclProblem>(
         };
         out.checked += 1;
         match problem.check_view(&view) {
+            Ok(()) => out.valid += 1,
+            Err(reason) => out.violations.push(Violation { vertex: v, reason }),
+        }
+    }
+    out
+}
+
+/// The radius-`r` generalization (`r > 1`): a vertex is checkable iff its
+/// whole distance-`r` ball is labeled, in which case the problem's
+/// [`LclProblem::check_ball`] judges it.
+fn check_partial_ball<P: LclProblem>(
+    problem: &P,
+    g: &Graph,
+    labels: &[Option<P::Label>],
+) -> PartialValidity {
+    let radius = problem.radius();
+    let mut out = PartialValidity {
+        checked: 0,
+        valid: 0,
+        skipped: 0,
+        violations: Vec::new(),
+    };
+    // Scratch reused across vertices: BFS distances (usize::MAX = unvisited)
+    // plus the list of stamped vertices to reset.
+    let mut dist = vec![usize::MAX; g.n()];
+    let mut stamped: Vec<usize> = Vec::new();
+    let mut queue: VecDeque<usize> = VecDeque::new();
+    for v in g.vertices() {
+        if labels[v].is_none() {
+            out.skipped += 1;
+            continue;
+        }
+        stamped.clear();
+        queue.clear();
+        dist[v] = 0;
+        stamped.push(v);
+        queue.push_back(v);
+        let mut complete = true;
+        'ball: while let Some(u) = queue.pop_front() {
+            if dist[u] == radius {
+                continue;
+            }
+            for nb in g.neighbors(u) {
+                if dist[nb.node] != usize::MAX {
+                    continue;
+                }
+                if labels[nb.node].is_none() {
+                    complete = false;
+                    break 'ball;
+                }
+                dist[nb.node] = dist[u] + 1;
+                stamped.push(nb.node);
+                queue.push_back(nb.node);
+            }
+        }
+        for &u in &stamped {
+            dist[u] = usize::MAX;
+        }
+        if !complete {
+            out.skipped += 1;
+            continue;
+        }
+        out.checked += 1;
+        match problem.check_ball(g, labels, v) {
             Ok(()) => out.valid += 1,
             Err(reason) => out.violations.push(Violation { vertex: v, reason }),
         }

@@ -2,26 +2,57 @@
 
 use crate::labeling::Labeling;
 use local_graphs::{Graph, NodeId, PortId};
-use serde::{Deserialize, Serialize};
+use serde::{DeError, Deserialize, Serialize, Value};
+use std::borrow::Cow;
 use std::fmt;
+
+/// Why a local view is unacceptable.
+///
+/// A `Cow` so that the many fixed defect messages ("vertex is a sink", …)
+/// borrow a `&'static str` and the fault-free checking path allocates
+/// nothing; only parameterized messages (`format!`) pay for a `String`.
+pub type Reason = Cow<'static, str>;
 
 /// Why a labeling fails to solve an LCL problem, anchored at the vertex whose
 /// radius-`r` neighborhood is unacceptable.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Violation {
     /// The vertex whose `r`-ball is bad.
     pub vertex: NodeId,
     /// Human-readable description of the local defect.
-    pub reason: String,
+    pub reason: Reason,
 }
 
 impl Violation {
     /// Construct a violation at `vertex`.
-    pub fn new(vertex: NodeId, reason: impl Into<String>) -> Self {
+    pub fn new(vertex: NodeId, reason: impl Into<Reason>) -> Self {
         Violation {
             vertex,
             reason: reason.into(),
         }
+    }
+}
+
+// Hand-written so the JSON shape matches what `#[derive]` produced when
+// `reason` was a `String` (the vendored serde has no `Cow` impls).
+impl Serialize for Violation {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            (String::from("vertex"), self.vertex.to_value()),
+            (
+                String::from("reason"),
+                Value::String(self.reason.clone().into_owned()),
+            ),
+        ])
+    }
+}
+
+impl Deserialize for Violation {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(Violation {
+            vertex: Deserialize::from_value(v.field("vertex")?)?,
+            reason: Cow::Owned(String::from_value(v.field("reason")?)?),
+        })
     }
 }
 
@@ -91,19 +122,28 @@ impl<L: Clone> LocalView<L> {
 }
 
 /// A locally checkable labeling problem with labels of type `L` and checking
-/// radius 1.
+/// radius `r`.
 ///
 /// All of the paper's problems (coloring, MIS, maximal matching, sinkless
-/// orientation, sinkless coloring) are radius-1 LCLs; the trait is therefore
-/// phrased over [`LocalView`]. The formal class allows any constant radius —
-/// a radius-`r` problem can be expressed by first pre-aggregating `r−1`
-/// levels of information into the labels, the standard reduction.
+/// orientation, sinkless coloring) are radius-1 LCLs, so the acceptance
+/// predicate is normally phrased over [`LocalView`] via [`check_view`]. The
+/// formal class allows any constant radius; a problem with `radius() > 1`
+/// (e.g. [`crate::problems::RulingSet`]) instead overrides [`check_ball`],
+/// which sees the whole labeled `r`-ball, and every generic checking path
+/// ([`validate`], [`violations`], [`crate::check_partial`]) routes through
+/// it.
+///
+/// [`check_view`]: LclProblem::check_view
+/// [`check_ball`]: LclProblem::check_ball
+/// [`validate`]: LclProblem::validate
+/// [`violations`]: LclProblem::violations
 pub trait LclProblem {
     /// The label type Σ (finite in the formal definition; any `Clone + Eq`
     /// type here).
     type Label: Clone + Eq + Send + Sync;
 
-    /// The checking radius `r` (1 for every built-in problem).
+    /// The checking radius `r` (1 for every built-in problem except the
+    /// ruling set).
     fn radius(&self) -> usize {
         1
     }
@@ -122,9 +162,57 @@ pub trait LclProblem {
     /// # Errors
     ///
     /// A description of the local defect, if the view is unacceptable.
-    fn check_view(&self, view: &LocalView<Self::Label>) -> Result<(), String>;
+    fn check_view(&self, view: &LocalView<Self::Label>) -> Result<(), Reason>;
 
-    /// Check the radius-1 condition at a single vertex of a concrete graph.
+    /// The acceptance predicate over the radius-`r` ball around `v`.
+    ///
+    /// The caller guarantees every vertex within distance [`radius`] of `v`
+    /// carries a label (`labels[u].is_some()`); the default implementation
+    /// assembles the radius-1 [`LocalView`] and delegates to [`check_view`].
+    /// Problems with `radius() > 1` override this instead of `check_view`.
+    ///
+    /// [`radius`]: LclProblem::radius
+    /// [`check_view`]: LclProblem::check_view
+    ///
+    /// # Errors
+    ///
+    /// A description of the local defect, if the ball is unacceptable.
+    ///
+    /// # Panics
+    ///
+    /// May panic if a vertex inside the ball is unlabeled.
+    fn check_ball(
+        &self,
+        g: &Graph,
+        labels: &[Option<Self::Label>],
+        v: NodeId,
+    ) -> Result<(), Reason> {
+        let expect = |u: NodeId| -> Self::Label {
+            labels[u]
+                .clone()
+                .expect("check_ball caller guarantees the ball is fully labeled")
+        };
+        let neighbors = g
+            .neighbors(v)
+            .iter()
+            .map(|nb| NeighborView {
+                label: expect(nb.node),
+                degree: g.degree(nb.node),
+                back_port: nb.back_port,
+                edge_input: self.edge_input(nb.edge),
+            })
+            .collect();
+        let view = LocalView {
+            label: expect(v),
+            degree: g.degree(v),
+            neighbors,
+        };
+        self.check_view(&view)
+    }
+
+    /// Check the radius-1 condition at a single vertex of a concrete graph
+    /// (the radius-1 fast path; problems with a larger radius are checked
+    /// via [`check_ball`](LclProblem::check_ball)).
     ///
     /// # Errors
     ///
@@ -152,16 +240,35 @@ pub trait LclProblem {
     /// Panics if `labels.len() != g.n()`.
     fn validate(&self, g: &Graph, labels: &Labeling<Self::Label>) -> Result<(), Violation> {
         assert_eq!(labels.len(), g.n(), "labeling must cover every vertex");
+        if self.radius() == 1 {
+            for v in g.vertices() {
+                self.check_vertex(g, labels, v)?;
+            }
+            return Ok(());
+        }
+        let opts: Vec<Option<Self::Label>> = labels.as_slice().iter().cloned().map(Some).collect();
         for v in g.vertices() {
-            self.check_vertex(g, labels, v)?;
+            self.check_ball(g, &opts, v)
+                .map_err(|reason| Violation { vertex: v, reason })?;
         }
         Ok(())
     }
 
     /// All violations (for diagnostics), not just the first.
     fn violations(&self, g: &Graph, labels: &Labeling<Self::Label>) -> Vec<Violation> {
+        if self.radius() == 1 {
+            return g
+                .vertices()
+                .filter_map(|v| self.check_vertex(g, labels, v).err())
+                .collect();
+        }
+        let opts: Vec<Option<Self::Label>> = labels.as_slice().iter().cloned().map(Some).collect();
         g.vertices()
-            .filter_map(|v| self.check_vertex(g, labels, v).err())
+            .filter_map(|v| {
+                self.check_ball(g, &opts, v)
+                    .err()
+                    .map(|reason| Violation { vertex: v, reason })
+            })
             .collect()
     }
 }

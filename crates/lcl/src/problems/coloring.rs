@@ -1,6 +1,6 @@
 //! Proper `k`-coloring as an LCL (`r = 1`, `Σ = {0, …, k−1}`).
 
-use crate::problem::{LclProblem, LocalView};
+use crate::problem::{LclProblem, LocalView, Reason};
 
 /// Proper vertex coloring with palette `{0, …, k−1}`: adjacent vertices get
 /// different colors.
@@ -48,14 +48,14 @@ impl LclProblem for VertexColoring {
         format!("{}-coloring", self.k)
     }
 
-    fn check_view(&self, view: &LocalView<usize>) -> Result<(), String> {
+    fn check_view(&self, view: &LocalView<usize>) -> Result<(), Reason> {
         let c = view.label;
         if c >= self.k {
-            return Err(format!("color {c} outside palette of size {}", self.k));
+            return Err(format!("color {c} outside palette of size {}", self.k).into());
         }
         for (p, nb) in view.neighbors.iter().enumerate() {
             if nb.label == c {
-                return Err(format!("neighbor on port {p} shares color {c}"));
+                return Err(format!("neighbor on port {p} shares color {c}").into());
             }
         }
         Ok(())

@@ -1,0 +1,130 @@
+//! Defective coloring as an LCL (`r = 1`).
+//!
+//! A `d`-defective `k`-coloring colors the vertices with `k` colors such
+//! that every vertex has at most `d` neighbors of its own color — proper
+//! coloring relaxed to tolerate bounded monochromatic degree. The
+//! Ghaffari–Kuhn line of work uses defective (and arb-defective) colorings
+//! as the workhorse subroutine for derandomized local coloring; here it
+//! rounds out the workload catalog with a problem whose solutions are
+//! abundant (2 colors with defect 1 always exist on subcubic graphs) yet
+//! still locally checkable.
+
+use crate::problem::{LclProblem, LocalView, Reason};
+
+/// `d`-defective `k`-coloring: labels in `{0, …, k−1}`, every vertex has at
+/// most `d` same-colored neighbors (`r = 1`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DefectiveColoring {
+    colors: usize,
+    defect: usize,
+}
+
+impl DefectiveColoring {
+    /// The `defect`-defective `colors`-coloring problem.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `colors == 0`.
+    pub fn new(colors: usize, defect: usize) -> Self {
+        assert!(colors > 0, "palette must be nonempty");
+        DefectiveColoring { colors, defect }
+    }
+
+    /// Palette size `k`.
+    pub fn colors(&self) -> usize {
+        self.colors
+    }
+
+    /// Maximum allowed monochromatic degree `d`.
+    pub fn defect(&self) -> usize {
+        self.defect
+    }
+}
+
+impl LclProblem for DefectiveColoring {
+    type Label = usize;
+
+    fn name(&self) -> String {
+        format!("{}-defective {}-coloring", self.defect, self.colors)
+    }
+
+    fn check_view(&self, view: &LocalView<usize>) -> Result<(), Reason> {
+        let c = view.label;
+        if c >= self.colors {
+            return Err(format!("color {c} outside palette of size {}", self.colors).into());
+        }
+        let mono = view.neighbors.iter().filter(|nb| nb.label == c).count();
+        if mono > self.defect {
+            return Err(format!(
+                "{mono} neighbors share color {c}, exceeding defect {}",
+                self.defect
+            )
+            .into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Labeling;
+    use local_graphs::gen;
+
+    #[test]
+    fn zero_defect_is_proper_coloring() {
+        let g = gen::path(3);
+        let p = DefectiveColoring::new(2, 0);
+        let good: Labeling<usize> = vec![0, 1, 0].into();
+        assert!(p.validate(&g, &good).is_ok());
+        let bad: Labeling<usize> = vec![0, 0, 1].into();
+        assert!(p.validate(&g, &bad).is_err());
+    }
+
+    #[test]
+    fn defect_one_tolerates_one_monochromatic_neighbor() {
+        let g = gen::path(3);
+        let p = DefectiveColoring::new(2, 1);
+        // The monochromatic edge 0–1 gives each endpoint exactly one
+        // same-colored neighbor: allowed at defect 1.
+        let l: Labeling<usize> = vec![0, 0, 1].into();
+        assert!(p.validate(&g, &l).is_ok());
+    }
+
+    #[test]
+    fn rejects_defect_overflow() {
+        let g = gen::star(4); // center 0 with 3 leaves
+        let p = DefectiveColoring::new(2, 1);
+        let l: Labeling<usize> = vec![0, 0, 0, 1].into();
+        let err = p.validate(&g, &l).unwrap_err();
+        assert_eq!(err.vertex, 0);
+        assert!(err.reason.contains("exceeding defect"));
+    }
+
+    #[test]
+    fn rejects_out_of_palette() {
+        let g = gen::path(2);
+        let p = DefectiveColoring::new(2, 1);
+        let l: Labeling<usize> = vec![0, 3].into();
+        let err = p.validate(&g, &l).unwrap_err();
+        assert!(err.reason.contains("outside palette"));
+    }
+
+    #[test]
+    fn monochromatic_triangle_ok_at_defect_two() {
+        let g = gen::complete(3);
+        let p = DefectiveColoring::new(1, 2);
+        let l: Labeling<usize> = vec![0, 0, 0].into();
+        assert!(p.validate(&g, &l).is_ok());
+        assert!(DefectiveColoring::new(1, 1).validate(&g, &l).is_err());
+    }
+
+    #[test]
+    fn accessors_and_name() {
+        let p = DefectiveColoring::new(2, 1);
+        assert_eq!(p.name(), "1-defective 2-coloring");
+        assert_eq!(p.colors(), 2);
+        assert_eq!(p.defect(), 1);
+        assert_eq!(p.radius(), 1);
+    }
+}

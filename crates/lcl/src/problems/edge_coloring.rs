@@ -7,7 +7,7 @@
 //! (easy, `O(log* n)`-ish deterministically) with maximal matching — this
 //! problem backs those baselines.
 
-use crate::problem::{LclProblem, LocalView};
+use crate::problem::{LclProblem, LocalView, Reason};
 use serde::{Deserialize, Serialize};
 
 /// A vertex's per-port edge colors.
@@ -59,17 +59,17 @@ impl LclProblem for EdgeKColoring {
         format!("{}-edge-coloring", self.k)
     }
 
-    fn check_view(&self, view: &LocalView<PortColors>) -> Result<(), String> {
+    fn check_view(&self, view: &LocalView<PortColors>) -> Result<(), Reason> {
         if view.label.0.len() != view.degree {
-            return Err("port-color vector has wrong length".to_owned());
+            return Err("port-color vector has wrong length".into());
         }
         for (p, &c) in view.label.0.iter().enumerate() {
             if c >= self.k {
-                return Err(format!("port {p} color {c} outside palette {}", self.k));
+                return Err(format!("port {p} color {c} outside palette {}", self.k).into());
             }
             for (q, &c2) in view.label.0.iter().enumerate().skip(p + 1) {
                 if c == c2 {
-                    return Err(format!("ports {p} and {q} share color {c}"));
+                    return Err(format!("ports {p} and {q} share color {c}").into());
                 }
             }
         }
@@ -80,9 +80,10 @@ impl LclProblem for EdgeKColoring {
                     return Err(format!(
                         "edge on port {p}: we say {}, neighbor says {theirs}",
                         view.label.0[p]
-                    ));
+                    )
+                    .into());
                 }
-                None => return Err(format!("neighbor on port {p} mislabeled its ports")),
+                None => return Err(format!("neighbor on port {p} mislabeled its ports").into()),
             }
         }
         Ok(())

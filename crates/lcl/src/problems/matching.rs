@@ -6,7 +6,7 @@
 //! unmatched vertex has no unmatched neighbor).
 
 use crate::labeling::Labeling;
-use crate::problem::{LclProblem, LocalView};
+use crate::problem::{LclProblem, LocalView, Reason};
 use local_graphs::{Graph, PortId};
 
 /// Maximal matching with per-vertex port labels.
@@ -53,22 +53,23 @@ impl LclProblem for MaximalMatching {
         "maximal matching".to_owned()
     }
 
-    fn check_view(&self, view: &LocalView<Option<PortId>>) -> Result<(), String> {
+    fn check_view(&self, view: &LocalView<Option<PortId>>) -> Result<(), Reason> {
         match view.label {
             Some(p) => {
                 if p >= view.degree {
-                    return Err(format!("matched port {p} out of range"));
+                    return Err(format!("matched port {p} out of range").into());
                 }
                 let nb = &view.neighbors[p];
                 if nb.label != Some(nb.back_port) {
-                    return Err(format!("match on port {p} not reciprocated"));
+                    return Err(format!("match on port {p} not reciprocated").into());
                 }
                 Ok(())
             }
             None => match view.neighbors.iter().position(|nb| nb.label.is_none()) {
                 Some(p) => Err(format!(
                     "unmatched next to unmatched neighbor on port {p} (not maximal)"
-                )),
+                )
+                .into()),
                 None => Ok(()),
             },
         }

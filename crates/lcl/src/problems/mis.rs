@@ -1,6 +1,6 @@
 //! Maximal independent set as an LCL (`r = 1`, `Σ = {in, out}`).
 
-use crate::problem::{LclProblem, LocalView};
+use crate::problem::{LclProblem, LocalView, Reason};
 
 /// Maximal independent set: `v ∈ I` iff no neighbor of `v` is in `I`
 /// (independence + maximality in one local condition, exactly the paper's
@@ -22,12 +22,12 @@ impl LclProblem for Mis {
         "MIS".to_owned()
     }
 
-    fn check_view(&self, view: &LocalView<bool>) -> Result<(), String> {
+    fn check_view(&self, view: &LocalView<bool>) -> Result<(), Reason> {
         let neighbor_in = view.neighbors.iter().any(|nb| nb.label);
         match (view.label, neighbor_in) {
-            (true, true) => Err("two adjacent vertices in the set".to_owned()),
+            (true, true) => Err("two adjacent vertices in the set".into()),
             (false, false) => {
-                Err("vertex outside the set with no neighbor inside (not maximal)".to_owned())
+                Err("vertex outside the set with no neighbor inside (not maximal)".into())
             }
             _ => Ok(()),
         }

@@ -1,13 +1,17 @@
 //! The concrete LCL problems the paper works with.
 
 mod coloring;
+mod defective;
 mod edge_coloring;
 mod matching;
 mod mis;
+mod ruling_set;
 mod sinkless;
 
 pub use coloring::VertexColoring;
+pub use defective::DefectiveColoring;
 pub use edge_coloring::{EdgeKColoring, PortColors};
 pub use matching::MaximalMatching;
 pub use mis::Mis;
+pub use ruling_set::RulingSet;
 pub use sinkless::{Orientation, SinklessColoring, SinklessOrientation};

@@ -6,7 +6,7 @@
 //! round elimination between the two problems forces the `Ω(log_Δ log n)` /
 //! `Ω(log_Δ n)` bounds.
 
-use crate::problem::{LclProblem, LocalView};
+use crate::problem::{LclProblem, LocalView, Reason};
 use local_graphs::edge_coloring::EdgeColoring;
 use local_graphs::{EdgeId, PortId};
 use serde::{Deserialize, Serialize};
@@ -59,28 +59,29 @@ impl LclProblem for SinklessOrientation {
         format!("{}-sinkless orientation", self.delta)
     }
 
-    fn check_view(&self, view: &LocalView<Orientation>) -> Result<(), String> {
+    fn check_view(&self, view: &LocalView<Orientation>) -> Result<(), Reason> {
         if view.degree != self.delta {
             return Err(format!(
                 "degree {} but the problem is defined on {}-regular graphs",
                 view.degree, self.delta
-            ));
+            )
+            .into());
         }
         if view.label.0.len() != view.degree {
-            return Err("orientation vector has wrong length".to_owned());
+            return Err("orientation vector has wrong length".into());
         }
         for (p, nb) in view.neighbors.iter().enumerate() {
             if nb.back_port >= nb.label.0.len() {
-                return Err(format!(
-                    "neighbor on port {p} declared a malformed orientation"
-                ));
+                return Err(
+                    format!("neighbor on port {p} declared a malformed orientation").into(),
+                );
             }
             if view.label.outgoing(p) == nb.label.outgoing(nb.back_port) {
-                return Err(format!("edge on port {p} oriented inconsistently"));
+                return Err(format!("edge on port {p} oriented inconsistently").into());
             }
         }
         if !view.label.has_out_edge() {
-            return Err("vertex is a sink".to_owned());
+            return Err("vertex is a sink".into());
         }
         Ok(())
     }
@@ -137,17 +138,18 @@ impl LclProblem for SinklessColoring {
         self.psi.color(e) as u64
     }
 
-    fn check_view(&self, view: &LocalView<usize>) -> Result<(), String> {
+    fn check_view(&self, view: &LocalView<usize>) -> Result<(), Reason> {
         let c = view.label;
         if c >= self.delta {
-            return Err(format!("color {c} outside palette of size {}", self.delta));
+            return Err(format!("color {c} outside palette of size {}", self.delta).into());
         }
         for (p, nb) in view.neighbors.iter().enumerate() {
             if nb.label == c && nb.edge_input == c as u64 {
                 return Err(format!(
                     "forbidden configuration on port {p}: edge color {} equals both endpoint colors",
                     nb.edge_input
-                ));
+                )
+                .into());
             }
         }
         Ok(())

@@ -9,7 +9,7 @@
 //! it on random graphs and labelings.
 
 use crate::labeling::Labeling;
-use crate::problem::{LclProblem, LocalView, NeighborView, Violation};
+use crate::problem::{LclProblem, LocalView, NeighborView, Reason, Violation};
 use local_graphs::{Graph, PortId};
 use local_model::{Action, Engine, ExecSpec, Mode, NodeInit, NodeIo, NodeProgram, Protocol};
 
@@ -29,7 +29,7 @@ where
     P::Label: Clone + Send + Sync,
 {
     type Msg = VerifyMsg<P::Label>;
-    type Output = Option<String>;
+    type Output = Option<Reason>;
 
     fn step(&mut self, round: u32, io: &mut NodeIo<'_, Self::Msg>) -> Action<Self::Output> {
         if round == 0 {
